@@ -1,0 +1,116 @@
+// Shared helpers for the reproduction benches: the IPsec-CPE graph of the
+// paper's validation section and the iPerf-style saturation measurement.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/node.hpp"
+#include "nffg/nffg.hpp"
+#include "traffic/source.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::bench {
+
+inline constexpr const char* kEncKey = "000102030405060708090a0b0c0d0e0f";
+inline constexpr const char* kAuthKey =
+    "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f";
+
+/// lan -> <nf> -> wan chain with return rules — the CPE service graph.
+inline nffg::NfFg chain_graph(const std::string& id, const std::string& type,
+                              std::optional<virt::BackendKind> hint = {}) {
+  nffg::NfFg graph;
+  graph.id = id;
+  graph.add_nf("nf", type).backend_hint = hint;
+  graph.add_endpoint("lan", "eth0");
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("nf", 0));
+  graph.connect("r2", nffg::nf_port("nf", 1), nffg::endpoint_ref("wan"));
+  graph.connect("r3", nffg::endpoint_ref("wan"), nffg::nf_port("nf", 1));
+  graph.connect("r4", nffg::nf_port("nf", 0), nffg::endpoint_ref("lan"));
+  return graph;
+}
+
+/// The validation-section NF: Strongswan-like ESP tunnel endpoint.
+inline nffg::NfFg ipsec_cpe_graph(const std::string& id,
+                                  std::optional<virt::BackendKind> hint) {
+  nffg::NfFg graph = chain_graph(id, "ipsec", hint);
+  graph.nfs[0].config = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", kEncKey},         {"auth_key", kAuthKey}};
+  return graph;
+}
+
+struct SaturationResult {
+  double goodput_mbps = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t offered = 0;
+};
+
+/// Saturates eth0 with `payload_bytes` UDP datagrams and counts frames
+/// leaving eth1 inside [warmup, warmup+duration). Goodput is reported on
+/// the *inner* payload, matching the paper's iPerf methodology.
+inline SaturationResult measure_saturation(core::UniversalNode& node,
+                                           std::size_t payload_bytes,
+                                           double offered_pps,
+                                           sim::SimTime warmup,
+                                           sim::SimTime duration) {
+  std::uint64_t delivered = 0;
+  (void)node.set_egress("eth1", [&](packet::PacketBuffer&&) {
+    const sim::SimTime now = node.simulator().now();
+    if (now >= warmup && now < warmup + duration) ++delivered;
+  });
+
+  traffic::UdpSourceConfig config;
+  config.payload_bytes = payload_bytes;
+  config.packets_per_second = offered_pps;
+  config.stop = warmup + duration;
+  traffic::UdpSource source(node.simulator(), config,
+                            [&](packet::PacketBuffer&& frame) {
+                              (void)node.inject("eth0", std::move(frame));
+                            });
+  source.begin();
+  node.simulator().run_until(warmup + duration + 50 * sim::kMillisecond);
+
+  SaturationResult result;
+  result.delivered = delivered;
+  result.offered = source.sent_packets();
+  result.goodput_mbps = static_cast<double>(delivered) *
+                        static_cast<double>(payload_bytes) * 8.0 /
+                        (static_cast<double>(duration) / 1e9) / 1e6;
+  return result;
+}
+
+/// Highest offered rate (pps) the datapath delivers with <1% loss —
+/// binary search, like an adaptive iPerf TCP run. `deploy` must build a
+/// fresh node per trial (state such as queues must not leak across
+/// trials); returns goodput at the found rate.
+template <typename MakeNode>
+inline double measure_capacity_mbps(MakeNode make_node,
+                                    std::size_t payload_bytes,
+                                    double lo_pps, double hi_pps,
+                                    sim::SimTime warmup,
+                                    sim::SimTime duration) {
+  double best = 0.0;
+  for (int iter = 0; iter < 12 && hi_pps - lo_pps > lo_pps * 0.01; ++iter) {
+    const double rate = (lo_pps + hi_pps) / 2.0;
+    auto node = make_node();
+    if (node == nullptr) return -1.0;
+    SaturationResult result =
+        measure_saturation(*node, payload_bytes, rate, warmup, duration);
+    const double expected =
+        rate * (static_cast<double>(duration) / 1e9);
+    if (static_cast<double>(result.delivered) >= 0.99 * expected) {
+      best = result.goodput_mbps;
+      lo_pps = rate;
+    } else {
+      hi_pps = rate;
+    }
+  }
+  return best;
+}
+
+}  // namespace nnfv::bench

@@ -1,0 +1,104 @@
+// Experiment A4 — crypto datapath micro-benchmarks (host wall-clock).
+//
+// These numbers do NOT feed the Table 1 reproduction (simulated timing
+// comes from virt::CostModel); they document the functional datapath's
+// host cost: AES-128-CBC, HMAC-SHA256, SHA-256, and a full ESP tunnel
+// encap+decap round trip on MTU-sized packets.
+#include <benchmark/benchmark.h>
+
+#include "crypto/cipher_modes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "nnf/ipsec.hpp"
+#include "packet/builder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): bench
+
+void BM_Sha256(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1450);
+
+void BM_HmacSha256(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto key = rng.bytes(32);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1450);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  util::Rng rng(3);
+  auto aes = crypto::Aes::create(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_encrypt(*aes, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(64)->Arg(1450);
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  util::Rng rng(4);
+  auto aes = crypto::Aes::create(rng.bytes(16));
+  const auto iv = rng.bytes(16);
+  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto cipher = crypto::aes_cbc_encrypt(*aes, iv, data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_decrypt(*aes, iv, *cipher));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(1450);
+
+void BM_EspEncapDecap(benchmark::State& state) {
+  nnf::IpsecEndpoint initiator;
+  nnf::IpsecEndpoint responder;
+  const nnf::NfConfig init_config = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", "000102030405060708090a0b0c0d0e0f"},
+      {"auth_key",
+       "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
+  nnf::NfConfig resp_config = init_config;
+  resp_config["local_ip"] = "198.51.100.2";
+  resp_config["peer_ip"] = "198.51.100.1";
+  resp_config["spi_out"] = "2002";
+  resp_config["spi_in"] = "1001";
+  (void)initiator.configure(nnf::kDefaultContext, init_config);
+  (void)responder.configure(nnf::kDefaultContext, resp_config);
+
+  util::Rng rng(5);
+  const auto payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  packet::UdpFrameSpec spec;
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+  spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.5");
+  spec.payload = payload;
+
+  std::uint64_t processed = 0;
+  for (auto _ : state) {
+    auto enc = initiator.process(nnf::kDefaultContext, 0, 0,
+                                 packet::build_udp_frame(spec));
+    auto dec = responder.process(nnf::kDefaultContext, 1, 0,
+                                 std::move(enc[0].frame));
+    benchmark::DoNotOptimize(dec);
+    ++processed;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(processed) *
+                          state.range(0));
+}
+BENCHMARK(BM_EspEncapDecap)->Arg(64)->Arg(1408);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Experiment A5 — deployment latency per management driver.
+//
+// The paper motivates NNFs by execution overhead; activation cost matters
+// just as much on a CPE (service turn-up time). This bench reports the
+// modeled create->running latency per driver, the marginal latency of
+// sharing an already-running NNF, and the wall-clock cost of the
+// orchestrator's own control-plane work (validation, LSI setup, steering),
+// measured on the host.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
+
+int main() {
+  std::printf("=== A5: deployment latency per driver (IPsec NF) ===\n\n");
+  std::printf("%-10s | %14s %14s | %14s\n", "backend", "boot (model)",
+              "shared (model)", "ctl-plane (host)");
+  std::printf("-----------+--------------------------------+--------------"
+              "---\n");
+
+  for (virt::BackendKind kind :
+       {virt::BackendKind::kNative, virt::BackendKind::kDocker,
+        virt::BackendKind::kDpdk, virt::BackendKind::kVm}) {
+    core::UniversalNode node;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto first = node.orchestrator().deploy(bench::ipsec_cpe_graph("a", kind));
+    const auto wall_end = std::chrono::steady_clock::now();
+    if (!first) {
+      std::printf("%-10s | deploy failed: %s\n",
+                  std::string(virt::backend_name(kind)).c_str(),
+                  first.status().to_string().c_str());
+      continue;
+    }
+    const double control_plane_us =
+        std::chrono::duration<double, std::micro>(wall_end - wall_start)
+            .count();
+
+    // Second graph of the same type: NNFs share; VNFs boot again.
+    nffg::NfFg second_graph = bench::ipsec_cpe_graph("b", kind);
+    second_graph.endpoints[0].vlan = 100;
+    second_graph.endpoints[1].vlan = 200;
+    auto second = node.orchestrator().deploy(second_graph);
+    const double second_ms =
+        second ? static_cast<double>(second->placements[0].boot_time) / 1e6
+               : -1.0;
+
+    std::printf("%-10s | %11.1f ms %11.1f ms | %11.1f us\n",
+                std::string(virt::backend_name(kind)).c_str(),
+                static_cast<double>(first->placements[0].boot_time) / 1e6,
+                second_ms, control_plane_us);
+  }
+
+  std::printf("\nReadings: native boots in tens of ms (plugin scripts) and "
+              "*shares* in\n~20 ms (context + marks); a VM pays seconds of "
+              "boot for every graph.\nThe orchestrator's own control-plane "
+              "work is microseconds — placement\nis never the bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Experiment A3 — steering cost: flow-table lookup scaling.
+//
+// LSI-0 classifies every packet entering the node; its rule count grows
+// with the number of deployed graphs (4 rules per graph here). This
+// micro-bench measures lookup latency vs table size and the best/worst
+// position of the matching rule (linear table, priority order).
+#include <benchmark/benchmark.h>
+
+#include "packet/builder.hpp"
+#include "switch/flow_table.hpp"
+
+namespace {
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): bench
+
+packet::PacketBuffer make_frame(std::uint16_t vlan) {
+  packet::UdpFrameSpec spec;
+  spec.vlan = vlan;
+  spec.ip_src = *packet::Ipv4Address::parse("10.0.0.1");
+  spec.ip_dst = *packet::Ipv4Address::parse("10.0.0.2");
+  spec.src_port = 1000;
+  spec.dst_port = 2000;
+  static const std::vector<std::uint8_t> payload(64, 0);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+/// Builds an LSI-0-style classifier: per "graph" g, one rule matching
+/// (in_port=1, vlan=100+g).
+nfswitch::FlowTable classifier_of(int graphs) {
+  nfswitch::FlowTable table;
+  for (int g = 0; g < graphs; ++g) {
+    nfswitch::FlowMatch match;
+    match.in_port = 1;
+    match.vlan = static_cast<std::uint16_t>(100 + g);
+    table.add(100, match,
+              {nfswitch::FlowAction::output(
+                  static_cast<nfswitch::PortId>(10 + g))});
+  }
+  return table;
+}
+
+void BM_LookupFirstRule(benchmark::State& state) {
+  const int graphs = static_cast<int>(state.range(0));
+  nfswitch::FlowTable table = classifier_of(graphs);
+  auto frame = make_frame(100);  // matches the first-installed rule
+  auto fields = packet::extract_flow_fields(frame.data());
+  nfswitch::FlowContext ctx{1, fields.value()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookupFirstRule)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_LookupLastRule(benchmark::State& state) {
+  const int graphs = static_cast<int>(state.range(0));
+  nfswitch::FlowTable table = classifier_of(graphs);
+  auto frame = make_frame(static_cast<std::uint16_t>(100 + graphs - 1));
+  auto fields = packet::extract_flow_fields(frame.data());
+  nfswitch::FlowContext ctx{1, fields.value()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookupLastRule)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_LookupMiss(benchmark::State& state) {
+  const int graphs = static_cast<int>(state.range(0));
+  nfswitch::FlowTable table = classifier_of(graphs);
+  auto frame = make_frame(99);  // matches nothing
+  auto fields = packet::extract_flow_fields(frame.data());
+  nfswitch::FlowContext ctx{1, fields.value()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookupMiss)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_FieldExtraction(benchmark::State& state) {
+  auto frame = make_frame(100);
+  for (auto _ : state) {
+    auto fields = packet::extract_flow_fields(frame.data());
+    benchmark::DoNotOptimize(fields);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FieldExtraction);
+
+void BM_RuleInstallRemove(benchmark::State& state) {
+  for (auto _ : state) {
+    nfswitch::FlowTable table;
+    for (int g = 0; g < 64; ++g) {
+      nfswitch::FlowMatch match;
+      match.in_port = 1;
+      match.vlan = static_cast<std::uint16_t>(100 + g);
+      table.add(100, match, {nfswitch::FlowAction::output(2)},
+                /*cookie=*/static_cast<nfswitch::Cookie>(g % 4));
+    }
+    benchmark::DoNotOptimize(table.remove_by_cookie(2));
+  }
+}
+BENCHMARK(BM_RuleInstallRemove);
+
+}  // namespace

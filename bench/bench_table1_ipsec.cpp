@@ -1,0 +1,83 @@
+// Experiment T1 — reproduces **Table 1** of the paper:
+//
+//   "Results with IPSec client VNFs"
+//   Platform    Through.   RAM       Image size
+//   KVM/QEMU    796 Mbps   390.6 MB  522 MB
+//   Docker      1095 Mbps  24.2 MB   240 MB
+//   Native NF   1094 Mbps  19.4 MB   5 MB
+//
+// Method (mirrors §3): deploy the Strongswan-like ESP tunnel endpoint as a
+// VM, a Docker container and a native NF on the same CPE node model;
+// saturate it with 1408-byte UDP datagrams (iPerf-style) and report the
+// maximum goodput, the runtime RAM reserved for the deployment, and the
+// size of the image the flavor required.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
+
+struct Row {
+  const char* platform;
+  virt::BackendKind backend;
+  double paper_mbps;
+  double paper_ram_mb;
+  double paper_image_mb;
+};
+
+constexpr Row kRows[] = {
+    {"KVM/QEMU", virt::BackendKind::kVm, 796.0, 390.6, 522.0},
+    {"Docker", virt::BackendKind::kDocker, 1095.0, 24.2, 240.0},
+    {"Native NF", virt::BackendKind::kNative, 1094.0, 19.4, 5.0},
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 1: Results with IPSec client VNFs "
+      "(paper vs this reproduction) ===\n");
+  std::printf("workload: saturating UDP, 1408 B datagrams, ESP tunnel mode, "
+              "1-core CPE model\n\n");
+  std::printf("%-10s | %13s %13s | %11s %11s | %11s %11s\n", "Platform",
+              "Thr (paper)", "Thr (ours)", "RAM (paper)", "RAM (ours)",
+              "Img (paper)", "Img (ours)");
+  std::printf("-----------+----------------------------+------------------"
+              "-------+-------------------------\n");
+
+  for (const Row& row : kRows) {
+    core::UniversalNode node;
+    auto report =
+        node.orchestrator().deploy(bench::ipsec_cpe_graph("t1", row.backend));
+    if (!report) {
+      std::printf("%-10s | deploy failed: %s\n", row.platform,
+                  report.status().to_string().c_str());
+      return 1;
+    }
+    const auto& placement = report->placements.at(0);
+
+    auto result = bench::measure_saturation(node, 1408, 150000.0,
+                                            100 * sim::kMillisecond,
+                                            sim::kSecond);
+    std::printf("%-10s | %8.0f Mbps %8.1f Mbps | %8.1f MB %8.1f MB | "
+                "%8.0f MB %8.1f MB\n",
+                row.platform, row.paper_mbps, result.goodput_mbps,
+                row.paper_ram_mb,
+                static_cast<double>(placement.ram_bytes) / (1024.0 * 1024.0),
+                row.paper_image_mb,
+                static_cast<double>(placement.image_bytes) /
+                    (1024.0 * 1024.0));
+  }
+
+  std::printf("\nShape checks (the claims under test):\n");
+  std::printf("  * VM throughput ~0.73x of native (user-space packet path"
+              " + hypervisor exits)\n");
+  std::printf("  * Docker ~= native throughput (both use the host kernel"
+              " path)\n");
+  std::printf("  * RAM: VM >> Docker > native; image: VM >> Docker >> native"
+              " (~100x)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: deploy a one-NF service graph on a Universal Node and push a
+// packet through it.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the full public API surface: build an NF-FG, deploy it (the
+// scheduler picks the native firewall), wire traffic in and out of the
+// node's physical ports, and inspect the deployment report.
+#include <cstdio>
+
+#include "core/node.hpp"
+#include "nffg/nffg.hpp"
+#include "packet/builder.hpp"
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): example
+
+int main() {
+  // 1. A node with two physical ports and all four drivers (Figure 1).
+  core::UniversalNode node;
+
+  // 2. Describe the service as an NF-FG: lan -> firewall -> wan (+return).
+  nffg::NfFg graph;
+  graph.id = "quickstart";
+  nffg::NfNode& fw = graph.add_nf("fw", "firewall");
+  fw.config["policy"] = "accept";
+  fw.config["rule.1"] = "drop,any,any,tcp,23";  // no telnet
+  graph.add_endpoint("lan", "eth0");
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("fw", 0));
+  graph.connect("r2", nffg::nf_port("fw", 1), nffg::endpoint_ref("wan"));
+  graph.connect("r3", nffg::endpoint_ref("wan"), nffg::nf_port("fw", 1));
+  graph.connect("r4", nffg::nf_port("fw", 0), nffg::endpoint_ref("lan"));
+
+  // 3. Deploy. The orchestrator validates, creates the graph LSI, decides
+  //    NNF-vs-VNF per function and installs the steering rules.
+  auto report = node.orchestrator().deploy(graph);
+  if (!report) {
+    std::printf("deploy failed: %s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("deployed '%s': %zu NF(s), %zu flow rules, ready in %.1f ms\n",
+              report->graph_id.c_str(), report->placements.size(),
+              report->flow_rules_installed,
+              static_cast<double>(report->ready_latency) / 1e6);
+  for (const core::NfPlacement& placement : report->placements) {
+    std::printf("  NF '%s' -> %s (%s)\n", placement.nf_id.c_str(),
+                std::string(virt::backend_name(placement.backend)).c_str(),
+                placement.reason.c_str());
+  }
+
+  // 4. Attach a sink to the WAN port and send one packet from the LAN.
+  int wan_rx = 0;
+  (void)node.set_egress("eth1", [&](packet::PacketBuffer&& frame) {
+    ++wan_rx;
+    std::printf("WAN egress: %zu-byte frame\n", frame.size());
+  });
+
+  packet::UdpFrameSpec spec;
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+  spec.ip_dst = *packet::Ipv4Address::parse("8.8.8.8");
+  spec.src_port = 40000;
+  spec.dst_port = 53;
+  static const std::vector<std::uint8_t> payload(64, 0x42);
+  spec.payload = payload;
+  (void)node.inject("eth0", packet::build_udp_frame(spec));
+
+  // 5. Run the simulated datapath until it drains.
+  node.simulator().run();
+  std::printf("packets delivered to WAN: %d\n", wan_rx);
+
+  // 6. Tear the service down again.
+  (void)node.orchestrator().remove("quickstart");
+  std::printf("graph removed; LSIs on node: %zu\n",
+              node.network().lsi_count());
+  return wan_rx == 1 ? 0 : 1;
+}

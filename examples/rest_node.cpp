@@ -1,0 +1,134 @@
+// REST-driven node: starts the orchestrator's REST server on loopback and
+// drives it the way an upper-layer (global) orchestrator would — deploy an
+// NF-FG with HTTP PUT, inspect the node, update a firewall rule, delete.
+//
+// Self-contained: the example is its own HTTP client.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/node.hpp"
+#include "rest/server.hpp"
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): example
+
+namespace {
+
+std::string http(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string reply;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string status_line(const std::string& reply) {
+  return reply.substr(0, reply.find("\r\n"));
+}
+
+constexpr const char* kGraph = R"({
+  "forwarding-graph": {
+    "id": "svc1",
+    "name": "customer firewall service",
+    "VNFs": [
+      {"id": "fw", "functional_type": "firewall", "ports": 2,
+       "config": {"policy": "accept"}}
+    ],
+    "end-points": [
+      {"id": "lan", "interface": "eth0"},
+      {"id": "wan", "interface": "eth1"}
+    ],
+    "flow-rules": [
+      {"id": "r1", "match": {"port_in": "endpoint:lan"},
+       "action": {"output": "vnf:fw:0"}},
+      {"id": "r2", "match": {"port_in": "vnf:fw:1"},
+       "action": {"output": "endpoint:wan"}},
+      {"id": "r3", "match": {"port_in": "endpoint:wan"},
+       "action": {"output": "vnf:fw:1"}},
+      {"id": "r4", "match": {"port_in": "vnf:fw:0"},
+       "action": {"output": "endpoint:lan"}}
+    ]
+  }
+})";
+
+}  // namespace
+
+int main() {
+  core::UniversalNode node;
+  rest::RestApi api(&node);
+  rest::HttpServer server(
+      [&api](const rest::HttpRequest& request) { return api.handle(request); });
+  if (!server.start(0).is_ok()) {
+    std::printf("failed to start REST server\n");
+    return 1;
+  }
+  std::printf("REST server on 127.0.0.1:%u\n\n", server.port());
+
+  // 1. Node description.
+  std::printf("> GET /node\n< %s\n\n",
+              status_line(http(server.port(),
+                               "GET /node HTTP/1.1\r\nHost: l\r\n\r\n"))
+                  .c_str());
+
+  // 2. Deploy the NF-FG.
+  const std::string body = kGraph;
+  const std::string put = "PUT /NF-FG/svc1 HTTP/1.1\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+  const std::string deploy_reply = http(server.port(), put);
+  std::printf("> PUT /NF-FG/svc1 (NF-FG JSON, %zu bytes)\n< %s\n", body.size(),
+              status_line(deploy_reply).c_str());
+  const auto json_start = deploy_reply.find("\r\n\r\n");
+  if (json_start != std::string::npos) {
+    auto doc = json::parse(deploy_reply.substr(json_start + 4));
+    if (doc.is_ok()) {
+      std::printf("  placement report:\n%s\n", doc->dump_pretty().c_str());
+    }
+  }
+
+  // 3. List and fetch.
+  std::printf("\n> GET /NF-FG\n< %s\n",
+              status_line(http(server.port(),
+                               "GET /NF-FG HTTP/1.1\r\nHost: l\r\n\r\n"))
+                  .c_str());
+
+  // 4. Update the firewall config at runtime (the "update" lifecycle op).
+  const std::string cfg = R"({"rule.1": "drop,any,any,tcp,23"})";
+  const std::string update =
+      "PUT /NF-FG/svc1/VNFs/fw/config HTTP/1.1\r\nContent-Length: " +
+      std::to_string(cfg.size()) + "\r\n\r\n" + cfg;
+  std::printf("> PUT /NF-FG/svc1/VNFs/fw/config\n< %s\n",
+              status_line(http(server.port(), update)).c_str());
+
+  // 5. Delete the service.
+  std::printf("> DELETE /NF-FG/svc1\n< %s\n",
+              status_line(http(server.port(),
+                               "DELETE /NF-FG/svc1 HTTP/1.1\r\nHost: l\r\n"
+                               "\r\n"))
+                  .c_str());
+
+  const bool deployed_then_deleted = !node.orchestrator().has_graph("svc1");
+  std::printf("\nrequests served: %llu; graph removed: %s\n",
+              static_cast<unsigned long long>(server.requests_served()),
+              deployed_then_deleted ? "yes" : "no");
+  server.stop();
+  return deployed_then_deleted ? 0 : 1;
+}

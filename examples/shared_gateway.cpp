@@ -1,0 +1,132 @@
+// Shared residential gateway: two customers' service graphs on one CPE
+// sharing a single native NAT instance — the paper's sharability mechanism
+// (marking + isolated internal paths) in action.
+//
+// Each customer gets a firewall (own policy) + the shared NAT. The example
+// prints the placement decisions (second NAT deployment reuses the running
+// instance), then pushes traffic for both customers and shows their flows
+// are translated with separate external IPs and tracked in separate
+// conntrack contexts.
+#include <cstdio>
+#include <vector>
+
+#include "core/node.hpp"
+#include "nffg/nffg.hpp"
+#include "packet/builder.hpp"
+#include "packet/flow_key.hpp"
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): example
+
+namespace {
+
+nffg::NfFg customer_graph(const std::string& id, const std::string& lan_if,
+                          const std::string& wan_if,
+                          const std::string& external_ip,
+                          const std::string& firewall_rule) {
+  nffg::NfFg graph;
+  graph.id = id;
+  nffg::NfNode& fw = graph.add_nf("fw", "firewall");
+  fw.config["policy"] = "accept";
+  if (!firewall_rule.empty()) fw.config["rule.1"] = firewall_rule;
+  graph.add_nf("nat", "nat").config["external_ip"] = external_ip;
+  graph.add_endpoint("lan", lan_if);
+  graph.add_endpoint("wan", wan_if);
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("fw", 0));
+  graph.connect("r2", nffg::nf_port("fw", 1), nffg::nf_port("nat", 0));
+  graph.connect("r3", nffg::nf_port("nat", 1), nffg::endpoint_ref("wan"));
+  graph.connect("r4", nffg::endpoint_ref("wan"), nffg::nf_port("nat", 1));
+  graph.connect("r5", nffg::nf_port("nat", 0), nffg::nf_port("fw", 1));
+  graph.connect("r6", nffg::nf_port("fw", 0), nffg::endpoint_ref("lan"));
+  return graph;
+}
+
+packet::PacketBuffer lan_packet(std::uint16_t dport) {
+  packet::UdpFrameSpec spec;
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+  spec.ip_dst = *packet::Ipv4Address::parse("8.8.8.8");
+  spec.src_port = 40000;
+  spec.dst_port = dport;
+  static const std::vector<std::uint8_t> payload(64, 0x11);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+std::string src_ip_of(const packet::PacketBuffer& frame) {
+  auto eth = packet::parse_ethernet(frame.data());
+  auto tuple =
+      packet::extract_five_tuple(frame.data().subspan(eth->wire_size()));
+  return tuple ? tuple->src_ip.to_string() : "?";
+}
+
+}  // namespace
+
+int main() {
+  core::UniversalNodeConfig config;
+  config.physical_ports = {"custA-lan", "custA-wan", "custB-lan",
+                           "custB-wan"};
+  core::UniversalNode node(config);
+
+  std::printf("=== Two customers sharing one CPE ===\n\n");
+  for (const auto& [id, lan, wan, ext, rule] :
+       std::vector<std::tuple<std::string, std::string, std::string,
+                              std::string, std::string>>{
+           {"custA", "custA-lan", "custA-wan", "203.0.113.1",
+            "drop,any,any,udp,23"},
+           {"custB", "custB-lan", "custB-wan", "203.0.113.2", ""}}) {
+    auto report = node.orchestrator().deploy(
+        customer_graph(id, lan, wan, ext, rule));
+    if (!report) {
+      std::printf("%s: deploy failed: %s\n", id.c_str(),
+                  report.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s deployed:\n", id.c_str());
+    for (const core::NfPlacement& placement : report->placements) {
+      std::printf("  %-4s -> %-7s shared=%d  (%s)\n",
+                  placement.nf_id.c_str(),
+                  std::string(virt::backend_name(placement.backend)).c_str(),
+                  placement.reused_shared_instance ? 1 : 0,
+                  placement.reason.c_str());
+    }
+  }
+
+  const nnf::NnfStatus* nat_status = node.catalog().status_of("nat");
+  std::printf("\nNAT catalog status: %zu instance(s) serving %zu graph(s); "
+              "%zu marks in use\n",
+              nat_status->running_instances, nat_status->graphs.size(),
+              node.marks().in_use());
+
+  // Traffic: both customers resolve DNS; customer A also tries telnet
+  // (blocked by A's firewall only).
+  std::vector<packet::PacketBuffer> wan_a;
+  std::vector<packet::PacketBuffer> wan_b;
+  (void)node.set_egress("custA-wan", [&](packet::PacketBuffer&& frame) {
+    wan_a.push_back(std::move(frame));
+  });
+  (void)node.set_egress("custB-wan", [&](packet::PacketBuffer&& frame) {
+    wan_b.push_back(std::move(frame));
+  });
+
+  (void)node.inject("custA-lan", lan_packet(53));
+  (void)node.inject("custA-lan", lan_packet(23));  // blocked by A's fw
+  (void)node.inject("custB-lan", lan_packet(53));
+  (void)node.inject("custB-lan", lan_packet(23));  // B has no such rule
+  node.simulator().run();
+
+  std::printf("\ncustomer A WAN egress: %zu packet(s)", wan_a.size());
+  for (const auto& frame : wan_a) {
+    std::printf("  [src %s]", src_ip_of(frame).c_str());
+  }
+  std::printf("\ncustomer B WAN egress: %zu packet(s)", wan_b.size());
+  for (const auto& frame : wan_b) {
+    std::printf("  [src %s]", src_ip_of(frame).c_str());
+  }
+  std::printf("\n\nExpected: A delivers 1 (telnet dropped) with src "
+              "203.0.113.1; B delivers 2\nwith src 203.0.113.2 — one shared "
+              "NAT process, fully isolated per graph.\n");
+
+  const bool ok = wan_a.size() == 1 && wan_b.size() == 2 &&
+                  src_ip_of(wan_a[0]) == "203.0.113.1" &&
+                  src_ip_of(wan_b[0]) == "203.0.113.2";
+  return ok ? 0 : 1;
+}

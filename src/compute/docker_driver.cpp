@@ -1,0 +1,6 @@
+#include "compute/docker_driver.hpp"
+
+// Behaviour entirely inherited from GenericVnfDriver; the container
+// specifics are the BackendKind::kDocker constants in src/virt.
+
+namespace nnfv::compute {}  // namespace nnfv::compute

@@ -1,0 +1,14 @@
+// Docker driver (Figure 1): containers sharing the host kernel.
+#pragma once
+
+#include "compute/generic_driver.hpp"
+
+namespace nnfv::compute {
+
+class DockerDriver final : public GenericVnfDriver {
+ public:
+  explicit DockerDriver(DriverEnv env)
+      : GenericVnfDriver(virt::BackendKind::kDocker, "docker", env) {}
+};
+
+}  // namespace nnfv::compute

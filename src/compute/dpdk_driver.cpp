@@ -1,0 +1,6 @@
+#include "compute/dpdk_driver.hpp"
+
+// Behaviour entirely inherited from GenericVnfDriver; the DPDK specifics
+// are the BackendKind::kDpdk constants in src/virt.
+
+namespace nnfv::compute {}  // namespace nnfv::compute

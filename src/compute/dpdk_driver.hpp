@@ -1,0 +1,14 @@
+// DPDK driver (Figure 1): user-space poll-mode processes.
+#pragma once
+
+#include "compute/generic_driver.hpp"
+
+namespace nnfv::compute {
+
+class DpdkDriver final : public GenericVnfDriver {
+ public:
+  explicit DpdkDriver(DriverEnv env)
+      : GenericVnfDriver(virt::BackendKind::kDpdk, "dpdk", env) {}
+};
+
+}  // namespace nnfv::compute

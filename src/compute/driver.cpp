@@ -1,0 +1,7 @@
+#include "compute/driver.hpp"
+
+// The abstract driver interface has no out-of-line members; this file
+// exists so the interface owns a translation unit (and future shared
+// helpers have a home).
+
+namespace nnfv::compute {}  // namespace nnfv::compute

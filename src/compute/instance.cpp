@@ -1,0 +1,89 @@
+#include "compute/instance.hpp"
+
+#include <memory>
+
+namespace nnfv::compute {
+
+std::string_view instance_state_name(InstanceState state) {
+  switch (state) {
+    case InstanceState::kCreated:
+      return "created";
+    case InstanceState::kRunning:
+      return "running";
+    case InstanceState::kStopped:
+      return "stopped";
+    case InstanceState::kDestroyed:
+      return "destroyed";
+  }
+  return "?";
+}
+
+NfInstance::NfInstance(InstanceId id, std::string name,
+                       std::unique_ptr<nnf::NetworkFunction> function,
+                       virt::CostModel cost, sim::Simulator& simulator,
+                       std::size_t queue_capacity)
+    : id_(id),
+      name_(std::move(name)),
+      function_(std::move(function)),
+      cost_(cost),
+      simulator_(simulator),
+      station_(simulator, queue_capacity) {}
+
+void NfInstance::set_egress(nnf::ContextId ctx, Egress egress) {
+  egress_[ctx] = std::move(egress);
+}
+
+void NfInstance::clear_egress(nnf::ContextId ctx) { egress_.erase(ctx); }
+
+void NfInstance::inject(nnf::ContextId ctx, nnf::NfPortIndex port,
+                        packet::PacketBuffer&& frame) {
+  if (state_ != InstanceState::kRunning) {
+    ++dropped_not_running_;
+    return;
+  }
+  const std::size_t bytes = frame.size();
+  // std::function requires copyable callables; stash the frame in a
+  // shared_ptr to move it through the queue.
+  auto held = std::make_shared<packet::PacketBuffer>(std::move(frame));
+  station_.submit(cost_.service_time(bytes), [this, ctx, port, held]() {
+    auto outputs =
+        function_->process(ctx, port, simulator_.now(), std::move(*held));
+    auto egress = egress_.find(ctx);
+    if (egress == egress_.end()) return;
+    for (nnf::NfOutput& output : outputs) {
+      egress->second(output.port, std::move(output.frame));
+    }
+  });
+}
+
+void NfInstance::inject_custom(std::size_t bytes,
+                               std::function<void()> handler) {
+  if (state_ != InstanceState::kRunning) {
+    ++dropped_not_running_;
+    return;
+  }
+  station_.submit(cost_.service_time(bytes), std::move(handler));
+}
+
+util::Status NfInstance::start() {
+  if (state_ == InstanceState::kDestroyed) {
+    return util::failed_precondition("instance destroyed");
+  }
+  state_ = InstanceState::kRunning;
+  return util::Status::ok();
+}
+
+util::Status NfInstance::stop() {
+  if (state_ != InstanceState::kRunning) {
+    return util::failed_precondition("instance not running");
+  }
+  state_ = InstanceState::kStopped;
+  return util::Status::ok();
+}
+
+util::Status NfInstance::destroy() {
+  state_ = InstanceState::kDestroyed;
+  return util::Status::ok();
+}
+
+}  // namespace nnfv::compute

@@ -1,0 +1,75 @@
+#include "compute/manager.hpp"
+
+namespace nnfv::compute {
+
+using util::Result;
+using util::Status;
+
+Status ComputeManager::register_driver(std::unique_ptr<ComputeDriver> driver) {
+  if (driver == nullptr) return util::invalid_argument("null driver");
+  const virt::BackendKind kind = driver->kind();
+  if (drivers_.contains(kind)) {
+    return util::already_exists("driver for backend '" +
+                                std::string(virt::backend_name(kind)) + "'");
+  }
+  drivers_[kind] = std::move(driver);
+  return Status::ok();
+}
+
+bool ComputeManager::has_driver(virt::BackendKind kind) const {
+  return drivers_.contains(kind);
+}
+
+Result<ComputeDriver*> ComputeManager::driver(virt::BackendKind kind) const {
+  auto it = drivers_.find(kind);
+  if (it == drivers_.end()) {
+    return util::unavailable("no driver for backend '" +
+                             std::string(virt::backend_name(kind)) + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<virt::BackendKind> ComputeManager::backends() const {
+  std::vector<virt::BackendKind> out;
+  out.reserve(drivers_.size());
+  for (const auto& [kind, driver] : drivers_) out.push_back(kind);
+  return out;
+}
+
+Result<DeployedNf> ComputeManager::deploy(virt::BackendKind backend,
+                                          const NfDeploySpec& spec,
+                                          nfswitch::Lsi& lsi) {
+  auto drv = driver(backend);
+  if (!drv) return drv.status();
+  auto deployed = drv.value()->deploy(spec, lsi);
+  if (!deployed) return deployed;
+  dispatch_counts_[backend] += 1;
+  deployments_[key_of(deployed.value())] = deployed.value();
+  return deployed;
+}
+
+Status ComputeManager::update(const DeployedNf& deployed,
+                              const nnf::NfConfig& config) {
+  auto drv = driver(deployed.backend);
+  if (!drv) return drv.status();
+  return drv.value()->update(deployed, config);
+}
+
+Status ComputeManager::undeploy(const DeployedNf& deployed) {
+  auto drv = driver(deployed.backend);
+  if (!drv) return drv.status();
+  NNFV_RETURN_IF_ERROR(drv.value()->undeploy(deployed));
+  deployments_.erase(key_of(deployed));
+  return Status::ok();
+}
+
+std::vector<DeployedNf> ComputeManager::deployments_of(
+    const std::string& graph_id) const {
+  std::vector<DeployedNf> out;
+  for (const auto& [key, deployed] : deployments_) {
+    if (deployed.graph_id == graph_id) out.push_back(deployed);
+  }
+  return out;
+}
+
+}  // namespace nnfv::compute

@@ -1,0 +1,55 @@
+// ComputeManager: Figure 1's "Compute manager" box — owns the management
+// drivers and dispatches deployment requests to the driver matching the
+// backend the scheduler chose.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "compute/driver.hpp"
+
+namespace nnfv::compute {
+
+class ComputeManager {
+ public:
+  util::Status register_driver(std::unique_ptr<ComputeDriver> driver);
+
+  [[nodiscard]] bool has_driver(virt::BackendKind kind) const;
+  [[nodiscard]] util::Result<ComputeDriver*> driver(
+      virt::BackendKind kind) const;
+  [[nodiscard]] std::vector<virt::BackendKind> backends() const;
+
+  /// Deploys via the driver for `backend`; records the deployment.
+  util::Result<DeployedNf> deploy(virt::BackendKind backend,
+                                  const NfDeploySpec& spec,
+                                  nfswitch::Lsi& lsi);
+
+  util::Status update(const DeployedNf& deployed, const nnf::NfConfig& config);
+
+  util::Status undeploy(const DeployedNf& deployed);
+
+  /// Deployments of one graph (teardown, status reporting).
+  [[nodiscard]] std::vector<DeployedNf> deployments_of(
+      const std::string& graph_id) const;
+  [[nodiscard]] std::size_t total_deployments() const {
+    return deployments_.size();
+  }
+
+  /// Per-driver deployment counters (the Figure 1 bench reports these).
+  [[nodiscard]] std::map<virt::BackendKind, std::uint64_t> dispatch_counts()
+      const {
+    return dispatch_counts_;
+  }
+
+ private:
+  static std::string key_of(const DeployedNf& deployed) {
+    return deployed.graph_id + "/" + deployed.nf_id;
+  }
+
+  std::map<virt::BackendKind, std::unique_ptr<ComputeDriver>> drivers_;
+  std::map<std::string, DeployedNf> deployments_;
+  std::map<virt::BackendKind, std::uint64_t> dispatch_counts_;
+};
+
+}  // namespace nnfv::compute

@@ -1,0 +1,96 @@
+#include "compute/templates.hpp"
+
+#include "nnf/bridge.hpp"
+#include "nnf/firewall.hpp"
+#include "nnf/ipsec.hpp"
+#include "nnf/nat.hpp"
+
+namespace nnfv::compute {
+
+util::Status VnfTemplateRegistry::register_template(VnfTemplate tmpl) {
+  if (tmpl.functional_type.empty()) {
+    return util::invalid_argument("template with empty functional type");
+  }
+  if (!tmpl.factory) {
+    return util::invalid_argument("template '" + tmpl.functional_type +
+                                  "' has no factory");
+  }
+  if (templates_.contains(tmpl.functional_type)) {
+    return util::already_exists("template '" + tmpl.functional_type + "'");
+  }
+  templates_[tmpl.functional_type] = std::move(tmpl);
+  return util::Status::ok();
+}
+
+bool VnfTemplateRegistry::has(const std::string& functional_type) const {
+  return templates_.contains(functional_type);
+}
+
+util::Result<VnfTemplate> VnfTemplateRegistry::find(
+    const std::string& functional_type) const {
+  auto it = templates_.find(functional_type);
+  if (it == templates_.end()) {
+    return util::not_found("VNF template '" + functional_type + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> VnfTemplateRegistry::types() const {
+  std::vector<std::string> out;
+  out.reserve(templates_.size());
+  for (const auto& [type, tmpl] : templates_) out.push_back(type);
+  return out;
+}
+
+VnfTemplateRegistry VnfTemplateRegistry::with_builtin_templates() {
+  VnfTemplateRegistry registry;
+
+  VnfTemplate bridge;
+  bridge.functional_type = "bridge";
+  bridge.factory = []() {
+    return util::Result<std::unique_ptr<nnf::NetworkFunction>>(
+        std::make_unique<nnf::Bridge>());
+  };
+  bridge.compute = virt::profile_forwarding();
+  bridge.memory = {2 * virt::kMiB, 64, 256 * 1024};
+  bridge.package_bytes = 300 * 1024;
+  (void)registry.register_template(std::move(bridge));
+
+  VnfTemplate firewall;
+  firewall.functional_type = "firewall";
+  firewall.factory = []() {
+    return util::Result<std::unique_ptr<nnf::NetworkFunction>>(
+        std::make_unique<nnf::Firewall>());
+  };
+  firewall.compute = virt::profile_forwarding();
+  firewall.memory = {4 * virt::kMiB, 128, 256 * 1024};
+  firewall.package_bytes = 1200 * 1024;
+  (void)registry.register_template(std::move(firewall));
+
+  VnfTemplate nat;
+  nat.functional_type = "nat";
+  nat.factory = []() {
+    return util::Result<std::unique_ptr<nnf::NetworkFunction>>(
+        std::make_unique<nnf::Nat>());
+  };
+  nat.compute = virt::profile_nat();
+  nat.memory = {6 * virt::kMiB, 256, 256 * 1024};
+  nat.package_bytes = 1200 * 1024;
+  (void)registry.register_template(std::move(nat));
+
+  VnfTemplate ipsec;
+  ipsec.functional_type = "ipsec";
+  ipsec.factory = []() {
+    return util::Result<std::unique_ptr<nnf::NetworkFunction>>(
+        std::make_unique<nnf::IpsecEndpoint>());
+  };
+  ipsec.compute = virt::profile_ipsec_esp();
+  // 19.4 MB working set (Table 1's native RAM column is exactly this).
+  ipsec.memory = {19 * virt::kMiB + 400 * virt::kKiB, 512, 700 * 1024};
+  ipsec.package_bytes = 5 * virt::kMiB;
+  (void)registry.register_template(std::move(ipsec));
+
+  return registry;
+}
+
+}  // namespace nnfv::compute

@@ -1,0 +1,49 @@
+// VnfTemplateRegistry: the software content of VNF images.
+//
+// A VM/Docker/DPDK image in the VNF repository wraps the same functional
+// code paths as the native functions (the paper's premise). A template
+// binds a functional type to a function factory plus its compute/memory
+// profiles, so the generic drivers can instantiate the logic while the
+// backend supplies the wrapping costs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nnf/network_function.hpp"
+#include "util/status.hpp"
+#include "virt/cost_model.hpp"
+#include "virt/ram_model.hpp"
+
+namespace nnfv::compute {
+
+struct VnfTemplate {
+  std::string functional_type;
+  std::function<util::Result<std::unique_ptr<nnf::NetworkFunction>>()>
+      factory;
+  virt::NfComputeProfile compute;
+  virt::NfMemoryProfile memory;
+  std::uint64_t package_bytes = 0;  ///< NF package size inside the image
+  std::uint32_t num_ports = 2;
+};
+
+class VnfTemplateRegistry {
+ public:
+  util::Status register_template(VnfTemplate tmpl);
+  [[nodiscard]] bool has(const std::string& functional_type) const;
+  [[nodiscard]] util::Result<VnfTemplate> find(
+      const std::string& functional_type) const;
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// Templates for the built-in functions (bridge/firewall/nat/ipsec),
+  /// mirroring nnf::NnfCatalog::with_builtin_plugins().
+  static VnfTemplateRegistry with_builtin_templates();
+
+ private:
+  std::map<std::string, VnfTemplate> templates_;
+};
+
+}  // namespace nnfv::compute

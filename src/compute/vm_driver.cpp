@@ -1,0 +1,6 @@
+#include "compute/vm_driver.hpp"
+
+// Behaviour entirely inherited from GenericVnfDriver; the VM specifics are
+// the BackendKind::kVm cost/RAM/image constants in src/virt.
+
+namespace nnfv::compute {}  // namespace nnfv::compute

@@ -1,0 +1,14 @@
+// VM driver ("libvirt" box in Figure 1): full KVM/QEMU virtual machines.
+#pragma once
+
+#include "compute/generic_driver.hpp"
+
+namespace nnfv::compute {
+
+class VmDriver final : public GenericVnfDriver {
+ public:
+  explicit VmDriver(DriverEnv env)
+      : GenericVnfDriver(virt::BackendKind::kVm, "libvirt", env) {}
+};
+
+}  // namespace nnfv::compute

@@ -1,0 +1,111 @@
+#include "core/node.hpp"
+
+#include "compute/docker_driver.hpp"
+#include "compute/dpdk_driver.hpp"
+#include "compute/native_driver.hpp"
+#include "compute/vm_driver.hpp"
+#include "nnf/translator.hpp"
+
+namespace nnfv::core {
+
+UniversalNode::UniversalNode(UniversalNodeConfig config)
+    : catalog_(config.builtin_nnf_plugins
+                   ? (config.generic_config_translation
+                          ? nnf::translating_builtin_catalog()
+                          : nnf::NnfCatalog::with_builtin_plugins())
+                   : nnf::NnfCatalog{}),
+      resources_(config.capacity),
+      repository_(config.builtin_vnf_repository
+                      ? VnfRepository::with_builtins()
+                      : VnfRepository{}),
+      resolver_(&repository_, &catalog_),
+      scheduler_(make_policy(config.placement_policy)) {
+  for (const std::string& port : config.physical_ports) {
+    (void)network_.add_physical_port(port);
+  }
+
+  compute::DriverEnv generic_env;
+  generic_env.simulator = &simulator_;
+  generic_env.templates = &repository_.templates();
+  generic_env.images = &repository_.images();
+  generic_env.disk = &resources_.disk();
+  generic_env.ram = &resources_.ram();
+
+  compute::NativeDriverEnv native_env;
+  native_env.simulator = &simulator_;
+  native_env.catalog = &catalog_;
+  native_env.netns = &netns_;
+  native_env.marks = &marks_;
+  native_env.ram = &resources_.ram();
+
+  for (virt::BackendKind kind : config.backends) {
+    switch (kind) {
+      case virt::BackendKind::kNative:
+        (void)compute_.register_driver(
+            std::make_unique<compute::NativeDriver>(native_env));
+        break;
+      case virt::BackendKind::kDocker:
+        (void)compute_.register_driver(
+            std::make_unique<compute::DockerDriver>(generic_env));
+        break;
+      case virt::BackendKind::kDpdk:
+        (void)compute_.register_driver(
+            std::make_unique<compute::DpdkDriver>(generic_env));
+        break;
+      case virt::BackendKind::kVm:
+        (void)compute_.register_driver(
+            std::make_unique<compute::VmDriver>(generic_env));
+        break;
+    }
+  }
+  resources_.set_backends(compute_.backends());
+
+  orchestrator_ = std::make_unique<LocalOrchestrator>(
+      &compute_, &network_, &resolver_, &scheduler_, &resources_);
+}
+
+util::Status UniversalNode::inject(const std::string& port,
+                                   packet::PacketBuffer&& frame) {
+  return network_.inject(port, std::move(frame));
+}
+
+util::Status UniversalNode::set_egress(const std::string& port,
+                                       nfswitch::Lsi::PortPeer peer) {
+  return network_.set_physical_egress(port, std::move(peer));
+}
+
+json::Value UniversalNode::describe() const {
+  json::Value doc = resources_.describe();
+  json::Object& obj = doc.as_object();
+
+  json::Array nnfs;
+  for (const std::string& type : catalog_.types()) {
+    json::Object entry;
+    entry["functional_type"] = type;
+    auto plugin = catalog_.plugin(type);
+    if (plugin) {
+      const nnf::NnfDescriptor& desc = plugin.value()->descriptor();
+      entry["sharable"] = desc.sharable;
+      entry["single_interface"] = desc.single_interface;
+      entry["max_instances"] = static_cast<double>(desc.max_instances);
+    }
+    const nnf::NnfStatus* status = catalog_.status_of(type);
+    if (status != nullptr) {
+      entry["running_instances"] =
+          static_cast<double>(status->running_instances);
+      entry["serving_graphs"] = static_cast<double>(status->graphs.size());
+    }
+    nnfs.push_back(std::move(entry));
+  }
+  obj["native_functions"] = std::move(nnfs);
+
+  json::Array images;
+  for (const std::string& name : repository_.images().names()) {
+    images.push_back(name);
+  }
+  obj["images"] = std::move(images);
+  obj["lsi_count"] = static_cast<double>(network_.lsi_count());
+  return doc;
+}
+
+}  // namespace nnfv::core

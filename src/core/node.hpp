@@ -1,0 +1,86 @@
+// UniversalNode: the fully assembled NFV compute node of Figure 1 — one
+// object wiring simulator, namespaces, NNF catalog, repository, resource
+// ledgers, the four management drivers, the network manager and the local
+// orchestrator. This is the main entry point of the library.
+//
+//   core::UniversalNode node(core::UniversalNodeConfig{});
+//   auto report = node.orchestrator().deploy(graph);
+//   node.inject("eth0", std::move(frame));
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/manager.hpp"
+#include "core/network_manager.hpp"
+#include "core/orchestrator.hpp"
+#include "core/repository.hpp"
+#include "core/resolver.hpp"
+#include "core/resource_manager.hpp"
+#include "core/scheduler.hpp"
+#include "netns/netns.hpp"
+#include "nnf/catalog.hpp"
+#include "nnf/marking.hpp"
+#include "sim/simulator.hpp"
+
+namespace nnfv::core {
+
+struct UniversalNodeConfig {
+  NodeCapacity capacity;
+  std::vector<std::string> physical_ports = {"eth0", "eth1"};
+  /// Backends to register drivers for; default all four of Figure 1.
+  std::vector<virt::BackendKind> backends = {
+      virt::BackendKind::kNative, virt::BackendKind::kDocker,
+      virt::BackendKind::kDpdk, virt::BackendKind::kVm};
+  bool builtin_nnf_plugins = true;   ///< load the CPE's native functions
+  bool builtin_vnf_repository = true;
+  /// Wrap NNF plugins in the generic-config translator and add the DHCP
+  /// server (the paper's future-work configuration mechanism; see
+  /// nnf/translator.hpp).
+  bool generic_config_translation = false;
+  /// Placement policy the scheduler uses (see core/scheduler.hpp).
+  PlacementPolicyKind placement_policy = PlacementPolicyKind::kDefault;
+};
+
+class UniversalNode {
+ public:
+  explicit UniversalNode(UniversalNodeConfig config = {});
+
+  // Non-copyable/movable: components hold pointers into each other.
+  UniversalNode(const UniversalNode&) = delete;
+  UniversalNode& operator=(const UniversalNode&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  LocalOrchestrator& orchestrator() { return *orchestrator_; }
+  NetworkManager& network() { return network_; }
+  compute::ComputeManager& compute() { return compute_; }
+  nnf::NnfCatalog& catalog() { return catalog_; }
+  netns::NamespaceRegistry& namespaces() { return netns_; }
+  nnf::MarkAllocator& marks() { return marks_; }
+  ResourceManager& resources() { return resources_; }
+  VnfRepository& repository() { return repository_; }
+
+  /// External-world helpers (traffic sources/sinks attach here).
+  util::Status inject(const std::string& port, packet::PacketBuffer&& frame);
+  util::Status set_egress(const std::string& port,
+                          nfswitch::Lsi::PortPeer peer);
+
+  /// Node description JSON (REST: GET /node).
+  [[nodiscard]] json::Value describe() const;
+
+ private:
+  sim::Simulator simulator_;
+  netns::NamespaceRegistry netns_;
+  nnf::NnfCatalog catalog_;
+  nnf::MarkAllocator marks_;
+  ResourceManager resources_;
+  VnfRepository repository_;
+  NetworkManager network_;
+  compute::ComputeManager compute_;
+  VnfResolver resolver_;
+  VnfScheduler scheduler_;
+  std::unique_ptr<LocalOrchestrator> orchestrator_;
+};
+
+}  // namespace nnfv::core

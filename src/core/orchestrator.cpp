@@ -1,0 +1,204 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+
+#include "nffg/validate.hpp"
+#include "util/logging.hpp"
+
+namespace nnfv::core {
+
+using util::Result;
+using util::Status;
+
+LocalOrchestrator::LocalOrchestrator(compute::ComputeManager* compute,
+                                     NetworkManager* network,
+                                     VnfResolver* resolver,
+                                     VnfScheduler* scheduler,
+                                     ResourceManager* resources)
+    : compute_(compute),
+      network_(network),
+      resolver_(resolver),
+      scheduler_(scheduler),
+      resources_(resources) {}
+
+Result<DeploymentReport> LocalOrchestrator::deploy(const nffg::NfFg& graph) {
+  DeploymentReport report;
+  report.graph_id = graph.id;
+
+  NNFV_RETURN_IF_ERROR(nffg::validate(graph, &report.warnings));
+  if (graphs_.contains(graph.id)) {
+    return util::already_exists("graph '" + graph.id + "'");
+  }
+
+  // 1. Per-graph LSI.
+  auto lsi = network_->create_graph_lsi(graph.id);
+  if (!lsi) return lsi.status();
+
+  GraphRecord record;
+  record.graph = graph;
+  record.cookie = TrafficSteering::cookie_for(graph.id);
+
+  auto rollback = [&]() {
+    TrafficSteering::remove(*network_, record.cookie);
+    for (const compute::DeployedNf& deployed : record.deployments) {
+      (void)compute_->undeploy(deployed);
+    }
+    (void)network_->destroy_graph_lsi(graph.id);
+  };
+
+  // 2. Virtual link per endpoint.
+  for (const nffg::Endpoint& ep : graph.endpoints) {
+    // Endpoints must reference existing physical ports.
+    auto phys = network_->physical_port(ep.interface);
+    if (!phys) {
+      rollback();
+      return Status(util::ErrorCode::kInvalidArgument,
+                    "endpoint '" + ep.id + "': no physical port '" +
+                        ep.interface + "' on this node");
+    }
+    auto link = network_->create_virtual_link(graph.id, ep.id);
+    if (!link) {
+      rollback();
+      return link.status();
+    }
+    record.ports.endpoints[ep.id] = link.value();
+  }
+
+  // 3. Place every NF: resolver -> scheduler -> first driver that accepts.
+  for (const nffg::NfNode& nf : graph.nfs) {
+    std::vector<NfImplementation> candidates =
+        resolver_->resolve(nf.functional_type, *compute_);
+    std::vector<PlacementChoice> ranked = scheduler_->schedule(nf, candidates);
+    if (ranked.empty()) {
+      rollback();
+      return util::unavailable(
+          "no deployable implementation for NF '" + nf.id + "' (type '" +
+          nf.functional_type + "'" +
+          (nf.backend_hint.has_value()
+               ? ", hint " + std::string(virt::backend_name(*nf.backend_hint))
+               : "") +
+          ")");
+    }
+
+    compute::NfDeploySpec spec;
+    spec.graph_id = graph.id;
+    spec.nf_id = nf.id;
+    spec.functional_type = nf.functional_type;
+    spec.num_ports = nf.num_ports;
+    spec.config = nf.config;
+
+    bool placed = false;
+    Status last_error;
+    for (const PlacementChoice& choice : ranked) {
+      spec.image = choice.impl.image;
+      auto deployed =
+          compute_->deploy(choice.impl.backend, spec, *lsi.value());
+      if (!deployed) {
+        last_error = deployed.status();
+        NNFV_LOG(kDebug, "orchestrator")
+            << "candidate " << virt::backend_name(choice.impl.backend)
+            << " failed for " << nf.id << ": " << last_error.to_string();
+        continue;
+      }
+      record.deployments.push_back(deployed.value());
+      for (std::uint32_t p = 0; p < deployed->ports.size(); ++p) {
+        record.ports.nf_ports[{nf.id, p}] = deployed->ports[p].lsi_port;
+      }
+      NfPlacement placement;
+      placement.nf_id = nf.id;
+      placement.functional_type = nf.functional_type;
+      placement.backend = deployed->backend;
+      placement.reused_shared_instance = deployed->reused_shared_instance;
+      placement.reason = choice.reason;
+      placement.ram_bytes = deployed->ram_bytes;
+      placement.image_bytes = deployed->image_bytes;
+      placement.boot_time = deployed->boot_time;
+      report.placements.push_back(std::move(placement));
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      rollback();
+      if (last_error.is_ok()) {
+        last_error = util::unavailable("no candidate accepted NF '" + nf.id +
+                                       "'");
+      }
+      return last_error;
+    }
+  }
+
+  // 4. Steering rules.
+  auto installed = TrafficSteering::install(graph, *network_, record.ports,
+                                            record.cookie);
+  if (!installed) {
+    rollback();
+    return installed.status();
+  }
+  report.flow_rules_installed = installed.value();
+  for (const NfPlacement& placement : report.placements) {
+    report.ready_latency = std::max(report.ready_latency,
+                                    placement.boot_time);
+  }
+
+  record.report = report;
+  graphs_[graph.id] = std::move(record);
+  NNFV_LOG(kInfo, "orchestrator")
+      << "deployed graph '" << graph.id << "' (" << report.placements.size()
+      << " NFs, " << report.flow_rules_installed << " flow rules)";
+  return report;
+}
+
+Status LocalOrchestrator::remove(const std::string& graph_id) {
+  auto it = graphs_.find(graph_id);
+  if (it == graphs_.end()) {
+    return util::not_found("graph '" + graph_id + "'");
+  }
+  GraphRecord& record = it->second;
+  TrafficSteering::remove(*network_, record.cookie);
+  Status first_error;
+  for (const compute::DeployedNf& deployed : record.deployments) {
+    Status status = compute_->undeploy(deployed);
+    if (!status.is_ok() && first_error.is_ok()) first_error = status;
+  }
+  (void)network_->destroy_graph_lsi(graph_id);
+  graphs_.erase(it);
+  NNFV_LOG(kInfo, "orchestrator") << "removed graph '" << graph_id << "'";
+  return first_error;
+}
+
+Status LocalOrchestrator::update_nf(const std::string& graph_id,
+                                    const std::string& nf_id,
+                                    const nnf::NfConfig& config) {
+  auto it = graphs_.find(graph_id);
+  if (it == graphs_.end()) {
+    return util::not_found("graph '" + graph_id + "'");
+  }
+  for (const compute::DeployedNf& deployed : it->second.deployments) {
+    if (deployed.nf_id == nf_id) {
+      return compute_->update(deployed, config);
+    }
+  }
+  return util::not_found("NF '" + nf_id + "' in graph '" + graph_id + "'");
+}
+
+bool LocalOrchestrator::has_graph(const std::string& graph_id) const {
+  return graphs_.contains(graph_id);
+}
+
+Result<const GraphRecord*> LocalOrchestrator::graph(
+    const std::string& graph_id) const {
+  auto it = graphs_.find(graph_id);
+  if (it == graphs_.end()) {
+    return util::not_found("graph '" + graph_id + "'");
+  }
+  return static_cast<const GraphRecord*>(&it->second);
+}
+
+std::vector<std::string> LocalOrchestrator::graph_ids() const {
+  std::vector<std::string> out;
+  out.reserve(graphs_.size());
+  for (const auto& [id, record] : graphs_) out.push_back(id);
+  return out;
+}
+
+}  // namespace nnfv::core

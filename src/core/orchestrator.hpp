@@ -1,0 +1,84 @@
+// LocalOrchestrator: the top of Figure 1 — receives NF-FGs, decides NNF vs
+// VNF per function, instantiates through the compute manager, builds the
+// per-graph LSI and installs steering rules.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compute/manager.hpp"
+#include "core/network_manager.hpp"
+#include "core/resolver.hpp"
+#include "core/resource_manager.hpp"
+#include "core/scheduler.hpp"
+#include "core/steering.hpp"
+#include "nffg/nffg.hpp"
+
+namespace nnfv::core {
+
+/// One NF's placement outcome inside a deployment report.
+struct NfPlacement {
+  std::string nf_id;
+  std::string functional_type;
+  virt::BackendKind backend = virt::BackendKind::kVm;
+  bool reused_shared_instance = false;
+  std::string reason;
+  std::uint64_t ram_bytes = 0;
+  std::uint64_t image_bytes = 0;
+  sim::SimTime boot_time = 0;
+};
+
+struct DeploymentReport {
+  std::string graph_id;
+  std::vector<NfPlacement> placements;
+  std::size_t flow_rules_installed = 0;
+  /// Graph-ready latency: NFs boot in parallel, so the slowest dominates.
+  sim::SimTime ready_latency = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Everything the orchestrator kept about one deployed graph.
+struct GraphRecord {
+  nffg::NfFg graph;
+  std::vector<compute::DeployedNf> deployments;
+  GraphPorts ports;
+  nfswitch::Cookie cookie = 0;
+  DeploymentReport report;
+};
+
+class LocalOrchestrator {
+ public:
+  LocalOrchestrator(compute::ComputeManager* compute,
+                    NetworkManager* network, VnfResolver* resolver,
+                    VnfScheduler* scheduler, ResourceManager* resources);
+
+  /// Deploys a graph: validate -> LSI -> links -> place NFs -> steer.
+  /// All-or-nothing; failures roll back every partial step.
+  util::Result<DeploymentReport> deploy(const nffg::NfFg& graph);
+
+  /// Removes a graph and all its state.
+  util::Status remove(const std::string& graph_id);
+
+  /// Re-configures one NF of a deployed graph (the "update" lifecycle op).
+  util::Status update_nf(const std::string& graph_id,
+                         const std::string& nf_id,
+                         const nnf::NfConfig& config);
+
+  [[nodiscard]] bool has_graph(const std::string& graph_id) const;
+  [[nodiscard]] util::Result<const GraphRecord*> graph(
+      const std::string& graph_id) const;
+  [[nodiscard]] std::vector<std::string> graph_ids() const;
+  [[nodiscard]] std::size_t graph_count() const { return graphs_.size(); }
+
+ private:
+  compute::ComputeManager* compute_;
+  NetworkManager* network_;
+  VnfResolver* resolver_;
+  VnfScheduler* scheduler_;
+  ResourceManager* resources_;
+  std::map<std::string, GraphRecord> graphs_;
+};
+
+}  // namespace nnfv::core

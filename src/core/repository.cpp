@@ -1,0 +1,44 @@
+#include "core/repository.hpp"
+
+namespace nnfv::core {
+
+using util::Result;
+using util::Status;
+
+Status VnfRepository::add_nf(compute::VnfTemplate tmpl) {
+  const std::string type = tmpl.functional_type;
+  const std::uint64_t package = tmpl.package_bytes;
+  NNFV_RETURN_IF_ERROR(templates_.register_template(std::move(tmpl)));
+
+  virt::FlavorImages flavors = virt::make_flavor_images(type, package);
+  NNFV_RETURN_IF_ERROR(images_.register_image(flavors.native));
+  NNFV_RETURN_IF_ERROR(images_.register_image(flavors.docker));
+  NNFV_RETURN_IF_ERROR(images_.register_image(flavors.vm));
+
+  // DPDK flavor: container-like packaging (app + DPDK libraries).
+  virt::Image dpdk;
+  dpdk.name = type + ":dpdk";
+  dpdk.kind = virt::BackendKind::kDpdk;
+  dpdk.layers = {{"dpdk-runtime", 90 * virt::kMiB}, {type + "-pkg", package}};
+  NNFV_RETURN_IF_ERROR(images_.register_image(std::move(dpdk)));
+  return Status::ok();
+}
+
+Result<virt::Image> VnfRepository::image_for(
+    const std::string& functional_type, virt::BackendKind backend) const {
+  return images_.find(functional_type + ":" +
+                      std::string(virt::backend_name(backend)));
+}
+
+VnfRepository VnfRepository::with_builtins() {
+  VnfRepository repo;
+  compute::VnfTemplateRegistry builtins =
+      compute::VnfTemplateRegistry::with_builtin_templates();
+  for (const std::string& type : builtins.types()) {
+    auto tmpl = builtins.find(type);
+    if (tmpl) (void)repo.add_nf(std::move(tmpl.value()));
+  }
+  return repo;
+}
+
+}  // namespace nnfv::core

@@ -1,0 +1,37 @@
+// VnfRepository (Figure 1's "VNF repository"): what can run on this node —
+// the VNF templates (software content) and the per-backend images built
+// from them.
+#pragma once
+
+#include <string>
+
+#include "compute/templates.hpp"
+#include "util/status.hpp"
+#include "virt/image_store.hpp"
+
+namespace nnfv::core {
+
+class VnfRepository {
+ public:
+  /// Registers a template and builds its three flavor images
+  /// (<type>:native / <type>:docker / <type>:vm). DPDK functions reuse the
+  /// docker-sized image ("<type>:dpdk", container-packaged DPDK app).
+  util::Status add_nf(compute::VnfTemplate tmpl);
+
+  [[nodiscard]] const compute::VnfTemplateRegistry& templates() const {
+    return templates_;
+  }
+  [[nodiscard]] const virt::ImageStore& images() const { return images_; }
+
+  [[nodiscard]] util::Result<virt::Image> image_for(
+      const std::string& functional_type, virt::BackendKind backend) const;
+
+  /// Repository preloaded with the built-in functions.
+  static VnfRepository with_builtins();
+
+ private:
+  compute::VnfTemplateRegistry templates_;
+  virt::ImageStore images_;
+};
+
+}  // namespace nnfv::core

@@ -1,0 +1,49 @@
+#include "core/resolver.hpp"
+
+namespace nnfv::core {
+
+std::vector<NfImplementation> VnfResolver::resolve(
+    const std::string& functional_type,
+    const compute::ComputeManager& manager) const {
+  std::vector<NfImplementation> out;
+
+  // Native candidate: plugin present and either a live sharable instance
+  // or room for a new one.
+  if (catalog_ != nullptr && manager.has_driver(virt::BackendKind::kNative) &&
+      catalog_->has(functional_type)) {
+    const bool share = catalog_->can_share(functional_type);
+    if (share || catalog_->can_instantiate(functional_type)) {
+      auto plugin = catalog_->plugin(functional_type);
+      NfImplementation impl;
+      impl.backend = virt::BackendKind::kNative;
+      impl.image_bytes = plugin.value()->descriptor().package_bytes;
+      impl.shares_running_instance = share;
+      impl.ram_estimate =
+          share ? plugin.value()->descriptor().memory.per_context_bytes
+                : virt::instance_ram(virt::BackendKind::kNative,
+                                     plugin.value()->descriptor().memory);
+      out.push_back(impl);
+    }
+  }
+
+  // Generic backends: template + flavor image + registered driver.
+  if (repository_ != nullptr && repository_->templates().has(functional_type)) {
+    auto tmpl = repository_->templates().find(functional_type);
+    for (virt::BackendKind kind :
+         {virt::BackendKind::kDocker, virt::BackendKind::kDpdk,
+          virt::BackendKind::kVm}) {
+      if (!manager.has_driver(kind)) continue;
+      auto image = repository_->image_for(functional_type, kind);
+      if (!image) continue;
+      NfImplementation impl;
+      impl.backend = kind;
+      impl.image = image->name;
+      impl.image_bytes = image->total_size();
+      impl.ram_estimate = virt::instance_ram(kind, tmpl->memory);
+      out.push_back(impl);
+    }
+  }
+  return out;
+}
+
+}  // namespace nnfv::core

@@ -1,0 +1,40 @@
+// VnfResolver (Figure 1's "VNF resolver"): maps a functional type to the
+// concrete implementations this node can deploy right now — one candidate
+// per viable backend, with its image and resource estimate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compute/manager.hpp"
+#include "core/repository.hpp"
+#include "nnf/catalog.hpp"
+
+namespace nnfv::core {
+
+/// One deployable implementation of a functional type.
+struct NfImplementation {
+  virt::BackendKind backend = virt::BackendKind::kVm;
+  std::string image;               ///< empty for native
+  std::uint64_t image_bytes = 0;
+  std::uint64_t ram_estimate = 0;  ///< marginal RAM if deployed now
+  bool shares_running_instance = false;  ///< native reuse of a live NNF
+};
+
+class VnfResolver {
+ public:
+  VnfResolver(const VnfRepository* repository, const nnf::NnfCatalog* catalog)
+      : repository_(repository), catalog_(catalog) {}
+
+  /// All candidates deployable through the drivers registered in `manager`.
+  /// Order is unspecified; ranking is the scheduler's job.
+  [[nodiscard]] std::vector<NfImplementation> resolve(
+      const std::string& functional_type,
+      const compute::ComputeManager& manager) const;
+
+ private:
+  const VnfRepository* repository_;
+  const nnf::NnfCatalog* catalog_;
+};
+
+}  // namespace nnfv::core

@@ -1,0 +1,38 @@
+#include "core/resource_manager.hpp"
+
+namespace nnfv::core {
+
+ResourceManager::ResourceManager(NodeCapacity capacity)
+    : capacity_(capacity),
+      ram_(capacity.ram_bytes),
+      disk_(capacity.disk_bytes) {}
+
+void ResourceManager::set_backends(std::vector<virt::BackendKind> backends) {
+  backends_ = std::move(backends);
+}
+
+json::Value ResourceManager::describe() const {
+  json::Object doc;
+  doc["hostname"] = capacity_.hostname;
+  doc["cpu_cores"] = static_cast<double>(capacity_.cpu_cores);
+
+  json::Object ram;
+  ram["total_bytes"] = static_cast<double>(ram_.capacity());
+  ram["used_bytes"] = static_cast<double>(ram_.used());
+  ram["available_bytes"] = static_cast<double>(ram_.available());
+  doc["ram"] = std::move(ram);
+
+  json::Object disk;
+  disk["total_bytes"] = static_cast<double>(disk_.capacity());
+  disk["used_bytes"] = static_cast<double>(disk_.used());
+  doc["disk"] = std::move(disk);
+
+  json::Array backends;
+  for (virt::BackendKind kind : backends_) {
+    backends.push_back(std::string(virt::backend_name(kind)));
+  }
+  doc["backends"] = std::move(backends);
+  return doc;
+}
+
+}  // namespace nnfv::core

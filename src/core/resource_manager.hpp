@@ -1,0 +1,53 @@
+// ResourceManager: the node's resource ledgers plus the "node description,
+// capabilities and resources" record the local orchestrator publishes
+// (Figure 1, bottom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "virt/backend.hpp"
+#include "virt/image_store.hpp"
+#include "virt/ram_model.hpp"
+
+namespace nnfv::core {
+
+/// Hardware description of the node. Defaults model a capable residential
+/// CPE (enough RAM that a single VM fits, so Table 1 can run all flavors).
+struct NodeCapacity {
+  std::uint64_t ram_bytes = 1024ULL * virt::kMiB;
+  std::uint64_t disk_bytes = 4096ULL * virt::kMiB;
+  unsigned cpu_cores = 1;
+  std::string hostname = "cpe-node";
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(NodeCapacity capacity);
+
+  virt::RamLedger& ram() { return ram_; }
+  [[nodiscard]] const virt::RamLedger& ram() const { return ram_; }
+  virt::DiskLedger& disk() { return disk_; }
+  [[nodiscard]] const virt::DiskLedger& disk() const { return disk_; }
+
+  [[nodiscard]] const NodeCapacity& capacity() const { return capacity_; }
+
+  /// Capability advertisement: which backends this node can host.
+  void set_backends(std::vector<virt::BackendKind> backends);
+  [[nodiscard]] const std::vector<virt::BackendKind>& backends() const {
+    return backends_;
+  }
+
+  /// JSON node description (REST: GET /node).
+  [[nodiscard]] json::Value describe() const;
+
+ private:
+  NodeCapacity capacity_;
+  virt::RamLedger ram_;
+  virt::DiskLedger disk_;
+  std::vector<virt::BackendKind> backends_;
+};
+
+}  // namespace nnfv::core

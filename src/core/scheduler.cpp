@@ -1,0 +1,130 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace nnfv::core {
+
+std::vector<PlacementChoice> DefaultPlacementPolicy::rank(
+    const nffg::NfNode& nf,
+    const std::vector<NfImplementation>& candidates) const {
+  std::vector<PlacementChoice> out;
+  out.reserve(candidates.size());
+  for (const NfImplementation& impl : candidates) {
+    PlacementChoice choice;
+    choice.impl = impl;
+    if (impl.backend == virt::BackendKind::kNative) {
+      choice.reason = impl.shares_running_instance
+                          ? "native: sharable instance already running"
+                          : "native: plugin available, lowest overhead";
+    } else {
+      choice.reason = std::string(virt::backend_name(impl.backend)) +
+                      ": VNF image available";
+    }
+    out.push_back(std::move(choice));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PlacementChoice& a, const PlacementChoice& b) {
+                     const bool a_native =
+                         a.impl.backend == virt::BackendKind::kNative;
+                     const bool b_native =
+                         b.impl.backend == virt::BackendKind::kNative;
+                     if (a_native != b_native) return a_native;
+                     if (a_native && b_native) {
+                       // Shared reuse beats spinning up a new instance.
+                       return a.impl.shares_running_instance &&
+                              !b.impl.shares_running_instance;
+                     }
+                     return a.impl.ram_estimate < b.impl.ram_estimate;
+                   });
+  (void)nf;
+  return out;
+}
+
+std::vector<PlacementChoice> VnfOnlyPolicy::rank(
+    const nffg::NfNode& nf,
+    const std::vector<NfImplementation>& candidates) const {
+  std::vector<PlacementChoice> out;
+  for (const NfImplementation& impl : candidates) {
+    if (impl.backend == virt::BackendKind::kNative) continue;
+    PlacementChoice choice;
+    choice.impl = impl;
+    choice.reason = std::string(virt::backend_name(impl.backend)) +
+                    ": VNF-only baseline policy";
+    out.push_back(std::move(choice));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PlacementChoice& a, const PlacementChoice& b) {
+                     return a.impl.ram_estimate < b.impl.ram_estimate;
+                   });
+  (void)nf;
+  return out;
+}
+
+std::vector<PlacementChoice> FastActivationPolicy::rank(
+    const nffg::NfNode& nf,
+    const std::vector<NfImplementation>& candidates) const {
+  std::vector<PlacementChoice> out;
+  for (const NfImplementation& impl : candidates) {
+    PlacementChoice choice;
+    choice.impl = impl;
+    const sim::SimTime activation =
+        impl.backend == virt::BackendKind::kNative &&
+                impl.shares_running_instance
+            ? virt::backend_cost(impl.backend).config_ns
+            : virt::backend_cost(impl.backend).boot_ns;
+    choice.reason = std::string(virt::backend_name(impl.backend)) +
+                    ": activation " +
+                    std::to_string(activation / sim::kMillisecond) + " ms";
+    out.push_back(std::move(choice));
+  }
+  std::stable_sort(
+      out.begin(), out.end(),
+      [](const PlacementChoice& a, const PlacementChoice& b) {
+        auto activation_of = [](const NfImplementation& impl) {
+          if (impl.backend == virt::BackendKind::kNative &&
+              impl.shares_running_instance) {
+            return virt::backend_cost(impl.backend).config_ns;
+          }
+          return virt::backend_cost(impl.backend).boot_ns;
+        };
+        return activation_of(a.impl) < activation_of(b.impl);
+      });
+  (void)nf;
+  return out;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kDefault:
+      return std::make_unique<DefaultPlacementPolicy>();
+    case PlacementPolicyKind::kVnfOnly:
+      return std::make_unique<VnfOnlyPolicy>();
+    case PlacementPolicyKind::kFastActivation:
+      return std::make_unique<FastActivationPolicy>();
+  }
+  return std::make_unique<DefaultPlacementPolicy>();
+}
+
+VnfScheduler::VnfScheduler(std::unique_ptr<PlacementPolicy> policy)
+    : policy_(policy != nullptr
+                  ? std::move(policy)
+                  : std::make_unique<DefaultPlacementPolicy>()) {}
+
+std::vector<PlacementChoice> VnfScheduler::schedule(
+    const nffg::NfNode& nf,
+    const std::vector<NfImplementation>& candidates) const {
+  std::vector<PlacementChoice> ranked = policy_->rank(nf, candidates);
+  if (nf.backend_hint.has_value()) {
+    std::vector<PlacementChoice> filtered;
+    for (PlacementChoice& choice : ranked) {
+      if (choice.impl.backend == *nf.backend_hint) {
+        choice.reason += " (pinned by NF-FG backend hint)";
+        filtered.push_back(std::move(choice));
+      }
+    }
+    return filtered;
+  }
+  return ranked;
+}
+
+}  // namespace nnfv::core

@@ -1,0 +1,87 @@
+// VnfScheduler (Figure 1's "VNF scheduler"): the placement decision.
+//
+// "For each NF in a NF-FG, the orchestrator decides whether to deploy it
+// as VNF or NNF based on its knowledge of the node capability set, the
+// available NNFs and their characteristics (e.g., whether they are
+// sharable), and their status (e.g., already used in another chain)."
+// (paper §2)
+//
+// The policy is pluggable; the default prefers the native implementation
+// (lowest overhead — the paper's whole point), then orders VNF backends by
+// marginal RAM. A backend hint in the NF-FG pins the choice (used by the
+// Table 1 bench to force each flavor).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resolver.hpp"
+#include "nffg/nffg.hpp"
+
+namespace nnfv::core {
+
+/// A ranked candidate with the policy's reasoning (surfaced in reports).
+struct PlacementChoice {
+  NfImplementation impl;
+  std::string reason;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// Orders candidates best-first. May drop candidates it deems unusable.
+  [[nodiscard]] virtual std::vector<PlacementChoice> rank(
+      const nffg::NfNode& nf,
+      const std::vector<NfImplementation>& candidates) const = 0;
+};
+
+/// Default policy: native first (shared reuse preferred over new
+/// instances), then VNF backends by ascending marginal RAM.
+class DefaultPlacementPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<PlacementChoice> rank(
+      const nffg::NfNode& nf,
+      const std::vector<NfImplementation>& candidates) const override;
+};
+
+/// Baseline policy: what a conventional NFV platform does — NNFs are not
+/// considered at all; VNF backends ordered by marginal RAM. Used by the
+/// placement-ablation bench to quantify what NNF support buys.
+class VnfOnlyPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<PlacementChoice> rank(
+      const nffg::NfNode& nf,
+      const std::vector<NfImplementation>& candidates) const override;
+};
+
+/// Activation-latency-greedy policy: order candidates by modeled
+/// create->running time (shared native < fresh native < docker < dpdk <
+/// vm). Useful when service turn-up time dominates (e.g. on-demand
+/// chains).
+class FastActivationPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::vector<PlacementChoice> rank(
+      const nffg::NfNode& nf,
+      const std::vector<NfImplementation>& candidates) const override;
+};
+
+enum class PlacementPolicyKind { kDefault, kVnfOnly, kFastActivation };
+
+std::unique_ptr<PlacementPolicy> make_policy(PlacementPolicyKind kind);
+
+class VnfScheduler {
+ public:
+  explicit VnfScheduler(std::unique_ptr<PlacementPolicy> policy = nullptr);
+
+  /// Ranked candidates for one NF. Honors nf.backend_hint: only that
+  /// backend survives (an empty result means the hint cannot be met).
+  [[nodiscard]] std::vector<PlacementChoice> schedule(
+      const nffg::NfNode& nf,
+      const std::vector<NfImplementation>& candidates) const;
+
+ private:
+  std::unique_ptr<PlacementPolicy> policy_;
+};
+
+}  // namespace nnfv::core

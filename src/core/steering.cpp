@@ -1,0 +1,114 @@
+#include "core/steering.hpp"
+
+#include <functional>
+
+namespace nnfv::core {
+
+using util::Result;
+
+namespace {
+
+/// Graph-LSI port for a rule's PortRef.
+Result<nfswitch::PortId> resolve_ref(const nffg::PortRef& ref,
+                                     const GraphPorts& ports) {
+  if (ref.kind == nffg::PortRef::Kind::kEndpoint) {
+    auto it = ports.endpoints.find(ref.id);
+    if (it == ports.endpoints.end()) {
+      return util::not_found("virtual link for endpoint '" + ref.id + "'");
+    }
+    return it->second.graph_port;
+  }
+  auto it = ports.nf_ports.find({ref.id, ref.port});
+  if (it == ports.nf_ports.end()) {
+    return util::not_found("LSI port for NF '" + ref.id + "' port " +
+                           std::to_string(ref.port));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+nfswitch::Cookie TrafficSteering::cookie_for(const std::string& graph_id) {
+  return std::hash<std::string>{}(graph_id) | 1ULL;  // never zero
+}
+
+Result<std::size_t> TrafficSteering::install(const nffg::NfFg& graph,
+                                             NetworkManager& network,
+                                             const GraphPorts& ports,
+                                             nfswitch::Cookie cookie) {
+  nfswitch::Lsi* graph_lsi = network.graph_lsi(graph.id);
+  if (graph_lsi == nullptr) {
+    return util::not_found("LSI for graph '" + graph.id + "'");
+  }
+  std::size_t installed = 0;
+
+  // --- LSI-0: classification in, restoration out --------------------------
+  for (const nffg::Endpoint& ep : graph.endpoints) {
+    auto link_it = ports.endpoints.find(ep.id);
+    if (link_it == ports.endpoints.end()) {
+      return util::not_found("virtual link for endpoint '" + ep.id + "'");
+    }
+    const VirtualLink& link = link_it->second;
+    auto phys = network.physical_port(ep.interface);
+    if (!phys) return phys.status();
+
+    // Ingress: physical (+VLAN) -> virtual link. Tagged flows match at a
+    // higher priority than the untagged catch-all of the same interface.
+    nfswitch::FlowMatch in_match;
+    in_match.in_port = phys.value();
+    std::vector<nfswitch::FlowAction> in_actions;
+    if (ep.vlan.has_value()) {
+      in_match.vlan = *ep.vlan;
+      in_actions.push_back(nfswitch::FlowAction::pop_vlan());
+    } else {
+      in_match.vlan = nfswitch::FlowMatch::kMatchUntagged;
+    }
+    in_actions.push_back(nfswitch::FlowAction::output(link.base_port));
+    network.base_lsi().flow_table().add(ep.vlan.has_value() ? 100 : 50,
+                                        in_match, in_actions, cookie);
+    ++installed;
+
+    // Egress: virtual link -> physical, re-tagging VLAN endpoints.
+    nfswitch::FlowMatch out_match;
+    out_match.in_port = link.base_port;
+    std::vector<nfswitch::FlowAction> out_actions;
+    if (ep.vlan.has_value()) {
+      out_actions.push_back(nfswitch::FlowAction::push_vlan(*ep.vlan));
+    }
+    out_actions.push_back(nfswitch::FlowAction::output(phys.value()));
+    network.base_lsi().flow_table().add(100, out_match, out_actions, cookie);
+    ++installed;
+  }
+
+  // --- Graph LSI: the NF-FG's own rules ------------------------------------
+  for (const nffg::Rule& rule : graph.rules) {
+    auto in_port = resolve_ref(rule.match.port_in, ports);
+    if (!in_port) return in_port.status();
+    auto out_port = resolve_ref(rule.output, ports);
+    if (!out_port) return out_port.status();
+
+    nfswitch::FlowMatch match;
+    match.in_port = in_port.value();
+    match.eth_type = rule.match.eth_type;
+    match.ip_src = rule.match.ip_src;
+    match.ip_src_prefix = rule.match.ip_src_prefix;
+    match.ip_dst = rule.match.ip_dst;
+    match.ip_dst_prefix = rule.match.ip_dst_prefix;
+    match.ip_proto = rule.match.ip_proto;
+    match.tp_src = rule.match.tp_src;
+    match.tp_dst = rule.match.tp_dst;
+
+    graph_lsi->flow_table().add(
+        rule.priority, match,
+        {nfswitch::FlowAction::output(out_port.value())}, cookie);
+    ++installed;
+  }
+  return installed;
+}
+
+std::size_t TrafficSteering::remove(NetworkManager& network,
+                                    nfswitch::Cookie cookie) {
+  return network.base_lsi().flow_table().remove_by_cookie(cookie);
+}
+
+}  // namespace nnfv::core

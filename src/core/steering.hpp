@@ -1,0 +1,48 @@
+// TrafficSteering (Figure 1's "Traffic Steering mngr"): translates an
+// NF-FG into flow rules.
+//
+// Two-tier steering, as in the paper:
+//  * LSI-0 classifies node ingress traffic (physical port, optionally
+//    VLAN) and forwards it over the graph's virtual link; return traffic
+//    flows back out through the endpoint's physical port (re-tagged when
+//    the endpoint is a VLAN sub-interface).
+//  * The graph LSI applies the NF-FG's own rules between virtual-link
+//    ports and NF ports.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "compute/driver.hpp"
+#include "core/network_manager.hpp"
+#include "nffg/nffg.hpp"
+#include "switch/flow_table.hpp"
+
+namespace nnfv::core {
+
+/// Port translation tables built during deployment.
+struct GraphPorts {
+  /// endpoint id -> its virtual link.
+  std::map<std::string, VirtualLink> endpoints;
+  /// (nf id, logical port) -> graph LSI port.
+  std::map<std::pair<std::string, std::uint32_t>, nfswitch::PortId> nf_ports;
+};
+
+class TrafficSteering {
+ public:
+  /// Installs all rules of `graph` (cookie-tagged for removal).
+  /// Returns the number of flow entries installed across both LSIs.
+  static util::Result<std::size_t> install(const nffg::NfFg& graph,
+                                           NetworkManager& network,
+                                           const GraphPorts& ports,
+                                           nfswitch::Cookie cookie);
+
+  /// Removes the graph's rules from LSI-0 (the graph LSI is destroyed
+  /// wholesale by the orchestrator). Returns entries removed.
+  static std::size_t remove(NetworkManager& network, nfswitch::Cookie cookie);
+
+  /// Stable cookie for a graph id.
+  static nfswitch::Cookie cookie_for(const std::string& graph_id);
+};
+
+}  // namespace nnfv::core

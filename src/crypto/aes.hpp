@@ -1,0 +1,42 @@
+// AES-128/192/256 block cipher (FIPS 197), table-free byte-wise
+// implementation. Backs the ESP encryption algorithm (AES-CBC, RFC 3602)
+// used by the IPsec native network function.
+//
+// Performance note: the datapath's *simulated* timing comes from
+// virt::CostModel; this implementation favours clarity and testability over
+// host wall-clock speed (see bench_crypto for host numbers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/status.hpp"
+
+namespace nnfv::crypto {
+
+/// AES block cipher with 128/192/256-bit keys.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes.
+  static util::Result<Aes> create(std::span<const std::uint8_t> key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void expand_key(std::span<const std::uint8_t> key);
+
+  // Max 15 round keys (AES-256) of 16 bytes each.
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace nnfv::crypto

@@ -1,0 +1,137 @@
+#include "crypto/cipher_modes.hpp"
+
+#include <cstring>
+
+namespace nnfv::crypto {
+
+using util::invalid_argument;
+using util::Result;
+
+Result<std::vector<std::uint8_t>> aes_cbc_encrypt(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> plaintext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return invalid_argument("CBC IV must be 16 bytes");
+  }
+  const std::size_t pad =
+      Aes::kBlockSize - plaintext.size() % Aes::kBlockSize;  // 1..16
+  std::vector<std::uint8_t> padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  std::vector<std::uint8_t> out(padded.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < padded.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      block[i] = static_cast<std::uint8_t>(padded[off + i] ^ chain[i]);
+    }
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> aes_cbc_decrypt(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return invalid_argument("CBC IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0) {
+    return invalid_argument("CBC ciphertext must be a positive multiple of 16");
+  }
+  std::vector<std::uint8_t> out(ciphertext.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
+    }
+    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > Aes::kBlockSize || pad > out.size()) {
+    return invalid_argument("bad PKCS#7 padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return invalid_argument("bad PKCS#7 padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> aes_cbc_encrypt_raw(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> plaintext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return invalid_argument("CBC IV must be 16 bytes");
+  }
+  if (plaintext.size() % Aes::kBlockSize != 0) {
+    return invalid_argument("raw CBC plaintext must be a multiple of 16");
+  }
+  std::vector<std::uint8_t> out(plaintext.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < plaintext.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      block[i] = static_cast<std::uint8_t>(plaintext[off + i] ^ chain[i]);
+    }
+    aes.encrypt_block(block, out.data() + off);
+    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> aes_cbc_decrypt_raw(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext) {
+  if (iv.size() != Aes::kBlockSize) {
+    return invalid_argument("CBC IV must be 16 bytes");
+  }
+  if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0) {
+    return invalid_argument("raw CBC ciphertext must be a positive multiple of 16");
+  }
+  std::vector<std::uint8_t> out(ciphertext.size());
+  std::uint8_t chain[Aes::kBlockSize];
+  std::memcpy(chain, iv.data(), Aes::kBlockSize);
+  for (std::size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
+    std::uint8_t block[Aes::kBlockSize];
+    aes.decrypt_block(ciphertext.data() + off, block);
+    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
+    }
+    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> aes_ctr_crypt(
+    const Aes& aes, std::span<const std::uint8_t> counter_block,
+    std::span<const std::uint8_t> data) {
+  if (counter_block.size() != Aes::kBlockSize) {
+    return invalid_argument("CTR counter block must be 16 bytes");
+  }
+  std::uint8_t counter[Aes::kBlockSize];
+  std::memcpy(counter, counter_block.data(), Aes::kBlockSize);
+
+  std::vector<std::uint8_t> out(data.size());
+  std::uint8_t keystream[Aes::kBlockSize];
+  for (std::size_t off = 0; off < data.size(); off += Aes::kBlockSize) {
+    aes.encrypt_block(counter, keystream);
+    const std::size_t n = std::min(Aes::kBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    }
+    // Big-endian increment.
+    for (int i = Aes::kBlockSize - 1; i >= 0; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nnfv::crypto

@@ -1,0 +1,43 @@
+// Block cipher modes used by the ESP datapath: CBC with PKCS#7 padding
+// (RFC 3602 AES-CBC for ESP) and CTR (RFC 3686).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::crypto {
+
+/// CBC-encrypts `plaintext` with PKCS#7 padding. `iv` must be 16 bytes.
+/// Output length = plaintext length rounded up to the next multiple of 16
+/// (always at least one padding byte).
+util::Result<std::vector<std::uint8_t>> aes_cbc_encrypt(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> plaintext);
+
+/// Inverse of aes_cbc_encrypt; rejects bad lengths and bad padding.
+util::Result<std::vector<std::uint8_t>> aes_cbc_decrypt(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext);
+
+/// CTR keystream XOR (encryption == decryption). `counter_block` is the
+/// initial 16-byte counter; incremented big-endian per block.
+util::Result<std::vector<std::uint8_t>> aes_ctr_crypt(
+    const Aes& aes, std::span<const std::uint8_t> counter_block,
+    std::span<const std::uint8_t> data);
+
+/// Raw CBC without padding — the caller guarantees data.size() % 16 == 0.
+/// ESP manages its own trailer padding (RFC 4303 §2.4), so the IPsec NF
+/// uses these instead of the PKCS#7 variants.
+util::Result<std::vector<std::uint8_t>> aes_cbc_encrypt_raw(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> plaintext);
+
+util::Result<std::vector<std::uint8_t>> aes_cbc_decrypt_raw(
+    const Aes& aes, std::span<const std::uint8_t> iv,
+    std::span<const std::uint8_t> ciphertext);
+
+}  // namespace nnfv::crypto

@@ -1,0 +1,15 @@
+#include "crypto/hmac.hpp"
+
+namespace nnfv::crypto {
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+}  // namespace nnfv::crypto

@@ -1,0 +1,111 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+#include "util/byteorder.hpp"
+
+namespace nnfv::crypto {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+void Sha1::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+  state_[4] = 0xC3D2E1F0;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = util::load_be32(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::final() {
+  const std::uint64_t bits = bit_count_;
+  std::uint8_t pad[kBlockSize * 2] = {0x80};
+  const std::size_t rem = buffer_len_;
+  const std::size_t pad_len =
+      (rem < 56) ? (56 - rem) : (kBlockSize + 56 - rem);
+  update({pad, pad_len});
+  std::uint8_t len_be[8];
+  util::store_be64(len_be, bits);
+  update({len_be, 8});
+
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 5; ++i) {
+    util::store_be32(out.data() + 4 * i, state_[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::digest(
+    std::span<const std::uint8_t> data) {
+  Sha1 h;
+  h.update(data);
+  return h.final();
+}
+
+}  // namespace nnfv::crypto

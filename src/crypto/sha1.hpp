@@ -1,0 +1,34 @@
+// SHA-1 (FIPS 180-4). Provided for HMAC-SHA1, the historical default ESP
+// authenticator (hmac(sha1) in the Linux kernel's IPsec stack).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace nnfv::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  std::array<std::uint8_t, kDigestSize> final();
+
+  static std::array<std::uint8_t, kDigestSize> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[5];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace nnfv::crypto

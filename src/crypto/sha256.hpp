@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4). Backs the ESP integrity algorithm (HMAC-SHA256)
+// used by the IPsec native network function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nnfv::crypto {
+
+/// Incremental SHA-256. Typical use: update()* then final().
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  /// Finishes the hash. The object must be reset() before reuse.
+  std::array<std::uint8_t, kDigestSize> final();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, kDigestSize> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_count_ = 0;
+  std::uint8_t buffer_[kBlockSize];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace nnfv::crypto

@@ -1,0 +1,533 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nnfv::json {
+
+using util::invalid_argument;
+using util::Result;
+
+// ---------------------------------------------------------------------------
+// Object
+// ---------------------------------------------------------------------------
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Value());
+  return members_.back().second;
+}
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Object::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+void Object::erase(std::string_view key) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == key) {
+      members_.erase(it);
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kNumber;
+    case 3:
+      return Type::kString;
+    case 4:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+const Value* Value::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  return as_object().find(key);
+}
+
+std::string Value::get_string(std::string_view key, std::string fallback) const {
+  const Value* v = get(key);
+  if (v == nullptr || !v->is_string()) return fallback;
+  return v->as_string();
+}
+
+double Value::get_number(std::string_view key, double fallback) const {
+  const Value* v = get(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return v->as_number();
+}
+
+bool Value::get_bool(std::string_view key, bool fallback) const {
+  const Value* v = get(key);
+  if (v == nullptr || !v->is_bool()) return fallback;
+  return v->as_bool();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return as_bool() == other.as_bool();
+    case Type::kNumber:
+      return as_number() == other.as_number();
+    case Type::kString:
+      return as_string() == other.as_string();
+    case Type::kArray: {
+      const Array& a = as_array();
+      const Array& b = other.as_array();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+    case Type::kObject: {
+      const Object& a = as_object();
+      const Object& b = other.as_object();
+      if (a.size() != b.size()) return false;
+      for (const auto& [k, v] : a) {
+        const Value* bv = b.find(k);
+        if (bv == nullptr || !(v == *bv)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string escape_string(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through verbatim
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, v.as_number());
+      break;
+    case Type::kString:
+      out += '"';
+      out += escape_string(v.as_string());
+      out += '"';
+      break;
+    case Type::kArray: {
+      const Array& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : arr) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        dump_value(item, out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, val] : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += escape_string(k);
+        out += "\":";
+        if (pretty) out += ' ';
+        dump_value(val, out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  dump_value(*this, out, 2, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    Result<Value> v = parse_value(0);
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  util::Status error(std::string msg) const {
+    return invalid_argument("JSON parse error at offset " +
+                            std::to_string(pos_) + ": " + std::move(msg));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (!eof() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (eof()) return error("unexpected end of input");
+    char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        Result<std::string> s = parse_string();
+        if (!s) return s.status();
+        return Value(std::move(s.value()));
+      }
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        return error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        return error("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_object(int depth) {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return error("expected object key");
+      Result<std::string> key = parse_string();
+      if (!key) return key.status();
+      skip_ws();
+      if (!consume(':')) return error("expected ':' after key");
+      Result<Value> val = parse_value(depth + 1);
+      if (!val) return val;
+      obj[key.value()] = std::move(val.value());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> parse_array(int depth) {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      Result<Value> val = parse_value(depth + 1);
+      if (!val) return val;
+      arr.push_back(std::move(val.value()));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<std::uint32_t> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return error("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (eof()) return error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          Result<std::uint32_t> hi = parse_hex4();
+          if (!hi) return hi.status();
+          std::uint32_t cp = hi.value();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Expect a low surrogate.
+            if (!consume_literal("\\u")) {
+              return error("high surrogate not followed by \\u");
+            }
+            Result<std::uint32_t> lo = parse_hex4();
+            if (!lo) return lo.status();
+            if (lo.value() < 0xDC00 || lo.value() > 0xDFFF) {
+              return error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo.value() - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("unexpected low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return error("invalid escape character");
+      }
+    }
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    if (eof()) return error("truncated number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      return error("invalid number");
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return error("digit expected after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return error("digit expected in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) {
+      return error("number out of range");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace nnfv::json

@@ -1,0 +1,118 @@
+// Minimal JSON value model, parser and serializer.
+//
+// Carries the NF-FG wire format (the un-orchestrator exchanges NF-FGs as
+// JSON over REST) and REST bodies. Supports the full JSON grammar with
+// \uXXXX escapes (BMP + surrogate pairs), nesting-depth and number-range
+// checks. Object member order is preserved for stable serialization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace nnfv::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Object preserving insertion order (NF-FG readability and test stability).
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+
+  [[nodiscard]] auto begin() const { return members_.begin(); }
+  [[nodiscard]] auto end() const { return members_.end(); }
+  auto begin() { return members_.begin(); }
+  auto end() { return members_.end(); }
+
+  void erase(std::string_view key);
+
+ private:
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// A JSON document node. Numbers are stored as double (sufficient for the
+/// NF-FG schema: ids, priorities, ports).
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  // NOLINTBEGIN(google-explicit-constructor): literals convert implicitly.
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  [[nodiscard]] Type type() const;
+
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  // -- Safe accessors for decoding ------------------------------------------
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+
+  /// Member as string with fallback.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+  /// Member as number with fallback.
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0.0) const;
+  /// Member as bool with fallback.
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  bool operator==(const Value& other) const;
+
+  /// Compact serialization (no whitespace).
+  [[nodiscard]] std::string dump() const;
+  /// Pretty serialization with 2-space indent.
+  [[nodiscard]] std::string dump_pretty() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+util::Result<Value> parse(std::string_view text);
+
+/// Escapes `s` as a JSON string literal body (no quotes added).
+std::string escape_string(std::string_view s);
+
+}  // namespace nnfv::json

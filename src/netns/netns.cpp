@@ -1,0 +1,193 @@
+#include "netns/netns.hpp"
+
+namespace nnfv::netns {
+
+using util::Result;
+using util::Status;
+
+NamespaceRegistry::NamespaceRegistry() {
+  namespaces_[kRootNamespace] = Namespace{"", {}};
+}
+
+Result<NamespaceId> NamespaceRegistry::create(const std::string& name) {
+  if (name.empty()) return util::invalid_argument("namespace name empty");
+  if (by_name_.contains(name)) {
+    return util::already_exists("namespace '" + name + "'");
+  }
+  const NamespaceId id = next_id_++;
+  namespaces_[id] = Namespace{name, {}};
+  by_name_[name] = id;
+  return id;
+}
+
+Result<std::vector<std::string>> NamespaceRegistry::destroy(
+    const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return util::not_found("namespace '" + name + "'");
+  }
+  const NamespaceId id = it->second;
+  std::vector<std::string> removed;
+  // Copy: delete_interface mutates the set.
+  const std::set<std::string> ifnames = namespaces_[id].interfaces;
+  for (const std::string& ifname : ifnames) {
+    // A veth peer in another namespace disappears too; record both.
+    auto peer = veth_peers_.find({id, ifname});
+    if (peer != veth_peers_.end()) {
+      removed.push_back(peer->second.second);
+    }
+    removed.push_back(ifname);
+    (void)delete_interface(id, ifname);
+  }
+  namespaces_.erase(id);
+  by_name_.erase(it);
+  return removed;
+}
+
+bool NamespaceRegistry::exists(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+Result<NamespaceId> NamespaceRegistry::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return util::not_found("namespace '" + name + "'");
+  }
+  return it->second;
+}
+
+Status NamespaceRegistry::insert_interface(NamespaceId ns,
+                                           const std::string& ifname,
+                                           std::optional<IfKey> veth_peer) {
+  auto nsit = namespaces_.find(ns);
+  if (nsit == namespaces_.end()) {
+    return util::not_found("namespace id " + std::to_string(ns));
+  }
+  if (nsit->second.interfaces.contains(ifname)) {
+    return util::already_exists("interface '" + ifname + "' in namespace " +
+                                std::to_string(ns));
+  }
+  nsit->second.interfaces.insert(ifname);
+  InterfaceInfo info;
+  info.name = ifname;
+  info.ns = ns;
+  if (veth_peer.has_value()) info.veth_peer = veth_peer->second;
+  interfaces_[{ns, ifname}] = info;
+  if (veth_peer.has_value()) veth_peers_[{ns, ifname}] = *veth_peer;
+  return Status::ok();
+}
+
+Status NamespaceRegistry::create_interface(NamespaceId ns,
+                                           const std::string& ifname) {
+  if (ifname.empty()) return util::invalid_argument("interface name empty");
+  return insert_interface(ns, ifname, std::nullopt);
+}
+
+Status NamespaceRegistry::create_veth(NamespaceId ns_a, const std::string& if_a,
+                                      NamespaceId ns_b,
+                                      const std::string& if_b) {
+  if (if_a.empty() || if_b.empty()) {
+    return util::invalid_argument("veth interface name empty");
+  }
+  if (ns_a == ns_b && if_a == if_b) {
+    return util::invalid_argument("veth ends must differ");
+  }
+  NNFV_RETURN_IF_ERROR(insert_interface(ns_a, if_a, IfKey{ns_b, if_b}));
+  Status status = insert_interface(ns_b, if_b, IfKey{ns_a, if_a});
+  if (!status.is_ok()) {
+    // Roll back the first end.
+    namespaces_[ns_a].interfaces.erase(if_a);
+    interfaces_.erase({ns_a, if_a});
+    veth_peers_.erase({ns_a, if_a});
+    return status;
+  }
+  return Status::ok();
+}
+
+Status NamespaceRegistry::move_interface(const std::string& ifname,
+                                         NamespaceId from, NamespaceId to) {
+  auto it = interfaces_.find({from, ifname});
+  if (it == interfaces_.end()) {
+    return util::not_found("interface '" + ifname + "' in namespace " +
+                           std::to_string(from));
+  }
+  auto toit = namespaces_.find(to);
+  if (toit == namespaces_.end()) {
+    return util::not_found("namespace id " + std::to_string(to));
+  }
+  if (toit->second.interfaces.contains(ifname)) {
+    return util::already_exists("interface '" + ifname +
+                                "' in destination namespace");
+  }
+  InterfaceInfo info = it->second;
+  info.ns = to;
+
+  // Re-key veth bookkeeping.
+  auto peer = veth_peers_.find({from, ifname});
+  if (peer != veth_peers_.end()) {
+    const IfKey peer_key = peer->second;
+    veth_peers_.erase(peer);
+    veth_peers_[{to, ifname}] = peer_key;
+    veth_peers_[peer_key] = {to, ifname};
+  }
+
+  interfaces_.erase(it);
+  namespaces_[from].interfaces.erase(ifname);
+  toit->second.interfaces.insert(ifname);
+  interfaces_[{to, ifname}] = info;
+  return Status::ok();
+}
+
+Status NamespaceRegistry::set_interface_up(NamespaceId ns,
+                                           const std::string& ifname,
+                                           bool up) {
+  auto it = interfaces_.find({ns, ifname});
+  if (it == interfaces_.end()) {
+    return util::not_found("interface '" + ifname + "' in namespace " +
+                           std::to_string(ns));
+  }
+  it->second.up = up;
+  return Status::ok();
+}
+
+Status NamespaceRegistry::delete_interface(NamespaceId ns,
+                                           const std::string& ifname) {
+  auto it = interfaces_.find({ns, ifname});
+  if (it == interfaces_.end()) {
+    return util::not_found("interface '" + ifname + "' in namespace " +
+                           std::to_string(ns));
+  }
+  // Delete a veth peer with us (kernel semantics).
+  auto peer = veth_peers_.find({ns, ifname});
+  if (peer != veth_peers_.end()) {
+    const IfKey peer_key = peer->second;
+    veth_peers_.erase(peer);
+    veth_peers_.erase(peer_key);
+    auto peer_ns = namespaces_.find(peer_key.first);
+    if (peer_ns != namespaces_.end()) {
+      peer_ns->second.interfaces.erase(peer_key.second);
+    }
+    interfaces_.erase(peer_key);
+  }
+  namespaces_[ns].interfaces.erase(ifname);
+  interfaces_.erase(it);
+  return Status::ok();
+}
+
+std::optional<InterfaceInfo> NamespaceRegistry::interface(
+    NamespaceId ns, const std::string& ifname) const {
+  auto it = interfaces_.find({ns, ifname});
+  if (it == interfaces_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> NamespaceRegistry::interfaces_in(
+    NamespaceId ns) const {
+  std::vector<std::string> out;
+  auto it = namespaces_.find(ns);
+  if (it == namespaces_.end()) return out;
+  out.assign(it->second.interfaces.begin(), it->second.interfaces.end());
+  return out;
+}
+
+}  // namespace nnfv::netns

@@ -1,0 +1,93 @@
+// Simulated Linux network namespaces.
+//
+// The NNF driver starts every native function in a fresh namespace "to
+// provide a basic form of isolation" (paper §2). We reproduce the
+// *semantics* the driver relies on: namespace name uniqueness, interface
+// ownership (an interface lives in exactly one namespace), veth pairs whose
+// ends are deleted together, and teardown that returns an inventory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace nnfv::netns {
+
+using NamespaceId = std::uint32_t;
+
+/// The root (default) namespace always exists with id 0.
+inline constexpr NamespaceId kRootNamespace = 0;
+
+struct InterfaceInfo {
+  std::string name;
+  NamespaceId ns = kRootNamespace;
+  /// Set when the interface is one end of a veth pair.
+  std::optional<std::string> veth_peer;
+  bool up = false;
+};
+
+class NamespaceRegistry {
+ public:
+  NamespaceRegistry();
+
+  /// Creates a named namespace (like `ip netns add`).
+  util::Result<NamespaceId> create(const std::string& name);
+
+  /// Destroys a namespace. Its interfaces are destroyed with it (kernel
+  /// semantics); veth peers in other namespaces are destroyed too.
+  /// Returns the names of all interfaces that disappeared.
+  util::Result<std::vector<std::string>> destroy(const std::string& name);
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+  [[nodiscard]] util::Result<NamespaceId> id_of(const std::string& name) const;
+  [[nodiscard]] std::size_t count() const { return namespaces_.size(); }
+
+  /// Creates a plain interface inside `ns`.
+  util::Status create_interface(NamespaceId ns, const std::string& ifname);
+
+  /// Creates a veth pair with one end in each namespace
+  /// (`ip link add A type veth peer name B`, then moves).
+  util::Status create_veth(NamespaceId ns_a, const std::string& if_a,
+                           NamespaceId ns_b, const std::string& if_b);
+
+  /// Moves an interface to another namespace (`ip link set X netns Y`).
+  /// Interface names must stay unique within the destination namespace.
+  util::Status move_interface(const std::string& ifname, NamespaceId from,
+                              NamespaceId to);
+
+  util::Status set_interface_up(NamespaceId ns, const std::string& ifname,
+                                bool up);
+
+  /// Deletes one interface; a veth peer is deleted with it.
+  util::Status delete_interface(NamespaceId ns, const std::string& ifname);
+
+  [[nodiscard]] std::optional<InterfaceInfo> interface(
+      NamespaceId ns, const std::string& ifname) const;
+
+  [[nodiscard]] std::vector<std::string> interfaces_in(NamespaceId ns) const;
+
+ private:
+  struct Namespace {
+    std::string name;
+    std::set<std::string> interfaces;
+  };
+
+  // Interface key: (namespace, name) — names are only unique per namespace.
+  using IfKey = std::pair<NamespaceId, std::string>;
+
+  util::Status insert_interface(NamespaceId ns, const std::string& ifname,
+                                std::optional<IfKey> veth_peer);
+
+  std::map<NamespaceId, Namespace> namespaces_;
+  std::map<std::string, NamespaceId> by_name_;
+  std::map<IfKey, InterfaceInfo> interfaces_;
+  std::map<IfKey, IfKey> veth_peers_;
+  NamespaceId next_id_ = 1;
+};
+
+}  // namespace nnfv::netns

@@ -1,0 +1,100 @@
+#include "nffg/nffg.hpp"
+
+#include "util/strings.hpp"
+
+namespace nnfv::nffg {
+
+std::string PortRef::to_string() const {
+  if (kind == Kind::kEndpoint) return "endpoint:" + id;
+  return "vnf:" + id + ":" + std::to_string(port);
+}
+
+util::Result<PortRef> PortRef::parse(const std::string& text) {
+  const auto parts = util::split(text, ':');
+  if (parts.size() == 2 && parts[0] == "endpoint") {
+    if (parts[1].empty()) {
+      return util::invalid_argument("empty endpoint id in '" + text + "'");
+    }
+    PortRef ref;
+    ref.kind = Kind::kEndpoint;
+    ref.id = parts[1];
+    return ref;
+  }
+  if (parts.size() == 3 && parts[0] == "vnf") {
+    std::uint64_t port = 0;
+    if (parts[1].empty() || !util::parse_u64(parts[2], port) ||
+        port > 0xFFFF) {
+      return util::invalid_argument("bad NF port ref '" + text + "'");
+    }
+    PortRef ref;
+    ref.kind = Kind::kNf;
+    ref.id = parts[1];
+    ref.port = static_cast<std::uint32_t>(port);
+    return ref;
+  }
+  return util::invalid_argument(
+      "port ref must be 'vnf:<id>:<port>' or 'endpoint:<id>': '" + text +
+      "'");
+}
+
+const NfNode* NfFg::find_nf(const std::string& nf_id) const {
+  for (const NfNode& nf : nfs) {
+    if (nf.id == nf_id) return &nf;
+  }
+  return nullptr;
+}
+
+const Endpoint* NfFg::find_endpoint(const std::string& ep_id) const {
+  for (const Endpoint& ep : endpoints) {
+    if (ep.id == ep_id) return &ep;
+  }
+  return nullptr;
+}
+
+NfNode& NfFg::add_nf(std::string nf_id, std::string functional_type,
+                     std::uint32_t ports) {
+  NfNode node;
+  node.id = std::move(nf_id);
+  node.functional_type = std::move(functional_type);
+  node.num_ports = ports;
+  nfs.push_back(std::move(node));
+  return nfs.back();
+}
+
+Endpoint& NfFg::add_endpoint(std::string ep_id, std::string interface,
+                             std::optional<std::uint16_t> vlan) {
+  Endpoint ep;
+  ep.id = std::move(ep_id);
+  ep.interface = std::move(interface);
+  ep.vlan = vlan;
+  endpoints.push_back(std::move(ep));
+  return endpoints.back();
+}
+
+Rule& NfFg::connect(const std::string& rule_id, PortRef from, PortRef to,
+                    std::uint16_t priority) {
+  Rule rule;
+  rule.id = rule_id;
+  rule.priority = priority;
+  rule.match.port_in = std::move(from);
+  rule.output = std::move(to);
+  rules.push_back(std::move(rule));
+  return rules.back();
+}
+
+PortRef nf_port(std::string nf_id, std::uint32_t port) {
+  PortRef ref;
+  ref.kind = PortRef::Kind::kNf;
+  ref.id = std::move(nf_id);
+  ref.port = port;
+  return ref;
+}
+
+PortRef endpoint_ref(std::string ep_id) {
+  PortRef ref;
+  ref.kind = PortRef::Kind::kEndpoint;
+  ref.id = std::move(ep_id);
+  return ref;
+}
+
+}  // namespace nnfv::nffg

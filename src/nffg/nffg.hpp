@@ -1,0 +1,95 @@
+// Network Functions Forwarding Graph (NF-FG): the service description the
+// local orchestrator receives (paper Figure 1, top). The object model
+// follows the un-orchestrator's NF-FG: a set of NF nodes, a set of
+// end-points anchoring the graph to node interfaces/VLANs, and "big-switch"
+// flow rules connecting NF ports and end-points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nnf/network_function.hpp"
+#include "packet/headers.hpp"
+#include "util/status.hpp"
+#include "virt/backend.hpp"
+
+namespace nnfv::nffg {
+
+/// Reference to a traffic attachment inside a graph: either an NF port
+/// ("vnf:<nf-id>:<port>") or an end-point ("endpoint:<ep-id>").
+struct PortRef {
+  enum class Kind { kNf, kEndpoint };
+  Kind kind = Kind::kEndpoint;
+  std::string id;            ///< NF id or endpoint id
+  std::uint32_t port = 0;    ///< NF port index (kNf only)
+
+  [[nodiscard]] std::string to_string() const;
+  static util::Result<PortRef> parse(const std::string& text);
+
+  bool operator==(const PortRef&) const = default;
+};
+
+/// One network function requested by the graph.
+struct NfNode {
+  std::string id;               ///< unique within the graph
+  std::string functional_type;  ///< "firewall", "nat", "ipsec", ...
+  std::uint32_t num_ports = 2;
+  nnf::NfConfig config;         ///< initial configuration
+  /// Optional placement constraint; normally the scheduler decides.
+  std::optional<virt::BackendKind> backend_hint;
+};
+
+/// A graph attachment to the node: a physical interface, optionally a VLAN
+/// sub-interface (LSI-0 classifies on it).
+struct Endpoint {
+  std::string id;
+  std::string interface;               ///< node port, e.g. "eth0"
+  std::optional<std::uint16_t> vlan;   ///< classify tagged traffic
+};
+
+/// Packet filter of a flow rule (all fields optional = match-any).
+struct RuleMatch {
+  PortRef port_in;  ///< required: where the traffic comes from
+  std::optional<std::uint16_t> eth_type;
+  std::optional<packet::Ipv4Address> ip_src;
+  std::uint8_t ip_src_prefix = 32;
+  std::optional<packet::Ipv4Address> ip_dst;
+  std::uint8_t ip_dst_prefix = 32;
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<std::uint16_t> tp_src;
+  std::optional<std::uint16_t> tp_dst;
+};
+
+struct Rule {
+  std::string id;
+  std::uint16_t priority = 1;
+  RuleMatch match;
+  PortRef output;  ///< single output (un-orchestrator style)
+};
+
+struct NfFg {
+  std::string id;
+  std::string name;
+  std::vector<NfNode> nfs;
+  std::vector<Endpoint> endpoints;
+  std::vector<Rule> rules;
+
+  [[nodiscard]] const NfNode* find_nf(const std::string& nf_id) const;
+  [[nodiscard]] const Endpoint* find_endpoint(const std::string& ep_id) const;
+
+  /// Convenience builder helpers used by examples/tests.
+  NfNode& add_nf(std::string nf_id, std::string functional_type,
+                 std::uint32_t ports = 2);
+  Endpoint& add_endpoint(std::string ep_id, std::string interface,
+                         std::optional<std::uint16_t> vlan = std::nullopt);
+  Rule& connect(const std::string& rule_id, PortRef from, PortRef to,
+                std::uint16_t priority = 1);
+};
+
+/// Shorthand constructors for PortRef.
+PortRef nf_port(std::string nf_id, std::uint32_t port);
+PortRef endpoint_ref(std::string ep_id);
+
+}  // namespace nnfv::nffg

@@ -1,0 +1,41 @@
+// NF-FG JSON wire format, the REST payload of the local orchestrator.
+//
+// Schema (un-orchestrator style):
+// {
+//   "forwarding-graph": {
+//     "id": "g1", "name": "customer graph",
+//     "VNFs": [
+//       {"id": "fw", "functional_type": "firewall", "ports": 2,
+//        "backend": "native",                      // optional hint
+//        "config": {"policy": "accept"}}           // optional
+//     ],
+//     "end-points": [
+//       {"id": "lan", "interface": "eth0", "vlan": 10}   // vlan optional
+//     ],
+//     "flow-rules": [
+//       {"id": "r1", "priority": 10,
+//        "match": {"port_in": "endpoint:lan", "ip_proto": 17,
+//                  "ip_dst": "10.0.0.1/32", "tp_dst": 5001},
+//        "action": {"output": "vnf:fw:0"}}
+//     ]
+//   }
+// }
+#pragma once
+
+#include "json/json.hpp"
+#include "nffg/nffg.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nffg {
+
+/// Parses an NF-FG document. Structural errors (missing/mistyped fields)
+/// are invalid_argument; referential integrity is checked by validate().
+util::Result<NfFg> from_json(const json::Value& doc);
+
+/// Convenience: parse from text.
+util::Result<NfFg> from_json_text(std::string_view text);
+
+/// Serializes; from_json(to_json(g)) is the identity on valid graphs.
+json::Value to_json(const NfFg& graph);
+
+}  // namespace nnfv::nffg

@@ -1,0 +1,126 @@
+#include "nffg/validate.hpp"
+
+#include <map>
+#include <set>
+
+namespace nnfv::nffg {
+
+using util::invalid_argument;
+using util::Status;
+
+namespace {
+
+Status check_ref(const NfFg& graph, const PortRef& ref,
+                 const std::string& rule_id) {
+  if (ref.kind == PortRef::Kind::kEndpoint) {
+    if (graph.find_endpoint(ref.id) == nullptr) {
+      return invalid_argument("rule '" + rule_id +
+                              "' references unknown endpoint '" + ref.id +
+                              "'");
+    }
+    return Status::ok();
+  }
+  const NfNode* nf = graph.find_nf(ref.id);
+  if (nf == nullptr) {
+    return invalid_argument("rule '" + rule_id +
+                            "' references unknown NF '" + ref.id + "'");
+  }
+  if (ref.port >= nf->num_ports) {
+    return invalid_argument("rule '" + rule_id + "' references port " +
+                            std::to_string(ref.port) + " of NF '" + ref.id +
+                            "' which has " + std::to_string(nf->num_ports) +
+                            " ports");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate(const NfFg& graph, std::vector<std::string>* warnings) {
+  if (graph.id.empty()) return invalid_argument("graph id empty");
+
+  std::set<std::string> nf_ids;
+  for (const NfNode& nf : graph.nfs) {
+    if (nf.id.empty()) return invalid_argument("NF with empty id");
+    if (nf.functional_type.empty()) {
+      return invalid_argument("NF '" + nf.id + "' has empty functional type");
+    }
+    if (nf.num_ports == 0) {
+      return invalid_argument("NF '" + nf.id + "' has zero ports");
+    }
+    if (!nf_ids.insert(nf.id).second) {
+      return invalid_argument("duplicate NF id '" + nf.id + "'");
+    }
+  }
+
+  std::set<std::string> ep_ids;
+  std::map<std::string, std::set<std::uint16_t>> iface_vlans;
+  std::map<std::string, int> iface_untagged;
+  for (const Endpoint& ep : graph.endpoints) {
+    if (ep.id.empty()) return invalid_argument("endpoint with empty id");
+    if (ep.interface.empty()) {
+      return invalid_argument("endpoint '" + ep.id + "' has empty interface");
+    }
+    if (!ep_ids.insert(ep.id).second) {
+      return invalid_argument("duplicate endpoint id '" + ep.id + "'");
+    }
+    if (nf_ids.contains(ep.id)) {
+      return invalid_argument("id '" + ep.id +
+                              "' used for both an NF and an endpoint");
+    }
+    if (ep.vlan.has_value()) {
+      if (*ep.vlan == 0 || *ep.vlan > 4094) {
+        return invalid_argument("endpoint '" + ep.id + "' has bad VLAN " +
+                                std::to_string(*ep.vlan));
+      }
+      if (!iface_vlans[ep.interface].insert(*ep.vlan).second) {
+        return invalid_argument("interface '" + ep.interface +
+                                "' classifies VLAN " +
+                                std::to_string(*ep.vlan) + " twice");
+      }
+    } else {
+      if (++iface_untagged[ep.interface] > 1) {
+        return invalid_argument("interface '" + ep.interface +
+                                "' has two untagged endpoints");
+      }
+    }
+  }
+
+  std::set<std::string> rule_ids;
+  std::set<std::string> referenced;
+  for (const Rule& rule : graph.rules) {
+    if (rule.id.empty()) return invalid_argument("rule with empty id");
+    if (!rule_ids.insert(rule.id).second) {
+      return invalid_argument("duplicate rule id '" + rule.id + "'");
+    }
+    NNFV_RETURN_IF_ERROR(check_ref(graph, rule.match.port_in, rule.id));
+    NNFV_RETURN_IF_ERROR(check_ref(graph, rule.output, rule.id));
+    if (rule.match.port_in == rule.output) {
+      return invalid_argument("rule '" + rule.id +
+                              "' forwards a port to itself");
+    }
+    referenced.insert(rule.match.port_in.to_string());
+    referenced.insert(rule.output.to_string());
+  }
+
+  if (warnings != nullptr) {
+    for (const NfNode& nf : graph.nfs) {
+      for (std::uint32_t p = 0; p < nf.num_ports; ++p) {
+        const std::string ref = "vnf:" + nf.id + ":" + std::to_string(p);
+        if (!referenced.contains(ref)) {
+          warnings->push_back("NF port " + ref +
+                              " is not referenced by any rule");
+        }
+      }
+    }
+    for (const Endpoint& ep : graph.endpoints) {
+      if (!referenced.contains("endpoint:" + ep.id)) {
+        warnings->push_back("endpoint '" + ep.id +
+                            "' is not referenced by any rule");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace nnfv::nffg

@@ -1,0 +1,21 @@
+// NF-FG referential validation, run by the orchestrator before deployment.
+#pragma once
+
+#include "nffg/nffg.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nffg {
+
+/// Checks a graph for internal consistency:
+///  * non-empty graph id; unique NF / endpoint / rule ids
+///  * every rule references existing NFs (with in-range port indices) or
+///    existing endpoints
+///  * every NF port and endpoint is reachable (referenced by >= 1 rule) —
+///    violations are warnings collected in `warnings` (deployment still
+///    proceeds, matching the permissive un-orchestrator behaviour)
+///  * endpoints on the same interface must use distinct VLANs (LSI-0 must
+///    be able to classify them apart)
+util::Status validate(const NfFg& graph,
+                      std::vector<std::string>* warnings = nullptr);
+
+}  // namespace nnfv::nffg

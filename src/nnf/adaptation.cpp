@@ -1,0 +1,67 @@
+#include "nnf/adaptation.hpp"
+
+#include "packet/builder.hpp"
+#include "packet/headers.hpp"
+
+namespace nnfv::nnf {
+
+util::Status AdaptationLayer::bind(ContextId ctx, NfPortIndex port,
+                                   Mark mark) {
+  if (by_mark_.contains(mark)) {
+    return util::already_exists("mark " + std::to_string(mark));
+  }
+  const std::pair<ContextId, NfPortIndex> path{ctx, port};
+  if (by_path_.contains(path)) {
+    return util::already_exists("binding for context " + std::to_string(ctx) +
+                                " port " + std::to_string(port));
+  }
+  by_mark_[mark] = path;
+  by_path_[path] = mark;
+  return util::Status::ok();
+}
+
+std::size_t AdaptationLayer::unbind_context(ContextId ctx) {
+  std::size_t removed = 0;
+  for (auto it = by_path_.begin(); it != by_path_.end();) {
+    if (it->first.first == ctx) {
+      by_mark_.erase(it->second);
+      it = by_path_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void AdaptationLayer::receive(sim::SimTime now,
+                              packet::PacketBuffer&& frame) {
+  ++stats_.in_frames;
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth || !eth->vlan.has_value()) {
+    ++stats_.untagged;
+    return;
+  }
+  auto binding = by_mark_.find(*eth->vlan);
+  if (binding == by_mark_.end()) {
+    ++stats_.unmapped_in;
+    return;
+  }
+  const auto [ctx, port] = binding->second;
+  packet::set_vlan(frame, std::nullopt);  // present the NF untagged traffic
+
+  std::vector<NfOutput> outputs = nf_.process(ctx, port, now,
+                                              std::move(frame));
+  for (NfOutput& output : outputs) {
+    auto out_mark = by_path_.find({ctx, output.port});
+    if (out_mark == by_path_.end()) {
+      ++stats_.unmapped_out;
+      continue;
+    }
+    packet::set_vlan(output.frame, out_mark->second);
+    ++stats_.out_frames;
+    if (tx_) tx_(std::move(output.frame));
+  }
+}
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,91 @@
+#include "nnf/bridge.hpp"
+
+#include "util/strings.hpp"
+
+namespace nnfv::nnf {
+
+Bridge::Bridge(std::size_t ports) : ports_(ports < 2 ? 2 : ports) {}
+
+util::Status Bridge::configure(ContextId ctx, const NfConfig& config) {
+  NNFV_RETURN_IF_ERROR(require_context(ctx));
+  for (const auto& [key, value] : config) {
+    if (key == "aging_time_ms") {
+      std::uint64_t ms = 0;
+      if (!util::parse_u64(value, ms)) {
+        return util::invalid_argument("bridge: bad aging_time_ms '" + value +
+                                      "'");
+      }
+      aging_time_ = static_cast<sim::SimTime>(ms) * sim::kMillisecond;
+    } else {
+      return util::invalid_argument("bridge: unknown config key '" + key +
+                                    "'");
+    }
+  }
+  return util::Status::ok();
+}
+
+std::vector<NfOutput> Bridge::process(ContextId ctx, NfPortIndex in_port,
+                                      sim::SimTime now,
+                                      packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  ++counters_.in_packets;
+  if (!has_context(ctx) || in_port >= ports_) {
+    ++counters_.errors;
+    return out;
+  }
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth) {
+    ++counters_.errors;
+    return out;
+  }
+  auto& table = fdb_[ctx];
+
+  // Learn the source (unicast sources only).
+  if (!eth->src.is_multicast()) {
+    table[eth->src] = FdbEntry{in_port, now};
+  }
+
+  // Look up the destination, honouring aging.
+  NfPortIndex dst_port = ports_;  // sentinel: flood
+  if (!eth->dst.is_multicast() && !eth->dst.is_broadcast()) {
+    auto it = table.find(eth->dst);
+    if (it != table.end()) {
+      if (now - it->second.learned_at > aging_time_) {
+        table.erase(it);
+      } else {
+        dst_port = it->second.port;
+      }
+    }
+  }
+
+  if (dst_port < ports_) {
+    if (dst_port != in_port) {  // never hairpin
+      out.push_back(NfOutput{dst_port, std::move(frame)});
+      ++counters_.out_packets;
+    } else {
+      ++counters_.dropped;
+    }
+    return out;
+  }
+
+  // Flood to all ports except the ingress.
+  for (NfPortIndex p = 0; p < ports_; ++p) {
+    if (p == in_port) continue;
+    out.push_back(NfOutput{p, packet::PacketBuffer(frame.data())});
+    ++counters_.out_packets;
+  }
+  return out;
+}
+
+util::Status Bridge::remove_context(ContextId ctx) {
+  NNFV_RETURN_IF_ERROR(NetworkFunction::remove_context(ctx));
+  fdb_.erase(ctx);
+  return util::Status::ok();
+}
+
+std::size_t Bridge::table_size(ContextId ctx) const {
+  auto it = fdb_.find(ctx);
+  return it == fdb_.end() ? 0 : it->second.size();
+}
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,74 @@
+#include "nnf/catalog.hpp"
+
+namespace nnfv::nnf {
+
+util::Status NnfCatalog::register_plugin(std::shared_ptr<NnfPlugin> plugin) {
+  if (plugin == nullptr) return util::invalid_argument("null plugin");
+  const std::string& type = plugin->descriptor().functional_type;
+  if (type.empty()) {
+    return util::invalid_argument("plugin with empty functional type");
+  }
+  if (plugins_.contains(type)) {
+    return util::already_exists("NNF plugin '" + type + "'");
+  }
+  plugins_[type] = std::move(plugin);
+  status_[type] = NnfStatus{};
+  return util::Status::ok();
+}
+
+bool NnfCatalog::has(const std::string& functional_type) const {
+  return plugins_.contains(functional_type);
+}
+
+util::Result<std::shared_ptr<NnfPlugin>> NnfCatalog::plugin(
+    const std::string& functional_type) const {
+  auto it = plugins_.find(functional_type);
+  if (it == plugins_.end()) {
+    return util::not_found("NNF plugin '" + functional_type + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> NnfCatalog::types() const {
+  std::vector<std::string> out;
+  out.reserve(plugins_.size());
+  for (const auto& [type, plugin] : plugins_) out.push_back(type);
+  return out;
+}
+
+NnfStatus& NnfCatalog::status(const std::string& functional_type) {
+  return status_[functional_type];
+}
+
+const NnfStatus* NnfCatalog::status_of(
+    const std::string& functional_type) const {
+  auto it = status_.find(functional_type);
+  return it == status_.end() ? nullptr : &it->second;
+}
+
+bool NnfCatalog::can_instantiate(const std::string& functional_type) const {
+  auto it = plugins_.find(functional_type);
+  if (it == plugins_.end()) return false;
+  const NnfStatus* status = status_of(functional_type);
+  const std::size_t running = status == nullptr ? 0 : status->running_instances;
+  return running < it->second->descriptor().max_instances;
+}
+
+bool NnfCatalog::can_share(const std::string& functional_type) const {
+  auto it = plugins_.find(functional_type);
+  if (it == plugins_.end()) return false;
+  if (!it->second->descriptor().sharable) return false;
+  const NnfStatus* status = status_of(functional_type);
+  return status != nullptr && status->running_instances > 0;
+}
+
+NnfCatalog NnfCatalog::with_builtin_plugins() {
+  NnfCatalog catalog;
+  (void)catalog.register_plugin(make_bridge_plugin());
+  (void)catalog.register_plugin(make_firewall_plugin());
+  (void)catalog.register_plugin(make_nat_plugin());
+  (void)catalog.register_plugin(make_ipsec_plugin());
+  return catalog;
+}
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,52 @@
+// NnfCatalog: "the available NNFs and their characteristics" (paper §2) —
+// the per-node inventory the orchestrator consults when deciding NNF vs
+// VNF, including live usage status (instances running, graphs served).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nnf/plugin.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nnf {
+
+struct NnfStatus {
+  std::size_t running_instances = 0;
+  /// Graphs currently steering traffic through this NNF type.
+  std::set<std::string> graphs;
+};
+
+class NnfCatalog {
+ public:
+  util::Status register_plugin(std::shared_ptr<NnfPlugin> plugin);
+
+  [[nodiscard]] bool has(const std::string& functional_type) const;
+  [[nodiscard]] util::Result<std::shared_ptr<NnfPlugin>> plugin(
+      const std::string& functional_type) const;
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// Live status bookkeeping, updated by the native driver.
+  NnfStatus& status(const std::string& functional_type);
+  [[nodiscard]] const NnfStatus* status_of(
+      const std::string& functional_type) const;
+
+  /// A new instance may start iff running < max_instances.
+  [[nodiscard]] bool can_instantiate(const std::string& functional_type) const;
+
+  /// A graph can be served without a new instance iff an instance runs and
+  /// the NNF is sharable.
+  [[nodiscard]] bool can_share(const std::string& functional_type) const;
+
+  /// Registers the four built-in CPE-native functions.
+  static NnfCatalog with_builtin_plugins();
+
+ private:
+  std::map<std::string, std::shared_ptr<NnfPlugin>> plugins_;
+  std::map<std::string, NnfStatus> status_;
+};
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,326 @@
+#include "nnf/ipsec.hpp"
+
+#include <cstring>
+
+#include "crypto/cipher_modes.hpp"
+#include "crypto/hmac.hpp"
+#include "packet/checksum.hpp"
+#include "util/byteorder.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::nnf {
+
+namespace {
+
+util::Status parse_key(const std::string& hex, std::span<std::uint8_t> out) {
+  std::vector<std::uint8_t> bytes;
+  if (!util::hex_decode(hex, bytes) || bytes.size() != out.size()) {
+    return util::invalid_argument("ipsec: key must be " +
+                                  std::to_string(out.size() * 2) +
+                                  " hex chars");
+  }
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return util::Status::ok();
+}
+
+util::Status parse_mac(const std::string& text, packet::MacAddress& out) {
+  auto mac = packet::MacAddress::parse(text);
+  if (!mac.has_value()) {
+    return util::invalid_argument("ipsec: bad MAC '" + text + "'");
+  }
+  out = *mac;
+  return util::Status::ok();
+}
+
+/// Deterministic unpredictable IV: AES-encrypt the (SPI, seq) block.
+std::array<std::uint8_t, 16> derive_iv(const crypto::Aes& aes,
+                                       std::uint32_t spi, std::uint64_t seq) {
+  std::uint8_t block[16] = {};
+  util::store_be32(block, spi);
+  util::store_be64(block + 8, seq);
+  std::array<std::uint8_t, 16> iv{};
+  aes.encrypt_block(block, iv.data());
+  return iv;
+}
+
+}  // namespace
+
+util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
+  NNFV_RETURN_IF_ERROR(require_context(ctx));
+  Tunnel& tunnel = tunnels_[ctx];
+  for (const auto& [key, value] : config) {
+    if (key == "local_ip" || key == "peer_ip") {
+      auto addr = packet::Ipv4Address::parse(value);
+      if (!addr.has_value()) {
+        return util::invalid_argument("ipsec: bad " + key + " '" + value +
+                                      "'");
+      }
+      (key == "local_ip" ? tunnel.local_ip : tunnel.peer_ip) = *addr;
+    } else if (key == "spi_out" || key == "spi_in") {
+      std::uint64_t spi = 0;
+      if (!util::parse_u64(value, spi) || spi == 0 || spi > 0xFFFFFFFFULL) {
+        return util::invalid_argument("ipsec: bad " + key + " '" + value +
+                                      "'");
+      }
+      (key == "spi_out" ? tunnel.out_sa.spi : tunnel.in_sa.spi) =
+          static_cast<std::uint32_t>(spi);
+    } else if (key == "enc_key") {
+      NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.enc_key));
+      tunnel.in_sa.enc_key = tunnel.out_sa.enc_key;
+      auto aes = crypto::Aes::create(tunnel.out_sa.enc_key);
+      if (!aes) return aes.status();
+      tunnel.cipher = aes.value();
+    } else if (key == "auth_key") {
+      NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.auth_key));
+      tunnel.in_sa.auth_key = tunnel.out_sa.auth_key;
+    } else if (key == "outer_src_mac") {
+      NNFV_RETURN_IF_ERROR(parse_mac(value, tunnel.outer_src_mac));
+    } else if (key == "outer_dst_mac") {
+      NNFV_RETURN_IF_ERROR(parse_mac(value, tunnel.outer_dst_mac));
+    } else if (key == "inner_src_mac") {
+      NNFV_RETURN_IF_ERROR(parse_mac(value, tunnel.inner_src_mac));
+    } else if (key == "inner_dst_mac") {
+      NNFV_RETURN_IF_ERROR(parse_mac(value, tunnel.inner_dst_mac));
+    } else {
+      return util::invalid_argument("ipsec: unknown config key '" + key +
+                                    "'");
+    }
+  }
+  tunnel.configured = tunnel.cipher.has_value() && tunnel.out_sa.spi != 0 &&
+                      tunnel.in_sa.spi != 0;
+  return util::Status::ok();
+}
+
+std::vector<NfOutput> IpsecEndpoint::process(ContextId ctx,
+                                             NfPortIndex in_port,
+                                             sim::SimTime /*now*/,
+                                             packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  if (!has_context(ctx) || in_port >= 2) {
+    ++stats_.malformed;
+    return out;
+  }
+  auto it = tunnels_.find(ctx);
+  if (it == tunnels_.end() || !it->second.configured) {
+    ++stats_.no_sa;
+    return out;
+  }
+  if (in_port == 0) return encapsulate(it->second, std::move(frame));
+  return decapsulate(it->second, std::move(frame));
+}
+
+std::vector<NfOutput> IpsecEndpoint::encapsulate(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
+    ++stats_.malformed;
+    return out;
+  }
+  // Inner packet = everything after the Ethernet header, trimmed to the IP
+  // total length (drops any Ethernet padding).
+  auto l3 = frame.data().subspan(eth->wire_size());
+  auto inner_ip = packet::parse_ipv4(l3);
+  if (!inner_ip || inner_ip->total_length > l3.size()) {
+    ++stats_.malformed;
+    return out;
+  }
+  std::span<const std::uint8_t> inner{l3.data(), inner_ip->total_length};
+
+  SecurityAssociation& sa = tunnel.out_sa;
+  sa.seq += 1;
+
+  // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
+  // pad bytes are 1,2,3,... (RFC 4303 §2.4).
+  const std::size_t block = crypto::Aes::kBlockSize;
+  const std::size_t pad = (block - (inner.size() + 2) % block) % block;
+  std::vector<std::uint8_t> plaintext(inner.begin(), inner.end());
+  for (std::size_t i = 1; i <= pad; ++i) {
+    plaintext.push_back(static_cast<std::uint8_t>(i));
+  }
+  plaintext.push_back(static_cast<std::uint8_t>(pad));
+  plaintext.push_back(4);  // next header: IPv4 (tunnel mode)
+
+  const auto iv = derive_iv(*tunnel.cipher, sa.spi, sa.seq);
+  auto ciphertext = crypto::aes_cbc_encrypt_raw(*tunnel.cipher, iv, plaintext);
+  if (!ciphertext) {
+    ++stats_.malformed;
+    return out;
+  }
+
+  // Assemble: Eth | outer IPv4 | ESP | IV | ciphertext | ICV.
+  const std::size_t esp_payload =
+      packet::kEspHeaderSize + kIvSize + ciphertext->size() + kIcvSize;
+  const std::size_t total = packet::kEthernetHeaderSize +
+                            packet::kIpv4MinHeaderSize + esp_payload;
+  packet::PacketBuffer outp;
+  outp.push_back(total);
+  auto buf = outp.data();
+
+  packet::EthernetHeader outer_eth{.dst = tunnel.outer_dst_mac,
+                                   .src = tunnel.outer_src_mac,
+                                   .ether_type = packet::kEtherTypeIpv4,
+                                   .vlan = std::nullopt};
+  packet::write_ethernet(outer_eth,
+                         buf.subspan(0, packet::kEthernetHeaderSize));
+
+  packet::Ipv4Header outer_ip;
+  outer_ip.protocol = packet::kIpProtoEsp;
+  outer_ip.ttl = 64;
+  outer_ip.src = tunnel.local_ip;
+  outer_ip.dst = tunnel.peer_ip;
+  outer_ip.total_length =
+      static_cast<std::uint16_t>(packet::kIpv4MinHeaderSize + esp_payload);
+  outer_ip.identification = static_cast<std::uint16_t>(sa.seq);
+  packet::write_ipv4(outer_ip, buf.subspan(packet::kEthernetHeaderSize,
+                                           packet::kIpv4MinHeaderSize));
+
+  const std::size_t esp_off =
+      packet::kEthernetHeaderSize + packet::kIpv4MinHeaderSize;
+  packet::EspHeader esp{sa.spi, static_cast<std::uint32_t>(sa.seq)};
+  packet::write_esp(esp, buf.subspan(esp_off, packet::kEspHeaderSize));
+  std::memcpy(buf.data() + esp_off + packet::kEspHeaderSize, iv.data(),
+              kIvSize);
+  std::memcpy(buf.data() + esp_off + packet::kEspHeaderSize + kIvSize,
+              ciphertext->data(), ciphertext->size());
+
+  // ICV over ESP header + IV + ciphertext (RFC 4303 §2.8).
+  const std::size_t auth_len =
+      packet::kEspHeaderSize + kIvSize + ciphertext->size();
+  auto icv = crypto::HmacSha256::mac(sa.auth_key,
+                                     buf.subspan(esp_off, auth_len));
+  std::memcpy(buf.data() + esp_off + auth_len, icv.data(), kIcvSize);
+
+  ++stats_.encapsulated;
+  out.push_back(NfOutput{1, std::move(outp)});
+  return out;
+}
+
+std::vector<NfOutput> IpsecEndpoint::decapsulate(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
+    ++stats_.malformed;
+    return out;
+  }
+  auto l3 = frame.data().subspan(eth->wire_size());
+  auto ip = packet::parse_ipv4(l3);
+  if (!ip || ip->protocol != packet::kIpProtoEsp ||
+      ip->total_length > l3.size()) {
+    ++stats_.malformed;
+    return out;
+  }
+  if (!(ip->dst == tunnel.local_ip)) {
+    ++stats_.no_sa;
+    return out;
+  }
+  auto esp_area = l3.subspan(ip->header_size(),
+                             ip->total_length - ip->header_size());
+  if (esp_area.size() <
+      packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize + kIcvSize) {
+    ++stats_.malformed;
+    return out;
+  }
+  auto esp = packet::parse_esp(esp_area);
+  if (!esp) {
+    ++stats_.malformed;
+    return out;
+  }
+  SecurityAssociation& sa = tunnel.in_sa;
+  if (esp->spi != sa.spi) {
+    ++stats_.no_sa;
+    return out;
+  }
+
+  // Verify ICV first (constant time), then replay, then decrypt.
+  const std::size_t auth_len = esp_area.size() - kIcvSize;
+  auto expected = crypto::HmacSha256::mac(
+      sa.auth_key, esp_area.subspan(0, auth_len));
+  if (!crypto::constant_time_equal({expected.data(), kIcvSize},
+                                   esp_area.subspan(auth_len, kIcvSize))) {
+    ++stats_.auth_failures;
+    return out;
+  }
+  if (!replay_check_and_update(sa, esp->sequence)) {
+    ++stats_.replay_drops;
+    return out;
+  }
+
+  auto iv = esp_area.subspan(packet::kEspHeaderSize, kIvSize);
+  auto ciphertext = esp_area.subspan(
+      packet::kEspHeaderSize + kIvSize,
+      auth_len - packet::kEspHeaderSize - kIvSize);
+  auto plaintext =
+      crypto::aes_cbc_decrypt_raw(*tunnel.cipher, iv, ciphertext);
+  if (!plaintext) {
+    ++stats_.malformed;
+    return out;
+  }
+  // Strip the ESP trailer.
+  if (plaintext->size() < 2) {
+    ++stats_.malformed;
+    return out;
+  }
+  const std::uint8_t next_header = plaintext->back();
+  const std::uint8_t pad_len = (*plaintext)[plaintext->size() - 2];
+  if (next_header != 4 || plaintext->size() < 2u + pad_len) {
+    ++stats_.malformed;
+    return out;
+  }
+  // Validate the monotonic pad bytes (cheap corruption check).
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    const std::size_t idx = plaintext->size() - 2 - pad_len + i;
+    if ((*plaintext)[idx] != i + 1) {
+      ++stats_.malformed;
+      return out;
+    }
+  }
+  plaintext->resize(plaintext->size() - 2 - pad_len);
+
+  // Rebuild an Ethernet frame around the inner IP packet.
+  packet::PacketBuffer inner(
+      std::span<const std::uint8_t>(plaintext->data(), plaintext->size()));
+  auto ethspan = inner.push_front(packet::kEthernetHeaderSize);
+  packet::EthernetHeader inner_eth{.dst = tunnel.inner_dst_mac,
+                                   .src = tunnel.inner_src_mac,
+                                   .ether_type = packet::kEtherTypeIpv4,
+                                   .vlan = std::nullopt};
+  packet::write_ethernet(inner_eth, ethspan);
+
+  ++stats_.decapsulated;
+  out.push_back(NfOutput{0, std::move(inner)});
+  return out;
+}
+
+bool IpsecEndpoint::replay_check_and_update(SecurityAssociation& sa,
+                                            std::uint32_t seq) {
+  if (seq == 0) return false;  // seq 0 is never valid
+  constexpr std::uint32_t kWindow = 64;
+  if (seq > sa.replay_top) {
+    const std::uint32_t shift = seq - sa.replay_top;
+    sa.replay_bitmap = shift >= kWindow ? 0 : sa.replay_bitmap << shift;
+    sa.replay_bitmap |= 1;  // bit 0 = replay_top (the new seq)
+    sa.replay_top = seq;
+    return true;
+  }
+  const std::uint32_t offset = sa.replay_top - seq;
+  if (offset >= kWindow) return false;  // too old
+  const std::uint64_t bit = 1ULL << offset;
+  if ((sa.replay_bitmap & bit) != 0) return false;  // duplicate
+  sa.replay_bitmap |= bit;
+  return true;
+}
+
+util::Status IpsecEndpoint::remove_context(ContextId ctx) {
+  NNFV_RETURN_IF_ERROR(NetworkFunction::remove_context(ctx));
+  tunnels_.erase(ctx);
+  return util::Status::ok();
+}
+
+SecurityAssociation* IpsecEndpoint::inbound_sa(ContextId ctx) {
+  auto it = tunnels_.find(ctx);
+  return it == tunnels_.end() ? nullptr : &it->second.in_sa;
+}
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,59 @@
+#include "nnf/marking.hpp"
+
+#include "util/strings.hpp"
+
+namespace nnfv::nnf {
+
+MarkAllocator::MarkAllocator(Mark lo, Mark hi) : lo_(lo), hi_(hi) {
+  if (hi_ < lo_) hi_ = lo_;
+}
+
+util::Result<Mark> MarkAllocator::allocate(const std::string& owner) {
+  if (owner.empty()) return util::invalid_argument("mark owner empty");
+  auto it = by_owner_.find(owner);
+  if (it != by_owner_.end()) return it->second;
+  for (Mark m = lo_; m <= hi_; ++m) {
+    if (!used_.contains(m)) {
+      used_.insert(m);
+      by_owner_[owner] = m;
+      return m;
+    }
+    if (m == hi_) break;  // Mark is uint16_t: avoid wrap at 65535
+  }
+  return util::resource_exhausted("mark pool exhausted (" +
+                                  std::to_string(capacity()) + " marks)");
+}
+
+util::Status MarkAllocator::release(const std::string& owner) {
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) {
+    return util::not_found("mark owner '" + owner + "'");
+  }
+  used_.erase(it->second);
+  by_owner_.erase(it);
+  return util::Status::ok();
+}
+
+std::size_t MarkAllocator::release_prefix(const std::string& prefix) {
+  std::size_t released = 0;
+  for (auto it = by_owner_.begin(); it != by_owner_.end();) {
+    if (util::starts_with(it->first, prefix)) {
+      used_.erase(it->second);
+      it = by_owner_.erase(it);
+      ++released;
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+util::Result<Mark> MarkAllocator::mark_of(const std::string& owner) const {
+  auto it = by_owner_.find(owner);
+  if (it == by_owner_.end()) {
+    return util::not_found("mark owner '" + owner + "'");
+  }
+  return it->second;
+}
+
+}  // namespace nnfv::nnf

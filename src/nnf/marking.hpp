@@ -1,0 +1,45 @@
+// MarkAllocator: the "ad-hoc marking mechanism to distinguish between
+// traffic belonging to different service graphs" (paper §2).
+//
+// Marks are 802.1Q VIDs from a reserved pool: the steering rules push the
+// mark before handing a frame to a shared NNF's adaptation layer, and the
+// adaptation layer demultiplexes on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace nnfv::nnf {
+
+using Mark = std::uint16_t;
+
+class MarkAllocator {
+ public:
+  /// Pool of VIDs [lo, hi]; defaults avoid common user VLAN ranges.
+  explicit MarkAllocator(Mark lo = 3000, Mark hi = 3999);
+
+  /// Allocates the lowest free mark for an owner key (e.g. "graph7:nat:0").
+  /// Re-requesting the same key returns the existing mark (idempotent).
+  util::Result<Mark> allocate(const std::string& owner);
+
+  util::Status release(const std::string& owner);
+
+  /// Releases every mark whose owner starts with `prefix` (graph teardown).
+  std::size_t release_prefix(const std::string& prefix);
+
+  [[nodiscard]] std::size_t in_use() const { return by_owner_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return hi_ - lo_ + 1u; }
+  [[nodiscard]] util::Result<Mark> mark_of(const std::string& owner) const;
+
+ private:
+  Mark lo_;
+  Mark hi_;
+  std::map<std::string, Mark> by_owner_;
+  std::set<Mark> used_;
+};
+
+}  // namespace nnfv::nnf

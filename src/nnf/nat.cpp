@@ -1,0 +1,196 @@
+#include "nnf/nat.hpp"
+
+#include "packet/builder.hpp"
+#include "packet/checksum.hpp"
+#include "util/byteorder.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::nnf {
+
+namespace {
+
+/// Offsets of the fields NAT rewrites, relative to the L3 header.
+struct L3View {
+  std::size_t l3_off = 0;
+  packet::Ipv4Header ip;
+};
+
+util::Result<L3View> locate_ip(packet::PacketBuffer& frame) {
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth) return eth.status();
+  if (eth->ether_type != packet::kEtherTypeIpv4) {
+    return util::invalid_argument("not IPv4");
+  }
+  auto ip = packet::parse_ipv4(frame.data().subspan(eth->wire_size()));
+  if (!ip) return ip.status();
+  return L3View{eth->wire_size(), ip.value()};
+}
+
+/// Writes a new src/dst address + transport port into the frame, then fixes
+/// checksums.
+void rewrite(packet::PacketBuffer& frame, const L3View& view, bool rewrite_src,
+             packet::Ipv4Address new_addr, std::uint16_t new_port) {
+  packet::Ipv4Header ip = view.ip;
+  if (rewrite_src) {
+    ip.src = new_addr;
+  } else {
+    ip.dst = new_addr;
+  }
+  packet::write_ipv4(ip, frame.data().subspan(view.l3_off, ip.header_size()));
+  const std::size_t l4_off = view.l3_off + ip.header_size();
+  if (ip.protocol == packet::kIpProtoTcp ||
+      ip.protocol == packet::kIpProtoUdp) {
+    // Port field offset: src at 0, dst at 2.
+    const std::size_t port_off = l4_off + (rewrite_src ? 0 : 2);
+    util::store_be16(frame.data().data() + port_off, new_port);
+  } else if (ip.protocol == packet::kIpProtoIcmp) {
+    // Rewrite the echo identifier.
+    util::store_be16(frame.data().data() + l4_off + 4, new_port);
+  }
+  packet::fix_checksums(frame);
+}
+
+}  // namespace
+
+util::Status Nat::configure(ContextId ctx, const NfConfig& config) {
+  NNFV_RETURN_IF_ERROR(require_context(ctx));
+  ContextState& state = state_[ctx];
+  for (const auto& [key, value] : config) {
+    if (key == "external_ip") {
+      auto addr = packet::Ipv4Address::parse(value);
+      if (!addr.has_value()) {
+        return util::invalid_argument("nat: bad external_ip '" + value + "'");
+      }
+      state.external_ip = *addr;
+      state.external_ip_set = true;
+    } else if (key == "idle_timeout_ms") {
+      std::uint64_t ms = 0;
+      if (!util::parse_u64(value, ms)) {
+        return util::invalid_argument("nat: bad idle_timeout_ms '" + value +
+                                      "'");
+      }
+      state.idle_timeout = static_cast<sim::SimTime>(ms) * sim::kMillisecond;
+    } else {
+      return util::invalid_argument("nat: unknown config key '" + key + "'");
+    }
+  }
+  return util::Status::ok();
+}
+
+void Nat::expire(ContextState& state, sim::SimTime now) {
+  for (auto it = state.by_original.begin(); it != state.by_original.end();) {
+    if (now - it->second.last_seen > state.idle_timeout) {
+      state.by_external.erase(
+          {it->first.protocol, it->second.external_port});
+      it = state.by_original.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+util::Result<std::uint16_t> Nat::allocate_port(ContextState& state,
+                                               std::uint8_t protocol) {
+  // Linear scan from next_port with wraparound; 64512 candidate ports.
+  for (int attempts = 0; attempts < 65536 - 1024; ++attempts) {
+    const std::uint16_t candidate = state.next_port;
+    state.next_port =
+        state.next_port >= 65535 ? 1024 : state.next_port + 1;
+    if (!state.by_external.contains({protocol, candidate})) {
+      return candidate;
+    }
+  }
+  return util::resource_exhausted("nat: port pool exhausted");
+}
+
+std::vector<NfOutput> Nat::process(ContextId ctx, NfPortIndex in_port,
+                                   sim::SimTime now,
+                                   packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  ++counters_.in_packets;
+  if (!has_context(ctx) || in_port >= 2) {
+    ++counters_.errors;
+    return out;
+  }
+  ContextState& state = state_[ctx];
+  if (!state.external_ip_set) {
+    ++counters_.dropped;
+    return out;
+  }
+  auto view = locate_ip(frame);
+  if (!view) {
+    // Non-IP traffic passes through untranslated (L2 bridging behaviour).
+    out.push_back(NfOutput{in_port == 0 ? 1u : 0u, std::move(frame)});
+    ++counters_.out_packets;
+    return out;
+  }
+  auto tuple =
+      packet::extract_five_tuple(frame.data().subspan(view->l3_off));
+  if (!tuple) {
+    ++counters_.dropped;
+    return out;
+  }
+  expire(state, now);
+
+  if (in_port == 0) {
+    // Outbound: find or create a session.
+    auto it = state.by_original.find(tuple.value());
+    if (it == state.by_original.end()) {
+      auto port = allocate_port(state, tuple->protocol);
+      if (!port) {
+        ++counters_.dropped;
+        return out;
+      }
+      Session session{tuple.value(), port.value(), now};
+      it = state.by_original.emplace(tuple.value(), session).first;
+      state.by_external[{tuple->protocol, port.value()}] = tuple.value();
+    }
+    it->second.last_seen = now;
+    rewrite(frame, view.value(), /*rewrite_src=*/true, state.external_ip,
+            it->second.external_port);
+    out.push_back(NfOutput{1, std::move(frame)});
+    ++counters_.out_packets;
+    return out;
+  }
+
+  // Inbound: must match a tracked session and target the external IP.
+  if (!(tuple->dst_ip == state.external_ip)) {
+    ++counters_.dropped;
+    return out;
+  }
+  auto ext = state.by_external.find({tuple->protocol, tuple->dst_port});
+  if (tuple->protocol == packet::kIpProtoIcmp) {
+    // For echo replies the identifier is carried in src_port by our
+    // extractor; the NAT allocated it as the "external port".
+    ext = state.by_external.find({tuple->protocol, tuple->src_port});
+  }
+  if (ext == state.by_external.end()) {
+    ++counters_.dropped;
+    return out;
+  }
+  const packet::FiveTuple& original = ext->second;
+  auto session = state.by_original.find(original);
+  if (session == state.by_original.end()) {
+    ++counters_.dropped;
+    return out;
+  }
+  session->second.last_seen = now;
+  rewrite(frame, view.value(), /*rewrite_src=*/false, original.src_ip,
+          original.src_port);
+  out.push_back(NfOutput{0, std::move(frame)});
+  ++counters_.out_packets;
+  return out;
+}
+
+util::Status Nat::remove_context(ContextId ctx) {
+  NNFV_RETURN_IF_ERROR(NetworkFunction::remove_context(ctx));
+  state_.erase(ctx);
+  return util::Status::ok();
+}
+
+std::size_t Nat::session_count(ContextId ctx) const {
+  auto it = state_.find(ctx);
+  return it == state_.end() ? 0 : it->second.by_original.size();
+}
+
+}  // namespace nnfv::nnf

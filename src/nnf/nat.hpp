@@ -1,0 +1,67 @@
+// Source NAT (masquerade) with connection tracking — the iptables NAT role.
+//
+// Port 0 = inside (private), port 1 = outside (public). Outbound packets
+// get their source rewritten to the external IP and an allocated port;
+// inbound packets matching a tracked connection are rewritten back and
+// forwarded inside; unsolicited inbound traffic is dropped. Per-context
+// conntrack tables and disjoint port pools make the NAT sharable across
+// service graphs.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "nnf/network_function.hpp"
+#include "packet/flow_key.hpp"
+
+namespace nnfv::nnf {
+
+class Nat : public NetworkFunction {
+ public:
+  Nat() = default;
+
+  [[nodiscard]] std::string_view type() const override { return "nat"; }
+  [[nodiscard]] std::size_t num_ports() const override { return 2; }
+
+  /// Config keys: "external_ip" (required before traffic),
+  /// "idle_timeout_ms" (default 30000).
+  util::Status configure(ContextId ctx, const NfConfig& config) override;
+
+  std::vector<NfOutput> process(ContextId ctx, NfPortIndex in_port,
+                                sim::SimTime now,
+                                packet::PacketBuffer&& frame) override;
+
+  util::Status remove_context(ContextId ctx) override;
+
+  [[nodiscard]] std::size_t session_count(ContextId ctx) const;
+  [[nodiscard]] const NfCounters& counters() const { return counters_; }
+
+ private:
+  struct Session {
+    packet::FiveTuple original;      ///< inside view, outbound direction
+    std::uint16_t external_port = 0;
+    sim::SimTime last_seen = 0;
+  };
+
+  struct ContextState {
+    packet::Ipv4Address external_ip;
+    bool external_ip_set = false;
+    sim::SimTime idle_timeout = 30 * sim::kSecond;
+    /// Outbound lookup: original tuple -> session.
+    std::unordered_map<packet::FiveTuple, Session, packet::FiveTupleHash>
+        by_original;
+    /// Inbound lookup: (protocol, external port) -> original tuple.
+    std::map<std::pair<std::uint8_t, std::uint16_t>, packet::FiveTuple>
+        by_external;
+    std::uint16_t next_port = 1024;
+  };
+
+  void expire(ContextState& state, sim::SimTime now);
+  util::Result<std::uint16_t> allocate_port(ContextState& state,
+                                            std::uint8_t protocol);
+
+  std::map<ContextId, ContextState> state_;
+  NfCounters counters_;
+};
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,39 @@
+#include "nnf/network_function.hpp"
+
+#include <algorithm>
+
+namespace nnfv::nnf {
+
+util::Status NetworkFunction::add_context(ContextId ctx) {
+  if (std::find(contexts_.begin(), contexts_.end(), ctx) != contexts_.end()) {
+    return util::already_exists("context " + std::to_string(ctx));
+  }
+  contexts_.push_back(ctx);
+  return util::Status::ok();
+}
+
+util::Status NetworkFunction::remove_context(ContextId ctx) {
+  if (ctx == kDefaultContext) {
+    return util::invalid_argument("context 0 cannot be removed");
+  }
+  auto it = std::find(contexts_.begin(), contexts_.end(), ctx);
+  if (it == contexts_.end()) {
+    return util::not_found("context " + std::to_string(ctx));
+  }
+  contexts_.erase(it);
+  return util::Status::ok();
+}
+
+bool NetworkFunction::has_context(ContextId ctx) const {
+  return std::find(contexts_.begin(), contexts_.end(), ctx) !=
+         contexts_.end();
+}
+
+util::Status NetworkFunction::require_context(ContextId ctx) const {
+  if (!has_context(ctx)) {
+    return util::not_found("context " + std::to_string(ctx));
+  }
+  return util::Status::ok();
+}
+
+}  // namespace nnfv::nnf

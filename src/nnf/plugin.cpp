@@ -1,0 +1,92 @@
+#include "nnf/plugin.hpp"
+
+#include "nnf/bridge.hpp"
+#include "nnf/firewall.hpp"
+#include "nnf/ipsec.hpp"
+#include "nnf/nat.hpp"
+
+namespace nnfv::nnf {
+
+util::Status NnfPlugin::update(NetworkFunction& nf, ContextId ctx,
+                               const NfConfig& config) {
+  return nf.configure(ctx, config);
+}
+
+util::Status NnfPlugin::on_start(NetworkFunction& /*nf*/) {
+  return util::Status::ok();
+}
+
+util::Status NnfPlugin::on_stop(NetworkFunction& /*nf*/) {
+  return util::Status::ok();
+}
+
+std::shared_ptr<NnfPlugin> make_bridge_plugin() {
+  NnfDescriptor d;
+  d.functional_type = "bridge";
+  // linuxbridge supports many independent bridge devices; no marking needed.
+  d.max_instances = 8;
+  d.sharable = false;
+  d.single_interface = false;
+  d.num_ports = 2;
+  d.compute = virt::profile_forwarding();
+  d.memory = {2 * virt::kMiB, 64};
+  d.package_bytes = 300 * 1024;  // bridge-utils
+  return std::make_shared<SimpleNnfPlugin>(d, []() {
+    return util::Result<std::unique_ptr<NetworkFunction>>(
+        std::make_unique<Bridge>());
+  });
+}
+
+std::shared_ptr<NnfPlugin> make_firewall_plugin() {
+  NnfDescriptor d;
+  d.functional_type = "firewall";
+  // One iptables; per-graph chains give sharability, and the netfilter
+  // hooks act as a single attachment point -> adaptation layer required.
+  d.max_instances = 1;
+  d.sharable = true;
+  d.single_interface = true;
+  d.num_ports = 2;
+  d.compute = virt::profile_forwarding();
+  d.memory = {4 * virt::kMiB, 128};
+  d.package_bytes = 1200 * 1024;  // iptables + modules
+  return std::make_shared<SimpleNnfPlugin>(d, []() {
+    return util::Result<std::unique_ptr<NetworkFunction>>(
+        std::make_unique<Firewall>());
+  });
+}
+
+std::shared_ptr<NnfPlugin> make_nat_plugin() {
+  NnfDescriptor d;
+  d.functional_type = "nat";
+  d.max_instances = 1;
+  d.sharable = true;
+  d.single_interface = true;
+  d.num_ports = 2;
+  d.compute = virt::profile_nat();
+  d.memory = {6 * virt::kMiB, 256};
+  d.package_bytes = 1200 * 1024;
+  return std::make_shared<SimpleNnfPlugin>(d, []() {
+    return util::Result<std::unique_ptr<NetworkFunction>>(
+        std::make_unique<Nat>());
+  });
+}
+
+std::shared_ptr<NnfPlugin> make_ipsec_plugin() {
+  NnfDescriptor d;
+  d.functional_type = "ipsec";
+  // One Strongswan daemon; multiple tunnels (= contexts) make it sharable.
+  // It exposes distinct red/black attachments, so no adaptation layer.
+  d.max_instances = 1;
+  d.sharable = true;
+  d.single_interface = false;
+  d.num_ports = 2;
+  d.compute = virt::profile_ipsec_esp();
+  d.memory = {19 * virt::kMiB + 400 * virt::kKiB, 512};  // Table 1: 19.4 MB
+  d.package_bytes = 5 * virt::kMiB;                      // Table 1: 5 MB
+  return std::make_shared<SimpleNnfPlugin>(d, []() {
+    return util::Result<std::unique_ptr<NetworkFunction>>(
+        std::make_unique<IpsecEndpoint>());
+  });
+}
+
+}  // namespace nnfv::nnf

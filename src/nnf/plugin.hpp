@@ -1,0 +1,96 @@
+// NNF plugins: the per-function lifecycle glue the paper implements as "a
+// collection of bash scripts that control the basic lifecycle (create,
+// update, etc.) of the NF", plus the declarative capability record the
+// orchestrator consults (sharable? single-interface? how many instances?).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "nnf/network_function.hpp"
+#include "util/status.hpp"
+#include "virt/cost_model.hpp"
+#include "virt/ram_model.hpp"
+
+namespace nnfv::nnf {
+
+/// Static description of one native network function available on a node.
+struct NnfDescriptor {
+  std::string functional_type;  ///< "ipsec", "nat", "firewall", "bridge"
+  std::string version = "1.0";
+
+  /// Maximum concurrently running instances (1 for most kernel-integrated
+  /// functions: there is only one iptables).
+  std::size_t max_instances = 1;
+
+  /// Sharable per the paper's definition: the NNF can (i) distinguish
+  /// traffic of different service graphs via a marking mechanism and
+  /// (ii) keep multiple isolated internal paths.
+  bool sharable = false;
+
+  /// Designed to receive traffic from a single network interface; requires
+  /// the adaptation layer (paper §2).
+  bool single_interface = false;
+
+  std::size_t num_ports = 2;  ///< logical ports of the function
+
+  virt::NfComputeProfile compute;
+  virt::NfMemoryProfile memory;
+  std::uint64_t package_bytes = 0;  ///< installed size (image column, native)
+};
+
+/// Lifecycle controller for one NNF type. The default hooks are no-ops so a
+/// plugin author only overrides what the underlying function needs — the
+/// same economy the bash scripts had.
+class NnfPlugin {
+ public:
+  virtual ~NnfPlugin() = default;
+
+  [[nodiscard]] virtual const NnfDescriptor& descriptor() const = 0;
+
+  /// "create" script: builds the function object.
+  virtual util::Result<std::unique_ptr<NetworkFunction>> create_function() = 0;
+
+  /// "update" script: translates a generic orchestrator configuration into
+  /// function-specific commands. Default: pass the config through to
+  /// NetworkFunction::configure (the paper's "predefined configuration
+  /// script"; a richer translation is its stated future work).
+  virtual util::Status update(NetworkFunction& nf, ContextId ctx,
+                              const NfConfig& config);
+
+  /// "start"/"stop" scripts.
+  virtual util::Status on_start(NetworkFunction& nf);
+  virtual util::Status on_stop(NetworkFunction& nf);
+};
+
+/// Plugin built from a descriptor and a factory lambda — enough for every
+/// built-in NNF.
+class SimpleNnfPlugin final : public NnfPlugin {
+ public:
+  using Factory =
+      std::function<util::Result<std::unique_ptr<NetworkFunction>>()>;
+
+  SimpleNnfPlugin(NnfDescriptor descriptor, Factory factory)
+      : descriptor_(std::move(descriptor)), factory_(std::move(factory)) {}
+
+  [[nodiscard]] const NnfDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+
+  util::Result<std::unique_ptr<NetworkFunction>> create_function() override {
+    return factory_();
+  }
+
+ private:
+  NnfDescriptor descriptor_;
+  Factory factory_;
+};
+
+/// Built-in plugins mirroring the CPE-native functions the paper names.
+std::shared_ptr<NnfPlugin> make_bridge_plugin();
+std::shared_ptr<NnfPlugin> make_firewall_plugin();
+std::shared_ptr<NnfPlugin> make_nat_plugin();
+std::shared_ptr<NnfPlugin> make_ipsec_plugin();
+
+}  // namespace nnfv::nnf

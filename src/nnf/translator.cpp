@@ -1,0 +1,230 @@
+#include "nnf/translator.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "nnf/dhcp.hpp"
+#include "nnf/policer.hpp"
+#include "util/strings.hpp"
+#include "virt/cost_model.hpp"
+
+namespace nnfv::nnf {
+
+namespace {
+
+using util::invalid_argument;
+using util::Result;
+using util::Status;
+
+/// "<tcp|udp|icmp|any>[:port[-port]]" -> firewall rule body.
+Result<std::string> lower_filter_spec(const std::string& spec,
+                                      const std::string& verdict) {
+  const auto colon = spec.find(':');
+  const std::string proto =
+      colon == std::string::npos ? spec : spec.substr(0, colon);
+  if (proto != "tcp" && proto != "udp" && proto != "icmp" && proto != "any") {
+    return invalid_argument("generic: bad protocol in '" + spec + "'");
+  }
+  std::string ports = "any";
+  if (colon != std::string::npos) {
+    ports = spec.substr(colon + 1);
+    if (ports.empty()) {
+      return invalid_argument("generic: empty port in '" + spec + "'");
+    }
+  }
+  return verdict + ",any,any," + proto + "," + ports;
+}
+
+Result<NfConfig> lower_firewall(const NfConfig& generic) {
+  NfConfig out;
+  int rule_index = 1;
+  for (const auto& [key, value] : generic) {
+    if (key == "default") {
+      if (value == "allow") {
+        out["policy"] = "accept";
+      } else if (value == "deny") {
+        out["policy"] = "drop";
+      } else {
+        return invalid_argument("generic: bad default '" + value + "'");
+      }
+    } else if (util::starts_with(key, "block.") ||
+               util::starts_with(key, "allow.")) {
+      auto rule = lower_filter_spec(
+          value, util::starts_with(key, "block.") ? "drop" : "accept");
+      if (!rule) return rule.status();
+      out["rule." + std::to_string(rule_index++)] = rule.value();
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown firewall key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+Result<NfConfig> lower_nat(const NfConfig& generic) {
+  NfConfig out;
+  for (const auto& [key, value] : generic) {
+    if (key == "wan_address") {
+      out["external_ip"] = value;
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown nat key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+Result<NfConfig> lower_ipsec(const NfConfig& generic) {
+  NfConfig out;
+  std::string psk;
+  std::string tunnel_id;
+  for (const auto& [key, value] : generic) {
+    if (key == "tunnel_local") {
+      out["local_ip"] = value;
+    } else if (key == "tunnel_remote") {
+      out["peer_ip"] = value;
+    } else if (key == "tunnel_id") {
+      tunnel_id = value;
+    } else if (key == "psk") {
+      psk = value;
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown ipsec key '" + key + "'");
+    }
+  }
+  if (!tunnel_id.empty()) {
+    std::uint64_t id = 0;
+    if (!util::parse_u64(tunnel_id, id) || id == 0 || id > 0x7FFFFFFF) {
+      return invalid_argument("generic: bad tunnel_id '" + tunnel_id + "'");
+    }
+    // Deterministic SPI pair: initiator side uses (2id, 2id+1); the far
+    // end of the same tunnel_id mirrors them.
+    out["spi_out"] = std::to_string(2 * id);
+    out["spi_in"] = std::to_string(2 * id + 1);
+  }
+  if (!psk.empty()) {
+    // Demo-grade KDF: enc = SHA256("enc"|psk)[:16], auth = SHA256("auth"|psk).
+    auto derive = [&psk](const char* label) {
+      std::vector<std::uint8_t> input(label, label + std::strlen(label));
+      input.insert(input.end(), psk.begin(), psk.end());
+      return crypto::Sha256::digest(input);
+    };
+    const auto enc = derive("enc");
+    const auto auth = derive("auth");
+    out["enc_key"] = util::hex_encode({enc.data(), 16});
+    out["auth_key"] = util::hex_encode({auth.data(), auth.size()});
+  }
+  return out;
+}
+
+Result<NfConfig> lower_dhcp(const NfConfig& generic) {
+  NfConfig out;
+  for (const auto& [key, value] : generic) {
+    if (key == "lan_address") {
+      out["server_ip"] = value;
+    } else if (key == "lan_pool") {
+      const auto dash = value.find('-');
+      if (dash == std::string::npos) {
+        return invalid_argument("generic: lan_pool must be '<first>-<last>'");
+      }
+      out["pool_start"] = value.substr(0, dash);
+      out["pool_end"] = value.substr(dash + 1);
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown dhcp key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+Result<NfConfig> lower_policer(const NfConfig& generic) {
+  NfConfig out;
+  for (const auto& [key, value] : generic) {
+    if (key == "rate_limit_mbps") {
+      out["rate_mbps"] = value;
+    } else if (key == "rate_burst_kb") {
+      out["burst_kb"] = value;
+    } else if (key == "upstream_only") {
+      if (value != "0" && value != "1") {
+        return invalid_argument("generic: bad upstream_only '" + value + "'");
+      }
+      out["direction"] = value == "1" ? "up" : "both";
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown policer key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+Result<NfConfig> lower_bridge(const NfConfig& generic) {
+  NfConfig out;
+  for (const auto& [key, value] : generic) {
+    if (key == "mac_aging_s") {
+      std::uint64_t seconds = 0;
+      if (!util::parse_u64(value, seconds)) {
+        return invalid_argument("generic: bad mac_aging_s '" + value + "'");
+      }
+      out["aging_time_ms"] = std::to_string(seconds * 1000);
+    } else if (key != "description") {
+      return invalid_argument("generic: unknown bridge key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_generic_config(const NfConfig& config) {
+  auto it = config.find("generic");
+  return it != config.end() && it->second == "1";
+}
+
+Result<NfConfig> translate_generic_config(const std::string& functional_type,
+                                          const NfConfig& generic) {
+  NfConfig stripped = generic;
+  stripped.erase("generic");
+  if (functional_type == "firewall") return lower_firewall(stripped);
+  if (functional_type == "nat") return lower_nat(stripped);
+  if (functional_type == "ipsec") return lower_ipsec(stripped);
+  if (functional_type == "dhcp") return lower_dhcp(stripped);
+  if (functional_type == "policer") return lower_policer(stripped);
+  if (functional_type == "bridge") return lower_bridge(stripped);
+  return invalid_argument("no generic-config translator for '" +
+                          functional_type + "'");
+}
+
+Status TranslatingNnfPlugin::update(NetworkFunction& nf, ContextId ctx,
+                                    const NfConfig& config) {
+  if (!is_generic_config(config)) {
+    return inner_->update(nf, ctx, config);
+  }
+  auto lowered = translate_generic_config(
+      inner_->descriptor().functional_type, config);
+  if (!lowered) return lowered.status();
+  return inner_->update(nf, ctx, lowered.value());
+}
+
+std::shared_ptr<NnfPlugin> make_dhcp_plugin() {
+  NnfDescriptor d;
+  d.functional_type = "dhcp";
+  d.max_instances = 1;  // one dnsmasq
+  d.sharable = true;
+  d.single_interface = true;  // answers on the LAN attachment only
+  d.num_ports = 1;
+  d.compute = virt::profile_forwarding();
+  d.memory = {1 * virt::kMiB + 200 * 1024, 96, 128 * 1024};
+  d.package_bytes = 400 * 1024;  // dnsmasq-sized
+  return std::make_shared<SimpleNnfPlugin>(d, []() {
+    return util::Result<std::unique_ptr<NetworkFunction>>(
+        std::make_unique<DhcpServer>());
+  });
+}
+
+NnfCatalog translating_builtin_catalog() {
+  NnfCatalog catalog;
+  for (auto plugin : {make_bridge_plugin(), make_firewall_plugin(),
+                      make_nat_plugin(), make_ipsec_plugin(),
+                      make_dhcp_plugin(), make_policer_plugin()}) {
+    (void)catalog.register_plugin(
+        std::make_shared<TranslatingNnfPlugin>(std::move(plugin)));
+  }
+  return catalog;
+}
+
+}  // namespace nnfv::nnf

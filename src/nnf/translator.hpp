@@ -1,0 +1,86 @@
+// Generic-configuration translation — the paper's stated FUTURE WORK:
+//
+//   "Support for a dynamic configuration mechanism able to translate a
+//    generic NF configuration, provided by the orchestrator, in commands
+//    appropriate to the specific NNF is not in the scope of this initial
+//    implementation and will be targeted by future work."
+//
+// Implemented here: a small vendor-neutral configuration vocabulary a
+// service designer can use without knowing which implementation will be
+// picked, and per-functional-type translators that lower it into the
+// concrete NfConfig each NNF understands. TranslatingNnfPlugin decorates
+// any plugin so the lowering happens inside the driver's "update"
+// lifecycle step, exactly where the bash scripts would have done it.
+//
+// Generic vocabulary (all values strings):
+//   common:    "description" (ignored, for humans)
+//   firewall:  "default"        = "allow" | "deny"
+//              "block.N"        = "<tcp|udp|icmp|any>[:port[-port]]"
+//              "allow.N"        = same syntax
+//   nat:       "wan_address"    = dotted quad
+//   ipsec:     "tunnel_local" / "tunnel_remote" = dotted quads
+//              "tunnel_id"      = decimal (derives both SPIs)
+//              "psk"            = any string; enc/auth keys are derived
+//                                 via SHA-256 (demo-grade KDF)
+//   dhcp:      "lan_address"    = server/router address
+//              "lan_pool"       = "<first>-<last>"
+//   bridge:    "mac_aging_s"    = decimal seconds
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nnf/catalog.hpp"
+#include "nnf/plugin.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nnf {
+
+/// Lowers the generic vocabulary into `functional_type`'s native config.
+/// Unknown generic keys are an error (catch typos loudly); an empty input
+/// translates to an empty output.
+util::Result<NfConfig> translate_generic_config(
+    const std::string& functional_type, const NfConfig& generic);
+
+/// True when the config uses the generic vocabulary (marker key
+/// "generic" = "1"; the marker is stripped before translation).
+bool is_generic_config(const NfConfig& config);
+
+/// Decorator: translates generic configurations in update(), passes
+/// native ones through untouched. create/start/stop delegate.
+class TranslatingNnfPlugin final : public NnfPlugin {
+ public:
+  explicit TranslatingNnfPlugin(std::shared_ptr<NnfPlugin> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] const NnfDescriptor& descriptor() const override {
+    return inner_->descriptor();
+  }
+
+  util::Result<std::unique_ptr<NetworkFunction>> create_function() override {
+    return inner_->create_function();
+  }
+
+  util::Status update(NetworkFunction& nf, ContextId ctx,
+                      const NfConfig& config) override;
+
+  util::Status on_start(NetworkFunction& nf) override {
+    return inner_->on_start(nf);
+  }
+  util::Status on_stop(NetworkFunction& nf) override {
+    return inner_->on_stop(nf);
+  }
+
+ private:
+  std::shared_ptr<NnfPlugin> inner_;
+};
+
+/// Builtin catalog with every plugin wrapped in the translator (and the
+/// DHCP server registered as a fifth native function).
+NnfCatalog translating_builtin_catalog();
+
+/// DHCP plugin (single-interface, sharable), registered by the call above
+/// and available standalone.
+std::shared_ptr<NnfPlugin> make_dhcp_plugin();
+
+}  // namespace nnfv::nnf

@@ -1,0 +1,53 @@
+#include "packet/buffer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace nnfv::packet {
+
+PacketBuffer::PacketBuffer(std::span<const std::uint8_t> data,
+                           std::size_t headroom)
+    : storage_(headroom + data.size()),
+      offset_(headroom),
+      length_(data.size()) {
+  if (!data.empty()) {
+    std::memcpy(storage_.data() + offset_, data.data(), data.size());
+  }
+}
+
+std::span<std::uint8_t> PacketBuffer::push_front(std::size_t n) {
+  if (n > offset_) {
+    // Grow headroom; rare path.
+    const std::size_t extra = n - offset_ + kDefaultHeadroom;
+    std::vector<std::uint8_t> grown(storage_.size() + extra);
+    std::memcpy(grown.data() + offset_ + extra, storage_.data() + offset_,
+                length_);
+    storage_ = std::move(grown);
+    offset_ += extra;
+  }
+  offset_ -= n;
+  length_ += n;
+  return {storage_.data() + offset_, n};
+}
+
+void PacketBuffer::pull_front(std::size_t n) {
+  assert(n <= length_);
+  offset_ += n;
+  length_ -= n;
+}
+
+std::span<std::uint8_t> PacketBuffer::push_back(std::size_t n) {
+  if (offset_ + length_ + n > storage_.size()) {
+    storage_.resize(offset_ + length_ + n);
+  }
+  std::span<std::uint8_t> out{storage_.data() + offset_ + length_, n};
+  length_ += n;
+  return out;
+}
+
+void PacketBuffer::trim(std::size_t n) {
+  assert(n <= length_);
+  length_ = n;
+}
+
+}  // namespace nnfv::packet

@@ -1,0 +1,57 @@
+// PacketBuffer: a byte buffer with headroom, so encapsulating NFs (IPsec
+// tunnel mode, VLAN push) can prepend headers without copying the payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nnfv::packet {
+
+class PacketBuffer {
+ public:
+  /// Default headroom leaves room for outer Ethernet+IPv4+ESP+IV on encap.
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  PacketBuffer() : PacketBuffer(std::span<const std::uint8_t>{}) {}
+
+  explicit PacketBuffer(std::span<const std::uint8_t> data,
+                        std::size_t headroom = kDefaultHeadroom);
+
+  /// Bytes of the current packet (mutable view).
+  std::span<std::uint8_t> data() {
+    return {storage_.data() + offset_, length_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> data() const {
+    return {storage_.data() + offset_, length_};
+  }
+
+  [[nodiscard]] std::size_t size() const { return length_; }
+  [[nodiscard]] bool empty() const { return length_ == 0; }
+  [[nodiscard]] std::size_t headroom() const { return offset_; }
+
+  /// Prepends `n` bytes (uninitialised) and returns a span over them.
+  /// Reallocates when headroom is insufficient.
+  std::span<std::uint8_t> push_front(std::size_t n);
+
+  /// Removes `n` bytes from the front (decapsulation). n must be <= size().
+  void pull_front(std::size_t n);
+
+  /// Appends `n` bytes (uninitialised) and returns a span over them.
+  std::span<std::uint8_t> push_back(std::size_t n);
+
+  /// Truncates to `n` bytes. n must be <= size().
+  void trim(std::size_t n);
+
+  std::uint8_t& operator[](std::size_t i) { return storage_[offset_ + i]; }
+  const std::uint8_t& operator[](std::size_t i) const {
+    return storage_[offset_ + i];
+  }
+
+ private:
+  std::vector<std::uint8_t> storage_;
+  std::size_t offset_ = 0;  // start of live data within storage_
+  std::size_t length_ = 0;
+};
+
+}  // namespace nnfv::packet

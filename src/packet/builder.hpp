@@ -1,0 +1,66 @@
+// Convenience frame builders for tests, examples and traffic generators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "packet/buffer.hpp"
+#include "packet/headers.hpp"
+
+namespace nnfv::packet {
+
+struct UdpFrameSpec {
+  MacAddress eth_src;
+  MacAddress eth_dst;
+  std::optional<std::uint16_t> vlan;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Builds a complete Ethernet/IPv4/UDP frame with correct lengths and
+/// checksums.
+PacketBuffer build_udp_frame(const UdpFrameSpec& spec);
+
+struct TcpFrameSpec {
+  MacAddress eth_src;
+  MacAddress eth_dst;
+  std::optional<std::uint16_t> vlan;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = TcpHeader::kAck;
+  std::span<const std::uint8_t> payload;
+};
+
+PacketBuffer build_tcp_frame(const TcpFrameSpec& spec);
+
+struct IcmpEchoSpec {
+  MacAddress eth_src;
+  MacAddress eth_dst;
+  Ipv4Address ip_src;
+  Ipv4Address ip_dst;
+  bool is_reply = false;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+PacketBuffer build_icmp_echo(const IcmpEchoSpec& spec);
+
+/// Rewrites the VLAN tag of a frame in place (push, set or pop).
+/// vlan == nullopt pops any existing tag.
+void set_vlan(PacketBuffer& frame, std::optional<std::uint16_t> vlan);
+
+/// Recomputes IPv4 header checksum and the UDP/TCP checksum of a frame after
+/// header fields were rewritten (used by NAT). No-op for non-IP frames.
+void fix_checksums(PacketBuffer& frame);
+
+}  // namespace nnfv::packet

@@ -1,0 +1,60 @@
+#include "packet/checksum.hpp"
+
+namespace nnfv::packet {
+
+namespace {
+
+std::uint32_t sum_bytes(std::span<const std::uint8_t> data,
+                        std::size_t skip_offset, std::size_t skip_len) {
+  std::uint32_t sum = 0;
+  const std::size_t n = data.size();
+  for (std::size_t i = 0; i + 1 < n + 1; i += 2) {
+    std::uint16_t word;
+    const bool skip_hi = i >= skip_offset && i < skip_offset + skip_len;
+    const std::uint8_t hi = skip_hi ? 0 : data[i];
+    if (i + 1 < n) {
+      const bool skip_lo =
+          (i + 1) >= skip_offset && (i + 1) < skip_offset + skip_len;
+      const std::uint8_t lo = skip_lo ? 0 : data[i + 1];
+      word = static_cast<std::uint16_t>((hi << 8) | lo);
+    } else {
+      word = static_cast<std::uint16_t>(hi << 8);  // odd length: pad zero
+    }
+    sum += word;
+  }
+  return sum;
+}
+
+std::uint16_t fold(std::uint32_t sum) {
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(sum_bytes(data, data.size(), 0));
+}
+
+std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> l4_segment,
+                          std::size_t checksum_offset) {
+  std::uint32_t sum = 0;
+  // Pseudo-header: src, dst, zero+proto, length.
+  sum += (src.value >> 16) & 0xFFFF;
+  sum += src.value & 0xFFFF;
+  sum += (dst.value >> 16) & 0xFFFF;
+  sum += dst.value & 0xFFFF;
+  sum += protocol;
+  sum += static_cast<std::uint32_t>(l4_segment.size());
+  sum += sum_bytes(l4_segment, checksum_offset, 2);
+  std::uint16_t result = fold(sum);
+  // Per RFC 768, a computed UDP checksum of zero is transmitted as 0xFFFF.
+  if (result == 0 && protocol == kIpProtoUdp) result = 0xFFFF;
+  return result;
+}
+
+}  // namespace nnfv::packet

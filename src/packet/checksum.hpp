@@ -1,0 +1,24 @@
+// RFC 1071 internet checksum, plus the IPv4 pseudo-header sums used by
+// UDP/TCP (which NAT must recompute after rewriting addresses/ports).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "packet/headers.hpp"
+
+namespace nnfv::packet {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+/// Returned in host order; store with store_be16.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// UDP/TCP checksum including the IPv4 pseudo-header.
+/// `l4_segment` covers the transport header (checksum field zeroed by the
+/// caller or ignored via `checksum_offset`) and payload.
+std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst,
+                          std::uint8_t protocol,
+                          std::span<const std::uint8_t> l4_segment,
+                          std::size_t checksum_offset);
+
+}  // namespace nnfv::packet

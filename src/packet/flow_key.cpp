@@ -1,0 +1,96 @@
+#include "packet/flow_key.hpp"
+
+#include "util/byteorder.hpp"
+
+namespace nnfv::packet {
+
+using util::Result;
+
+std::string FiveTuple::to_string() const {
+  std::string out = src_ip.to_string() + ":" + std::to_string(src_port) +
+                    " -> " + dst_ip.to_string() + ":" +
+                    std::to_string(dst_port) + " proto " +
+                    std::to_string(protocol);
+  return out;
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const noexcept {
+  // FNV-1a over the tuple fields.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(t.src_ip.value);
+  mix(t.dst_ip.value);
+  mix((static_cast<std::uint64_t>(t.protocol) << 32) |
+      (static_cast<std::uint64_t>(t.src_port) << 16) | t.dst_port);
+  return static_cast<std::size_t>(h);
+}
+
+Result<FlowFields> extract_flow_fields(std::span<const std::uint8_t> frame) {
+  FlowFields fields;
+  auto eth = parse_ethernet(frame);
+  if (!eth) return eth.status();
+  fields.eth = eth.value();
+
+  if (fields.eth.ether_type != kEtherTypeIpv4) return fields;
+  auto l3 = frame.subspan(fields.eth.wire_size());
+  auto ip = parse_ipv4(l3);
+  if (!ip) return fields;  // tolerate short/garbled L3: match on L2 only
+  fields.ipv4 = ip.value();
+
+  auto l4 = l3.subspan(ip->header_size());
+  if (ip->protocol == kIpProtoUdp) {
+    if (auto udp = parse_udp(l4)) {
+      fields.l4_src = udp->src_port;
+      fields.l4_dst = udp->dst_port;
+    }
+  } else if (ip->protocol == kIpProtoTcp) {
+    if (auto tcp = parse_tcp(l4)) {
+      fields.l4_src = tcp->src_port;
+      fields.l4_dst = tcp->dst_port;
+    }
+  }
+  return fields;
+}
+
+Result<FiveTuple> extract_five_tuple(std::span<const std::uint8_t> ip_packet) {
+  auto ip = parse_ipv4(ip_packet);
+  if (!ip) return ip.status();
+  FiveTuple tuple;
+  tuple.src_ip = ip->src;
+  tuple.dst_ip = ip->dst;
+  tuple.protocol = ip->protocol;
+  auto l4 = ip_packet.subspan(ip->header_size());
+  switch (ip->protocol) {
+    case kIpProtoUdp: {
+      auto udp = parse_udp(l4);
+      if (!udp) return udp.status();
+      tuple.src_port = udp->src_port;
+      tuple.dst_port = udp->dst_port;
+      break;
+    }
+    case kIpProtoTcp: {
+      auto tcp = parse_tcp(l4);
+      if (!tcp) return tcp.status();
+      tuple.src_port = tcp->src_port;
+      tuple.dst_port = tcp->dst_port;
+      break;
+    }
+    case kIpProtoIcmp: {
+      auto icmp = parse_icmp(l4);
+      if (!icmp) return icmp.status();
+      tuple.src_port = icmp->identifier;
+      tuple.dst_port = 0;
+      break;
+    }
+    default:
+      break;  // ports stay zero (e.g. ESP)
+  }
+  return tuple;
+}
+
+}  // namespace nnfv::packet

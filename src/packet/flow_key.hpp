@@ -1,0 +1,55 @@
+// Flow-key extraction: the decoded header fields an LSI matches on and a
+// canonical 5-tuple used by NAT conntrack and firewall state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "packet/headers.hpp"
+
+namespace nnfv::packet {
+
+/// Transport 5-tuple (host byte order). For ICMP the identifier is stored in
+/// src_port and 0 in dst_port so echo sessions can be tracked uniformly.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint8_t protocol = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FiveTuple&) const = default;
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// The same flow seen from the opposite direction.
+  [[nodiscard]] FiveTuple reversed() const {
+    return {dst_ip, src_ip, protocol, dst_port, src_port};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& t) const noexcept;
+};
+
+/// All fields an LSI flow table can match on, decoded once per packet.
+struct FlowFields {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<std::uint16_t> l4_src;
+  std::optional<std::uint16_t> l4_dst;
+};
+
+/// Decodes Ethernet (+VLAN), IPv4 and L4 ports from a frame. Non-IP or
+/// truncated L4 payloads simply leave the optional fields empty.
+util::Result<FlowFields> extract_flow_fields(
+    std::span<const std::uint8_t> frame);
+
+/// Extracts the 5-tuple from an IPv4 packet (no Ethernet header).
+util::Result<FiveTuple> extract_five_tuple(
+    std::span<const std::uint8_t> ip_packet);
+
+}  // namespace nnfv::packet

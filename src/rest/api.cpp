@@ -1,0 +1,161 @@
+#include "rest/api.hpp"
+
+#include "nffg/nffg_json.hpp"
+
+namespace nnfv::rest {
+
+int http_status_of(const util::Status& status) {
+  switch (status.code()) {
+    case util::ErrorCode::kOk:
+      return 200;
+    case util::ErrorCode::kInvalidArgument:
+      return 400;
+    case util::ErrorCode::kNotFound:
+      return 404;
+    case util::ErrorCode::kAlreadyExists:
+      return 409;
+    case util::ErrorCode::kResourceExhausted:
+    case util::ErrorCode::kUnavailable:
+      return 503;
+    case util::ErrorCode::kFailedPrecondition:
+      return 409;
+    case util::ErrorCode::kUnimplemented:
+      return 405;
+    case util::ErrorCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+namespace {
+
+json::Value report_to_json(const core::DeploymentReport& report) {
+  json::Object doc;
+  doc["graph_id"] = report.graph_id;
+  doc["flow_rules_installed"] =
+      static_cast<double>(report.flow_rules_installed);
+  doc["ready_latency_ms"] =
+      static_cast<double>(report.ready_latency) / 1e6;
+  json::Array placements;
+  for (const core::NfPlacement& placement : report.placements) {
+    json::Object p;
+    p["nf_id"] = placement.nf_id;
+    p["functional_type"] = placement.functional_type;
+    p["backend"] = std::string(virt::backend_name(placement.backend));
+    p["shared"] = placement.reused_shared_instance;
+    p["reason"] = placement.reason;
+    p["ram_bytes"] = static_cast<double>(placement.ram_bytes);
+    p["image_bytes"] = static_cast<double>(placement.image_bytes);
+    p["boot_ms"] = static_cast<double>(placement.boot_time) / 1e6;
+    placements.push_back(std::move(p));
+  }
+  doc["placements"] = std::move(placements);
+  json::Array warnings;
+  for (const std::string& warning : report.warnings) {
+    warnings.push_back(warning);
+  }
+  doc["warnings"] = std::move(warnings);
+  return doc;
+}
+
+}  // namespace
+
+RestApi::RestApi(core::UniversalNode* node) : node_(node) {
+  install_routes();
+}
+
+HttpResponse RestApi::handle(const HttpRequest& request) const {
+  return router_.route(request);
+}
+
+void RestApi::install_routes() {
+  core::UniversalNode* node = node_;
+
+  router_.add("PUT", "/NF-FG/{id}",
+              [node](const HttpRequest& request, const PathParams& params) {
+                auto graph = nffg::from_json_text(request.body);
+                if (!graph) {
+                  return HttpResponse::error(400,
+                                             graph.status().message());
+                }
+                if (graph->id != params.at("id")) {
+                  return HttpResponse::error(
+                      400, "graph id '" + graph->id +
+                               "' does not match URL id '" +
+                               params.at("id") + "'");
+                }
+                auto report = node->orchestrator().deploy(graph.value());
+                if (!report) {
+                  return HttpResponse::error(http_status_of(report.status()),
+                                             report.status().message());
+                }
+                return HttpResponse::json_response(
+                    201, report_to_json(report.value()).dump());
+              });
+
+  router_.add("GET", "/NF-FG/{id}",
+              [node](const HttpRequest&, const PathParams& params) {
+                auto record = node->orchestrator().graph(params.at("id"));
+                if (!record) {
+                  return HttpResponse::error(http_status_of(record.status()),
+                                             record.status().message());
+                }
+                return HttpResponse::json_response(
+                    200, nffg::to_json(record.value()->graph).dump());
+              });
+
+  router_.add("DELETE", "/NF-FG/{id}",
+              [node](const HttpRequest&, const PathParams& params) {
+                util::Status status =
+                    node->orchestrator().remove(params.at("id"));
+                if (!status.is_ok()) {
+                  return HttpResponse::error(http_status_of(status),
+                                             status.message());
+                }
+                return HttpResponse::json_response(204, "");
+              });
+
+  router_.add("GET", "/NF-FG",
+              [node](const HttpRequest&, const PathParams&) {
+                json::Array ids;
+                for (const std::string& id :
+                     node->orchestrator().graph_ids()) {
+                  ids.push_back(id);
+                }
+                json::Object doc;
+                doc["graphs"] = std::move(ids);
+                return HttpResponse::json_response(200,
+                                                   json::Value(doc).dump());
+              });
+
+  router_.add(
+      "PUT", "/NF-FG/{id}/VNFs/{nf}/config",
+      [node](const HttpRequest& request, const PathParams& params) {
+        auto body = json::parse(request.body);
+        if (!body || !body->is_object()) {
+          return HttpResponse::error(400, "body must be a JSON object");
+        }
+        nnf::NfConfig config;
+        for (const auto& [key, value] : body->as_object()) {
+          if (!value.is_string()) {
+            return HttpResponse::error(400, "config values must be strings");
+          }
+          config[key] = value.as_string();
+        }
+        util::Status status = node->orchestrator().update_nf(
+            params.at("id"), params.at("nf"), config);
+        if (!status.is_ok()) {
+          return HttpResponse::error(http_status_of(status),
+                                     status.message());
+        }
+        return HttpResponse::json_response(200, "{\"updated\":true}");
+      });
+
+  router_.add("GET", "/node",
+              [node](const HttpRequest&, const PathParams&) {
+                return HttpResponse::json_response(
+                    200, node->describe().dump());
+              });
+}
+
+}  // namespace nnfv::rest

@@ -1,0 +1,36 @@
+// RestApi: Figure 1's "REST server" — the NF-FG API over the local
+// orchestrator.
+//
+//   PUT    /NF-FG/{id}                 deploy (body: NF-FG JSON)
+//   GET    /NF-FG/{id}                 fetch the deployed graph
+//   DELETE /NF-FG/{id}                 remove
+//   GET    /NF-FG                      list deployed graph ids
+//   PUT    /NF-FG/{id}/VNFs/{nf}/config   update one NF's configuration
+//   GET    /node                       node description & resources
+#pragma once
+
+#include "core/node.hpp"
+#include "rest/router.hpp"
+
+namespace nnfv::rest {
+
+class RestApi {
+ public:
+  explicit RestApi(core::UniversalNode* node);
+
+  /// In-process dispatch (also what the TCP server calls).
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request) const;
+
+  [[nodiscard]] const Router& router() const { return router_; }
+
+ private:
+  void install_routes();
+
+  core::UniversalNode* node_;
+  Router router_;
+};
+
+/// Maps library Status codes onto HTTP statuses.
+int http_status_of(const util::Status& status);
+
+}  // namespace nnfv::rest

@@ -1,0 +1,188 @@
+#include "rest/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace nnfv::rest {
+
+bool CiLess::operator()(const std::string& a, const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(), [](char x, char y) {
+        return std::tolower(static_cast<unsigned char>(x)) <
+               std::tolower(static_cast<unsigned char>(y));
+      });
+}
+
+std::string HttpRequest::path() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::query() const {
+  const auto q = target.find('?');
+  return q == std::string::npos ? std::string() : target.substr(q + 1);
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  HeaderMap all = headers;
+  if (!body.empty() && !all.contains("Content-Length")) {
+    all["Content-Length"] = std::to_string(body.size());
+  }
+  for (const auto& [key, value] : all) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(status_reason(status)) + "\r\n";
+  HeaderMap all = headers;
+  all["Content-Length"] = std::to_string(body.size());
+  if (!all.contains("Content-Type")) {
+    all["Content-Type"] = "application/json";
+  }
+  all["Connection"] = "close";
+  for (const auto& [key, value] : all) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::json_response(int status, std::string json_body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(json_body);
+  return response;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& message) {
+  return json_response(
+      status, "{\"error\":\"" + std::string(status_reason(status)) +
+                  "\",\"message\":\"" + message + "\"}");
+}
+
+void RequestParser::reset() {
+  buffer_.clear();
+  request_ = HttpRequest{};
+  error_.clear();
+  headers_done_ = false;
+  body_needed_ = 0;
+  state_ = State::kNeedMore;
+}
+
+RequestParser::State RequestParser::feed(std::string_view bytes) {
+  if (state_ == State::kError || state_ == State::kComplete) return state_;
+  buffer_.append(bytes);
+  state_ = parse_buffer();
+  return state_;
+}
+
+RequestParser::State RequestParser::parse_buffer() {
+  if (!headers_done_) {
+    const auto end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > 64 * 1024) {
+        error_ = "headers too large";
+        return State::kError;
+      }
+      return State::kNeedMore;
+    }
+    const std::string head = buffer_.substr(0, end);
+    buffer_.erase(0, end + 4);
+
+    const auto lines = util::split(head, '\n');
+    if (lines.empty()) {
+      error_ = "empty request";
+      return State::kError;
+    }
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::string_view line = util::trim(lines[0]);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+      error_ = "malformed request line";
+      return State::kError;
+    }
+    request_.method = std::string(line.substr(0, sp1));
+    request_.target = std::string(
+        util::trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+    request_.version = std::string(line.substr(sp2 + 1));
+    if (request_.method.empty() || request_.target.empty() ||
+        !util::starts_with(request_.version, "HTTP/")) {
+      error_ = "malformed request line";
+      return State::kError;
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      std::string_view header = util::trim(lines[i]);
+      if (header.empty()) continue;
+      const auto colon = header.find(':');
+      if (colon == std::string_view::npos) {
+        error_ = "malformed header: " + std::string(header);
+        return State::kError;
+      }
+      request_.headers[std::string(util::trim(header.substr(0, colon)))] =
+          std::string(util::trim(header.substr(colon + 1)));
+    }
+    headers_done_ = true;
+    auto it = request_.headers.find("Content-Length");
+    if (it != request_.headers.end()) {
+      std::uint64_t length = 0;
+      if (!util::parse_u64(it->second, length) || length > 16 * 1024 * 1024) {
+        error_ = "bad Content-Length";
+        return State::kError;
+      }
+      body_needed_ = static_cast<std::size_t>(length);
+    }
+  }
+  if (buffer_.size() < body_needed_) return State::kNeedMore;
+  request_.body = buffer_.substr(0, body_needed_);
+  return State::kComplete;
+}
+
+util::Result<HttpRequest> parse_request(std::string_view text) {
+  RequestParser parser;
+  const RequestParser::State state = parser.feed(text);
+  if (state == RequestParser::State::kComplete) {
+    return parser.request();
+  }
+  if (state == RequestParser::State::kError) {
+    return util::invalid_argument("HTTP parse error: " +
+                                  parser.error_message());
+  }
+  return util::invalid_argument("incomplete HTTP request");
+}
+
+}  // namespace nnfv::rest

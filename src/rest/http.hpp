@@ -1,0 +1,78 @@
+// Minimal HTTP/1.1 message codec for the orchestrator's REST server.
+//
+// Supports what the NF-FG API needs: request line + headers +
+// Content-Length bodies (no chunked encoding, no pipelining).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace nnfv::rest {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+struct CiLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using HeaderMap = std::map<std::string, std::string, CiLess>;
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "PUT", "DELETE", "POST"
+  std::string target;   ///< path with optional query ("/NF-FG/g1")
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string path() const;   ///< target without query
+  [[nodiscard]] std::string query() const;  ///< after '?', may be empty
+
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  static HttpResponse json_response(int status, std::string json_body);
+  static HttpResponse error(int status, const std::string& message);
+};
+
+std::string_view status_reason(int status);
+
+/// Incremental request parser: feed() bytes until a complete request is
+/// available. Handles requests split across arbitrary read boundaries.
+class RequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  State feed(std::string_view bytes);
+
+  /// Valid when feed() returned kComplete.
+  HttpRequest& request() { return request_; }
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+  void reset();
+
+ private:
+  State parse_buffer();
+
+  std::string buffer_;
+  HttpRequest request_;
+  std::string error_;
+  bool headers_done_ = false;
+  std::size_t body_needed_ = 0;
+  State state_ = State::kNeedMore;
+};
+
+/// One-shot convenience for tests: parses a complete request string.
+util::Result<HttpRequest> parse_request(std::string_view text);
+
+}  // namespace nnfv::rest

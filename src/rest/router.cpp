@@ -1,0 +1,55 @@
+#include "rest/router.hpp"
+
+#include "util/strings.hpp"
+
+namespace nnfv::rest {
+
+std::vector<std::string> Router::split_path(const std::string& path) {
+  std::vector<std::string> out;
+  for (std::string& segment : util::split(path, '/')) {
+    if (!segment.empty()) out.push_back(std::move(segment));
+  }
+  return out;
+}
+
+void Router::add(const std::string& method, const std::string& pattern,
+                 Handler handler) {
+  routes_.push_back(Route{method, split_path(pattern), std::move(handler)});
+}
+
+bool Router::match(const Route& route,
+                   const std::vector<std::string>& segments,
+                   PathParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  PathParams captured;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pattern = route.segments[i];
+    if (pattern.size() >= 2 && pattern.front() == '{' &&
+        pattern.back() == '}') {
+      captured[pattern.substr(1, pattern.size() - 2)] = segments[i];
+    } else if (pattern != segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+HttpResponse Router::route(const HttpRequest& request) const {
+  const std::vector<std::string> segments = split_path(request.path());
+  bool path_matched = false;
+  for (const Route& candidate : routes_) {
+    PathParams params;
+    if (!match(candidate, segments, params)) continue;
+    path_matched = true;
+    if (candidate.method != request.method) continue;
+    return candidate.handler(request, params);
+  }
+  if (path_matched) {
+    return HttpResponse::error(405, "method not allowed for " +
+                                        request.path());
+  }
+  return HttpResponse::error(404, "no route for " + request.path());
+}
+
+}  // namespace nnfv::rest

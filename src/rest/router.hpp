@@ -1,0 +1,45 @@
+// Path router with "{param}" captures, e.g. "/NF-FG/{id}".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rest/http.hpp"
+
+namespace nnfv::rest {
+
+using PathParams = std::map<std::string, std::string>;
+using Handler = std::function<HttpResponse(const HttpRequest&,
+                                           const PathParams&)>;
+
+class Router {
+ public:
+  /// Registers a handler for METHOD + pattern. Patterns are segment-wise;
+  /// "{name}" captures one segment into PathParams.
+  void add(const std::string& method, const std::string& pattern,
+           Handler handler);
+
+  /// Dispatches; 404 when no pattern matches, 405 when the path matches
+  /// with a different method.
+  [[nodiscard]] HttpResponse route(const HttpRequest& request) const;
+
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(const std::string& path);
+  static bool match(const Route& route,
+                    const std::vector<std::string>& segments,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace nnfv::rest

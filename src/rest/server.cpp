@@ -1,0 +1,105 @@
+#include "rest/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace nnfv::rest {
+
+HttpServer::HttpServer(HandlerFn handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+util::Status HttpServer::start(std::uint16_t port) {
+  if (running_.load()) return util::failed_precondition("server running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::internal_error(std::string("socket: ") +
+                                std::strerror(errno));
+  }
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::internal_error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return util::internal_error(std::string("listen: ") +
+                                std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  thread_ = std::thread([this]() { accept_loop(); });
+  NNFV_LOG(kInfo, "rest") << "listening on 127.0.0.1:" << port_;
+  return util::Status::ok();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Shut the listener down to unblock accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;  // transient accept error
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  RequestParser parser;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;  // peer closed or error before a full request
+    const RequestParser::State state = parser.feed({buf,
+                                                    static_cast<std::size_t>(n)});
+    if (state == RequestParser::State::kError) {
+      const std::string reply =
+          HttpResponse::error(400, parser.error_message()).serialize();
+      (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+      return;
+    }
+    if (state == RequestParser::State::kComplete) break;
+  }
+  const HttpResponse response = handler_(parser.request());
+  requests_.fetch_add(1);
+  const std::string reply = response.serialize();
+  std::size_t off = 0;
+  while (off < reply.size()) {
+    const ssize_t n =
+        ::send(fd, reply.data() + off, reply.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace nnfv::rest

@@ -1,0 +1,53 @@
+// Small blocking TCP server exposing a RestApi on localhost.
+//
+// One thread accepts connections; each request is parsed, dispatched and
+// answered with Connection: close semantics — enough for the NF-FG API's
+// low-rate control traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "rest/api.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::rest {
+
+class HttpServer {
+ public:
+  using HandlerFn = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HandlerFn handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  util::Status start(std::uint16_t port = 0);
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load();
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  HandlerFn handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace nnfv::rest

@@ -1,0 +1,30 @@
+#include "sim/event_queue.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace nnfv::sim {
+
+void EventQueue::schedule_at(SimTime at, Handler handler) {
+  events_.push(Event{at, next_seq_++, std::move(handler)});
+}
+
+SimTime EventQueue::next_time() const {
+  if (events_.empty()) return std::numeric_limits<SimTime>::max();
+  return events_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  // priority_queue::top() is const; move is safe because we pop immediately.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  event.handler();
+  return event.at;
+}
+
+void EventQueue::clear() {
+  while (!events_.empty()) events_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace nnfv::sim

@@ -1,0 +1,51 @@
+// The discrete-event core: a time-ordered queue of closures.
+//
+// Ties are broken by insertion order so simulations are deterministic
+// (required for reproducible Table-1 runs and property tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nnfv::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `at` (>= current pop frontier).
+  void schedule_at(SimTime at, Handler handler);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Time of the earliest pending event; kSecond*INT64_MAX-ish when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  SimTime run_next();
+
+  void clear();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nnfv::sim

@@ -1,0 +1,22 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+#pragma once
+
+#include <cstdint>
+
+namespace nnfv::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Time to serialize `bytes` onto a link of `bits_per_second`, in ns.
+constexpr SimTime transmission_time(std::uint64_t bytes,
+                                    double bits_per_second) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 * 1e9 /
+                              bits_per_second);
+}
+
+}  // namespace nnfv::sim

@@ -1,0 +1,117 @@
+#include "switch/flow_match.hpp"
+
+namespace nnfv::nfswitch {
+
+namespace {
+
+bool prefix_match(packet::Ipv4Address value, packet::Ipv4Address pattern,
+                  std::uint8_t prefix) {
+  if (prefix == 0) return true;
+  if (prefix > 32) prefix = 32;
+  const std::uint32_t mask =
+      prefix == 32 ? 0xFFFFFFFFu : ~((1u << (32 - prefix)) - 1u);
+  return (value.value & mask) == (pattern.value & mask);
+}
+
+}  // namespace
+
+bool FlowMatch::matches(const FlowContext& ctx) const {
+  if (in_port.has_value() && *in_port != ctx.in_port) return false;
+
+  const packet::EthernetHeader& eth = ctx.fields.eth;
+  if (eth_src.has_value() && !(*eth_src == eth.src)) return false;
+  if (eth_dst.has_value() && !(*eth_dst == eth.dst)) return false;
+  if (eth_type.has_value() && *eth_type != eth.ether_type) return false;
+
+  if (vlan.has_value()) {
+    if (*vlan == kMatchUntagged) {
+      if (eth.vlan.has_value()) return false;
+    } else {
+      if (!eth.vlan.has_value() || *eth.vlan != *vlan) return false;
+    }
+  }
+
+  const bool need_ip = ip_src.has_value() || ip_dst.has_value() ||
+                       ip_proto.has_value() || tp_src.has_value() ||
+                       tp_dst.has_value();
+  if (!need_ip) return true;
+  if (!ctx.fields.ipv4.has_value()) return false;
+  const packet::Ipv4Header& ip = *ctx.fields.ipv4;
+
+  if (ip_src.has_value() && !prefix_match(ip.src, *ip_src, ip_src_prefix)) {
+    return false;
+  }
+  if (ip_dst.has_value() && !prefix_match(ip.dst, *ip_dst, ip_dst_prefix)) {
+    return false;
+  }
+  if (ip_proto.has_value() && *ip_proto != ip.protocol) return false;
+
+  if (tp_src.has_value()) {
+    if (!ctx.fields.l4_src.has_value() || *ctx.fields.l4_src != *tp_src) {
+      return false;
+    }
+  }
+  if (tp_dst.has_value()) {
+    if (!ctx.fields.l4_dst.has_value() || *ctx.fields.l4_dst != *tp_dst) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int FlowMatch::specified_fields() const {
+  int n = 0;
+  n += in_port.has_value();
+  n += eth_src.has_value();
+  n += eth_dst.has_value();
+  n += eth_type.has_value();
+  n += vlan.has_value();
+  n += ip_src.has_value();
+  n += ip_dst.has_value();
+  n += ip_proto.has_value();
+  n += tp_src.has_value();
+  n += tp_dst.has_value();
+  return n;
+}
+
+std::string FlowMatch::to_string() const {
+  std::string out;
+  auto add = [&out](const std::string& field) {
+    if (!out.empty()) out += ',';
+    out += field;
+  };
+  if (in_port) add("in_port=" + std::to_string(*in_port));
+  if (eth_src) add("eth_src=" + eth_src->to_string());
+  if (eth_dst) add("eth_dst=" + eth_dst->to_string());
+  if (eth_type) add("eth_type=0x" + std::to_string(*eth_type));
+  if (vlan) {
+    add(*vlan == kMatchUntagged ? std::string("vlan=untagged")
+                                : "vlan=" + std::to_string(*vlan));
+  }
+  if (ip_src) {
+    add("ip_src=" + ip_src->to_string() + "/" + std::to_string(ip_src_prefix));
+  }
+  if (ip_dst) {
+    add("ip_dst=" + ip_dst->to_string() + "/" + std::to_string(ip_dst_prefix));
+  }
+  if (ip_proto) add("ip_proto=" + std::to_string(*ip_proto));
+  if (tp_src) add("tp_src=" + std::to_string(*tp_src));
+  if (tp_dst) add("tp_dst=" + std::to_string(*tp_dst));
+  if (out.empty()) out = "any";
+  return out;
+}
+
+FlowMatch match_in_port(PortId port) {
+  FlowMatch m;
+  m.in_port = port;
+  return m;
+}
+
+FlowMatch match_port_vlan(PortId port, std::uint16_t vid) {
+  FlowMatch m;
+  m.in_port = port;
+  m.vlan = vid;
+  return m;
+}
+
+}  // namespace nnfv::nfswitch

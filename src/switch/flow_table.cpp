@@ -1,0 +1,84 @@
+#include "switch/flow_table.hpp"
+
+#include <algorithm>
+
+namespace nnfv::nfswitch {
+
+FlowEntryId FlowTable::add(std::uint16_t priority, FlowMatch match,
+                           std::vector<FlowAction> actions, Cookie cookie) {
+  FlowEntry entry;
+  entry.id = next_id_++;
+  entry.priority = priority;
+  entry.match = std::move(match);
+  entry.actions = std::move(actions);
+  entry.cookie = cookie;
+
+  // Insert before the first entry with strictly lower priority, keeping
+  // equal-priority entries in insertion order.
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [priority](const FlowEntry& e) {
+                            return e.priority < priority;
+                          });
+  const FlowEntryId id = entry.id;
+  entries_.insert(pos, std::move(entry));
+  return id;
+}
+
+util::Status FlowTable::remove(FlowEntryId id) {
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [id](const FlowEntry& e) { return e.id == id; });
+  if (pos == entries_.end()) {
+    return util::not_found("flow entry " + std::to_string(id));
+  }
+  entries_.erase(pos);
+  return util::Status::ok();
+}
+
+std::size_t FlowTable::remove_by_cookie(Cookie cookie) {
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [cookie](const FlowEntry& e) {
+                                  return e.cookie == cookie;
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+FlowEntry* FlowTable::lookup(const FlowContext& ctx,
+                             std::size_t packet_bytes) {
+  for (FlowEntry& entry : entries_) {
+    if (entry.match.matches(ctx)) {
+      entry.stats.packets += 1;
+      entry.stats.bytes += packet_bytes;
+      return &entry;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::peek(const FlowContext& ctx) const {
+  for (const FlowEntry& entry : entries_) {
+    if (entry.match.matches(ctx)) return &entry;
+  }
+  return nullptr;
+}
+
+std::string FlowTable::dump() const {
+  std::string out;
+  for (const FlowEntry& entry : entries_) {
+    out += "  [" + std::to_string(entry.id) +
+           "] prio=" + std::to_string(entry.priority) + " match{" +
+           entry.match.to_string() + "} actions{";
+    bool first = true;
+    for (const FlowAction& action : entry.actions) {
+      if (!first) out += ',';
+      first = false;
+      out += action.to_string();
+    }
+    out += "} pkts=" + std::to_string(entry.stats.packets) + "\n";
+  }
+  return out;
+}
+
+}  // namespace nnfv::nfswitch

@@ -1,0 +1,71 @@
+// Priority flow table with per-entry statistics — the forwarding state of
+// one Logical Switch Instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "switch/flow_action.hpp"
+#include "switch/flow_match.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nfswitch {
+
+using FlowEntryId = std::uint64_t;
+using Cookie = std::uint64_t;
+
+struct FlowEntryStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct FlowEntry {
+  FlowEntryId id = 0;
+  std::uint16_t priority = 0;
+  FlowMatch match;
+  std::vector<FlowAction> actions;
+  /// Opaque owner tag; the steering manager sets it to the graph id so all
+  /// rules of a graph can be removed together.
+  Cookie cookie = 0;
+  FlowEntryStats stats;
+};
+
+/// Highest-priority-wins lookup; among equal priorities the earliest-added
+/// entry wins (OpenFlow leaves this undefined; we pin it for determinism).
+class FlowTable {
+ public:
+  /// Adds an entry and returns its id.
+  FlowEntryId add(std::uint16_t priority, FlowMatch match,
+                  std::vector<FlowAction> actions, Cookie cookie = 0);
+
+  util::Status remove(FlowEntryId id);
+
+  /// Removes all entries with the given cookie; returns how many.
+  std::size_t remove_by_cookie(Cookie cookie);
+
+  /// Returns the matching entry (updating its stats) or nullptr on miss.
+  FlowEntry* lookup(const FlowContext& ctx, std::size_t packet_bytes);
+
+  /// Lookup without stats update (diagnostics).
+  [[nodiscard]] const FlowEntry* peek(const FlowContext& ctx) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const {
+    return entries_;
+  }
+
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Multi-line human-readable dump (debugging, examples).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  // Kept sorted by (priority desc, id asc).
+  std::vector<FlowEntry> entries_;
+  FlowEntryId next_id_ = 1;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace nnfv::nfswitch

@@ -1,0 +1,42 @@
+#include "switch/learning_controller.hpp"
+
+namespace nnfv::nfswitch {
+
+void LearningController::on_packet_in(Lsi& lsi, PortId in_port,
+                                      const packet::PacketBuffer& frame) {
+  ++packet_ins_;
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth) return;
+
+  // Learn the talker; re-learn on movement.
+  if (!eth->src.is_multicast()) {
+    auto [it, inserted] = stations_.try_emplace(eth->src, in_port);
+    if (!inserted && it->second != in_port) it->second = in_port;
+  }
+
+  auto destination = stations_.find(eth->dst);
+  if (destination != stations_.end() && !eth->dst.is_multicast()) {
+    // Install the fast-path rule, then packet-out the trigger frame.
+    FlowMatch match;
+    match.eth_dst = eth->dst;
+    lsi.flow_table().add(priority_, match,
+                         {FlowAction::output(destination->second)}, cookie_);
+    ++rules_installed_;
+    lsi.transmit(destination->second, packet::PacketBuffer(frame.data()));
+    return;
+  }
+
+  // Unknown/broadcast destination: flood (packet-out on all other ports).
+  ++floods_;
+  for (PortId port : lsi.ports()) {
+    if (port == in_port) continue;
+    lsi.transmit(port, packet::PacketBuffer(frame.data()));
+  }
+}
+
+void LearningController::reset(Lsi& lsi) {
+  stations_.clear();
+  lsi.flow_table().remove_by_cookie(cookie_);
+}
+
+}  // namespace nnfv::nfswitch

@@ -1,0 +1,104 @@
+#include "switch/lsi.hpp"
+
+#include "util/logging.hpp"
+
+namespace nnfv::nfswitch {
+
+Lsi::Lsi(LsiId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+util::Result<PortId> Lsi::add_port(const std::string& name) {
+  for (const auto& [pid, port] : ports_) {
+    if (port.name == name) {
+      return util::already_exists("port '" + name + "' on LSI " + name_);
+    }
+  }
+  const PortId pid = next_port_++;
+  ports_[pid] = Port{name, nullptr, {}};
+  return pid;
+}
+
+util::Status Lsi::remove_port(PortId port) {
+  if (ports_.erase(port) == 0) {
+    return util::not_found("port " + std::to_string(port) + " on LSI " +
+                           name_);
+  }
+  return util::Status::ok();
+}
+
+util::Status Lsi::set_port_peer(PortId port, PortPeer peer) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return util::not_found("port " + std::to_string(port) + " on LSI " +
+                           name_);
+  }
+  it->second.peer = std::move(peer);
+  return util::Status::ok();
+}
+
+bool Lsi::has_port(PortId port) const { return ports_.contains(port); }
+
+util::Result<PortId> Lsi::port_by_name(const std::string& name) const {
+  for (const auto& [pid, port] : ports_) {
+    if (port.name == name) return pid;
+  }
+  return util::not_found("port '" + name + "' on LSI " + name_);
+}
+
+std::vector<PortId> Lsi::ports() const {
+  std::vector<PortId> out;
+  out.reserve(ports_.size());
+  for (const auto& [pid, port] : ports_) out.push_back(pid);
+  return out;
+}
+
+const PortStats* Lsi::port_stats(PortId port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : &it->second.stats;
+}
+
+void Lsi::receive(PortId port, packet::PacketBuffer&& frame) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;  // frame on a deleted port: drop
+  it->second.stats.rx_packets += 1;
+  it->second.stats.rx_bytes += frame.size();
+  ++processed_;
+
+  auto fields = packet::extract_flow_fields(frame.data());
+  if (!fields) {
+    NNFV_LOG(kDebug, "lsi") << name_ << ": unparseable frame dropped";
+    return;
+  }
+  FlowContext ctx{port, fields.value()};
+  FlowEntry* entry = table_.lookup(ctx, frame.size());
+  if (entry == nullptr) {
+    if (controller_ != nullptr) {
+      controller_->on_packet_in(*this, port, frame);
+    }
+    return;
+  }
+  ActionOutcome outcome = apply_actions(entry->actions, frame);
+  if (outcome.to_controller && controller_ != nullptr) {
+    controller_->on_packet_in(*this, port, frame);
+  }
+  if (outcome.dropped || outcome.outputs.empty()) return;
+  // Replicate for all but the last output.
+  for (std::size_t i = 0; i + 1 < outcome.outputs.size(); ++i) {
+    packet::PacketBuffer copy(frame.data());
+    transmit(outcome.outputs[i], std::move(copy));
+  }
+  transmit(outcome.outputs.back(), std::move(frame));
+}
+
+void Lsi::transmit(PortId port, packet::PacketBuffer&& frame) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  it->second.stats.tx_packets += 1;
+  it->second.stats.tx_bytes += frame.size();
+  if (!it->second.peer) {
+    it->second.stats.tx_no_peer += 1;
+    return;
+  }
+  it->second.peer(std::move(frame));
+}
+
+}  // namespace nnfv::nfswitch

@@ -1,0 +1,98 @@
+// LogicalSwitchInstance (LSI): the per-graph software switch of the
+// Universal Node architecture, plus the base LSI-0 that classifies node
+// ingress traffic.
+//
+// An LSI owns named ports; each port's peer is a callback (an NF instance,
+// a virtual link to another LSI, or a physical-port model). Forwarding is
+// a flow-table lookup followed by action application. Table misses go to
+// the LSI's controller, mirroring the per-LSI OpenFlow controller of the
+// paper's Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packet/buffer.hpp"
+#include "switch/flow_table.hpp"
+#include "util/status.hpp"
+
+namespace nnfv::nfswitch {
+
+using LsiId = std::uint32_t;
+
+class Lsi;
+
+/// Per-LSI control plane: receives table-miss packets and may install rules.
+/// Mirrors the "OpenFlow connection" of the compute-node architecture.
+class FlowController {
+ public:
+  virtual ~FlowController() = default;
+  virtual void on_packet_in(Lsi& lsi, PortId in_port,
+                            const packet::PacketBuffer& frame) = 0;
+};
+
+struct PortStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_no_peer = 0;  ///< transmits with no peer attached
+};
+
+class Lsi {
+ public:
+  /// Receiver for frames leaving the switch through a port.
+  using PortPeer = std::function<void(packet::PacketBuffer&&)>;
+
+  Lsi(LsiId id, std::string name);
+
+  [[nodiscard]] LsiId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Creates a port; names must be unique within the LSI.
+  util::Result<PortId> add_port(const std::string& name);
+  util::Status remove_port(PortId port);
+
+  /// Sets where frames transmitted out of `port` go.
+  util::Status set_port_peer(PortId port, PortPeer peer);
+
+  [[nodiscard]] bool has_port(PortId port) const;
+  [[nodiscard]] util::Result<PortId> port_by_name(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<PortId> ports() const;
+  [[nodiscard]] const PortStats* port_stats(PortId port) const;
+
+  /// Ingress: a frame arrives on `port`; runs the pipeline synchronously.
+  void receive(PortId port, packet::PacketBuffer&& frame);
+
+  /// Egress helper used by controllers and the steering layer (packet-out).
+  void transmit(PortId port, packet::PacketBuffer&& frame);
+
+  FlowTable& flow_table() { return table_; }
+  [[nodiscard]] const FlowTable& flow_table() const { return table_; }
+
+  void set_controller(FlowController* controller) { controller_ = controller; }
+
+  [[nodiscard]] std::uint64_t processed_packets() const { return processed_; }
+
+ private:
+  struct Port {
+    std::string name;
+    PortPeer peer;
+    PortStats stats;
+  };
+
+  LsiId id_;
+  std::string name_;
+  std::map<PortId, Port> ports_;
+  PortId next_port_ = 1;
+  FlowTable table_;
+  FlowController* controller_ = nullptr;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace nnfv::nfswitch

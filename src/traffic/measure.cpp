@@ -1,0 +1,37 @@
+#include "traffic/measure.hpp"
+
+namespace nnfv::traffic {
+
+MeasurementHarness::MeasurementHarness(sim::Simulator& simulator,
+                                       MeasurementConfig config)
+    : simulator_(simulator),
+      config_(config),
+      sink_(simulator, config.warmup, config.warmup + config.duration) {}
+
+MeasurementResult MeasurementHarness::run(UdpSource::Transmit inject) {
+  UdpSourceConfig source_config = config_.source_template;
+  source_config.payload_bytes = config_.payload_bytes;
+  source_config.packets_per_second = config_.offered_pps;
+  source_config.start = 0;
+  source_config.stop = config_.warmup + config_.duration;
+
+  UdpSource source(simulator_, source_config, std::move(inject));
+  source.begin();
+  // Run past the window so in-flight packets drain (they no longer count).
+  simulator_.run_until(config_.warmup + config_.duration +
+                       100 * sim::kMillisecond);
+
+  MeasurementResult result;
+  result.goodput_bps = sink_.goodput_bps();
+  result.throughput_bps = sink_.throughput_bps();
+  result.delivered_packets = sink_.packets();
+  result.offered_packets = source.sent_packets();
+  result.delivery_ratio =
+      source.sent_packets() == 0
+          ? 0.0
+          : static_cast<double>(sink_.total_packets()) /
+                static_cast<double>(source.sent_packets());
+  return result;
+}
+
+}  // namespace nnfv::traffic

@@ -1,0 +1,53 @@
+// Measurement harness: saturating max-throughput runs (the Table 1
+// methodology) packaged as one call.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "traffic/sink.hpp"
+#include "traffic/source.hpp"
+
+namespace nnfv::traffic {
+
+struct MeasurementConfig {
+  std::size_t payload_bytes = 1408;
+  /// Offered load; choose well above capacity for saturation.
+  double offered_pps = 300000.0;
+  sim::SimTime warmup = 200 * sim::kMillisecond;
+  sim::SimTime duration = 2 * sim::kSecond;  ///< measured window length
+  UdpSourceConfig source_template;           ///< addressing etc.
+};
+
+struct MeasurementResult {
+  double goodput_bps = 0.0;
+  double throughput_bps = 0.0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t offered_packets = 0;
+  /// Fraction of offered packets delivered inside the whole run.
+  double delivery_ratio = 0.0;
+};
+
+/// Runs a saturation measurement on an arbitrary datapath:
+/// `inject` receives source frames; the caller must arrange for processed
+/// frames to reach `sink_hook` (returned sink) — typically by wiring a node
+/// egress port to it before calling.
+class MeasurementHarness {
+ public:
+  MeasurementHarness(sim::Simulator& simulator, MeasurementConfig config);
+
+  /// The sink to wire to the egress side.
+  ThroughputSink& sink() { return sink_; }
+
+  /// Starts the source into `inject` and runs the simulator to the end of
+  /// the measurement window (+ drain margin). Returns the result.
+  MeasurementResult run(UdpSource::Transmit inject);
+
+ private:
+  sim::Simulator& simulator_;
+  MeasurementConfig config_;
+  ThroughputSink sink_;
+};
+
+}  // namespace nnfv::traffic

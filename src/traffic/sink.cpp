@@ -1,0 +1,48 @@
+#include "traffic/sink.hpp"
+
+#include "packet/flow_key.hpp"
+#include "packet/headers.hpp"
+
+namespace nnfv::traffic {
+
+ThroughputSink::ThroughputSink(sim::Simulator& simulator,
+                               sim::SimTime window_start,
+                               sim::SimTime window_end)
+    : simulator_(simulator),
+      window_start_(window_start),
+      window_end_(window_end) {}
+
+void ThroughputSink::receive(const packet::PacketBuffer& frame) {
+  ++total_packets_;
+  const sim::SimTime now = simulator_.now();
+  if (now < window_start_ || now >= window_end_) return;
+  ++packets_;
+  bytes_ += frame.size();
+
+  auto fields = packet::extract_flow_fields(frame.data());
+  if (fields && fields->ipv4.has_value() &&
+      fields->ipv4->protocol == packet::kIpProtoUdp) {
+    const std::size_t udp_off =
+        fields->eth.wire_size() + fields->ipv4->header_size();
+    auto udp = packet::parse_udp(frame.data().subspan(udp_off));
+    if (udp && udp->length >= packet::kUdpHeaderSize) {
+      payload_bytes_ += udp->length - packet::kUdpHeaderSize;
+    }
+  }
+}
+
+double ThroughputSink::throughput_bps() const {
+  const sim::SimTime window = window_end_ - window_start_;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(bytes_) * 8.0 * 1e9 /
+         static_cast<double>(window);
+}
+
+double ThroughputSink::goodput_bps() const {
+  const sim::SimTime window = window_end_ - window_start_;
+  if (window <= 0) return 0.0;
+  return static_cast<double>(payload_bytes_) * 8.0 * 1e9 /
+         static_cast<double>(window);
+}
+
+}  // namespace nnfv::traffic

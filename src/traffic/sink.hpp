@@ -1,0 +1,43 @@
+// ThroughputSink: the iPerf-server stand-in — counts delivered traffic
+// inside a measurement window and reports rates.
+#pragma once
+
+#include <cstdint>
+
+#include "packet/buffer.hpp"
+#include "sim/simulator.hpp"
+
+namespace nnfv::traffic {
+
+class ThroughputSink {
+ public:
+  /// Only packets with timestamp in [window_start, window_end) count.
+  ThroughputSink(sim::Simulator& simulator, sim::SimTime window_start,
+                 sim::SimTime window_end);
+
+  /// Delivery entry point; wire as a port peer / egress callback.
+  void receive(const packet::PacketBuffer& frame);
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  /// UDP payload bytes (goodput accounting); non-UDP frames contribute 0.
+  [[nodiscard]] std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+
+  /// L2 throughput over the window, bits/second.
+  [[nodiscard]] double throughput_bps() const;
+  /// UDP goodput over the window, bits/second — what iPerf reports.
+  [[nodiscard]] double goodput_bps() const;
+
+ private:
+  sim::Simulator& simulator_;
+  sim::SimTime window_start_;
+  sim::SimTime window_end_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace nnfv::traffic

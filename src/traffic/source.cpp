@@ -1,0 +1,56 @@
+#include "traffic/source.hpp"
+
+#include <cmath>
+
+#include "util/byteorder.hpp"
+
+namespace nnfv::traffic {
+
+UdpSource::UdpSource(sim::Simulator& simulator, UdpSourceConfig config,
+                     Transmit tx)
+    : simulator_(simulator),
+      config_(config),
+      tx_(std::move(tx)),
+      rng_(config.seed),
+      payload_(rng_.bytes(config.payload_bytes)) {
+  if (payload_.size() < 8) payload_.resize(8);
+}
+
+void UdpSource::begin() {
+  simulator_.schedule_at(config_.start, [this]() { send_one(); });
+}
+
+sim::SimTime UdpSource::next_gap() {
+  const double mean_gap_ns = 1e9 / config_.packets_per_second;
+  if (!config_.poisson) {
+    return static_cast<sim::SimTime>(std::llround(mean_gap_ns));
+  }
+  const double gap = rng_.exponential(1.0 / mean_gap_ns);
+  return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(gap));
+}
+
+void UdpSource::send_one() {
+  if (simulator_.now() >= config_.stop) return;
+
+  // Stamp a sequence number into the payload (iperf-style).
+  util::store_be64(payload_.data(), sent_);
+
+  packet::UdpFrameSpec spec;
+  spec.eth_src = config_.eth_src;
+  spec.eth_dst = config_.eth_dst;
+  spec.vlan = config_.vlan;
+  spec.ip_src = config_.ip_src;
+  spec.ip_dst = config_.ip_dst;
+  spec.src_port = config_.src_port;
+  spec.dst_port = config_.dst_port;
+  spec.payload = payload_;
+  packet::PacketBuffer frame = packet::build_udp_frame(spec);
+
+  ++sent_;
+  sent_bytes_ += frame.size();
+  tx_(std::move(frame));
+
+  simulator_.schedule(next_gap(), [this]() { send_one(); });
+}
+
+}  // namespace nnfv::traffic

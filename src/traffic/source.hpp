@@ -1,0 +1,60 @@
+// UdpSource: the iPerf-client stand-in.
+//
+// Generates a constant-bit-rate UDP stream (optionally Poisson) into a
+// callback — usually a physical port of the node. Saturation measurements
+// offer a rate well above the expected capacity and read the sink rate, the
+// same methodology as "maximum throughput measured using iPerf" (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "packet/builder.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace nnfv::traffic {
+
+struct UdpSourceConfig {
+  packet::MacAddress eth_src = packet::MacAddress::from_id(0xA0);
+  packet::MacAddress eth_dst = packet::MacAddress::from_id(0xA1);
+  std::optional<std::uint16_t> vlan;
+  packet::Ipv4Address ip_src{0x0A000001};  // 10.0.0.1
+  packet::Ipv4Address ip_dst{0x0A000002};  // 10.0.0.2
+  std::uint16_t src_port = 40000;
+  std::uint16_t dst_port = 5001;  // iperf default
+  std::size_t payload_bytes = 1408;
+  double packets_per_second = 100000.0;
+  bool poisson = false;           ///< exponential inter-arrivals when true
+  sim::SimTime start = 0;
+  sim::SimTime stop = 10 * sim::kSecond;
+  std::uint64_t seed = 42;
+};
+
+class UdpSource {
+ public:
+  using Transmit = std::function<void(packet::PacketBuffer&&)>;
+
+  UdpSource(sim::Simulator& simulator, UdpSourceConfig config, Transmit tx);
+
+  /// Schedules the first packet; call once before running the simulator.
+  void begin();
+
+  [[nodiscard]] std::uint64_t sent_packets() const { return sent_; }
+  [[nodiscard]] std::uint64_t sent_bytes() const { return sent_bytes_; }
+
+ private:
+  void send_one();
+  [[nodiscard]] sim::SimTime next_gap();
+
+  sim::Simulator& simulator_;
+  UdpSourceConfig config_;
+  Transmit tx_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t sent_bytes_ = 0;
+};
+
+}  // namespace nnfv::traffic

@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace nnfv::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+std::string* g_capture = nullptr;
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void set_log_capture(std::string* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_capture = sink;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::string line;
+  line.reserve(component.size() + msg.size() + 16);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += msg;
+  line += '\n';
+  if (g_capture != nullptr) {
+    *g_capture += line;
+  } else {
+    std::cerr << line;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace nnfv::util

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The orchestrator narrates deployment decisions (driver selection, LSI
+// creation, flow-rule installation) at kInfo; datapath components log at
+// kDebug so simulations stay quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nnfv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Default kWarn so
+/// tests and benches are quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirect log output into a string buffer (for tests); pass nullptr to
+/// restore stderr.
+void set_log_capture(std::string* sink);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace nnfv::util
+
+// Usage: NNFV_LOG(kInfo, "orchestrator") << "deployed graph " << id;
+#define NNFV_LOG(level, component)                                      \
+  if (::nnfv::util::LogLevel::level < ::nnfv::util::log_level()) {     \
+  } else                                                                \
+    ::nnfv::util::detail::LogMessage(::nnfv::util::LogLevel::level, component)

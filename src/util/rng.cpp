@@ -1,0 +1,82 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace nnfv::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed-expand with splitmix64 as recommended by the xoshiro authors.
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t value = next_u64();
+  while (value >= limit) value = next_u64();
+  return lo + value % span;
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double rate) {
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t word = next_u64();
+    for (int b = 0; b < 8; ++b) {
+      out[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  if (i < n) {
+    std::uint64_t word = next_u64();
+    while (i < n) {
+      out[i++] = static_cast<std::uint8_t>(word);
+      word >>= 8;
+    }
+  }
+  return out;
+}
+
+bool Rng::chance(double probability) { return uniform01() < probability; }
+
+}  // namespace nnfv::util

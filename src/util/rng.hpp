@@ -1,0 +1,39 @@
+// Deterministic RNG used by workload generators and property tests.
+//
+// Simulations must be reproducible run-to-run, so all randomness flows
+// through an explicitly seeded engine (never std::random_device at use
+// sites).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nnfv::util {
+
+/// xoshiro256** — small, fast, and good enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponential with the given rate (for Poisson arrivals).
+  double exponential(double rate);
+
+  /// `n` random bytes (keys, payloads).
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace nnfv::util

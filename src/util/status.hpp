@@ -1,0 +1,122 @@
+// Status / Result: lightweight error propagation used across the library.
+//
+// The orchestrator and its drivers report recoverable failures (bad NF-FG,
+// missing image, exhausted resources) as values, not exceptions, so callers
+// such as the REST layer can map them onto protocol errors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace nnfv::util {
+
+/// Machine-inspectable error category. Kept deliberately small; the message
+/// carries the specifics.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad NF-FG, bad JSON, bad config)
+  kNotFound,          ///< unknown id (graph, NF, image, port, namespace)
+  kAlreadyExists,     ///< duplicate id where uniqueness is required
+  kResourceExhausted, ///< resource manager refused the reservation
+  kUnavailable,       ///< capability or driver not present on this node
+  kFailedPrecondition,///< valid request in the wrong state
+  kUnimplemented,     ///< feature hook not provided by a plugin
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an ErrorCode ("invalid_argument", ...).
+std::string_view error_code_name(ErrorCode code);
+
+/// A success-or-error value. `ok()` is true iff code()==kOk.
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Result<T>: either a value or an error Status. Minimal expected<> stand-in.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.is_ok()) {
+      status_ = internal_error("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate errors early:  NNFV_RETURN_IF_ERROR(do_thing());
+#define NNFV_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::nnfv::util::Status nnfv_status_ = (expr);     \
+    if (!nnfv_status_.is_ok()) return nnfv_status_; \
+  } while (false)
+
+}  // namespace nnfv::util

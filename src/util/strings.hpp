@@ -1,0 +1,42 @@
+// String helpers shared by the JSON parser, REST layer and NF-FG codecs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nnfv::util {
+
+/// Splits `text` on `sep`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Case-insensitive ASCII comparison (HTTP header names).
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+std::string to_lower(std::string_view text);
+
+/// Hex encoding of arbitrary bytes, lowercase, no separators.
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Inverse of hex_encode; returns false on odd length or non-hex characters.
+bool hex_decode(std::string_view hex, std::vector<std::uint8_t>& out);
+
+/// Parses a non-negative decimal integer; returns false on any non-digit or
+/// overflow of uint64_t.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+/// Formats bytes as a human-readable quantity ("390.6 MB", "5 MB", "1.2 GB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats bits/second as Mbps with one decimal ("796.0 Mbps").
+std::string format_mbps(double bits_per_second);
+
+}  // namespace nnfv::util

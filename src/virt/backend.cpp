@@ -1,0 +1,29 @@
+#include "virt/backend.hpp"
+
+namespace nnfv::virt {
+
+std::string_view backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kVm:
+      return "vm";
+    case BackendKind::kDocker:
+      return "docker";
+    case BackendKind::kDpdk:
+      return "dpdk";
+    case BackendKind::kNative:
+      return "native";
+  }
+  return "unknown";
+}
+
+std::optional<BackendKind> backend_from_name(std::string_view name) {
+  if (name == "vm" || name == "kvm" || name == "qemu" || name == "libvirt") {
+    return BackendKind::kVm;
+  }
+  if (name == "docker" || name == "container") return BackendKind::kDocker;
+  if (name == "dpdk") return BackendKind::kDpdk;
+  if (name == "native" || name == "nnf") return BackendKind::kNative;
+  return std::nullopt;
+}
+
+}  // namespace nnfv::virt

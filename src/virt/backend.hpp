@@ -1,0 +1,25 @@
+// Virtualization backend taxonomy: the execution technologies a Universal
+// Node can host (paper Figure 1: VM/libvirt, Docker, DPDK process, native).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace nnfv::virt {
+
+enum class BackendKind {
+  kVm,      ///< full VM under KVM/QEMU via a libvirt-style driver
+  kDocker,  ///< container sharing the host kernel
+  kDpdk,    ///< user-space poll-mode DPDK process
+  kNative,  ///< native network function already present in the CPE OS
+};
+
+inline constexpr BackendKind kAllBackends[] = {
+    BackendKind::kVm, BackendKind::kDocker, BackendKind::kDpdk,
+    BackendKind::kNative};
+
+std::string_view backend_name(BackendKind kind);
+std::optional<BackendKind> backend_from_name(std::string_view name);
+
+}  // namespace nnfv::virt

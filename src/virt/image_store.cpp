@@ -1,0 +1,108 @@
+#include "virt/image_store.hpp"
+
+#include "virt/ram_model.hpp"  // kMiB
+
+namespace nnfv::virt {
+
+using util::Result;
+using util::Status;
+
+std::uint64_t Image::total_size() const {
+  std::uint64_t total = 0;
+  for (const ImageLayer& layer : layers) total += layer.size_bytes;
+  return total;
+}
+
+Status ImageStore::register_image(Image image) {
+  if (image.name.empty()) return util::invalid_argument("image name empty");
+  if (images_.contains(image.name)) {
+    return util::already_exists("image '" + image.name + "'");
+  }
+  images_[image.name] = std::move(image);
+  return Status::ok();
+}
+
+Result<Image> ImageStore::find(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) return util::not_found("image '" + name + "'");
+  return it->second;
+}
+
+bool ImageStore::contains(const std::string& name) const {
+  return images_.contains(name);
+}
+
+std::vector<std::string> ImageStore::names() const {
+  std::vector<std::string> out;
+  out.reserve(images_.size());
+  for (const auto& [name, image] : images_) out.push_back(name);
+  return out;
+}
+
+Status DiskLedger::install(const Image& image) {
+  if (installed_.contains(image.name)) return Status::ok();
+  // First pass: compute the marginal cost.
+  std::uint64_t marginal = 0;
+  for (const ImageLayer& layer : image.layers) {
+    if (!layer_refcount_.contains(layer.digest)) marginal += layer.size_bytes;
+  }
+  if (used_ + marginal > capacity_) {
+    return util::resource_exhausted(
+        "disk: need " + std::to_string(marginal) + " bytes, have " +
+        std::to_string(capacity_ - used_));
+  }
+  for (const ImageLayer& layer : image.layers) {
+    auto [it, inserted] = layer_refcount_.try_emplace(layer.digest, 0);
+    if (it->second == 0) {
+      used_ += layer.size_bytes;
+      layer_size_[layer.digest] = layer.size_bytes;
+    }
+    it->second += 1;
+  }
+  installed_.insert(image.name);
+  return Status::ok();
+}
+
+void DiskLedger::remove(const Image& image) {
+  if (installed_.erase(image.name) == 0) return;
+  for (const ImageLayer& layer : image.layers) {
+    auto it = layer_refcount_.find(layer.digest);
+    if (it == layer_refcount_.end()) continue;
+    if (--it->second == 0) {
+      used_ -= layer_size_[layer.digest];
+      layer_size_.erase(layer.digest);
+      layer_refcount_.erase(it);
+    }
+  }
+}
+
+bool DiskLedger::installed(const std::string& image_name) const {
+  return installed_.contains(image_name);
+}
+
+FlavorImages make_flavor_images(const std::string& nf_name,
+                                std::uint64_t package_bytes) {
+  FlavorImages out;
+  // Native: the package itself — Table 1's 5 MB for Strongswan.
+  out.native.name = nf_name + ":native";
+  out.native.kind = BackendKind::kNative;
+  out.native.layers = {{nf_name + "-pkg", package_bytes}};
+
+  // Docker: a distro base layer + runtime libraries + the package.
+  // 240 MB total for strongswan in Table 1.
+  out.docker.name = nf_name + ":docker";
+  out.docker.kind = BackendKind::kDocker;
+  out.docker.layers = {{"docker-base", 180 * kMiB},
+                       {"docker-libs", 55 * kMiB},
+                       {nf_name + "-pkg", package_bytes}};
+
+  // VM: full disk image — guest OS + libraries + the package (522 MB).
+  out.vm.name = nf_name + ":vm";
+  out.vm.kind = BackendKind::kVm;
+  out.vm.layers = {{"guest-os", 420 * kMiB},
+                   {"guest-libs", 97 * kMiB},
+                   {nf_name + "-pkg", package_bytes}};
+  return out;
+}
+
+}  // namespace nnfv::virt

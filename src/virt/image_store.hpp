@@ -1,0 +1,83 @@
+// NF image registry and per-node disk ledger.
+//
+// Table 1's "image size" column compares a full VM disk image, a Docker
+// image (base layers + package) and a native function (just the package,
+// usually already installed). The store models exactly that: images are
+// layered, layers are content-addressed and shared between images (Docker
+// semantics), and installing an image onto a node consumes disk once per
+// distinct layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "virt/backend.hpp"
+
+namespace nnfv::virt {
+
+struct ImageLayer {
+  std::string digest;  ///< content id; equal digests share disk
+  std::uint64_t size_bytes = 0;
+};
+
+struct Image {
+  std::string name;  ///< e.g. "strongswan:vm", "strongswan:docker"
+  BackendKind kind = BackendKind::kVm;
+  std::vector<ImageLayer> layers;
+
+  [[nodiscard]] std::uint64_t total_size() const;
+};
+
+class ImageStore {
+ public:
+  util::Status register_image(Image image);
+  [[nodiscard]] util::Result<Image> find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Image> images_;
+};
+
+/// Disk usage of one node: installed layers are deduplicated by digest.
+class DiskLedger {
+ public:
+  explicit DiskLedger(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Installs an image; shared layers cost nothing the second time.
+  /// Fails (resource_exhausted) when new layers would exceed capacity.
+  util::Status install(const Image& image);
+
+  /// Removes an image's layers when no other installed image references
+  /// them.
+  void remove(const Image& image);
+
+  [[nodiscard]] bool installed(const std::string& image_name) const;
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::map<std::string, std::uint64_t> layer_refcount_;  // digest -> refs
+  std::map<std::string, std::uint64_t> layer_size_;
+  std::set<std::string> installed_;
+};
+
+/// Canonical image factory: the three flavors of one NF package, sized per
+/// the Table 1 structure (native = package only; Docker = base + package;
+/// VM = disk image with guest OS).
+struct FlavorImages {
+  Image native;
+  Image docker;
+  Image vm;
+};
+FlavorImages make_flavor_images(const std::string& nf_name,
+                                std::uint64_t package_bytes);
+
+}  // namespace nnfv::virt

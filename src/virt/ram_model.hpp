@@ -1,0 +1,58 @@
+// Runtime RAM accounting per NF instance and per node.
+//
+// Table 1's RAM column is "the amount of RAM allocated at runtime" for the
+// whole flavor. We model it as
+//
+//   ram(instance) = backend overhead + NF working set
+//
+// where the overhead is the guest OS + hypervisor for a VM, the container
+// runtime slice for Docker, and zero for a native function (the binary is
+// already part of the CPE OS).
+#pragma once
+
+#include <cstdint>
+
+#include "virt/backend.hpp"
+
+namespace nnfv::virt {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+/// Memory demands intrinsic to a network function.
+struct NfMemoryProfile {
+  std::uint64_t working_set_bytes = 0;   ///< RSS of the function itself
+  std::uint64_t per_flow_bytes = 0;      ///< conntrack/SA state per flow
+  /// Marginal cost of one extra isolated internal path (shared NNFs):
+  /// tunnel/chain state, not a whole new process.
+  std::uint64_t per_context_bytes = 512 * 1024;
+};
+
+/// Per-instance backend overhead added on top of the NF working set.
+std::uint64_t backend_ram_overhead(BackendKind kind);
+
+/// Total runtime RAM of one instance with `flows` active flows.
+std::uint64_t instance_ram(BackendKind kind, const NfMemoryProfile& profile,
+                           std::uint64_t flows = 0);
+
+/// Node-level RAM ledger used by the resource manager.
+class RamLedger {
+ public:
+  explicit RamLedger(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t available() const { return capacity_ - used_; }
+
+  /// Reserves `bytes`; false when that would exceed capacity.
+  bool reserve(std::uint64_t bytes);
+  /// Releases a previous reservation (clamped at zero).
+  void release(std::uint64_t bytes);
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace nnfv::virt

@@ -1,0 +1,216 @@
+// Tests for the JSON parser/serializer carrying the NF-FG wire format.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace nnfv::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->as_bool());
+  EXPECT_FALSE(parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5")->as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3")->as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2")->as_number(), 0.025);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]")->as_array().empty());
+  EXPECT_TRUE(parse("{}")->as_object().empty());
+  EXPECT_TRUE(parse("  [ ]  ")->as_array().empty());
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto doc = parse(R"({"a": [1, {"b": "c"}, null], "d": true})");
+  ASSERT_TRUE(doc.is_ok());
+  const Value& v = doc.value();
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a->as_array()[1].get_string("b"), "c");
+  EXPECT_TRUE(a->as_array()[2].is_null());
+  EXPECT_TRUE(v.get_bool("d", false));
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto doc = parse(R"("a\"b\\c\/d\b\f\n\r\t")");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_string(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(JsonParse, UnicodeEscapesBmp) {
+  auto doc = parse("\"\\u0041\\u00e9\\u20ac\"");  // A, é, €
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParse, UnicodeSurrogatePair) {
+  auto doc = parse("\"\\ud83d\\ude00\"");  // U+1F600
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RawUtf8PassesThrough) {
+  auto doc = parse("\"caf\xC3\xA9\"");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_string(), "caf\xC3\xA9");
+}
+
+TEST(JsonParse, RejectsLoneSurrogates) {
+  EXPECT_FALSE(parse(R"("\ud83d")").is_ok());
+  EXPECT_FALSE(parse(R"("\ude00")").is_ok());
+  EXPECT_FALSE(parse(R"("\ud83dxx")").is_ok());
+}
+
+struct BadInput {
+  const char* name;
+  const char* text;
+};
+
+class JsonRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(JsonRejects, MalformedDocuments) {
+  EXPECT_FALSE(parse(GetParam().text).is_ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, JsonRejects,
+    ::testing::Values(
+        BadInput{"empty", ""}, BadInput{"bare_word", "nul"},
+        BadInput{"trailing", "{} extra"}, BadInput{"unclosed_obj", "{\"a\":1"},
+        BadInput{"unclosed_arr", "[1,2"}, BadInput{"missing_colon", "{\"a\" 1}"},
+        BadInput{"trailing_comma_obj", "{\"a\":1,}"},
+        BadInput{"trailing_comma_arr", "[1,]"},
+        BadInput{"unquoted_key", "{a:1}"},
+        BadInput{"single_quotes", "{'a':1}"},
+        BadInput{"bad_number", "01"}, BadInput{"plus_number", "+1"},
+        BadInput{"dot_no_digits", "1."}, BadInput{"exp_no_digits", "1e"},
+        BadInput{"unterminated_str", "\"abc"},
+        BadInput{"raw_control", "\"a\x01b\""},
+        BadInput{"bad_escape", "\"\\q\""},
+        BadInput{"bad_hex", "\"\\u00zz\""}),
+    [](const ::testing::TestParamInfo<BadInput>& info) {
+      return info.param.name;
+    });
+
+TEST(JsonParse, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(parse(deep).is_ok());
+
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += '[';
+  for (int i = 0; i < 50; ++i) ok += ']';
+  EXPECT_TRUE(parse(ok).is_ok());
+}
+
+TEST(JsonDump, CompactOutput) {
+  Object obj;
+  obj["name"] = "lsi-0";
+  obj["ports"] = Array{Value(1), Value(2)};
+  obj["up"] = true;
+  EXPECT_EQ(Value(obj).dump(), R"({"name":"lsi-0","ports":[1,2],"up":true})");
+}
+
+TEST(JsonDump, IntegersHaveNoDecimalPoint) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(0).dump(), "0");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, StringEscaping) {
+  EXPECT_EQ(Value("a\"b\n").dump(), R"("a\"b\n")");
+  EXPECT_EQ(Value(std::string(1, '\x02')).dump(), "\"\\u0002\"");
+}
+
+TEST(JsonDump, PrettyIsReparsable) {
+  auto doc = parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(doc.is_ok());
+  auto again = parse(doc->dump_pretty());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(doc.value() == again.value());
+}
+
+TEST(JsonRoundTrip, PreservesStructure) {
+  const char* text =
+      R"({"forwarding-graph":{"id":"g1","VNFs":[{"id":"fw","ports":2}],)"
+      R"("flow-rules":[{"id":"r1","priority":10}]}})";
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.is_ok());
+  auto again = parse(doc->dump());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(doc.value() == again.value());
+}
+
+TEST(JsonObject, PreservesInsertionOrder) {
+  Object obj;
+  obj["zebra"] = 1;
+  obj["alpha"] = 2;
+  obj["mike"] = 3;
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : obj) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "alpha", "mike"}));
+}
+
+TEST(JsonObject, FindAndErase) {
+  Object obj;
+  obj["a"] = 1;
+  obj["b"] = 2;
+  EXPECT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("zz"), nullptr);
+  obj.erase("a");
+  EXPECT_EQ(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(JsonValue, SafeAccessorsFallBack) {
+  auto doc = parse(R"({"n": 5, "s": "str", "b": false})");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get_string("s"), "str");
+  EXPECT_EQ(doc->get_string("n", "dflt"), "dflt");  // wrong type
+  EXPECT_EQ(doc->get_string("zz", "dflt"), "dflt");  // missing
+  EXPECT_DOUBLE_EQ(doc->get_number("n"), 5.0);
+  EXPECT_DOUBLE_EQ(doc->get_number("s", -1.0), -1.0);
+  EXPECT_FALSE(doc->get_bool("b", true));
+  EXPECT_TRUE(doc->get_bool("zz", true));
+}
+
+TEST(JsonValue, EqualityIsDeepAndOrderInsensitiveForObjects) {
+  auto a = parse(R"({"x":1,"y":[true,null]})");
+  auto b = parse(R"({"y":[true,null],"x":1})");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_TRUE(a.value() == b.value());
+  auto c = parse(R"({"x":1,"y":[true,false]})");
+  EXPECT_FALSE(a.value() == c.value());
+}
+
+TEST(JsonParse, WhitespaceTolerance) {
+  auto doc = parse(" \t\r\n { \"a\" : [ 1 , 2 ] } \n");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get("a")->as_array().size(), 2u);
+}
+
+TEST(JsonParse, LargeArray) {
+  std::string text = "[";
+  for (int i = 0; i < 10000; ++i) {
+    if (i != 0) text += ',';
+    text += std::to_string(i);
+  }
+  text += ']';
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->as_array().size(), 10000u);
+  EXPECT_DOUBLE_EQ(doc->as_array()[9999].as_number(), 9999.0);
+}
+
+}  // namespace
+}  // namespace nnfv::json

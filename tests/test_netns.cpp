@@ -1,0 +1,157 @@
+// Simulated network-namespace semantics the NNF driver relies on.
+#include <gtest/gtest.h>
+
+#include "netns/netns.hpp"
+
+namespace nnfv::netns {
+namespace {
+
+TEST(Netns, RootNamespaceAlwaysExists) {
+  NamespaceRegistry registry;
+  EXPECT_EQ(registry.count(), 1u);
+  EXPECT_TRUE(
+      registry.create_interface(kRootNamespace, "lo").is_ok());
+}
+
+TEST(Netns, CreateAndLookup) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns-ipsec-1");
+  ASSERT_TRUE(ns.is_ok());
+  EXPECT_TRUE(registry.exists("ns-ipsec-1"));
+  EXPECT_EQ(registry.id_of("ns-ipsec-1").value(), ns.value());
+  EXPECT_FALSE(registry.exists("other"));
+  EXPECT_FALSE(registry.id_of("other").is_ok());
+}
+
+TEST(Netns, DuplicateNameRejected) {
+  NamespaceRegistry registry;
+  ASSERT_TRUE(registry.create("ns1").is_ok());
+  auto dup = registry.create("ns1");
+  EXPECT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.status().code(), util::ErrorCode::kAlreadyExists);
+  EXPECT_FALSE(registry.create("").is_ok());
+}
+
+TEST(Netns, InterfaceNamesUniquePerNamespaceOnly) {
+  NamespaceRegistry registry;
+  auto ns1 = registry.create("ns1");
+  auto ns2 = registry.create("ns2");
+  EXPECT_TRUE(registry.create_interface(ns1.value(), "eth0").is_ok());
+  EXPECT_FALSE(registry.create_interface(ns1.value(), "eth0").is_ok());
+  // Same name in another namespace is fine (kernel semantics).
+  EXPECT_TRUE(registry.create_interface(ns2.value(), "eth0").is_ok());
+}
+
+TEST(Netns, VethPairSpansNamespaces) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(registry
+                  .create_veth(kRootNamespace, "veth-host", ns.value(),
+                               "eth0")
+                  .is_ok());
+  auto host_end = registry.interface(kRootNamespace, "veth-host");
+  ASSERT_TRUE(host_end.has_value());
+  EXPECT_EQ(host_end->veth_peer.value_or(""), "eth0");
+  auto ns_end = registry.interface(ns.value(), "eth0");
+  ASSERT_TRUE(ns_end.has_value());
+  EXPECT_EQ(ns_end->veth_peer.value_or(""), "veth-host");
+}
+
+TEST(Netns, VethRejectsDuplicateEndAndRollsBack) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(registry.create_interface(ns.value(), "eth0").is_ok());
+  // Second end collides; the first end must not leak.
+  EXPECT_FALSE(registry
+                   .create_veth(kRootNamespace, "veth-x", ns.value(), "eth0")
+                   .is_ok());
+  EXPECT_FALSE(registry.interface(kRootNamespace, "veth-x").has_value());
+}
+
+TEST(Netns, DeletingOneVethEndDeletesPeer) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(
+      registry.create_veth(kRootNamespace, "vh", ns.value(), "eth0").is_ok());
+  ASSERT_TRUE(registry.delete_interface(kRootNamespace, "vh").is_ok());
+  EXPECT_FALSE(registry.interface(ns.value(), "eth0").has_value());
+  EXPECT_TRUE(registry.interfaces_in(ns.value()).empty());
+}
+
+TEST(Netns, DestroyNamespaceRemovesInterfacesAndPeers) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(
+      registry.create_veth(kRootNamespace, "vh", ns.value(), "eth0").is_ok());
+  ASSERT_TRUE(registry.create_interface(ns.value(), "dummy0").is_ok());
+  auto removed = registry.destroy("ns1");
+  ASSERT_TRUE(removed.is_ok());
+  // Both the in-namespace interfaces and the host-side veth end are gone.
+  EXPECT_FALSE(registry.exists("ns1"));
+  EXPECT_FALSE(registry.interface(kRootNamespace, "vh").has_value());
+  // Inventory mentions all three names.
+  EXPECT_EQ(removed->size(), 3u);
+}
+
+TEST(Netns, DestroyUnknownFails) {
+  NamespaceRegistry registry;
+  EXPECT_FALSE(registry.destroy("ghost").is_ok());
+}
+
+TEST(Netns, MoveInterfaceBetweenNamespaces) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(registry.create_interface(kRootNamespace, "tap0").is_ok());
+  ASSERT_TRUE(
+      registry.move_interface("tap0", kRootNamespace, ns.value()).is_ok());
+  EXPECT_FALSE(registry.interface(kRootNamespace, "tap0").has_value());
+  auto moved = registry.interface(ns.value(), "tap0");
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->ns, ns.value());
+}
+
+TEST(Netns, MoveRejectsNameCollision) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(registry.create_interface(kRootNamespace, "eth0").is_ok());
+  ASSERT_TRUE(registry.create_interface(ns.value(), "eth0").is_ok());
+  EXPECT_FALSE(
+      registry.move_interface("eth0", kRootNamespace, ns.value()).is_ok());
+}
+
+TEST(Netns, MovedVethKeepsPeerLinkage) {
+  NamespaceRegistry registry;
+  auto ns1 = registry.create("ns1");
+  auto ns2 = registry.create("ns2");
+  ASSERT_TRUE(
+      registry.create_veth(kRootNamespace, "vA", ns1.value(), "vB").is_ok());
+  ASSERT_TRUE(
+      registry.move_interface("vA", kRootNamespace, ns2.value()).is_ok());
+  // Deleting the moved end still removes the peer.
+  ASSERT_TRUE(registry.delete_interface(ns2.value(), "vA").is_ok());
+  EXPECT_FALSE(registry.interface(ns1.value(), "vB").has_value());
+}
+
+TEST(Netns, UpDownFlag) {
+  NamespaceRegistry registry;
+  ASSERT_TRUE(registry.create_interface(kRootNamespace, "eth0").is_ok());
+  EXPECT_FALSE(registry.interface(kRootNamespace, "eth0")->up);
+  ASSERT_TRUE(
+      registry.set_interface_up(kRootNamespace, "eth0", true).is_ok());
+  EXPECT_TRUE(registry.interface(kRootNamespace, "eth0")->up);
+  EXPECT_FALSE(
+      registry.set_interface_up(kRootNamespace, "ghost", true).is_ok());
+}
+
+TEST(Netns, InterfacesInListsSorted) {
+  NamespaceRegistry registry;
+  auto ns = registry.create("ns1");
+  ASSERT_TRUE(registry.create_interface(ns.value(), "b").is_ok());
+  ASSERT_TRUE(registry.create_interface(ns.value(), "a").is_ok());
+  auto list = registry.interfaces_in(ns.value());
+  EXPECT_EQ(list, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(registry.interfaces_in(999).empty());
+}
+
+}  // namespace
+}  // namespace nnfv::netns

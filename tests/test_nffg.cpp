@@ -1,0 +1,282 @@
+// NF-FG model, JSON codec and validation tests.
+#include <gtest/gtest.h>
+
+#include "nffg/nffg.hpp"
+#include "nffg/nffg_json.hpp"
+#include "nffg/validate.hpp"
+
+namespace nnfv::nffg {
+namespace {
+
+NfFg sample_graph() {
+  NfFg graph;
+  graph.id = "g1";
+  graph.name = "customer chain";
+  NfNode& fw = graph.add_nf("fw", "firewall");
+  fw.config["policy"] = "accept";
+  graph.add_nf("gw", "ipsec");
+  graph.add_endpoint("lan", "eth0", 10);
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", endpoint_ref("lan"), nf_port("fw", 0), 10);
+  graph.connect("r2", nf_port("fw", 1), nf_port("gw", 0), 10);
+  graph.connect("r3", nf_port("gw", 1), endpoint_ref("wan"), 10);
+  graph.connect("r4", endpoint_ref("wan"), nf_port("gw", 1), 10);
+  graph.connect("r5", nf_port("gw", 0), nf_port("fw", 1), 10);
+  graph.connect("r6", nf_port("fw", 0), endpoint_ref("lan"), 10);
+  return graph;
+}
+
+// ---------------------------------------------------------------------------
+// PortRef
+// ---------------------------------------------------------------------------
+
+TEST(PortRef, ParseAndFormat) {
+  auto nf = PortRef::parse("vnf:fw:2");
+  ASSERT_TRUE(nf.is_ok());
+  EXPECT_EQ(nf->kind, PortRef::Kind::kNf);
+  EXPECT_EQ(nf->id, "fw");
+  EXPECT_EQ(nf->port, 2u);
+  EXPECT_EQ(nf->to_string(), "vnf:fw:2");
+
+  auto ep = PortRef::parse("endpoint:lan");
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_EQ(ep->kind, PortRef::Kind::kEndpoint);
+  EXPECT_EQ(ep->to_string(), "endpoint:lan");
+}
+
+TEST(PortRef, ParseRejectsGarbage) {
+  EXPECT_FALSE(PortRef::parse("").is_ok());
+  EXPECT_FALSE(PortRef::parse("vnf:fw").is_ok());
+  EXPECT_FALSE(PortRef::parse("vnf:fw:x").is_ok());
+  EXPECT_FALSE(PortRef::parse("vnf::1").is_ok());
+  EXPECT_FALSE(PortRef::parse("endpoint:").is_ok());
+  EXPECT_FALSE(PortRef::parse("port:abc").is_ok());
+  EXPECT_FALSE(PortRef::parse("vnf:fw:1:2").is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Model helpers
+// ---------------------------------------------------------------------------
+
+TEST(NfFgModel, Lookups) {
+  NfFg graph = sample_graph();
+  EXPECT_NE(graph.find_nf("fw"), nullptr);
+  EXPECT_EQ(graph.find_nf("fw")->functional_type, "firewall");
+  EXPECT_EQ(graph.find_nf("nope"), nullptr);
+  EXPECT_NE(graph.find_endpoint("lan"), nullptr);
+  EXPECT_EQ(graph.find_endpoint("lan")->vlan.value_or(0), 10);
+  EXPECT_EQ(graph.find_endpoint("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(Validate, AcceptsSampleGraph) {
+  std::vector<std::string> warnings;
+  EXPECT_TRUE(validate(sample_graph(), &warnings).is_ok());
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST(Validate, RejectsEmptyGraphId) {
+  NfFg graph = sample_graph();
+  graph.id = "";
+  EXPECT_FALSE(validate(graph).is_ok());
+}
+
+TEST(Validate, RejectsDuplicateNfIds) {
+  NfFg graph = sample_graph();
+  graph.add_nf("fw", "nat");
+  EXPECT_FALSE(validate(graph).is_ok());
+}
+
+TEST(Validate, RejectsDuplicateEndpointAndRuleIds) {
+  NfFg graph = sample_graph();
+  graph.add_endpoint("lan", "eth2");
+  EXPECT_FALSE(validate(graph).is_ok());
+
+  NfFg graph2 = sample_graph();
+  graph2.connect("r1", endpoint_ref("lan"), nf_port("fw", 0));
+  EXPECT_FALSE(validate(graph2).is_ok());
+}
+
+TEST(Validate, RejectsUnknownReferences) {
+  NfFg graph = sample_graph();
+  graph.connect("rx", endpoint_ref("ghost"), nf_port("fw", 0));
+  EXPECT_FALSE(validate(graph).is_ok());
+
+  NfFg graph2 = sample_graph();
+  graph2.connect("rx", nf_port("ghost", 0), endpoint_ref("lan"));
+  EXPECT_FALSE(validate(graph2).is_ok());
+}
+
+TEST(Validate, RejectsOutOfRangePortIndex) {
+  NfFg graph = sample_graph();
+  graph.connect("rx", nf_port("fw", 5), endpoint_ref("lan"));
+  EXPECT_FALSE(validate(graph).is_ok());
+}
+
+TEST(Validate, RejectsSelfLoopRule) {
+  NfFg graph = sample_graph();
+  graph.connect("rx", nf_port("fw", 0), nf_port("fw", 0));
+  EXPECT_FALSE(validate(graph).is_ok());
+}
+
+TEST(Validate, RejectsVlanCollisionsOnInterface) {
+  NfFg graph = sample_graph();
+  graph.add_endpoint("lan2", "eth0", 10);  // same iface+vid as "lan"
+  EXPECT_FALSE(validate(graph).is_ok());
+
+  NfFg graph2 = sample_graph();
+  graph2.add_endpoint("wan2", "eth1");  // second untagged on eth1
+  EXPECT_FALSE(validate(graph2).is_ok());
+}
+
+TEST(Validate, RejectsBadVlanIds) {
+  NfFg graph = sample_graph();
+  graph.add_endpoint("x", "eth2", 0);
+  EXPECT_FALSE(validate(graph).is_ok());
+  NfFg graph2 = sample_graph();
+  graph2.add_endpoint("x", "eth2", 4095);
+  EXPECT_FALSE(validate(graph2).is_ok());
+}
+
+TEST(Validate, WarnsOnUnreferencedPorts) {
+  NfFg graph = sample_graph();
+  graph.add_nf("idle", "bridge");  // never wired
+  std::vector<std::string> warnings;
+  EXPECT_TRUE(validate(graph, &warnings).is_ok());
+  EXPECT_EQ(warnings.size(), 2u);  // both ports of "idle"
+}
+
+TEST(Validate, RejectsZeroPortNf) {
+  NfFg graph = sample_graph();
+  NfNode& nf = graph.add_nf("x", "bridge");
+  nf.num_ports = 0;
+  EXPECT_FALSE(validate(graph).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSampleJson = R"({
+  "forwarding-graph": {
+    "id": "g7",
+    "name": "ipsec cpe",
+    "VNFs": [
+      {"id": "vpn", "functional_type": "ipsec", "ports": 2,
+       "backend": "native",
+       "config": {"local_ip": "198.51.100.1", "spi_out": "77"}}
+    ],
+    "end-points": [
+      {"id": "lan", "interface": "eth0", "vlan": 100},
+      {"id": "wan", "interface": "eth1"}
+    ],
+    "flow-rules": [
+      {"id": "in", "priority": 10,
+       "match": {"port_in": "endpoint:lan", "ip_proto": 17,
+                 "ip_dst": "10.0.0.0/8", "tp_dst": 5001},
+       "action": {"output": "vnf:vpn:0"}},
+      {"id": "out", "priority": 10,
+       "match": {"port_in": "vnf:vpn:1"},
+       "action": {"output": "endpoint:wan"}}
+    ]
+  }
+})";
+
+TEST(NffgJson, ParsesSampleDocument) {
+  auto graph = from_json_text(kSampleJson);
+  ASSERT_TRUE(graph.is_ok());
+  EXPECT_EQ(graph->id, "g7");
+  EXPECT_EQ(graph->name, "ipsec cpe");
+  ASSERT_EQ(graph->nfs.size(), 1u);
+  EXPECT_EQ(graph->nfs[0].functional_type, "ipsec");
+  EXPECT_EQ(graph->nfs[0].backend_hint.value(), virt::BackendKind::kNative);
+  EXPECT_EQ(graph->nfs[0].config.at("spi_out"), "77");
+  ASSERT_EQ(graph->endpoints.size(), 2u);
+  EXPECT_EQ(graph->endpoints[0].vlan.value_or(0), 100);
+  EXPECT_FALSE(graph->endpoints[1].vlan.has_value());
+  ASSERT_EQ(graph->rules.size(), 2u);
+  const Rule& in = graph->rules[0];
+  EXPECT_EQ(in.match.port_in.to_string(), "endpoint:lan");
+  EXPECT_EQ(in.match.ip_proto.value(), 17);
+  EXPECT_EQ(in.match.ip_dst->to_string(), "10.0.0.0");
+  EXPECT_EQ(in.match.ip_dst_prefix, 8);
+  EXPECT_EQ(in.match.tp_dst.value(), 5001);
+  EXPECT_EQ(in.output.to_string(), "vnf:vpn:0");
+}
+
+TEST(NffgJson, RoundTripIsIdentity) {
+  auto graph = from_json_text(kSampleJson);
+  ASSERT_TRUE(graph.is_ok());
+  auto again = from_json(to_json(graph.value()));
+  ASSERT_TRUE(again.is_ok());
+  // Compare the canonical serializations.
+  EXPECT_EQ(to_json(graph.value()).dump(), to_json(again.value()).dump());
+}
+
+TEST(NffgJson, SampleGraphSurvivesRoundTrip) {
+  NfFg graph = sample_graph();
+  auto again = from_json(to_json(graph));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again->id, graph.id);
+  EXPECT_EQ(again->nfs.size(), graph.nfs.size());
+  EXPECT_EQ(again->rules.size(), graph.rules.size());
+  EXPECT_EQ(again->nfs[0].config.at("policy"), "accept");
+  EXPECT_TRUE(validate(again.value()).is_ok());
+}
+
+TEST(NffgJson, RejectsStructuralErrors) {
+  EXPECT_FALSE(from_json_text("{}").is_ok());
+  EXPECT_FALSE(from_json_text(R"({"forwarding-graph": 5})").is_ok());
+  EXPECT_FALSE(from_json_text(R"({"forwarding-graph": {}})").is_ok());
+  // VNF without functional_type.
+  EXPECT_FALSE(from_json_text(
+                   R"({"forwarding-graph":{"id":"g","VNFs":[{"id":"x"}]}})")
+                   .is_ok());
+  // Rule without action.
+  EXPECT_FALSE(
+      from_json_text(
+          R"({"forwarding-graph":{"id":"g","flow-rules":[)"
+          R"({"id":"r","match":{"port_in":"endpoint:e"}}]}})")
+          .is_ok());
+  // Bad backend name.
+  EXPECT_FALSE(
+      from_json_text(
+          R"({"forwarding-graph":{"id":"g","VNFs":[)"
+          R"({"id":"x","functional_type":"nat","backend":"xen"}]}})")
+          .is_ok());
+  // Bad port ref.
+  EXPECT_FALSE(
+      from_json_text(
+          R"({"forwarding-graph":{"id":"g","flow-rules":[)"
+          R"({"id":"r","match":{"port_in":"garbage"},)"
+          R"("action":{"output":"endpoint:e"}}]}})")
+          .is_ok());
+  // VLAN out of range.
+  EXPECT_FALSE(
+      from_json_text(
+          R"({"forwarding-graph":{"id":"g","end-points":[)"
+          R"({"id":"e","interface":"eth0","vlan":5000}]}})")
+          .is_ok());
+}
+
+TEST(NffgJson, ConfigValuesMustBeStrings) {
+  EXPECT_FALSE(
+      from_json_text(
+          R"({"forwarding-graph":{"id":"g","VNFs":[)"
+          R"({"id":"x","functional_type":"nat","config":{"n":5}}]}})")
+          .is_ok());
+}
+
+TEST(NffgJson, MinimalGraphParses) {
+  auto graph = from_json_text(R"({"forwarding-graph":{"id":"tiny"}})");
+  ASSERT_TRUE(graph.is_ok());
+  EXPECT_EQ(graph->id, "tiny");
+  EXPECT_TRUE(graph->nfs.empty());
+  EXPECT_TRUE(validate(graph.value()).is_ok());
+}
+
+}  // namespace
+}  // namespace nnfv::nffg

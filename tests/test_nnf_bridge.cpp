@@ -1,0 +1,135 @@
+// Learning-bridge NF tests: learning, forwarding, flooding, aging,
+// per-context isolation.
+#include <gtest/gtest.h>
+
+#include "nnf/bridge.hpp"
+#include "packet/builder.hpp"
+
+namespace nnfv::nnf {
+namespace {
+
+packet::PacketBuffer frame_between(std::uint32_t src_id, std::uint32_t dst_id,
+                                   bool broadcast = false) {
+  packet::UdpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(src_id);
+  spec.eth_dst = broadcast ? packet::MacAddress::broadcast()
+                           : packet::MacAddress::from_id(dst_id);
+  spec.ip_src = *packet::Ipv4Address::parse("10.0.0.1");
+  spec.ip_dst = *packet::Ipv4Address::parse("10.0.0.2");
+  static const std::vector<std::uint8_t> payload(20, 1);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+TEST(Bridge, FloodsUnknownDestination) {
+  Bridge bridge(3);
+  auto outs = bridge.process(kDefaultContext, 0, 0, frame_between(1, 2));
+  ASSERT_EQ(outs.size(), 2u);  // every port except ingress
+  EXPECT_EQ(outs[0].port, 1u);
+  EXPECT_EQ(outs[1].port, 2u);
+}
+
+TEST(Bridge, LearnsAndForwardsUnicast) {
+  Bridge bridge(3);
+  // Host 1 on port 0 talks; bridge learns 1 -> 0.
+  bridge.process(kDefaultContext, 0, 0, frame_between(1, 2));
+  // Reply toward host 1 from port 2: unicast to port 0, no flood.
+  auto outs = bridge.process(kDefaultContext, 2, 0, frame_between(2, 1));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 0u);
+  EXPECT_EQ(bridge.table_size(kDefaultContext), 2u);
+}
+
+TEST(Bridge, BroadcastAlwaysFloods) {
+  Bridge bridge(2);
+  bridge.process(kDefaultContext, 0, 0, frame_between(1, 2));
+  auto outs = bridge.process(kDefaultContext, 1, 0,
+                             frame_between(2, 0, /*broadcast=*/true));
+  ASSERT_EQ(outs.size(), 1u);  // only the other port
+  EXPECT_EQ(outs[0].port, 0u);
+}
+
+TEST(Bridge, NeverHairpinsToIngress) {
+  Bridge bridge(2);
+  bridge.process(kDefaultContext, 0, 0, frame_between(1, 2));
+  // A frame *to* host 1 arriving on host 1's own port is dropped.
+  auto outs = bridge.process(kDefaultContext, 0, 0, frame_between(3, 1));
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(bridge.counters().dropped, 1u);
+}
+
+TEST(Bridge, StationMovesPorts) {
+  Bridge bridge(2);
+  bridge.process(kDefaultContext, 0, 0, frame_between(1, 9));
+  // Host 1 reappears on port 1 (moved cable); learning updates.
+  bridge.process(kDefaultContext, 1, 0, frame_between(1, 9));
+  auto outs = bridge.process(kDefaultContext, 0, 0, frame_between(2, 1));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 1u);
+}
+
+TEST(Bridge, EntriesAgeOut) {
+  Bridge bridge(2);
+  ASSERT_TRUE(
+      bridge.configure(kDefaultContext, {{"aging_time_ms", "1000"}}).is_ok());
+  bridge.process(kDefaultContext, 0, 0, frame_between(1, 2));
+  // Within the aging window: unicast.
+  auto outs = bridge.process(kDefaultContext, 1, 500 * sim::kMillisecond,
+                             frame_between(2, 1));
+  EXPECT_EQ(outs.size(), 1u);
+  // After expiry the destination is unknown again: flood.
+  outs = bridge.process(kDefaultContext, 1, 2 * sim::kSecond,
+                        frame_between(2, 1));
+  ASSERT_EQ(outs.size(), 1u);  // 2-port bridge floods to the 1 other port
+  EXPECT_EQ(outs[0].port, 0u);
+  // The aged entry was evicted.
+  EXPECT_EQ(bridge.table_size(kDefaultContext), 1u);  // only host 2 now
+}
+
+TEST(Bridge, ContextsIsolateForwardingTables) {
+  Bridge bridge(2);
+  ASSERT_TRUE(bridge.add_context(1).is_ok());
+  bridge.process(0, 0, 0, frame_between(1, 2));
+  EXPECT_EQ(bridge.table_size(0), 1u);
+  EXPECT_EQ(bridge.table_size(1), 0u);
+  // Context 1 has not learned host 1: flood.
+  auto outs = bridge.process(1, 1, 0, frame_between(2, 1));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 0u);
+}
+
+TEST(Bridge, RemoveContextDropsState) {
+  Bridge bridge(2);
+  ASSERT_TRUE(bridge.add_context(5).is_ok());
+  bridge.process(5, 0, 0, frame_between(1, 2));
+  EXPECT_EQ(bridge.table_size(5), 1u);
+  ASSERT_TRUE(bridge.remove_context(5).is_ok());
+  EXPECT_EQ(bridge.table_size(5), 0u);
+  EXPECT_TRUE(bridge.process(5, 0, 0, frame_between(1, 2)).empty());
+  EXPECT_FALSE(bridge.remove_context(0).is_ok());  // default undeletable
+}
+
+TEST(Bridge, RejectsBadConfig) {
+  Bridge bridge(2);
+  EXPECT_FALSE(
+      bridge.configure(kDefaultContext, {{"aging_time_ms", "abc"}}).is_ok());
+  EXPECT_FALSE(
+      bridge.configure(kDefaultContext, {{"unknown_key", "1"}}).is_ok());
+  EXPECT_FALSE(bridge.configure(42, {}).is_ok());  // unknown context
+}
+
+TEST(Bridge, InvalidPortCountsError) {
+  Bridge bridge(2);
+  EXPECT_TRUE(bridge.process(kDefaultContext, 7, 0, frame_between(1, 2))
+                  .empty());
+  EXPECT_EQ(bridge.counters().errors, 1u);
+}
+
+TEST(Bridge, MinimumTwoPorts) {
+  Bridge bridge(0);
+  EXPECT_EQ(bridge.num_ports(), 2u);
+  EXPECT_EQ(bridge.type(), "bridge");
+}
+
+}  // namespace
+}  // namespace nnfv::nnf

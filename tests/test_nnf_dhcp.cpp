@@ -1,0 +1,318 @@
+// DHCP server NF tests: wire-format parsing, the DORA handshake, lease
+// lifecycle (stickiness, expiry, release, NAK), pool exhaustion and
+// per-context isolation.
+#include <gtest/gtest.h>
+
+#include "nnf/dhcp.hpp"
+#include "packet/builder.hpp"
+#include "packet/flow_key.hpp"
+#include "util/byteorder.hpp"
+
+namespace nnfv::nnf {
+namespace {
+
+constexpr std::size_t kBootpFixed = 236;
+
+/// Builds a minimal client DHCP message as a UDP frame to port 67.
+packet::PacketBuffer client_message(std::uint8_t type,
+                                    const packet::MacAddress& mac,
+                                    std::uint32_t xid,
+                                    std::optional<packet::Ipv4Address>
+                                        requested = {},
+                                    std::optional<packet::Ipv4Address>
+                                        server_id = {},
+                                    packet::Ipv4Address ciaddr = {}) {
+  std::vector<std::uint8_t> payload(kBootpFixed + 4 + 24, 0);
+  payload[0] = 1;  // BOOTREQUEST
+  payload[1] = 1;  // Ethernet
+  payload[2] = 6;
+  util::store_be32(payload.data() + 4, xid);
+  util::store_be32(payload.data() + 12, ciaddr.value);
+  std::copy(mac.bytes.begin(), mac.bytes.end(), payload.begin() + 28);
+  util::store_be32(payload.data() + kBootpFixed, 0x63825363);
+  std::size_t pos = kBootpFixed + 4;
+  payload[pos++] = 53;  // message type
+  payload[pos++] = 1;
+  payload[pos++] = type;
+  if (requested.has_value()) {
+    payload[pos++] = 50;
+    payload[pos++] = 4;
+    util::store_be32(payload.data() + pos, requested->value);
+    pos += 4;
+  }
+  if (server_id.has_value()) {
+    payload[pos++] = 54;
+    payload[pos++] = 4;
+    util::store_be32(payload.data() + pos, server_id->value);
+    pos += 4;
+  }
+  payload[pos++] = 255;
+  payload.resize(pos);
+
+  packet::UdpFrameSpec spec;
+  spec.eth_src = mac;
+  spec.eth_dst = packet::MacAddress::broadcast();
+  spec.ip_src = packet::Ipv4Address{0};
+  spec.ip_dst = packet::Ipv4Address{0xFFFFFFFF};
+  spec.src_port = 68;
+  spec.dst_port = 67;
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+/// Extracts the DHCP payload from a server reply frame.
+DhcpMessage reply_of(const packet::PacketBuffer& frame) {
+  auto fields = packet::extract_flow_fields(frame.data());
+  EXPECT_TRUE(fields.is_ok());
+  const std::size_t off = fields->eth.wire_size() +
+                          fields->ipv4->header_size() +
+                          packet::kUdpHeaderSize;
+  auto msg = parse_dhcp(frame.data().subspan(off));
+  EXPECT_TRUE(msg.is_ok());
+  return msg.value();
+}
+
+DhcpServer make_server() {
+  DhcpServer server;
+  EXPECT_TRUE(server
+                  .configure(kDefaultContext,
+                             {{"server_ip", "192.168.1.1"},
+                              {"pool_start", "192.168.1.100"},
+                              {"pool_end", "192.168.1.102"},
+                              {"lease_time_ms", "60000"}})
+                  .is_ok());
+  return server;
+}
+
+TEST(DhcpParse, RejectsMalformed) {
+  std::vector<std::uint8_t> tiny(100, 0);
+  EXPECT_FALSE(parse_dhcp(tiny).is_ok());
+
+  std::vector<std::uint8_t> no_magic(kBootpFixed + 8, 0);
+  no_magic[0] = 1;
+  no_magic[1] = 1;
+  no_magic[2] = 6;
+  EXPECT_FALSE(parse_dhcp(no_magic).is_ok());
+
+  // Valid header but missing option 53.
+  std::vector<std::uint8_t> no_type(kBootpFixed + 8, 0);
+  no_type[0] = 1;
+  no_type[1] = 1;
+  no_type[2] = 6;
+  util::store_be32(no_type.data() + kBootpFixed, 0x63825363);
+  no_type[kBootpFixed + 4] = 255;
+  EXPECT_FALSE(parse_dhcp(no_type).is_ok());
+
+  // Option overrunning the buffer.
+  std::vector<std::uint8_t> overrun(kBootpFixed + 7, 0);
+  overrun[0] = 1;
+  overrun[1] = 1;
+  overrun[2] = 6;
+  util::store_be32(overrun.data() + kBootpFixed, 0x63825363);
+  overrun[kBootpFixed + 4] = 53;
+  overrun[kBootpFixed + 5] = 10;  // length past the end
+  EXPECT_FALSE(parse_dhcp(overrun).is_ok());
+}
+
+TEST(DhcpServer, DiscoverGetsOffer) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x31);
+  auto outs = server.process(kDefaultContext, 0, 0,
+                             client_message(kDhcpDiscover, mac, 0xABCD));
+  ASSERT_EQ(outs.size(), 1u);
+  const DhcpMessage offer = reply_of(outs[0].frame);
+  EXPECT_EQ(offer.op, 2);
+  EXPECT_EQ(offer.message_type, kDhcpOffer);
+  EXPECT_EQ(offer.xid, 0xABCDu);
+  EXPECT_EQ(offer.yiaddr.to_string(), "192.168.1.100");
+  EXPECT_EQ(offer.server_id->to_string(), "192.168.1.1");
+  EXPECT_EQ(offer.client_mac, mac);
+}
+
+TEST(DhcpServer, FullDoraHandshake) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x32);
+  auto offers = server.process(kDefaultContext, 0, 0,
+                               client_message(kDhcpDiscover, mac, 1));
+  ASSERT_EQ(offers.size(), 1u);
+  const packet::Ipv4Address offered = reply_of(offers[0].frame).yiaddr;
+
+  auto acks = server.process(
+      kDefaultContext, 0, sim::kSecond,
+      client_message(kDhcpRequest, mac, 1, offered,
+                     *packet::Ipv4Address::parse("192.168.1.1")));
+  ASSERT_EQ(acks.size(), 1u);
+  const DhcpMessage ack = reply_of(acks[0].frame);
+  EXPECT_EQ(ack.message_type, kDhcpAck);
+  EXPECT_EQ(ack.yiaddr, offered);
+  EXPECT_EQ(server.active_leases(kDefaultContext, sim::kSecond), 1u);
+  EXPECT_EQ(server.stats().acks, 1u);
+}
+
+TEST(DhcpServer, LeaseIsSticky) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x33);
+  auto first = server.process(kDefaultContext, 0, 0,
+                              client_message(kDhcpDiscover, mac, 1));
+  auto again = server.process(kDefaultContext, 0, sim::kSecond,
+                              client_message(kDhcpDiscover, mac, 2));
+  EXPECT_EQ(reply_of(first[0].frame).yiaddr, reply_of(again[0].frame).yiaddr);
+}
+
+TEST(DhcpServer, DistinctClientsDistinctAddresses) {
+  DhcpServer server = make_server();
+  auto a = server.process(
+      kDefaultContext, 0, 0,
+      client_message(kDhcpDiscover, packet::MacAddress::from_id(1), 1));
+  auto b = server.process(
+      kDefaultContext, 0, 0,
+      client_message(kDhcpDiscover, packet::MacAddress::from_id(2), 2));
+  EXPECT_NE(reply_of(a[0].frame).yiaddr, reply_of(b[0].frame).yiaddr);
+}
+
+TEST(DhcpServer, PoolExhaustionGoesQuiet) {
+  DhcpServer server = make_server();  // pool of 3
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    auto outs = server.process(
+        kDefaultContext, 0, 0,
+        client_message(kDhcpDiscover, packet::MacAddress::from_id(10 + i),
+                       i));
+    EXPECT_EQ(outs.size(), 1u);
+  }
+  auto fourth = server.process(
+      kDefaultContext, 0, 0,
+      client_message(kDhcpDiscover, packet::MacAddress::from_id(99), 9));
+  EXPECT_TRUE(fourth.empty());
+  EXPECT_EQ(server.stats().pool_exhausted, 1u);
+}
+
+TEST(DhcpServer, RequestForForeignServerIgnored) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x40);
+  auto outs = server.process(
+      kDefaultContext, 0, 0,
+      client_message(kDhcpRequest, mac, 1,
+                     *packet::Ipv4Address::parse("192.168.1.100"),
+                     *packet::Ipv4Address::parse("10.0.0.1")));  // other srv
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(DhcpServer, RequestOutsidePoolNaked) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x41);
+  auto outs = server.process(
+      kDefaultContext, 0, 0,
+      client_message(kDhcpRequest, mac, 1,
+                     *packet::Ipv4Address::parse("10.9.9.9")));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(reply_of(outs[0].frame).message_type, kDhcpNak);
+}
+
+TEST(DhcpServer, RequestForTakenAddressNaked) {
+  DhcpServer server = make_server();
+  const auto owner = packet::MacAddress::from_id(0x50);
+  const auto intruder = packet::MacAddress::from_id(0x51);
+  const auto addr = *packet::Ipv4Address::parse("192.168.1.100");
+  ASSERT_EQ(server
+                .process(kDefaultContext, 0, 0,
+                         client_message(kDhcpRequest, owner, 1, addr))
+                .size(),
+            1u);
+  auto outs = server.process(kDefaultContext, 0, sim::kSecond,
+                             client_message(kDhcpRequest, intruder, 2, addr));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(reply_of(outs[0].frame).message_type, kDhcpNak);
+  EXPECT_EQ(server.stats().naks, 1u);
+}
+
+TEST(DhcpServer, LeasesExpire) {
+  DhcpServer server = make_server();  // 60 s leases
+  const auto mac = packet::MacAddress::from_id(0x60);
+  const auto addr = *packet::Ipv4Address::parse("192.168.1.100");
+  ASSERT_EQ(server
+                .process(kDefaultContext, 0, 0,
+                         client_message(kDhcpRequest, mac, 1, addr))
+                .size(),
+            1u);
+  EXPECT_EQ(server.active_leases(kDefaultContext, 30 * sim::kSecond), 1u);
+  EXPECT_EQ(server.active_leases(kDefaultContext, 120 * sim::kSecond), 0u);
+  // After expiry another client can take the address.
+  auto outs = server.process(
+      kDefaultContext, 0, 120 * sim::kSecond,
+      client_message(kDhcpRequest, packet::MacAddress::from_id(0x61), 2,
+                     addr));
+  EXPECT_EQ(reply_of(outs[0].frame).message_type, kDhcpAck);
+}
+
+TEST(DhcpServer, ReleaseFreesAddress) {
+  DhcpServer server = make_server();
+  const auto mac = packet::MacAddress::from_id(0x70);
+  const auto addr = *packet::Ipv4Address::parse("192.168.1.100");
+  ASSERT_EQ(server
+                .process(kDefaultContext, 0, 0,
+                         client_message(kDhcpRequest, mac, 1, addr))
+                .size(),
+            1u);
+  auto release = server.process(
+      kDefaultContext, 0, sim::kSecond,
+      client_message(kDhcpRelease, mac, 2, std::nullopt, std::nullopt, addr));
+  EXPECT_TRUE(release.empty());  // RELEASE is not acknowledged
+  EXPECT_EQ(server.active_leases(kDefaultContext, sim::kSecond), 0u);
+  EXPECT_EQ(server.stats().releases, 1u);
+}
+
+TEST(DhcpServer, ContextsHaveIndependentPools) {
+  DhcpServer server = make_server();
+  ASSERT_TRUE(server.add_context(1).is_ok());
+  ASSERT_TRUE(server
+                  .configure(1, {{"server_ip", "10.0.0.1"},
+                                 {"pool_start", "10.0.0.100"},
+                                 {"pool_end", "10.0.0.101"}})
+                  .is_ok());
+  const auto mac = packet::MacAddress::from_id(0x80);
+  auto ctx0 = server.process(kDefaultContext, 0, 0,
+                             client_message(kDhcpDiscover, mac, 1));
+  auto ctx1 = server.process(1, 0, 0, client_message(kDhcpDiscover, mac, 2));
+  EXPECT_EQ(reply_of(ctx0[0].frame).yiaddr.to_string(), "192.168.1.100");
+  EXPECT_EQ(reply_of(ctx1[0].frame).yiaddr.to_string(), "10.0.0.100");
+}
+
+TEST(DhcpServer, IgnoresNonDhcpTraffic) {
+  DhcpServer server = make_server();
+  packet::UdpFrameSpec spec;
+  spec.ip_src = *packet::Ipv4Address::parse("1.1.1.1");
+  spec.ip_dst = *packet::Ipv4Address::parse("2.2.2.2");
+  spec.dst_port = 53;  // not DHCP
+  EXPECT_TRUE(server
+                  .process(kDefaultContext, 0, 0,
+                           packet::build_udp_frame(spec))
+                  .empty());
+  EXPECT_EQ(server.stats().malformed, 0u);  // simply not consumed
+}
+
+TEST(DhcpServer, UnconfiguredStaysSilent) {
+  DhcpServer server;
+  const auto mac = packet::MacAddress::from_id(0x90);
+  EXPECT_TRUE(server
+                  .process(kDefaultContext, 0, 0,
+                           client_message(kDhcpDiscover, mac, 1))
+                  .empty());
+}
+
+TEST(DhcpServer, ConfigValidation) {
+  DhcpServer server;
+  EXPECT_FALSE(
+      server.configure(kDefaultContext, {{"server_ip", "bad"}}).is_ok());
+  EXPECT_FALSE(server
+                   .configure(kDefaultContext,
+                              {{"pool_start", "192.168.1.200"},
+                               {"pool_end", "192.168.1.100"}})
+                   .is_ok());
+  EXPECT_FALSE(
+      server.configure(kDefaultContext, {{"lease_time_ms", "0"}}).is_ok());
+  EXPECT_FALSE(
+      server.configure(kDefaultContext, {{"mystery", "1"}}).is_ok());
+}
+
+}  // namespace
+}  // namespace nnfv::nnf

@@ -1,0 +1,202 @@
+// Firewall NF tests: rule parsing, first-match-wins evaluation, policies,
+// direction filters, per-context isolation.
+#include <gtest/gtest.h>
+
+#include "nnf/firewall.hpp"
+#include "packet/builder.hpp"
+
+namespace nnfv::nnf {
+namespace {
+
+packet::PacketBuffer udp_packet(const std::string& src, const std::string& dst,
+                                std::uint16_t dport,
+                                std::uint8_t proto = packet::kIpProtoUdp) {
+  if (proto == packet::kIpProtoTcp) {
+    packet::TcpFrameSpec spec;
+    spec.eth_src = packet::MacAddress::from_id(1);
+    spec.eth_dst = packet::MacAddress::from_id(2);
+    spec.ip_src = *packet::Ipv4Address::parse(src);
+    spec.ip_dst = *packet::Ipv4Address::parse(dst);
+    spec.src_port = 30000;
+    spec.dst_port = dport;
+    return packet::build_tcp_frame(spec);
+  }
+  packet::UdpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(1);
+  spec.eth_dst = packet::MacAddress::from_id(2);
+  spec.ip_src = *packet::Ipv4Address::parse(src);
+  spec.ip_dst = *packet::Ipv4Address::parse(dst);
+  spec.src_port = 30000;
+  spec.dst_port = dport;
+  static const std::vector<std::uint8_t> payload(16, 0);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+TEST(FilterRuleParse, FullSyntax) {
+  auto rule = parse_filter_rule("drop,10.0.0.0/8,any,tcp,22,in=0");
+  ASSERT_TRUE(rule.is_ok());
+  EXPECT_EQ(rule->verdict, FilterVerdict::kDrop);
+  EXPECT_EQ(rule->src->to_string(), "10.0.0.0");
+  EXPECT_EQ(rule->src_prefix, 8);
+  EXPECT_FALSE(rule->dst.has_value());
+  EXPECT_EQ(*rule->protocol, packet::kIpProtoTcp);
+  EXPECT_EQ(rule->dport_lo, 22);
+  EXPECT_EQ(rule->dport_hi, 22);
+  EXPECT_EQ(*rule->in_port, 0u);
+}
+
+TEST(FilterRuleParse, PortRangeAndNumericProto) {
+  auto rule = parse_filter_rule("accept,any,any,47,5000-5010");
+  ASSERT_TRUE(rule.is_ok());
+  EXPECT_EQ(*rule->protocol, 47);
+  EXPECT_EQ(rule->dport_lo, 5000);
+  EXPECT_EQ(rule->dport_hi, 5010);
+}
+
+TEST(FilterRuleParse, RejectsGarbage) {
+  EXPECT_FALSE(parse_filter_rule("").is_ok());
+  EXPECT_FALSE(parse_filter_rule("accept,any,any,udp").is_ok());  // 4 fields
+  EXPECT_FALSE(parse_filter_rule("maybe,any,any,udp,1").is_ok());
+  EXPECT_FALSE(parse_filter_rule("drop,10.0.0.0/33,any,udp,1").is_ok());
+  EXPECT_FALSE(parse_filter_rule("drop,any,any,300,1").is_ok());
+  EXPECT_FALSE(parse_filter_rule("drop,any,any,udp,70000").is_ok());
+  EXPECT_FALSE(parse_filter_rule("drop,any,any,udp,10-5").is_ok());
+  EXPECT_FALSE(parse_filter_rule("drop,any,any,udp,1,in=2").is_ok());
+}
+
+TEST(Firewall, DefaultPolicyAcceptsAndCrosses) {
+  Firewall firewall;
+  auto outs = firewall.process(kDefaultContext, 0, 0,
+                               udp_packet("10.0.0.1", "8.8.8.8", 53));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 1u);
+  outs = firewall.process(kDefaultContext, 1, 0,
+                          udp_packet("8.8.8.8", "10.0.0.1", 53));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 0u);
+}
+
+TEST(Firewall, DropPolicyBlocksEverythingIp) {
+  Firewall firewall;
+  firewall.set_policy(kDefaultContext, FilterVerdict::kDrop);
+  auto outs = firewall.process(kDefaultContext, 0, 0,
+                               udp_packet("10.0.0.1", "8.8.8.8", 53));
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(firewall.counters().dropped, 1u);
+}
+
+TEST(Firewall, FirstMatchWins) {
+  Firewall firewall;
+  // Rule 1: accept DNS. Rule 2: drop all UDP. DNS must still pass.
+  ASSERT_TRUE(firewall
+                  .configure(kDefaultContext,
+                             {{"rule.1", "accept,any,any,udp,53"},
+                              {"rule.2", "drop,any,any,udp,any"}})
+                  .is_ok());
+  auto dns = firewall.process(kDefaultContext, 0, 0,
+                              udp_packet("10.0.0.1", "8.8.8.8", 53));
+  EXPECT_EQ(dns.size(), 1u);
+  auto other = firewall.process(kDefaultContext, 0, 0,
+                                udp_packet("10.0.0.1", "8.8.8.8", 5000));
+  EXPECT_TRUE(other.empty());
+}
+
+TEST(Firewall, SourcePrefixFiltering) {
+  Firewall firewall;
+  ASSERT_TRUE(firewall
+                  .configure(kDefaultContext,
+                             {{"policy", "accept"},
+                              {"rule.1", "drop,192.168.0.0/16,any,any,any"}})
+                  .is_ok());
+  EXPECT_TRUE(firewall
+                  .process(kDefaultContext, 0, 0,
+                           udp_packet("192.168.44.5", "8.8.8.8", 80))
+                  .empty());
+  EXPECT_EQ(firewall
+                .process(kDefaultContext, 0, 0,
+                         udp_packet("172.16.0.1", "8.8.8.8", 80))
+                .size(),
+            1u);
+}
+
+TEST(Firewall, DirectionalRuleOnlyAffectsOnePort) {
+  Firewall firewall;
+  // Block inbound (WAN->LAN) TCP 22; outbound SSH still allowed.
+  ASSERT_TRUE(firewall
+                  .configure(kDefaultContext,
+                             {{"rule.1", "drop,any,any,tcp,22,in=1"}})
+                  .is_ok());
+  EXPECT_TRUE(firewall
+                  .process(kDefaultContext, 1, 0,
+                           udp_packet("8.8.8.8", "10.0.0.1", 22,
+                                      packet::kIpProtoTcp))
+                  .empty());
+  EXPECT_EQ(firewall
+                .process(kDefaultContext, 0, 0,
+                         udp_packet("10.0.0.1", "8.8.8.8", 22,
+                                    packet::kIpProtoTcp))
+                .size(),
+            1u);
+}
+
+TEST(Firewall, NonIpTrafficPasses) {
+  Firewall firewall;
+  firewall.set_policy(kDefaultContext, FilterVerdict::kDrop);
+  std::vector<std::uint8_t> arp(64, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  auto outs = firewall.process(kDefaultContext, 0, 0,
+                               packet::PacketBuffer(arp));
+  EXPECT_EQ(outs.size(), 1u);
+}
+
+TEST(Firewall, ContextsHaveIndependentRuleSets) {
+  Firewall firewall;
+  ASSERT_TRUE(firewall.add_context(1).is_ok());
+  firewall.set_policy(0, FilterVerdict::kDrop);
+  firewall.set_policy(1, FilterVerdict::kAccept);
+  auto packet0 = udp_packet("10.0.0.1", "8.8.8.8", 80);
+  auto packet1 = udp_packet("10.0.0.1", "8.8.8.8", 80);
+  EXPECT_TRUE(firewall.process(0, 0, 0, std::move(packet0)).empty());
+  EXPECT_EQ(firewall.process(1, 0, 0, std::move(packet1)).size(), 1u);
+}
+
+TEST(Firewall, AppendRuleProgrammatically) {
+  Firewall firewall;
+  FilterRule rule;
+  rule.protocol = packet::kIpProtoUdp;
+  rule.dport_lo = rule.dport_hi = 53;
+  rule.verdict = FilterVerdict::kDrop;
+  ASSERT_TRUE(firewall.append_rule(kDefaultContext, rule).is_ok());
+  EXPECT_EQ(firewall.rule_count(kDefaultContext), 1u);
+  EXPECT_TRUE(firewall
+                  .process(kDefaultContext, 0, 0,
+                           udp_packet("1.1.1.1", "2.2.2.2", 53))
+                  .empty());
+  EXPECT_FALSE(firewall.append_rule(9, rule).is_ok());  // unknown ctx
+}
+
+TEST(Firewall, ConfigRejectsUnknownKeysAndBadPolicy) {
+  Firewall firewall;
+  EXPECT_FALSE(
+      firewall.configure(kDefaultContext, {{"policy", "reject"}}).is_ok());
+  EXPECT_FALSE(
+      firewall.configure(kDefaultContext, {{"nonsense", "1"}}).is_ok());
+  EXPECT_FALSE(
+      firewall.configure(kDefaultContext, {{"rule.1", "bogus"}}).is_ok());
+}
+
+TEST(Firewall, RemoveContextDropsRules) {
+  Firewall firewall;
+  ASSERT_TRUE(firewall.add_context(3).is_ok());
+  ASSERT_TRUE(firewall
+                  .configure(3, {{"rule.1", "drop,any,any,udp,any"}})
+                  .is_ok());
+  EXPECT_EQ(firewall.rule_count(3), 1u);
+  ASSERT_TRUE(firewall.remove_context(3).is_ok());
+  EXPECT_EQ(firewall.rule_count(3), 0u);
+}
+
+}  // namespace
+}  // namespace nnfv::nnf

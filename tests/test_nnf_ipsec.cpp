@@ -1,0 +1,317 @@
+// IPsec ESP endpoint tests: real encrypt/decrypt roundtrips between two
+// endpoints, wire-format properties, authentication, anti-replay, and
+// multi-tunnel (sharable) contexts.
+#include <gtest/gtest.h>
+
+#include "nnf/ipsec.hpp"
+#include "packet/builder.hpp"
+#include "packet/flow_key.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::nnf {
+namespace {
+
+constexpr const char* kEncKey = "000102030405060708090a0b0c0d0e0f";
+constexpr const char* kAuthKey =
+    "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f";
+
+NfConfig initiator_config() {
+  return {{"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+          {"spi_out", "1001"},          {"spi_in", "2002"},
+          {"enc_key", kEncKey},         {"auth_key", kAuthKey}};
+}
+
+NfConfig responder_config() {
+  return {{"local_ip", "198.51.100.2"}, {"peer_ip", "198.51.100.1"},
+          {"spi_out", "2002"},          {"spi_in", "1001"},
+          {"enc_key", kEncKey},         {"auth_key", kAuthKey}};
+}
+
+packet::PacketBuffer plaintext_frame(std::size_t payload_size = 200,
+                                     std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  static std::vector<std::uint8_t> payload;
+  payload = rng.bytes(payload_size);
+  packet::UdpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(1);
+  spec.eth_dst = packet::MacAddress::from_id(2);
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+  spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.5");
+  spec.src_port = 5001;
+  spec.dst_port = 5001;
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+IpsecEndpoint make_endpoint(const NfConfig& config) {
+  IpsecEndpoint endpoint;
+  EXPECT_TRUE(endpoint.configure(kDefaultContext, config).is_ok());
+  return endpoint;
+}
+
+TEST(Ipsec, EncapsulateProducesEspPacket) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  auto outs =
+      initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 1u);
+
+  auto eth = packet::parse_ethernet(outs[0].frame.data());
+  ASSERT_TRUE(eth.is_ok());
+  auto ip = packet::parse_ipv4(outs[0].frame.data().subspan(eth->wire_size()));
+  ASSERT_TRUE(ip.is_ok());
+  EXPECT_EQ(ip->protocol, packet::kIpProtoEsp);
+  EXPECT_EQ(ip->src.to_string(), "198.51.100.1");
+  EXPECT_EQ(ip->dst.to_string(), "198.51.100.2");
+  auto esp = packet::parse_esp(
+      outs[0].frame.data().subspan(eth->wire_size() + ip->header_size()));
+  ASSERT_TRUE(esp.is_ok());
+  EXPECT_EQ(esp->spi, 1001u);
+  EXPECT_EQ(esp->sequence, 1u);
+  EXPECT_EQ(initiator.stats().encapsulated, 1u);
+}
+
+TEST(Ipsec, CiphertextHidesPlaintext) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  auto plain = plaintext_frame(300, 7);
+  // Remember a distinctive plaintext run (the inner IP src address bytes).
+  const std::vector<std::uint8_t> inner(plain.data().begin() + 14,
+                                        plain.data().begin() + 34);
+  auto outs = initiator.process(kDefaultContext, 0, 0, std::move(plain));
+  ASSERT_EQ(outs.size(), 1u);
+  const auto wire = outs[0].frame.data();
+  // The inner header must not appear verbatim in the ESP packet.
+  auto it = std::search(wire.begin() + 34, wire.end(), inner.begin(),
+                        inner.end());
+  EXPECT_EQ(it, wire.end());
+}
+
+TEST(Ipsec, TunnelRoundTripRestoresInnerPacket) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+
+  auto original = plaintext_frame(500, 3);
+  // Capture the inner IP packet for comparison.
+  const std::vector<std::uint8_t> inner_before(original.data().begin() + 14,
+                                               original.data().end());
+
+  auto encrypted =
+      initiator.process(kDefaultContext, 0, 0, std::move(original));
+  ASSERT_EQ(encrypted.size(), 1u);
+  auto decrypted = responder.process(kDefaultContext, 1, 0,
+                                     std::move(encrypted[0].frame));
+  ASSERT_EQ(decrypted.size(), 1u);
+  EXPECT_EQ(decrypted[0].port, 0u);
+
+  const std::vector<std::uint8_t> inner_after(
+      decrypted[0].frame.data().begin() + 14,
+      decrypted[0].frame.data().end());
+  EXPECT_EQ(inner_before, inner_after);
+  EXPECT_EQ(responder.stats().decapsulated, 1u);
+  EXPECT_EQ(responder.stats().auth_failures, 0u);
+}
+
+class IpsecPayloadSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IpsecPayloadSizes, RoundTripAnySize) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto original = plaintext_frame(GetParam(), GetParam() + 11);
+  const std::vector<std::uint8_t> inner_before(original.data().begin() + 14,
+                                               original.data().end());
+  auto enc = initiator.process(kDefaultContext, 0, 0, std::move(original));
+  ASSERT_EQ(enc.size(), 1u);
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  ASSERT_EQ(dec.size(), 1u);
+  const std::vector<std::uint8_t> inner_after(
+      dec[0].frame.data().begin() + 14, dec[0].frame.data().end());
+  EXPECT_EQ(inner_before, inner_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IpsecPayloadSizes,
+                         ::testing::Values(0, 1, 14, 15, 16, 100, 576, 1408));
+
+TEST(Ipsec, SequenceNumbersIncrease) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    auto outs =
+        initiator.process(kDefaultContext, 0, 0, plaintext_frame(64, i));
+    ASSERT_EQ(outs.size(), 1u);
+    auto eth = packet::parse_ethernet(outs[0].frame.data());
+    auto esp = packet::parse_esp(
+        outs[0].frame.data().subspan(eth->wire_size() + 20));
+    EXPECT_EQ(esp->sequence, i);
+  }
+}
+
+TEST(Ipsec, TamperedPacketFailsAuthentication) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto enc =
+      initiator.process(kDefaultContext, 0, 0, plaintext_frame(128, 9));
+  ASSERT_EQ(enc.size(), 1u);
+  // Flip one ciphertext byte (beyond headers: eth 14 + ip 20 + esp 8 + iv 16).
+  enc[0].frame[60] ^= 0x01;
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+  EXPECT_EQ(responder.stats().auth_failures, 1u);
+}
+
+TEST(Ipsec, ReplayedPacketDropped) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto enc =
+      initiator.process(kDefaultContext, 0, 0, plaintext_frame(128, 4));
+  ASSERT_EQ(enc.size(), 1u);
+  packet::PacketBuffer copy(enc[0].frame.data());
+  ASSERT_EQ(responder
+                .process(kDefaultContext, 1, 0, std::move(enc[0].frame))
+                .size(),
+            1u);
+  auto replay = responder.process(kDefaultContext, 1, 0, std::move(copy));
+  EXPECT_TRUE(replay.empty());
+  EXPECT_EQ(responder.stats().replay_drops, 1u);
+}
+
+TEST(Ipsec, OutOfOrderWithinWindowAccepted) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  std::vector<packet::PacketBuffer> encrypted;
+  for (int i = 0; i < 3; ++i) {
+    auto outs =
+        initiator.process(kDefaultContext, 0, 0, plaintext_frame(64, i));
+    encrypted.push_back(std::move(outs[0].frame));
+  }
+  // Deliver 3, 1, 2 — all must decrypt.
+  EXPECT_EQ(responder
+                .process(kDefaultContext, 1, 0, std::move(encrypted[2]))
+                .size(),
+            1u);
+  EXPECT_EQ(responder
+                .process(kDefaultContext, 1, 0, std::move(encrypted[0]))
+                .size(),
+            1u);
+  EXPECT_EQ(responder
+                .process(kDefaultContext, 1, 0, std::move(encrypted[1]))
+                .size(),
+            1u);
+  EXPECT_EQ(responder.stats().replay_drops, 0u);
+}
+
+TEST(Ipsec, WrongSpiDropped) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  NfConfig bad = responder_config();
+  bad["spi_in"] = "9999";  // expects a different SPI
+  IpsecEndpoint responder = make_endpoint(bad);
+  auto enc =
+      initiator.process(kDefaultContext, 0, 0, plaintext_frame(64, 5));
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+  EXPECT_EQ(responder.stats().no_sa, 1u);
+}
+
+TEST(Ipsec, WrongDestinationDropped) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  NfConfig other = responder_config();
+  other["local_ip"] = "198.51.100.77";  // not the tunnel destination
+  IpsecEndpoint responder = make_endpoint(other);
+  auto enc =
+      initiator.process(kDefaultContext, 0, 0, plaintext_frame(64, 6));
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+}
+
+TEST(Ipsec, UnconfiguredContextDropsTraffic) {
+  IpsecEndpoint endpoint;
+  auto outs = endpoint.process(kDefaultContext, 0, 0, plaintext_frame());
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(endpoint.stats().no_sa, 1u);
+}
+
+TEST(Ipsec, MultiTunnelContextsAreIsolated) {
+  // One instance, two tunnels with different keys — the sharable-NNF case.
+  IpsecEndpoint shared;
+  ASSERT_TRUE(shared.configure(0, initiator_config()).is_ok());
+  ASSERT_TRUE(shared.add_context(1).is_ok());
+  NfConfig second = initiator_config();
+  second["spi_out"] = "3003";
+  second["enc_key"] = "ffeeddccbbaa99887766554433221100";
+  ASSERT_TRUE(shared.configure(1, second).is_ok());
+
+  auto out0 = shared.process(0, 0, 0, plaintext_frame(100, 1));
+  auto out1 = shared.process(1, 0, 0, plaintext_frame(100, 1));
+  ASSERT_EQ(out0.size(), 1u);
+  ASSERT_EQ(out1.size(), 1u);
+
+  auto spi_of = [](const packet::PacketBuffer& frame) {
+    auto esp = packet::parse_esp(frame.data().subspan(34));
+    return esp->spi;
+  };
+  EXPECT_EQ(spi_of(out0[0].frame), 1001u);
+  EXPECT_EQ(spi_of(out1[0].frame), 3003u);
+  // Same plaintext, different keys -> different ciphertext bodies.
+  EXPECT_NE(std::vector<std::uint8_t>(out0[0].frame.data().begin() + 42,
+                                      out0[0].frame.data().end()),
+            std::vector<std::uint8_t>(out1[0].frame.data().begin() + 42,
+                                      out1[0].frame.data().end()));
+}
+
+TEST(Ipsec, RemoveContextDropsTunnel) {
+  IpsecEndpoint endpoint;
+  ASSERT_TRUE(endpoint.add_context(1).is_ok());
+  ASSERT_TRUE(endpoint.configure(1, initiator_config()).is_ok());
+  ASSERT_TRUE(endpoint.remove_context(1).is_ok());
+  auto outs = endpoint.process(1, 0, 0, plaintext_frame());
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(Ipsec, ConfigValidation) {
+  IpsecEndpoint endpoint;
+  NfConfig config = initiator_config();
+  config["enc_key"] = "short";
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
+  config = initiator_config();
+  config["spi_out"] = "0";
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
+  config = initiator_config();
+  config["local_ip"] = "not-an-ip";
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
+  config = initiator_config();
+  config["bogus"] = "1";
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
+}
+
+TEST(Ipsec, EspOverheadIsBounded) {
+  // Tunnel-mode ESP with AES-CBC + HMAC-SHA256-128 adds a predictable
+  // overhead: new eth (14) + outer IP (20) + ESP (8) + IV (16) + pad
+  // (<= 16) + pad_len + next_hdr (2) + ICV (16).
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  for (std::size_t size : {0u, 100u, 1000u, 1408u}) {
+    auto plain = plaintext_frame(size, size);
+    const std::size_t inner_ip_len = plain.size() - 14;
+    auto outs = initiator.process(kDefaultContext, 0, 0, std::move(plain));
+    ASSERT_EQ(outs.size(), 1u);
+    const std::size_t overhead = outs[0].frame.size() - 14 - inner_ip_len;
+    EXPECT_GE(overhead, 20u + 8u + 16u + 2u + 16u);
+    EXPECT_LE(overhead, 20u + 8u + 16u + 16u + 2u + 16u);
+  }
+}
+
+TEST(Ipsec, MacRewriteConfigRespected) {
+  NfConfig config = initiator_config();
+  config["outer_src_mac"] = "02:00:00:00:00:aa";
+  config["outer_dst_mac"] = "02:00:00:00:00:bb";
+  IpsecEndpoint initiator = make_endpoint(config);
+  auto outs = initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  auto eth = packet::parse_ethernet(outs[0].frame.data());
+  EXPECT_EQ(eth->src.to_string(), "02:00:00:00:00:aa");
+  EXPECT_EQ(eth->dst.to_string(), "02:00:00:00:00:bb");
+}
+
+}  // namespace
+}  // namespace nnfv::nnf

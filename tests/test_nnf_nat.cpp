@@ -1,0 +1,231 @@
+// NAT NF tests: SNAT translation, conntrack, checksum validity, timeouts,
+// per-context isolation, unsolicited-inbound drops.
+#include <gtest/gtest.h>
+
+#include "nnf/nat.hpp"
+#include "packet/builder.hpp"
+#include "packet/checksum.hpp"
+#include "packet/flow_key.hpp"
+
+namespace nnfv::nnf {
+namespace {
+
+constexpr const char* kExternalIp = "203.0.113.1";
+
+packet::PacketBuffer udp_from(const std::string& src_ip, std::uint16_t sport,
+                              const std::string& dst_ip,
+                              std::uint16_t dport) {
+  packet::UdpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(1);
+  spec.eth_dst = packet::MacAddress::from_id(2);
+  spec.ip_src = *packet::Ipv4Address::parse(src_ip);
+  spec.ip_dst = *packet::Ipv4Address::parse(dst_ip);
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  static const std::vector<std::uint8_t> payload(24, 3);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+packet::FiveTuple tuple_of(const packet::PacketBuffer& frame) {
+  auto eth = packet::parse_ethernet(frame.data());
+  auto tuple =
+      packet::extract_five_tuple(frame.data().subspan(eth->wire_size()));
+  EXPECT_TRUE(tuple.is_ok());
+  return tuple.value();
+}
+
+Nat make_nat() {
+  Nat nat;
+  EXPECT_TRUE(
+      nat.configure(kDefaultContext, {{"external_ip", kExternalIp}}).is_ok());
+  return nat;
+}
+
+TEST(Nat, OutboundRewritesSource) {
+  Nat nat = make_nat();
+  auto outs = nat.process(kDefaultContext, 0, 0,
+                          udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 1u);
+  const packet::FiveTuple tuple = tuple_of(outs[0].frame);
+  EXPECT_EQ(tuple.src_ip.to_string(), kExternalIp);
+  EXPECT_NE(tuple.src_port, 0);
+  EXPECT_EQ(tuple.dst_ip.to_string(), "8.8.8.8");
+  EXPECT_EQ(tuple.dst_port, 53);
+  EXPECT_EQ(nat.session_count(kDefaultContext), 1u);
+}
+
+TEST(Nat, TranslationIsStablePerFlow) {
+  Nat nat = make_nat();
+  auto first = nat.process(kDefaultContext, 0, 0,
+                           udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  auto second = nat.process(kDefaultContext, 0, 1000,
+                            udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  EXPECT_EQ(tuple_of(first[0].frame).src_port,
+            tuple_of(second[0].frame).src_port);
+  EXPECT_EQ(nat.session_count(kDefaultContext), 1u);
+}
+
+TEST(Nat, DistinctFlowsGetDistinctPorts) {
+  Nat nat = make_nat();
+  auto a = nat.process(kDefaultContext, 0, 0,
+                       udp_from("192.168.1.10", 1001, "8.8.8.8", 53));
+  auto b = nat.process(kDefaultContext, 0, 0,
+                       udp_from("192.168.1.11", 1001, "8.8.8.8", 53));
+  EXPECT_NE(tuple_of(a[0].frame).src_port, tuple_of(b[0].frame).src_port);
+  EXPECT_EQ(nat.session_count(kDefaultContext), 2u);
+}
+
+TEST(Nat, InboundReplyTranslatedBack) {
+  Nat nat = make_nat();
+  auto out = nat.process(kDefaultContext, 0, 0,
+                         udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  const std::uint16_t ext_port = tuple_of(out[0].frame).src_port;
+
+  auto reply = nat.process(kDefaultContext, 1, 1000,
+                           udp_from("8.8.8.8", 53, kExternalIp, ext_port));
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply[0].port, 0u);
+  const packet::FiveTuple tuple = tuple_of(reply[0].frame);
+  EXPECT_EQ(tuple.dst_ip.to_string(), "192.168.1.10");
+  EXPECT_EQ(tuple.dst_port, 5555);
+}
+
+TEST(Nat, ChecksumsValidAfterTranslation) {
+  Nat nat = make_nat();
+  auto outs = nat.process(kDefaultContext, 0, 0,
+                          udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  ASSERT_EQ(outs.size(), 1u);
+  const auto& frame = outs[0].frame;
+  auto eth = packet::parse_ethernet(frame.data());
+  auto ip = packet::parse_ipv4(frame.data().subspan(eth->wire_size()));
+  ASSERT_TRUE(ip.is_ok());
+  // IP header checksum verifies to zero.
+  EXPECT_EQ(packet::internet_checksum(frame.data().subspan(
+                eth->wire_size(), ip->header_size())),
+            0);
+  // UDP checksum matches a fresh computation.
+  const std::size_t l4_off = eth->wire_size() + ip->header_size();
+  const std::size_t l4_len = ip->total_length - ip->header_size();
+  auto udp = packet::parse_udp(frame.data().subspan(l4_off));
+  EXPECT_EQ(udp->checksum,
+            packet::l4_checksum(ip->src, ip->dst, packet::kIpProtoUdp,
+                                frame.data().subspan(l4_off, l4_len), 6));
+}
+
+TEST(Nat, UnsolicitedInboundDropped) {
+  Nat nat = make_nat();
+  auto outs = nat.process(kDefaultContext, 1, 0,
+                          udp_from("8.8.8.8", 53, kExternalIp, 3333));
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(nat.counters().dropped, 1u);
+}
+
+TEST(Nat, InboundToWrongAddressDropped) {
+  Nat nat = make_nat();
+  nat.process(kDefaultContext, 0, 0,
+              udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  auto outs = nat.process(kDefaultContext, 1, 0,
+                          udp_from("8.8.8.8", 53, "203.0.113.99", 1024));
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(Nat, SessionsExpireAfterIdleTimeout) {
+  Nat nat;
+  ASSERT_TRUE(nat.configure(kDefaultContext,
+                            {{"external_ip", kExternalIp},
+                             {"idle_timeout_ms", "1000"}})
+                  .is_ok());
+  auto out = nat.process(kDefaultContext, 0, 0,
+                         udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  const std::uint16_t ext_port = tuple_of(out[0].frame).src_port;
+  EXPECT_EQ(nat.session_count(kDefaultContext), 1u);
+
+  // 5 seconds later the session is gone; the late reply is unsolicited.
+  auto reply = nat.process(kDefaultContext, 1, 5 * sim::kSecond,
+                           udp_from("8.8.8.8", 53, kExternalIp, ext_port));
+  EXPECT_TRUE(reply.empty());
+  EXPECT_EQ(nat.session_count(kDefaultContext), 0u);
+}
+
+TEST(Nat, KeepaliveRefreshesTimeout) {
+  Nat nat;
+  ASSERT_TRUE(nat.configure(kDefaultContext,
+                            {{"external_ip", kExternalIp},
+                             {"idle_timeout_ms", "1000"}})
+                  .is_ok());
+  nat.process(kDefaultContext, 0, 0,
+              udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  // Refresh at 0.8s, then check at 1.5s: still alive (idle only 0.7s).
+  nat.process(kDefaultContext, 0, 800 * sim::kMillisecond,
+              udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  nat.process(kDefaultContext, 0, 1500 * sim::kMillisecond,
+              udp_from("192.168.1.99", 1, "8.8.8.8", 53));  // triggers expire
+  EXPECT_EQ(nat.session_count(kDefaultContext), 2u);
+}
+
+TEST(Nat, DropsWithoutExternalIp) {
+  Nat nat;  // not configured
+  auto outs = nat.process(kDefaultContext, 0, 0,
+                          udp_from("192.168.1.10", 5555, "8.8.8.8", 53));
+  EXPECT_TRUE(outs.empty());
+  EXPECT_EQ(nat.counters().dropped, 1u);
+}
+
+TEST(Nat, ContextsHaveIndependentSessionsAndIps) {
+  Nat nat;
+  ASSERT_TRUE(nat.add_context(1).is_ok());
+  ASSERT_TRUE(
+      nat.configure(0, {{"external_ip", "203.0.113.1"}}).is_ok());
+  ASSERT_TRUE(
+      nat.configure(1, {{"external_ip", "203.0.113.2"}}).is_ok());
+  auto a = nat.process(0, 0, 0, udp_from("10.0.0.1", 100, "8.8.8.8", 53));
+  auto b = nat.process(1, 0, 0, udp_from("10.0.0.1", 100, "8.8.8.8", 53));
+  EXPECT_EQ(tuple_of(a[0].frame).src_ip.to_string(), "203.0.113.1");
+  EXPECT_EQ(tuple_of(b[0].frame).src_ip.to_string(), "203.0.113.2");
+  EXPECT_EQ(nat.session_count(0), 1u);
+  EXPECT_EQ(nat.session_count(1), 1u);
+}
+
+TEST(Nat, TcpFlowsTranslated) {
+  Nat nat = make_nat();
+  packet::TcpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(1);
+  spec.eth_dst = packet::MacAddress::from_id(2);
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.20");
+  spec.ip_dst = *packet::Ipv4Address::parse("1.2.3.4");
+  spec.src_port = 44000;
+  spec.dst_port = 443;
+  spec.flags = packet::TcpHeader::kSyn;
+  auto outs =
+      nat.process(kDefaultContext, 0, 0, packet::build_tcp_frame(spec));
+  ASSERT_EQ(outs.size(), 1u);
+  const packet::FiveTuple tuple = tuple_of(outs[0].frame);
+  EXPECT_EQ(tuple.protocol, packet::kIpProtoTcp);
+  EXPECT_EQ(tuple.src_ip.to_string(), kExternalIp);
+}
+
+TEST(Nat, NonIpPassesThrough) {
+  Nat nat = make_nat();
+  std::vector<std::uint8_t> arp(64, 0);
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  auto outs =
+      nat.process(kDefaultContext, 0, 0, packet::PacketBuffer(arp));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].port, 1u);
+}
+
+TEST(Nat, RejectsBadConfig) {
+  Nat nat;
+  EXPECT_FALSE(
+      nat.configure(kDefaultContext, {{"external_ip", "999.1.1.1"}}).is_ok());
+  EXPECT_FALSE(
+      nat.configure(kDefaultContext, {{"idle_timeout_ms", "x"}}).is_ok());
+  EXPECT_FALSE(nat.configure(kDefaultContext, {{"bogus", "1"}}).is_ok());
+  EXPECT_FALSE(nat.configure(77, {}).is_ok());
+}
+
+}  // namespace
+}  // namespace nnfv::nnf

@@ -1,0 +1,258 @@
+// LocalOrchestrator tests on a fully assembled UniversalNode: deployment,
+// NNF-vs-VNF decisions, rollback, teardown, updates.
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "nffg/nffg.hpp"
+#include "packet/builder.hpp"
+
+namespace nnfv::core {
+namespace {
+
+nffg::NfFg simple_graph(const std::string& id, const std::string& nf_type,
+                        std::optional<virt::BackendKind> hint = {}) {
+  nffg::NfFg graph;
+  graph.id = id;
+  nffg::NfNode& nf = graph.add_nf("nf", nf_type);
+  nf.backend_hint = hint;
+  graph.add_endpoint("lan", "eth0");
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("nf", 0));
+  graph.connect("r2", nffg::nf_port("nf", 1), nffg::endpoint_ref("wan"));
+  graph.connect("r3", nffg::endpoint_ref("wan"), nffg::nf_port("nf", 1));
+  graph.connect("r4", nffg::nf_port("nf", 0), nffg::endpoint_ref("lan"));
+  return graph;
+}
+
+TEST(Orchestrator, DeploysSimpleGraphAsNative) {
+  UniversalNode node;
+  auto report = node.orchestrator().deploy(simple_graph("g1", "firewall"));
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->placements.size(), 1u);
+  // Default policy prefers the native implementation.
+  EXPECT_EQ(report->placements[0].backend, virt::BackendKind::kNative);
+  EXPECT_GT(report->flow_rules_installed, 0u);
+  EXPECT_TRUE(node.orchestrator().has_graph("g1"));
+  EXPECT_EQ(node.network().lsi_count(), 2u);
+  EXPECT_EQ(node.orchestrator().graph_count(), 1u);
+}
+
+TEST(Orchestrator, BackendHintForcesVm) {
+  UniversalNode node;
+  auto report = node.orchestrator().deploy(
+      simple_graph("g1", "ipsec", virt::BackendKind::kVm));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->placements[0].backend, virt::BackendKind::kVm);
+  // The VM reserves its Table 1 RAM on the node.
+  EXPECT_GT(node.resources().ram().used(), 380ULL * virt::kMiB);
+  EXPECT_EQ(report->ready_latency, 9 * sim::kSecond);
+}
+
+TEST(Orchestrator, RejectsInvalidGraph) {
+  UniversalNode node;
+  nffg::NfFg graph = simple_graph("g1", "firewall");
+  graph.connect("r1", nffg::endpoint_ref("lan"),
+                nffg::nf_port("nf", 0));  // duplicate rule id
+  auto report = node.orchestrator().deploy(graph);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_FALSE(node.orchestrator().has_graph("g1"));
+  EXPECT_EQ(node.network().lsi_count(), 1u);  // nothing leaked
+}
+
+TEST(Orchestrator, RejectsDuplicateGraphId) {
+  UniversalNode node;
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("g1", "firewall")).is_ok());
+  auto again = node.orchestrator().deploy(simple_graph("g1", "nat"));
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_EQ(again.status().code(), util::ErrorCode::kAlreadyExists);
+}
+
+TEST(Orchestrator, RejectsUnknownEndpointInterface) {
+  UniversalNode node;
+  nffg::NfFg graph = simple_graph("g1", "firewall");
+  graph.endpoints[0].interface = "eth42";
+  auto report = node.orchestrator().deploy(graph);
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(node.network().lsi_count(), 1u);
+}
+
+TEST(Orchestrator, UnknownFunctionalTypeFailsAndRollsBack) {
+  UniversalNode node;
+  nffg::NfFg graph = simple_graph("g1", "firewall");
+  graph.add_nf("mystery", "quantum-dpi");
+  graph.connect("r5", nffg::nf_port("nf", 1), nffg::nf_port("mystery", 0));
+  auto report = node.orchestrator().deploy(graph);
+  EXPECT_FALSE(report.is_ok());
+  // The firewall that deployed first was rolled back.
+  EXPECT_EQ(node.compute().total_deployments(), 0u);
+  EXPECT_EQ(node.network().lsi_count(), 1u);
+  EXPECT_EQ(node.resources().ram().used(), 0u);
+  EXPECT_EQ(node.catalog().status_of("firewall")->running_instances, 0u);
+}
+
+TEST(Orchestrator, FallsBackWhenHintedBackendUnavailable) {
+  // Node without a VM driver: pinning to VM must fail cleanly.
+  UniversalNodeConfig config;
+  config.backends = {virt::BackendKind::kNative, virt::BackendKind::kDocker};
+  UniversalNode node(config);
+  auto report = node.orchestrator().deploy(
+      simple_graph("g1", "ipsec", virt::BackendKind::kVm));
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(Orchestrator, FallsBackToVnfWhenRamBlocksVm) {
+  // RAM too small for a VM but fine for native: policy picks native; when
+  // native is impossible too (empty catalog), deployment fails.
+  UniversalNodeConfig config;
+  config.capacity.ram_bytes = 64 * virt::kMiB;
+  UniversalNode node(config);
+  auto report = node.orchestrator().deploy(simple_graph("g1", "ipsec"));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->placements[0].backend, virt::BackendKind::kNative);
+}
+
+TEST(Orchestrator, CandidateFallthroughOnResourceExhaustion) {
+  // No native plugins; RAM fits Docker (24 MB) but not a VM (390 MB):
+  // the scheduler ranks docker first anyway; force VM-first by removing
+  // docker and dpdk -> deployment must fail with the VM error.
+  UniversalNodeConfig config;
+  config.builtin_nnf_plugins = false;
+  config.capacity.ram_bytes = 64 * virt::kMiB;
+  config.backends = {virt::BackendKind::kVm};
+  UniversalNode node(config);
+  auto report = node.orchestrator().deploy(simple_graph("g1", "ipsec"));
+  EXPECT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), util::ErrorCode::kResourceExhausted);
+}
+
+TEST(Orchestrator, SecondGraphSharesNativeInstance) {
+  UniversalNode node;
+  auto first = node.orchestrator().deploy(simple_graph("gA", "ipsec"));
+  ASSERT_TRUE(first.is_ok());
+  auto second = node.orchestrator().deploy(simple_graph("gB", "ipsec"));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_FALSE(first->placements[0].reused_shared_instance);
+  EXPECT_TRUE(second->placements[0].reused_shared_instance);
+  EXPECT_EQ(node.catalog().status_of("ipsec")->running_instances, 1u);
+  EXPECT_EQ(node.catalog().status_of("ipsec")->graphs.size(), 2u);
+  // Shared activation is far cheaper than first boot.
+  EXPECT_LT(second->ready_latency, first->ready_latency);
+}
+
+TEST(Orchestrator, RemoveTearsDownEverything) {
+  UniversalNode node;
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("g1", "ipsec")).is_ok());
+  const std::size_t lsi0_rules_before =
+      node.network().base_lsi().flow_table().size();
+  EXPECT_GT(lsi0_rules_before, 0u);
+
+  ASSERT_TRUE(node.orchestrator().remove("g1").is_ok());
+  EXPECT_FALSE(node.orchestrator().has_graph("g1"));
+  EXPECT_EQ(node.network().lsi_count(), 1u);
+  EXPECT_EQ(node.network().base_lsi().flow_table().size(), 0u);
+  EXPECT_EQ(node.compute().total_deployments(), 0u);
+  EXPECT_EQ(node.resources().ram().used(), 0u);
+  EXPECT_EQ(node.catalog().status_of("ipsec")->running_instances, 0u);
+  EXPECT_FALSE(node.orchestrator().remove("g1").is_ok());
+}
+
+TEST(Orchestrator, RemoveOneGraphKeepsSharedInstanceForOther) {
+  UniversalNode node;
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("gA", "ipsec")).is_ok());
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("gB", "ipsec")).is_ok());
+  ASSERT_TRUE(node.orchestrator().remove("gA").is_ok());
+  EXPECT_EQ(node.catalog().status_of("ipsec")->running_instances, 1u);
+  EXPECT_TRUE(node.catalog().status_of("ipsec")->graphs.contains("gB"));
+  EXPECT_FALSE(node.catalog().status_of("ipsec")->graphs.contains("gA"));
+  ASSERT_TRUE(node.orchestrator().remove("gB").is_ok());
+  EXPECT_EQ(node.catalog().status_of("ipsec")->running_instances, 0u);
+}
+
+TEST(Orchestrator, UpdateNfReconfigures) {
+  UniversalNode node;
+  ASSERT_TRUE(node.orchestrator().deploy(simple_graph("g1", "nat")).is_ok());
+  EXPECT_TRUE(node.orchestrator()
+                  .update_nf("g1", "nf", {{"external_ip", "203.0.113.7"}})
+                  .is_ok());
+  EXPECT_FALSE(node.orchestrator()
+                   .update_nf("g1", "ghost", {{"external_ip", "1.2.3.4"}})
+                   .is_ok());
+  EXPECT_FALSE(node.orchestrator()
+                   .update_nf("gX", "nf", {{"external_ip", "1.2.3.4"}})
+                   .is_ok());
+  EXPECT_FALSE(
+      node.orchestrator().update_nf("g1", "nf", {{"bogus", "x"}}).is_ok());
+}
+
+TEST(Orchestrator, GraphRecordExposesReport) {
+  UniversalNode node;
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("g1", "firewall")).is_ok());
+  auto record = node.orchestrator().graph("g1");
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value()->graph.id, "g1");
+  EXPECT_EQ(record.value()->deployments.size(), 1u);
+  EXPECT_EQ(record.value()->report.placements.size(), 1u);
+  EXPECT_FALSE(node.orchestrator().graph("gX").is_ok());
+  EXPECT_EQ(node.orchestrator().graph_ids().size(), 1u);
+}
+
+TEST(Orchestrator, MixedBackendChain) {
+  // One graph mixing a native NAT, a Docker firewall and a VM ipsec —
+  // "complex services that include VNFs created with different
+  // technologies".
+  UniversalNode node;
+  nffg::NfFg graph;
+  graph.id = "mixed";
+  graph.add_nf("fw", "firewall").backend_hint = virt::BackendKind::kDocker;
+  graph.add_nf("nat", "nat").backend_hint = virt::BackendKind::kNative;
+  graph.add_nf("vpn", "ipsec").backend_hint = virt::BackendKind::kVm;
+  graph.add_endpoint("lan", "eth0");
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("fw", 0));
+  graph.connect("r2", nffg::nf_port("fw", 1), nffg::nf_port("nat", 0));
+  graph.connect("r3", nffg::nf_port("nat", 1), nffg::nf_port("vpn", 0));
+  graph.connect("r4", nffg::nf_port("vpn", 1), nffg::endpoint_ref("wan"));
+  graph.connect("r5", nffg::endpoint_ref("wan"), nffg::nf_port("vpn", 1));
+  graph.connect("r6", nffg::nf_port("vpn", 0), nffg::nf_port("nat", 1));
+  graph.connect("r7", nffg::nf_port("nat", 0), nffg::nf_port("fw", 1));
+  graph.connect("r8", nffg::nf_port("fw", 0), nffg::endpoint_ref("lan"));
+
+  auto report = node.orchestrator().deploy(graph);
+  ASSERT_TRUE(report.is_ok());
+  std::map<std::string, virt::BackendKind> backends;
+  for (const auto& placement : report->placements) {
+    backends[placement.nf_id] = placement.backend;
+  }
+  EXPECT_EQ(backends.at("fw"), virt::BackendKind::kDocker);
+  EXPECT_EQ(backends.at("nat"), virt::BackendKind::kNative);
+  EXPECT_EQ(backends.at("vpn"), virt::BackendKind::kVm);
+  // Ready latency is dominated by the VM boot.
+  EXPECT_EQ(report->ready_latency, 9 * sim::kSecond);
+}
+
+TEST(Orchestrator, NodeDescribeReflectsState) {
+  UniversalNode node;
+  ASSERT_TRUE(
+      node.orchestrator().deploy(simple_graph("g1", "ipsec")).is_ok());
+  json::Value doc = node.describe();
+  EXPECT_DOUBLE_EQ(doc.get_number("lsi_count"), 2.0);
+  bool found = false;
+  for (const json::Value& nf : doc.get("native_functions")->as_array()) {
+    if (nf.get_string("functional_type") == "ipsec") {
+      found = true;
+      EXPECT_DOUBLE_EQ(nf.get_number("running_instances"), 1.0);
+      EXPECT_DOUBLE_EQ(nf.get_number("serving_graphs"), 1.0);
+      EXPECT_TRUE(nf.get_bool("sharable", false));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nnfv::core

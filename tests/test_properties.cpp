@@ -1,0 +1,483 @@
+// Property-style sweeps over randomized inputs: invariants that must hold
+// for *every* packet/flow/mutation, not just the examples in the unit
+// tests. Seeds are fixed, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "nnf/ipsec.hpp"
+#include "nnf/marking.hpp"
+#include "nnf/nat.hpp"
+#include "packet/builder.hpp"
+#include "packet/buffer.hpp"
+#include "packet/checksum.hpp"
+#include "packet/flow_key.hpp"
+#include "switch/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace nnfv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PacketBuffer vs a reference model
+// ---------------------------------------------------------------------------
+
+class BufferModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferModelSweep, RandomOpsMatchVectorModel) {
+  util::Rng rng(GetParam());
+  auto initial = rng.bytes(rng.uniform(0, 64));
+  packet::PacketBuffer buffer(initial, /*headroom=*/8);
+  std::vector<std::uint8_t> model = initial;
+
+  for (int op = 0; op < 200; ++op) {
+    switch (rng.uniform(0, 3)) {
+      case 0: {  // push_front
+        const std::size_t n = rng.uniform(1, 24);
+        auto bytes = rng.bytes(n);
+        auto span = buffer.push_front(n);
+        std::copy(bytes.begin(), bytes.end(), span.begin());
+        model.insert(model.begin(), bytes.begin(), bytes.end());
+        break;
+      }
+      case 1: {  // pull_front
+        if (model.empty()) break;
+        const std::size_t n = rng.uniform(1, model.size());
+        buffer.pull_front(n);
+        model.erase(model.begin(),
+                    model.begin() + static_cast<std::ptrdiff_t>(n));
+        break;
+      }
+      case 2: {  // push_back
+        const std::size_t n = rng.uniform(1, 24);
+        auto bytes = rng.bytes(n);
+        auto span = buffer.push_back(n);
+        std::copy(bytes.begin(), bytes.end(), span.begin());
+        model.insert(model.end(), bytes.begin(), bytes.end());
+        break;
+      }
+      case 3: {  // trim
+        if (model.empty()) break;
+        const std::size_t n = rng.uniform(0, model.size());
+        buffer.trim(n);
+        model.resize(n);
+        break;
+      }
+    }
+    ASSERT_EQ(buffer.size(), model.size()) << "op " << op;
+    ASSERT_TRUE(std::equal(model.begin(), model.end(),
+                           buffer.data().begin()))
+        << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferModelSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Checksums: any single-bit flip must be detected
+// ---------------------------------------------------------------------------
+
+class ChecksumSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChecksumSweep, SingleBitFlipsDetected) {
+  util::Rng rng(GetParam());
+  auto data = rng.bytes(64);
+  const std::uint16_t sum = packet::internet_checksum(data);
+  // Verify: data + stored checksum folds to zero.
+  auto with_sum = data;
+  with_sum.push_back(static_cast<std::uint8_t>(sum >> 8));
+  with_sum.push_back(static_cast<std::uint8_t>(sum));
+  ASSERT_EQ(packet::internet_checksum(with_sum), 0);
+  // Any single-bit corruption breaks it (one's complement detects all
+  // single-bit errors).
+  for (int trial = 0; trial < 40; ++trial) {
+    auto corrupted = with_sum;
+    const std::size_t byte = rng.uniform(0, corrupted.size() - 1);
+    const int bit = static_cast<int>(rng.uniform(0, 7));
+    corrupted[byte] = static_cast<std::uint8_t>(corrupted[byte] ^ (1 << bit));
+    EXPECT_NE(packet::internet_checksum(corrupted), 0)
+        << "byte " << byte << " bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// NAT: translation invariants over random flows
+// ---------------------------------------------------------------------------
+
+class NatSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NatSweep, RoundTripRestoresOriginalFiveTuple) {
+  util::Rng rng(GetParam());
+  nnf::Nat nat;
+  ASSERT_TRUE(
+      nat.configure(nnf::kDefaultContext, {{"external_ip", "203.0.113.1"}})
+          .is_ok());
+  std::set<std::uint16_t> external_ports;
+
+  for (int flow = 0; flow < 50; ++flow) {
+    const packet::Ipv4Address src{
+        0x0A000000u | static_cast<std::uint32_t>(rng.uniform(1, 0xFFFF))};
+    const packet::Ipv4Address dst{
+        0x08080000u | static_cast<std::uint32_t>(rng.uniform(1, 0xFFFF))};
+    const auto sport = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    const auto dport = static_cast<std::uint16_t>(rng.uniform(1, 65535));
+
+    packet::UdpFrameSpec spec;
+    spec.ip_src = src;
+    spec.ip_dst = dst;
+    spec.src_port = sport;
+    spec.dst_port = dport;
+    auto out = nat.process(nnf::kDefaultContext, 0,
+                           static_cast<sim::SimTime>(flow),
+                           packet::build_udp_frame(spec));
+    ASSERT_EQ(out.size(), 1u);
+    auto out_tuple =
+        packet::extract_five_tuple(out[0].frame.data().subspan(14));
+    ASSERT_TRUE(out_tuple.is_ok());
+    // Invariant 1: destination untouched, source rewritten to external.
+    EXPECT_EQ(out_tuple->dst_ip, dst);
+    EXPECT_EQ(out_tuple->dst_port, dport);
+    EXPECT_EQ(out_tuple->src_ip.to_string(), "203.0.113.1");
+    // Invariant 2: external ports unique across active flows.
+    EXPECT_TRUE(external_ports.insert(out_tuple->src_port).second);
+
+    // Invariant 3: the reply is restored exactly.
+    packet::UdpFrameSpec reply;
+    reply.ip_src = dst;
+    reply.ip_dst = *packet::Ipv4Address::parse("203.0.113.1");
+    reply.src_port = dport;
+    reply.dst_port = out_tuple->src_port;
+    auto back = nat.process(nnf::kDefaultContext, 1,
+                            static_cast<sim::SimTime>(flow),
+                            packet::build_udp_frame(reply));
+    ASSERT_EQ(back.size(), 1u);
+    auto back_tuple =
+        packet::extract_five_tuple(back[0].frame.data().subspan(14));
+    EXPECT_EQ(back_tuple->dst_ip, src);
+    EXPECT_EQ(back_tuple->dst_port, sport);
+    EXPECT_EQ(back_tuple->src_ip, dst);
+
+    // Invariant 4: checksums remain valid both ways.
+    for (const auto* frame : {&out[0].frame, &back[0].frame}) {
+      auto ip = packet::parse_ipv4(frame->data().subspan(14));
+      ASSERT_TRUE(ip.is_ok());
+      EXPECT_EQ(packet::internet_checksum(
+                    frame->data().subspan(14, ip->header_size())),
+                0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NatSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// IPsec: random corruption anywhere in the ESP packet must never yield a
+// decrypted packet (authentication covers everything after the outer IP).
+// ---------------------------------------------------------------------------
+
+class IpsecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpsecFuzz, CorruptedPacketsNeverDecrypt) {
+  util::Rng rng(GetParam());
+  nnf::IpsecEndpoint initiator;
+  nnf::IpsecEndpoint responder;
+  const nnf::NfConfig base = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", "000102030405060708090a0b0c0d0e0f"},
+      {"auth_key",
+       "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
+  nnf::NfConfig resp = base;
+  resp["local_ip"] = "198.51.100.2";
+  resp["peer_ip"] = "198.51.100.1";
+  resp["spi_out"] = "2002";
+  resp["spi_in"] = "1001";
+  ASSERT_TRUE(initiator.configure(nnf::kDefaultContext, base).is_ok());
+  ASSERT_TRUE(responder.configure(nnf::kDefaultContext, resp).is_ok());
+
+  for (int trial = 0; trial < 30; ++trial) {
+    packet::UdpFrameSpec spec;
+    spec.ip_src = *packet::Ipv4Address::parse("192.168.1.2");
+    spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.9");
+    auto payload = rng.bytes(rng.uniform(0, 512));
+    spec.payload = payload;
+    auto enc = initiator.process(nnf::kDefaultContext, 0, 0,
+                                 packet::build_udp_frame(spec));
+    ASSERT_EQ(enc.size(), 1u);
+
+    // Corrupt 1..4 random bytes anywhere past the outer IP header.
+    packet::PacketBuffer corrupted(enc[0].frame.data());
+    const int flips = static_cast<int>(rng.uniform(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform(34, corrupted.size() - 1);
+      corrupted[pos] = static_cast<std::uint8_t>(
+          corrupted[pos] ^ (1 + rng.uniform(0, 254)));
+    }
+    auto dec = responder.process(nnf::kDefaultContext, 1, 0,
+                                 std::move(corrupted));
+    EXPECT_TRUE(dec.empty()) << "trial " << trial;
+
+    // The untouched packet still decrypts (responder state not poisoned).
+    auto ok = responder.process(nnf::kDefaultContext, 1, 0,
+                                std::move(enc[0].frame));
+    EXPECT_EQ(ok.size(), 1u) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpsecFuzz,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+// ---------------------------------------------------------------------------
+// Flow table: shadowing and removal invariants under random rule sets
+// ---------------------------------------------------------------------------
+
+class FlowTableSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableSweep, LookupAlwaysReturnsHighestMatchingPriority) {
+  util::Rng rng(GetParam());
+  nfswitch::FlowTable table;
+  struct RuleRef {
+    nfswitch::FlowEntryId id;
+    std::uint16_t priority;
+    std::optional<std::uint16_t> dport;  // nullopt = wildcard
+  };
+  std::vector<RuleRef> rules;
+  for (int i = 0; i < 60; ++i) {
+    nfswitch::FlowMatch match;
+    std::optional<std::uint16_t> dport;
+    if (rng.chance(0.7)) {
+      dport = static_cast<std::uint16_t>(rng.uniform(1, 16));
+      match.tp_dst = dport;
+    }
+    const auto priority = static_cast<std::uint16_t>(rng.uniform(1, 8));
+    const auto id = table.add(priority, match, {});
+    rules.push_back({id, priority, dport});
+  }
+
+  for (int probe = 0; probe < 100; ++probe) {
+    const auto dport = static_cast<std::uint16_t>(rng.uniform(1, 16));
+    packet::UdpFrameSpec spec;
+    spec.ip_src = *packet::Ipv4Address::parse("1.1.1.1");
+    spec.ip_dst = *packet::Ipv4Address::parse("2.2.2.2");
+    spec.dst_port = dport;
+    auto frame = packet::build_udp_frame(spec);
+    auto fields = packet::extract_flow_fields(frame.data());
+    nfswitch::FlowContext ctx{0, fields.value()};
+    const nfswitch::FlowEntry* hit = table.peek(ctx);
+    ASSERT_NE(hit, nullptr);
+    // Reference: best priority among matching rules; at equal priority the
+    // earliest-added (lowest id) wins.
+    const RuleRef* best = nullptr;
+    for (const RuleRef& rule : rules) {
+      if (rule.dport.has_value() && *rule.dport != dport) continue;
+      if (best == nullptr || rule.priority > best->priority ||
+          (rule.priority == best->priority && rule.id < best->id)) {
+        best = &rule;
+      }
+    }
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(hit->id, best->id) << "dport " << dport;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------------
+// Mark allocator: uniqueness and reuse under churn
+// ---------------------------------------------------------------------------
+
+TEST(MarkAllocatorChurn, NoDoubleAllocationUnderRandomChurn) {
+  util::Rng rng(7);
+  nnf::MarkAllocator allocator(3000, 3063);  // 64 marks
+  std::map<std::string, nnf::Mark> live;
+  for (int op = 0; op < 2000; ++op) {
+    if (rng.chance(0.6) || live.empty()) {
+      const std::string owner = "o" + std::to_string(rng.uniform(0, 99));
+      auto mark = allocator.allocate(owner);
+      if (live.contains(owner)) {
+        // Idempotent re-allocation.
+        ASSERT_TRUE(mark.is_ok());
+        EXPECT_EQ(mark.value(), live[owner]);
+      } else if (live.size() >= 64) {
+        EXPECT_FALSE(mark.is_ok());
+      } else if (mark.is_ok()) {
+        // Uniqueness among live marks.
+        for (const auto& [other, m] : live) {
+          ASSERT_NE(mark.value(), m) << owner << " vs " << other;
+        }
+        live[owner] = mark.value();
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniform(0, live.size() - 1)));
+      EXPECT_TRUE(allocator.release(it->first).is_ok());
+      live.erase(it);
+    }
+    ASSERT_EQ(allocator.in_use(), live.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ESP sequence-number space: the replay window accepts each fresh packet
+// exactly once for any delivery order.
+// ---------------------------------------------------------------------------
+
+class ReplayOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayOrderSweep, AnyPermutationDeliveredExactlyOnce) {
+  util::Rng rng(GetParam());
+  nnf::IpsecEndpoint initiator;
+  nnf::IpsecEndpoint responder;
+  const nnf::NfConfig init = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", "000102030405060708090a0b0c0d0e0f"},
+      {"auth_key",
+       "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
+  nnf::NfConfig resp = init;
+  resp["local_ip"] = "198.51.100.2";
+  resp["peer_ip"] = "198.51.100.1";
+  resp["spi_out"] = "2002";
+  resp["spi_in"] = "1001";
+  ASSERT_TRUE(initiator.configure(0, init).is_ok());
+  ASSERT_TRUE(responder.configure(0, resp).is_ok());
+
+  // 32 packets, shuffled within the 64-slot window, each duplicated once.
+  std::vector<packet::PacketBuffer> wire;
+  for (int i = 0; i < 32; ++i) {
+    packet::UdpFrameSpec spec;
+    spec.ip_src = *packet::Ipv4Address::parse("192.168.1.2");
+    spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.9");
+    spec.src_port = static_cast<std::uint16_t>(1000 + i);
+    auto enc = initiator.process(0, 0, 0, packet::build_udp_frame(spec));
+    wire.push_back(std::move(enc[0].frame));
+    wire.emplace_back(wire.back().data());  // duplicate
+  }
+  // Fisher-Yates with our RNG.
+  for (std::size_t i = wire.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform(0, i);
+    std::swap(wire[i], wire[j]);
+  }
+  std::size_t delivered = 0;
+  for (auto& frame : wire) {
+    delivered += responder.process(0, 1, 0, std::move(frame)).size();
+  }
+  EXPECT_EQ(delivered, 32u);
+  EXPECT_EQ(responder.stats().replay_drops, 32u);
+  EXPECT_EQ(responder.stats().auth_failures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayOrderSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace nnfv
+
+// -----------------------------------------------------------------------
+// HTTP parser fuzz: random bytes must never crash, and never be accepted
+// as a complete request; random mutations of a valid request must either
+// parse or error, never hang in kNeedMore once the byte budget exceeds
+// the message.
+// -----------------------------------------------------------------------
+#include "rest/http.hpp"
+
+namespace nnfv {
+namespace {
+
+class HttpFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HttpFuzz, RandomBytesNeverAccepted) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    rest::RequestParser parser;
+    auto bytes = rng.bytes(rng.uniform(1, 512));
+    const auto state = parser.feed(
+        {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+    // Random bytes may error or need more — but must never be a complete
+    // valid request (the chance of randomly generating one is ~0; if it
+    // happens the seed is telling us the parser is too lax).
+    EXPECT_NE(state, rest::RequestParser::State::kComplete);
+  }
+}
+
+TEST_P(HttpFuzz, MutatedValidRequestTerminates) {
+  util::Rng rng(GetParam() + 1000);
+  const std::string valid =
+      "PUT /NF-FG/g1 HTTP/1.1\r\nContent-Length: 4\r\nHost: x\r\n\r\nbody";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = valid;
+    const int flips = static_cast<int>(rng.uniform(1, 3));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.uniform(0, mutated.size() - 1);
+      mutated[pos] = static_cast<char>(rng.uniform(1, 255));
+    }
+    rest::RequestParser parser;
+    const auto state = parser.feed(mutated);
+    // Whatever happened, feeding the parser must terminate in a definite
+    // state, and a "complete" request must echo a parseable body size.
+    if (state == rest::RequestParser::State::kComplete) {
+      EXPECT_LE(parser.request().body.size(), mutated.size());
+    } else {
+      EXPECT_TRUE(state == rest::RequestParser::State::kError ||
+                  state == rest::RequestParser::State::kNeedMore);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzz,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+}  // namespace
+}  // namespace nnfv
+
+// -----------------------------------------------------------------------
+// Orchestrator candidate fall-through under native-resource pressure:
+// when the NNF driver cannot take another deployment (mark pool
+// exhausted), the scheduler's next candidate (docker) must be used and
+// the graph still deploys.
+// -----------------------------------------------------------------------
+#include "core/node.hpp"
+#include "nffg/nffg.hpp"
+
+namespace nnfv {
+namespace {
+
+TEST(FallthroughInjection, MarkExhaustionFallsBackToDocker) {
+  core::UniversalNode node;
+  // Starve the shared-path mark pool: NAT needs 2 marks per deployment.
+  while (node.marks().allocate("hog" + std::to_string(node.marks().in_use()))
+             .is_ok()) {
+  }
+  nffg::NfFg graph;
+  graph.id = "pressed";
+  graph.add_nf("nat", "nat").config["external_ip"] = "203.0.113.1";
+  graph.add_endpoint("lan", "eth0");
+  graph.add_endpoint("wan", "eth1");
+  graph.connect("r1", nffg::endpoint_ref("lan"), nffg::nf_port("nat", 0));
+  graph.connect("r2", nffg::nf_port("nat", 1), nffg::endpoint_ref("wan"));
+  auto report = node.orchestrator().deploy(graph);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  // Native was ranked first but failed; docker took over transparently.
+  EXPECT_EQ(report->placements[0].backend, virt::BackendKind::kDocker);
+  // And the datapath works.
+  int wan_rx = 0;
+  (void)node.set_egress("eth1",
+                        [&](packet::PacketBuffer&&) { ++wan_rx; });
+  packet::UdpFrameSpec spec;
+  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.2");
+  spec.ip_dst = *packet::Ipv4Address::parse("8.8.8.8");
+  spec.dst_port = 53;
+  (void)node.inject("eth0", packet::build_udp_frame(spec));
+  node.simulator().run();
+  EXPECT_EQ(wan_rx, 1);
+}
+
+}  // namespace
+}  // namespace nnfv

@@ -1,0 +1,328 @@
+// REST layer tests: HTTP codec, router, API semantics, and the real TCP
+// server over loopback.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "core/node.hpp"
+#include "nffg/nffg_json.hpp"
+#include "rest/api.hpp"
+#include "rest/http.hpp"
+#include "rest/router.hpp"
+#include "rest/server.hpp"
+
+namespace nnfv::rest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HTTP codec
+// ---------------------------------------------------------------------------
+
+TEST(Http, ParsesSimpleGet) {
+  auto request = parse_request("GET /node HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(request.is_ok());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/node");
+  EXPECT_EQ(request->version, "HTTP/1.1");
+  EXPECT_EQ(request->headers.at("Host"), "x");
+  EXPECT_TRUE(request->body.empty());
+}
+
+TEST(Http, ParsesBodyWithContentLength) {
+  auto request = parse_request(
+      "PUT /NF-FG/g1 HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world");
+  ASSERT_TRUE(request.is_ok());
+  EXPECT_EQ(request->body, "hello world");
+}
+
+TEST(Http, HeaderNamesAreCaseInsensitive) {
+  auto request = parse_request(
+      "PUT /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nok");
+  ASSERT_TRUE(request.is_ok());
+  EXPECT_EQ(request->headers.at("Content-Length"), "2");
+  EXPECT_EQ(request->body, "ok");
+}
+
+TEST(Http, PathAndQuerySplit) {
+  HttpRequest request;
+  request.target = "/NF-FG/g1?verbose=1";
+  EXPECT_EQ(request.path(), "/NF-FG/g1");
+  EXPECT_EQ(request.query(), "verbose=1");
+  request.target = "/plain";
+  EXPECT_EQ(request.query(), "");
+}
+
+TEST(Http, IncrementalParsingAcrossChunks) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("PUT /x HTT"), RequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.feed("P/1.1\r\nContent-Le"),
+            RequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.feed("ngth: 4\r\n\r\nab"),
+            RequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.feed("cd"), RequestParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(Http, RejectsMalformedRequests) {
+  EXPECT_FALSE(parse_request("garbage\r\n\r\n").is_ok());
+  EXPECT_FALSE(parse_request("GET /x\r\n\r\n").is_ok());  // no version
+  EXPECT_FALSE(
+      parse_request("GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n").is_ok());
+  EXPECT_FALSE(parse_request(
+                   "PUT /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n")
+                   .is_ok());
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1\r\n").is_ok());  // incomplete
+}
+
+TEST(Http, ResponseSerialization) {
+  HttpResponse response = HttpResponse::json_response(201, "{\"ok\":true}");
+  const std::string wire = response.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 201 Created\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+}
+
+TEST(Http, RequestSerializationRoundTrips) {
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = "/NF-FG/g1";
+  request.body = "{}";
+  auto parsed = parse_request(request.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->method, "PUT");
+  EXPECT_EQ(parsed->body, "{}");
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+TEST(Router, RoutesWithParams) {
+  Router router;
+  router.add("GET", "/NF-FG/{id}",
+             [](const HttpRequest&, const PathParams& params) {
+               return HttpResponse::json_response(
+                   200, "{\"id\":\"" + params.at("id") + "\"}");
+             });
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/NF-FG/g42";
+  HttpResponse response = router.route(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("g42"), std::string::npos);
+}
+
+TEST(Router, NotFoundVsMethodNotAllowed) {
+  Router router;
+  router.add("GET", "/thing", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::json_response(200, "{}");
+  });
+  HttpRequest request;
+  request.method = "DELETE";
+  request.target = "/thing";
+  EXPECT_EQ(router.route(request).status, 405);
+  request.target = "/other";
+  EXPECT_EQ(router.route(request).status, 404);
+}
+
+TEST(Router, MultiSegmentParams) {
+  Router router;
+  router.add("PUT", "/NF-FG/{id}/VNFs/{nf}/config",
+             [](const HttpRequest&, const PathParams& params) {
+               return HttpResponse::json_response(
+                   200, params.at("id") + "/" + params.at("nf"));
+             });
+  HttpRequest request;
+  request.method = "PUT";
+  request.target = "/NF-FG/g1/VNFs/fw/config";
+  EXPECT_EQ(router.route(request).body, "g1/fw");
+  request.target = "/NF-FG/g1/VNFs/fw";  // shorter: no match
+  EXPECT_EQ(router.route(request).status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// RestApi over a real node
+// ---------------------------------------------------------------------------
+
+constexpr const char* kGraphJson = R"({
+  "forwarding-graph": {
+    "id": "g1",
+    "VNFs": [{"id": "fw", "functional_type": "firewall", "ports": 2}],
+    "end-points": [
+      {"id": "lan", "interface": "eth0"},
+      {"id": "wan", "interface": "eth1"}
+    ],
+    "flow-rules": [
+      {"id": "r1", "match": {"port_in": "endpoint:lan"},
+       "action": {"output": "vnf:fw:0"}},
+      {"id": "r2", "match": {"port_in": "vnf:fw:1"},
+       "action": {"output": "endpoint:wan"}},
+      {"id": "r3", "match": {"port_in": "endpoint:wan"},
+       "action": {"output": "vnf:fw:1"}},
+      {"id": "r4", "match": {"port_in": "vnf:fw:0"},
+       "action": {"output": "endpoint:lan"}}
+    ]
+  }
+})";
+
+HttpRequest make_request(const std::string& method, const std::string& target,
+                         const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  return request;
+}
+
+class ApiFixture : public ::testing::Test {
+ protected:
+  ApiFixture() : api_(&node_) {}
+  core::UniversalNode node_;
+  RestApi api_;
+};
+
+TEST_F(ApiFixture, DeployFetchDeleteCycle) {
+  HttpResponse created =
+      api_.handle(make_request("PUT", "/NF-FG/g1", kGraphJson));
+  EXPECT_EQ(created.status, 201);
+  EXPECT_NE(created.body.find("\"backend\":\"native\""), std::string::npos);
+
+  HttpResponse listed = api_.handle(make_request("GET", "/NF-FG"));
+  EXPECT_EQ(listed.status, 200);
+  EXPECT_NE(listed.body.find("g1"), std::string::npos);
+
+  HttpResponse fetched = api_.handle(make_request("GET", "/NF-FG/g1"));
+  EXPECT_EQ(fetched.status, 200);
+  auto graph = nffg::from_json_text(fetched.body);
+  ASSERT_TRUE(graph.is_ok());
+  EXPECT_EQ(graph->id, "g1");
+
+  HttpResponse deleted = api_.handle(make_request("DELETE", "/NF-FG/g1"));
+  EXPECT_EQ(deleted.status, 204);
+  EXPECT_EQ(api_.handle(make_request("GET", "/NF-FG/g1")).status, 404);
+}
+
+TEST_F(ApiFixture, ErrorsMapToHttpStatuses) {
+  // Bad JSON -> 400.
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1", "{nope")).status,
+            400);
+  // Id mismatch -> 400.
+  EXPECT_EQ(
+      api_.handle(make_request("PUT", "/NF-FG/other", kGraphJson)).status,
+      400);
+  // Duplicate deploy -> 409.
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1", kGraphJson)).status,
+            201);
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1", kGraphJson)).status,
+            409);
+  // Unknown graph delete -> 404.
+  EXPECT_EQ(api_.handle(make_request("DELETE", "/NF-FG/zz")).status, 404);
+}
+
+TEST_F(ApiFixture, UpdateNfConfig) {
+  ASSERT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1", kGraphJson)).status,
+            201);
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1/VNFs/fw/config",
+                                     R"({"policy":"drop"})"))
+                .status,
+            200);
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1/VNFs/fw/config",
+                                     R"({"policy":5})"))
+                .status,
+            400);
+  EXPECT_EQ(api_.handle(make_request("PUT", "/NF-FG/g1/VNFs/zz/config",
+                                     R"({"policy":"drop"})"))
+                .status,
+            404);
+}
+
+TEST_F(ApiFixture, NodeDescription) {
+  HttpResponse response = api_.handle(make_request("GET", "/node"));
+  EXPECT_EQ(response.status, 200);
+  auto doc = json::parse(response.body);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get_string("hostname"), "cpe-node");
+  EXPECT_TRUE(doc->get("native_functions")->is_array());
+}
+
+TEST(HttpStatusMapping, CoversAllCodes) {
+  EXPECT_EQ(http_status_of(util::Status::ok()), 200);
+  EXPECT_EQ(http_status_of(util::invalid_argument("x")), 400);
+  EXPECT_EQ(http_status_of(util::not_found("x")), 404);
+  EXPECT_EQ(http_status_of(util::already_exists("x")), 409);
+  EXPECT_EQ(http_status_of(util::resource_exhausted("x")), 503);
+  EXPECT_EQ(http_status_of(util::unavailable("x")), 503);
+  EXPECT_EQ(http_status_of(util::internal_error("x")), 500);
+}
+
+// ---------------------------------------------------------------------------
+// TCP server over loopback
+// ---------------------------------------------------------------------------
+
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+TEST(HttpServer, ServesRequestsOverLoopback) {
+  core::UniversalNode node;
+  RestApi api(&node);
+  HttpServer server(
+      [&api](const HttpRequest& request) { return api.handle(request); });
+  ASSERT_TRUE(server.start(0).is_ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string reply =
+      http_exchange(server.port(), "GET /node HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("cpe-node"), std::string::npos);
+
+  // Deploy over the wire.
+  std::string body = kGraphJson;
+  std::string put = "PUT /NF-FG/g1 HTTP/1.1\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n\r\n" + body;
+  const std::string deploy_reply = http_exchange(server.port(), put);
+  EXPECT_NE(deploy_reply.find("HTTP/1.1 201 Created"), std::string::npos);
+  EXPECT_TRUE(node.orchestrator().has_graph("g1"));
+  EXPECT_EQ(server.requests_served(), 2u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, MalformedRequestGets400) {
+  HttpServer server([](const HttpRequest&) {
+    return HttpResponse::json_response(200, "{}");
+  });
+  ASSERT_TRUE(server.start(0).is_ok());
+  const std::string reply =
+      http_exchange(server.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(reply.find("400"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nnfv::rest

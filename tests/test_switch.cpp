@@ -1,0 +1,404 @@
+// Switch substrate tests: match semantics, actions, table priority, LSI
+// forwarding and controller punting.
+#include <gtest/gtest.h>
+
+#include "packet/builder.hpp"
+#include "switch/flow_table.hpp"
+#include "switch/lsi.hpp"
+#include "util/rng.hpp"
+
+namespace nnfv::nfswitch {
+namespace {
+
+packet::PacketBuffer make_udp(const std::string& src_ip,
+                              const std::string& dst_ip, std::uint16_t sport,
+                              std::uint16_t dport,
+                              std::optional<std::uint16_t> vlan = {}) {
+  packet::UdpFrameSpec spec;
+  spec.eth_src = packet::MacAddress::from_id(0x11);
+  spec.eth_dst = packet::MacAddress::from_id(0x22);
+  spec.vlan = vlan;
+  spec.ip_src = *packet::Ipv4Address::parse(src_ip);
+  spec.ip_dst = *packet::Ipv4Address::parse(dst_ip);
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  static const std::vector<std::uint8_t> payload(64, 0x55);
+  spec.payload = payload;
+  return packet::build_udp_frame(spec);
+}
+
+FlowContext context_of(PortId port, const packet::PacketBuffer& frame) {
+  auto fields = packet::extract_flow_fields(frame.data());
+  EXPECT_TRUE(fields.is_ok());
+  return FlowContext{port, fields.value()};
+}
+
+// ---------------------------------------------------------------------------
+// FlowMatch
+// ---------------------------------------------------------------------------
+
+TEST(FlowMatch, EmptyMatchesEverything) {
+  FlowMatch any;
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 10, 20);
+  EXPECT_TRUE(any.matches(context_of(3, frame)));
+  EXPECT_EQ(any.specified_fields(), 0);
+  EXPECT_EQ(any.to_string(), "any");
+}
+
+TEST(FlowMatch, InPort) {
+  FlowMatch match = match_in_port(5);
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 10, 20);
+  EXPECT_TRUE(match.matches(context_of(5, frame)));
+  EXPECT_FALSE(match.matches(context_of(6, frame)));
+}
+
+TEST(FlowMatch, VlanSemantics) {
+  auto tagged = make_udp("1.1.1.1", "2.2.2.2", 10, 20, 100);
+  auto untagged = make_udp("1.1.1.1", "2.2.2.2", 10, 20);
+
+  FlowMatch want_vid;
+  want_vid.vlan = 100;
+  EXPECT_TRUE(want_vid.matches(context_of(1, tagged)));
+  EXPECT_FALSE(want_vid.matches(context_of(1, untagged)));
+
+  FlowMatch want_other;
+  want_other.vlan = 101;
+  EXPECT_FALSE(want_other.matches(context_of(1, tagged)));
+
+  FlowMatch want_untagged;
+  want_untagged.vlan = FlowMatch::kMatchUntagged;
+  EXPECT_FALSE(want_untagged.matches(context_of(1, tagged)));
+  EXPECT_TRUE(want_untagged.matches(context_of(1, untagged)));
+
+  FlowMatch wildcard;  // no VLAN constraint
+  EXPECT_TRUE(wildcard.matches(context_of(1, tagged)));
+  EXPECT_TRUE(wildcard.matches(context_of(1, untagged)));
+}
+
+TEST(FlowMatch, IpPrefixes) {
+  auto frame = make_udp("10.1.2.3", "192.168.7.9", 10, 20);
+  FlowMatch match;
+  match.ip_src = *packet::Ipv4Address::parse("10.0.0.0");
+  match.ip_src_prefix = 8;
+  EXPECT_TRUE(match.matches(context_of(1, frame)));
+  match.ip_src_prefix = 16;  // 10.0/16 does not cover 10.1.2.3
+  EXPECT_FALSE(match.matches(context_of(1, frame)));
+  match.ip_src_prefix = 0;  // prefix 0 = any
+  EXPECT_TRUE(match.matches(context_of(1, frame)));
+
+  FlowMatch dst;
+  dst.ip_dst = *packet::Ipv4Address::parse("192.168.7.9");
+  EXPECT_TRUE(dst.matches(context_of(1, frame)));
+  dst.ip_dst = *packet::Ipv4Address::parse("192.168.7.8");
+  EXPECT_FALSE(dst.matches(context_of(1, frame)));
+}
+
+TEST(FlowMatch, TransportPorts) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 5001, 443);
+  FlowMatch match;
+  match.ip_proto = packet::kIpProtoUdp;
+  match.tp_src = 5001;
+  match.tp_dst = 443;
+  EXPECT_TRUE(match.matches(context_of(1, frame)));
+  match.tp_dst = 444;
+  EXPECT_FALSE(match.matches(context_of(1, frame)));
+}
+
+TEST(FlowMatch, IpFieldsRequireIpPacket) {
+  // An ARP-ish frame: ethertype != IPv4.
+  std::vector<std::uint8_t> raw(64, 0);
+  raw[12] = 0x08;
+  raw[13] = 0x06;  // ARP
+  auto fields = packet::extract_flow_fields(raw);
+  ASSERT_TRUE(fields.is_ok());
+  FlowContext ctx{1, fields.value()};
+  FlowMatch ip_match;
+  ip_match.ip_proto = packet::kIpProtoUdp;
+  EXPECT_FALSE(ip_match.matches(ctx));
+  FlowMatch eth_match;
+  eth_match.eth_type = 0x0806;
+  EXPECT_TRUE(eth_match.matches(ctx));
+}
+
+TEST(FlowMatch, MacAddresses) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  FlowMatch match;
+  match.eth_src = packet::MacAddress::from_id(0x11);
+  match.eth_dst = packet::MacAddress::from_id(0x22);
+  EXPECT_TRUE(match.matches(context_of(1, frame)));
+  match.eth_dst = packet::MacAddress::from_id(0x33);
+  EXPECT_FALSE(match.matches(context_of(1, frame)));
+}
+
+// ---------------------------------------------------------------------------
+// Actions
+// ---------------------------------------------------------------------------
+
+TEST(Actions, OutputCollectsPorts) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  auto outcome = apply_actions(
+      {FlowAction::output(3), FlowAction::output(7)}, frame);
+  EXPECT_EQ(outcome.outputs, (std::vector<PortId>{3, 7}));
+  EXPECT_FALSE(outcome.dropped);
+  EXPECT_FALSE(outcome.to_controller);
+}
+
+TEST(Actions, DropTerminates) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  auto outcome = apply_actions(
+      {FlowAction::drop(), FlowAction::output(3)}, frame);
+  EXPECT_TRUE(outcome.dropped);
+  EXPECT_TRUE(outcome.outputs.empty());
+}
+
+TEST(Actions, VlanPushPop) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  const std::size_t base = frame.size();
+  auto outcome = apply_actions({FlowAction::push_vlan(99)}, frame);
+  EXPECT_EQ(frame.size(), base + packet::kVlanTagSize);
+  EXPECT_EQ(packet::parse_ethernet(frame.data())->vlan.value_or(0), 99);
+  outcome = apply_actions({FlowAction::pop_vlan()}, frame);
+  EXPECT_EQ(frame.size(), base);
+  (void)outcome;
+}
+
+TEST(Actions, MacRewrite) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  const auto new_src = packet::MacAddress::from_id(0xAA);
+  const auto new_dst = packet::MacAddress::from_id(0xBB);
+  apply_actions({FlowAction::set_eth_src(new_src),
+                 FlowAction::set_eth_dst(new_dst)},
+                frame);
+  auto eth = packet::parse_ethernet(frame.data());
+  EXPECT_EQ(eth->src, new_src);
+  EXPECT_EQ(eth->dst, new_dst);
+}
+
+TEST(Actions, ControllerFlagSet) {
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  auto outcome = apply_actions(
+      {FlowAction::to_controller(), FlowAction::output(1)}, frame);
+  EXPECT_TRUE(outcome.to_controller);
+  EXPECT_EQ(outcome.outputs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FlowTable
+// ---------------------------------------------------------------------------
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable table;
+  table.add(10, FlowMatch{}, {FlowAction::output(1)});
+  const FlowEntryId high =
+      table.add(20, FlowMatch{}, {FlowAction::output(2)});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  FlowEntry* hit = table.lookup(context_of(0, frame), frame.size());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, high);
+}
+
+TEST(FlowTable, EqualPriorityFirstAddedWins) {
+  FlowTable table;
+  const FlowEntryId first = table.add(5, FlowMatch{}, {});
+  table.add(5, FlowMatch{}, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, first);
+}
+
+TEST(FlowTable, FallsThroughToLessSpecific) {
+  FlowTable table;
+  FlowMatch specific;
+  specific.tp_dst = 443;
+  const FlowEntryId https = table.add(20, specific, {FlowAction::drop()});
+  const FlowEntryId any = table.add(10, FlowMatch{}, {FlowAction::output(1)});
+
+  auto https_frame = make_udp("1.1.1.1", "2.2.2.2", 1, 443);
+  auto other_frame = make_udp("1.1.1.1", "2.2.2.2", 1, 80);
+  EXPECT_EQ(table.lookup(context_of(0, https_frame), 1)->id, https);
+  EXPECT_EQ(table.lookup(context_of(0, other_frame), 1)->id, any);
+}
+
+TEST(FlowTable, StatsAccumulate) {
+  FlowTable table;
+  const FlowEntryId id = table.add(1, FlowMatch{}, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  table.lookup(context_of(0, frame), 100);
+  table.lookup(context_of(0, frame), 50);
+  const FlowEntry& entry = table.entries().front();
+  EXPECT_EQ(entry.id, id);
+  EXPECT_EQ(entry.stats.packets, 2u);
+  EXPECT_EQ(entry.stats.bytes, 150u);
+}
+
+TEST(FlowTable, MissCounting) {
+  FlowTable table;
+  FlowMatch never;
+  never.in_port = 99;
+  table.add(1, never, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1), nullptr);
+  EXPECT_EQ(table.misses(), 1u);
+  EXPECT_EQ(table.peek(context_of(0, frame)), nullptr);
+}
+
+TEST(FlowTable, RemoveByIdAndCookie) {
+  FlowTable table;
+  const FlowEntryId a = table.add(1, FlowMatch{}, {}, /*cookie=*/7);
+  table.add(2, FlowMatch{}, {}, 7);
+  table.add(3, FlowMatch{}, {}, 8);
+  EXPECT_TRUE(table.remove(a).is_ok());
+  EXPECT_FALSE(table.remove(a).is_ok());  // already gone
+  EXPECT_EQ(table.remove_by_cookie(7), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.entries().front().cookie, 8u);
+}
+
+TEST(FlowTable, DumpContainsRules) {
+  FlowTable table;
+  FlowMatch match;
+  match.in_port = 4;
+  table.add(9, match, {FlowAction::output(2)});
+  const std::string dump = table.dump();
+  EXPECT_NE(dump.find("prio=9"), std::string::npos);
+  EXPECT_NE(dump.find("in_port=4"), std::string::npos);
+  EXPECT_NE(dump.find("output:2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LSI
+// ---------------------------------------------------------------------------
+
+class CapturingController : public FlowController {
+ public:
+  void on_packet_in(Lsi& lsi, PortId in_port,
+                    const packet::PacketBuffer& frame) override {
+    ++packet_ins;
+    last_port = in_port;
+    last_size = frame.size();
+    (void)lsi;
+  }
+  int packet_ins = 0;
+  PortId last_port = kInvalidPort;
+  std::size_t last_size = 0;
+};
+
+TEST(Lsi, PortManagement) {
+  Lsi lsi(1, "LSI-test");
+  auto a = lsi.add_port("eth0");
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_FALSE(lsi.add_port("eth0").is_ok());  // duplicate name
+  auto b = lsi.add_port("eth1");
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_TRUE(lsi.has_port(a.value()));
+  EXPECT_EQ(lsi.port_by_name("eth1").value(), b.value());
+  EXPECT_FALSE(lsi.port_by_name("nope").is_ok());
+  EXPECT_EQ(lsi.ports().size(), 2u);
+  EXPECT_TRUE(lsi.remove_port(a.value()).is_ok());
+  EXPECT_FALSE(lsi.has_port(a.value()));
+  EXPECT_FALSE(lsi.remove_port(a.value()).is_ok());
+}
+
+TEST(Lsi, ForwardsPerFlowTable) {
+  Lsi lsi(1, "LSI-test");
+  const PortId in = lsi.add_port("in").value();
+  const PortId out = lsi.add_port("out").value();
+
+  std::vector<packet::PacketBuffer> received;
+  (void)lsi.set_port_peer(out, [&](packet::PacketBuffer&& frame) {
+    received.push_back(std::move(frame));
+  });
+  lsi.flow_table().add(1, match_in_port(in), {FlowAction::output(out)});
+
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 2));
+  ASSERT_EQ(received.size(), 1u);
+  const PortStats* in_stats = lsi.port_stats(in);
+  const PortStats* out_stats = lsi.port_stats(out);
+  EXPECT_EQ(in_stats->rx_packets, 1u);
+  EXPECT_EQ(out_stats->tx_packets, 1u);
+  EXPECT_EQ(lsi.processed_packets(), 1u);
+}
+
+TEST(Lsi, TableMissGoesToController) {
+  Lsi lsi(1, "LSI-test");
+  const PortId in = lsi.add_port("in").value();
+  CapturingController controller;
+  lsi.set_controller(&controller);
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 2));
+  EXPECT_EQ(controller.packet_ins, 1);
+  EXPECT_EQ(controller.last_port, in);
+  EXPECT_GT(controller.last_size, 0u);
+}
+
+TEST(Lsi, ReplicatesToMultipleOutputs) {
+  Lsi lsi(1, "LSI-test");
+  const PortId in = lsi.add_port("in").value();
+  const PortId out1 = lsi.add_port("out1").value();
+  const PortId out2 = lsi.add_port("out2").value();
+  int count1 = 0;
+  int count2 = 0;
+  (void)lsi.set_port_peer(out1,
+                          [&](packet::PacketBuffer&&) { ++count1; });
+  (void)lsi.set_port_peer(out2,
+                          [&](packet::PacketBuffer&&) { ++count2; });
+  lsi.flow_table().add(
+      1, match_in_port(in),
+      {FlowAction::output(out1), FlowAction::output(out2)});
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 2));
+  EXPECT_EQ(count1, 1);
+  EXPECT_EQ(count2, 1);
+}
+
+TEST(Lsi, TxWithoutPeerCounted) {
+  Lsi lsi(1, "LSI-test");
+  const PortId in = lsi.add_port("in").value();
+  const PortId out = lsi.add_port("out").value();
+  lsi.flow_table().add(1, match_in_port(in), {FlowAction::output(out)});
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 2));
+  EXPECT_EQ(lsi.port_stats(out)->tx_no_peer, 1u);
+}
+
+TEST(Lsi, VlanSteeringPipeline) {
+  // LSI-0-style classification: tagged traffic in, pop, forward; and the
+  // reverse path re-tags.
+  Lsi lsi(0, "LSI-0");
+  const PortId phys = lsi.add_port("eth0").value();
+  const PortId vlink = lsi.add_port("vl:g1").value();
+
+  packet::PacketBuffer forwarded;
+  bool got = false;
+  (void)lsi.set_port_peer(vlink, [&](packet::PacketBuffer&& frame) {
+    forwarded = std::move(frame);
+    got = true;
+  });
+
+  FlowMatch tagged = match_port_vlan(phys, 10);
+  lsi.flow_table().add(100, tagged,
+                       {FlowAction::pop_vlan(), FlowAction::output(vlink)});
+
+  lsi.receive(phys, make_udp("1.1.1.1", "2.2.2.2", 1, 2, /*vlan=*/10));
+  ASSERT_TRUE(got);
+  EXPECT_FALSE(packet::parse_ethernet(forwarded.data())->vlan.has_value());
+}
+
+TEST(Lsi, ScalesToManyRules) {
+  Lsi lsi(1, "LSI-big");
+  const PortId in = lsi.add_port("in").value();
+  const PortId out = lsi.add_port("out").value();
+  int received = 0;
+  (void)lsi.set_port_peer(out, [&](packet::PacketBuffer&&) { ++received; });
+  // 1000 specific rules + 1 catch-all.
+  for (int i = 0; i < 1000; ++i) {
+    FlowMatch match;
+    match.in_port = in;
+    match.tp_dst = static_cast<std::uint16_t>(10000 + i);
+    lsi.flow_table().add(10, match, {FlowAction::output(out)});
+  }
+  lsi.flow_table().add(1, match_in_port(in), {FlowAction::drop()});
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 10500));
+  EXPECT_EQ(received, 1);
+  lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 99));
+  EXPECT_EQ(received, 1);  // dropped by catch-all
+}
+
+}  // namespace
+}  // namespace nnfv::nfswitch

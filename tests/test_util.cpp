@@ -1,0 +1,301 @@
+// Tests for util: Status/Result, strings, RNG, byte order, logging.
+#include <gtest/gtest.h>
+
+#include "util/byteorder.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = not_found("graph 'g1'");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "graph 'g1'");
+  EXPECT_EQ(status.to_string(), "not_found: graph 'g1'");
+}
+
+TEST(Status, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(invalid_argument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(not_found("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(already_exists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(resource_exhausted("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(failed_precondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(unimplemented("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(internal_error("x").code(), ErrorCode::kInternal);
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(error_code_name(ErrorCode::kOk), "ok");
+  EXPECT_EQ(error_code_name(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(error_code_name(ErrorCode::kResourceExhausted),
+            "resource_exhausted");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = not_found("nope");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result.value_or("fallback"), "hello");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string(1000, 'x'));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(Result, ConstructedFromOkStatusBecomesInternalError) {
+  Result<int> result = Status::ok();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, IequalsIgnoresCase) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("rule.5", "rule."));
+  EXPECT_FALSE(starts_with("rul", "rule."));
+  EXPECT_TRUE(ends_with("image.qcow2", ".qcow2"));
+  EXPECT_FALSE(ends_with("image", ".qcow2"));
+}
+
+TEST(Strings, HexRoundTrip) {
+  std::vector<std::uint8_t> data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  std::string hex = hex_encode(data);
+  EXPECT_EQ(hex, "0001abff7e");
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(hex_decode(hex, back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Strings, HexDecodeAcceptsUppercase) {
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(hex_decode("ABCDEF", out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0xAB, 0xCD, 0xEF}));
+}
+
+TEST(Strings, HexDecodeRejectsOddAndBadChars) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(hex_decode("abc", out));
+  EXPECT_FALSE(hex_decode("zz", out));
+}
+
+TEST(Strings, ParseU64Basics) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", value));  // overflow
+  EXPECT_FALSE(parse_u64("", value));
+  EXPECT_FALSE(parse_u64("12x", value));
+  EXPECT_FALSE(parse_u64("-1", value));
+}
+
+TEST(Strings, FormatBytesPicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(5 * 1024 * 1024), "5.0 MB");
+  EXPECT_EQ(format_bytes(1536ULL * 1024 * 1024), "1.5 GB");
+}
+
+TEST(Strings, FormatMbps) {
+  EXPECT_EQ(format_mbps(796e6), "796.0 Mbps");
+  EXPECT_EQ(format_mbps(1094.4e6), "1094.4 Mbps");
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformHitsBounds) {
+  Rng rng(7);
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 10000 && !(low && high); ++i) {
+    const std::uint64_t v = rng.uniform(0, 3);
+    low = low || v == 0;
+    high = high || v == 3;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyMatchesRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.1);  // mean = 1/rate
+}
+
+TEST(Rng, BytesProducesRequestedLength) {
+  Rng rng(13);
+  EXPECT_EQ(rng.bytes(0).size(), 0u);
+  EXPECT_EQ(rng.bytes(7).size(), 7u);
+  EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// byte order
+// ---------------------------------------------------------------------------
+
+TEST(ByteOrder, RoundTrip16) {
+  std::uint8_t buf[2];
+  store_be16(buf, 0xBEEF);
+  EXPECT_EQ(buf[0], 0xBE);
+  EXPECT_EQ(buf[1], 0xEF);
+  EXPECT_EQ(load_be16(buf), 0xBEEF);
+}
+
+TEST(ByteOrder, RoundTrip32) {
+  std::uint8_t buf[4];
+  store_be32(buf, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(load_be32(buf), 0xDEADBEEFu);
+}
+
+TEST(ByteOrder, RoundTrip64) {
+  std::uint8_t buf[8];
+  store_be64(buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFULL);
+}
+
+// ---------------------------------------------------------------------------
+// logging
+// ---------------------------------------------------------------------------
+
+TEST(Logging, CapturesAtOrAboveLevel) {
+  std::string captured;
+  set_log_capture(&captured);
+  set_log_level(LogLevel::kInfo);
+  NNFV_LOG(kInfo, "test") << "hello " << 42;
+  NNFV_LOG(kDebug, "test") << "invisible";
+  set_log_capture(nullptr);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_NE(captured.find("hello 42"), std::string::npos);
+  EXPECT_EQ(captured.find("invisible"), std::string::npos);
+  EXPECT_NE(captured.find("INFO"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  std::string captured;
+  set_log_capture(&captured);
+  set_log_level(LogLevel::kOff);
+  NNFV_LOG(kError, "test") << "should not appear";
+  set_log_capture(nullptr);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(captured.empty());
+}
+
+}  // namespace
+}  // namespace nnfv::util

@@ -1,0 +1,195 @@
+// Virtualization model tests: cost model structure, RAM accounting and the
+// layered image store. These pin the *shape* properties Table 1 relies on.
+#include <gtest/gtest.h>
+
+#include "virt/backend.hpp"
+#include "virt/cost_model.hpp"
+#include "virt/image_store.hpp"
+#include "virt/ram_model.hpp"
+
+namespace nnfv::virt {
+namespace {
+
+TEST(Backend, NamesRoundTrip) {
+  for (BackendKind kind : kAllBackends) {
+    auto back = backend_from_name(backend_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_EQ(backend_from_name("kvm"), BackendKind::kVm);
+  EXPECT_EQ(backend_from_name("nnf"), BackendKind::kNative);
+  EXPECT_FALSE(backend_from_name("xen").has_value());
+}
+
+TEST(CostModel, ServiceTimeIncreasesWithBytes) {
+  CostModel model(BackendKind::kNative, profile_ipsec_esp());
+  EXPECT_LT(model.service_time(100), model.service_time(1000));
+  EXPECT_GT(model.service_time(0), 0);  // fixed costs remain
+}
+
+TEST(CostModel, VmSlowerThanNativeForSameWork) {
+  const NfComputeProfile profile = profile_ipsec_esp();
+  CostModel native(BackendKind::kNative, profile);
+  CostModel vm(BackendKind::kVm, profile);
+  CostModel docker(BackendKind::kDocker, profile);
+  for (std::size_t bytes : {64u, 512u, 1450u}) {
+    EXPECT_GT(vm.service_time(bytes), native.service_time(bytes))
+        << bytes << " bytes";
+    // Docker and native share the host kernel path (paper: "comparable").
+    EXPECT_EQ(docker.service_time(bytes), native.service_time(bytes));
+  }
+}
+
+TEST(CostModel, CalibrationHitsTable1NativeThroughput) {
+  // 1450-byte frame carrying 1408 bytes of UDP payload; Table 1 native row
+  // is 1094 Mbps of iPerf goodput. Allow 2% model slack.
+  CostModel native(BackendKind::kNative, profile_ipsec_esp());
+  const double service_s =
+      static_cast<double>(native.service_time(1450)) * 1e-9;
+  const double goodput = 1408.0 * 8.0 / service_s;
+  EXPECT_NEAR(goodput / 1e6, 1094.0, 22.0);
+}
+
+TEST(CostModel, VmLandsNearTable1Ratio) {
+  // Paper: VM 796 vs native 1094 => ratio ~0.727. Structural constants
+  // should land within ~5%.
+  const NfComputeProfile profile = profile_ipsec_esp();
+  CostModel native(BackendKind::kNative, profile);
+  CostModel vm(BackendKind::kVm, profile);
+  const double ratio = static_cast<double>(native.service_time(1450)) /
+                       static_cast<double>(vm.service_time(1450));
+  EXPECT_NEAR(ratio, 796.0 / 1094.0, 0.05);
+}
+
+TEST(CostModel, SaturationPpsIsInverseServiceTime) {
+  CostModel model(BackendKind::kDocker, profile_forwarding());
+  const double pps = model.saturation_pps(1000);
+  const double expected = 1e9 / static_cast<double>(model.service_time(1000));
+  EXPECT_DOUBLE_EQ(pps, expected);
+}
+
+TEST(CostModel, LifecycleOrdering) {
+  // Boot: VM (seconds) >> docker/dpdk (hundreds of ms) >> native (tens).
+  EXPECT_GT(backend_cost(BackendKind::kVm).boot_ns,
+            backend_cost(BackendKind::kDocker).boot_ns);
+  EXPECT_GT(backend_cost(BackendKind::kDocker).boot_ns,
+            backend_cost(BackendKind::kNative).boot_ns);
+}
+
+TEST(RamModel, OverheadOrderingMatchesTable1) {
+  EXPECT_EQ(backend_ram_overhead(BackendKind::kNative), 0u);
+  EXPECT_GT(backend_ram_overhead(BackendKind::kDocker), 0u);
+  EXPECT_GT(backend_ram_overhead(BackendKind::kVm),
+            50 * backend_ram_overhead(BackendKind::kDocker));
+}
+
+TEST(RamModel, InstanceRamReproducesTable1Column) {
+  // Strongswan working set 19.4 MB.
+  NfMemoryProfile strongswan{19 * kMiB + 400 * 1024, 0, 0};
+  const double native_mb =
+      static_cast<double>(instance_ram(BackendKind::kNative, strongswan)) /
+      (1024.0 * 1024.0);
+  const double docker_mb =
+      static_cast<double>(instance_ram(BackendKind::kDocker, strongswan)) /
+      (1024.0 * 1024.0);
+  const double vm_mb =
+      static_cast<double>(instance_ram(BackendKind::kVm, strongswan)) /
+      (1024.0 * 1024.0);
+  EXPECT_NEAR(native_mb, 19.4, 0.1);
+  EXPECT_NEAR(docker_mb, 24.2, 0.5);
+  EXPECT_NEAR(vm_mb, 390.6, 1.0);
+}
+
+TEST(RamModel, PerFlowGrowth) {
+  NfMemoryProfile profile{kMiB, 100, 0};
+  EXPECT_EQ(instance_ram(BackendKind::kNative, profile, 10),
+            kMiB + 1000);
+}
+
+TEST(RamLedger, ReserveAndRelease) {
+  RamLedger ledger(1000);
+  EXPECT_TRUE(ledger.reserve(600));
+  EXPECT_EQ(ledger.available(), 400u);
+  EXPECT_FALSE(ledger.reserve(500));
+  EXPECT_TRUE(ledger.reserve(400));
+  ledger.release(700);
+  EXPECT_EQ(ledger.used(), 300u);
+  ledger.release(9999);  // clamped
+  EXPECT_EQ(ledger.used(), 0u);
+}
+
+TEST(ImageStore, RegisterAndFind) {
+  ImageStore store;
+  Image image;
+  image.name = "ipsec:vm";
+  image.kind = BackendKind::kVm;
+  image.layers = {{"os", 100}, {"pkg", 5}};
+  ASSERT_TRUE(store.register_image(image).is_ok());
+  EXPECT_FALSE(store.register_image(image).is_ok());  // duplicate
+  EXPECT_TRUE(store.contains("ipsec:vm"));
+  auto found = store.find("ipsec:vm");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(found->total_size(), 105u);
+  EXPECT_FALSE(store.find("nope").is_ok());
+  EXPECT_EQ(store.names().size(), 1u);
+}
+
+TEST(DiskLedger, LayersSharedBetweenImages) {
+  DiskLedger disk(1000);
+  Image a{"a:docker", BackendKind::kDocker, {{"base", 500}, {"a-pkg", 10}}};
+  Image b{"b:docker", BackendKind::kDocker, {{"base", 500}, {"b-pkg", 20}}};
+  ASSERT_TRUE(disk.install(a).is_ok());
+  EXPECT_EQ(disk.used(), 510u);
+  // Installing b adds only its unique layer (Docker layer dedup).
+  ASSERT_TRUE(disk.install(b).is_ok());
+  EXPECT_EQ(disk.used(), 530u);
+  // Removing a keeps the shared base (b still references it).
+  disk.remove(a);
+  EXPECT_EQ(disk.used(), 520u);
+  disk.remove(b);
+  EXPECT_EQ(disk.used(), 0u);
+}
+
+TEST(DiskLedger, InstallIdempotentAndCapacityChecked) {
+  DiskLedger disk(100);
+  Image a{"a", BackendKind::kVm, {{"x", 80}}};
+  ASSERT_TRUE(disk.install(a).is_ok());
+  ASSERT_TRUE(disk.install(a).is_ok());  // no double count
+  EXPECT_EQ(disk.used(), 80u);
+  Image b{"b", BackendKind::kVm, {{"y", 50}}};
+  auto status = disk.install(b);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(disk.installed("b"));
+}
+
+TEST(FlavorImages, SizesMatchTable1Structure) {
+  FlavorImages flavors = make_flavor_images("strongswan", 5 * kMiB);
+  const double native_mb =
+      static_cast<double>(flavors.native.total_size()) / (1024.0 * 1024.0);
+  const double docker_mb =
+      static_cast<double>(flavors.docker.total_size()) / (1024.0 * 1024.0);
+  const double vm_mb =
+      static_cast<double>(flavors.vm.total_size()) / (1024.0 * 1024.0);
+  EXPECT_NEAR(native_mb, 5.0, 0.01);    // Table 1: 5 MB
+  EXPECT_NEAR(docker_mb, 240.0, 1.0);   // Table 1: 240 MB
+  EXPECT_NEAR(vm_mb, 522.0, 1.0);       // Table 1: 522 MB
+  EXPECT_EQ(flavors.native.kind, BackendKind::kNative);
+  EXPECT_EQ(flavors.docker.kind, BackendKind::kDocker);
+  EXPECT_EQ(flavors.vm.kind, BackendKind::kVm);
+}
+
+TEST(FlavorImages, PackageLayerSharedAcrossFlavors) {
+  // The NF package layer has the same digest in all flavors, so a node
+  // holding the docker and vm images stores the package once.
+  FlavorImages flavors = make_flavor_images("nat", 1200 * 1024);
+  DiskLedger disk(2048ULL * kMiB);
+  ASSERT_TRUE(disk.install(flavors.docker).is_ok());
+  const std::uint64_t after_docker = disk.used();
+  ASSERT_TRUE(disk.install(flavors.vm).is_ok());
+  EXPECT_EQ(disk.used(),
+            after_docker + flavors.vm.total_size() - 1200 * 1024);
+}
+
+}  // namespace
+}  // namespace nnfv::virt
