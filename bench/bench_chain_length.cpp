@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
@@ -126,6 +127,13 @@ int main() {
     }
     return std::string(buf);
   };
+  bench::JsonReport report("bench_chain_length");
+  auto record = [&report](int k, const char* backend, const ChainResult& r) {
+    auto& row = report.add_metric(
+        "chain_" + std::to_string(k) + "_" + backend, "goodput_mbps",
+        r.goodput_mbps);
+    row.extra.emplace_back("latency_us", r.latency_us);
+  };
   for (int k : {1, 2, 3, 4, 6, 8}) {
     const ChainResult native = run_chain(k, virt::BackendKind::kNative);
     const ChainResult docker = run_chain(k, virt::BackendKind::kDocker);
@@ -133,6 +141,10 @@ int main() {
     const ChainResult vm = run_chain(k, virt::BackendKind::kVm);
     std::printf("%3d | %s | %s | %s | %s\n", k, cell(native).c_str(),
                 cell(docker).c_str(), cell(dpdk).c_str(), cell(vm).c_str());
+    record(k, "native", native);
+    record(k, "docker", docker);
+    record(k, "dpdk", dpdk);
+    record(k, "vm", vm);
   }
   std::printf(
       "\nReadings:\n"
@@ -143,6 +155,7 @@ int main() {
       "    (isolated contexts), so its throughput falls ~1/k while RAM and\n"
       "    activation stay per-context — the sharability trade-off.\n"
       "  * vm at k>=3: n/a — three 390 MB VMs exceed the 1 GB CPE, the\n"
-      "    resource wall that motivates NNFs in the first place.\n");
+      "    resource wall that motivates NNFs in the first place.\n\n");
+  report.emit();
   return 0;
 }

@@ -2,103 +2,132 @@
 //
 // These numbers do NOT feed the Table 1 reproduction (simulated timing
 // comes from virt::CostModel); they document the functional datapath's
-// host cost: AES-128-CBC, HMAC-SHA256, SHA-256, and a full ESP tunnel
-// encap+decap round trip on MTU-sized packets.
-#include <benchmark/benchmark.h>
+// host cost: AES-128-CBC (T-table vs the seed's byte-wise reference),
+// HMAC-SHA256, SHA-256, and a full ESP tunnel encap+decap round trip on
+// MTU-sized packets. Emits the JSON result block (see bench_json.hpp).
+#include <cstdio>
+#include <cstring>
 
+#include "bench_json.hpp"
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "nnf/ipsec.hpp"
 #include "packet/builder.hpp"
+#include "reference_crypto.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench
 
-void BM_Sha256(benchmark::State& state) {
-  util::Rng rng(1);
-  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
+void report_bytes(bench::JsonReport& report, const char* name,
+                  std::size_t bytes, double ns, std::uint64_t iters) {
+  const double mbps = bytes * 8.0 / ns * 1e3;  // bits/ns -> Mbit/s
+  std::printf("%-32s %10.1f ns/op %10.1f MB/s\n", name, ns,
+              bytes / ns * 1e3);
+  auto& result = report.add(name, iters, ns);
+  result.extra.emplace_back("bytes", static_cast<double>(bytes));
+  result.extra.emplace_back("mbit_per_sec", mbps);
 }
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1450);
-
-void BM_HmacSha256(benchmark::State& state) {
-  util::Rng rng(2);
-  const auto key = rng.bytes(32);
-  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::HmacSha256::mac(key, data));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1450);
-
-void BM_AesCbcEncrypt(benchmark::State& state) {
-  util::Rng rng(3);
-  auto aes = crypto::Aes::create(rng.bytes(16));
-  const auto iv = rng.bytes(16);
-  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::aes_cbc_encrypt(*aes, iv, data));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_AesCbcEncrypt)->Arg(64)->Arg(1450);
-
-void BM_AesCbcDecrypt(benchmark::State& state) {
-  util::Rng rng(4);
-  auto aes = crypto::Aes::create(rng.bytes(16));
-  const auto iv = rng.bytes(16);
-  const auto data = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  const auto cipher = crypto::aes_cbc_encrypt(*aes, iv, data);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::aes_cbc_decrypt(*aes, iv, *cipher));
-  }
-  state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_AesCbcDecrypt)->Arg(1450);
-
-void BM_EspEncapDecap(benchmark::State& state) {
-  nnf::IpsecEndpoint initiator;
-  nnf::IpsecEndpoint responder;
-  const nnf::NfConfig init_config = {
-      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
-      {"spi_out", "1001"},          {"spi_in", "2002"},
-      {"enc_key", "000102030405060708090a0b0c0d0e0f"},
-      {"auth_key",
-       "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
-  nnf::NfConfig resp_config = init_config;
-  resp_config["local_ip"] = "198.51.100.2";
-  resp_config["peer_ip"] = "198.51.100.1";
-  resp_config["spi_out"] = "2002";
-  resp_config["spi_in"] = "1001";
-  (void)initiator.configure(nnf::kDefaultContext, init_config);
-  (void)responder.configure(nnf::kDefaultContext, resp_config);
-
-  util::Rng rng(5);
-  const auto payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
-  packet::UdpFrameSpec spec;
-  spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
-  spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.5");
-  spec.payload = payload;
-
-  std::uint64_t processed = 0;
-  for (auto _ : state) {
-    auto enc = initiator.process(nnf::kDefaultContext, 0, 0,
-                                 packet::build_udp_frame(spec));
-    auto dec = responder.process(nnf::kDefaultContext, 1, 0,
-                                 std::move(enc[0].frame));
-    benchmark::DoNotOptimize(dec);
-    ++processed;
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(processed) *
-                          state.range(0));
-}
-BENCHMARK(BM_EspEncapDecap)->Arg(64)->Arg(1408);
 
 }  // namespace
+
+int main() {
+  bench::JsonReport report("bench_crypto");
+  util::Rng rng(1);
+  std::printf("=== A4: crypto datapath micro-benchmarks ===\n\n");
+
+  // SHA-256 / HMAC-SHA256.
+  for (std::size_t n : {64u, 1450u}) {
+    const auto data = rng.bytes(n);
+    auto [ns, iters] = bench::measure_ns(
+        [&]() { bench::do_not_optimize(crypto::Sha256::digest(data)); });
+    char name[48];
+    std::snprintf(name, sizeof(name), "sha256_%zu", n);
+    report_bytes(report, name, n, ns, iters);
+  }
+  {
+    const auto key = rng.bytes(32);
+    const auto data = rng.bytes(1450);
+    auto [ns, iters] = bench::measure_ns([&]() {
+      bench::do_not_optimize(crypto::HmacSha256::mac(key, data));
+    });
+    report_bytes(report, "hmac_sha256_1450", 1450, ns, iters);
+  }
+
+  // AES-128-CBC: T-table implementation vs the seed's byte-wise reference.
+  {
+    const auto key = rng.bytes(16);
+    const auto iv = rng.bytes(16);
+    const auto data = rng.bytes(1440);  // multiple of the block size
+    auto aes = crypto::Aes::create(key);
+    bench::ref::ReferenceAes ref_aes(key);
+
+    // Functional guard: both implementations must agree.
+    const auto fast = crypto::aes_cbc_encrypt_raw(*aes, iv, data);
+    const auto slow = bench::ref::cbc_encrypt(ref_aes, iv, data);
+    if (!fast.is_ok() || fast->size() != slow.size() ||
+        std::memcmp(fast->data(), slow.data(), slow.size()) != 0) {
+      std::fprintf(stderr, "T-table/reference AES mismatch!\n");
+      return 1;
+    }
+
+    auto [ns_new, iters_new] = bench::measure_ns([&]() {
+      bench::do_not_optimize(crypto::aes_cbc_encrypt_raw(*aes, iv, data));
+    });
+    auto [ns_ref, iters_ref] = bench::measure_ns([&]() {
+      bench::do_not_optimize(bench::ref::cbc_encrypt(ref_aes, iv, data));
+    });
+    report_bytes(report, "aes128_cbc_encrypt_1440", 1440, ns_new, iters_new);
+    report_bytes(report, "aes128_cbc_encrypt_1440_ref", 1440, ns_ref,
+                 iters_ref);
+    std::printf("%-32s %9.1fx\n", "aes_cbc_speedup_vs_seed",
+                ns_ref / ns_new);
+    report.add_metric("aes_cbc_speedup_vs_seed", "speedup", ns_ref / ns_new);
+
+    auto cipher = crypto::aes_cbc_encrypt(*aes, iv, data);
+    auto [ns_dec, iters_dec] = bench::measure_ns([&]() {
+      bench::do_not_optimize(crypto::aes_cbc_decrypt(*aes, iv, *cipher));
+    });
+    report_bytes(report, "aes128_cbc_decrypt_1440", 1440, ns_dec, iters_dec);
+  }
+
+  // Full ESP tunnel encap+decap.
+  {
+    nnf::IpsecEndpoint initiator;
+    nnf::IpsecEndpoint responder;
+    const nnf::NfConfig init_config = {
+        {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+        {"spi_out", "1001"},          {"spi_in", "2002"},
+        {"enc_key", "000102030405060708090a0b0c0d0e0f"},
+        {"auth_key",
+         "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
+    nnf::NfConfig resp_config = init_config;
+    resp_config["local_ip"] = "198.51.100.2";
+    resp_config["peer_ip"] = "198.51.100.1";
+    resp_config["spi_out"] = "2002";
+    resp_config["spi_in"] = "1001";
+    (void)initiator.configure(nnf::kDefaultContext, init_config);
+    (void)responder.configure(nnf::kDefaultContext, resp_config);
+
+    const auto payload = rng.bytes(1408);
+    packet::UdpFrameSpec spec;
+    spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+    spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.5");
+    spec.payload = payload;
+
+    auto [ns, iters] = bench::measure_ns([&]() {
+      auto enc = initiator.process(nnf::kDefaultContext, 0, 0,
+                                   packet::build_udp_frame(spec));
+      auto dec = responder.process(nnf::kDefaultContext, 1, 0,
+                                   std::move(enc[0].frame));
+      bench::do_not_optimize(dec);
+    });
+    report_bytes(report, "esp_encap_decap_1408", 1408, ns, iters);
+  }
+
+  std::printf("\n");
+  report.emit();
+  return 0;
+}

@@ -10,10 +10,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
 int main() {
+  bench::JsonReport report("bench_deploy_latency");
   std::printf("=== A5: deployment latency per driver (IPsec NF) ===\n\n");
   std::printf("%-10s | %14s %14s | %14s\n", "backend", "boot (model)",
               "shared (model)", "ctl-plane (host)");
@@ -51,11 +53,17 @@ int main() {
                 std::string(virt::backend_name(kind)).c_str(),
                 static_cast<double>(first->placements[0].boot_time) / 1e6,
                 second_ms, control_plane_us);
+    auto& row = report.add_metric(
+        "deploy_" + std::string(virt::backend_name(kind)), "boot_ms",
+        static_cast<double>(first->placements[0].boot_time) / 1e6);
+    row.extra.emplace_back("shared_boot_ms", second_ms);
+    row.extra.emplace_back("control_plane_us", control_plane_us);
   }
 
   std::printf("\nReadings: native boots in tens of ms (plugin scripts) and "
               "*shares* in\n~20 ms (context + marks); a VM pays seconds of "
               "boot for every graph.\nThe orchestrator's own control-plane "
-              "work is microseconds — placement\nis never the bottleneck.\n");
+              "work is microseconds — placement\nis never the bottleneck.\n\n");
+  report.emit();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
@@ -83,5 +84,19 @@ int main() {
 
   std::printf("\nnode description (REST GET /node):\n%s\n",
               node.describe().dump_pretty().c_str());
+
+  bench::JsonReport json_report("bench_fig1_architecture");
+  auto& row = json_report.add_metric("architecture_footprint",
+                                     "graphs_deployed", deployed);
+  row.extra.emplace_back("lsis",
+                         static_cast<double>(node.network().lsi_count()));
+  row.extra.emplace_back(
+      "lsi0_flow_rules",
+      static_cast<double>(node.network().base_lsi().flow_table().size()));
+  row.extra.emplace_back(
+      "deployments", static_cast<double>(node.compute().total_deployments()));
+  row.extra.emplace_back("namespaces",
+                         static_cast<double>(node.namespaces().count()));
+  json_report.emit();
   return 0;
 }

@@ -1,17 +1,53 @@
 // Experiment A3 — steering cost: flow-table lookup scaling.
 //
 // LSI-0 classifies every packet entering the node; its rule count grows
-// with the number of deployed graphs (4 rules per graph here). This
-// micro-bench measures lookup latency vs table size and the best/worst
-// position of the matching rule (linear table, priority order).
-#include <benchmark/benchmark.h>
+// with the number of deployed graphs (one rule per graph VLAN here). The
+// production FlowTable uses the tiered classifier (microflow cache +
+// tuple-space search); LinearTable below replicates the seed's linear
+// priority scan as the baseline. Emits the JSON result block described in
+// bench_json.hpp; the headline `speedup_vs_linear` at 1024 entries is the
+// acceptance metric for the classifier rewrite.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "packet/builder.hpp"
 #include "switch/flow_table.hpp"
 
 namespace {
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench
+
+/// The seed's FlowTable lookup: a linear scan over priority-ordered
+/// entries, each probed with FlowMatch::matches().
+class LinearTable {
+ public:
+  void add(std::uint16_t priority, nfswitch::FlowMatch match) {
+    Entry entry{next_id_++, priority, std::move(match)};
+    auto pos = std::find_if(entries_.begin(), entries_.end(),
+                            [priority](const Entry& e) {
+                              return e.priority < priority;
+                            });
+    entries_.insert(pos, std::move(entry));
+  }
+
+  const nfswitch::FlowMatch* lookup(const nfswitch::FlowContext& ctx) const {
+    for (const Entry& entry : entries_) {
+      if (entry.match.matches(ctx)) return &entry.match;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint16_t priority;
+    nfswitch::FlowMatch match;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+};
 
 packet::PacketBuffer make_frame(std::uint16_t vlan) {
   packet::UdpFrameSpec spec;
@@ -25,83 +61,116 @@ packet::PacketBuffer make_frame(std::uint16_t vlan) {
   return packet::build_udp_frame(spec);
 }
 
-/// Builds an LSI-0-style classifier: per "graph" g, one rule matching
-/// (in_port=1, vlan=100+g).
-nfswitch::FlowTable classifier_of(int graphs) {
-  nfswitch::FlowTable table;
-  for (int g = 0; g < graphs; ++g) {
-    nfswitch::FlowMatch match;
-    match.in_port = 1;
-    match.vlan = static_cast<std::uint16_t>(100 + g);
-    table.add(100, match,
-              {nfswitch::FlowAction::output(
-                  static_cast<nfswitch::PortId>(10 + g))});
-  }
-  return table;
+nfswitch::FlowMatch rule_for(int graph) {
+  nfswitch::FlowMatch match;
+  match.in_port = 1;
+  match.vlan = static_cast<std::uint16_t>(100 + graph);
+  return match;
 }
 
-void BM_LookupFirstRule(benchmark::State& state) {
-  const int graphs = static_cast<int>(state.range(0));
-  nfswitch::FlowTable table = classifier_of(graphs);
-  auto frame = make_frame(100);  // matches the first-installed rule
+nfswitch::FlowContext context_for(std::uint16_t vlan) {
+  auto frame = make_frame(vlan);
   auto fields = packet::extract_flow_fields(frame.data());
-  nfswitch::FlowContext ctx{1, fields.value()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
-  }
-  state.SetItemsProcessed(state.iterations());
+  return nfswitch::FlowContext{1, fields.value()};
 }
-BENCHMARK(BM_LookupFirstRule)->Arg(4)->Arg(64)->Arg(1024);
 
-void BM_LookupLastRule(benchmark::State& state) {
-  const int graphs = static_cast<int>(state.range(0));
-  nfswitch::FlowTable table = classifier_of(graphs);
-  auto frame = make_frame(static_cast<std::uint16_t>(100 + graphs - 1));
-  auto fields = packet::extract_flow_fields(frame.data());
-  nfswitch::FlowContext ctx{1, fields.value()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_LookupLastRule)->Arg(4)->Arg(64)->Arg(1024);
-
-void BM_LookupMiss(benchmark::State& state) {
-  const int graphs = static_cast<int>(state.range(0));
-  nfswitch::FlowTable table = classifier_of(graphs);
-  auto frame = make_frame(99);  // matches nothing
-  auto fields = packet::extract_flow_fields(frame.data());
-  nfswitch::FlowContext ctx{1, fields.value()};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table.lookup(ctx, frame.size()));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_LookupMiss)->Arg(4)->Arg(64)->Arg(1024);
-
-void BM_FieldExtraction(benchmark::State& state) {
-  auto frame = make_frame(100);
-  for (auto _ : state) {
-    auto fields = packet::extract_flow_fields(frame.data());
-    benchmark::DoNotOptimize(fields);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FieldExtraction);
-
-void BM_RuleInstallRemove(benchmark::State& state) {
-  for (auto _ : state) {
-    nfswitch::FlowTable table;
-    for (int g = 0; g < 64; ++g) {
-      nfswitch::FlowMatch match;
-      match.in_port = 1;
-      match.vlan = static_cast<std::uint16_t>(100 + g);
-      table.add(100, match, {nfswitch::FlowAction::output(2)},
-                /*cookie=*/static_cast<nfswitch::Cookie>(g % 4));
-    }
-    benchmark::DoNotOptimize(table.remove_by_cookie(2));
-  }
-}
-BENCHMARK(BM_RuleInstallRemove);
+struct Scenario {
+  const char* name;
+  std::uint16_t vlan;  ///< packet VLAN for this scenario
+};
 
 }  // namespace
+
+int main() {
+  bench::JsonReport report("bench_flowtable");
+  std::printf("=== A3: flow-table lookup scaling "
+              "(tiered classifier vs seed linear scan) ===\n\n");
+  std::printf("%-28s %12s %12s %10s\n", "scenario", "linear ns", "tiered ns",
+              "speedup");
+
+  double speedup_1024 = 0.0;
+  for (int graphs : {4, 64, 1024}) {
+    LinearTable linear;
+    nfswitch::FlowTable tiered;
+    for (int g = 0; g < graphs; ++g) {
+      linear.add(100, rule_for(g));
+      tiered.add(100, rule_for(g),
+                 {nfswitch::FlowAction::output(
+                     static_cast<nfswitch::PortId>(10 + g))});
+    }
+
+    const Scenario scenarios[] = {
+        {"first_rule", 100},
+        {"last_rule", static_cast<std::uint16_t>(100 + graphs - 1)},
+        {"miss", 99},
+    };
+    for (const Scenario& s : scenarios) {
+      const nfswitch::FlowContext ctx = context_for(s.vlan);
+      const nfswitch::FlowKeyView key =
+          nfswitch::FlowKeyView::from_context(ctx);
+
+      auto [linear_ns, linear_iters] = bench::measure_ns(
+          [&]() { bench::do_not_optimize(linear.lookup(ctx)); });
+      auto [tiered_ns, tiered_iters] = bench::measure_ns(
+          [&]() { bench::do_not_optimize(tiered.lookup_key(key, 64)); });
+
+      const double speedup = tiered_ns > 0.0 ? linear_ns / tiered_ns : 0.0;
+      char name[64];
+      std::snprintf(name, sizeof(name), "lookup_%d_%s", graphs, s.name);
+      std::printf("%-28s %12.1f %12.1f %9.1fx\n", name, linear_ns, tiered_ns,
+                  speedup);
+
+      auto& result = report.add(name, tiered_iters, tiered_ns);
+      result.extra.emplace_back("linear_ns_per_op", linear_ns);
+      result.extra.emplace_back("speedup_vs_linear", speedup);
+      (void)linear_iters;
+    }
+
+    // Multiflow: cycle 4096 distinct flows (defeats the microflow cache
+    // often enough to exercise the tuple-space tier).
+    std::vector<nfswitch::FlowKeyView> keys;
+    std::vector<nfswitch::FlowContext> contexts;
+    for (int i = 0; i < 4096; ++i) {
+      contexts.push_back(
+          context_for(static_cast<std::uint16_t>(100 + (i % graphs))));
+      keys.push_back(nfswitch::FlowKeyView::from_context(contexts.back()));
+    }
+    std::size_t li = 0, ti = 0;
+    auto [linear_ns, linear_iters] = bench::measure_ns([&]() {
+      bench::do_not_optimize(linear.lookup(contexts[li++ & 4095]));
+    });
+    auto [tiered_ns, tiered_iters] = bench::measure_ns([&]() {
+      bench::do_not_optimize(tiered.lookup_key(keys[ti++ & 4095], 64));
+    });
+    char name[64];
+    std::snprintf(name, sizeof(name), "lookup_%d_multiflow", graphs);
+    const double speedup = tiered_ns > 0.0 ? linear_ns / tiered_ns : 0.0;
+    std::printf("%-28s %12.1f %12.1f %9.1fx\n", name, linear_ns, tiered_ns,
+                speedup);
+    auto& result = report.add(name, tiered_iters, tiered_ns);
+    result.extra.emplace_back("linear_ns_per_op", linear_ns);
+    result.extra.emplace_back("speedup_vs_linear", speedup);
+    (void)linear_iters;
+    // The acceptance gate uses the 4096-flow working set, which exercises
+    // the tuple-space tier rather than pure microflow-cache hits.
+    if (graphs == 1024) speedup_1024 = speedup;
+  }
+
+  // Install/remove churn: 64 rules in, one cookie's worth out.
+  auto [churn_ns, churn_iters] = bench::measure_ns([&]() {
+    nfswitch::FlowTable table;
+    for (int g = 0; g < 64; ++g) {
+      table.add(100, rule_for(g), {nfswitch::FlowAction::output(2)},
+                static_cast<nfswitch::Cookie>(g % 4));
+    }
+    bench::do_not_optimize(table.remove_by_cookie(2));
+  });
+  std::printf("%-28s %12s %12.1f\n", "install64_remove_cookie", "-",
+              churn_ns);
+  report.add("install64_remove_cookie", churn_iters, churn_ns);
+
+  std::printf("\nacceptance: 1024-entry multiflow speedup %.1fx "
+              "(target >= 10x)\n\n", speedup_1024);
+  report.emit();
+  return speedup_1024 >= 10.0 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Machine-readable bench reporting: every bench_* binary prints its
+// human-readable tables as before, then emits ONE JSON object on stdout
+// (last line, marker-free) of the shape
+//
+//   {"bench":"<name>","results":[
+//     {"name":"...","iterations":N,"ns_per_op":X,"ops_per_sec":Y,
+//      "extra":{"key":value,...}}, ...]}
+//
+// so the BENCH_*.json trajectory can be scraped with `tail -1 | jq`.
+// measure_ns() is a self-calibrating wall-clock loop for micro-benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nnfv::bench {
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  BenchResult& add(const std::string& name, std::uint64_t iterations,
+                   double ns_per_op) {
+    BenchResult result;
+    result.name = name;
+    result.iterations = iterations;
+    result.ns_per_op = ns_per_op;
+    result.ops_per_sec = ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0;
+    results_.push_back(std::move(result));
+    return results_.back();
+  }
+
+  /// For benches whose headline metric is not a latency (goodput, counts):
+  /// records the metric under `extra` with ns_per_op = 0.
+  BenchResult& add_metric(const std::string& name, const std::string& key,
+                          double value) {
+    BenchResult& result = add(name, 0, 0.0);
+    result.extra.emplace_back(key, value);
+    return result;
+  }
+
+  void emit(std::FILE* out = stdout) const {
+    std::fprintf(out, "{\"bench\":\"%s\",\"results\":[",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(out,
+                   "%s{\"name\":\"%s\",\"iterations\":%llu,"
+                   "\"ns_per_op\":%.6g,\"ops_per_sec\":%.6g",
+                   i == 0 ? "" : ",", r.name.c_str(),
+                   static_cast<unsigned long long>(r.iterations), r.ns_per_op,
+                   r.ops_per_sec);
+      if (!r.extra.empty()) {
+        std::fprintf(out, ",\"extra\":{");
+        for (std::size_t j = 0; j < r.extra.size(); ++j) {
+          std::fprintf(out, "%s\"%s\":%.6g", j == 0 ? "" : ",",
+                       r.extra[j].first.c_str(), r.extra[j].second);
+        }
+        std::fprintf(out, "}");
+      }
+      std::fprintf(out, "}");
+    }
+    std::fprintf(out, "]}\n");
+  }
+
+ private:
+  std::string bench_name_;
+  // deque: references returned by add()/add_metric() stay valid across
+  // later add() calls (a vector would invalidate them on reallocation).
+  std::deque<BenchResult> results_;
+};
+
+/// Wall-clock ns per call of `fn`, self-calibrated to run ~`min_ms` total.
+/// Returns {ns_per_op, iterations}.
+template <typename F>
+inline std::pair<double, std::uint64_t> measure_ns(F&& fn,
+                                                   double min_ms = 100.0) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (elapsed_ms >= min_ms || iters > (1ULL << 30)) {
+      return {elapsed_ms * 1e6 / static_cast<double>(iters), iters};
+    }
+    const double scale =
+        elapsed_ms > 0.0 ? (min_ms * 1.2) / elapsed_ms : 1000.0;
+    iters = static_cast<std::uint64_t>(
+        static_cast<double>(iters) * (scale > 1000.0 ? 1000.0 : scale) + 1);
+  }
+}
+
+/// Keeps a value alive so the optimiser cannot delete the computation.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace nnfv::bench

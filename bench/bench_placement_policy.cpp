@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
@@ -68,12 +69,18 @@ int main() {
       {"vnf-only", core::PlacementPolicyKind::kVnfOnly, 300},
       {"fast-activate", core::PlacementPolicyKind::kFastActivation, 300},
   };
+  bench::JsonReport report("bench_placement_policy");
   for (const Row& row : rows) {
     PolicyOutcome outcome = fill_node(row.kind, row.cap);
     std::printf("%-14s | %6d%s | %7.1f MB | %11.1f ms | %s\n", row.name,
                 outcome.graphs, outcome.graphs >= row.cap ? "+" : " ",
                 outcome.ram_mb, outcome.activation_ms,
                 outcome.first_backend.c_str());
+    auto& json_row = report.add_metric(std::string("policy_") + row.name,
+                                       "graphs_deployed", outcome.graphs);
+    json_row.extra.emplace_back("ram_mb", outcome.ram_mb);
+    json_row.extra.emplace_back("cumulative_activation_ms",
+                                outcome.activation_ms);
   }
 
   std::printf(
@@ -85,6 +92,7 @@ int main() {
       "    the node fills after a few dozen graphs and turn-up accumulates\n"
       "    hundreds of ms per service.\n"
       "  * fast-activate coincides with default here: the shared NNF is\n"
-      "    also the fastest activation.\n");
+      "    also the fastest activation.\n\n");
+  report.emit();
   return 0;
 }

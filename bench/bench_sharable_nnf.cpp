@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
@@ -65,6 +66,7 @@ int main() {
   std::printf("--------+--------------------------------------------------+"
               "--------------------------\n");
 
+  bench::JsonReport report("bench_sharable_nnf");
   for (int n : {1, 2, 4, 8, 16}) {
     Footprint shared = deploy_n(n, virt::BackendKind::kNative);
     Footprint dedicated = deploy_n(n, virt::BackendKind::kDocker);
@@ -76,11 +78,18 @@ int main() {
                 n, shared.ram_mb, dedicated.ram_mb,
                 dedicated.ram_mb / shared.ram_mb, shared.marks,
                 shared.total_boot_ms, dedicated.total_boot_ms);
+    auto& row = report.add_metric("sharable_" + std::to_string(n),
+                                  "shared_ram_mb", shared.ram_mb);
+    row.extra.emplace_back("dedicated_ram_mb", dedicated.ram_mb);
+    row.extra.emplace_back("ram_ratio", dedicated.ram_mb / shared.ram_mb);
+    row.extra.emplace_back("shared_boot_ms", shared.total_boot_ms);
+    row.extra.emplace_back("dedicated_boot_ms", dedicated.total_boot_ms);
   }
 
   std::printf("\nClaim under test: RAM and activation cost of the shared "
               "NNF grow by a\nper-context increment, not a per-process one; "
               "the dedicated-VNF column\ngrows linearly with full instance "
-              "overhead.\n");
+              "overhead.\n\n");
+  report.emit();
   return 0;
 }

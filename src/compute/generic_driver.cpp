@@ -98,11 +98,16 @@ Result<DeployedNf> GenericVnfDriver::deploy(const NfDeploySpec& spec,
     }
     record.lsi_ports.push_back(port.value());
     deployed.ports.push_back(PortAttachment{port.value(), std::nullopt});
-    // Switch -> NF.
+    // Switch -> NF (burst variant keeps classified bursts together).
     (void)lsi.set_port_peer(
         port.value(),
         [instance, p](packet::PacketBuffer&& frame) {
           instance->inject(nnf::kDefaultContext, p, std::move(frame));
+        });
+    (void)lsi.set_port_burst_peer(
+        port.value(),
+        [instance, p](packet::PacketBurst&& burst) {
+          instance->inject_burst(nnf::kDefaultContext, p, std::move(burst));
         });
   }
   // NF -> switch: outputs re-enter the LSI pipeline on the matching port.
@@ -114,6 +119,14 @@ Result<DeployedNf> GenericVnfDriver::deploy(const NfDeploySpec& spec,
                           packet::PacketBuffer&& frame) {
         if (out_port < port_map.size()) {
           lsi_ptr->receive(port_map[out_port], std::move(frame));
+        }
+      });
+  instance->set_burst_egress(
+      nnf::kDefaultContext,
+      [lsi_ptr, port_map](nnf::NfPortIndex out_port,
+                          packet::PacketBurst&& burst) {
+        if (out_port < port_map.size()) {
+          lsi_ptr->receive_burst(port_map[out_port], std::move(burst));
         }
       });
 

@@ -33,7 +33,14 @@ void NfInstance::set_egress(nnf::ContextId ctx, Egress egress) {
   egress_[ctx] = std::move(egress);
 }
 
-void NfInstance::clear_egress(nnf::ContextId ctx) { egress_.erase(ctx); }
+void NfInstance::set_burst_egress(nnf::ContextId ctx, BurstEgress egress) {
+  burst_egress_[ctx] = std::move(egress);
+}
+
+void NfInstance::clear_egress(nnf::ContextId ctx) {
+  egress_.erase(ctx);
+  burst_egress_.erase(ctx);
+}
 
 void NfInstance::inject(nnf::ContextId ctx, nnf::NfPortIndex port,
                         packet::PacketBuffer&& frame) {
@@ -48,12 +55,53 @@ void NfInstance::inject(nnf::ContextId ctx, nnf::NfPortIndex port,
   station_.submit(cost_.service_time(bytes), [this, ctx, port, held]() {
     auto outputs =
         function_->process(ctx, port, simulator_.now(), std::move(*held));
-    auto egress = egress_.find(ctx);
-    if (egress == egress_.end()) return;
-    for (nnf::NfOutput& output : outputs) {
-      egress->second(output.port, std::move(output.frame));
-    }
+    dispatch_outputs(ctx, std::move(outputs), /*prefer_burst=*/false);
   });
+}
+
+void NfInstance::inject_burst(nnf::ContextId ctx, nnf::NfPortIndex port,
+                              packet::PacketBurst&& burst) {
+  if (state_ != InstanceState::kRunning) {
+    dropped_not_running_ += burst.size();
+    return;
+  }
+  if (burst.empty()) return;
+  sim::SimTime service = 0;
+  for (const packet::PacketBuffer& frame : burst) {
+    service += cost_.service_time(frame.size());
+  }
+  auto held = std::make_shared<packet::PacketBurst>(std::move(burst));
+  station_.submit(service, [this, ctx, port, held]() {
+    auto outputs = function_->process_burst(ctx, port, simulator_.now(),
+                                            std::move(*held));
+    dispatch_outputs(ctx, std::move(outputs), /*prefer_burst=*/true);
+  });
+}
+
+void NfInstance::dispatch_outputs(nnf::ContextId ctx,
+                                  std::vector<nnf::NfOutput>&& outputs,
+                                  bool prefer_burst) {
+  // Either wiring alone is enough for both inject paths: the burst path
+  // prefers the burst egress (regrouped per output port, same-port order
+  // preserved) and the single path prefers per-frame egress (no batch
+  // allocation per packet) — each falls back to the other.
+  auto egress = egress_.find(ctx);
+  auto burst_egress = burst_egress_.find(ctx);
+  const bool use_burst =
+      burst_egress != burst_egress_.end() &&
+      (prefer_burst || egress == egress_.end());
+  if (use_burst) {
+    packet::BurstGroups<nnf::NfPortIndex> groups;
+    for (nnf::NfOutput& output : outputs) {
+      groups.add(output.port, std::move(output.frame));
+    }
+    for (auto& [gp, g] : groups) burst_egress->second(gp, std::move(g));
+    return;
+  }
+  if (egress == egress_.end()) return;
+  for (nnf::NfOutput& output : outputs) {
+    egress->second(output.port, std::move(output.frame));
+  }
 }
 
 void NfInstance::inject_custom(std::size_t bytes,

@@ -27,6 +27,9 @@ class NfInstance {
   /// Where processed frames go, per context: (out_port, frame).
   using Egress =
       std::function<void(nnf::NfPortIndex, packet::PacketBuffer&&)>;
+  /// Burst egress: all frames leaving one logical port in one call.
+  using BurstEgress =
+      std::function<void(nnf::NfPortIndex, packet::PacketBurst&&)>;
 
   NfInstance(InstanceId id, std::string name,
              std::unique_ptr<nnf::NetworkFunction> function,
@@ -44,6 +47,8 @@ class NfInstance {
   }
 
   void set_egress(nnf::ContextId ctx, Egress egress);
+  /// Optional: when set, burst outputs leave grouped per port.
+  void set_burst_egress(nnf::ContextId ctx, BurstEgress egress);
   void clear_egress(nnf::ContextId ctx);
 
   /// Datapath entry: frame arrives at logical `port` of context `ctx`.
@@ -52,6 +57,13 @@ class NfInstance {
   /// instances only; otherwise the frame is dropped.
   void inject(nnf::ContextId ctx, nnf::NfPortIndex port,
               packet::PacketBuffer&& frame);
+
+  /// Burst datapath entry: the whole burst is one service-station item
+  /// whose service time is the sum of the per-frame times — the function
+  /// runs once per burst (one event, one virtual dispatch) instead of once
+  /// per frame.
+  void inject_burst(nnf::ContextId ctx, nnf::NfPortIndex port,
+                    packet::PacketBurst&& burst);
 
   /// Datapath entry for adaptation-layer deployments: after the service
   /// delay, `handler` runs instead of the direct process+egress path.
@@ -70,6 +82,13 @@ class NfInstance {
   }
 
  private:
+  /// Routes processed frames out — shared by inject() and inject_burst().
+  /// prefer_burst selects the burst egress when both wirings exist; each
+  /// path falls back to the other when only one is wired.
+  void dispatch_outputs(nnf::ContextId ctx,
+                        std::vector<nnf::NfOutput>&& outputs,
+                        bool prefer_burst);
+
   InstanceId id_;
   std::string name_;
   std::unique_ptr<nnf::NetworkFunction> function_;
@@ -77,6 +96,7 @@ class NfInstance {
   sim::Simulator& simulator_;
   sim::ServiceStation station_;
   std::map<nnf::ContextId, Egress> egress_;
+  std::map<nnf::ContextId, BurstEgress> burst_egress_;
   InstanceState state_ = InstanceState::kCreated;
   std::uint64_t dropped_not_running_ = 0;
 };

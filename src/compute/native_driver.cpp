@@ -257,12 +257,18 @@ Result<DeployedNf> NativeDriver::deploy(const NfDeploySpec& spec,
             });
           });
     } else {
-      // Dedicated attachment per port, like any VNF.
+      // Dedicated attachment per port, like any VNF. The burst peer keeps
+      // a classified burst together: one service-station event for the
+      // whole vector.
       auto instance = shared->instance;
       const nnf::ContextId ctx = dep.ctx;
       (void)lsi.set_port_peer(
           port.value(), [instance, ctx, p](packet::PacketBuffer&& frame) {
             instance->inject(ctx, p, std::move(frame));
+          });
+      (void)lsi.set_port_burst_peer(
+          port.value(), [instance, ctx, p](packet::PacketBurst&& burst) {
+            instance->inject_burst(ctx, p, std::move(burst));
           });
     }
   }
@@ -275,6 +281,13 @@ Result<DeployedNf> NativeDriver::deploy(const NfDeploySpec& spec,
                                      packet::PacketBuffer&& frame) {
           if (out_port < port_map.size()) {
             lsi_ptr->receive(port_map[out_port], std::move(frame));
+          }
+        });
+    shared->instance->set_burst_egress(
+        dep.ctx, [lsi_ptr, port_map](nnf::NfPortIndex out_port,
+                                     packet::PacketBurst&& burst) {
+          if (out_port < port_map.size()) {
+            lsi_ptr->receive_burst(port_map[out_port], std::move(burst));
           }
         });
   }

@@ -42,6 +42,14 @@ Status NetworkManager::inject(const std::string& name,
   return Status::ok();
 }
 
+Status NetworkManager::inject_burst(const std::string& name,
+                                    packet::PacketBurst&& burst) {
+  auto port = physical_port(name);
+  if (!port) return port.status();
+  base_->receive_burst(port.value(), std::move(burst));
+  return Status::ok();
+}
+
 Result<nfswitch::Lsi*> NetworkManager::create_graph_lsi(
     const std::string& graph_id) {
   if (graph_lsis_.contains(graph_id)) {
@@ -83,17 +91,28 @@ Result<VirtualLink> NetworkManager::create_virtual_link(
     (void)base_->remove_port(base_port.value());
     return graph_port.status();
   }
-  // Cross-wire the two ends.
+  // Cross-wire the two ends, with burst fast paths so a classified burst
+  // crosses the link as one vector instead of one call per frame.
   nfswitch::Lsi* base_raw = base_.get();
   (void)base_->set_port_peer(
       base_port.value(),
       [graph, gp = graph_port.value()](packet::PacketBuffer&& frame) {
         graph->receive(gp, std::move(frame));
       });
+  (void)base_->set_port_burst_peer(
+      base_port.value(),
+      [graph, gp = graph_port.value()](packet::PacketBurst&& burst) {
+        graph->receive_burst(gp, std::move(burst));
+      });
   (void)graph->set_port_peer(
       graph_port.value(),
       [base_raw, bp = base_port.value()](packet::PacketBuffer&& frame) {
         base_raw->receive(bp, std::move(frame));
+      });
+  (void)graph->set_port_burst_peer(
+      graph_port.value(),
+      [base_raw, bp = base_port.value()](packet::PacketBurst&& burst) {
+        base_raw->receive_burst(bp, std::move(burst));
       });
   return VirtualLink{base_port.value(), graph_port.value()};
 }

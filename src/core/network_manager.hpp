@@ -41,6 +41,10 @@ class NetworkManager {
   /// External ingress: a frame arrives on a physical port.
   util::Status inject(const std::string& name, packet::PacketBuffer&& frame);
 
+  /// External burst ingress: the whole vector enters LSI-0 as one batch.
+  util::Status inject_burst(const std::string& name,
+                            packet::PacketBurst&& burst);
+
   util::Result<nfswitch::Lsi*> create_graph_lsi(const std::string& graph_id);
   util::Status destroy_graph_lsi(const std::string& graph_id);
   [[nodiscard]] nfswitch::Lsi* graph_lsi(const std::string& graph_id);

@@ -69,6 +69,11 @@ util::Status UniversalNode::inject(const std::string& port,
   return network_.inject(port, std::move(frame));
 }
 
+util::Status UniversalNode::inject_burst(const std::string& port,
+                                         packet::PacketBurst&& burst) {
+  return network_.inject_burst(port, std::move(burst));
+}
+
 util::Status UniversalNode::set_egress(const std::string& port,
                                        nfswitch::Lsi::PortPeer peer) {
   return network_.set_physical_egress(port, std::move(peer));

@@ -63,6 +63,8 @@ class UniversalNode {
 
   /// External-world helpers (traffic sources/sinks attach here).
   util::Status inject(const std::string& port, packet::PacketBuffer&& frame);
+  util::Status inject_burst(const std::string& port,
+                            packet::PacketBurst&& burst);
   util::Status set_egress(const std::string& port,
                           nfswitch::Lsi::PortPeer peer);
 

@@ -54,11 +54,11 @@ constexpr std::uint8_t kInvSbox[256] = {
     0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63,
     0x55, 0x21, 0x0c, 0x7d};
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1B));
 }
 
-std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t result = 0;
   while (b != 0) {
     if ((b & 1) != 0) result ^= a;
@@ -67,6 +67,85 @@ std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
   }
   return result;
 }
+
+constexpr std::uint32_t rotr8(std::uint32_t w) { return (w >> 8) | (w << 24); }
+
+// Encryption T-tables: Te0[x] packs one S-boxed byte's MixColumns
+// contribution, Te1..Te3 are byte rotations of it.
+struct EncTables {
+  std::uint32_t t0[256]{}, t1[256]{}, t2[256]{}, t3[256]{};
+};
+
+constexpr EncTables make_enc_tables() {
+  EncTables t;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint32_t w = (static_cast<std::uint32_t>(gf_mul(s, 2)) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(gf_mul(s, 3));
+    t.t0[i] = w;
+    t.t1[i] = rotr8(w);
+    t.t2[i] = rotr8(rotr8(w));
+    t.t3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+// Decryption T-tables for the equivalent inverse cipher:
+// Td0[x] = InvMixColumns contribution of InvSbox[x].
+struct DecTables {
+  std::uint32_t t0[256]{}, t1[256]{}, t2[256]{}, t3[256]{};
+};
+
+constexpr DecTables make_dec_tables() {
+  DecTables t;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kInvSbox[i];
+    const std::uint32_t w =
+        (static_cast<std::uint32_t>(gf_mul(s, 0x0e)) << 24) |
+        (static_cast<std::uint32_t>(gf_mul(s, 0x09)) << 16) |
+        (static_cast<std::uint32_t>(gf_mul(s, 0x0d)) << 8) |
+        static_cast<std::uint32_t>(gf_mul(s, 0x0b));
+    t.t0[i] = w;
+    t.t1[i] = rotr8(w);
+    t.t2[i] = rotr8(rotr8(w));
+    t.t3[i] = rotr8(rotr8(rotr8(w)));
+  }
+  return t;
+}
+
+constexpr EncTables kTe = make_enc_tables();
+constexpr DecTables kTd = make_dec_tables();
+
+inline std::uint32_t load_be(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be(std::uint8_t* p, std::uint32_t w) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
+/// InvMixColumns of one word (key-schedule transform for dec_keys_).
+inline std::uint32_t inv_mix_word(std::uint32_t w) {
+  return kTd.t0[kSbox[(w >> 24) & 0xFF]] ^ kTd.t1[kSbox[(w >> 16) & 0xFF]] ^
+         kTd.t2[kSbox[(w >> 8) & 0xFF]] ^ kTd.t3[kSbox[w & 0xFF]];
+}
+
+inline std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xFF]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xFF]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xFF]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xFF]);
+}
+
+inline std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
 }  // namespace
 
@@ -85,102 +164,112 @@ void Aes::expand_key(std::span<const std::uint8_t> key) {
   rounds_ = nk + 6;
   const int total_words = 4 * (rounds_ + 1);
 
-  std::uint8_t* w = round_keys_.data();
-  std::memcpy(w, key.data(), key.size());
-
-  std::uint8_t rcon = 0x01;
+  for (int i = 0; i < nk; ++i) enc_keys_[i] = load_be(key.data() + 4 * i);
+  std::uint32_t rcon = 0x01;
   for (int i = nk; i < total_words; ++i) {
-    std::uint8_t temp[4];
-    std::memcpy(temp, w + 4 * (i - 1), 4);
+    std::uint32_t temp = enc_keys_[i - 1];
     if (i % nk == 0) {
-      // RotWord + SubWord + Rcon.
-      const std::uint8_t t0 = temp[0];
-      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
-      temp[1] = kSbox[temp[2]];
-      temp[2] = kSbox[temp[3]];
-      temp[3] = kSbox[t0];
-      rcon = xtime(rcon);
+      temp = sub_word(rot_word(temp)) ^ (rcon << 24);
+      rcon = xtime(static_cast<std::uint8_t>(rcon));
     } else if (nk > 6 && i % nk == 4) {
-      for (auto& t : temp) t = kSbox[t];
+      temp = sub_word(temp);
     }
-    for (int b = 0; b < 4; ++b) {
-      w[4 * i + b] = static_cast<std::uint8_t>(w[4 * (i - nk) + b] ^ temp[b]);
+    enc_keys_[i] = enc_keys_[i - nk] ^ temp;
+  }
+
+  // Equivalent inverse cipher schedule: round keys reversed, middle rounds
+  // passed through InvMixColumns.
+  for (int r = 0; r <= rounds_; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      std::uint32_t w = enc_keys_[4 * (rounds_ - r) + c];
+      if (r != 0 && r != rounds_) w = inv_mix_word(w);
+      dec_keys_[4 * r + c] = w;
     }
   }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[kBlockSize],
                         std::uint8_t out[kBlockSize]) const {
-  std::uint8_t s[16];
-  const std::uint8_t* rk = round_keys_.data();
-  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ rk[i]);
+  const std::uint32_t* rk = enc_keys_.data();
+  std::uint32_t s0 = load_be(in) ^ rk[0];
+  std::uint32_t s1 = load_be(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be(in + 12) ^ rk[3];
 
-  for (int round = 1; round <= rounds_; ++round) {
-    // SubBytes.
-    for (auto& b : s) b = kSbox[b];
-    // ShiftRows (state is column-major: s[4*col + row]).
-    std::uint8_t t[16];
-    for (int col = 0; col < 4; ++col) {
-      for (int row = 0; row < 4; ++row) {
-        t[4 * col + row] = s[4 * ((col + row) % 4) + row];
-      }
-    }
-    std::memcpy(s, t, 16);
-    // MixColumns (skipped in the final round).
-    if (round != rounds_) {
-      for (int col = 0; col < 4; ++col) {
-        std::uint8_t* c = s + 4 * col;
-        const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-        c[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-        c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-        c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-        c[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
-      }
-    }
-    // AddRoundKey.
-    rk = round_keys_.data() + 16 * round;
-    for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ rk[i]);
+  for (int round = 1; round < rounds_; ++round) {
+    rk += 4;
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xFF] ^
+                             kTe.t2[(s2 >> 8) & 0xFF] ^ kTe.t3[s3 & 0xFF] ^
+                             rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xFF] ^
+                             kTe.t2[(s3 >> 8) & 0xFF] ^ kTe.t3[s0 & 0xFF] ^
+                             rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xFF] ^
+                             kTe.t2[(s0 >> 8) & 0xFF] ^ kTe.t3[s1 & 0xFF] ^
+                             rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xFF] ^
+                             kTe.t2[(s1 >> 8) & 0xFF] ^ kTe.t3[s2 & 0xFF] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  std::memcpy(out, s, 16);
+
+  rk += 4;  // final round: SubBytes + ShiftRows + AddRoundKey
+  const auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xFF]) << 16) |
+           (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xFF]) << 8) |
+           static_cast<std::uint32_t>(kSbox[d & 0xFF]);
+  };
+  store_be(out, final_word(s0, s1, s2, s3) ^ rk[0]);
+  store_be(out + 4, final_word(s1, s2, s3, s0) ^ rk[1]);
+  store_be(out + 8, final_word(s2, s3, s0, s1) ^ rk[2]);
+  store_be(out + 12, final_word(s3, s0, s1, s2) ^ rk[3]);
 }
 
 void Aes::decrypt_block(const std::uint8_t in[kBlockSize],
                         std::uint8_t out[kBlockSize]) const {
-  std::uint8_t s[16];
-  const std::uint8_t* rk = round_keys_.data() + 16 * rounds_;
-  for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(in[i] ^ rk[i]);
+  const std::uint32_t* rk = dec_keys_.data();
+  std::uint32_t s0 = load_be(in) ^ rk[0];
+  std::uint32_t s1 = load_be(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be(in + 12) ^ rk[3];
 
-  for (int round = rounds_ - 1; round >= 0; --round) {
-    // InvShiftRows.
-    std::uint8_t t[16];
-    for (int col = 0; col < 4; ++col) {
-      for (int row = 0; row < 4; ++row) {
-        t[4 * ((col + row) % 4) + row] = s[4 * col + row];
-      }
-    }
-    std::memcpy(s, t, 16);
-    // InvSubBytes.
-    for (auto& b : s) b = kInvSbox[b];
-    // AddRoundKey.
-    rk = round_keys_.data() + 16 * round;
-    for (int i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(s[i] ^ rk[i]);
-    // InvMixColumns (skipped after the last AddRoundKey).
-    if (round != 0) {
-      for (int col = 0; col < 4; ++col) {
-        std::uint8_t* c = s + 4 * col;
-        const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
-        c[0] = static_cast<std::uint8_t>(gf_mul(a0, 0x0e) ^ gf_mul(a1, 0x0b) ^
-                                         gf_mul(a2, 0x0d) ^ gf_mul(a3, 0x09));
-        c[1] = static_cast<std::uint8_t>(gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0e) ^
-                                         gf_mul(a2, 0x0b) ^ gf_mul(a3, 0x0d));
-        c[2] = static_cast<std::uint8_t>(gf_mul(a0, 0x0d) ^ gf_mul(a1, 0x09) ^
-                                         gf_mul(a2, 0x0e) ^ gf_mul(a3, 0x0b));
-        c[3] = static_cast<std::uint8_t>(gf_mul(a0, 0x0b) ^ gf_mul(a1, 0x0d) ^
-                                         gf_mul(a2, 0x09) ^ gf_mul(a3, 0x0e));
-      }
-    }
+  for (int round = 1; round < rounds_; ++round) {
+    rk += 4;
+    const std::uint32_t t0 = kTd.t0[s0 >> 24] ^ kTd.t1[(s3 >> 16) & 0xFF] ^
+                             kTd.t2[(s2 >> 8) & 0xFF] ^ kTd.t3[s1 & 0xFF] ^
+                             rk[0];
+    const std::uint32_t t1 = kTd.t0[s1 >> 24] ^ kTd.t1[(s0 >> 16) & 0xFF] ^
+                             kTd.t2[(s3 >> 8) & 0xFF] ^ kTd.t3[s2 & 0xFF] ^
+                             rk[1];
+    const std::uint32_t t2 = kTd.t0[s2 >> 24] ^ kTd.t1[(s1 >> 16) & 0xFF] ^
+                             kTd.t2[(s0 >> 8) & 0xFF] ^ kTd.t3[s3 & 0xFF] ^
+                             rk[2];
+    const std::uint32_t t3 = kTd.t0[s3 >> 24] ^ kTd.t1[(s2 >> 16) & 0xFF] ^
+                             kTd.t2[(s1 >> 8) & 0xFF] ^ kTd.t3[s0 & 0xFF] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  std::memcpy(out, s, 16);
+
+  rk += 4;  // final round: InvShiftRows + InvSubBytes + AddRoundKey
+  const auto final_word = [&](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t d) {
+    return (static_cast<std::uint32_t>(kInvSbox[a >> 24]) << 24) |
+           (static_cast<std::uint32_t>(kInvSbox[(b >> 16) & 0xFF]) << 16) |
+           (static_cast<std::uint32_t>(kInvSbox[(c >> 8) & 0xFF]) << 8) |
+           static_cast<std::uint32_t>(kInvSbox[d & 0xFF]);
+  };
+  store_be(out, final_word(s0, s3, s2, s1) ^ rk[0]);
+  store_be(out + 4, final_word(s1, s0, s3, s2) ^ rk[1]);
+  store_be(out + 8, final_word(s2, s1, s0, s3) ^ rk[2]);
+  store_be(out + 12, final_word(s3, s2, s1, s0) ^ rk[3]);
 }
 
 }  // namespace nnfv::crypto

@@ -1,10 +1,12 @@
-// AES-128/192/256 block cipher (FIPS 197), table-free byte-wise
-// implementation. Backs the ESP encryption algorithm (AES-CBC, RFC 3602)
-// used by the IPsec native network function.
+// AES-128/192/256 block cipher (FIPS 197), 32-bit T-table implementation.
+// Backs the ESP encryption algorithm (AES-CBC, RFC 3602) used by the IPsec
+// native network function.
 //
-// Performance note: the datapath's *simulated* timing comes from
-// virt::CostModel; this implementation favours clarity and testability over
-// host wall-clock speed (see bench_crypto for host numbers).
+// Each round is four table lookups + XORs per column against precomputed
+// round-key words (encryption) or InvMixColumns-transformed round-key
+// words (the equivalent inverse cipher, decryption) — the classic software
+// fast path, several times quicker than the former byte-wise S-box code.
+// Correctness is pinned by FIPS-197 / NIST CAVP vectors in test_crypto.
 #pragma once
 
 #include <array>
@@ -34,8 +36,11 @@ class Aes {
   Aes() = default;
   void expand_key(std::span<const std::uint8_t> key);
 
-  // Max 15 round keys (AES-256) of 16 bytes each.
-  std::array<std::uint8_t, 16 * 15> round_keys_{};
+  // Max 15 round keys (AES-256), as big-endian words: enc_keys_ straight
+  // from the FIPS-197 schedule, dec_keys_ transformed for the equivalent
+  // inverse cipher.
+  std::array<std::uint32_t, 4 * 15> enc_keys_{};
+  std::array<std::uint32_t, 4 * 15> dec_keys_{};
   int rounds_ = 0;
 };
 

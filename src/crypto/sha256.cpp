@@ -21,7 +21,9 @@ constexpr std::uint32_t kK[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
-std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
 
 }  // namespace
 
@@ -38,35 +40,49 @@ void Sha256::reset() {
   buffer_len_ = 0;
 }
 
+// Compression with the rounds unrolled 8-wide: the working variables are
+// renamed per round instead of shuffled (no h=g; g=f; ... register churn),
+// which is the main win over the former rolled loop.
+#define NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, ki, wi)                  \
+  do {                                                                     \
+    const std::uint32_t t1 = (h) + (rotr(e, 6) ^ rotr(e, 11) ^             \
+                                    rotr(e, 25)) +                         \
+                             (((e) & (f)) ^ (~(e) & (g))) + (ki) + (wi);   \
+    const std::uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +    \
+                             (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));    \
+    (d) += t1;                                                             \
+    (h) = t1 + t2;                                                         \
+  } while (0)
+
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = util::load_be32(block + 4 * i);
   }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
+  for (int i = 16; i < 64; i += 2) {
+    const std::uint32_t sa0 =
         rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
+    const std::uint32_t sa1 =
         rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    w[i] = w[i - 16] + sa0 + w[i - 7] + sa1;
+    const std::uint32_t sb0 =
+        rotr(w[i - 14], 7) ^ rotr(w[i - 14], 18) ^ (w[i - 14] >> 3);
+    const std::uint32_t sb1 =
+        rotr(w[i - 1], 17) ^ rotr(w[i - 1], 19) ^ (w[i - 1] >> 10);
+    w[i + 1] = w[i - 15] + sb0 + w[i - 6] + sb1;
   }
+
   std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
   std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+  for (int i = 0; i < 64; i += 8) {
+    NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, kK[i + 0], w[i + 0]);
+    NNFV_SHA256_ROUND(h, a, b, c, d, e, f, g, kK[i + 1], w[i + 1]);
+    NNFV_SHA256_ROUND(g, h, a, b, c, d, e, f, kK[i + 2], w[i + 2]);
+    NNFV_SHA256_ROUND(f, g, h, a, b, c, d, e, kK[i + 3], w[i + 3]);
+    NNFV_SHA256_ROUND(e, f, g, h, a, b, c, d, kK[i + 4], w[i + 4]);
+    NNFV_SHA256_ROUND(d, e, f, g, h, a, b, c, kK[i + 5], w[i + 5]);
+    NNFV_SHA256_ROUND(c, d, e, f, g, h, a, b, kK[i + 6], w[i + 6]);
+    NNFV_SHA256_ROUND(b, c, d, e, f, g, h, a, kK[i + 7], w[i + 7]);
   }
   state_[0] += a;
   state_[1] += b;
@@ -77,6 +93,8 @@ void Sha256::process_block(const std::uint8_t* block) {
   state_[6] += g;
   state_[7] += h;
 }
+
+#undef NNFV_SHA256_ROUND
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;

@@ -1,11 +1,55 @@
 #include "nnf/nat.hpp"
 
+#include <bit>
+
 #include "packet/builder.hpp"
 #include "packet/checksum.hpp"
 #include "util/byteorder.hpp"
 #include "util/strings.hpp"
 
 namespace nnfv::nnf {
+
+std::uint16_t PortPool::allocate() {
+  if (used_ == kPorts) return 0;
+  // Scan from the cursor, skipping fully-used 64-port words.
+  std::uint32_t bit = cursor_;
+  for (std::size_t scanned = 0; scanned <= kWords; ++scanned) {
+    const std::size_t word = bit / 64;
+    // Mask off bits below the cursor within the first word.
+    std::uint64_t free_mask = ~bits_[word];
+    if (bit % 64 != 0) free_mask &= ~0ULL << (bit % 64);
+    if (word == kWords - 1 && kPorts % 64 != 0) {
+      free_mask &= (1ULL << (kPorts % 64)) - 1;  // clip past-the-end bits
+    }
+    if (free_mask != 0) {
+      const auto idx =
+          static_cast<std::uint32_t>(word * 64 +
+                                     std::countr_zero(free_mask));
+      bits_[idx / 64] |= 1ULL << (idx % 64);
+      ++used_;
+      cursor_ = (idx + 1) % kPorts;
+      return static_cast<std::uint16_t>(kFirstPort + idx);
+    }
+    bit = static_cast<std::uint32_t>(((word + 1) % kWords) * 64);
+  }
+  return 0;  // unreachable: used_ < kPorts guarantees a free bit
+}
+
+void PortPool::release(std::uint16_t port) {
+  if (port < kFirstPort) return;
+  const std::uint32_t idx = static_cast<std::uint32_t>(port - kFirstPort);
+  const std::uint64_t mask = 1ULL << (idx % 64);
+  if (bits_[idx / 64] & mask) {
+    bits_[idx / 64] &= ~mask;
+    --used_;
+  }
+}
+
+bool PortPool::in_use(std::uint16_t port) const {
+  if (port < kFirstPort) return false;
+  const std::uint32_t idx = static_cast<std::uint32_t>(port - kFirstPort);
+  return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
 
 namespace {
 
@@ -82,6 +126,10 @@ void Nat::expire(ContextState& state, sim::SimTime now) {
     if (now - it->second.last_seen > state.idle_timeout) {
       state.by_external.erase(
           {it->first.protocol, it->second.external_port});
+      auto pool = state.ports.find(it->first.protocol);
+      if (pool != state.ports.end()) {
+        pool->second.release(it->second.external_port);
+      }
       it = state.by_original.erase(it);
     } else {
       ++it;
@@ -91,16 +139,13 @@ void Nat::expire(ContextState& state, sim::SimTime now) {
 
 util::Result<std::uint16_t> Nat::allocate_port(ContextState& state,
                                                std::uint8_t protocol) {
-  // Linear scan from next_port with wraparound; 64512 candidate ports.
-  for (int attempts = 0; attempts < 65536 - 1024; ++attempts) {
-    const std::uint16_t candidate = state.next_port;
-    state.next_port =
-        state.next_port >= 65535 ? 1024 : state.next_port + 1;
-    if (!state.by_external.contains({protocol, candidate})) {
-      return candidate;
-    }
+  // O(1) bitmap allocation (see PortPool); the old code linearly probed up
+  // to 64512 map entries when the pool ran hot.
+  const std::uint16_t port = state.ports[protocol].allocate();
+  if (port == 0) {
+    return util::resource_exhausted("nat: port pool exhausted");
   }
-  return util::resource_exhausted("nat: port pool exhausted");
+  return port;
 }
 
 std::vector<NfOutput> Nat::process(ContextId ctx, NfPortIndex in_port,

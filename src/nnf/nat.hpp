@@ -8,6 +8,8 @@
 // service graphs.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 
@@ -15,6 +17,30 @@
 #include "packet/flow_key.hpp"
 
 namespace nnfv::nnf {
+
+/// Allocation state for the 1024..65535 NAT port range of one protocol:
+/// a bitmap plus a rotating cursor. Allocation scans whole 64-bit words
+/// from the cursor, so it skips 64 busy ports per load and stays O(1)
+/// amortised even with the pool nearly exhausted (the old code probed up
+/// to 64512 map entries); exhaustion itself is an O(1) counter check.
+class PortPool {
+ public:
+  static constexpr std::uint16_t kFirstPort = 1024;
+  static constexpr std::size_t kPorts = 65536 - kFirstPort;
+
+  /// Next free port at or after the cursor (wrapping), or 0 if exhausted.
+  std::uint16_t allocate();
+  void release(std::uint16_t port);
+  [[nodiscard]] bool in_use(std::uint16_t port) const;
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+ private:
+  static constexpr std::size_t kWords = (kPorts + 63) / 64;
+
+  std::array<std::uint64_t, kWords> bits_{};  ///< 1 = in use
+  std::size_t used_ = 0;
+  std::uint32_t cursor_ = 0;  ///< bit index of the next candidate
+};
 
 class Nat : public NetworkFunction {
  public:
@@ -53,7 +79,9 @@ class Nat : public NetworkFunction {
     /// Inbound lookup: (protocol, external port) -> original tuple.
     std::map<std::pair<std::uint8_t, std::uint16_t>, packet::FiveTuple>
         by_external;
-    std::uint16_t next_port = 1024;
+    /// Free-port tracking per protocol (allocation order matches the old
+    /// sequential-scan behaviour).
+    std::map<std::uint8_t, PortPool> ports;
   };
 
   void expire(ContextState& state, sim::SimTime now);

@@ -4,11 +4,15 @@
 
 namespace nnfv::nnf {
 
+// contexts_ is a sorted vector: membership is a binary search instead of
+// the linear std::find scans this file used to do on every packet path.
+
 util::Status NetworkFunction::add_context(ContextId ctx) {
-  if (std::find(contexts_.begin(), contexts_.end(), ctx) != contexts_.end()) {
+  auto pos = std::lower_bound(contexts_.begin(), contexts_.end(), ctx);
+  if (pos != contexts_.end() && *pos == ctx) {
     return util::already_exists("context " + std::to_string(ctx));
   }
-  contexts_.push_back(ctx);
+  contexts_.insert(pos, ctx);
   return util::Status::ok();
 }
 
@@ -16,17 +20,16 @@ util::Status NetworkFunction::remove_context(ContextId ctx) {
   if (ctx == kDefaultContext) {
     return util::invalid_argument("context 0 cannot be removed");
   }
-  auto it = std::find(contexts_.begin(), contexts_.end(), ctx);
-  if (it == contexts_.end()) {
+  auto pos = std::lower_bound(contexts_.begin(), contexts_.end(), ctx);
+  if (pos == contexts_.end() || *pos != ctx) {
     return util::not_found("context " + std::to_string(ctx));
   }
-  contexts_.erase(it);
+  contexts_.erase(pos);
   return util::Status::ok();
 }
 
 bool NetworkFunction::has_context(ContextId ctx) const {
-  return std::find(contexts_.begin(), contexts_.end(), ctx) !=
-         contexts_.end();
+  return std::binary_search(contexts_.begin(), contexts_.end(), ctx);
 }
 
 util::Status NetworkFunction::require_context(ContextId ctx) const {
@@ -34,6 +37,19 @@ util::Status NetworkFunction::require_context(ContextId ctx) const {
     return util::not_found("context " + std::to_string(ctx));
   }
   return util::Status::ok();
+}
+
+std::vector<NfOutput> NetworkFunction::process_burst(
+    ContextId ctx, NfPortIndex in_port, sim::SimTime now,
+    packet::PacketBurst&& burst) {
+  std::vector<NfOutput> outputs;
+  outputs.reserve(burst.size());
+  for (packet::PacketBuffer& frame : burst) {
+    auto one = process(ctx, in_port, now, std::move(frame));
+    for (NfOutput& output : one) outputs.push_back(std::move(output));
+  }
+  burst.clear();
+  return outputs;
 }
 
 }  // namespace nnfv::nnf

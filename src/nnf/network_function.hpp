@@ -65,9 +65,18 @@ class NetworkFunction {
                                         sim::SimTime now,
                                         packet::PacketBuffer&& frame) = 0;
 
+  /// Processes a whole burst arriving on one port. The default shim calls
+  /// process() per frame, so single-packet subclasses work unchanged;
+  /// functions with per-burst amortisable state may override.
+  virtual std::vector<NfOutput> process_burst(ContextId ctx,
+                                              NfPortIndex in_port,
+                                              sim::SimTime now,
+                                              packet::PacketBurst&& burst);
+
  protected:
   /// Helper for subclasses with simple context sets.
   [[nodiscard]] util::Status require_context(ContextId ctx) const;
+  /// Kept sorted ascending; contains kDefaultContext from construction.
   std::vector<ContextId> contexts_{kDefaultContext};
 };
 

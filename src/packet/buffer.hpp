@@ -54,4 +54,33 @@ class PacketBuffer {
   std::size_t length_ = 0;
 };
 
+/// A batch of frames moving through the datapath as one unit — the burst
+/// path amortises virtual dispatch and event-queue overhead per hop.
+using PacketBurst = std::vector<PacketBuffer>;
+
+/// Order-preserving per-port regrouping for the burst paths (LSI egress,
+/// NF burst egress): frames bound for the same port stay in arrival
+/// order; group discovery order is first-seen. Port counts per burst are
+/// tiny, so group lookup is a linear scan.
+template <typename Port>
+class BurstGroups {
+ public:
+  void add(Port port, PacketBuffer&& frame) {
+    for (auto& [p, group] : groups_) {
+      if (p == port) {
+        group.push_back(std::move(frame));
+        return;
+      }
+    }
+    groups_.emplace_back(port, PacketBurst{});
+    groups_.back().second.push_back(std::move(frame));
+  }
+
+  auto begin() { return groups_.begin(); }
+  auto end() { return groups_.end(); }
+
+ private:
+  std::vector<std::pair<Port, PacketBurst>> groups_;
+};
+
 }  // namespace nnfv::packet

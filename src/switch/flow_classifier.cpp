@@ -1,0 +1,193 @@
+#include "switch/flow_classifier.hpp"
+
+#include <algorithm>
+
+#include "switch/flow_table.hpp"
+
+namespace nnfv::nfswitch {
+
+namespace {
+
+/// Word-wise splitmix-style mixer: one multiply + shift per 64-bit field
+/// group keeps the per-lookup hash a handful of cycles.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 29;
+  }
+};
+
+std::uint64_t hash_view(const FlowKeyView& k) {
+  Fnv f;
+  std::uint64_t mac = 0;
+  for (int i = 0; i < 6; ++i) mac = (mac << 8) | k.eth_src[i];
+  f.mix(mac);
+  mac = 0;
+  for (int i = 0; i < 6; ++i) mac = (mac << 8) | k.eth_dst[i];
+  f.mix(mac);
+  f.mix(static_cast<std::uint64_t>(k.in_port) << 32 |
+        static_cast<std::uint64_t>(k.eth_type) << 16 | k.vlan);
+  f.mix(static_cast<std::uint64_t>(k.ip_src) << 32 | k.ip_dst);
+  f.mix(static_cast<std::uint64_t>(k.ip_proto) << 40 |
+        static_cast<std::uint64_t>(k.l4_src) << 24 |
+        static_cast<std::uint64_t>(k.l4_dst) << 8 |
+        static_cast<std::uint64_t>(k.has_ipv4) << 2 |
+        static_cast<std::uint64_t>(k.has_l4_src) << 1 |
+        static_cast<std::uint64_t>(k.has_l4_dst));
+  return f.h;
+}
+
+/// Earlier in table order == wins; delegates to the table's single
+/// ordering definition (flow_entry_precedes).
+inline bool beats(const FlowEntry* a, const FlowEntry* b) {
+  if (b == nullptr) return true;
+  return flow_entry_precedes(a->priority, a->id, b->priority, b->id);
+}
+
+}  // namespace
+
+FlowKeyView FlowKeyView::from_context(const FlowContext& ctx) {
+  FlowKeyView key;
+  key.in_port = ctx.in_port;
+  key.eth_src = ctx.fields.eth.src.bytes;
+  key.eth_dst = ctx.fields.eth.dst.bytes;
+  key.eth_type = ctx.fields.eth.ether_type;
+  key.vlan = ctx.fields.eth.vlan.value_or(FlowMatch::kMatchUntagged);
+  if (ctx.fields.ipv4.has_value()) {
+    key.has_ipv4 = true;
+    key.ip_src = ctx.fields.ipv4->src.value;
+    key.ip_dst = ctx.fields.ipv4->dst.value;
+    key.ip_proto = ctx.fields.ipv4->protocol;
+  }
+  if (ctx.fields.l4_src.has_value()) {
+    key.has_l4_src = true;
+    key.l4_src = *ctx.fields.l4_src;
+  }
+  if (ctx.fields.l4_dst.has_value()) {
+    key.has_l4_dst = true;
+    key.l4_dst = *ctx.fields.l4_dst;
+  }
+  return key;
+}
+
+std::uint64_t FlowKeyView::hash() const { return hash_view(*this); }
+
+MaskSignature MaskSignature::of(const FlowMatch& match) {
+  MaskSignature sig;
+  if (match.in_port) sig.fields |= kInPort;
+  if (match.eth_src) sig.fields |= kEthSrc;
+  if (match.eth_dst) sig.fields |= kEthDst;
+  if (match.eth_type) sig.fields |= kEthType;
+  if (match.vlan) sig.fields |= kVlan;
+  if (match.ip_src) {
+    sig.fields |= kIpSrc;
+    sig.ip_src_prefix = std::min<std::uint8_t>(match.ip_src_prefix, 32);
+  }
+  if (match.ip_dst) {
+    sig.fields |= kIpDst;
+    sig.ip_dst_prefix = std::min<std::uint8_t>(match.ip_dst_prefix, 32);
+  }
+  if (match.ip_proto) sig.fields |= kIpProto;
+  if (match.tp_src) sig.fields |= kTpSrc;
+  if (match.tp_dst) sig.fields |= kTpDst;
+  if (sig.fields & (kIpSrc | kIpDst | kIpProto | kTpSrc | kTpDst)) {
+    sig.fields |= kNeedsIpv4;
+  }
+  if (sig.fields & kTpSrc) sig.fields |= kNeedsL4Src;
+  if (sig.fields & kTpDst) sig.fields |= kNeedsL4Dst;
+  return sig;
+}
+
+TupleSpaceClassifier::MaskedKey TupleSpaceClassifier::entry_key(
+    const FlowMatch& match, const MaskSignature& sig) {
+  MaskedKey key;
+  if (sig.fields & MaskSignature::kInPort) key.k.in_port = *match.in_port;
+  if (sig.fields & MaskSignature::kEthSrc) key.k.eth_src = match.eth_src->bytes;
+  if (sig.fields & MaskSignature::kEthDst) key.k.eth_dst = match.eth_dst->bytes;
+  if (sig.fields & MaskSignature::kEthType) key.k.eth_type = *match.eth_type;
+  if (sig.fields & MaskSignature::kVlan) key.k.vlan = *match.vlan;
+  else key.k.vlan = 0;
+  if (sig.fields & MaskSignature::kIpSrc) {
+    key.k.ip_src = match.ip_src->value & ipv4_prefix_mask(sig.ip_src_prefix);
+  }
+  if (sig.fields & MaskSignature::kIpDst) {
+    key.k.ip_dst = match.ip_dst->value & ipv4_prefix_mask(sig.ip_dst_prefix);
+  }
+  if (sig.fields & MaskSignature::kIpProto) key.k.ip_proto = *match.ip_proto;
+  if (sig.fields & MaskSignature::kTpSrc) key.k.l4_src = *match.tp_src;
+  if (sig.fields & MaskSignature::kTpDst) key.k.l4_dst = *match.tp_dst;
+  key.h = hash_view(key.k);
+  return key;
+}
+
+bool TupleSpaceClassifier::packet_key(const FlowKeyView& key,
+                                      const MaskSignature& sig,
+                                      MaskedKey& out) {
+  const std::uint16_t f = sig.fields;
+  if ((f & MaskSignature::kNeedsIpv4) && !key.has_ipv4) return false;
+  if ((f & MaskSignature::kNeedsL4Src) && !key.has_l4_src) return false;
+  if ((f & MaskSignature::kNeedsL4Dst) && !key.has_l4_dst) return false;
+  out.k = FlowKeyView{};  // unspecified fields zeroed (vlan sentinel too)
+  out.k.vlan = 0;
+  if (f & MaskSignature::kInPort) out.k.in_port = key.in_port;
+  if (f & MaskSignature::kEthSrc) out.k.eth_src = key.eth_src;
+  if (f & MaskSignature::kEthDst) out.k.eth_dst = key.eth_dst;
+  if (f & MaskSignature::kEthType) out.k.eth_type = key.eth_type;
+  if (f & MaskSignature::kVlan) out.k.vlan = key.vlan;
+  if (f & MaskSignature::kIpSrc) {
+    out.k.ip_src = key.ip_src & ipv4_prefix_mask(sig.ip_src_prefix);
+  }
+  if (f & MaskSignature::kIpDst) {
+    out.k.ip_dst = key.ip_dst & ipv4_prefix_mask(sig.ip_dst_prefix);
+  }
+  if (f & MaskSignature::kIpProto) out.k.ip_proto = key.ip_proto;
+  if (f & MaskSignature::kTpSrc) out.k.l4_src = key.l4_src;
+  if (f & MaskSignature::kTpDst) out.k.l4_dst = key.l4_dst;
+  out.h = hash_view(out.k);
+  return true;
+}
+
+void TupleSpaceClassifier::rebuild(const std::vector<FlowEntry*>& entries) {
+  groups_.clear();
+  for (FlowEntry* entry : entries) {
+    const MaskSignature sig = MaskSignature::of(entry->match);
+    Group* group = nullptr;
+    for (Group& g : groups_) {
+      if (g.signature == sig) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups_.push_back(Group{sig, entry->priority, {}});
+      group = &groups_.back();
+    }
+    group->max_priority = std::max(group->max_priority, entry->priority);
+    group->buckets[entry_key(entry->match, sig)].push_back(entry);
+  }
+  std::stable_sort(groups_.begin(), groups_.end(),
+                   [](const Group& a, const Group& b) {
+                     return a.max_priority > b.max_priority;
+                   });
+}
+
+FlowEntry* TupleSpaceClassifier::match(const FlowKeyView& key) const {
+  FlowEntry* best = nullptr;
+  MaskedKey probe;
+  for (const Group& group : groups_) {
+    // Groups are priority-sorted: once the best hit outranks every
+    // remaining group, stop. Equal-priority groups must still be probed —
+    // an earlier-added (lower id) entry may live there.
+    if (best != nullptr && group.max_priority < best->priority) break;
+    if (!packet_key(key, group.signature, probe)) continue;
+    auto it = group.buckets.find(probe);
+    if (it == group.buckets.end()) continue;
+    FlowEntry* candidate = it->second.front();
+    if (beats(candidate, best)) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace nnfv::nfswitch

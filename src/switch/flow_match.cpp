@@ -6,10 +6,7 @@ namespace {
 
 bool prefix_match(packet::Ipv4Address value, packet::Ipv4Address pattern,
                   std::uint8_t prefix) {
-  if (prefix == 0) return true;
-  if (prefix > 32) prefix = 32;
-  const std::uint32_t mask =
-      prefix == 32 ? 0xFFFFFFFFu : ~((1u << (32 - prefix)) - 1u);
+  const std::uint32_t mask = ipv4_prefix_mask(prefix);
   return (value.value & mask) == (pattern.value & mask);
 }
 

@@ -20,6 +20,15 @@ struct FlowContext {
   packet::FlowFields fields;
 };
 
+/// Host-order mask for an IPv4 prefix length (0 = match-all, >=32 = exact).
+/// Shared by FlowMatch::matches and the tuple-space classifier so the two
+/// can never disagree on prefix semantics.
+inline std::uint32_t ipv4_prefix_mask(std::uint8_t prefix) {
+  if (prefix == 0) return 0;
+  if (prefix >= 32) return 0xFFFFFFFFu;
+  return ~((1u << (32 - prefix)) - 1u);
+}
+
 /// VLAN match semantics mirror OpenFlow 1.3: unset = wildcard;
 /// kMatchUntagged = packet must carry no tag; a VID matches tagged packets.
 struct FlowMatch {

@@ -4,79 +4,163 @@
 
 namespace nnfv::nfswitch {
 
+void FlowTable::touch() {
+  classifier_dirty_ = true;
+  ++generation_;  // invalidates every microflow-cache slot at once
+}
+
+void FlowTable::ensure_classifier() const {
+  if (!classifier_dirty_) return;
+  std::vector<FlowEntry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& e : entries_) sorted.push_back(e.get());
+  classifier_.rebuild(sorted);
+  classifier_dirty_ = false;
+}
+
+FlowEntry* FlowTable::classify(const FlowKeyView& key) const {
+  ensure_classifier();
+  return classifier_.match(key);
+}
+
 FlowEntryId FlowTable::add(std::uint16_t priority, FlowMatch match,
                            std::vector<FlowAction> actions, Cookie cookie) {
-  FlowEntry entry;
-  entry.id = next_id_++;
-  entry.priority = priority;
-  entry.match = std::move(match);
-  entry.actions = std::move(actions);
-  entry.cookie = cookie;
+  auto entry = std::make_unique<FlowEntry>();
+  entry->id = next_id_++;
+  entry->priority = priority;
+  entry->match = std::move(match);
+  entry->actions = std::move(actions);
+  entry->cookie = cookie;
 
-  // Insert before the first entry with strictly lower priority, keeping
-  // equal-priority entries in insertion order.
-  auto pos = std::find_if(entries_.begin(), entries_.end(),
-                          [priority](const FlowEntry& e) {
-                            return e.priority < priority;
-                          });
-  const FlowEntryId id = entry.id;
+  const FlowEntryId id = entry->id;
+  FlowEntry* raw = entry.get();
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), std::pair{priority, id},
+      [](const std::pair<std::uint16_t, FlowEntryId>& key,
+         const std::unique_ptr<FlowEntry>& e) {
+        return flow_entry_precedes(key.first, key.second, e->priority, e->id);
+      });
   entries_.insert(pos, std::move(entry));
+  by_id_.emplace(id, raw);
+  by_cookie_[cookie].push_back(raw);
+  touch();
   return id;
 }
 
 util::Status FlowTable::remove(FlowEntryId id) {
-  auto pos = std::find_if(entries_.begin(), entries_.end(),
-                          [id](const FlowEntry& e) { return e.id == id; });
-  if (pos == entries_.end()) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
     return util::not_found("flow entry " + std::to_string(id));
   }
+  FlowEntry* entry = it->second;
+
+  auto& cookie_list = by_cookie_[entry->cookie];
+  cookie_list.erase(std::find(cookie_list.begin(), cookie_list.end(), entry));
+  if (cookie_list.empty()) by_cookie_.erase(entry->cookie);
+  by_id_.erase(it);
+
+  // (priority, id) is unique and entries_ is sorted by it, so the entry's
+  // position is a binary search away; erasing shifts only pointers.
+  auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair{entry->priority, entry->id},
+      [](const std::unique_ptr<FlowEntry>& e,
+         const std::pair<std::uint16_t, FlowEntryId>& key) {
+        return flow_entry_precedes(e->priority, e->id, key.first, key.second);
+      });
   entries_.erase(pos);
+  touch();
   return util::Status::ok();
 }
 
 std::size_t FlowTable::remove_by_cookie(Cookie cookie) {
-  const std::size_t before = entries_.size();
+  auto it = by_cookie_.find(cookie);
+  if (it == by_cookie_.end()) return 0;
+  const std::size_t removed = it->second.size();
+  for (FlowEntry* entry : it->second) by_id_.erase(entry->id);
+  by_cookie_.erase(it);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [cookie](const FlowEntry& e) {
-                                  return e.cookie == cookie;
+                                [cookie](const std::unique_ptr<FlowEntry>& e) {
+                                  return e->cookie == cookie;
                                 }),
                  entries_.end());
-  return before - entries_.size();
+  touch();
+  return removed;
 }
 
 FlowEntry* FlowTable::lookup(const FlowContext& ctx,
                              std::size_t packet_bytes) {
-  for (FlowEntry& entry : entries_) {
-    if (entry.match.matches(ctx)) {
-      entry.stats.packets += 1;
-      entry.stats.bytes += packet_bytes;
-      return &entry;
-    }
+  return lookup_key(FlowKeyView::from_context(ctx), packet_bytes);
+}
+
+FlowEntry* FlowTable::lookup_key(const FlowKeyView& key,
+                                 std::size_t packet_bytes) {
+  ++cache_lookups_;
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<std::array<CacheSlot, kCacheSlots>>();
   }
-  ++misses_;
-  return nullptr;
+  CacheSlot& slot = (*cache_)[key.hash() & (kCacheSlots - 1)];
+  FlowEntry* entry = nullptr;
+  if (slot.generation == generation_ && slot.key == key) {
+    ++cache_hits_;
+    entry = slot.entry;
+  } else {
+    entry = classify(key);
+    slot.generation = generation_;
+    slot.key = key;
+    slot.entry = entry;
+  }
+  if (entry == nullptr) {
+    ++misses_;
+    return nullptr;
+  }
+  entry->stats.packets += 1;
+  entry->stats.bytes += packet_bytes;
+  return entry;
 }
 
 const FlowEntry* FlowTable::peek(const FlowContext& ctx) const {
-  for (const FlowEntry& entry : entries_) {
-    if (entry.match.matches(ctx)) return &entry;
-  }
-  return nullptr;
+  return classify(FlowKeyView::from_context(ctx));
+}
+
+const FlowEntry* FlowTable::find(FlowEntryId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<FlowEntryId> FlowTable::entries_by_cookie(Cookie cookie) const {
+  std::vector<FlowEntryId> out;
+  auto it = by_cookie_.find(cookie);
+  if (it == by_cookie_.end()) return out;
+  out.reserve(it->second.size());
+  for (const FlowEntry* entry : it->second) out.push_back(entry->id);
+  return out;
+}
+
+std::vector<const FlowEntry*> FlowTable::entries() const {
+  std::vector<const FlowEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.get());
+  return out;
+}
+
+std::size_t FlowTable::classifier_groups() const {
+  ensure_classifier();
+  return classifier_.group_count();
 }
 
 std::string FlowTable::dump() const {
   std::string out;
-  for (const FlowEntry& entry : entries_) {
-    out += "  [" + std::to_string(entry.id) +
-           "] prio=" + std::to_string(entry.priority) + " match{" +
-           entry.match.to_string() + "} actions{";
+  for (const auto& entry : entries_) {
+    out += "  [" + std::to_string(entry->id) +
+           "] prio=" + std::to_string(entry->priority) + " match{" +
+           entry->match.to_string() + "} actions{";
     bool first = true;
-    for (const FlowAction& action : entry.actions) {
+    for (const FlowAction& action : entry->actions) {
       if (!first) out += ',';
       first = false;
       out += action.to_string();
     }
-    out += "} pkts=" + std::to_string(entry.stats.packets) + "\n";
+    out += "} pkts=" + std::to_string(entry->stats.packets) + "\n";
   }
   return out;
 }

@@ -1,13 +1,25 @@
 // Priority flow table with per-entry statistics — the forwarding state of
 // one Logical Switch Instance.
+//
+// Lookup is tiered (see docs/datapath.md):
+//   1. a direct-mapped exact-match *microflow cache* keyed on the packet's
+//      full decoded fields, invalidated wholesale on any table mutation;
+//   2. a tuple-space classifier: one hash probe per distinct match shape,
+//      probed in descending max-priority order with early exit.
+// Both tiers reproduce the documented linear-scan semantics exactly:
+// highest priority wins, earliest-added wins among equals.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "switch/flow_action.hpp"
+#include "switch/flow_classifier.hpp"
 #include "switch/flow_match.hpp"
 #include "util/status.hpp"
 
@@ -20,6 +32,15 @@ struct FlowEntryStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
 };
+
+/// THE table ordering — priority desc, then earliest-added (lowest id).
+/// Single source of truth for add()/remove() binary searches and the
+/// classifier's winner selection.
+inline bool flow_entry_precedes(std::uint16_t priority_a, FlowEntryId id_a,
+                                std::uint16_t priority_b, FlowEntryId id_b) {
+  if (priority_a != priority_b) return priority_a > priority_b;
+  return id_a < id_b;
+}
 
 struct FlowEntry {
   FlowEntryId id = 0;
@@ -48,24 +69,66 @@ class FlowTable {
   /// Returns the matching entry (updating its stats) or nullptr on miss.
   FlowEntry* lookup(const FlowContext& ctx, std::size_t packet_bytes);
 
+  /// Lookup on a pre-extracted key (burst path: the LSI decodes once and
+  /// reuses the key for the cache probe and the classifier).
+  FlowEntry* lookup_key(const FlowKeyView& key, std::size_t packet_bytes);
+
   /// Lookup without stats update (diagnostics).
   [[nodiscard]] const FlowEntry* peek(const FlowContext& ctx) const;
 
+  /// O(1) entry access by id (nullptr when absent).
+  [[nodiscard]] const FlowEntry* find(FlowEntryId id) const;
+
+  /// Ids of all entries tagged with `cookie`.
+  [[nodiscard]] std::vector<FlowEntryId> entries_by_cookie(
+      Cookie cookie) const;
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] const std::vector<FlowEntry>& entries() const {
-    return entries_;
-  }
+
+  /// Entries in match order (priority desc, earliest-added first).
+  [[nodiscard]] std::vector<const FlowEntry*> entries() const;
 
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Microflow-cache telemetry.
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_lookups() const { return cache_lookups_; }
+  /// Distinct match shapes currently in the classifier (diagnostics).
+  [[nodiscard]] std::size_t classifier_groups() const;
 
   /// Multi-line human-readable dump (debugging, examples).
   [[nodiscard]] std::string dump() const;
 
  private:
-  // Kept sorted by (priority desc, id asc).
-  std::vector<FlowEntry> entries_;
+  static constexpr std::size_t kCacheSlots = 1024;  // power of two
+
+  struct CacheSlot {
+    std::uint64_t generation = 0;  ///< valid iff == generation_
+    FlowKeyView key;
+    FlowEntry* entry = nullptr;  ///< nullptr = cached miss
+  };
+
+  /// Invalidate derived state after any mutation.
+  void touch();
+  void ensure_classifier() const;
+  FlowEntry* classify(const FlowKeyView& key) const;
+
+  // Sorted by (priority desc, id asc). unique_ptr keeps entry addresses
+  // stable for the indexes and the cache across vector reshuffles.
+  std::vector<std::unique_ptr<FlowEntry>> entries_;
+  std::unordered_map<FlowEntryId, FlowEntry*> by_id_;
+  std::unordered_map<Cookie, std::vector<FlowEntry*>> by_cookie_;
+
+  mutable TupleSpaceClassifier classifier_;
+  mutable bool classifier_dirty_ = false;
+  /// Bumped on every mutation; invalidates all cache slots at once.
+  std::uint64_t generation_ = 1;
+  mutable std::unique_ptr<std::array<CacheSlot, kCacheSlots>> cache_;
+
   FlowEntryId next_id_ = 1;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_lookups_ = 0;
 };
 
 }  // namespace nnfv::nfswitch

@@ -13,7 +13,7 @@ util::Result<PortId> Lsi::add_port(const std::string& name) {
     }
   }
   const PortId pid = next_port_++;
-  ports_[pid] = Port{name, nullptr, {}};
+  ports_[pid] = Port{name, nullptr, nullptr, {}};
   return pid;
 }
 
@@ -32,6 +32,16 @@ util::Status Lsi::set_port_peer(PortId port, PortPeer peer) {
                            name_);
   }
   it->second.peer = std::move(peer);
+  return util::Status::ok();
+}
+
+util::Status Lsi::set_port_burst_peer(PortId port, BurstPeer peer) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    return util::not_found("port " + std::to_string(port) + " on LSI " +
+                           name_);
+  }
+  it->second.burst_peer = std::move(peer);
   return util::Status::ok();
 }
 
@@ -89,16 +99,86 @@ void Lsi::receive(PortId port, packet::PacketBuffer&& frame) {
   transmit(outcome.outputs.back(), std::move(frame));
 }
 
+void Lsi::receive_burst(PortId port, packet::PacketBurst&& burst) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;  // burst on a deleted port: drop
+  it->second.stats.rx_packets += burst.size();
+  for (const packet::PacketBuffer& frame : burst) {
+    it->second.stats.rx_bytes += frame.size();
+  }
+  processed_ += burst.size();
+
+  // Survivors grouped per egress port, same-port order preserved.
+  packet::BurstGroups<PortId> out;
+
+  for (packet::PacketBuffer& frame : burst) {
+    auto fields = packet::extract_flow_fields(frame.data());
+    if (!fields) {
+      NNFV_LOG(kDebug, "lsi") << name_ << ": unparseable frame dropped";
+      continue;
+    }
+    FlowContext ctx{port, fields.value()};
+    FlowEntry* entry =
+        table_.lookup_key(FlowKeyView::from_context(ctx), frame.size());
+    if (entry == nullptr) {
+      if (controller_ != nullptr) {
+        controller_->on_packet_in(*this, port, frame);
+      }
+      continue;
+    }
+    ActionOutcome outcome = apply_actions(entry->actions, frame);
+    if (outcome.to_controller && controller_ != nullptr) {
+      controller_->on_packet_in(*this, port, frame);
+    }
+    if (outcome.dropped || outcome.outputs.empty()) continue;
+    for (std::size_t i = 0; i + 1 < outcome.outputs.size(); ++i) {
+      out.add(outcome.outputs[i], packet::PacketBuffer(frame.data()));
+    }
+    out.add(outcome.outputs.back(), std::move(frame));
+  }
+  burst.clear();
+
+  for (auto& [p, group] : out) transmit_burst(p, std::move(group));
+}
+
 void Lsi::transmit(PortId port, packet::PacketBuffer&& frame) {
   auto it = ports_.find(port);
   if (it == ports_.end()) return;
   it->second.stats.tx_packets += 1;
   it->second.stats.tx_bytes += frame.size();
-  if (!it->second.peer) {
-    it->second.stats.tx_no_peer += 1;
+  if (it->second.peer) {
+    it->second.peer(std::move(frame));
     return;
   }
-  it->second.peer(std::move(frame));
+  // Symmetric fallback: a port wired only for bursts still delivers
+  // single frames (controller packet-out, non-burst pipeline).
+  if (it->second.burst_peer) {
+    packet::PacketBurst single;
+    single.push_back(std::move(frame));
+    it->second.burst_peer(std::move(single));
+    return;
+  }
+  it->second.stats.tx_no_peer += 1;
+}
+
+void Lsi::transmit_burst(PortId port, packet::PacketBurst&& burst) {
+  if (burst.empty()) return;
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  Port& p = it->second;
+  p.stats.tx_packets += burst.size();
+  for (const packet::PacketBuffer& frame : burst) {
+    p.stats.tx_bytes += frame.size();
+  }
+  if (p.burst_peer) {
+    p.burst_peer(std::move(burst));
+    return;
+  }
+  if (!p.peer) {
+    p.stats.tx_no_peer += burst.size();
+    return;
+  }
+  for (packet::PacketBuffer& frame : burst) p.peer(std::move(frame));
 }
 
 }  // namespace nnfv::nfswitch

@@ -47,6 +47,8 @@ class Lsi {
  public:
   /// Receiver for frames leaving the switch through a port.
   using PortPeer = std::function<void(packet::PacketBuffer&&)>;
+  /// Burst-capable receiver; preferred by transmit_burst when set.
+  using BurstPeer = std::function<void(packet::PacketBurst&&)>;
 
   Lsi(LsiId id, std::string name);
 
@@ -60,6 +62,10 @@ class Lsi {
   /// Sets where frames transmitted out of `port` go.
   util::Status set_port_peer(PortId port, PortPeer peer);
 
+  /// Burst fast path for `port`: transmit_burst hands the whole vector to
+  /// `peer` in one call instead of one PortPeer call per frame.
+  util::Status set_port_burst_peer(PortId port, BurstPeer peer);
+
   [[nodiscard]] bool has_port(PortId port) const;
   [[nodiscard]] util::Result<PortId> port_by_name(
       const std::string& name) const;
@@ -69,8 +75,17 @@ class Lsi {
   /// Ingress: a frame arrives on `port`; runs the pipeline synchronously.
   void receive(PortId port, packet::PacketBuffer&& frame);
 
+  /// Burst ingress: classifies every frame, groups survivors per egress
+  /// port and transmits each group as one burst. Frames destined for the
+  /// same port keep their relative order; cross-port interleaving is not
+  /// preserved (documented in docs/datapath.md).
+  void receive_burst(PortId port, packet::PacketBurst&& burst);
+
   /// Egress helper used by controllers and the steering layer (packet-out).
   void transmit(PortId port, packet::PacketBuffer&& frame);
+
+  /// Egress of a whole burst through one port.
+  void transmit_burst(PortId port, packet::PacketBurst&& burst);
 
   FlowTable& flow_table() { return table_; }
   [[nodiscard]] const FlowTable& flow_table() const { return table_; }
@@ -83,6 +98,7 @@ class Lsi {
   struct Port {
     std::string name;
     PortPeer peer;
+    BurstPeer burst_peer;
     PortStats stats;
   };
 

@@ -29,9 +29,7 @@ sim::SimTime UdpSource::next_gap() {
   return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(gap));
 }
 
-void UdpSource::send_one() {
-  if (simulator_.now() >= config_.stop) return;
-
+packet::PacketBuffer UdpSource::build_frame() {
   // Stamp a sequence number into the payload (iperf-style).
   util::store_be64(payload_.data(), sent_);
 
@@ -44,13 +42,45 @@ void UdpSource::send_one() {
   spec.src_port = config_.src_port;
   spec.dst_port = config_.dst_port;
   spec.payload = payload_;
-  packet::PacketBuffer frame = packet::build_udp_frame(spec);
+  return packet::build_udp_frame(spec);
+}
 
-  ++sent_;
-  sent_bytes_ += frame.size();
-  tx_(std::move(frame));
+void UdpSource::send_one() {
+  if (simulator_.now() >= config_.stop) return;
 
-  simulator_.schedule(next_gap(), [this]() { send_one(); });
+  std::size_t n = std::max<std::size_t>(1, config_.burst_size);
+  // Cap the burst by the credit remaining before stop, so bursting never
+  // overshoots the configured offered load (a burst of N stands in for
+  // the N per-packet sends that would have fit before stop).
+  if (config_.packets_per_second > 0.0) {
+    const double gap_ns = 1e9 / config_.packets_per_second;
+    const double remaining =
+        static_cast<double>(config_.stop - simulator_.now());
+    const auto credit =
+        static_cast<std::size_t>(std::ceil(remaining / gap_ns));
+    n = std::min(n, std::max<std::size_t>(1, credit));
+  }
+  if (n == 1 || !burst_tx_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      packet::PacketBuffer frame = build_frame();
+      ++sent_;
+      sent_bytes_ += frame.size();
+      tx_(std::move(frame));
+    }
+  } else {
+    packet::PacketBurst burst;
+    burst.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      burst.push_back(build_frame());
+      ++sent_;
+      sent_bytes_ += burst.back().size();
+    }
+    burst_tx_(std::move(burst));
+  }
+
+  sim::SimTime gap = 0;
+  for (std::size_t i = 0; i < n; ++i) gap += next_gap();
+  simulator_.schedule(gap, [this]() { send_one(); });
 }
 
 }  // namespace nnfv::traffic

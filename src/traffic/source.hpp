@@ -27,6 +27,10 @@ struct UdpSourceConfig {
   std::size_t payload_bytes = 1408;
   double packets_per_second = 100000.0;
   bool poisson = false;           ///< exponential inter-arrivals when true
+  /// Frames emitted per simulator event. The offered rate stays
+  /// packets_per_second; bursts of N fire every N inter-packet gaps and,
+  /// when a burst transmit callback is set, enter the node as one vector.
+  std::size_t burst_size = 1;
   sim::SimTime start = 0;
   sim::SimTime stop = 10 * sim::kSecond;
   std::uint64_t seed = 42;
@@ -35,8 +39,13 @@ struct UdpSourceConfig {
 class UdpSource {
  public:
   using Transmit = std::function<void(packet::PacketBuffer&&)>;
+  using TransmitBurst = std::function<void(packet::PacketBurst&&)>;
 
   UdpSource(sim::Simulator& simulator, UdpSourceConfig config, Transmit tx);
+
+  /// When set and burst_size > 1, bursts leave through this instead of
+  /// one Transmit call per frame.
+  void set_burst_transmit(TransmitBurst tx) { burst_tx_ = std::move(tx); }
 
   /// Schedules the first packet; call once before running the simulator.
   void begin();
@@ -46,11 +55,13 @@ class UdpSource {
 
  private:
   void send_one();
+  [[nodiscard]] packet::PacketBuffer build_frame();
   [[nodiscard]] sim::SimTime next_gap();
 
   sim::Simulator& simulator_;
   UdpSourceConfig config_;
   Transmit tx_;
+  TransmitBurst burst_tx_;
   util::Rng rng_;
   std::vector<std::uint8_t> payload_;
   std::uint64_t sent_ = 0;

@@ -201,6 +201,86 @@ TEST(Aes, Fips197Aes256) {
             "8ea2b7ca516745bfeafc49904b496089");
 }
 
+// NIST CAVP (AESAVS) known-answer vectors guarding the T-table rewrite.
+
+TEST(Aes, CavpGfSboxAes128) {
+  auto aes = Aes::create(std::vector<std::uint8_t>(16, 0));
+  ASSERT_TRUE(aes.is_ok());
+  const auto plain = from_hex("f34481ec3cc627bacd5dc3fb08f273e6");
+  std::uint8_t cipher[16];
+  aes->encrypt_block(plain.data(), cipher);
+  EXPECT_EQ(util::hex_encode({cipher, 16}),
+            "0336763e966d92595a567cc9ce537f5e");
+  std::uint8_t back[16];
+  aes->decrypt_block(cipher, back);
+  EXPECT_EQ(util::hex_encode({back, 16}), util::hex_encode(plain));
+}
+
+TEST(Aes, CavpGfSboxAes256) {
+  auto aes = Aes::create(std::vector<std::uint8_t>(32, 0));
+  ASSERT_TRUE(aes.is_ok());
+  const auto plain = from_hex("014730f80ac625fe84f026c60bfd547d");
+  std::uint8_t cipher[16];
+  aes->encrypt_block(plain.data(), cipher);
+  EXPECT_EQ(util::hex_encode({cipher, 16}),
+            "5c9d844ed46f9885085e5d6a4f94c7d7");
+}
+
+TEST(Aes, Fips197DecryptAllKeySizes) {
+  // The equivalent-inverse-cipher schedule must invert the FIPS 197
+  // appendix C ciphertexts for every key length.
+  const struct {
+    std::string key;
+    std::string cipher;
+  } cases[] = {
+      {"000102030405060708090a0b0c0d0e0f",
+       "69c4e0d86a7b0430d8cdb78070b4c55a"},
+      {"000102030405060708090a0b0c0d0e0f1011121314151617",
+       "dda97ca4864cdfe06eaf70a0ec0d7191"},
+      {"000102030405060708090a0b0c0d0e0f"
+       "101112131415161718191a1b1c1d1e1f",
+       "8ea2b7ca516745bfeafc49904b496089"},
+  };
+  for (const auto& c : cases) {
+    auto aes = Aes::create(from_hex(c.key));
+    ASSERT_TRUE(aes.is_ok());
+    const auto cipher = from_hex(c.cipher);
+    std::uint8_t back[16];
+    aes->decrypt_block(cipher.data(), back);
+    EXPECT_EQ(util::hex_encode({back, 16}),
+              "00112233445566778899aabbccddeeff");
+  }
+}
+
+TEST(Aes, RandomRoundTripsAllKeySizes) {
+  util::Rng rng(7);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    for (int i = 0; i < 50; ++i) {
+      auto aes = Aes::create(rng.bytes(key_len));
+      ASSERT_TRUE(aes.is_ok());
+      const auto plain = rng.bytes(16);
+      std::uint8_t cipher[16], back[16];
+      aes->encrypt_block(plain.data(), cipher);
+      aes->decrypt_block(cipher, back);
+      EXPECT_EQ(util::hex_encode({back, 16}), util::hex_encode(plain));
+    }
+  }
+}
+
+TEST(Aes, Sp80038aCbcEncrypt) {
+  // NIST SP 800-38A F.2.1 (CBC-AES128.Encrypt), first two blocks.
+  auto aes = Aes::create(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.is_ok());
+  auto out = aes_cbc_encrypt_raw(
+      aes.value(), from_hex("000102030405060708090a0b0c0d0e0f"),
+      from_hex("6bc1bee22e409f96e93d7e117393172a"
+               "ae2d8a571e03ac9c9eb76fac45af8e51"));
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(util::hex_encode({out->data(), out->size()}),
+            "7649abac8119b246cee98e9b12e9197d"
+            "5086cb9b507219ee95db113a917678b2");
+}
+
 TEST(Aes, RejectsBadKeySizes) {
   EXPECT_FALSE(Aes::create(std::vector<std::uint8_t>(15)).is_ok());
   EXPECT_FALSE(Aes::create(std::vector<std::uint8_t>(17)).is_ok());

@@ -64,6 +64,30 @@ TEST(Integration, FirewallGraphFiltersTraffic) {
   EXPECT_EQ(wan_rx, 1);  // telnet-ish blocked, DNS passed
 }
 
+TEST(Integration, BurstInjectMatchesSingleInject) {
+  // The burst path (inject_burst -> LSI-0 -> virtual link -> NF ->
+  // restoration) must deliver the same frames as per-packet injection.
+  UniversalNode node;
+  nffg::NfFg graph = chain_graph("gb", "firewall");
+  graph.nfs[0].config["policy"] = "accept";
+  graph.nfs[0].config["rule.1"] = "drop,any,any,udp,23";
+  ASSERT_TRUE(node.orchestrator().deploy(graph).is_ok());
+
+  int wan_rx = 0;
+  ASSERT_TRUE(node.set_egress("eth1", [&](packet::PacketBuffer&&) {
+                    ++wan_rx;
+                  }).is_ok());
+
+  packet::PacketBurst burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(lan_udp("10.0.0.2", "8.8.8.8", 53));
+  }
+  burst.push_back(lan_udp("10.0.0.2", "8.8.8.8", 23));  // blocked
+  ASSERT_TRUE(node.inject_burst("eth0", std::move(burst)).is_ok());
+  node.simulator().run();
+  EXPECT_EQ(wan_rx, 8);
+}
+
 TEST(Integration, NatGraphTranslatesAndRestores) {
   UniversalNode node;
   nffg::NfFg graph = chain_graph("g1", "nat");

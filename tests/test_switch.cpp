@@ -224,7 +224,7 @@ TEST(FlowTable, StatsAccumulate) {
   auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
   table.lookup(context_of(0, frame), 100);
   table.lookup(context_of(0, frame), 50);
-  const FlowEntry& entry = table.entries().front();
+  const FlowEntry& entry = *table.entries().front();
   EXPECT_EQ(entry.id, id);
   EXPECT_EQ(entry.stats.packets, 2u);
   EXPECT_EQ(entry.stats.bytes, 150u);
@@ -250,7 +250,7 @@ TEST(FlowTable, RemoveByIdAndCookie) {
   EXPECT_FALSE(table.remove(a).is_ok());  // already gone
   EXPECT_EQ(table.remove_by_cookie(7), 1u);
   EXPECT_EQ(table.size(), 1u);
-  EXPECT_EQ(table.entries().front().cookie, 8u);
+  EXPECT_EQ(table.entries().front()->cookie, 8u);
 }
 
 TEST(FlowTable, DumpContainsRules) {
@@ -398,6 +398,228 @@ TEST(Lsi, ScalesToManyRules) {
   EXPECT_EQ(received, 1);
   lsi.receive(in, make_udp("1.1.1.1", "2.2.2.2", 1, 99));
   EXPECT_EQ(received, 1);  // dropped by catch-all
+}
+
+// ---------------------------------------------------------------------------
+// Tiered classifier semantics: the tuple-space + microflow-cache rewrite
+// must be observationally identical to the old linear scan.
+// ---------------------------------------------------------------------------
+
+TEST(FlowClassifier, EqualPriorityTieBreakAcrossMatchShapes) {
+  // Two entries of equal priority in *different* tuple-space groups (one
+  // matches on tp_dst, one on ip_src): the earliest-added must win even
+  // though the groups are probed independently.
+  FlowTable table;
+  FlowMatch by_port;
+  by_port.tp_dst = 2000;
+  FlowMatch by_ip;
+  by_ip.ip_src = *packet::Ipv4Address::parse("1.1.1.1");
+  const FlowEntryId first = table.add(10, by_port, {});
+  const FlowEntryId second = table.add(10, by_ip, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1000, 2000);  // matches both
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, first);
+  EXPECT_TRUE(table.remove(first).is_ok());
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, second);
+}
+
+TEST(FlowClassifier, VlanUntaggedVsWildcard) {
+  FlowTable table;
+  FlowMatch untagged_only;
+  untagged_only.vlan = FlowMatch::kMatchUntagged;
+  FlowMatch tagged_100;
+  tagged_100.vlan = 100;
+  FlowMatch wildcard;  // matches tagged and untagged alike
+  const FlowEntryId u = table.add(20, untagged_only, {});
+  const FlowEntryId t = table.add(20, tagged_100, {});
+  const FlowEntryId w = table.add(10, wildcard, {});
+
+  auto plain = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  auto tagged = make_udp("1.1.1.1", "2.2.2.2", 1, 2, 100);
+  auto other_vid = make_udp("1.1.1.1", "2.2.2.2", 1, 2, 101);
+  EXPECT_EQ(table.lookup(context_of(0, plain), 1)->id, u);
+  EXPECT_EQ(table.lookup(context_of(0, tagged), 1)->id, t);
+  EXPECT_EQ(table.lookup(context_of(0, other_vid), 1)->id, w);
+}
+
+TEST(FlowClassifier, IpPrefixGroupsMatchCorrectly) {
+  FlowTable table;
+  FlowMatch subnet;
+  subnet.ip_dst = *packet::Ipv4Address::parse("10.1.0.0");
+  subnet.ip_dst_prefix = 16;
+  FlowMatch host;
+  host.ip_dst = *packet::Ipv4Address::parse("10.1.2.3");
+  const FlowEntryId s = table.add(10, subnet, {});
+  const FlowEntryId h = table.add(20, host, {});
+
+  auto exact = make_udp("9.9.9.9", "10.1.2.3", 1, 2);
+  auto inside = make_udp("9.9.9.9", "10.1.9.9", 1, 2);
+  auto outside = make_udp("9.9.9.9", "10.2.0.1", 1, 2);
+  EXPECT_EQ(table.lookup(context_of(0, exact), 1)->id, h);
+  EXPECT_EQ(table.lookup(context_of(0, inside), 1)->id, s);
+  EXPECT_EQ(table.lookup(context_of(0, outside), 1), nullptr);
+}
+
+TEST(FlowClassifier, ZeroPrefixStillRequiresIpv4) {
+  // ip_src with /0 matches any address — but only on IPv4 packets.
+  FlowTable table;
+  FlowMatch any_ip;
+  any_ip.ip_src = *packet::Ipv4Address::parse("0.0.0.0");
+  any_ip.ip_src_prefix = 0;
+  table.add(10, any_ip, {});
+
+  auto ip_frame = make_udp("1.2.3.4", "5.6.7.8", 1, 2);
+  EXPECT_NE(table.lookup(context_of(0, ip_frame), 1), nullptr);
+
+  packet::PacketBuffer arp(std::vector<std::uint8_t>(64, 0));
+  auto eth = packet::parse_ethernet(arp.data());
+  ASSERT_TRUE(eth.is_ok());  // zeroed frame parses as untagged ethertype 0
+  EXPECT_EQ(table.lookup(context_of(0, arp), 1), nullptr);
+}
+
+TEST(FlowClassifier, CacheInvalidationAfterAdd) {
+  FlowTable table;
+  const FlowEntryId low = table.add(10, FlowMatch{}, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  // Warm the microflow cache.
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, low);
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, low);
+  // A higher-priority entry added later must beat the cached result.
+  const FlowEntryId high = table.add(20, FlowMatch{}, {});
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, high);
+}
+
+TEST(FlowClassifier, CacheInvalidationAfterRemove) {
+  FlowTable table;
+  const FlowEntryId high = table.add(20, FlowMatch{}, {});
+  const FlowEntryId low = table.add(10, FlowMatch{}, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, high);
+  EXPECT_TRUE(table.remove(high).is_ok());
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, low);
+}
+
+TEST(FlowClassifier, CacheInvalidationAfterRemoveByCookie) {
+  FlowTable table;
+  table.add(20, FlowMatch{}, {}, /*cookie=*/7);
+  const FlowEntryId keep = table.add(10, FlowMatch{}, {}, 8);
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  table.lookup(context_of(0, frame), 1);
+  EXPECT_EQ(table.remove_by_cookie(7), 1u);
+  EXPECT_EQ(table.lookup(context_of(0, frame), 1)->id, keep);
+  // Cached misses must also be invalidated.
+  FlowTable empty;
+  auto miss_frame = make_udp("3.3.3.3", "4.4.4.4", 5, 6);
+  EXPECT_EQ(empty.lookup(context_of(0, miss_frame), 1), nullptr);
+  const FlowEntryId later = empty.add(1, FlowMatch{}, {});
+  EXPECT_EQ(empty.lookup(context_of(0, miss_frame), 1)->id, later);
+}
+
+TEST(FlowClassifier, CacheHitsAreCountedAndStatsKeepAccumulating) {
+  FlowTable table;
+  table.add(10, FlowMatch{}, {});
+  auto frame = make_udp("1.1.1.1", "2.2.2.2", 1, 2);
+  table.lookup(context_of(0, frame), 100);
+  table.lookup(context_of(0, frame), 100);
+  table.lookup(context_of(0, frame), 100);
+  EXPECT_GE(table.cache_hits(), 2u);
+  EXPECT_EQ(table.cache_lookups(), 3u);
+  EXPECT_EQ(table.entries().front()->stats.packets, 3u);
+  EXPECT_EQ(table.entries().front()->stats.bytes, 300u);
+}
+
+TEST(FlowClassifier, SecondaryIndexes) {
+  FlowTable table;
+  const FlowEntryId a = table.add(1, FlowMatch{}, {}, /*cookie=*/7);
+  const FlowEntryId b = table.add(2, FlowMatch{}, {}, 7);
+  const FlowEntryId c = table.add(3, FlowMatch{}, {}, 8);
+  EXPECT_EQ(table.find(a)->id, a);
+  EXPECT_EQ(table.find(999), nullptr);
+  auto sevens = table.entries_by_cookie(7);
+  EXPECT_EQ(sevens.size(), 2u);
+  EXPECT_NE(std::find(sevens.begin(), sevens.end(), a), sevens.end());
+  EXPECT_NE(std::find(sevens.begin(), sevens.end(), b), sevens.end());
+  EXPECT_EQ(table.entries_by_cookie(9).size(), 0u);
+  (void)c;
+}
+
+TEST(FlowClassifier, GroupCountTracksMatchShapes) {
+  FlowTable table;
+  for (int i = 0; i < 100; ++i) {
+    FlowMatch match;
+    match.in_port = 1;
+    match.vlan = static_cast<std::uint16_t>(100 + i);
+    table.add(100, match, {});
+  }
+  // 100 rules, one match shape -> one tuple-space group.
+  EXPECT_EQ(table.classifier_groups(), 1u);
+  FlowMatch other;
+  other.tp_dst = 443;
+  table.add(5, other, {});
+  EXPECT_EQ(table.classifier_groups(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Burst pipeline
+// ---------------------------------------------------------------------------
+
+TEST(LsiBurst, BurstFollowsFlowTable) {
+  Lsi lsi(1, "burst");
+  const PortId in = lsi.add_port("in").value();
+  const PortId out_a = lsi.add_port("a").value();
+  const PortId out_b = lsi.add_port("b").value();
+  std::vector<std::size_t> burst_sizes;
+  std::uint64_t singles = 0;
+  (void)lsi.set_port_burst_peer(out_a, [&](packet::PacketBurst&& burst) {
+    burst_sizes.push_back(burst.size());
+  });
+  (void)lsi.set_port_peer(out_b, [&](packet::PacketBuffer&&) { ++singles; });
+
+  FlowMatch to_a;
+  to_a.in_port = in;
+  to_a.tp_dst = 1000;
+  FlowMatch to_b;
+  to_b.in_port = in;
+  to_b.tp_dst = 2000;
+  lsi.flow_table().add(10, to_a, {FlowAction::output(out_a)});
+  lsi.flow_table().add(10, to_b, {FlowAction::output(out_b)});
+
+  packet::PacketBurst burst;
+  for (int i = 0; i < 5; ++i) {
+    burst.push_back(make_udp("1.1.1.1", "2.2.2.2", 1, 1000));
+  }
+  for (int i = 0; i < 3; ++i) {
+    burst.push_back(make_udp("1.1.1.1", "2.2.2.2", 1, 2000));
+  }
+  lsi.receive_burst(in, std::move(burst));
+
+  // Port a has a burst peer: one call with all 5 frames. Port b falls back
+  // to per-frame delivery.
+  ASSERT_EQ(burst_sizes.size(), 1u);
+  EXPECT_EQ(burst_sizes[0], 5u);
+  EXPECT_EQ(singles, 3u);
+  EXPECT_EQ(lsi.port_stats(out_a)->tx_packets, 5u);
+  EXPECT_EQ(lsi.port_stats(out_b)->tx_packets, 3u);
+  EXPECT_EQ(lsi.processed_packets(), 8u);
+}
+
+TEST(LsiBurst, BurstMissesPuntToController) {
+  class CountingController : public FlowController {
+   public:
+    void on_packet_in(Lsi&, PortId, const packet::PacketBuffer&) override {
+      ++punts;
+    }
+    int punts = 0;
+  };
+  Lsi lsi(1, "burst-miss");
+  const PortId in = lsi.add_port("in").value();
+  CountingController controller;
+  lsi.set_controller(&controller);
+  packet::PacketBurst burst;
+  burst.push_back(make_udp("1.1.1.1", "2.2.2.2", 1, 2));
+  burst.push_back(make_udp("1.1.1.1", "2.2.2.2", 1, 3));
+  lsi.receive_burst(in, std::move(burst));
+  EXPECT_EQ(controller.punts, 2);
+  EXPECT_EQ(lsi.flow_table().misses(), 2u);
 }
 
 }  // namespace

@@ -32,6 +32,46 @@ TEST(UdpSource, CbrPacingAndFraming) {
   EXPECT_EQ(source.sent_bytes(), 10u * frame_size);
 }
 
+TEST(UdpSource, BurstModeKeepsOfferedRate) {
+  sim::Simulator simulator;
+  UdpSourceConfig config;
+  config.packets_per_second = 1000.0;  // 1 ms apart
+  config.payload_bytes = 100;
+  config.burst_size = 4;
+  config.stop = 10 * sim::kMillisecond;
+  std::uint64_t single_frames = 0;
+  std::vector<std::size_t> bursts;
+  UdpSource source(simulator, config,
+                   [&](packet::PacketBuffer&&) { ++single_frames; });
+  source.set_burst_transmit([&](packet::PacketBurst&& burst) {
+    bursts.push_back(burst.size());
+  });
+  source.begin();
+  simulator.run();
+  // 10 ms at 1000 pps = 10 packets worth of credit; bursts of 4 fire at
+  // t=0 and 4ms, and the t=8ms burst is clipped to the remaining credit
+  // of 2 — exactly the 10 packets the per-packet source would have sent.
+  EXPECT_EQ(single_frames, 0u);
+  ASSERT_EQ(bursts.size(), 3u);
+  EXPECT_EQ(bursts[0], 4u);
+  EXPECT_EQ(bursts[2], 2u);
+  EXPECT_EQ(source.sent_packets(), 10u);
+}
+
+TEST(UdpSource, BurstWithoutBurstSinkFallsBackToSingles) {
+  sim::Simulator simulator;
+  UdpSourceConfig config;
+  config.packets_per_second = 1000.0;
+  config.burst_size = 4;
+  config.stop = 8 * sim::kMillisecond;
+  std::uint64_t frames = 0;
+  UdpSource source(simulator, config,
+                   [&](packet::PacketBuffer&&) { ++frames; });
+  source.begin();
+  simulator.run();
+  EXPECT_EQ(frames, 8u);  // t=0 and t=4ms, 4 frames each
+}
+
 TEST(UdpSource, PoissonMeanRateApproximatesTarget) {
   sim::Simulator simulator;
   UdpSourceConfig config;
