@@ -1,0 +1,44 @@
+// Shared active-vs-portable crypto-backend comparison for bench binaries.
+// One implementation so the two benches that emit the
+// "backend_speedup_vs_portable" metric (bench_crypto, bench_table1_ipsec)
+// cannot drift in how they measure or report it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "crypto/backend.hpp"
+
+namespace nnfv::bench {
+
+/// Measures `kernel` under the active crypto backend, then again with the
+/// portable backend forced, and reports both: `row_name` carries the
+/// portable run (its own iteration count) with the active backend's ns/op
+/// as `extra.active_ns_per_op`, plus the "backend_speedup_vs_portable"
+/// metric. Returns the speedup (~1.0x when portable is already active).
+template <typename Kernel>
+double report_backend_speedup(JsonReport& report, const char* row_name,
+                              const Kernel& kernel) {
+  const auto [ns_active, iters_active] = measure_ns(kernel);
+  (void)iters_active;
+  double ns_portable = ns_active;
+  std::uint64_t iters_portable = 0;
+  {
+    crypto::ScopedBackendOverride forced(crypto::detail::portable_backend());
+    const auto portable = measure_ns(kernel);
+    ns_portable = portable.first;
+    iters_portable = portable.second;
+  }
+  const double speedup = ns_active > 0.0 ? ns_portable / ns_active : 0.0;
+  std::printf("%-32s %9.2fx (active '%s' %.0f ns vs portable %.0f ns)\n",
+              "backend_speedup_vs_portable", speedup,
+              std::string(crypto::active_backend().name()).c_str(), ns_active,
+              ns_portable);
+  auto& row = report.add(row_name, iters_portable, ns_portable);
+  row.extra.emplace_back("active_ns_per_op", ns_active);
+  report.add_metric("backend_speedup_vs_portable", "speedup", speedup);
+  return speedup;
+}
+
+}  // namespace nnfv::bench

@@ -53,6 +53,11 @@ ChainResult run_chain(int k, virt::BackendKind backend) {
     // tandem through one shared server, blind saturation starves the
     // later hops, so "max rate with <1% loss" is the meaningful number.
     bool deploy_failed = false;
+    const sim::SimTime warmup =
+        bench::smoke_mode() ? 2 * sim::kMillisecond : 20 * sim::kMillisecond;
+    const sim::SimTime duration = bench::smoke_mode()
+                                      ? 20 * sim::kMillisecond
+                                      : 200 * sim::kMillisecond;
     result.goodput_mbps = bench::measure_capacity_mbps(
         [&]() -> std::unique_ptr<core::UniversalNode> {
           auto node = std::make_unique<core::UniversalNode>();
@@ -62,8 +67,7 @@ ChainResult run_chain(int k, virt::BackendKind backend) {
           }
           return node;
         },
-        1408, 1000.0, 1.2e6, 20 * sim::kMillisecond,
-        200 * sim::kMillisecond);
+        1408, 1000.0, 1.2e6, warmup, duration);
     if (deploy_failed) {
       ChainResult failed;
       return failed;  // goodput -1 marks "n/a" (e.g. k VMs exceed CPE RAM)
@@ -78,7 +82,8 @@ ChainResult run_chain(int k, virt::BackendKind backend) {
     (void)node.set_egress("eth1", [&](packet::PacketBuffer&&) {
       out_times.push_back(node.simulator().now());
     });
-    for (int i = 0; i < 100; ++i) {
+    const int latency_packets = bench::smoke_mode() ? 10 : 100;
+    for (int i = 0; i < latency_packets; ++i) {
       node.simulator().schedule_at(
           static_cast<sim::SimTime>(i) * sim::kMillisecond, [&node, i]() {
             packet::UdpFrameSpec spec;
@@ -107,7 +112,8 @@ ChainResult run_chain(int k, virt::BackendKind backend) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
   std::printf("=== A2: service chains of k firewall NFs (1408 B frames) "
               "===\n\n");
   std::printf("%3s | %21s | %21s | %21s | %21s\n", "k", "native (shared NNF)",
@@ -127,6 +133,9 @@ int main() {
     }
     return std::string(buf);
   };
+  const std::vector<int> chain_lengths =
+      bench::smoke_mode() ? std::vector<int>{1, 2}
+                          : std::vector<int>{1, 2, 3, 4, 6, 8};
   bench::JsonReport report("bench_chain_length");
   auto record = [&report](int k, const char* backend, const ChainResult& r) {
     auto& row = report.add_metric(
@@ -134,7 +143,7 @@ int main() {
         r.goodput_mbps);
     row.extra.emplace_back("latency_us", r.latency_us);
   };
-  for (int k : {1, 2, 3, 4, 6, 8}) {
+  for (int k : chain_lengths) {
     const ChainResult native = run_chain(k, virt::BackendKind::kNative);
     const ChainResult docker = run_chain(k, virt::BackendKind::kDocker);
     const ChainResult dpdk = run_chain(k, virt::BackendKind::kDpdk);

@@ -14,7 +14,8 @@
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
   bench::JsonReport report("bench_deploy_latency");
   std::printf("=== A5: deployment latency per driver (IPsec NF) ===\n\n");
   std::printf("%-10s | %14s %14s | %14s\n", "backend", "boot (model)",

@@ -15,7 +15,8 @@
 
 using namespace nnfv;  // NOLINT(google-build-using-namespace): bench main
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
   constexpr int kGraphs = 8;
   core::UniversalNodeConfig config;
   config.physical_ports = {"eth0", "eth1"};

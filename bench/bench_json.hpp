@@ -8,17 +8,56 @@
 //
 // so the BENCH_*.json trajectory can be scraped with `tail -1 | jq`.
 // measure_ns() is a self-calibrating wall-clock loop for micro-benches.
+// Smoke mode (--smoke flag or NNFV_BENCH_SMOKE=1) runs every measurement
+// with a tiny budget so CI can execute all bench binaries in seconds and
+// validate their JSON output shape; timings are meaningless there, so
+// perf acceptance gates must be skipped (see gates_enabled()).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace nnfv::bench {
+
+namespace detail {
+inline bool& smoke_flag() {
+  static bool smoke = []() {
+    const char* env = std::getenv("NNFV_BENCH_SMOKE");
+    return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return smoke;
+}
+}  // namespace detail
+
+/// True when the bench should run with a tiny iteration budget.
+inline bool smoke_mode() { return detail::smoke_flag(); }
+
+/// Call first in main(): enables smoke mode on --smoke (the env var
+/// NNFV_BENCH_SMOKE=1 works without touching argv).
+inline void parse_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) detail::smoke_flag() = true;
+  }
+}
+
+/// False when timings cannot be trusted: smoke runs, or benches built
+/// against an unoptimised nnfv library (CMake defines
+/// NNFV_BENCH_UNOPTIMIZED then). Perf acceptance gates must return
+/// success without judging in that case.
+inline bool gates_enabled() {
+#ifdef NNFV_BENCH_UNOPTIMIZED
+  return false;
+#else
+  return !smoke_mode();
+#endif
+}
 
 struct BenchResult {
   std::string name;
@@ -31,7 +70,24 @@ struct BenchResult {
 class JsonReport {
  public:
   explicit JsonReport(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+      : bench_name_(std::move(bench_name)) {
+    if (smoke_mode()) flags_.emplace_back("smoke");
+#ifdef NNFV_BENCH_UNOPTIMIZED
+    // The nnfv library this bench links was built without optimisation
+    // (CMake warned at configure time); poison the JSON so tooling
+    // (scripts/check_bench_json.py, CI) rejects the numbers.
+    flags_.emplace_back("unoptimized");
+    std::fprintf(stderr,
+                 "%s: WARNING: built against an unoptimised nnfv library; "
+                 "numbers are not meaningful\n",
+                 bench_name_.c_str());
+#endif
+  }
+
+  /// Adds a top-level string field, e.g. set_field("backend", "aesni").
+  void set_field(const std::string& key, const std::string& value) {
+    string_fields_.emplace_back(key, value);
+  }
 
   BenchResult& add(const std::string& name, std::uint64_t iterations,
                    double ns_per_op) {
@@ -54,8 +110,14 @@ class JsonReport {
   }
 
   void emit(std::FILE* out = stdout) const {
-    std::fprintf(out, "{\"bench\":\"%s\",\"results\":[",
-                 bench_name_.c_str());
+    std::fprintf(out, "{\"bench\":\"%s\"", bench_name_.c_str());
+    for (const auto& [key, value] : string_fields_) {
+      std::fprintf(out, ",\"%s\":\"%s\"", key.c_str(), value.c_str());
+    }
+    for (const std::string& flag : flags_) {
+      std::fprintf(out, ",\"%s\":true", flag.c_str());
+    }
+    std::fprintf(out, ",\"results\":[");
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];
       std::fprintf(out,
@@ -79,16 +141,20 @@ class JsonReport {
 
  private:
   std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> string_fields_;
+  std::vector<std::string> flags_;
   // deque: references returned by add()/add_metric() stay valid across
   // later add() calls (a vector would invalidate them on reallocation).
   std::deque<BenchResult> results_;
 };
 
-/// Wall-clock ns per call of `fn`, self-calibrated to run ~`min_ms` total.
-/// Returns {ns_per_op, iterations}.
+/// Wall-clock ns per call of `fn`, self-calibrated to run ~`min_ms` total
+/// (default 100 ms, or ~1 ms in smoke mode). Returns {ns_per_op,
+/// iterations}.
 template <typename F>
 inline std::pair<double, std::uint64_t> measure_ns(F&& fn,
-                                                   double min_ms = 100.0) {
+                                                   double min_ms = -1.0) {
+  if (min_ms < 0.0) min_ms = smoke_mode() ? 1.0 : 100.0;
   using Clock = std::chrono::steady_clock;
   std::uint64_t iters = 1;
   for (;;) {

@@ -52,7 +52,8 @@ PolicyOutcome fill_node(core::PlacementPolicyKind policy, int cap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
   std::printf("=== A6: placement policies on a 1 GB CPE (IPsec graphs until "
               "full) ===\n\n");
   std::printf("%-14s | %7s | %10s | %14s | %s\n", "policy", "graphs",
@@ -71,7 +72,8 @@ int main() {
   };
   bench::JsonReport report("bench_placement_policy");
   for (const Row& row : rows) {
-    PolicyOutcome outcome = fill_node(row.kind, row.cap);
+    PolicyOutcome outcome =
+        fill_node(row.kind, bench::smoke_mode() ? 5 : row.cap);
     std::printf("%-14s | %6d%s | %7.1f MB | %11.1f ms | %s\n", row.name,
                 outcome.graphs, outcome.graphs >= row.cap ? "+" : " ",
                 outcome.ram_mb, outcome.activation_ms,

@@ -56,7 +56,8 @@ Footprint deploy_n(int n, std::optional<virt::BackendKind> hint) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
   std::printf("=== A1: sharable NNF vs dedicated VNF instances (NAT) ===\n");
   std::printf("shared: 1 native instance, per-graph contexts + VLAN marks\n");
   std::printf("dedicated: one Docker container per graph\n\n");
@@ -67,7 +68,10 @@ int main() {
               "--------------------------\n");
 
   bench::JsonReport report("bench_sharable_nnf");
-  for (int n : {1, 2, 4, 8, 16}) {
+  const std::vector<int> graph_counts =
+      bench::smoke_mode() ? std::vector<int>{1, 2}
+                          : std::vector<int>{1, 2, 4, 8, 16};
+  for (int n : graph_counts) {
     Footprint shared = deploy_n(n, virt::BackendKind::kNative);
     Footprint dedicated = deploy_n(n, virt::BackendKind::kDocker);
     if (!shared.ok || !dedicated.ok) {

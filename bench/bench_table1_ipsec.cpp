@@ -13,13 +13,17 @@
 // size of the image the flavor required.
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_backend.hpp"
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
 #include "reference_crypto.hpp"
+#include "util/cpuid.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -82,10 +86,35 @@ double host_crypto_speedup(nnfv::bench::JsonReport& report) {
   return speedup;
 }
 
+/// Active backend vs the forced T-table portable backend on the same ESP
+/// kernel. The acceptance gate: when a hardware backend is selected it
+/// must be >= 2x the portable baseline; when the portable backend is the
+/// active one there is nothing to gate (returns success).
+double backend_speedup_vs_portable(nnfv::bench::JsonReport& report) {
+  using namespace nnfv;
+  util::Rng rng(12);
+  const auto key = rng.bytes(16);
+  const auto auth_key = rng.bytes(32);
+  const auto iv = rng.bytes(16);
+  const auto data = rng.bytes(1408);
+  auto aes = crypto::Aes::create(key);
+
+  const auto esp_kernel = [&]() {
+    auto cipher = crypto::aes_cbc_encrypt_raw(*aes, iv, data);
+    bench::do_not_optimize(crypto::HmacSha256::mac(auth_key, *cipher));
+  };
+  return bench::report_backend_speedup(
+      report, "esp_crypto_1408_portable_baseline", esp_kernel);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nnfv::bench::parse_cli(argc, argv);
   nnfv::bench::JsonReport json_report("bench_table1_ipsec");
+  json_report.set_field("backend",
+                        std::string(crypto::active_backend().name()));
+  json_report.set_field("cpu_features", util::cpu_feature_string());
   std::printf(
       "=== Table 1: Results with IPSec client VNFs "
       "(paper vs this reproduction) ===\n");
@@ -108,9 +137,15 @@ int main() {
     }
     const auto& placement = report->placements.at(0);
 
-    auto result = bench::measure_saturation(node, 1408, 150000.0,
-                                            100 * sim::kMillisecond,
-                                            sim::kSecond);
+    // Smoke: a few hundred simulated packets still exercise deploy +
+    // datapath + JSON plumbing; full runs saturate for a simulated second.
+    auto result = bench::smoke_mode()
+                      ? bench::measure_saturation(node, 1408, 20000.0,
+                                                  10 * sim::kMillisecond,
+                                                  50 * sim::kMillisecond)
+                      : bench::measure_saturation(node, 1408, 150000.0,
+                                                  100 * sim::kMillisecond,
+                                                  sim::kSecond);
     std::printf("%-10s | %8.0f Mbps %8.1f Mbps | %8.1f MB %8.1f MB | "
                 "%8.0f MB %8.1f MB\n",
                 row.platform, row.paper_mbps, result.goodput_mbps,
@@ -131,6 +166,14 @@ int main() {
   }
 
   const double crypto_speedup = host_crypto_speedup(json_report);
+  const double hw_speedup = backend_speedup_vs_portable(json_report);
+  // The >=2x gate only applies with FULL hardware crypto: the ESP kernel
+  // is AES + HMAC-SHA256, and on CPUs with AES-NI but no SHA-NI the aesni
+  // backend deliberately keeps portable SHA-256 — accelerating half the
+  // kernel legitimately lands below 2x.
+  const bool hw_active = crypto::active_backend().name() != "portable" &&
+                         crypto::active_backend().name() != "reference";
+  const bool hw_gated = hw_active && util::cpu_features().sha_ni;
 
   std::printf("\nShape checks (the claims under test):\n");
   std::printf("  * VM throughput ~0.73x of native (user-space packet path"
@@ -139,8 +182,22 @@ int main() {
               " path)\n");
   std::printf("  * RAM: VM >> Docker > native; image: VM >> Docker >> native"
               " (~100x)\n");
-  std::printf("  * ESP crypto >= 2x the seed implementation (got %.1fx)\n\n",
+  std::printf("  * ESP crypto >= 2x the seed implementation (got %.1fx)\n",
               crypto_speedup);
+  if (hw_gated) {
+    std::printf("  * accelerated backend >= 2x the T-table portable baseline"
+                " (got %.1fx)\n", hw_speedup);
+  } else if (hw_active) {
+    std::printf("  * partial hardware crypto (AES-NI without SHA-NI); "
+                "backend speedup %.1fx reported but not gated\n", hw_speedup);
+  } else {
+    std::printf("  * no hardware crypto backend on this CPU; portable-vs-"
+                "portable not gated\n");
+  }
+  std::printf("\n");
   json_report.emit();
-  return crypto_speedup >= 2.0 ? 0 : 1;
+  if (!nnfv::bench::gates_enabled()) return 0;  // smoke / unoptimised build
+  if (crypto_speedup < 2.0) return 1;
+  if (hw_gated && hw_speedup < 2.0) return 1;
+  return 0;
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate the last-line JSON emitted by bench_* binaries.
+
+Usage:
+    check_bench_json.py FILE [FILE...]
+    some_bench --smoke | check_bench_json.py -
+
+Each FILE holds the full stdout of one bench run; the JSON object is its
+last non-empty line (see bench/bench_json.hpp for the shape). The check
+fails (exit 1, one diagnostic line per problem) when:
+
+  * the last line is not a JSON object,
+  * "bench" is missing or not a string,
+  * "results" is missing, not a list, or empty,
+  * a result lacks name/iterations/ns_per_op/ops_per_sec or their types
+    are wrong (extra, when present, must map strings to numbers),
+  * the run is flagged "unoptimized": the binary was linked against an
+    nnfv library built without optimization (CMake warned at configure
+    time), so the numbers are untrustworthy and CI must not green-light
+    them.
+
+"smoke":true is fine — smoke runs exist precisely so this script can
+exercise the reporting path cheaply; only the perf *gates* are skipped
+in smoke mode, not the output contract.
+"""
+import json
+import sys
+
+
+def fail(name, msg, problems):
+    problems.append(f"{name}: {msg}")
+
+
+def check_result(name, i, result, problems):
+    where = f"{name}: results[{i}]"
+    if not isinstance(result, dict):
+        fail(name, f"results[{i}] is not an object", problems)
+        return
+    label = result.get("name")
+    if not isinstance(label, str) or not label:
+        fail(name, f"results[{i}] has no string 'name'", problems)
+    for key, kinds in (("iterations", (int,)),
+                      ("ns_per_op", (int, float)),
+                      ("ops_per_sec", (int, float))):
+        value = result.get(key)
+        if not isinstance(value, kinds) or isinstance(value, bool):
+            fail(name, f"{where} '{key}' missing or non-numeric", problems)
+    extra = result.get("extra")
+    if extra is not None:
+        if not isinstance(extra, dict):
+            fail(name, f"{where} 'extra' is not an object", problems)
+        else:
+            for key, value in extra.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    fail(name, f"{where} extra['{key}'] is non-numeric", problems)
+
+
+def check_stream(name, text, problems):
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        fail(name, "no output at all", problems)
+        return
+    try:
+        obj = json.loads(lines[-1])
+    except json.JSONDecodeError as err:
+        fail(name, f"last line is not valid JSON ({err})", problems)
+        return
+    if not isinstance(obj, dict):
+        fail(name, "last line is not a JSON object", problems)
+        return
+    bench = obj.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(name, "missing string field 'bench'", problems)
+    if obj.get("unoptimized") is True:
+        fail(name, "flagged \"unoptimized\":true — bench was built against "
+                   "an unoptimised nnfv library; numbers are meaningless "
+                   "(rebuild with -DCMAKE_BUILD_TYPE=Release)", problems)
+    results = obj.get("results")
+    if not isinstance(results, list) or not results:
+        fail(name, "'results' missing, not a list, or empty", problems)
+        return
+    for i, result in enumerate(results):
+        check_result(name, i, result, problems)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    checked = 0
+    for path in argv[1:]:
+        if path == "-":
+            check_stream("<stdin>", sys.stdin.read(), problems)
+        else:
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    check_stream(path, f.read(), problems)
+            except OSError as err:
+                fail(path, f"cannot read ({err})", problems)
+        checked += 1
+    for problem in problems:
+        print(f"check_bench_json: FAIL {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"check_bench_json: OK ({checked} bench output"
+          f"{'s' if checked != 1 else ''} valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -113,6 +113,24 @@ void NfInstance::inject_custom(std::size_t bytes,
   station_.submit(cost_.service_time(bytes), std::move(handler));
 }
 
+void NfInstance::inject_custom_burst(
+    packet::PacketBurst&& burst,
+    std::function<void(packet::PacketBurst&&)> handler) {
+  if (state_ != InstanceState::kRunning) {
+    dropped_not_running_ += burst.size();
+    return;
+  }
+  if (burst.empty()) return;
+  sim::SimTime service = 0;
+  for (const packet::PacketBuffer& frame : burst) {
+    service += cost_.service_time(frame.size());
+  }
+  auto held = std::make_shared<packet::PacketBurst>(std::move(burst));
+  station_.submit(service, [handler = std::move(handler), held]() {
+    handler(std::move(*held));
+  });
+}
+
 util::Status NfInstance::start() {
   if (state_ == InstanceState::kDestroyed) {
     return util::failed_precondition("instance destroyed");

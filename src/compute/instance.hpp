@@ -69,6 +69,13 @@ class NfInstance {
   /// delay, `handler` runs instead of the direct process+egress path.
   void inject_custom(std::size_t bytes, std::function<void()> handler);
 
+  /// Burst variant of inject_custom: the whole burst is one service-station
+  /// item (service time = sum of per-frame times, matching inject_burst)
+  /// and `handler` receives it back after the delay — the adaptation layer
+  /// then demultiplexes the burst in one pass.
+  void inject_custom_burst(packet::PacketBurst&& burst,
+                           std::function<void(packet::PacketBurst&&)> handler);
+
   util::Status start();
   util::Status stop();
   util::Status destroy();

@@ -8,6 +8,26 @@ namespace nnfv::compute {
 using util::Result;
 using util::Status;
 
+namespace {
+
+/// Resolves an adaptation-egress frame to its destination (LSI, port) by
+/// its mark and strips the mark; nullopt when untagged or unrouted. Shared
+/// by the per-frame and burst egress paths so their routing cannot drift.
+std::optional<std::pair<nfswitch::Lsi*, nfswitch::PortId>>
+route_adaptation_egress(
+    const std::map<nnf::Mark, std::pair<nfswitch::Lsi*, nfswitch::PortId>>&
+        routes,
+    packet::PacketBuffer& frame) {
+  auto eth = packet::parse_ethernet(frame.data());
+  if (!eth || !eth->vlan.has_value()) return std::nullopt;
+  auto route = routes.find(*eth->vlan);
+  if (route == routes.end()) return std::nullopt;
+  packet::set_vlan(frame, std::nullopt);
+  return route->second;
+}
+
+}  // namespace
+
 NativeDriver::NativeDriver(NativeDriverEnv env) : env_(env) {}
 
 bool NativeDriver::can_deploy(const std::string& functional_type) const {
@@ -78,13 +98,26 @@ Result<std::shared_ptr<NativeDriver::Shared>> NativeDriver::create_instance(
     // mark, strip it, and hand the frame back to the right LSI port.
     Shared* raw = shared.get();
     shared->adaptation->set_transmit([raw](packet::PacketBuffer&& frame) {
-      auto eth = packet::parse_ethernet(frame.data());
-      if (!eth || !eth->vlan.has_value()) return;
-      auto route = raw->routes.find(*eth->vlan);
-      if (route == raw->routes.end()) return;
-      packet::set_vlan(frame, std::nullopt);
-      route->second.first->receive(route->second.second, std::move(frame));
+      if (auto dest = route_adaptation_egress(raw->routes, frame)) {
+        dest->first->receive(dest->second, std::move(frame));
+      }
     });
+    // Burst egress: re-enter each LSI port's pipeline with one
+    // receive_burst per destination.
+    shared->adaptation->set_burst_transmit(
+        [raw](packet::PacketBurst&& burst) {
+          packet::BurstGroups<std::pair<nfswitch::Lsi*, nfswitch::PortId>>
+              groups;
+          for (packet::PacketBuffer& frame : burst) {
+            if (auto dest = route_adaptation_egress(raw->routes, frame)) {
+              groups.add(*dest, std::move(frame));
+            }
+          }
+          for (auto& [destination, group] : groups) {
+            destination.first->receive_burst(destination.second,
+                                             std::move(group));
+          }
+        });
   }
 
   Status start_status = shared->plugin->on_start(shared->instance->function());
@@ -255,6 +288,23 @@ Result<DeployedNf> NativeDriver::deploy(const NfDeploySpec& spec,
             instance->inject_custom(bytes, [raw, simulator, held]() {
               raw->adaptation->receive(simulator->now(), std::move(*held));
             });
+          });
+      // Burst variant: tag every frame with this port's mark, pay one
+      // service-station event for the whole vector, then let the
+      // adaptation layer demultiplex the burst in one pass.
+      (void)lsi.set_port_burst_peer(
+          port.value(),
+          [instance, raw, simulator, mark_value](
+              packet::PacketBurst&& burst) {
+            for (packet::PacketBuffer& frame : burst) {
+              packet::set_vlan(frame, mark_value);
+            }
+            instance->inject_custom_burst(
+                std::move(burst),
+                [raw, simulator](packet::PacketBurst&& delayed) {
+                  raw->adaptation->receive_burst(simulator->now(),
+                                                 std::move(delayed));
+                });
           });
     } else {
       // Dedicated attachment per port, like any VNF. The burst peer keeps

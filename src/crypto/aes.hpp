@@ -32,6 +32,18 @@ class Aes {
 
   [[nodiscard]] int rounds() const { return rounds_; }
 
+  /// Expanded schedules for CryptoBackend implementations: 4*(rounds()+1)
+  /// big-endian words each. enc is the straight FIPS-197 schedule;
+  /// dec is the equivalent-inverse schedule (round keys reversed, middle
+  /// rounds through InvMixColumns) — serialised big-endian these are
+  /// byte-for-byte the keys AESDEC/AESDECLAST expect.
+  [[nodiscard]] std::span<const std::uint32_t> enc_round_keys() const {
+    return {enc_keys_.data(), static_cast<std::size_t>(4 * (rounds_ + 1))};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> dec_round_keys() const {
+    return {dec_keys_.data(), static_cast<std::size_t>(4 * (rounds_ + 1))};
+  }
+
  private:
   Aes() = default;
   void expand_key(std::span<const std::uint8_t> key);

@@ -1,0 +1,80 @@
+// Backend registry and the once-per-process selection (CPUID probe +
+// NNFV_CRYPTO_BACKEND override). The implementations live in
+// backend_portable.cpp / backend_aesni.cpp / backend_reference.cpp.
+#include "crypto/backend.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace nnfv::crypto {
+
+namespace {
+
+struct Registry {
+  const CryptoBackend* entries[3];
+};
+
+const Registry& registry() {
+  static const Registry r{{&detail::portable_backend(),
+                           &detail::aesni_backend(),
+                           &detail::reference_backend()}};
+  return r;
+}
+
+const CryptoBackend* select_backend() {
+  const char* env = std::getenv("NNFV_CRYPTO_BACKEND");
+  const std::string_view want = env == nullptr ? "" : env;
+  if (!want.empty() && want != "auto") {
+    const CryptoBackend* requested = backend_by_name(want);
+    if (requested != nullptr && requested->usable()) {
+      NNFV_LOG(kInfo, "crypto")
+          << "backend '" << requested->name() << "' (NNFV_CRYPTO_BACKEND)";
+      return requested;
+    }
+    NNFV_LOG(kWarn, "crypto")
+        << "NNFV_CRYPTO_BACKEND='" << want
+        << "' unknown or unusable on this CPU; falling back to auto";
+  }
+  const CryptoBackend& aesni = detail::aesni_backend();
+  if (aesni.usable()) {
+    NNFV_LOG(kInfo, "crypto") << "backend 'aesni' (CPUID)";
+    return &aesni;
+  }
+  NNFV_LOG(kInfo, "crypto") << "backend 'portable'";
+  return &detail::portable_backend();
+}
+
+// Mutable only through ScopedBackendOverride (tests/benches).
+const CryptoBackend*& active_slot() {
+  static const CryptoBackend* active = select_backend();
+  return active;
+}
+
+}  // namespace
+
+const CryptoBackend& active_backend() { return *active_slot(); }
+
+const CryptoBackend* backend_by_name(std::string_view name) {
+  for (const CryptoBackend* backend : registry().entries) {
+    if (backend->name() == name) return backend;
+  }
+  return nullptr;
+}
+
+std::vector<const CryptoBackend*> usable_backends() {
+  std::vector<const CryptoBackend*> out;
+  for (const CryptoBackend* backend : registry().entries) {
+    if (backend->usable()) out.push_back(backend);
+  }
+  return out;
+}
+
+ScopedBackendOverride::ScopedBackendOverride(const CryptoBackend& backend)
+    : previous_(&active_backend()) {
+  active_slot() = &backend;
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() { active_slot() = previous_; }
+
+}  // namespace nnfv::crypto

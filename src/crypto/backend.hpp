@@ -1,0 +1,112 @@
+// Pluggable crypto backends for the datapath hot loops (AES block ops,
+// CBC/CTR bulk work, SHA-256 compression).
+//
+// Every implementation is compiled unconditionally; which one runs is a
+// pure *selection*, made once per process from a CPUID probe
+// (util::cpu_features()) plus the NNFV_CRYPTO_BACKEND override. All
+// backends are bit-identical — the FIPS-197/CAVP/SP800-38A vector tests
+// and a cross-backend identity test pin this — so selection is only ever a
+// performance choice, never a correctness one.
+//
+// Backends:
+//   "portable"   32-bit T-table AES + 8-wide unrolled SHA-256 (the PR 1
+//                fast path). Runs everywhere; the auto fallback.
+//   "aesni"      AES-NI block ops (+ SHA-NI compression when the CPU has
+//                it). Selected automatically when CPUID allows.
+//   "reference"  Byte-wise FIPS-197 textbook AES + rolled SHA-256. Slow,
+//                obviously-correct oracle for differential tests; never
+//                auto-selected.
+//
+// Override: NNFV_CRYPTO_BACKEND=portable|aesni|reference|auto. An unknown
+// or unusable request (e.g. aesni on a CPU without it) logs a warning and
+// falls back to AUTO selection rather than crashing — which still means
+// portable on a CPU without AES-NI, so a forced-portable CI job can run
+// the same binaries on any runner.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace nnfv::crypto {
+
+class Aes;
+
+class CryptoBackend {
+ public:
+  virtual ~CryptoBackend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True when the executing CPU can run this backend (checked once at
+  /// selection; implementations must not be called when false).
+  [[nodiscard]] virtual bool usable() const = 0;
+
+  /// ECB over `nblocks` 16-byte blocks (keystream generation, IV derive).
+  virtual void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                                  std::uint8_t* out,
+                                  std::size_t nblocks) const = 0;
+  virtual void aes_decrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                                  std::uint8_t* out,
+                                  std::size_t nblocks) const = 0;
+
+  /// Raw CBC (no padding) over `len` bytes; len % 16 == 0, `iv` 16 bytes.
+  /// in == out (in-place) is allowed.
+  virtual void cbc_encrypt(const Aes& aes, const std::uint8_t* iv,
+                           const std::uint8_t* in, std::uint8_t* out,
+                           std::size_t len) const = 0;
+  virtual void cbc_decrypt(const Aes& aes, const std::uint8_t* iv,
+                           const std::uint8_t* in, std::uint8_t* out,
+                           std::size_t len) const = 0;
+
+  /// SHA-256 compression of `nblocks` consecutive 64-byte blocks into
+  /// `state` (FIPS 180-4 working variables a..h).
+  virtual void sha256_compress(std::uint32_t state[8],
+                               const std::uint8_t* blocks,
+                               std::size_t nblocks) const = 0;
+};
+
+/// The process-wide backend every crypto entry point dispatches through.
+/// Selected on first use: NNFV_CRYPTO_BACKEND if set and usable, else
+/// "aesni" when the CPU supports it, else "portable".
+const CryptoBackend& active_backend();
+
+/// Registry lookup ("portable", "aesni", "reference"); nullptr when the
+/// name is unknown. The result may be !usable() on this CPU.
+const CryptoBackend* backend_by_name(std::string_view name);
+
+/// Every registered backend that is usable on this CPU.
+std::vector<const CryptoBackend*> usable_backends();
+
+/// Test/bench hook: forces `backend` as the active one for the object's
+/// lifetime, then restores the previous selection. Not thread-safe —
+/// single-threaded tests and benches only.
+class ScopedBackendOverride {
+ public:
+  explicit ScopedBackendOverride(const CryptoBackend& backend);
+  ~ScopedBackendOverride();
+  ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+  ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+
+ private:
+  const CryptoBackend* previous_;
+};
+
+namespace detail {
+// The concrete singletons, exposed so backends can delegate (the AES-NI
+// backend borrows the portable SHA-256 compression on CPUs without
+// SHA-NI) and so tests can name them without string lookup.
+const CryptoBackend& portable_backend();
+const CryptoBackend& aesni_backend();
+const CryptoBackend& reference_backend();
+// Portable SHA-256 compression, shared by Sha256 and the backends.
+void sha256_compress_portable(std::uint32_t state[8],
+                              const std::uint8_t* blocks,
+                              std::size_t nblocks);
+// FIPS 180-4 SHA-256 round constants, shared by the portable and SHA-NI
+// compressions. (The reference oracle keeps its own copy on purpose —
+// it must not share code with the backends it checks.)
+extern const std::uint32_t kSha256K[64];
+}  // namespace detail
+
+}  // namespace nnfv::crypto

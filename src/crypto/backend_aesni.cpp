@@ -1,0 +1,434 @@
+// Hardware CryptoBackend: AES-NI block ops and SHA-NI compression.
+//
+// This TU is the only one compiled with -maes -msha -mssse3 -msse4.1 (see
+// CMakeLists); it is built unconditionally on x86 and *selected* only when
+// util::cpu_features() says the instructions exist, so a binary built here
+// still runs (on the portable backend) on older CPUs. On non-x86 targets
+// the backend reports !usable() and contains no intrinsics.
+//
+// Key material: the AESENC round keys are the Aes::enc_round_keys() words
+// serialised big-endian; AESDEC wants InvMixColumns-transformed keys in
+// reversed order, which is exactly what the equivalent-inverse schedule in
+// Aes::dec_round_keys() holds. CBC decryption runs 4 blocks in flight
+// (independent chains), CBC encryption is inherently serial.
+#include "crypto/aes.hpp"
+#include "crypto/backend.hpp"
+#include "util/byteorder.hpp"
+#include "util/cpuid.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AES__) && \
+    defined(__SSSE3__) && defined(__SSE4_1__)
+#define NNFV_AESNI_COMPILED 1
+#include <immintrin.h>
+#endif
+
+namespace nnfv::crypto {
+
+namespace detail {
+
+namespace {
+
+#ifdef NNFV_AESNI_COMPILED
+
+constexpr std::size_t kMaxRounds = 14;  // AES-256
+
+/// Serialises up to 15 big-endian schedule words into AESENC/AESDEC
+/// register format. ~60 byte stores per call — noise next to the per-block
+/// work it enables, so schedules are converted per bulk call rather than
+/// cached in Aes (which stays ISA-neutral).
+struct RoundKeys {
+  __m128i rk[kMaxRounds + 1];
+  int rounds;
+
+  RoundKeys(std::span<const std::uint32_t> words, int nrounds)
+      : rounds(nrounds) {
+    alignas(16) std::uint8_t bytes[16];
+    for (int r = 0; r <= nrounds; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        util::store_be32(bytes + 4 * c, words[4 * r + c]);
+      }
+      rk[r] = _mm_load_si128(reinterpret_cast<const __m128i*>(bytes));
+    }
+  }
+};
+
+inline __m128i encrypt_one(const RoundKeys& keys, __m128i block) {
+  block = _mm_xor_si128(block, keys.rk[0]);
+  for (int r = 1; r < keys.rounds; ++r) {
+    block = _mm_aesenc_si128(block, keys.rk[r]);
+  }
+  return _mm_aesenclast_si128(block, keys.rk[keys.rounds]);
+}
+
+inline __m128i decrypt_one(const RoundKeys& keys, __m128i block) {
+  block = _mm_xor_si128(block, keys.rk[0]);
+  for (int r = 1; r < keys.rounds; ++r) {
+    block = _mm_aesdec_si128(block, keys.rk[r]);
+  }
+  return _mm_aesdeclast_si128(block, keys.rk[keys.rounds]);
+}
+
+void aes_encrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
+                           std::uint8_t* out, std::size_t nblocks) {
+  const RoundKeys keys(aes.enc_round_keys(), aes.rounds());
+  std::size_t i = 0;
+  // 4 independent blocks in flight to cover the AESENC latency.
+  for (; i + 4 <= nblocks; i += 4) {
+    __m128i b0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * i));
+    __m128i b1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 1)));
+    __m128i b2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 2)));
+    __m128i b3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 3)));
+    b0 = _mm_xor_si128(b0, keys.rk[0]);
+    b1 = _mm_xor_si128(b1, keys.rk[0]);
+    b2 = _mm_xor_si128(b2, keys.rk[0]);
+    b3 = _mm_xor_si128(b3, keys.rk[0]);
+    for (int r = 1; r < keys.rounds; ++r) {
+      b0 = _mm_aesenc_si128(b0, keys.rk[r]);
+      b1 = _mm_aesenc_si128(b1, keys.rk[r]);
+      b2 = _mm_aesenc_si128(b2, keys.rk[r]);
+      b3 = _mm_aesenc_si128(b3, keys.rk[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, keys.rk[keys.rounds]);
+    b1 = _mm_aesenclast_si128(b1, keys.rk[keys.rounds]);
+    b2 = _mm_aesenclast_si128(b2, keys.rk[keys.rounds]);
+    b3 = _mm_aesenclast_si128(b3, keys.rk[keys.rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 1)), b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 2)), b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 3)), b3);
+  }
+  for (; i < nblocks; ++i) {
+    const __m128i block = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     encrypt_one(keys, block));
+  }
+}
+
+void aes_decrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
+                           std::uint8_t* out, std::size_t nblocks) {
+  const RoundKeys keys(aes.dec_round_keys(), aes.rounds());
+  std::size_t i = 0;
+  // ECB blocks are independent: 4 in flight to cover the AESDEC latency,
+  // mirroring aes_encrypt_blocks_ni.
+  for (; i + 4 <= nblocks; i += 4) {
+    __m128i b0 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * i));
+    __m128i b1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 1)));
+    __m128i b2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 2)));
+    __m128i b3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * (i + 3)));
+    b0 = _mm_xor_si128(b0, keys.rk[0]);
+    b1 = _mm_xor_si128(b1, keys.rk[0]);
+    b2 = _mm_xor_si128(b2, keys.rk[0]);
+    b3 = _mm_xor_si128(b3, keys.rk[0]);
+    for (int r = 1; r < keys.rounds; ++r) {
+      b0 = _mm_aesdec_si128(b0, keys.rk[r]);
+      b1 = _mm_aesdec_si128(b1, keys.rk[r]);
+      b2 = _mm_aesdec_si128(b2, keys.rk[r]);
+      b3 = _mm_aesdec_si128(b3, keys.rk[r]);
+    }
+    b0 = _mm_aesdeclast_si128(b0, keys.rk[keys.rounds]);
+    b1 = _mm_aesdeclast_si128(b1, keys.rk[keys.rounds]);
+    b2 = _mm_aesdeclast_si128(b2, keys.rk[keys.rounds]);
+    b3 = _mm_aesdeclast_si128(b3, keys.rk[keys.rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i), b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 1)), b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 2)), b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + 3)), b3);
+  }
+  for (; i < nblocks; ++i) {
+    const __m128i block = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     decrypt_one(keys, block));
+  }
+}
+
+void cbc_encrypt_ni(const Aes& aes, const std::uint8_t* iv,
+                    const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t len) {
+  const RoundKeys keys(aes.enc_round_keys(), aes.rounds());
+  __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  for (std::size_t off = 0; off < len; off += 16) {
+    const __m128i plain =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    chain = encrypt_one(keys, _mm_xor_si128(plain, chain));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), chain);
+  }
+}
+
+void cbc_decrypt_ni(const Aes& aes, const std::uint8_t* iv,
+                    const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t len) {
+  const RoundKeys keys(aes.dec_round_keys(), aes.rounds());
+  __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  std::size_t off = 0;
+  // Unlike encryption the chain blocks are all known up front, so 4 AESDEC
+  // pipelines run in parallel.
+  for (; off + 64 <= len; off += 64) {
+    const __m128i c0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    const __m128i c1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off + 16));
+    const __m128i c2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off + 32));
+    const __m128i c3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off + 48));
+    __m128i b0 = _mm_xor_si128(c0, keys.rk[0]);
+    __m128i b1 = _mm_xor_si128(c1, keys.rk[0]);
+    __m128i b2 = _mm_xor_si128(c2, keys.rk[0]);
+    __m128i b3 = _mm_xor_si128(c3, keys.rk[0]);
+    for (int r = 1; r < keys.rounds; ++r) {
+      b0 = _mm_aesdec_si128(b0, keys.rk[r]);
+      b1 = _mm_aesdec_si128(b1, keys.rk[r]);
+      b2 = _mm_aesdec_si128(b2, keys.rk[r]);
+      b3 = _mm_aesdec_si128(b3, keys.rk[r]);
+    }
+    b0 = _mm_aesdeclast_si128(b0, keys.rk[keys.rounds]);
+    b1 = _mm_aesdeclast_si128(b1, keys.rk[keys.rounds]);
+    b2 = _mm_aesdeclast_si128(b2, keys.rk[keys.rounds]);
+    b3 = _mm_aesdeclast_si128(b3, keys.rk[keys.rounds]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off),
+                     _mm_xor_si128(b0, chain));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16),
+                     _mm_xor_si128(b1, c0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 32),
+                     _mm_xor_si128(b2, c1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 48),
+                     _mm_xor_si128(b3, c2));
+    chain = c3;
+  }
+  for (; off < len; off += 16) {
+    const __m128i cipher =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off),
+                     _mm_xor_si128(decrypt_one(keys, cipher), chain));
+    chain = cipher;
+  }
+}
+
+#ifdef __SHA__
+
+// Round constants come from the table shared with the portable
+// compression (detail::kSha256K).
+inline __m128i k256(int group) {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(&kSha256K[4 * group]));
+}
+
+/// The standard two-lane SHA-NI compression (state packed as ABEF/CDGH
+/// for SHA256RNDS2, message schedule advanced with SHA256MSG1/MSG2).
+void sha256_compress_shani(std::uint32_t state[8], const std::uint8_t* data,
+                           std::size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack a,b,c,d / e,f,g,h into the ABEF / CDGH lanes.
+  __m128i tmp =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  while (nblocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg;
+
+    // Rounds 0-15: load + byte-swap the four message words.
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)),
+        kShuffle);
+    msg = _mm_add_epi32(msg0, k256(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)),
+        kShuffle);
+    msg = _mm_add_epi32(msg1, k256(1));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)),
+        kShuffle);
+    msg = _mm_add_epi32(msg2, k256(2));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)),
+        kShuffle);
+
+    // Rounds 12-47: four-round groups; each advances one schedule
+    // register with MSG2(alignr carry) and primes another with MSG1.
+#define NNFV_SHA_GROUP(group, ma, mb, mc, md)                      \
+    do {                                                           \
+      msg = _mm_add_epi32(ma, k256(group));                        \
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);         \
+      const __m128i carry = _mm_alignr_epi8(ma, md, 4);            \
+      mb = _mm_add_epi32(mb, carry);                               \
+      mb = _mm_sha256msg2_epu32(mb, ma);                           \
+      msg = _mm_shuffle_epi32(msg, 0x0E);                          \
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);         \
+      md = _mm_sha256msg1_epu32(md, ma);                           \
+    } while (0)
+
+    NNFV_SHA_GROUP(3, msg3, msg0, msg1, msg2);
+    NNFV_SHA_GROUP(4, msg0, msg1, msg2, msg3);
+    NNFV_SHA_GROUP(5, msg1, msg2, msg3, msg0);
+    NNFV_SHA_GROUP(6, msg2, msg3, msg0, msg1);
+    NNFV_SHA_GROUP(7, msg3, msg0, msg1, msg2);
+    NNFV_SHA_GROUP(8, msg0, msg1, msg2, msg3);
+    NNFV_SHA_GROUP(9, msg1, msg2, msg3, msg0);
+    NNFV_SHA_GROUP(10, msg2, msg3, msg0, msg1);
+    NNFV_SHA_GROUP(11, msg3, msg0, msg1, msg2);
+    // Rounds 48-51 still MSG1-prime msg3 (it advances in rounds 56-59).
+    NNFV_SHA_GROUP(12, msg0, msg1, msg2, msg3);
+#undef NNFV_SHA_GROUP
+
+    // Rounds 52-63: the tail of the schedule, no more MSG1 priming.
+    msg = _mm_add_epi32(msg1, k256(13));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    __m128i carry = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, carry);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    msg = _mm_add_epi32(msg2, k256(14));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    carry = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, carry);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    msg = _mm_add_epi32(msg3, k256(15));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  // Unpack ABEF/CDGH back to a..h.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);        // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#endif  // __SHA__
+
+#endif  // NNFV_AESNI_COMPILED
+
+class AesniBackend final : public CryptoBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "aesni"; }
+
+  [[nodiscard]] bool usable() const override {
+#ifdef NNFV_AESNI_COMPILED
+    const util::CpuFeatures& f = util::cpu_features();
+    return f.aesni && f.ssse3 && f.sse41;
+#else
+    return false;
+#endif
+  }
+
+#ifdef NNFV_AESNI_COMPILED
+  void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    aes_encrypt_blocks_ni(aes, in, out, nblocks);
+  }
+
+  void aes_decrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    aes_decrypt_blocks_ni(aes, in, out, nblocks);
+  }
+
+  void cbc_encrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    cbc_encrypt_ni(aes, iv, in, out, len);
+  }
+
+  void cbc_decrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    cbc_decrypt_ni(aes, iv, in, out, len);
+  }
+
+  void sha256_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                       std::size_t nblocks) const override {
+#ifdef __SHA__
+    // SHA-NI appeared later than AES-NI; fall back per-feature so e.g.
+    // pre-Ice-Lake Xeons still get hardware AES.
+    if (util::cpu_features().sha_ni) {
+      sha256_compress_shani(state, blocks, nblocks);
+      return;
+    }
+#endif
+    sha256_compress_portable(state, blocks, nblocks);
+  }
+#else   // !NNFV_AESNI_COMPILED: never selected (usable() is false); the
+        // bodies satisfy the interface on non-x86 builds.
+  void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    portable_backend().aes_encrypt_blocks(aes, in, out, nblocks);
+  }
+  void aes_decrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    portable_backend().aes_decrypt_blocks(aes, in, out, nblocks);
+  }
+  void cbc_encrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    portable_backend().cbc_encrypt(aes, iv, in, out, len);
+  }
+  void cbc_decrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    portable_backend().cbc_decrypt(aes, iv, in, out, len);
+  }
+  void sha256_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                       std::size_t nblocks) const override {
+    sha256_compress_portable(state, blocks, nblocks);
+  }
+#endif  // NNFV_AESNI_COMPILED
+};
+
+}  // namespace
+
+const CryptoBackend& aesni_backend() {
+  static const AesniBackend backend;
+  return backend;
+}
+
+}  // namespace detail
+
+}  // namespace nnfv::crypto

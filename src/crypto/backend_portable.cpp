@@ -1,0 +1,164 @@
+// Portable CryptoBackend: the PR 1 software fast path — 32-bit T-table
+// AES (via the Aes block functions) and the 8-wide unrolled SHA-256
+// compression. Runs on every CPU; the auto-selection fallback.
+#include <cstring>
+
+#include "crypto/aes.hpp"
+#include "crypto/backend.hpp"
+#include "util/byteorder.hpp"
+
+namespace nnfv::crypto {
+
+namespace detail {
+
+const std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+namespace {
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+// Rounds unrolled 8-wide: working variables are renamed per round instead
+// of shuffled (no h=g; g=f; ... register churn).
+#define NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, ki, wi)                   \
+  do {                                                                      \
+    const std::uint32_t t1 = (h) + (rotr(e, 6) ^ rotr(e, 11) ^              \
+                                    rotr(e, 25)) +                          \
+                             (((e) & (f)) ^ (~(e) & (g))) + (ki) + (wi);    \
+    const std::uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +     \
+                             (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));     \
+    (d) += t1;                                                              \
+    (h) = t1 + t2;                                                          \
+  } while (0)
+
+void compress_one(std::uint32_t state[8], const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = util::load_be32(block + 4 * i);
+  }
+  for (int i = 16; i < 64; i += 2) {
+    const std::uint32_t sa0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t sa1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + sa0 + w[i - 7] + sa1;
+    const std::uint32_t sb0 =
+        rotr(w[i - 14], 7) ^ rotr(w[i - 14], 18) ^ (w[i - 14] >> 3);
+    const std::uint32_t sb1 =
+        rotr(w[i - 1], 17) ^ rotr(w[i - 1], 19) ^ (w[i - 1] >> 10);
+    w[i + 1] = w[i - 15] + sb0 + w[i - 6] + sb1;
+  }
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; i += 8) {
+    NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, kSha256K[i + 0], w[i + 0]);
+    NNFV_SHA256_ROUND(h, a, b, c, d, e, f, g, kSha256K[i + 1], w[i + 1]);
+    NNFV_SHA256_ROUND(g, h, a, b, c, d, e, f, kSha256K[i + 2], w[i + 2]);
+    NNFV_SHA256_ROUND(f, g, h, a, b, c, d, e, kSha256K[i + 3], w[i + 3]);
+    NNFV_SHA256_ROUND(e, f, g, h, a, b, c, d, kSha256K[i + 4], w[i + 4]);
+    NNFV_SHA256_ROUND(d, e, f, g, h, a, b, c, kSha256K[i + 5], w[i + 5]);
+    NNFV_SHA256_ROUND(c, d, e, f, g, h, a, b, kSha256K[i + 6], w[i + 6]);
+    NNFV_SHA256_ROUND(b, c, d, e, f, g, h, a, kSha256K[i + 7], w[i + 7]);
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+#undef NNFV_SHA256_ROUND
+
+class PortableBackend final : public CryptoBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "portable"; }
+  [[nodiscard]] bool usable() const override { return true; }
+
+  void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      aes.encrypt_block(in + 16 * i, out + 16 * i);
+    }
+  }
+
+  void aes_decrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    for (std::size_t i = 0; i < nblocks; ++i) {
+      aes.decrypt_block(in + 16 * i, out + 16 * i);
+    }
+  }
+
+  void cbc_encrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    std::uint8_t chain[16];
+    std::memcpy(chain, iv, 16);
+    for (std::size_t off = 0; off < len; off += 16) {
+      std::uint8_t block[16];
+      for (std::size_t i = 0; i < 16; ++i) {
+        block[i] = static_cast<std::uint8_t>(in[off + i] ^ chain[i]);
+      }
+      aes.encrypt_block(block, out + off);
+      std::memcpy(chain, out + off, 16);
+    }
+  }
+
+  void cbc_decrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    std::uint8_t chain[16];
+    std::memcpy(chain, iv, 16);
+    for (std::size_t off = 0; off < len; off += 16) {
+      std::uint8_t next_chain[16];  // survives in-place decryption
+      std::memcpy(next_chain, in + off, 16);
+      std::uint8_t block[16];
+      aes.decrypt_block(in + off, block);
+      for (std::size_t i = 0; i < 16; ++i) {
+        out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
+      }
+      std::memcpy(chain, next_chain, 16);
+    }
+  }
+
+  void sha256_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                       std::size_t nblocks) const override {
+    sha256_compress_portable(state, blocks, nblocks);
+  }
+};
+
+}  // namespace
+
+void sha256_compress_portable(std::uint32_t state[8],
+                              const std::uint8_t* blocks,
+                              std::size_t nblocks) {
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    compress_one(state, blocks + 64 * i);
+  }
+}
+
+const CryptoBackend& portable_backend() {
+  static const PortableBackend backend;
+  return backend;
+}
+
+}  // namespace detail
+
+}  // namespace nnfv::crypto

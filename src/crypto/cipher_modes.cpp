@@ -2,10 +2,16 @@
 
 #include <cstring>
 
+#include "crypto/backend.hpp"
+
 namespace nnfv::crypto {
 
 using util::invalid_argument;
 using util::Result;
+
+// All bulk block work dispatches through the active CryptoBackend; this
+// file keeps the argument checking and padding policy. Backends are
+// bit-identical, so callers never see a behavioural difference.
 
 Result<std::vector<std::uint8_t>> aes_cbc_encrypt(
     const Aes& aes, std::span<const std::uint8_t> iv,
@@ -19,16 +25,8 @@ Result<std::vector<std::uint8_t>> aes_cbc_encrypt(
   padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
 
   std::vector<std::uint8_t> out(padded.size());
-  std::uint8_t chain[Aes::kBlockSize];
-  std::memcpy(chain, iv.data(), Aes::kBlockSize);
-  for (std::size_t off = 0; off < padded.size(); off += Aes::kBlockSize) {
-    std::uint8_t block[Aes::kBlockSize];
-    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
-      block[i] = static_cast<std::uint8_t>(padded[off + i] ^ chain[i]);
-    }
-    aes.encrypt_block(block, out.data() + off);
-    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
-  }
+  active_backend().cbc_encrypt(aes, iv.data(), padded.data(), out.data(),
+                               padded.size());
   return out;
 }
 
@@ -42,16 +40,8 @@ Result<std::vector<std::uint8_t>> aes_cbc_decrypt(
     return invalid_argument("CBC ciphertext must be a positive multiple of 16");
   }
   std::vector<std::uint8_t> out(ciphertext.size());
-  std::uint8_t chain[Aes::kBlockSize];
-  std::memcpy(chain, iv.data(), Aes::kBlockSize);
-  for (std::size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
-    std::uint8_t block[Aes::kBlockSize];
-    aes.decrypt_block(ciphertext.data() + off, block);
-    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
-      out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
-    }
-    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
-  }
+  active_backend().cbc_decrypt(aes, iv.data(), ciphertext.data(), out.data(),
+                               ciphertext.size());
   const std::uint8_t pad = out.back();
   if (pad == 0 || pad > Aes::kBlockSize || pad > out.size()) {
     return invalid_argument("bad PKCS#7 padding");
@@ -73,16 +63,8 @@ Result<std::vector<std::uint8_t>> aes_cbc_encrypt_raw(
     return invalid_argument("raw CBC plaintext must be a multiple of 16");
   }
   std::vector<std::uint8_t> out(plaintext.size());
-  std::uint8_t chain[Aes::kBlockSize];
-  std::memcpy(chain, iv.data(), Aes::kBlockSize);
-  for (std::size_t off = 0; off < plaintext.size(); off += Aes::kBlockSize) {
-    std::uint8_t block[Aes::kBlockSize];
-    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
-      block[i] = static_cast<std::uint8_t>(plaintext[off + i] ^ chain[i]);
-    }
-    aes.encrypt_block(block, out.data() + off);
-    std::memcpy(chain, out.data() + off, Aes::kBlockSize);
-  }
+  active_backend().cbc_encrypt(aes, iv.data(), plaintext.data(), out.data(),
+                               plaintext.size());
   return out;
 }
 
@@ -96,16 +78,8 @@ Result<std::vector<std::uint8_t>> aes_cbc_decrypt_raw(
     return invalid_argument("raw CBC ciphertext must be a positive multiple of 16");
   }
   std::vector<std::uint8_t> out(ciphertext.size());
-  std::uint8_t chain[Aes::kBlockSize];
-  std::memcpy(chain, iv.data(), Aes::kBlockSize);
-  for (std::size_t off = 0; off < ciphertext.size(); off += Aes::kBlockSize) {
-    std::uint8_t block[Aes::kBlockSize];
-    aes.decrypt_block(ciphertext.data() + off, block);
-    for (std::size_t i = 0; i < Aes::kBlockSize; ++i) {
-      out[off + i] = static_cast<std::uint8_t>(block[i] ^ chain[i]);
-    }
-    std::memcpy(chain, ciphertext.data() + off, Aes::kBlockSize);
-  }
+  active_backend().cbc_decrypt(aes, iv.data(), ciphertext.data(), out.data(),
+                               ciphertext.size());
   return out;
 }
 
@@ -115,21 +89,27 @@ Result<std::vector<std::uint8_t>> aes_ctr_crypt(
   if (counter_block.size() != Aes::kBlockSize) {
     return invalid_argument("CTR counter block must be 16 bytes");
   }
+  const std::size_t nblocks =
+      (data.size() + Aes::kBlockSize - 1) / Aes::kBlockSize;
+  std::vector<std::uint8_t> out(data.size());
+  if (nblocks == 0) return out;
+
+  // Materialise every counter, then one backend call generates the whole
+  // keystream — AES-NI runs the independent blocks 4 deep.
+  std::vector<std::uint8_t> keystream(nblocks * Aes::kBlockSize);
   std::uint8_t counter[Aes::kBlockSize];
   std::memcpy(counter, counter_block.data(), Aes::kBlockSize);
-
-  std::vector<std::uint8_t> out(data.size());
-  std::uint8_t keystream[Aes::kBlockSize];
-  for (std::size_t off = 0; off < data.size(); off += Aes::kBlockSize) {
-    aes.encrypt_block(counter, keystream);
-    const std::size_t n = std::min(Aes::kBlockSize, data.size() - off);
-    for (std::size_t i = 0; i < n; ++i) {
-      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
-    }
-    // Big-endian increment.
-    for (int i = Aes::kBlockSize - 1; i >= 0; --i) {
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::memcpy(keystream.data() + b * Aes::kBlockSize, counter,
+                Aes::kBlockSize);
+    for (int i = Aes::kBlockSize - 1; i >= 0; --i) {  // big-endian increment
       if (++counter[i] != 0) break;
     }
+  }
+  active_backend().aes_encrypt_blocks(aes, keystream.data(), keystream.data(),
+                                      nblocks);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(data[i] ^ keystream[i]);
   }
   return out;
 }

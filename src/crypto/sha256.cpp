@@ -2,30 +2,16 @@
 
 #include <cstring>
 
+#include "crypto/backend.hpp"
 #include "util/byteorder.hpp"
 
 namespace nnfv::crypto {
 
-namespace {
-
-constexpr std::uint32_t kK[64] = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-inline std::uint32_t rotr(std::uint32_t x, int n) {
-  return (x >> n) | (x << (32 - n));
-}
-
-}  // namespace
+// Block compression is dispatched through the active CryptoBackend
+// (SHA-NI when the CPU has it, the 8-wide unrolled portable code
+// otherwise); this file keeps only the streaming/padding layer. Whole
+// blocks in one update() go to the backend as a single multi-block call,
+// so per-call virtual dispatch is amortised over the buffer.
 
 void Sha256::reset() {
   state_[0] = 0x6a09e667;
@@ -40,61 +26,9 @@ void Sha256::reset() {
   buffer_len_ = 0;
 }
 
-// Compression with the rounds unrolled 8-wide: the working variables are
-// renamed per round instead of shuffled (no h=g; g=f; ... register churn),
-// which is the main win over the former rolled loop.
-#define NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, ki, wi)                  \
-  do {                                                                     \
-    const std::uint32_t t1 = (h) + (rotr(e, 6) ^ rotr(e, 11) ^             \
-                                    rotr(e, 25)) +                         \
-                             (((e) & (f)) ^ (~(e) & (g))) + (ki) + (wi);   \
-    const std::uint32_t t2 = (rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)) +    \
-                             (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));    \
-    (d) += t1;                                                             \
-    (h) = t1 + t2;                                                         \
-  } while (0)
-
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = util::load_be32(block + 4 * i);
-  }
-  for (int i = 16; i < 64; i += 2) {
-    const std::uint32_t sa0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t sa1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + sa0 + w[i - 7] + sa1;
-    const std::uint32_t sb0 =
-        rotr(w[i - 14], 7) ^ rotr(w[i - 14], 18) ^ (w[i - 14] >> 3);
-    const std::uint32_t sb1 =
-        rotr(w[i - 1], 17) ^ rotr(w[i - 1], 19) ^ (w[i - 1] >> 10);
-    w[i + 1] = w[i - 15] + sb0 + w[i - 6] + sb1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-  for (int i = 0; i < 64; i += 8) {
-    NNFV_SHA256_ROUND(a, b, c, d, e, f, g, h, kK[i + 0], w[i + 0]);
-    NNFV_SHA256_ROUND(h, a, b, c, d, e, f, g, kK[i + 1], w[i + 1]);
-    NNFV_SHA256_ROUND(g, h, a, b, c, d, e, f, kK[i + 2], w[i + 2]);
-    NNFV_SHA256_ROUND(f, g, h, a, b, c, d, e, kK[i + 3], w[i + 3]);
-    NNFV_SHA256_ROUND(e, f, g, h, a, b, c, d, kK[i + 4], w[i + 4]);
-    NNFV_SHA256_ROUND(d, e, f, g, h, a, b, c, kK[i + 5], w[i + 5]);
-    NNFV_SHA256_ROUND(c, d, e, f, g, h, a, b, kK[i + 6], w[i + 6]);
-    NNFV_SHA256_ROUND(b, c, d, e, f, g, h, a, kK[i + 7], w[i + 7]);
-  }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+void Sha256::process_blocks(const std::uint8_t* blocks, std::size_t nblocks) {
+  active_backend().sha256_compress(state_, blocks, nblocks);
 }
-
-#undef NNFV_SHA256_ROUND
 
 void Sha256::update(std::span<const std::uint8_t> data) {
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
@@ -105,13 +39,14 @@ void Sha256::update(std::span<const std::uint8_t> data) {
     buffer_len_ += take;
     offset = take;
     if (buffer_len_ == kBlockSize) {
-      process_block(buffer_);
+      process_blocks(buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (offset + kBlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockSize;
+  const std::size_t whole = (data.size() - offset) / kBlockSize;
+  if (whole > 0) {
+    process_blocks(data.data() + offset, whole);
+    offset += whole * kBlockSize;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_, data.data() + offset, data.size() - offset);

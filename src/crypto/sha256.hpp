@@ -27,7 +27,9 @@ class Sha256 {
       std::span<const std::uint8_t> data);
 
  private:
-  void process_block(const std::uint8_t* block);
+  /// Dispatches `nblocks` consecutive 64-byte blocks to the active
+  /// CryptoBackend's compression in one call.
+  void process_blocks(const std::uint8_t* blocks, std::size_t nblocks);
 
   std::uint32_t state_[8];
   std::uint64_t bit_count_ = 0;

@@ -86,6 +86,11 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
                                     "'");
     }
   }
+  // Key-schedule work that must not happen per packet: absorb the HMAC
+  // ipad once per direction; encapsulate/decapsulate copy the midstate
+  // per ICV.
+  tunnel.out_hmac_tmpl.emplace(tunnel.out_sa.auth_key);
+  tunnel.in_hmac_tmpl.emplace(tunnel.in_sa.auth_key);
   tunnel.configured = tunnel.cipher.has_value() && tunnel.out_sa.spi != 0 &&
                       tunnel.in_sa.spi != 0;
   return util::Status::ok();
@@ -187,8 +192,9 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate(
   // ICV over ESP header + IV + ciphertext (RFC 4303 §2.8).
   const std::size_t auth_len =
       packet::kEspHeaderSize + kIvSize + ciphertext->size();
-  auto icv = crypto::HmacSha256::mac(sa.auth_key,
-                                     buf.subspan(esp_off, auth_len));
+  crypto::HmacSha256 hmac = *tunnel.out_hmac_tmpl;
+  hmac.update(buf.subspan(esp_off, auth_len));
+  const auto icv = hmac.final();
   std::memcpy(buf.data() + esp_off + auth_len, icv.data(), kIcvSize);
 
   ++stats_.encapsulated;
@@ -235,8 +241,9 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate(
 
   // Verify ICV first (constant time), then replay, then decrypt.
   const std::size_t auth_len = esp_area.size() - kIcvSize;
-  auto expected = crypto::HmacSha256::mac(
-      sa.auth_key, esp_area.subspan(0, auth_len));
+  crypto::HmacSha256 hmac = *tunnel.in_hmac_tmpl;
+  hmac.update(esp_area.subspan(0, auth_len));
+  const auto expected = hmac.final();
   if (!crypto::constant_time_equal({expected.data(), kIcvSize},
                                    esp_area.subspan(auth_len, kIcvSize))) {
     ++stats_.auth_failures;
@@ -290,6 +297,31 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate(
 
   ++stats_.decapsulated;
   out.push_back(NfOutput{0, std::move(inner)});
+  return out;
+}
+
+std::vector<NfOutput> IpsecEndpoint::process_burst(
+    ContextId ctx, NfPortIndex in_port, sim::SimTime /*now*/,
+    packet::PacketBurst&& burst) {
+  std::vector<NfOutput> out;
+  if (burst.empty()) return out;
+  if (!has_context(ctx) || in_port >= 2) {
+    stats_.malformed += burst.size();
+    return out;
+  }
+  auto it = tunnels_.find(ctx);
+  if (it == tunnels_.end() || !it->second.configured) {
+    stats_.no_sa += burst.size();
+    return out;
+  }
+  Tunnel& tunnel = it->second;
+  out.reserve(burst.size());
+  for (packet::PacketBuffer& frame : burst) {
+    auto one = in_port == 0 ? encapsulate(tunnel, std::move(frame))
+                            : decapsulate(tunnel, std::move(frame));
+    for (NfOutput& output : one) out.push_back(std::move(output));
+  }
+  burst.clear();
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
 #include "nnf/network_function.hpp"
 #include "packet/headers.hpp"
 
@@ -65,6 +66,14 @@ class IpsecEndpoint : public NetworkFunction {
                                 sim::SimTime now,
                                 packet::PacketBuffer&& frame) override;
 
+  /// Burst override: the context -> tunnel resolution (map lookup +
+  /// configured/SA checks) happens once for the whole burst instead of
+  /// per packet; the cached key schedules and HMAC midstate then serve
+  /// every frame.
+  std::vector<NfOutput> process_burst(ContextId ctx, NfPortIndex in_port,
+                                      sim::SimTime now,
+                                      packet::PacketBurst&& burst) override;
+
   util::Status remove_context(ContextId ctx) override;
 
   [[nodiscard]] const IpsecStats& stats() const { return stats_; }
@@ -79,6 +88,13 @@ class IpsecEndpoint : public NetworkFunction {
     SecurityAssociation out_sa;
     SecurityAssociation in_sa;
     std::optional<crypto::Aes> cipher;  ///< key-expanded AES
+    /// HMAC with the ipad block already absorbed, one per direction; per
+    /// packet the ICV computation copies the midstate instead of
+    /// re-deriving the key pads + compressing ipad. Kept per SA so the
+    /// templates stay correct if the two directions ever get distinct
+    /// auth keys.
+    std::optional<crypto::HmacSha256> out_hmac_tmpl;
+    std::optional<crypto::HmacSha256> in_hmac_tmpl;
     packet::MacAddress outer_src_mac = packet::MacAddress::from_id(0xE0);
     packet::MacAddress outer_dst_mac = packet::MacAddress::from_id(0xE1);
     packet::MacAddress inner_src_mac = packet::MacAddress::from_id(0xE2);

@@ -1,0 +1,54 @@
+#include "util/cpuid.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define NNFV_HAVE_CPUID 1
+#endif
+
+namespace nnfv::util {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#ifdef NNFV_HAVE_CPUID
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    f.pclmul = (ecx & (1u << 1)) != 0;
+    f.ssse3 = (ecx & (1u << 9)) != 0;
+    f.sse41 = (ecx & (1u << 19)) != 0;
+    f.aesni = (ecx & (1u << 25)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx2 = (ebx & (1u << 5)) != 0;
+    f.sha_ni = (ebx & (1u << 29)) != 0;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+std::string cpu_feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  const auto append = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(f.ssse3, "ssse3");
+  append(f.sse41, "sse4.1");
+  append(f.aesni, "aes");
+  append(f.pclmul, "pclmul");
+  append(f.avx2, "avx2");
+  append(f.sha_ni, "sha");
+  return out;
+}
+
+}  // namespace nnfv::util

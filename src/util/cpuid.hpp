@@ -1,0 +1,27 @@
+// Runtime CPU-feature probe (CPUID on x86) backing the crypto backend
+// dispatch: the accelerated AES-NI/SHA-NI backend is compiled
+// unconditionally but only *selected* when the executing CPU advertises
+// the instructions. Non-x86 builds report every feature as absent.
+#pragma once
+
+#include <string>
+
+namespace nnfv::util {
+
+struct CpuFeatures {
+  bool ssse3 = false;    ///< PSHUFB et al. (leaf 1 ECX bit 9)
+  bool sse41 = false;    ///< PBLENDW et al. (leaf 1 ECX bit 19)
+  bool aesni = false;    ///< AESENC/AESDEC (leaf 1 ECX bit 25)
+  bool pclmul = false;   ///< PCLMULQDQ (leaf 1 ECX bit 1)
+  bool avx2 = false;     ///< leaf 7 EBX bit 5
+  bool sha_ni = false;   ///< SHA256RNDS2 et al. (leaf 7 EBX bit 29)
+};
+
+/// Probed once per process (thread-safe static init).
+const CpuFeatures& cpu_features();
+
+/// "ssse3 sse4.1 aes pclmul avx2 sha" subset string, for logs and bench
+/// JSON provenance.
+std::string cpu_feature_string();
+
+}  // namespace nnfv::util

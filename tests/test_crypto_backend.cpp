@@ -1,0 +1,306 @@
+// CryptoBackend dispatch tests: registry/selection semantics, published
+// vectors re-run on every usable backend, and the bit-identity cross-check
+// (every backend vs the byte-wise reference oracle) that makes backend
+// selection a pure performance choice.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "crypto/backend.hpp"
+#include "crypto/cipher_modes.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "nnf/ipsec.hpp"
+#include "packet/builder.hpp"
+#include "util/cpuid.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace nnfv::crypto {
+namespace {
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(util::hex_decode(hex, out));
+  return out;
+}
+
+TEST(CryptoBackend, RegistryNamesAndLookup) {
+  ASSERT_NE(backend_by_name("portable"), nullptr);
+  ASSERT_NE(backend_by_name("aesni"), nullptr);
+  ASSERT_NE(backend_by_name("reference"), nullptr);
+  EXPECT_EQ(backend_by_name("portable")->name(), "portable");
+  EXPECT_EQ(backend_by_name("no-such-backend"), nullptr);
+}
+
+TEST(CryptoBackend, PortableAndReferenceAlwaysUsable) {
+  EXPECT_TRUE(backend_by_name("portable")->usable());
+  EXPECT_TRUE(backend_by_name("reference")->usable());
+  // At minimum the two software backends are selectable everywhere.
+  EXPECT_GE(usable_backends().size(), 2u);
+}
+
+TEST(CryptoBackend, AesniUsableMatchesCpuid) {
+  const util::CpuFeatures& f = util::cpu_features();
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_EQ(backend_by_name("aesni")->usable(),
+            f.aesni && f.ssse3 && f.sse41);
+#else
+  EXPECT_FALSE(backend_by_name("aesni")->usable());
+#endif
+}
+
+TEST(CryptoBackend, ActiveBackendIsUsableAndOverrideRestores) {
+  const CryptoBackend& before = active_backend();
+  EXPECT_TRUE(before.usable());
+  {
+    ScopedBackendOverride override_scope(
+        detail::reference_backend());
+    EXPECT_EQ(active_backend().name(), "reference");
+  }
+  EXPECT_EQ(&active_backend(), &before);
+}
+
+// ---------------------------------------------------------------------------
+// Published vectors, re-run per backend (not just whichever is active).
+// ---------------------------------------------------------------------------
+
+class PerBackend : public ::testing::TestWithParam<const char*> {
+ protected:
+  const CryptoBackend& backend() { return *backend_by_name(GetParam()); }
+};
+
+#define NNFV_SKIP_IF_UNUSABLE()                              \
+  if (!backend().usable()) {                                 \
+    GTEST_SKIP() << GetParam() << " not usable on this CPU"; \
+  }
+
+TEST_P(PerBackend, Fips197SingleBlockAllKeySizes) {
+  NNFV_SKIP_IF_UNUSABLE();
+  const struct {
+    std::string key;
+    std::string cipher;
+  } cases[] = {
+      {"000102030405060708090a0b0c0d0e0f",
+       "69c4e0d86a7b0430d8cdb78070b4c55a"},
+      {"000102030405060708090a0b0c0d0e0f1011121314151617",
+       "dda97ca4864cdfe06eaf70a0ec0d7191"},
+      {"000102030405060708090a0b0c0d0e0f"
+       "101112131415161718191a1b1c1d1e1f",
+       "8ea2b7ca516745bfeafc49904b496089"},
+  };
+  const auto plain = from_hex("00112233445566778899aabbccddeeff");
+  for (const auto& c : cases) {
+    auto aes = Aes::create(from_hex(c.key));
+    ASSERT_TRUE(aes.is_ok());
+    std::uint8_t cipher[16];
+    backend().aes_encrypt_blocks(*aes, plain.data(), cipher, 1);
+    EXPECT_EQ(util::hex_encode({cipher, 16}), c.cipher);
+    std::uint8_t back[16];
+    backend().aes_decrypt_blocks(*aes, cipher, back, 1);
+    EXPECT_EQ(util::hex_encode({back, 16}), util::hex_encode(plain));
+  }
+}
+
+TEST_P(PerBackend, Sp80038aCbcVector) {
+  NNFV_SKIP_IF_UNUSABLE();
+  // NIST SP 800-38A F.2.1/F.2.2 (CBC-AES128), all four blocks.
+  auto aes = Aes::create(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  ASSERT_TRUE(aes.is_ok());
+  const auto iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto plain = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const std::string expected =
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7";
+  std::vector<std::uint8_t> cipher(plain.size());
+  backend().cbc_encrypt(*aes, iv.data(), plain.data(), cipher.data(),
+                        plain.size());
+  EXPECT_EQ(util::hex_encode(cipher), expected);
+  std::vector<std::uint8_t> back(plain.size());
+  backend().cbc_decrypt(*aes, iv.data(), cipher.data(), back.data(),
+                        cipher.size());
+  EXPECT_EQ(util::hex_encode(back), util::hex_encode(plain));
+}
+
+TEST_P(PerBackend, Sha256KnownAnswers) {
+  NNFV_SKIP_IF_UNUSABLE();
+  ScopedBackendOverride override_scope(backend());
+  const std::string abc = "abc";
+  EXPECT_EQ(util::hex_encode(Sha256::digest(
+                {reinterpret_cast<const std::uint8_t*>(abc.data()),
+                 abc.size()})),
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(util::hex_encode(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855");
+  // Multi-block + buffering boundaries under this backend.
+  const std::vector<std::uint8_t> data(200, 0x5A);
+  Sha256 split;
+  split.update({data.data(), 63});
+  split.update({data.data() + 63, 137});
+  const auto split_digest = split.final();
+  EXPECT_EQ(util::hex_encode(split_digest), util::hex_encode(Sha256::digest(data)));
+}
+
+TEST_P(PerBackend, HmacRfc4231Case2) {
+  NNFV_SKIP_IF_UNUSABLE();
+  ScopedBackendOverride override_scope(backend());
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const auto mac = HmacSha256::mac(
+      {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()},
+      {reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()});
+  EXPECT_EQ(util::hex_encode(mac),
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PerBackend,
+                         ::testing::Values("portable", "aesni", "reference"));
+
+// ---------------------------------------------------------------------------
+// Bit-identity cross-check: every usable backend vs the reference oracle.
+// ---------------------------------------------------------------------------
+
+TEST(CryptoBackend, BitIdentityAcrossBackends) {
+  util::Rng rng(1234);
+  const CryptoBackend& oracle = detail::reference_backend();
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const auto key = rng.bytes(key_len);
+    const auto iv = rng.bytes(16);
+    auto aes = Aes::create(key);
+    ASSERT_TRUE(aes.is_ok());
+    // Lengths straddle the 4-block unrolling in the AES-NI paths.
+    for (std::size_t blocks : {1u, 2u, 3u, 4u, 5u, 8u, 11u, 90u}) {
+      const auto data = rng.bytes(blocks * 16);
+      std::vector<std::uint8_t> want_ecb(data.size()), want_cbc(data.size()),
+          want_dec(data.size());
+      oracle.aes_encrypt_blocks(*aes, data.data(), want_ecb.data(), blocks);
+      oracle.cbc_encrypt(*aes, iv.data(), data.data(), want_cbc.data(),
+                         data.size());
+      oracle.cbc_decrypt(*aes, iv.data(), data.data(), want_dec.data(),
+                         data.size());
+      for (const CryptoBackend* backend : usable_backends()) {
+        std::vector<std::uint8_t> got(data.size());
+        backend->aes_encrypt_blocks(*aes, data.data(), got.data(), blocks);
+        EXPECT_EQ(got, want_ecb) << backend->name() << " ECB " << blocks;
+        std::vector<std::uint8_t> back(data.size());
+        backend->aes_decrypt_blocks(*aes, want_ecb.data(), back.data(),
+                                    blocks);
+        EXPECT_EQ(back, data) << backend->name() << " ECB dec " << blocks;
+        backend->cbc_encrypt(*aes, iv.data(), data.data(), got.data(),
+                             data.size());
+        EXPECT_EQ(got, want_cbc) << backend->name() << " CBC " << blocks;
+        backend->cbc_decrypt(*aes, iv.data(), data.data(), got.data(),
+                             data.size());
+        EXPECT_EQ(got, want_dec) << backend->name() << " CBC dec " << blocks;
+      }
+    }
+  }
+}
+
+TEST(CryptoBackend, CbcDecryptInPlaceMatchesOutOfPlace) {
+  util::Rng rng(77);
+  const auto key = rng.bytes(16);
+  const auto iv = rng.bytes(16);
+  const auto cipher = rng.bytes(160);
+  auto aes = Aes::create(key);
+  for (const CryptoBackend* backend : usable_backends()) {
+    std::vector<std::uint8_t> out_of_place(cipher.size());
+    backend->cbc_decrypt(*aes, iv.data(), cipher.data(), out_of_place.data(),
+                         cipher.size());
+    std::vector<std::uint8_t> in_place = cipher;
+    backend->cbc_decrypt(*aes, iv.data(), in_place.data(), in_place.data(),
+                         in_place.size());
+    EXPECT_EQ(in_place, out_of_place) << backend->name();
+  }
+}
+
+TEST(CryptoBackend, Sha256IdentityAcrossBackendsAllLengths) {
+  util::Rng rng(99);
+  for (std::size_t n : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 128u, 1450u}) {
+    const auto data = rng.bytes(n);
+    std::string want;
+    {
+      ScopedBackendOverride override_scope(detail::reference_backend());
+      want = util::hex_encode(Sha256::digest(data));
+    }
+    for (const CryptoBackend* backend : usable_backends()) {
+      ScopedBackendOverride override_scope(*backend);
+      EXPECT_EQ(util::hex_encode(Sha256::digest(data)), want)
+          << backend->name() << " length " << n;
+    }
+  }
+}
+
+TEST(CryptoBackend, CtrIdentityAcrossBackends) {
+  util::Rng rng(5);
+  const auto key = rng.bytes(16);
+  const auto counter = rng.bytes(16);
+  const auto data = rng.bytes(333);  // partial final block
+  auto aes = Aes::create(key);
+  std::string want;
+  {
+    ScopedBackendOverride override_scope(detail::reference_backend());
+    auto out = aes_ctr_crypt(*aes, counter, data);
+    ASSERT_TRUE(out.is_ok());
+    want = util::hex_encode(*out);
+  }
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    auto out = aes_ctr_crypt(*aes, counter, data);
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(util::hex_encode(*out), want) << backend->name();
+  }
+}
+
+// The acceptance property in ISSUE terms: an ESP packet encapsulated under
+// one backend is byte-identical under every other, so a tunnel can span
+// hosts with different backend selections.
+TEST(CryptoBackend, EspWireFormatIdenticalAcrossBackends) {
+  const nnf::NfConfig config = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", "000102030405060708090a0b0c0d0e0f"},
+      {"auth_key",
+       "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"}};
+  const auto make_frame = [] {
+    util::Rng rng(42);
+    packet::UdpFrameSpec spec;
+    spec.ip_src = *packet::Ipv4Address::parse("192.168.1.10");
+    spec.ip_dst = *packet::Ipv4Address::parse("10.8.0.5");
+    static std::vector<std::uint8_t> payload;
+    payload = rng.bytes(400);
+    spec.payload = payload;
+    return packet::build_udp_frame(spec);
+  };
+
+  std::vector<std::uint8_t> want;
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    nnf::IpsecEndpoint endpoint;
+    ASSERT_TRUE(endpoint.configure(nnf::kDefaultContext, config).is_ok());
+    auto outs = endpoint.process(nnf::kDefaultContext, 0, 0, make_frame());
+    ASSERT_EQ(outs.size(), 1u) << backend->name();
+    std::vector<std::uint8_t> wire(outs[0].frame.data().begin(),
+                                   outs[0].frame.data().end());
+    if (want.empty()) {
+      want = wire;
+    } else {
+      EXPECT_EQ(wire, want) << backend->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nnfv::crypto
