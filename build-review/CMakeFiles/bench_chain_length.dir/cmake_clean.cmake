@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chain_length.dir/bench/bench_chain_length.cpp.o"
+  "CMakeFiles/bench_chain_length.dir/bench/bench_chain_length.cpp.o.d"
+  "bench_chain_length"
+  "bench_chain_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chain_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowtable.dir/bench/bench_flowtable.cpp.o"
+  "CMakeFiles/bench_flowtable.dir/bench/bench_flowtable.cpp.o.d"
+  "bench_flowtable"
+  "bench_flowtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_policy.dir/bench/bench_placement_policy.cpp.o"
+  "CMakeFiles/bench_placement_policy.dir/bench/bench_placement_policy.cpp.o.d"
+  "bench_placement_policy"
+  "bench_placement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

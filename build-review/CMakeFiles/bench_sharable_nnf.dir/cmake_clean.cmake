@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharable_nnf.dir/bench/bench_sharable_nnf.cpp.o"
+  "CMakeFiles/bench_sharable_nnf.dir/bench/bench_sharable_nnf.cpp.o.d"
+  "bench_sharable_nnf"
+  "bench_sharable_nnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharable_nnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ipsec.dir/bench/bench_table1_ipsec.cpp.o"
+  "CMakeFiles/bench_table1_ipsec.dir/bench/bench_table1_ipsec.cpp.o.d"
+  "bench_table1_ipsec"
+  "bench_table1_ipsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ipsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,91 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/docker_driver.cpp" "CMakeFiles/nnfv.dir/src/compute/docker_driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/docker_driver.cpp.o.d"
+  "/root/repo/src/compute/dpdk_driver.cpp" "CMakeFiles/nnfv.dir/src/compute/dpdk_driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/dpdk_driver.cpp.o.d"
+  "/root/repo/src/compute/driver.cpp" "CMakeFiles/nnfv.dir/src/compute/driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/driver.cpp.o.d"
+  "/root/repo/src/compute/generic_driver.cpp" "CMakeFiles/nnfv.dir/src/compute/generic_driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/generic_driver.cpp.o.d"
+  "/root/repo/src/compute/instance.cpp" "CMakeFiles/nnfv.dir/src/compute/instance.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/instance.cpp.o.d"
+  "/root/repo/src/compute/manager.cpp" "CMakeFiles/nnfv.dir/src/compute/manager.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/manager.cpp.o.d"
+  "/root/repo/src/compute/native_driver.cpp" "CMakeFiles/nnfv.dir/src/compute/native_driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/native_driver.cpp.o.d"
+  "/root/repo/src/compute/templates.cpp" "CMakeFiles/nnfv.dir/src/compute/templates.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/templates.cpp.o.d"
+  "/root/repo/src/compute/vm_driver.cpp" "CMakeFiles/nnfv.dir/src/compute/vm_driver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/compute/vm_driver.cpp.o.d"
+  "/root/repo/src/core/network_manager.cpp" "CMakeFiles/nnfv.dir/src/core/network_manager.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/network_manager.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "CMakeFiles/nnfv.dir/src/core/node.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/node.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "CMakeFiles/nnfv.dir/src/core/orchestrator.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/orchestrator.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "CMakeFiles/nnfv.dir/src/core/repository.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/repository.cpp.o.d"
+  "/root/repo/src/core/resolver.cpp" "CMakeFiles/nnfv.dir/src/core/resolver.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/resolver.cpp.o.d"
+  "/root/repo/src/core/resource_manager.cpp" "CMakeFiles/nnfv.dir/src/core/resource_manager.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/resource_manager.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/nnfv.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/steering.cpp" "CMakeFiles/nnfv.dir/src/core/steering.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/core/steering.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "CMakeFiles/nnfv.dir/src/crypto/aes.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/backend.cpp" "CMakeFiles/nnfv.dir/src/crypto/backend.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/backend.cpp.o.d"
+  "/root/repo/src/crypto/backend_aesni.cpp" "CMakeFiles/nnfv.dir/src/crypto/backend_aesni.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/backend_aesni.cpp.o.d"
+  "/root/repo/src/crypto/backend_portable.cpp" "CMakeFiles/nnfv.dir/src/crypto/backend_portable.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/backend_portable.cpp.o.d"
+  "/root/repo/src/crypto/backend_reference.cpp" "CMakeFiles/nnfv.dir/src/crypto/backend_reference.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/backend_reference.cpp.o.d"
+  "/root/repo/src/crypto/cipher_modes.cpp" "CMakeFiles/nnfv.dir/src/crypto/cipher_modes.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/cipher_modes.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/nnfv.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "CMakeFiles/nnfv.dir/src/crypto/sha1.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/nnfv.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/json/json.cpp" "CMakeFiles/nnfv.dir/src/json/json.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/json/json.cpp.o.d"
+  "/root/repo/src/netns/netns.cpp" "CMakeFiles/nnfv.dir/src/netns/netns.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/netns/netns.cpp.o.d"
+  "/root/repo/src/nffg/nffg.cpp" "CMakeFiles/nnfv.dir/src/nffg/nffg.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nffg/nffg.cpp.o.d"
+  "/root/repo/src/nffg/nffg_json.cpp" "CMakeFiles/nnfv.dir/src/nffg/nffg_json.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nffg/nffg_json.cpp.o.d"
+  "/root/repo/src/nffg/validate.cpp" "CMakeFiles/nnfv.dir/src/nffg/validate.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nffg/validate.cpp.o.d"
+  "/root/repo/src/nnf/adaptation.cpp" "CMakeFiles/nnfv.dir/src/nnf/adaptation.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/adaptation.cpp.o.d"
+  "/root/repo/src/nnf/bridge.cpp" "CMakeFiles/nnfv.dir/src/nnf/bridge.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/bridge.cpp.o.d"
+  "/root/repo/src/nnf/catalog.cpp" "CMakeFiles/nnfv.dir/src/nnf/catalog.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/catalog.cpp.o.d"
+  "/root/repo/src/nnf/dhcp.cpp" "CMakeFiles/nnfv.dir/src/nnf/dhcp.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/dhcp.cpp.o.d"
+  "/root/repo/src/nnf/firewall.cpp" "CMakeFiles/nnfv.dir/src/nnf/firewall.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/firewall.cpp.o.d"
+  "/root/repo/src/nnf/ipsec.cpp" "CMakeFiles/nnfv.dir/src/nnf/ipsec.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/ipsec.cpp.o.d"
+  "/root/repo/src/nnf/marking.cpp" "CMakeFiles/nnfv.dir/src/nnf/marking.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/marking.cpp.o.d"
+  "/root/repo/src/nnf/nat.cpp" "CMakeFiles/nnfv.dir/src/nnf/nat.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/nat.cpp.o.d"
+  "/root/repo/src/nnf/network_function.cpp" "CMakeFiles/nnfv.dir/src/nnf/network_function.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/network_function.cpp.o.d"
+  "/root/repo/src/nnf/plugin.cpp" "CMakeFiles/nnfv.dir/src/nnf/plugin.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/plugin.cpp.o.d"
+  "/root/repo/src/nnf/policer.cpp" "CMakeFiles/nnfv.dir/src/nnf/policer.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/policer.cpp.o.d"
+  "/root/repo/src/nnf/translator.cpp" "CMakeFiles/nnfv.dir/src/nnf/translator.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/nnf/translator.cpp.o.d"
+  "/root/repo/src/packet/buffer.cpp" "CMakeFiles/nnfv.dir/src/packet/buffer.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/packet/buffer.cpp.o.d"
+  "/root/repo/src/packet/builder.cpp" "CMakeFiles/nnfv.dir/src/packet/builder.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/packet/builder.cpp.o.d"
+  "/root/repo/src/packet/checksum.cpp" "CMakeFiles/nnfv.dir/src/packet/checksum.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/packet/checksum.cpp.o.d"
+  "/root/repo/src/packet/flow_key.cpp" "CMakeFiles/nnfv.dir/src/packet/flow_key.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/packet/flow_key.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "CMakeFiles/nnfv.dir/src/packet/headers.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/packet/headers.cpp.o.d"
+  "/root/repo/src/rest/api.cpp" "CMakeFiles/nnfv.dir/src/rest/api.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/rest/api.cpp.o.d"
+  "/root/repo/src/rest/http.cpp" "CMakeFiles/nnfv.dir/src/rest/http.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/rest/http.cpp.o.d"
+  "/root/repo/src/rest/router.cpp" "CMakeFiles/nnfv.dir/src/rest/router.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/rest/router.cpp.o.d"
+  "/root/repo/src/rest/server.cpp" "CMakeFiles/nnfv.dir/src/rest/server.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/rest/server.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/nnfv.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "CMakeFiles/nnfv.dir/src/sim/link.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/sim/link.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/nnfv.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/switch/flow_action.cpp" "CMakeFiles/nnfv.dir/src/switch/flow_action.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/flow_action.cpp.o.d"
+  "/root/repo/src/switch/flow_classifier.cpp" "CMakeFiles/nnfv.dir/src/switch/flow_classifier.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/flow_classifier.cpp.o.d"
+  "/root/repo/src/switch/flow_match.cpp" "CMakeFiles/nnfv.dir/src/switch/flow_match.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/flow_match.cpp.o.d"
+  "/root/repo/src/switch/flow_table.cpp" "CMakeFiles/nnfv.dir/src/switch/flow_table.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/flow_table.cpp.o.d"
+  "/root/repo/src/switch/learning_controller.cpp" "CMakeFiles/nnfv.dir/src/switch/learning_controller.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/learning_controller.cpp.o.d"
+  "/root/repo/src/switch/lsi.cpp" "CMakeFiles/nnfv.dir/src/switch/lsi.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/switch/lsi.cpp.o.d"
+  "/root/repo/src/traffic/measure.cpp" "CMakeFiles/nnfv.dir/src/traffic/measure.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/traffic/measure.cpp.o.d"
+  "/root/repo/src/traffic/sink.cpp" "CMakeFiles/nnfv.dir/src/traffic/sink.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/traffic/sink.cpp.o.d"
+  "/root/repo/src/traffic/source.cpp" "CMakeFiles/nnfv.dir/src/traffic/source.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/traffic/source.cpp.o.d"
+  "/root/repo/src/util/cpuid.cpp" "CMakeFiles/nnfv.dir/src/util/cpuid.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/util/cpuid.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/nnfv.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/nnfv.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "CMakeFiles/nnfv.dir/src/util/status.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/util/status.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/nnfv.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/virt/backend.cpp" "CMakeFiles/nnfv.dir/src/virt/backend.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/virt/backend.cpp.o.d"
+  "/root/repo/src/virt/cost_model.cpp" "CMakeFiles/nnfv.dir/src/virt/cost_model.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/virt/cost_model.cpp.o.d"
+  "/root/repo/src/virt/image_store.cpp" "CMakeFiles/nnfv.dir/src/virt/image_store.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/virt/image_store.cpp.o.d"
+  "/root/repo/src/virt/ram_model.cpp" "CMakeFiles/nnfv.dir/src/virt/ram_model.cpp.o" "gcc" "CMakeFiles/nnfv.dir/src/virt/ram_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptation_burst.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_adaptation_burst.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_adaptation_burst.cpp.o.d"
+  "/root/repo/tests/test_compute.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_compute.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_compute.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_core.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_core.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_crypto.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_crypto_backend.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_crypto_backend.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_crypto_backend.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_json.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_json.cpp.o.d"
+  "/root/repo/tests/test_native_driver.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_native_driver.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_native_driver.cpp.o.d"
+  "/root/repo/tests/test_netns.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_netns.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_netns.cpp.o.d"
+  "/root/repo/tests/test_nffg.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nffg.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nffg.cpp.o.d"
+  "/root/repo/tests/test_nnf_bridge.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_bridge.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_bridge.cpp.o.d"
+  "/root/repo/tests/test_nnf_dhcp.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_dhcp.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_dhcp.cpp.o.d"
+  "/root/repo/tests/test_nnf_firewall.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_firewall.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_firewall.cpp.o.d"
+  "/root/repo/tests/test_nnf_ipsec.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_ipsec.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_ipsec.cpp.o.d"
+  "/root/repo/tests/test_nnf_nat.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_nat.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_nat.cpp.o.d"
+  "/root/repo/tests/test_nnf_plugin.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_plugin.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_plugin.cpp.o.d"
+  "/root/repo/tests/test_nnf_policer.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_policer.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_nnf_policer.cpp.o.d"
+  "/root/repo/tests/test_orchestrator.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_orchestrator.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_orchestrator.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_packet.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_packet.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_properties.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rest.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_rest.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_rest.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_sim.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_sim.cpp.o.d"
+  "/root/repo/tests/test_switch.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_switch.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_switch.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_traffic.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_translator.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_translator.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_translator.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_util.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_util.cpp.o.d"
+  "/root/repo/tests/test_virt.cpp" "CMakeFiles/nnfv_tests.dir/tests/test_virt.cpp.o" "gcc" "CMakeFiles/nnfv_tests.dir/tests/test_virt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/nnfv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
