@@ -15,11 +15,14 @@ namespace nnfv::bench {
 /// Measures `kernel` under the active crypto backend, then again with the
 /// portable backend forced, and reports both: `row_name` carries the
 /// portable run (its own iteration count) with the active backend's ns/op
-/// as `extra.active_ns_per_op`, plus the "backend_speedup_vs_portable"
-/// metric. Returns the speedup (~1.0x when portable is already active).
+/// as `extra.active_ns_per_op`, plus a speedup metric named `metric_name`
+/// (default "backend_speedup_vs_portable"; benches comparing several
+/// kernels pass distinct names so the metrics do not collide). Returns
+/// the speedup (~1.0x when portable is already active).
 template <typename Kernel>
-double report_backend_speedup(JsonReport& report, const char* row_name,
-                              const Kernel& kernel) {
+double report_backend_speedup(
+    JsonReport& report, const char* row_name, const Kernel& kernel,
+    const char* metric_name = "backend_speedup_vs_portable") {
   const auto [ns_active, iters_active] = measure_ns(kernel);
   (void)iters_active;
   double ns_portable = ns_active;
@@ -32,12 +35,12 @@ double report_backend_speedup(JsonReport& report, const char* row_name,
   }
   const double speedup = ns_active > 0.0 ? ns_portable / ns_active : 0.0;
   std::printf("%-32s %9.2fx (active '%s' %.0f ns vs portable %.0f ns)\n",
-              "backend_speedup_vs_portable", speedup,
+              metric_name, speedup,
               std::string(crypto::active_backend().name()).c_str(), ns_active,
               ns_portable);
   auto& row = report.add(row_name, iters_portable, ns_portable);
   row.extra.emplace_back("active_ns_per_op", ns_active);
-  report.add_metric("backend_speedup_vs_portable", "speedup", speedup);
+  report.add_metric(metric_name, "speedup", speedup);
   return speedup;
 }
 

@@ -34,13 +34,16 @@ inline nffg::NfFg chain_graph(const std::string& id, const std::string& type,
 }
 
 /// The validation-section NF: Strongswan-like ESP tunnel endpoint.
+/// `esp_transform` is "gcm" (RFC 4106, the default) or "cbc-hmac".
 inline nffg::NfFg ipsec_cpe_graph(const std::string& id,
-                                  std::optional<virt::BackendKind> hint) {
+                                  std::optional<virt::BackendKind> hint,
+                                  const std::string& esp_transform = "gcm") {
   nffg::NfFg graph = chain_graph(id, "ipsec", hint);
   graph.nfs[0].config = {
       {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
       {"spi_out", "1001"},          {"spi_in", "2002"},
-      {"enc_key", kEncKey},         {"auth_key", kAuthKey}};
+      {"enc_key", kEncKey},         {"auth_key", kAuthKey},
+      {"esp_transform", esp_transform}};
   return graph;
 }
 

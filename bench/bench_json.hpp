@@ -34,16 +34,29 @@ inline bool& smoke_flag() {
   }();
   return smoke;
 }
+inline std::string& mode_flag() {
+  static std::string mode;
+  return mode;
+}
 }  // namespace detail
 
 /// True when the bench should run with a tiny iteration budget.
 inline bool smoke_mode() { return detail::smoke_flag(); }
 
+/// The --mode=<value> flag, or "" when absent. Benches that distinguish
+/// workload variants (e.g. bench_table1_ipsec --mode=gcm|cbc) read this;
+/// others ignore it.
+inline const std::string& mode() { return detail::mode_flag(); }
+
 /// Call first in main(): enables smoke mode on --smoke (the env var
-/// NNFV_BENCH_SMOKE=1 works without touching argv).
+/// NNFV_BENCH_SMOKE=1 works without touching argv) and captures
+/// --mode=<value>.
 inline void parse_cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) detail::smoke_flag() = true;
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      detail::mode_flag() = argv[i] + 7;
+    }
   }
 }
 

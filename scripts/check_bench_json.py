@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Validate the last-line JSON emitted by bench_* binaries.
+"""Validate the last-line JSON emitted by bench_* binaries, and optionally
+gate ratio metrics against a committed trend baseline.
 
 Usage:
     check_bench_json.py FILE [FILE...]
     some_bench --smoke | check_bench_json.py -
+    check_bench_json.py --compare bench/baseline.json --max-regress 0.85 \
+        FILE [FILE...]
 
 Each FILE holds the full stdout of one bench run; the JSON object is its
-last non-empty line (see bench/bench_json.hpp for the shape). The check
-fails (exit 1, one diagnostic line per problem) when:
+last non-empty line (see bench/bench_json.hpp for the shape). The contract
+check fails (exit 1, one diagnostic line per problem) when:
 
   * the last line is not a JSON object,
   * "bench" is missing or not a string,
@@ -22,6 +25,22 @@ fails (exit 1, one diagnostic line per problem) when:
 "smoke":true is fine — smoke runs exist precisely so this script can
 exercise the reporting path cheaply; only the perf *gates* are skipped
 in smoke mode, not the output contract.
+
+Trend gating (--compare BASELINE --max-regress F): BASELINE is a curated
+JSON file of the shape
+
+    {"benches": {"<bench>": {"<result name>": {"<extra key>": <value>,
+        "_requires_backend": "aesni", "_requires_cpu": "pclmul"}, ...}}}
+
+For every baseline entry whose bench appears among the inputs (and whose
+_requires_* conditions match the run's "backend" / "cpu_features"
+fields), the current run's extra[<key>] must be >= <value> * F. Baseline
+values are dimensionless ratios (speedups) by design — they are the only
+numbers comparable across runner hardware; raw ns/op never belongs in
+the baseline. A baseline entry whose result or key is missing from the
+run fails (a renamed metric must be renamed in the baseline too), and a
+compare run that ends up checking nothing at all fails (catches a dead
+baseline).
 """
 import json
 import sys
@@ -56,18 +75,19 @@ def check_result(name, i, result, problems):
 
 
 def check_stream(name, text, problems):
+    """Contract check; returns the parsed JSON object (or None)."""
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines:
         fail(name, "no output at all", problems)
-        return
+        return None
     try:
         obj = json.loads(lines[-1])
     except json.JSONDecodeError as err:
         fail(name, f"last line is not valid JSON ({err})", problems)
-        return
+        return None
     if not isinstance(obj, dict):
         fail(name, "last line is not a JSON object", problems)
-        return
+        return None
     bench = obj.get("bench")
     if not isinstance(bench, str) or not bench:
         fail(name, "missing string field 'bench'", problems)
@@ -78,33 +98,138 @@ def check_stream(name, text, problems):
     results = obj.get("results")
     if not isinstance(results, list) or not results:
         fail(name, "'results' missing, not a list, or empty", problems)
-        return
+        return obj
     for i, result in enumerate(results):
         check_result(name, i, result, problems)
+    return obj
+
+
+def conditions_met(spec, obj):
+    """_requires_backend / _requires_cpu guard hardware-specific baselines
+    so a run on weaker hardware skips them instead of failing."""
+    backend = spec.get("_requires_backend")
+    if backend is not None and obj.get("backend") != backend:
+        return False
+    cpu = spec.get("_requires_cpu")
+    if cpu is not None and cpu not in obj.get("cpu_features", ""):
+        return False
+    return True
+
+
+def compare_one(name, obj, baseline_benches, max_regress, problems):
+    """Gates one run against the baseline; returns comparisons performed."""
+    specs = baseline_benches.get(obj.get("bench"))
+    if not isinstance(specs, dict):
+        return 0
+    by_name = {r.get("name"): r for r in obj.get("results", [])
+               if isinstance(r, dict)}
+    compared = 0
+    for result_name, spec in specs.items():
+        if not isinstance(spec, dict):
+            fail(name, f"baseline entry '{result_name}' is not an object",
+                 problems)
+            continue
+        if not conditions_met(spec, obj):
+            continue
+        result = by_name.get(result_name)
+        for key, want in spec.items():
+            if key.startswith("_"):
+                continue
+            if not isinstance(want, (int, float)) or isinstance(want, bool):
+                fail(name, f"baseline '{result_name}.{key}' is non-numeric",
+                     problems)
+                continue
+            if result is None:
+                fail(name, f"baseline result '{result_name}' missing from "
+                           "run (renamed metric? update the baseline)",
+                     problems)
+                break
+            got = (result.get("extra") or {}).get(key)
+            if not isinstance(got, (int, float)) or isinstance(got, bool):
+                fail(name, f"'{result_name}' has no numeric extra['{key}'] "
+                           "to compare", problems)
+                continue
+            compared += 1
+            floor = want * max_regress
+            if got < floor:
+                fail(name, f"REGRESSION '{result_name}.{key}': {got:.3g} < "
+                           f"{floor:.3g} (baseline {want:.3g} x "
+                           f"max-regress {max_regress})", problems)
+    return compared
+
+
+def parse_args(argv):
+    baseline_path = None
+    max_regress = 0.85
+    paths = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--compare":
+            i += 1
+            baseline_path = argv[i]
+        elif arg == "--max-regress":
+            i += 1
+            max_regress = float(argv[i])
+        else:
+            paths.append(arg)
+        i += 1
+    return baseline_path, max_regress, paths
 
 
 def main(argv):
-    if len(argv) < 2:
+    try:
+        baseline_path, max_regress, paths = parse_args(argv)
+    except (IndexError, ValueError):
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline_benches = None
     problems = []
+    if baseline_path is not None:
+        try:
+            with open(baseline_path, encoding="utf-8") as f:
+                baseline = json.load(f)
+            baseline_benches = baseline["benches"]
+        except (OSError, ValueError, KeyError) as err:
+            print(f"check_bench_json: FAIL cannot load baseline "
+                  f"{baseline_path}: {err}", file=sys.stderr)
+            return 1
+
     checked = 0
-    for path in argv[1:]:
+    compared = 0
+    for path in paths:
         if path == "-":
-            check_stream("<stdin>", sys.stdin.read(), problems)
+            obj = check_stream("<stdin>", sys.stdin.read(), problems)
+            name = "<stdin>"
         else:
+            name = path
             try:
                 with open(path, encoding="utf-8", errors="replace") as f:
-                    check_stream(path, f.read(), problems)
+                    obj = check_stream(path, f.read(), problems)
             except OSError as err:
                 fail(path, f"cannot read ({err})", problems)
+                obj = None
+        if obj is not None and baseline_benches is not None:
+            compared += compare_one(name, obj, baseline_benches, max_regress,
+                                    problems)
         checked += 1
+
+    if baseline_benches is not None and compared == 0 and not problems:
+        problems.append(f"--compare {baseline_path}: no baseline metric "
+                        "matched any input (dead baseline?)")
     for problem in problems:
         print(f"check_bench_json: FAIL {problem}", file=sys.stderr)
     if problems:
         return 1
+    trend = (f", {compared} baseline metrics within "
+             f"{max_regress} of baseline" if baseline_benches is not None
+             else "")
     print(f"check_bench_json: OK ({checked} bench output"
-          f"{'s' if checked != 1 else ''} valid)")
+          f"{'s' if checked != 1 else ''} valid{trend})")
     return 0
 
 

@@ -186,6 +186,13 @@ void Aes::expand_key(std::span<const std::uint8_t> key) {
       dec_keys_[4 * r + c] = w;
     }
   }
+
+  // Schedule cache: serialise both schedules to bytes once, here, so ISA
+  // backends load round keys directly instead of per bulk call.
+  for (int i = 0; i < total_words; ++i) {
+    store_be(enc_bytes_.data() + 4 * i, enc_keys_[i]);
+    store_be(dec_bytes_.data() + 4 * i, dec_keys_[i]);
+  }
 }
 
 void Aes::encrypt_block(const std::uint8_t in[kBlockSize],

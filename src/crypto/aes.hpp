@@ -44,6 +44,20 @@ class Aes {
     return {dec_keys_.data(), static_cast<std::size_t>(4 * (rounds_ + 1))};
   }
 
+  /// Schedule cache: the byte-serialised (big-endian per word) forms of the
+  /// two schedules, which is exactly the register layout AESENC/AESDEC
+  /// load. Filled once at key expansion and 16-byte aligned, so ISA
+  /// backends read round keys with aligned SIMD loads instead of
+  /// re-serialising the word schedules on every bulk call. The layout is
+  /// ISA-neutral byte order, so the cached bytes are bit-identical no
+  /// matter which backend consumes them.
+  [[nodiscard]] std::span<const std::uint8_t> enc_schedule_bytes() const {
+    return {enc_bytes_.data(), static_cast<std::size_t>(16 * (rounds_ + 1))};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> dec_schedule_bytes() const {
+    return {dec_bytes_.data(), static_cast<std::size_t>(16 * (rounds_ + 1))};
+  }
+
  private:
   Aes() = default;
   void expand_key(std::span<const std::uint8_t> key);
@@ -53,6 +67,9 @@ class Aes {
   // inverse cipher.
   std::array<std::uint32_t, 4 * 15> enc_keys_{};
   std::array<std::uint32_t, 4 * 15> dec_keys_{};
+  // The cached byte-serialised schedules (see enc_schedule_bytes()).
+  alignas(16) std::array<std::uint8_t, 16 * 15> enc_bytes_{};
+  alignas(16) std::array<std::uint8_t, 16 * 15> dec_bytes_{};
   int rounds_ = 0;
 };
 

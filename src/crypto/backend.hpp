@@ -31,6 +31,22 @@
 namespace nnfv::crypto {
 
 class Aes;
+class CryptoBackend;
+
+/// Precomputed GHASH key material (the AES-GCM universal-hash subkey).
+/// `h` is the raw subkey H = AES_K(0^128), filled by the caller;
+/// `table` is backend-owned precomputation derived from it by
+/// ghash_init() — the portable backend stores a 16-entry Shoup 4-bit
+/// multiplication table (exactly 256 bytes), the PCLMUL path the powers
+/// H^1..H^4 for aggregated reduction. `owner` records which backend
+/// filled the table: a GcmContext re-inits when the active backend
+/// changes (tests flip backends with ScopedBackendOverride), so the blob
+/// layout is always the consumer's own.
+struct GhashKey {
+  alignas(16) std::uint8_t h[16]{};
+  alignas(16) std::uint8_t table[256]{};
+  const CryptoBackend* owner = nullptr;
+};
 
 class CryptoBackend {
  public:
@@ -64,6 +80,28 @@ class CryptoBackend {
   virtual void sha256_compress(std::uint32_t state[8],
                                const std::uint8_t* blocks,
                                std::size_t nblocks) const = 0;
+
+  /// GCM-style CTR keystream XOR (encrypt == decrypt). `counter` is the
+  /// first 16-byte counter block (for GCM: inc32(J0)); per block only the
+  /// low (big-endian) 32 bits increment, wrapping — SP 800-38D inc32.
+  /// Any `len` is allowed (final partial block uses a truncated
+  /// keystream); in == out is allowed. The AES-NI path keeps 8 counter
+  /// blocks in flight.
+  virtual void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                           const std::uint8_t* in, std::uint8_t* out,
+                           std::size_t len) const = 0;
+
+  /// Fills key.table from key.h (and stamps key.owner = this). Called
+  /// once per key — GcmContext caches the result.
+  virtual void ghash_init(GhashKey& key) const = 0;
+
+  /// GHASH update over `nblocks` full 16-byte blocks:
+  /// state = (state ^ X_i) * H for each block, in the GF(2^128)
+  /// convention of SP 800-38D. `key` must have been filled by *this*
+  /// backend's ghash_init.
+  virtual void ghash(const GhashKey& key, std::uint8_t state[16],
+                     const std::uint8_t* blocks,
+                     std::size_t nblocks) const = 0;
 };
 
 /// The process-wide backend every crypto entry point dispatches through.
@@ -103,6 +141,12 @@ const CryptoBackend& reference_backend();
 void sha256_compress_portable(std::uint32_t state[8],
                               const std::uint8_t* blocks,
                               std::size_t nblocks);
+// Portable Shoup 4-bit-table GHASH, shared so the AES-NI backend can fall
+// back to it on CPUs with AES-NI but no PCLMULQDQ (neither sets `owner`;
+// the calling backend stamps its own identity).
+void ghash_init_4bit(GhashKey& key);
+void ghash_4bit(const GhashKey& key, std::uint8_t state[16],
+                const std::uint8_t* blocks, std::size_t nblocks);
 // FIPS 180-4 SHA-256 round constants, shared by the portable and SHA-NI
 // compressions. (The reference oracle keeps its own copy on purpose —
 // it must not share code with the backends it checks.)

@@ -1,6 +1,7 @@
 // Hardware CryptoBackend: AES-NI block ops and SHA-NI compression.
 //
-// This TU is the only one compiled with -maes -msha -mssse3 -msse4.1 (see
+// This TU is the only one compiled with -maes -msha -mpclmul -mssse3
+// -msse4.1 (see
 // CMakeLists); it is built unconditionally on x86 and *selected* only when
 // util::cpu_features() says the instructions exist, so a binary built here
 // still runs (on the portable backend) on older CPUs. On non-x86 targets
@@ -9,15 +10,19 @@
 // Key material: the AESENC round keys are the Aes::enc_round_keys() words
 // serialised big-endian; AESDEC wants InvMixColumns-transformed keys in
 // reversed order, which is exactly what the equivalent-inverse schedule in
-// Aes::dec_round_keys() holds. CBC decryption runs 4 blocks in flight
-// (independent chains), CBC encryption is inherently serial.
+// Aes::dec_round_keys() holds. Both serialisations are cached inside Aes
+// (enc_schedule_bytes()/dec_schedule_bytes(), filled once at key
+// expansion), so RoundKeys here is pure aligned loads. CBC decryption runs
+// 4 blocks in flight (independent chains), CBC encryption is inherently
+// serial; the GCM path (CTR keystream + PCLMUL GHASH) pipelines both
+// directions — which is why it is the default ESP transform.
 #include "crypto/aes.hpp"
 #include "crypto/backend.hpp"
 #include "util/byteorder.hpp"
 #include "util/cpuid.hpp"
 
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__AES__) && \
-    defined(__SSSE3__) && defined(__SSE4_1__)
+    defined(__SSSE3__) && defined(__SSE4_1__) && defined(__PCLMUL__)
 #define NNFV_AESNI_COMPILED 1
 #include <immintrin.h>
 #endif
@@ -32,22 +37,19 @@ namespace {
 
 constexpr std::size_t kMaxRounds = 14;  // AES-256
 
-/// Serialises up to 15 big-endian schedule words into AESENC/AESDEC
-/// register format. ~60 byte stores per call — noise next to the per-block
-/// work it enables, so schedules are converted per bulk call rather than
-/// cached in Aes (which stays ISA-neutral).
+/// Round keys in AESENC/AESDEC register format, read straight from the
+/// schedule cache Aes fills at key expansion (16-byte aligned,
+/// byte-serialised big-endian words == the register layout) — pure
+/// aligned loads, no per-bulk-call serialisation.
 struct RoundKeys {
   __m128i rk[kMaxRounds + 1];
   int rounds;
 
-  RoundKeys(std::span<const std::uint32_t> words, int nrounds)
+  RoundKeys(std::span<const std::uint8_t> schedule_bytes, int nrounds)
       : rounds(nrounds) {
-    alignas(16) std::uint8_t bytes[16];
     for (int r = 0; r <= nrounds; ++r) {
-      for (int c = 0; c < 4; ++c) {
-        util::store_be32(bytes + 4 * c, words[4 * r + c]);
-      }
-      rk[r] = _mm_load_si128(reinterpret_cast<const __m128i*>(bytes));
+      rk[r] = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(schedule_bytes.data() + 16 * r));
     }
   }
 };
@@ -70,7 +72,7 @@ inline __m128i decrypt_one(const RoundKeys& keys, __m128i block) {
 
 void aes_encrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
                            std::uint8_t* out, std::size_t nblocks) {
-  const RoundKeys keys(aes.enc_round_keys(), aes.rounds());
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
   std::size_t i = 0;
   // 4 independent blocks in flight to cover the AESENC latency.
   for (; i + 4 <= nblocks; i += 4) {
@@ -111,7 +113,7 @@ void aes_encrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
 
 void aes_decrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
                            std::uint8_t* out, std::size_t nblocks) {
-  const RoundKeys keys(aes.dec_round_keys(), aes.rounds());
+  const RoundKeys keys(aes.dec_schedule_bytes(), aes.rounds());
   std::size_t i = 0;
   // ECB blocks are independent: 4 in flight to cover the AESDEC latency,
   // mirroring aes_encrypt_blocks_ni.
@@ -154,7 +156,7 @@ void aes_decrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
 void cbc_encrypt_ni(const Aes& aes, const std::uint8_t* iv,
                     const std::uint8_t* in, std::uint8_t* out,
                     std::size_t len) {
-  const RoundKeys keys(aes.enc_round_keys(), aes.rounds());
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
   __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
   for (std::size_t off = 0; off < len; off += 16) {
     const __m128i plain =
@@ -167,7 +169,7 @@ void cbc_encrypt_ni(const Aes& aes, const std::uint8_t* iv,
 void cbc_decrypt_ni(const Aes& aes, const std::uint8_t* iv,
                     const std::uint8_t* in, std::uint8_t* out,
                     std::size_t len) {
-  const RoundKeys keys(aes.dec_round_keys(), aes.rounds());
+  const RoundKeys keys(aes.dec_schedule_bytes(), aes.rounds());
   __m128i chain = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
   std::size_t off = 0;
   // Unlike encryption the chain blocks are all known up front, so 4 AESDEC
@@ -212,6 +214,179 @@ void cbc_decrypt_ni(const Aes& aes, const std::uint8_t* iv,
                      _mm_xor_si128(decrypt_one(keys, cipher), chain));
     chain = cipher;
   }
+}
+
+// ---------------------------------------------------------------------------
+// GCM kernels: CTR keystream with 8 counter blocks in flight, and PCLMUL
+// GHASH with a 4-block aggregated reduction over precomputed H^1..H^4.
+// ---------------------------------------------------------------------------
+
+// Byte-reverses only the low 4 bytes (the inc32 counter lane), so the
+// counter can live little-endian between blocks and increment with one
+// paddd.
+inline __m128i ctr_swap_mask() {
+  return _mm_set_epi8(12, 13, 14, 15, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+}
+
+void aes_ctr_xor_ni(const Aes& aes, const std::uint8_t counter[16],
+                    const std::uint8_t* in, std::uint8_t* out,
+                    std::size_t len) {
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
+  const __m128i kSwap = ctr_swap_mask();
+  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);  // +1 in the counter lane
+  __m128i ctr_le = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)), kSwap);
+  std::size_t off = 0;
+  // 8 independent counter blocks in flight: AESENC throughput-bound, not
+  // latency-bound, unlike the chain-serial CBC encrypt this replaces.
+  for (; off + 128 <= len; off += 128) {
+    __m128i b[8];
+    for (int j = 0; j < 8; ++j) {
+      b[j] = _mm_xor_si128(_mm_shuffle_epi8(ctr_le, kSwap), keys.rk[0]);
+      ctr_le = _mm_add_epi32(ctr_le, kOne);
+    }
+    for (int r = 1; r < keys.rounds; ++r) {
+      for (int j = 0; j < 8; ++j) b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
+    }
+    for (int j = 0; j < 8; ++j) {
+      b[j] = _mm_aesenclast_si128(b[j], keys.rk[keys.rounds]);
+      const __m128i data = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + off + 16 * j));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * j),
+                       _mm_xor_si128(b[j], data));
+    }
+  }
+  for (; off + 16 <= len; off += 16) {
+    const __m128i ks = encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap));
+    ctr_le = _mm_add_epi32(ctr_le, kOne);
+    const __m128i data =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off),
+                     _mm_xor_si128(ks, data));
+  }
+  if (off < len) {
+    alignas(16) std::uint8_t keystream[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
+                    encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap)));
+    for (std::size_t i = 0; off + i < len; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
+    }
+  }
+}
+
+// GHASH operands are held byte-reversed (as 128-bit big-endian integers);
+// together with the post-multiply shift-left-one in gf128_reduce this
+// realises the GCM reflected-bit convention on PCLMULQDQ.
+inline __m128i bswap128(__m128i x) {
+  return _mm_shuffle_epi8(
+      x, _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15));
+}
+
+/// 256-bit carry-less product [hi:lo] = a (x) b, no reduction — so
+/// aggregated multiplies can XOR-accumulate products before one shared
+/// reduction (shift and reduce are GF(2)-linear).
+inline void clmul256(__m128i a, __m128i b, __m128i* hi, __m128i* lo) {
+  const __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
+  const __m128i t1 = _mm_clmulepi64_si128(a, b, 0x10);
+  const __m128i t2 = _mm_clmulepi64_si128(a, b, 0x01);
+  const __m128i t3 = _mm_clmulepi64_si128(a, b, 0x11);
+  const __m128i mid = _mm_xor_si128(t1, t2);
+  *lo = _mm_xor_si128(t0, _mm_slli_si128(mid, 8));
+  *hi = _mm_xor_si128(t3, _mm_srli_si128(mid, 8));
+}
+
+/// Shifts the 256-bit product left one bit (the reflected-multiply
+/// fix-up) and reduces modulo x^128 + x^7 + x^2 + x + 1 in two phases.
+inline __m128i gf128_reduce(__m128i hi, __m128i lo) {
+  __m128i carry_lo = _mm_srli_epi32(lo, 31);
+  __m128i carry_hi = _mm_srli_epi32(hi, 31);
+  lo = _mm_slli_epi32(lo, 1);
+  hi = _mm_slli_epi32(hi, 1);
+  const __m128i cross = _mm_srli_si128(carry_lo, 12);
+  carry_hi = _mm_slli_si128(carry_hi, 4);
+  carry_lo = _mm_slli_si128(carry_lo, 4);
+  lo = _mm_or_si128(lo, carry_lo);
+  hi = _mm_or_si128(hi, _mm_or_si128(carry_hi, cross));
+
+  __m128i fold = _mm_xor_si128(
+      _mm_xor_si128(_mm_slli_epi32(lo, 31), _mm_slli_epi32(lo, 30)),
+      _mm_slli_epi32(lo, 25));
+  const __m128i fold_hi = _mm_srli_si128(fold, 4);
+  fold = _mm_slli_si128(fold, 12);
+  lo = _mm_xor_si128(lo, fold);
+  const __m128i shifted = _mm_xor_si128(
+      _mm_xor_si128(_mm_srli_epi32(lo, 1), _mm_srli_epi32(lo, 2)),
+      _mm_xor_si128(_mm_srli_epi32(lo, 7), fold_hi));
+  lo = _mm_xor_si128(lo, shifted);
+  return _mm_xor_si128(hi, lo);
+}
+
+inline __m128i gf128_mul(__m128i a, __m128i b) {
+  __m128i hi;
+  __m128i lo;
+  clmul256(a, b, &hi, &lo);
+  return gf128_reduce(hi, lo);
+}
+
+/// key.table holds H^1..H^4 (byte-reversed __m128i), the powers the
+/// aggregated 4-block ghash needs.
+void ghash_init_clmul(GhashKey& key) {
+  const __m128i h1 =
+      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(key.h)));
+  const __m128i h2 = gf128_mul(h1, h1);
+  const __m128i h3 = gf128_mul(h2, h1);
+  const __m128i h4 = gf128_mul(h3, h1);
+  __m128i* table = reinterpret_cast<__m128i*>(key.table);
+  _mm_store_si128(table + 0, h1);
+  _mm_store_si128(table + 1, h2);
+  _mm_store_si128(table + 2, h3);
+  _mm_store_si128(table + 3, h4);
+}
+
+void ghash_clmul(const GhashKey& key, std::uint8_t state[16],
+                 const std::uint8_t* blocks, std::size_t nblocks) {
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  const __m128i h1 = _mm_load_si128(table + 0);
+  const __m128i h2 = _mm_load_si128(table + 1);
+  const __m128i h3 = _mm_load_si128(table + 2);
+  const __m128i h4 = _mm_load_si128(table + 3);
+  __m128i x = bswap128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
+  // Aggregated reduction: X1*H^4 ^ X2*H^3 ^ X3*H^2 ^ X4*H^1 — the four
+  // clmul trees are independent, and the serial dependency through the
+  // state is one reduction per 4 blocks instead of per block.
+  for (; nblocks >= 4; nblocks -= 4, blocks += 64) {
+    const __m128i b0 = _mm_xor_si128(
+        bswap128(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(blocks))), x);
+    const __m128i b1 = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)));
+    const __m128i b2 = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)));
+    const __m128i b3 = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)));
+    __m128i hi;
+    __m128i lo;
+    __m128i hi_part;
+    __m128i lo_part;
+    clmul256(b0, h4, &hi, &lo);
+    clmul256(b1, h3, &hi_part, &lo_part);
+    hi = _mm_xor_si128(hi, hi_part);
+    lo = _mm_xor_si128(lo, lo_part);
+    clmul256(b2, h2, &hi_part, &lo_part);
+    hi = _mm_xor_si128(hi, hi_part);
+    lo = _mm_xor_si128(lo, lo_part);
+    clmul256(b3, h1, &hi_part, &lo_part);
+    hi = _mm_xor_si128(hi, hi_part);
+    lo = _mm_xor_si128(lo, lo_part);
+    x = gf128_reduce(hi, lo);
+  }
+  for (; nblocks > 0; --nblocks, blocks += 16) {
+    const __m128i block = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)));
+    x = gf128_mul(_mm_xor_si128(block, x), h1);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
 }
 
 #ifdef __SHA__
@@ -393,6 +568,34 @@ class AesniBackend final : public CryptoBackend {
 #endif
     sha256_compress_portable(state, blocks, nblocks);
   }
+
+  void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    aes_ctr_xor_ni(aes, counter, in, out, len);
+  }
+
+  // PCLMULQDQ is a distinct CPUID bit from AES-NI (both date to
+  // Westmere, but virtualised CPUs sometimes mask one); fall back
+  // per-feature to the shared 4-bit table so GCM still runs with
+  // hardware AES.
+  void ghash_init(GhashKey& key) const override {
+    if (util::cpu_features().pclmul) {
+      ghash_init_clmul(key);
+    } else {
+      ghash_init_4bit(key);
+    }
+    key.owner = this;
+  }
+
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks, std::size_t nblocks) const override {
+    if (util::cpu_features().pclmul) {
+      ghash_clmul(key, state, blocks, nblocks);
+    } else {
+      ghash_4bit(key, state, blocks, nblocks);
+    }
+  }
 #else   // !NNFV_AESNI_COMPILED: never selected (usable() is false); the
         // bodies satisfy the interface on non-x86 builds.
   void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
@@ -418,6 +621,19 @@ class AesniBackend final : public CryptoBackend {
   void sha256_compress(std::uint32_t state[8], const std::uint8_t* blocks,
                        std::size_t nblocks) const override {
     sha256_compress_portable(state, blocks, nblocks);
+  }
+  void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    portable_backend().aes_ctr_xor(aes, counter, in, out, len);
+  }
+  void ghash_init(GhashKey& key) const override {
+    ghash_init_4bit(key);
+    key.owner = this;
+  }
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks, std::size_t nblocks) const override {
+    ghash_4bit(key, state, blocks, nblocks);
   }
 #endif  // NNFV_AESNI_COMPILED
 };

@@ -142,9 +142,122 @@ class PortableBackend final : public CryptoBackend {
                        std::size_t nblocks) const override {
     sha256_compress_portable(state, blocks, nblocks);
   }
+
+  void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    std::uint8_t ctr[16];
+    std::memcpy(ctr, counter, 16);
+    std::uint32_t block_ctr = util::load_be32(ctr + 12);
+    for (std::size_t off = 0; off < len; off += 16) {
+      std::uint8_t keystream[16];
+      aes.encrypt_block(ctr, keystream);
+      const std::size_t n = len - off < 16 ? len - off : 16;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
+      }
+      util::store_be32(ctr + 12, ++block_ctr);  // SP 800-38D inc32
+    }
+  }
+
+  void ghash_init(GhashKey& key) const override {
+    ghash_init_4bit(key);
+    key.owner = this;
+  }
+
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks, std::size_t nblocks) const override {
+    ghash_4bit(key, state, blocks, nblocks);
+  }
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Shoup 4-bit-table GHASH. table = M[i] = i * H for every 4-bit nibble i
+// (16 entries x 16 bytes — the whole GhashKey blob), multiplication walks
+// the 32 nibbles of the state from the end, folding the bits shifted out
+// of the low end back in through the precomputed remainder table.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+inline U128 xor128(U128 a, const U128& b) {
+  a.hi ^= b.hi;
+  a.lo ^= b.lo;
+  return a;
+}
+
+// What a 4-bit right-shift pushes out of GF(2^128): remainder of
+// rem * x^-4 against the field polynomial, pre-shifted into the top 16
+// bits of the high word.
+constexpr std::uint64_t kGhashRem4bit[16] = {
+    0x0000ULL << 48, 0x1C20ULL << 48, 0x3840ULL << 48, 0x2460ULL << 48,
+    0x7080ULL << 48, 0x6CA0ULL << 48, 0x48C0ULL << 48, 0x54E0ULL << 48,
+    0xE100ULL << 48, 0xFD20ULL << 48, 0xD940ULL << 48, 0xC560ULL << 48,
+    0x9180ULL << 48, 0x8DA0ULL << 48, 0xA9C0ULL << 48, 0xB5E0ULL << 48};
+
+}  // namespace
+
+void ghash_init_4bit(GhashKey& key) {
+  U128 table[16];
+  U128 v{util::load_be64(key.h), util::load_be64(key.h + 8)};
+  table[0] = U128{};
+  table[8] = v;
+  for (int i = 4; i > 0; i >>= 1) {
+    // v /= x: right shift one bit, folding the field polynomial back in
+    // when a set bit falls off the low end.
+    const bool lsb = (v.lo & 1) != 0;
+    v.lo = (v.hi << 63) | (v.lo >> 1);
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xE100000000000000ULL;
+    table[i] = v;
+  }
+  for (int i = 2; i < 16; i <<= 1) {
+    for (int j = 1; j < i; ++j) table[i + j] = xor128(table[i], table[j]);
+  }
+  static_assert(sizeof(table) == sizeof(key.table));
+  std::memcpy(key.table, table, sizeof(table));
+}
+
+void ghash_4bit(const GhashKey& key, std::uint8_t state[16],
+                const std::uint8_t* blocks, std::size_t nblocks) {
+  // key.table holds the object representation of U128[16] written by
+  // ghash_init_4bit's memcpy (alignas(16) covers U128); read it in place
+  // rather than re-copying 256 bytes per call — GHASH runs up to five
+  // times per sealed packet (AAD, pads, payload, lengths).
+  const U128* table = reinterpret_cast<const U128*>(key.table);
+  std::uint8_t xi[16];
+  std::memcpy(xi, state, 16);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (int i = 0; i < 16; ++i) xi[i] ^= blocks[16 * b + i];
+    int cnt = 15;
+    unsigned nibble = xi[15] & 0xF;
+    unsigned high_nibble = xi[15] >> 4;
+    U128 z = table[nibble];
+    for (;;) {
+      std::uint64_t rem = z.lo & 0xF;
+      z.lo = (z.hi << 60) | (z.lo >> 4);
+      z.hi = (z.hi >> 4) ^ kGhashRem4bit[rem];
+      z = xor128(z, table[high_nibble]);
+      if (--cnt < 0) break;
+      nibble = xi[cnt] & 0xF;
+      high_nibble = xi[cnt] >> 4;
+      rem = z.lo & 0xF;
+      z.lo = (z.hi << 60) | (z.lo >> 4);
+      z.hi = (z.hi >> 4) ^ kGhashRem4bit[rem];
+      z = xor128(z, table[nibble]);
+    }
+    util::store_be64(xi, z.hi);
+    util::store_be64(xi + 8, z.lo);
+  }
+  std::memcpy(state, xi, 16);
+}
 
 void sha256_compress_portable(std::uint32_t state[8],
                               const std::uint8_t* blocks,

@@ -153,6 +153,34 @@ void decrypt_block_ref(const Aes& aes, const std::uint8_t in[16],
   std::memcpy(out, state, 16);
 }
 
+/// SP 800-38D inc32: increment the low 32 bits (big-endian), wrapping.
+void inc32_ref(std::uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// Textbook GF(2^128) multiply (SP 800-38D Algorithm 1): z = x * y in the
+/// GCM bit convention — bit 0 of z is the MSB of byte 0, and the field
+/// polynomial R = 11100001 || 0^120 folds in on every right shift out.
+void gf128_mul_ref(const std::uint8_t x[16], const std::uint8_t y[16],
+                   std::uint8_t z[16]) {
+  std::uint8_t v[16];
+  std::memcpy(v, y, 16);
+  std::memset(z, 0, 16);
+  for (int bit = 0; bit < 128; ++bit) {
+    if ((x[bit / 8] >> (7 - bit % 8)) & 1) {
+      for (int i = 0; i < 16; ++i) z[i] ^= v[i];
+    }
+    const bool lsb = (v[15] & 1) != 0;
+    for (int i = 15; i > 0; --i) {
+      v[i] = static_cast<std::uint8_t>((v[i] >> 1) | (v[i - 1] << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xE1;
+  }
+}
+
 inline std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
@@ -258,6 +286,37 @@ class ReferenceBackend final : public CryptoBackend {
                        std::size_t nblocks) const override {
     for (std::size_t i = 0; i < nblocks; ++i) {
       sha256_compress_ref(state, blocks + 64 * i);
+    }
+  }
+
+  void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    std::uint8_t ctr[16];
+    std::memcpy(ctr, counter, 16);
+    for (std::size_t off = 0; off < len; off += 16) {
+      std::uint8_t keystream[16];
+      encrypt_block_ref(aes, ctr, keystream);
+      const std::size_t n = len - off < 16 ? len - off : 16;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
+      }
+      inc32_ref(ctr);
+    }
+  }
+
+  // The oracle multiplies bit by bit from the raw subkey — no table, which
+  // is the point: nothing shared with the precomputations it checks.
+  void ghash_init(GhashKey& key) const override { key.owner = this; }
+
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks, std::size_t nblocks) const override {
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::uint8_t x[16];
+      for (int i = 0; i < 16; ++i) {
+        x[i] = static_cast<std::uint8_t>(state[i] ^ blocks[16 * b + i]);
+      }
+      gf128_mul_ref(x, key.h, state);
     }
   }
 };

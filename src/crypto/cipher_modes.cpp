@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "crypto/backend.hpp"
+#include "crypto/hmac.hpp"
+#include "util/byteorder.hpp"
 
 namespace nnfv::crypto {
 
@@ -112,6 +114,106 @@ Result<std::vector<std::uint8_t>> aes_ctr_crypt(
     out[i] = static_cast<std::uint8_t>(data[i] ^ keystream[i]);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// AES-GCM
+// ---------------------------------------------------------------------------
+
+GcmContext::GcmContext(Aes aes) : aes_(aes) {
+  // H = AES_K(0^128). The single-block T-table path is bit-identical
+  // across backends, so the raw subkey can be derived here once; the
+  // backend-specific table is filled lazily by hkey().
+  const std::uint8_t zero[16] = {};
+  aes_.encrypt_block(zero, hkey_.h);
+}
+
+util::Result<GcmContext> GcmContext::create(
+    std::span<const std::uint8_t> key) {
+  auto aes = Aes::create(key);
+  if (!aes) return aes.status();
+  return GcmContext(aes.value());
+}
+
+const GhashKey& GcmContext::hkey() const {
+  if (hkey_.owner != &active_backend()) active_backend().ghash_init(hkey_);
+  return hkey_;
+}
+
+void GcmContext::ghash_tag_input(std::span<const std::uint8_t> aad,
+                                 std::span<const std::uint8_t> ciphertext,
+                                 std::uint8_t state[16]) const {
+  const GhashKey& key = hkey();
+  const CryptoBackend& backend = active_backend();
+  std::memset(state, 0, 16);
+  const auto absorb = [&](std::span<const std::uint8_t> data) {
+    const std::size_t full = data.size() / 16;
+    backend.ghash(key, state, data.data(), full);
+    if (data.size() % 16 != 0) {
+      std::uint8_t padded[16] = {};
+      std::memcpy(padded, data.data() + 16 * full, data.size() % 16);
+      backend.ghash(key, state, padded, 1);
+    }
+  };
+  absorb(aad);
+  absorb(ciphertext);
+  std::uint8_t lengths[16];
+  util::store_be64(lengths, static_cast<std::uint64_t>(aad.size()) * 8);
+  util::store_be64(lengths + 8,
+                   static_cast<std::uint64_t>(ciphertext.size()) * 8);
+  backend.ghash(key, state, lengths, 1);
+}
+
+util::Status GcmContext::seal(std::span<const std::uint8_t> iv,
+                              std::span<const std::uint8_t> aad,
+                              std::span<const std::uint8_t> plaintext,
+                              std::uint8_t* ciphertext,
+                              std::uint8_t tag[kTagSize]) const {
+  if (iv.size() != kIvSize) {
+    return invalid_argument("GCM IV must be 12 bytes");
+  }
+  // J0 = IV || 0^31 || 1; the payload keystream starts at inc32(J0).
+  std::uint8_t j0[16];
+  std::memcpy(j0, iv.data(), kIvSize);
+  util::store_be32(j0 + 12, 1);
+  std::uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  util::store_be32(counter + 12, 2);
+
+  const CryptoBackend& backend = active_backend();
+  backend.aes_ctr_xor(aes_, counter, plaintext.data(), ciphertext,
+                      plaintext.size());
+
+  std::uint8_t s[16];
+  ghash_tag_input(aad, {ciphertext, plaintext.size()}, s);
+  // T = E_K(J0) ^ S — one more CTR block, over the raw GHASH output.
+  backend.aes_ctr_xor(aes_, j0, s, tag, 16);
+  return util::Status::ok();
+}
+
+bool GcmContext::open(std::span<const std::uint8_t> iv,
+                      std::span<const std::uint8_t> aad,
+                      std::span<const std::uint8_t> ciphertext,
+                      std::span<const std::uint8_t> tag,
+                      std::uint8_t* plaintext) const {
+  if (iv.size() != kIvSize || tag.size() != kTagSize) return false;
+  std::uint8_t j0[16];
+  std::memcpy(j0, iv.data(), kIvSize);
+  util::store_be32(j0 + 12, 1);
+
+  std::uint8_t s[16];
+  ghash_tag_input(aad, ciphertext, s);
+  std::uint8_t expected[kTagSize];
+  const CryptoBackend& backend = active_backend();
+  backend.aes_ctr_xor(aes_, j0, s, expected, 16);
+  if (!constant_time_equal({expected, kTagSize}, tag)) return false;
+
+  std::uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  util::store_be32(counter + 12, 2);
+  backend.aes_ctr_xor(aes_, counter, ciphertext.data(), plaintext,
+                      ciphertext.size());
+  return true;
 }
 
 }  // namespace nnfv::crypto

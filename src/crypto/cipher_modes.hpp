@@ -1,15 +1,72 @@
-// Block cipher modes used by the ESP datapath: CBC with PKCS#7 padding
-// (RFC 3602 AES-CBC for ESP) and CTR (RFC 3686).
+// Block cipher modes used by the ESP datapath: AES-GCM (SP 800-38D, the
+// RFC 4106 ESP default), CBC with PKCS#7 padding (RFC 3602 AES-CBC for
+// ESP) and CTR (RFC 3686).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "crypto/aes.hpp"
+#include "crypto/backend.hpp"
 #include "util/status.hpp"
 
 namespace nnfv::crypto {
+
+/// AES-GCM authenticated encryption (SP 800-38D) with a 96-bit IV and a
+/// full 128-bit tag — the shape RFC 4106 uses for ESP.
+///
+/// The expensive key-dependent state is computed once at create():
+/// the AES key schedule (inside Aes) and the GHASH subkey H = AES_K(0)
+/// with its backend-specific multiplication table (Shoup 4-bit table on
+/// the portable backend, H^1..H^4 powers for PCLMUL). seal()/open() are
+/// then pure bulk work, which is what lets IpsecEndpoint reuse one
+/// context for every packet of a burst. The GHASH table is lazily
+/// re-derived if the active backend changes between calls
+/// (ScopedBackendOverride in tests), so a context is never tied to the
+/// backend that created it.
+class GcmContext {
+ public:
+  static constexpr std::size_t kIvSize = 12;   ///< 96-bit GCM IV
+  static constexpr std::size_t kTagSize = 16;  ///< full 128-bit tag
+
+  /// Key must be 16, 24 or 32 bytes.
+  static util::Result<GcmContext> create(std::span<const std::uint8_t> key);
+
+  /// Encrypts `plaintext` into `ciphertext` (same length; in-place
+  /// allowed) and writes the tag over `aad` + ciphertext. `iv` must be
+  /// 12 bytes and unique per key (RFC 4106 uses the ESP sequence
+  /// number).
+  util::Status seal(std::span<const std::uint8_t> iv,
+                    std::span<const std::uint8_t> aad,
+                    std::span<const std::uint8_t> plaintext,
+                    std::uint8_t* ciphertext,
+                    std::uint8_t tag[kTagSize]) const;
+
+  /// Verifies the tag (constant time) and only then decrypts into
+  /// `plaintext` (same length as ciphertext; in-place allowed). Returns
+  /// false — leaving `plaintext` untouched — on authentication failure.
+  [[nodiscard]] bool open(std::span<const std::uint8_t> iv,
+                          std::span<const std::uint8_t> aad,
+                          std::span<const std::uint8_t> ciphertext,
+                          std::span<const std::uint8_t> tag,
+                          std::uint8_t* plaintext) const;
+
+ private:
+  explicit GcmContext(Aes aes);
+
+  /// The cached GHASH key, re-initialised if the active backend changed.
+  const GhashKey& hkey() const;
+
+  /// S = GHASH_H(aad || ciphertext || len64(aad) || len64(ciphertext)).
+  void ghash_tag_input(std::span<const std::uint8_t> aad,
+                       std::span<const std::uint8_t> ciphertext,
+                       std::uint8_t state[16]) const;
+
+  Aes aes_;
+  mutable GhashKey hkey_;
+};
 
 /// CBC-encrypts `plaintext` with PKCS#7 padding. `iv` must be 16 bytes.
 /// Output length = plaintext length rounded up to the next multiple of 16

@@ -1,5 +1,6 @@
 #include "nnf/ipsec.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/cipher_modes.hpp"
@@ -43,6 +44,19 @@ std::array<std::uint8_t, 16> derive_iv(const crypto::Aes& aes,
   return iv;
 }
 
+/// GCM nonce: (salt ^ SPI) || explicit IV. The two directions of a
+/// tunnel share one enc_key + salt here (single `enc_key` config), so
+/// the per-direction SPI MUST feed the nonce — otherwise the initiator's
+/// packet N and the responder's packet N would encrypt under the same
+/// (key, nonce) pair, which for GCM leaks plaintext XORs and the GHASH
+/// subkey. This is the GCM analogue of derive_iv() mixing the SPI into
+/// the CBC IV; configure() enforces spi_out != spi_in.
+void gcm_nonce(const SecurityAssociation& sa, const std::uint8_t iv[8],
+               std::uint8_t nonce[crypto::GcmContext::kIvSize]) {
+  util::store_be32(nonce, util::load_be32(sa.salt.data()) ^ sa.spi);
+  std::memcpy(nonce + 4, iv, 8);
+}
+
 }  // namespace
 
 util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
@@ -65,11 +79,34 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
       (key == "spi_out" ? tunnel.out_sa.spi : tunnel.in_sa.spi) =
           static_cast<std::uint32_t>(spi);
     } else if (key == "enc_key") {
-      NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.enc_key));
+      // 32 hex chars = AES-128 key; 40 = key + 4-byte GCM salt (the
+      // RFC 4106 §8.1 keying-material order). cbc-hmac ignores the salt.
+      std::vector<std::uint8_t> bytes;
+      if (!util::hex_decode(value, bytes) ||
+          (bytes.size() != 16 && bytes.size() != 20)) {
+        return util::invalid_argument(
+            "ipsec: enc_key must be 32 hex chars (AES-128) or 40 (AES-128 "
+            "+ GCM salt)");
+      }
+      std::copy_n(bytes.begin(), 16, tunnel.out_sa.enc_key.begin());
+      if (bytes.size() == 20) {
+        std::copy_n(bytes.begin() + 16, 4, tunnel.out_sa.salt.begin());
+      } else {
+        tunnel.out_sa.salt.fill(0);
+      }
       tunnel.in_sa.enc_key = tunnel.out_sa.enc_key;
-      auto aes = crypto::Aes::create(tunnel.out_sa.enc_key);
-      if (!aes) return aes.status();
-      tunnel.cipher = aes.value();
+      tunnel.in_sa.salt = tunnel.out_sa.salt;
+      tunnel.have_enc_key = true;
+    } else if (key == "esp_transform") {
+      if (value == "gcm") {
+        tunnel.transform = EspTransform::kGcm;
+      } else if (value == "cbc-hmac") {
+        tunnel.transform = EspTransform::kCbcHmac;
+      } else {
+        return util::invalid_argument(
+            "ipsec: esp_transform must be 'gcm' or 'cbc-hmac', got '" +
+            value + "'");
+      }
     } else if (key == "auth_key") {
       NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.auth_key));
       tunnel.in_sa.auth_key = tunnel.out_sa.auth_key;
@@ -86,12 +123,31 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
                                     "'");
     }
   }
-  // Key-schedule work that must not happen per packet: absorb the HMAC
-  // ipad once per direction; encapsulate/decapsulate copy the midstate
-  // per ICV.
+  // Key-schedule work that must not happen per packet: the AES schedule
+  // and GCM GHASH table are expanded here once, and the HMAC ipad is
+  // absorbed once per direction; the per-packet paths only copy
+  // midstates. Both transforms' state is kept ready so esp_transform can
+  // be flipped by a later configure() without re-sending keys (config
+  // keys arrive in map order, so esp_transform may follow enc_key).
+  if (tunnel.have_enc_key) {
+    auto aes = crypto::Aes::create(tunnel.out_sa.enc_key);
+    if (!aes) return aes.status();
+    tunnel.cipher = aes.value();
+    auto gcm = crypto::GcmContext::create(tunnel.out_sa.enc_key);
+    if (!gcm) return gcm.status();
+    tunnel.gcm = gcm.value();
+  }
   tunnel.out_hmac_tmpl.emplace(tunnel.out_sa.auth_key);
   tunnel.in_hmac_tmpl.emplace(tunnel.in_sa.auth_key);
-  tunnel.configured = tunnel.cipher.has_value() && tunnel.out_sa.spi != 0 &&
+  // Both directions share one enc_key/salt, so the SPI is the only
+  // per-direction component of the GCM nonce (see gcm_nonce()): equal
+  // SPIs would reuse (key, nonce) pairs across directions.
+  if (tunnel.out_sa.spi != 0 && tunnel.out_sa.spi == tunnel.in_sa.spi) {
+    return util::invalid_argument(
+        "ipsec: spi_out and spi_in must differ (the SPI keys the "
+        "per-direction IV/nonce derivation)");
+  }
+  tunnel.configured = tunnel.have_enc_key && tunnel.out_sa.spi != 0 &&
                       tunnel.in_sa.spi != 0;
   return util::Status::ok();
 }
@@ -116,11 +172,24 @@ std::vector<NfOutput> IpsecEndpoint::process(ContextId ctx,
 
 std::vector<NfOutput> IpsecEndpoint::encapsulate(
     Tunnel& tunnel, packet::PacketBuffer&& frame) {
-  std::vector<NfOutput> out;
+  return tunnel.transform == EspTransform::kGcm
+             ? encapsulate_gcm(tunnel, std::move(frame))
+             : encapsulate_cbc(tunnel, std::move(frame));
+}
+
+std::vector<NfOutput> IpsecEndpoint::decapsulate(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  return tunnel.transform == EspTransform::kGcm
+             ? decapsulate_gcm(tunnel, std::move(frame))
+             : decapsulate_cbc(tunnel, std::move(frame));
+}
+
+std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
+    const packet::PacketBuffer& frame) {
   auto eth = packet::parse_ethernet(frame.data());
   if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
   // Inner packet = everything after the Ethernet header, trimmed to the IP
   // total length (drops any Ethernet padding).
@@ -128,38 +197,16 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate(
   auto inner_ip = packet::parse_ipv4(l3);
   if (!inner_ip || inner_ip->total_length > l3.size()) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
-  std::span<const std::uint8_t> inner{l3.data(), inner_ip->total_length};
+  return std::span<const std::uint8_t>{l3.data(), inner_ip->total_length};
+}
 
-  SecurityAssociation& sa = tunnel.out_sa;
-  sa.seq += 1;
-
-  // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
-  // pad bytes are 1,2,3,... (RFC 4303 §2.4).
-  const std::size_t block = crypto::Aes::kBlockSize;
-  const std::size_t pad = (block - (inner.size() + 2) % block) % block;
-  std::vector<std::uint8_t> plaintext(inner.begin(), inner.end());
-  for (std::size_t i = 1; i <= pad; ++i) {
-    plaintext.push_back(static_cast<std::uint8_t>(i));
-  }
-  plaintext.push_back(static_cast<std::uint8_t>(pad));
-  plaintext.push_back(4);  // next header: IPv4 (tunnel mode)
-
-  const auto iv = derive_iv(*tunnel.cipher, sa.spi, sa.seq);
-  auto ciphertext = crypto::aes_cbc_encrypt_raw(*tunnel.cipher, iv, plaintext);
-  if (!ciphertext) {
-    ++stats_.malformed;
-    return out;
-  }
-
-  // Assemble: Eth | outer IPv4 | ESP | IV | ciphertext | ICV.
-  const std::size_t esp_payload =
-      packet::kEspHeaderSize + kIvSize + ciphertext->size() + kIcvSize;
-  const std::size_t total = packet::kEthernetHeaderSize +
-                            packet::kIpv4MinHeaderSize + esp_payload;
+packet::PacketBuffer IpsecEndpoint::build_esp_frame(
+    const Tunnel& tunnel, const SecurityAssociation& sa,
+    std::size_t esp_payload) {
   packet::PacketBuffer outp;
-  outp.push_back(total);
+  outp.push_back(kEspOffset + esp_payload);
   auto buf = outp.data();
 
   packet::EthernetHeader outer_eth{.dst = tunnel.outer_dst_mac,
@@ -180,64 +227,145 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate(
   packet::write_ipv4(outer_ip, buf.subspan(packet::kEthernetHeaderSize,
                                            packet::kIpv4MinHeaderSize));
 
-  const std::size_t esp_off =
-      packet::kEthernetHeaderSize + packet::kIpv4MinHeaderSize;
   packet::EspHeader esp{sa.spi, static_cast<std::uint32_t>(sa.seq)};
-  packet::write_esp(esp, buf.subspan(esp_off, packet::kEspHeaderSize));
-  std::memcpy(buf.data() + esp_off + packet::kEspHeaderSize, iv.data(),
-              kIvSize);
-  std::memcpy(buf.data() + esp_off + packet::kEspHeaderSize + kIvSize,
-              ciphertext->data(), ciphertext->size());
-
-  // ICV over ESP header + IV + ciphertext (RFC 4303 §2.8).
-  const std::size_t auth_len =
-      packet::kEspHeaderSize + kIvSize + ciphertext->size();
-  crypto::HmacSha256 hmac = *tunnel.out_hmac_tmpl;
-  hmac.update(buf.subspan(esp_off, auth_len));
-  const auto icv = hmac.final();
-  std::memcpy(buf.data() + esp_off + auth_len, icv.data(), kIcvSize);
-
-  ++stats_.encapsulated;
-  out.push_back(NfOutput{1, std::move(outp)});
-  return out;
+  packet::write_esp(esp, buf.subspan(kEspOffset, packet::kEspHeaderSize));
+  return outp;
 }
 
-std::vector<NfOutput> IpsecEndpoint::decapsulate(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
-  std::vector<NfOutput> out;
+std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
+    const Tunnel& tunnel, const SecurityAssociation& sa,
+    const packet::PacketBuffer& frame, std::size_t min_esp_payload) {
   auto eth = packet::parse_ethernet(frame.data());
   if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
   auto l3 = frame.data().subspan(eth->wire_size());
   auto ip = packet::parse_ipv4(l3);
   if (!ip || ip->protocol != packet::kIpProtoEsp ||
       ip->total_length > l3.size()) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
   if (!(ip->dst == tunnel.local_ip)) {
     ++stats_.no_sa;
-    return out;
+    return std::nullopt;
   }
   auto esp_area = l3.subspan(ip->header_size(),
                              ip->total_length - ip->header_size());
-  if (esp_area.size() <
-      packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize + kIcvSize) {
+  if (esp_area.size() < min_esp_payload) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
   auto esp = packet::parse_esp(esp_area);
   if (!esp) {
     ++stats_.malformed;
-    return out;
+    return std::nullopt;
   }
-  SecurityAssociation& sa = tunnel.in_sa;
   if (esp->spi != sa.spi) {
     ++stats_.no_sa;
+    return std::nullopt;
+  }
+  return EspIngress{esp_area, esp->sequence};
+}
+
+std::vector<NfOutput> IpsecEndpoint::emit_inner(
+    const Tunnel& tunnel, std::vector<std::uint8_t>&& plaintext) {
+  std::vector<NfOutput> out;
+  if (plaintext.size() < 2) {
+    ++stats_.malformed;
     return out;
   }
+  const std::uint8_t next_header = plaintext.back();
+  const std::uint8_t pad_len = plaintext[plaintext.size() - 2];
+  if (next_header != 4 || plaintext.size() < 2u + pad_len) {
+    ++stats_.malformed;
+    return out;
+  }
+  // Validate the monotonic pad bytes (cheap corruption check).
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    const std::size_t idx = plaintext.size() - 2 - pad_len + i;
+    if (plaintext[idx] != i + 1) {
+      ++stats_.malformed;
+      return out;
+    }
+  }
+  plaintext.resize(plaintext.size() - 2 - pad_len);
+
+  // Rebuild an Ethernet frame around the inner IP packet.
+  packet::PacketBuffer inner(
+      std::span<const std::uint8_t>(plaintext.data(), plaintext.size()));
+  auto ethspan = inner.push_front(packet::kEthernetHeaderSize);
+  packet::EthernetHeader inner_eth{.dst = tunnel.inner_dst_mac,
+                                   .src = tunnel.inner_src_mac,
+                                   .ether_type = packet::kEtherTypeIpv4,
+                                   .vlan = std::nullopt};
+  packet::write_ethernet(inner_eth, ethspan);
+
+  ++stats_.decapsulated;
+  out.push_back(NfOutput{0, std::move(inner)});
+  return out;
+}
+
+std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  auto inner = parse_inner_ipv4(frame);
+  if (!inner) return out;
+
+  SecurityAssociation& sa = tunnel.out_sa;
+  sa.seq += 1;
+
+  // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
+  // pad bytes are 1,2,3,... (RFC 4303 \u00a72.4).
+  const std::size_t block = crypto::Aes::kBlockSize;
+  const std::size_t pad = (block - (inner->size() + 2) % block) % block;
+  std::vector<std::uint8_t> plaintext(inner->begin(), inner->end());
+  for (std::size_t i = 1; i <= pad; ++i) {
+    plaintext.push_back(static_cast<std::uint8_t>(i));
+  }
+  plaintext.push_back(static_cast<std::uint8_t>(pad));
+  plaintext.push_back(4);  // next header: IPv4 (tunnel mode)
+
+  const auto iv = derive_iv(*tunnel.cipher, sa.spi, sa.seq);
+  auto ciphertext = crypto::aes_cbc_encrypt_raw(*tunnel.cipher, iv, plaintext);
+  if (!ciphertext) {
+    ++stats_.malformed;
+    return out;
+  }
+
+  // Assemble: Eth | outer IPv4 | ESP | IV | ciphertext | ICV.
+  const std::size_t esp_payload =
+      packet::kEspHeaderSize + kIvSize + ciphertext->size() + kIcvSize;
+  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, esp_payload);
+  auto buf = outp.data();
+  std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize, iv.data(),
+              kIvSize);
+  std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize + kIvSize,
+              ciphertext->data(), ciphertext->size());
+
+  // ICV over ESP header + IV + ciphertext (RFC 4303 \u00a72.8).
+  const std::size_t auth_len =
+      packet::kEspHeaderSize + kIvSize + ciphertext->size();
+  crypto::HmacSha256 hmac = *tunnel.out_hmac_tmpl;
+  hmac.update(buf.subspan(kEspOffset, auth_len));
+  const auto icv = hmac.final();
+  std::memcpy(buf.data() + kEspOffset + auth_len, icv.data(), kIcvSize);
+
+  ++stats_.encapsulated;
+  out.push_back(NfOutput{1, std::move(outp)});
+  return out;
+}
+
+std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  SecurityAssociation& sa = tunnel.in_sa;
+  auto ingress = parse_esp_ingress(
+      tunnel, sa, frame,
+      packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize + kIcvSize);
+  if (!ingress) return out;
+  auto esp_area = ingress->esp_area;
 
   // Verify ICV first (constant time), then replay, then decrypt.
   const std::size_t auth_len = esp_area.size() - kIcvSize;
@@ -249,7 +377,7 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate(
     ++stats_.auth_failures;
     return out;
   }
-  if (!replay_check_and_update(sa, esp->sequence)) {
+  if (!replay_check_and_update(sa, ingress->sequence)) {
     ++stats_.replay_drops;
     return out;
   }
@@ -264,40 +392,100 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate(
     ++stats_.malformed;
     return out;
   }
-  // Strip the ESP trailer.
-  if (plaintext->size() < 2) {
+  return emit_inner(tunnel, std::move(*plaintext));
+}
+
+// RFC 4106-shaped AES-GCM ESP: Eth | outer IPv4 | ESP | IV(8) |
+// ciphertext | ICV(16). The explicit IV is the 64-bit sequence counter;
+// the GCM nonce is (salt ^ SPI)(4) || IV(8) — a deliberate deviation
+// from RFC 4106's plain salt||IV, needed because both directions share
+// one enc_key here (see gcm_nonce(); a conforming peer with per-SA
+// keymat would not interoperate). The AAD is the 8-byte ESP header
+// (SPI, seq).
+// Encryption and authentication happen in one in-place seal() over the
+// output buffer \u2014 no separate HMAC pass, no plaintext staging copy, and
+// both CTR and GHASH pipeline across blocks on the hardware backend.
+std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  auto inner = parse_inner_ipv4(frame);
+  if (!inner) return out;
+
+  SecurityAssociation& sa = tunnel.out_sa;
+  sa.seq += 1;
+
+  // ESP trailer: GCM is a stream mode, so padding only has to satisfy the
+  // RFC 4303 4-byte alignment of (payload | pad_len | next_header).
+  const std::size_t pad = (4 - (inner->size() + 2) % 4) % 4;
+  const std::size_t pt_len = inner->size() + pad + 2;
+  const std::size_t esp_payload =
+      packet::kEspHeaderSize + kGcmIvSize + pt_len + kGcmIcvSize;
+  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, esp_payload);
+  auto buf = outp.data();
+  util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, sa.seq);
+
+  // Assemble plaintext (inner packet + trailer) directly where the
+  // ciphertext goes and seal in place.
+  const std::size_t ct_off = kEspOffset + packet::kEspHeaderSize + kGcmIvSize;
+  std::memcpy(buf.data() + ct_off, inner->data(), inner->size());
+  std::uint8_t* trailer = buf.data() + ct_off + inner->size();
+  for (std::size_t i = 1; i <= pad; ++i) {
+    trailer[i - 1] = static_cast<std::uint8_t>(i);
+  }
+  trailer[pad] = static_cast<std::uint8_t>(pad);
+  trailer[pad + 1] = 4;  // next header: IPv4 (tunnel mode)
+
+  std::uint8_t nonce[crypto::GcmContext::kIvSize];
+  gcm_nonce(sa, buf.data() + kEspOffset + packet::kEspHeaderSize, nonce);
+
+  if (!tunnel.gcm
+           ->seal(nonce, buf.subspan(kEspOffset, packet::kEspHeaderSize),
+                  buf.subspan(ct_off, pt_len), buf.data() + ct_off,
+                  buf.data() + ct_off + pt_len)
+           .is_ok()) {
     ++stats_.malformed;
     return out;
   }
-  const std::uint8_t next_header = plaintext->back();
-  const std::uint8_t pad_len = (*plaintext)[plaintext->size() - 2];
-  if (next_header != 4 || plaintext->size() < 2u + pad_len) {
-    ++stats_.malformed;
-    return out;
-  }
-  // Validate the monotonic pad bytes (cheap corruption check).
-  for (std::size_t i = 0; i < pad_len; ++i) {
-    const std::size_t idx = plaintext->size() - 2 - pad_len + i;
-    if ((*plaintext)[idx] != i + 1) {
-      ++stats_.malformed;
-      return out;
-    }
-  }
-  plaintext->resize(plaintext->size() - 2 - pad_len);
 
-  // Rebuild an Ethernet frame around the inner IP packet.
-  packet::PacketBuffer inner(
-      std::span<const std::uint8_t>(plaintext->data(), plaintext->size()));
-  auto ethspan = inner.push_front(packet::kEthernetHeaderSize);
-  packet::EthernetHeader inner_eth{.dst = tunnel.inner_dst_mac,
-                                   .src = tunnel.inner_src_mac,
-                                   .ether_type = packet::kEtherTypeIpv4,
-                                   .vlan = std::nullopt};
-  packet::write_ethernet(inner_eth, ethspan);
-
-  ++stats_.decapsulated;
-  out.push_back(NfOutput{0, std::move(inner)});
+  ++stats_.encapsulated;
+  out.push_back(NfOutput{1, std::move(outp)});
   return out;
+}
+
+std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
+    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  SecurityAssociation& sa = tunnel.in_sa;
+  // Minimum: ESP header + IV + 2-byte trailer (pad_len, next_header) + ICV.
+  auto ingress = parse_esp_ingress(
+      tunnel, sa, frame,
+      packet::kEspHeaderSize + kGcmIvSize + 2 + kGcmIcvSize);
+  if (!ingress) return out;
+  auto esp_area = ingress->esp_area;
+
+  std::uint8_t nonce[crypto::GcmContext::kIvSize];
+  gcm_nonce(sa, esp_area.data() + packet::kEspHeaderSize, nonce);
+
+  const std::size_t ct_len = esp_area.size() - packet::kEspHeaderSize -
+                             kGcmIvSize - kGcmIcvSize;
+  auto ciphertext =
+      esp_area.subspan(packet::kEspHeaderSize + kGcmIvSize, ct_len);
+  auto icv = esp_area.subspan(esp_area.size() - kGcmIcvSize, kGcmIcvSize);
+
+  // Authenticate (tag over ESP header + ciphertext) and decrypt in one
+  // pass, then replay-check, then strip the trailer.
+  std::vector<std::uint8_t> plaintext(ct_len);
+  if (!tunnel.gcm->open({nonce, sizeof(nonce)},
+                        esp_area.subspan(0, packet::kEspHeaderSize),
+                        ciphertext, icv, plaintext.data())) {
+    ++stats_.auth_failures;
+    return out;
+  }
+  if (!replay_check_and_update(sa, ingress->sequence)) {
+    ++stats_.replay_drops;
+    return out;
+  }
+  return emit_inner(tunnel, std::move(plaintext));
 }
 
 std::vector<NfOutput> IpsecEndpoint::process_burst(

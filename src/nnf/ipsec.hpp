@@ -2,10 +2,21 @@
 // validation runs as VM / Docker / native (Strongswan, "ESP protocol in
 // tunnel mode").
 //
-// Datapath is functionally real: AES-128-CBC encryption (RFC 3602),
-// HMAC-SHA256-128 integrity (RFC 4868), ESP trailer padding, sequence
-// numbers and a 64-entry anti-replay window. Port 0 carries plaintext
-// ("red") traffic, port 1 the encrypted ("black") side.
+// Datapath is functionally real. Two ESP transforms are supported per
+// tunnel (config key `esp_transform`):
+//
+//   "gcm" (default)  AES-128-GCM (RFC 4106): CTR encryption + GHASH in
+//                    one pass, 8-byte explicit IV (the sequence counter),
+//                    16-byte tag, 4-byte salt from the tail of a 40-hex
+//                    enc_key. Both directions pipeline on AES-NI/PCLMUL,
+//                    which is why it is the default.
+//   "cbc-hmac"       AES-128-CBC (RFC 3602) + HMAC-SHA256-128 (RFC 4868),
+//                    the classic transform; CBC encryption is
+//                    chain-serial.
+//
+// Both share ESP trailer padding, sequence numbers and a 64-entry
+// anti-replay window. Port 0 carries plaintext ("red") traffic, port 1
+// the encrypted ("black") side.
 //
 // Each context holds an independent SA pair, which is what makes the
 // function sharable: multiple service graphs terminate their own tunnels
@@ -18,17 +29,23 @@
 #include <optional>
 
 #include "crypto/aes.hpp"
+#include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
 #include "nnf/network_function.hpp"
 #include "packet/headers.hpp"
 
 namespace nnfv::nnf {
 
+/// Which ESP transform a tunnel runs (RFC 4106 AES-GCM vs RFC 3602+4868
+/// AES-CBC + HMAC-SHA256).
+enum class EspTransform { kGcm, kCbcHmac };
+
 /// One unidirectional security association.
 struct SecurityAssociation {
   std::uint32_t spi = 0;
   std::array<std::uint8_t, 16> enc_key{};   ///< AES-128
-  std::array<std::uint8_t, 32> auth_key{};  ///< HMAC-SHA256
+  std::array<std::uint8_t, 4> salt{};       ///< GCM nonce salt (RFC 4106)
+  std::array<std::uint8_t, 32> auth_key{};  ///< HMAC-SHA256 (cbc-hmac)
   std::uint64_t seq = 0;                    ///< last sent (out) sequence
   // Anti-replay (inbound only): highest seen seq + sliding bitmap.
   std::uint32_t replay_top = 0;
@@ -46,8 +63,10 @@ struct IpsecStats {
 
 class IpsecEndpoint : public NetworkFunction {
  public:
-  static constexpr std::size_t kIvSize = 16;
+  static constexpr std::size_t kIvSize = 16;   ///< cbc-hmac explicit IV
   static constexpr std::size_t kIcvSize = 16;  ///< HMAC-SHA256-128
+  static constexpr std::size_t kGcmIvSize = 8;   ///< RFC 4106 explicit IV
+  static constexpr std::size_t kGcmIcvSize = 16;  ///< full GCM tag
 
   IpsecEndpoint() = default;
 
@@ -57,8 +76,12 @@ class IpsecEndpoint : public NetworkFunction {
   /// Config keys (per context):
   ///   local_ip, peer_ip       tunnel endpoints (outer header)
   ///   spi_out, spi_in         decimal SPIs
-  ///   enc_key                 32 hex chars (AES-128)
-  ///   auth_key                64 hex chars (HMAC-SHA256)
+  ///   esp_transform           "gcm" (default) or "cbc-hmac"
+  ///   enc_key                 32 hex chars (AES-128), or 40 hex chars
+  ///                           (AES-128 key + 4-byte GCM salt, RFC 4106
+  ///                           §8.1 keymat order; salt is zero when only
+  ///                           32 chars are given)
+  ///   auth_key                64 hex chars (HMAC-SHA256; cbc-hmac only)
   ///   outer_src_mac, outer_dst_mac, inner_src_mac, inner_dst_mac (optional)
   util::Status configure(ContextId ctx, const NfConfig& config) override;
 
@@ -87,7 +110,12 @@ class IpsecEndpoint : public NetworkFunction {
     packet::Ipv4Address peer_ip;
     SecurityAssociation out_sa;
     SecurityAssociation in_sa;
-    std::optional<crypto::Aes> cipher;  ///< key-expanded AES
+    EspTransform transform = EspTransform::kGcm;
+    std::optional<crypto::Aes> cipher;  ///< key-expanded AES (cbc-hmac)
+    /// GCM context: AES key schedule + GHASH table precomputed once at
+    /// configure; every packet of a burst reuses it — the GCM analogue of
+    /// the HMAC ipad midstate below.
+    std::optional<crypto::GcmContext> gcm;
     /// HMAC with the ipad block already absorbed, one per direction; per
     /// packet the ICV computation copies the midstate instead of
     /// re-deriving the key pads + compressing ipad. Kept per SA so the
@@ -99,13 +127,58 @@ class IpsecEndpoint : public NetworkFunction {
     packet::MacAddress outer_dst_mac = packet::MacAddress::from_id(0xE1);
     packet::MacAddress inner_src_mac = packet::MacAddress::from_id(0xE2);
     packet::MacAddress inner_dst_mac = packet::MacAddress::from_id(0xE3);
+    bool have_enc_key = false;
     bool configured = false;
   };
 
+  // encapsulate/decapsulate dispatch on the tunnel's transform.
   std::vector<NfOutput> encapsulate(Tunnel& tunnel,
                                     packet::PacketBuffer&& frame);
   std::vector<NfOutput> decapsulate(Tunnel& tunnel,
                                     packet::PacketBuffer&& frame);
+
+  /// Shared encap prologue: validates the red-side frame as
+  /// Ethernet+IPv4 and returns the inner IP packet (trimmed to its
+  /// total length); counts `malformed` and returns nullopt on failure.
+  std::optional<std::span<const std::uint8_t>> parse_inner_ipv4(
+      const packet::PacketBuffer& frame);
+
+  /// Shared encap epilogue start: allocates the output frame and writes
+  /// Eth | outer IPv4 | ESP header for `esp_payload` bytes of ESP
+  /// payload (the transform then fills IV/ciphertext/ICV behind the
+  /// fixed kEspOffset).
+  static packet::PacketBuffer build_esp_frame(const Tunnel& tunnel,
+                                              const SecurityAssociation& sa,
+                                              std::size_t esp_payload);
+
+  /// Shared decap prologue: validates the black-side frame down to the
+  /// ESP area (outer headers, ESP proto, destination, minimum payload,
+  /// SPI match); counts malformed/no_sa and returns nullopt on failure.
+  struct EspIngress {
+    std::span<const std::uint8_t> esp_area;
+    std::uint32_t sequence = 0;
+  };
+  std::optional<EspIngress> parse_esp_ingress(
+      const Tunnel& tunnel, const SecurityAssociation& sa,
+      const packet::PacketBuffer& frame, std::size_t min_esp_payload);
+
+  /// Shared decap epilogue: validates + strips the ESP trailer (pad
+  /// bytes 1..pad_len, next_header IPv4) and rebuilds the red-side
+  /// Ethernet frame; counts `malformed` and returns an empty vector on
+  /// failure.
+  std::vector<NfOutput> emit_inner(const Tunnel& tunnel,
+                                   std::vector<std::uint8_t>&& plaintext);
+
+  static constexpr std::size_t kEspOffset =
+      packet::kEthernetHeaderSize + packet::kIpv4MinHeaderSize;
+  std::vector<NfOutput> encapsulate_cbc(Tunnel& tunnel,
+                                        packet::PacketBuffer&& frame);
+  std::vector<NfOutput> decapsulate_cbc(Tunnel& tunnel,
+                                        packet::PacketBuffer&& frame);
+  std::vector<NfOutput> encapsulate_gcm(Tunnel& tunnel,
+                                        packet::PacketBuffer&& frame);
+  std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel,
+                                        packet::PacketBuffer&& frame);
 
   /// RFC-style sliding window; returns false (and drops) on replay.
   static bool replay_check_and_update(SecurityAssociation& sa,

@@ -15,6 +15,7 @@
 #include "crypto/sha256.hpp"
 #include "nnf/ipsec.hpp"
 #include "packet/builder.hpp"
+#include "util/byteorder.hpp"
 #include "util/cpuid.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -165,6 +166,65 @@ TEST_P(PerBackend, HmacRfc4231Case2) {
             "5a003f089d2739839dec58b964ec3843");
 }
 
+// NIST SP 800-38D (GCM spec) test cases 1-4: AES-128, 96-bit IV, with and
+// without payload/AAD. Run per backend so every GHASH implementation
+// (bit-by-bit oracle, Shoup 4-bit table, PCLMUL aggregated) and every CTR
+// path face the published answers directly.
+TEST_P(PerBackend, GcmSp80038dVectors) {
+  NNFV_SKIP_IF_UNUSABLE();
+  ScopedBackendOverride override_scope(backend());
+  const struct {
+    const char* key;
+    const char* iv;
+    const char* plaintext;
+    const char* aad;
+    const char* ciphertext;
+    const char* tag;
+  } cases[] = {
+      // Test Case 1: empty everything.
+      {"00000000000000000000000000000000", "000000000000000000000000", "",
+       "", "", "58e2fccefa7e3061367f1d57a4e7455a"},
+      // Test Case 2: one zero block.
+      {"00000000000000000000000000000000", "000000000000000000000000",
+       "00000000000000000000000000000000", "",
+       "0388dace60b6a392f328c2b971b2fe78",
+       "ab6e47d42cec13bdf53a67b21257bddf"},
+      // Test Case 3: four blocks, no AAD.
+      {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+       "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+       "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+       "",
+       "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+       "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+       "4d5c2af327cd64a62cf35abd2ba6fab4"},
+      // Test Case 4: 60-byte payload (partial final block) + AAD.
+      {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+       "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+       "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+       "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+       "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+       "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+       "5bc94fbc3221a5db94fae95ae7121a47"},
+  };
+  for (const auto& c : cases) {
+    auto gcm = GcmContext::create(from_hex(c.key));
+    ASSERT_TRUE(gcm.is_ok());
+    const auto iv = from_hex(c.iv);
+    const auto plain = from_hex(c.plaintext);
+    const auto aad = from_hex(c.aad);
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[GcmContext::kTagSize];
+    ASSERT_TRUE(gcm->seal(iv, aad, plain, cipher.data(), tag).is_ok());
+    EXPECT_EQ(util::hex_encode(cipher), c.ciphertext) << GetParam();
+    EXPECT_EQ(util::hex_encode({tag, sizeof(tag)}), c.tag) << GetParam();
+
+    std::vector<std::uint8_t> back(cipher.size());
+    EXPECT_TRUE(gcm->open(iv, aad, cipher, {tag, sizeof(tag)}, back.data()))
+        << GetParam();
+    EXPECT_EQ(back, plain) << GetParam();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, PerBackend,
                          ::testing::Values("portable", "aesni", "reference"));
 
@@ -261,6 +321,204 @@ TEST(CryptoBackend, CtrIdentityAcrossBackends) {
     auto out = aes_ctr_crypt(*aes, counter, data);
     ASSERT_TRUE(out.is_ok());
     EXPECT_EQ(util::hex_encode(*out), want) << backend->name();
+  }
+}
+
+TEST(CryptoBackend, CtrXorIdentityAcrossBackends) {
+  util::Rng rng(21);
+  const CryptoBackend& oracle = detail::reference_backend();
+  for (std::size_t key_len : {16u, 32u}) {
+    const auto key = rng.bytes(key_len);
+    auto aes = Aes::create(key);
+    ASSERT_TRUE(aes.is_ok());
+    auto counter = rng.bytes(16);
+    // Force an inc32 wrap partway through the longer messages.
+    counter[12] = counter[13] = counter[14] = 0xFF;
+    counter[15] = 0xFD;
+    // Lengths straddle the 8-blocks-in-flight AES-NI loop, its 1-block
+    // tail, and partial final blocks.
+    for (std::size_t len : {1u, 15u, 16u, 17u, 127u, 128u, 129u, 333u,
+                            1408u, 1442u}) {
+      const auto data = rng.bytes(len);
+      std::vector<std::uint8_t> want(len);
+      oracle.aes_ctr_xor(*aes, counter.data(), data.data(), want.data(), len);
+      for (const CryptoBackend* backend : usable_backends()) {
+        std::vector<std::uint8_t> got(len);
+        backend->aes_ctr_xor(*aes, counter.data(), data.data(), got.data(),
+                             len);
+        EXPECT_EQ(got, want) << backend->name() << " len " << len;
+        // In-place operation must match.
+        std::vector<std::uint8_t> in_place = data;
+        backend->aes_ctr_xor(*aes, counter.data(), in_place.data(),
+                             in_place.data(), len);
+        EXPECT_EQ(in_place, want) << backend->name() << " in-place " << len;
+      }
+    }
+  }
+}
+
+TEST(CryptoBackend, GhashIdentityAcrossBackends) {
+  util::Rng rng(22);
+  const CryptoBackend& oracle = detail::reference_backend();
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto h = rng.bytes(16);
+    GhashKey oracle_key;
+    std::copy(h.begin(), h.end(), oracle_key.h);
+    oracle.ghash_init(oracle_key);
+    // Block counts straddle the PCLMUL 4-block aggregation and its tail.
+    for (std::size_t nblocks : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 90u}) {
+      const auto data = rng.bytes(nblocks * 16);
+      const auto start = rng.bytes(16);
+      std::uint8_t want[16];
+      std::copy(start.begin(), start.end(), want);
+      oracle.ghash(oracle_key, want, data.data(), nblocks);
+      for (const CryptoBackend* backend : usable_backends()) {
+        GhashKey key;
+        std::copy(h.begin(), h.end(), key.h);
+        backend->ghash_init(key);
+        EXPECT_EQ(key.owner, backend) << backend->name();
+        std::uint8_t got[16];
+        std::copy(start.begin(), start.end(), got);
+        backend->ghash(key, got, data.data(), nblocks);
+        EXPECT_EQ(util::hex_encode({got, 16}), util::hex_encode({want, 16}))
+            << backend->name() << " nblocks " << nblocks;
+      }
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmSealIdenticalAcrossBackendsRandomLengths) {
+  util::Rng rng(23);
+  const auto key = rng.bytes(16);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto iv = rng.bytes(GcmContext::kIvSize);
+    const auto aad = rng.bytes(trial * 7);  // 0..49 bytes of AAD
+    const auto plain = rng.bytes(1 + (trial * 211) % 1500);
+    std::vector<std::uint8_t> want_cipher;
+    std::string want_tag;
+    for (const CryptoBackend* backend : usable_backends()) {
+      ScopedBackendOverride override_scope(*backend);
+      auto gcm = GcmContext::create(key);
+      ASSERT_TRUE(gcm.is_ok());
+      std::vector<std::uint8_t> cipher(plain.size());
+      std::uint8_t tag[GcmContext::kTagSize];
+      ASSERT_TRUE(gcm->seal(iv, aad, plain, cipher.data(), tag).is_ok());
+      if (want_tag.empty()) {
+        want_cipher = cipher;
+        want_tag = util::hex_encode({tag, sizeof(tag)});
+      } else {
+        EXPECT_EQ(cipher, want_cipher) << backend->name();
+        EXPECT_EQ(util::hex_encode({tag, sizeof(tag)}), want_tag)
+            << backend->name();
+      }
+      std::vector<std::uint8_t> back(cipher.size());
+      EXPECT_TRUE(
+          gcm->open(iv, aad, cipher, {tag, sizeof(tag)}, back.data()))
+          << backend->name();
+      EXPECT_EQ(back, plain) << backend->name();
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmContextSurvivesBackendSwitch) {
+  // One context, used under every backend in turn: the lazily re-derived
+  // GHASH table must keep outputs bit-identical.
+  util::Rng rng(24);
+  const auto key = rng.bytes(16);
+  const auto iv = rng.bytes(GcmContext::kIvSize);
+  const auto plain = rng.bytes(200);
+  auto gcm = GcmContext::create(key);
+  ASSERT_TRUE(gcm.is_ok());
+  std::string want;
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[GcmContext::kTagSize];
+    ASSERT_TRUE(gcm->seal(iv, {}, plain, cipher.data(), tag).is_ok());
+    const std::string got =
+        util::hex_encode(cipher) + util::hex_encode({tag, sizeof(tag)});
+    if (want.empty()) {
+      want = got;
+    } else {
+      EXPECT_EQ(got, want) << backend->name();
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmTamperedInputFailsOpen) {
+  util::Rng rng(25);
+  const auto key = rng.bytes(16);
+  const auto iv = rng.bytes(GcmContext::kIvSize);
+  const auto aad = rng.bytes(20);
+  const auto plain = rng.bytes(300);
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    auto gcm = GcmContext::create(key);
+    ASSERT_TRUE(gcm.is_ok());
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[GcmContext::kTagSize];
+    ASSERT_TRUE(gcm->seal(iv, aad, plain, cipher.data(), tag).is_ok());
+    std::vector<std::uint8_t> out(cipher.size());
+
+    std::uint8_t bad_tag[GcmContext::kTagSize];
+    std::copy(tag, tag + sizeof(tag), bad_tag);
+    bad_tag[5] ^= 0x01;
+    EXPECT_FALSE(
+        gcm->open(iv, aad, cipher, {bad_tag, sizeof(bad_tag)}, out.data()))
+        << backend->name() << " flipped tag byte must fail";
+
+    auto bad_cipher = cipher;
+    bad_cipher[17] ^= 0x80;
+    EXPECT_FALSE(
+        gcm->open(iv, aad, bad_cipher, {tag, sizeof(tag)}, out.data()))
+        << backend->name() << " flipped ciphertext byte must fail";
+
+    auto bad_aad = aad;
+    bad_aad[0] ^= 0x01;
+    EXPECT_FALSE(
+        gcm->open(iv, bad_aad, cipher, {tag, sizeof(tag)}, out.data()))
+        << backend->name() << " flipped AAD byte must fail";
+
+    EXPECT_TRUE(gcm->open(iv, aad, cipher, {tag, sizeof(tag)}, out.data()))
+        << backend->name() << " untampered must still verify";
+    EXPECT_EQ(out, plain) << backend->name();
+  }
+}
+
+TEST(CryptoBackend, ScheduleCacheBitIdenticalToWordSchedules) {
+  // The cached byte-serialised schedules must be exactly the big-endian
+  // serialisation of the word schedules (the AESENC/AESDEC register
+  // layout), identical no matter which backend is active, and stable
+  // across repeated reads (filled once at key expansion).
+  util::Rng rng(26);
+  for (std::size_t key_len : {16u, 24u, 32u}) {
+    const auto key = rng.bytes(key_len);
+    auto aes = Aes::create(key);
+    ASSERT_TRUE(aes.is_ok());
+    const auto enc_words = aes->enc_round_keys();
+    const auto dec_words = aes->dec_round_keys();
+    std::vector<std::uint8_t> want_enc(enc_words.size() * 4);
+    std::vector<std::uint8_t> want_dec(dec_words.size() * 4);
+    for (std::size_t i = 0; i < enc_words.size(); ++i) {
+      util::store_be32(want_enc.data() + 4 * i, enc_words[i]);
+      util::store_be32(want_dec.data() + 4 * i, dec_words[i]);
+    }
+    const auto enc_bytes = aes->enc_schedule_bytes();
+    const auto dec_bytes = aes->dec_schedule_bytes();
+    EXPECT_EQ(util::hex_encode(enc_bytes), util::hex_encode(want_enc));
+    EXPECT_EQ(util::hex_encode(dec_bytes), util::hex_encode(want_dec));
+    for (const CryptoBackend* backend : usable_backends()) {
+      ScopedBackendOverride override_scope(*backend);
+      // Cache hit: same storage, same bytes, regardless of active backend.
+      EXPECT_EQ(aes->enc_schedule_bytes().data(), enc_bytes.data())
+          << backend->name();
+      EXPECT_EQ(util::hex_encode(aes->enc_schedule_bytes()),
+                util::hex_encode(want_enc))
+          << backend->name();
+      EXPECT_EQ(util::hex_encode(aes->dec_schedule_bytes()),
+                util::hex_encode(want_dec))
+          << backend->name();
+    }
   }
 }
 

@@ -287,19 +287,180 @@ TEST(Ipsec, ConfigValidation) {
 }
 
 TEST(Ipsec, EspOverheadIsBounded) {
-  // Tunnel-mode ESP with AES-CBC + HMAC-SHA256-128 adds a predictable
-  // overhead: new eth (14) + outer IP (20) + ESP (8) + IV (16) + pad
-  // (<= 16) + pad_len + next_hdr (2) + ICV (16).
-  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  // Tunnel-mode ESP adds a predictable overhead. GCM (the default):
+  // new eth (14) + outer IP (20) + ESP (8) + IV (8) + pad (<= 3) +
+  // pad_len + next_hdr (2) + ICV (16). cbc-hmac: IV is 16 and padding
+  // runs to the 16-byte block size.
+  IpsecEndpoint gcm = make_endpoint(initiator_config());
+  NfConfig cbc_config = initiator_config();
+  cbc_config["esp_transform"] = "cbc-hmac";
+  IpsecEndpoint cbc = make_endpoint(cbc_config);
   for (std::size_t size : {0u, 100u, 1000u, 1408u}) {
     auto plain = plaintext_frame(size, size);
     const std::size_t inner_ip_len = plain.size() - 14;
-    auto outs = initiator.process(kDefaultContext, 0, 0, std::move(plain));
+
+    packet::PacketBuffer copy(plain.data());
+    auto outs = gcm.process(kDefaultContext, 0, 0, std::move(plain));
     ASSERT_EQ(outs.size(), 1u);
-    const std::size_t overhead = outs[0].frame.size() - 14 - inner_ip_len;
-    EXPECT_GE(overhead, 20u + 8u + 16u + 2u + 16u);
-    EXPECT_LE(overhead, 20u + 8u + 16u + 16u + 2u + 16u);
+    const std::size_t gcm_overhead = outs[0].frame.size() - 14 - inner_ip_len;
+    EXPECT_GE(gcm_overhead, 20u + 8u + 8u + 2u + 16u);
+    EXPECT_LE(gcm_overhead, 20u + 8u + 8u + 3u + 2u + 16u);
+
+    auto cbc_outs = cbc.process(kDefaultContext, 0, 0, std::move(copy));
+    ASSERT_EQ(cbc_outs.size(), 1u);
+    const std::size_t cbc_overhead =
+        cbc_outs[0].frame.size() - 14 - inner_ip_len;
+    EXPECT_GE(cbc_overhead, 20u + 8u + 16u + 2u + 16u);
+    EXPECT_LE(cbc_overhead, 20u + 8u + 16u + 16u + 2u + 16u);
+    // The stream-mode transform never pads past 4-byte alignment, so it
+    // is strictly leaner on the wire.
+    EXPECT_LT(gcm_overhead, cbc_overhead);
   }
+}
+
+TEST(Ipsec, DefaultTransformIsGcm) {
+  // RFC 4106 wire shape: ESP header, then an 8-byte explicit IV carrying
+  // the 64-bit sequence counter, ciphertext, 16-byte ICV.
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  auto outs = initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  ASSERT_EQ(outs.size(), 1u);
+  const auto wire = outs[0].frame.data();
+  auto esp = packet::parse_esp(wire.subspan(34));
+  ASSERT_TRUE(esp.is_ok());
+  EXPECT_EQ(esp->sequence, 1u);
+  // Explicit IV = be64(seq).
+  const std::uint8_t want_iv[8] = {0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_TRUE(std::equal(want_iv, want_iv + 8, wire.begin() + 42));
+}
+
+TEST(Ipsec, TransformsDoNotInteroperate) {
+  // A GCM initiator's packets must fail cleanly (auth failure, no crash,
+  // no plaintext release) at a cbc-hmac responder — the transform is part
+  // of the SA, not negotiated on the wire.
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  NfConfig cbc_config = responder_config();
+  cbc_config["esp_transform"] = "cbc-hmac";
+  IpsecEndpoint responder = make_endpoint(cbc_config);
+  auto enc = initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  ASSERT_EQ(enc.size(), 1u);
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+  EXPECT_EQ(responder.stats().decapsulated, 0u);
+}
+
+TEST(Ipsec, CbcHmacRoundTripStillWorks) {
+  NfConfig init = initiator_config();
+  NfConfig resp = responder_config();
+  init["esp_transform"] = "cbc-hmac";
+  resp["esp_transform"] = "cbc-hmac";
+  IpsecEndpoint initiator = make_endpoint(init);
+  IpsecEndpoint responder = make_endpoint(resp);
+  auto original = plaintext_frame(500, 3);
+  const std::vector<std::uint8_t> inner_before(original.data().begin() + 14,
+                                               original.data().end());
+  auto enc = initiator.process(kDefaultContext, 0, 0, std::move(original));
+  ASSERT_EQ(enc.size(), 1u);
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  ASSERT_EQ(dec.size(), 1u);
+  const std::vector<std::uint8_t> inner_after(
+      dec[0].frame.data().begin() + 14, dec[0].frame.data().end());
+  EXPECT_EQ(inner_before, inner_after);
+}
+
+TEST(Ipsec, GcmSaltFromExtendedKeyChangesWireAndRoundTrips) {
+  // 40-hex enc_key = AES-128 key + RFC 4106 salt. The salt feeds the GCM
+  // nonce, so two tunnels differing only in salt must produce different
+  // ciphertext — and both peers need the same salt to interoperate.
+  NfConfig init = initiator_config();
+  NfConfig resp = responder_config();
+  const std::string salted_key = std::string(kEncKey) + "aabbccdd";
+  init["enc_key"] = salted_key;
+  resp["enc_key"] = salted_key;
+  IpsecEndpoint initiator = make_endpoint(init);
+  IpsecEndpoint responder = make_endpoint(resp);
+  IpsecEndpoint zero_salt = make_endpoint(initiator_config());
+
+  auto frame = plaintext_frame(300, 5);
+  packet::PacketBuffer copy(frame.data());
+  auto salted = initiator.process(kDefaultContext, 0, 0, std::move(frame));
+  auto unsalted = zero_salt.process(kDefaultContext, 0, 0, std::move(copy));
+  ASSERT_EQ(salted.size(), 1u);
+  ASSERT_EQ(unsalted.size(), 1u);
+  EXPECT_NE(std::vector<std::uint8_t>(salted[0].frame.data().begin() + 50,
+                                      salted[0].frame.data().end()),
+            std::vector<std::uint8_t>(unsalted[0].frame.data().begin() + 50,
+                                      unsalted[0].frame.data().end()));
+
+  auto dec = responder.process(kDefaultContext, 1, 0,
+                               std::move(salted[0].frame));
+  ASSERT_EQ(dec.size(), 1u);
+  EXPECT_EQ(responder.stats().auth_failures, 0u);
+}
+
+TEST(Ipsec, GcmTamperedIvFailsAuthentication) {
+  // The explicit IV feeds the nonce: flipping it must break the tag even
+  // though the IV itself is not part of the AAD.
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto enc = initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  ASSERT_EQ(enc.size(), 1u);
+  enc[0].frame[45] ^= 0x01;  // eth 14 + ip 20 + esp 8 = 42; IV at 42..49
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+  EXPECT_EQ(responder.stats().auth_failures, 1u);
+}
+
+TEST(Ipsec, GcmTamperedIcvFailsAuthentication) {
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto enc = initiator.process(kDefaultContext, 0, 0, plaintext_frame());
+  ASSERT_EQ(enc.size(), 1u);
+  enc[0].frame[enc[0].frame.size() - 1] ^= 0x01;  // last ICV byte
+  auto dec =
+      responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame));
+  EXPECT_TRUE(dec.empty());
+  EXPECT_EQ(responder.stats().auth_failures, 1u);
+}
+
+TEST(Ipsec, InvalidTransformRejected) {
+  IpsecEndpoint endpoint;
+  NfConfig config = initiator_config();
+  config["esp_transform"] = "chacha";
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
+}
+
+TEST(Ipsec, GcmDirectionsNeverShareANonce) {
+  // Both directions run one enc_key + salt, so the per-direction SPI
+  // must reach the GCM nonce: the initiator's packet #1 and the
+  // responder's packet #1 (same plaintext, same sequence number, same
+  // key) must NOT produce the same keystream — identical ciphertext
+  // here would mean a reused (key, nonce) pair, which breaks GCM
+  // entirely.
+  IpsecEndpoint initiator = make_endpoint(initiator_config());
+  IpsecEndpoint responder = make_endpoint(responder_config());
+  auto frame = plaintext_frame(300, 7);
+  packet::PacketBuffer copy(frame.data());
+  auto a = initiator.process(kDefaultContext, 0, 0, std::move(frame));
+  auto b = responder.process(kDefaultContext, 0, 0, std::move(copy));
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  // Ciphertext starts after eth(14) + ip(20) + esp(8) + iv(8) = 50.
+  EXPECT_NE(std::vector<std::uint8_t>(a[0].frame.data().begin() + 50,
+                                      a[0].frame.data().end()),
+            std::vector<std::uint8_t>(b[0].frame.data().begin() + 50,
+                                      b[0].frame.data().end()));
+}
+
+TEST(Ipsec, EqualSpisRejected) {
+  // The SPI is the only per-direction component of the nonce/IV
+  // derivation, so spi_out == spi_in must not configure.
+  IpsecEndpoint endpoint;
+  NfConfig config = initiator_config();
+  config["spi_in"] = config["spi_out"];
+  EXPECT_FALSE(endpoint.configure(kDefaultContext, config).is_ok());
 }
 
 TEST(Ipsec, MacRewriteConfigRespected) {
