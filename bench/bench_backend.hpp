@@ -5,12 +5,50 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <span>
 #include <string>
 
 #include "bench_json.hpp"
+#include "crypto/aes.hpp"
 #include "crypto/backend.hpp"
+#include "util/byteorder.hpp"
 
 namespace nnfv::bench {
+
+/// The PR 4 split-pass GCM seal — aes_ctr_xor over the payload, then
+/// ghash over AAD + ciphertext + lengths as separate walks — kept as
+/// the shared yardstick both crypto benches measure the fused gcm_crypt
+/// seal against, so their identically-named
+/// `gcm_stitch_speedup_vs_split` metrics cannot drift apart. `hkey`
+/// must be ghash_init'd by the active backend with H = AES_K(0);
+/// `nonce` is 12 bytes, `aad` at most 16, `data.size()` a multiple of
+/// 16, `cipher` data-sized and `tag` 16 bytes.
+inline void gcm_split_seal(const crypto::Aes& aes,
+                           const crypto::GhashKey& hkey,
+                           std::span<const std::uint8_t> nonce,
+                           std::span<const std::uint8_t> aad,
+                           std::span<const std::uint8_t> data,
+                           std::uint8_t* cipher, std::uint8_t tag[16]) {
+  const crypto::CryptoBackend& backend = crypto::active_backend();
+  std::uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  util::store_be32(j0 + 12, 1);
+  std::uint8_t counter[16];
+  std::memcpy(counter, j0, 16);
+  util::store_be32(counter + 12, 2);
+  backend.aes_ctr_xor(aes, counter, data.data(), cipher, data.size());
+  std::uint8_t s[16] = {};
+  std::uint8_t aad_block[16] = {};
+  std::memcpy(aad_block, aad.data(), aad.size());
+  backend.ghash(hkey, s, aad_block, 1);
+  backend.ghash(hkey, s, cipher, data.size() / 16);
+  std::uint8_t lengths[16];
+  util::store_be64(lengths, aad.size() * 8);
+  util::store_be64(lengths + 8, data.size() * 8);
+  backend.ghash(hkey, s, lengths, 1);
+  backend.aes_ctr_xor(aes, j0, s, tag, 16);
+}
 
 /// Measures `kernel` under the active crypto backend, then again with the
 /// portable backend forced, and reports both: `row_name` carries the

@@ -110,7 +110,47 @@ double backend_speedup_vs_portable(nnfv::bench::JsonReport& report) {
 struct GcmSpeedups {
   double vs_cbc = 0.0;       ///< GCM seal vs CBC+HMAC, active backend
   double vs_portable = 0.0;  ///< GCM seal, active backend vs portable
+  double vs_split = 0.0;     ///< fused gcm_crypt seal vs PR 4 split passes
 };
+
+/// Differential guard for the stitched kernel: the fused seal must be
+/// bit-identical to the reference oracle's split two-pass at lengths
+/// straddling both the 8-block (128 B) CTR chunk and the 4-block (64 B)
+/// GHASH aggregation, including their tails and partial final blocks.
+bool fused_seal_matches_reference_oracle() {
+  util::Rng rng(14);
+  const auto key = rng.bytes(16);
+  const auto aad = rng.bytes(8);
+  for (std::size_t len : {1u, 15u, 16u, 17u, 63u, 64u, 65u, 79u, 80u, 127u,
+                          128u, 129u, 143u, 144u, 191u, 192u, 1408u, 1419u}) {
+    const auto nonce = rng.bytes(12);
+    const auto plain = rng.bytes(len);
+    std::vector<std::uint8_t> want_ct(len);
+    std::uint8_t want_tag[crypto::GcmContext::kTagSize];
+    {
+      crypto::ScopedBackendOverride oracle(
+          crypto::detail::reference_backend());
+      auto gcm = crypto::GcmContext::create(key);
+      if (!gcm.is_ok() ||
+          !gcm->seal(nonce, aad, plain, want_ct.data(), want_tag).is_ok()) {
+        return false;
+      }
+    }
+    auto gcm = crypto::GcmContext::create(key);
+    std::vector<std::uint8_t> got_ct(len);
+    std::uint8_t got_tag[crypto::GcmContext::kTagSize];
+    if (!gcm.is_ok() ||
+        !gcm->seal(nonce, aad, plain, got_ct.data(), got_tag).is_ok() ||
+        got_ct != want_ct ||
+        std::memcmp(got_tag, want_tag, sizeof(want_tag)) != 0) {
+      std::fprintf(stderr,
+                   "fused GCM seal diverges from the reference oracle at "
+                   "length %zu!\n", len);
+      return false;
+    }
+  }
+  return true;
+}
 
 /// The two ESP encrypt transforms head to head on the active backend —
 /// AES-GCM seal (one pass: CTR + GHASH) vs AES-CBC + HMAC-SHA256 (serial
@@ -149,6 +189,27 @@ GcmSpeedups gcm_crypto_speedups(nnfv::bench::JsonReport& report) {
   auto& row = report.add("esp_gcm_encrypt_1408", iters_gcm, ns_gcm);
   row.extra.emplace_back("mbit_per_sec", data.size() * 8.0 / ns_gcm * 1e3);
   report.add_metric("esp_gcm_vs_cbc_speedup", "speedup", speedups.vs_cbc);
+
+  // The PR 4 split-pass seal (aes_ctr_xor, then ghash over AAD +
+  // ciphertext + lengths) as the yardstick for the stitched gcm_crypt:
+  // same primitives, same backend, two walks over the payload.
+  crypto::GhashKey hkey;
+  const std::uint8_t zero[16] = {};
+  (*aes).encrypt_block(zero, hkey.h);
+  crypto::active_backend().ghash_init(hkey);
+  const auto split_kernel = [&]() {
+    bench::gcm_split_seal(*aes, hkey, nonce, aad, data, cipher.data(), tag);
+    bench::do_not_optimize(tag);
+  };
+  auto [ns_split, iters_split] = bench::measure_ns(split_kernel);
+  auto& split_row =
+      report.add("esp_gcm_encrypt_1408_split", iters_split, ns_split);
+  split_row.extra.emplace_back("fused_ns_per_op", ns_gcm);
+  speedups.vs_split = ns_gcm > 0.0 ? ns_split / ns_gcm : 0.0;
+  std::printf("ESP GCM seal 1408 B: fused %.0f ns vs split passes %.0f ns "
+              "-> %.2fx\n", ns_gcm, ns_split, speedups.vs_split);
+  report.add_metric("gcm_stitch_speedup_vs_split", "speedup",
+                    speedups.vs_split);
 
   speedups.vs_portable = bench::report_backend_speedup(
       report, "esp_gcm_1408_portable_baseline", gcm_kernel,
@@ -225,6 +286,10 @@ int main(int argc, char** argv) {
         static_cast<double>(placement.image_bytes) / (1024.0 * 1024.0));
   }
 
+  // Correctness before timing: the stitched seal must match the oracle
+  // (cheap, so it runs in every mode including smoke).
+  if (!fused_seal_matches_reference_oracle()) return 1;
+
   const double crypto_speedup = host_crypto_speedup(json_report);
   const double hw_speedup = backend_speedup_vs_portable(json_report);
   const GcmSpeedups gcm_speedups = gcm_crypto_speedups(json_report);
@@ -263,10 +328,14 @@ int main(int argc, char** argv) {
                 "backend (got %.1fx)\n", gcm_speedups.vs_cbc);
     std::printf("  * accelerated GCM >= 2x the portable GCM baseline "
                 "(got %.1fx)\n", gcm_speedups.vs_portable);
+    std::printf("  * stitched GCM seal >= 1.15x the split-pass kernel "
+                "(got %.2fx)\n", gcm_speedups.vs_split);
   } else {
-    std::printf("  * GCM-vs-cbc %.1fx and GCM backend speedup %.1fx "
-                "reported but not gated (no AES-NI+PCLMUL)\n",
-                gcm_speedups.vs_cbc, gcm_speedups.vs_portable);
+    std::printf("  * GCM-vs-cbc %.1fx, GCM backend speedup %.1fx and "
+                "stitch-vs-split %.2fx reported but not gated (no "
+                "AES-NI+PCLMUL)\n",
+                gcm_speedups.vs_cbc, gcm_speedups.vs_portable,
+                gcm_speedups.vs_split);
   }
   std::printf("\n");
   json_report.emit();
@@ -275,5 +344,6 @@ int main(int argc, char** argv) {
   if (hw_gated && hw_speedup < 2.0) return 1;
   if (gcm_gated && gcm_speedups.vs_cbc < 3.0) return 1;
   if (gcm_gated && gcm_speedups.vs_portable < 2.0) return 1;
+  if (gcm_gated && gcm_speedups.vs_split < 1.15) return 1;
   return 0;
 }

@@ -40,10 +40,19 @@ numbers comparable across runner hardware; raw ns/op never belongs in
 the baseline. A baseline entry whose result or key is missing from the
 run fails (a renamed metric must be renamed in the baseline too), and a
 compare run that ends up checking nothing at all fails (catches a dead
-baseline).
+baseline). Underscore keys in a baseline entry must come from the known
+set (_observed, _requires_backend, _requires_cpu) — a typo'd condition
+key silently changing what an entry gates is a hard error — and every
+entry must curate at least one numeric ratio key, so an entry cannot
+decay into a comment that always passes.
+
+--self-test runs the embedded scenario suite (valid output passes, each
+contract violation and gating failure mode is rejected) and exits.
 """
 import json
 import sys
+
+KNOWN_UNDERSCORE_KEYS = {"_observed", "_requires_backend", "_requires_cpu"}
 
 
 def fail(name, msg, problems):
@@ -129,6 +138,22 @@ def compare_one(name, obj, baseline_benches, max_regress, problems):
             fail(name, f"baseline entry '{result_name}' is not an object",
                  problems)
             continue
+        # A typo'd underscore key must not silently change what the entry
+        # gates (e.g. _require_backend would make a hardware-only floor
+        # apply everywhere), and an entry with only underscore keys would
+        # always pass while looking curated.
+        bad_key = False
+        for key in spec:
+            if key.startswith("_") and key not in KNOWN_UNDERSCORE_KEYS:
+                fail(name, f"baseline '{result_name}' has unknown "
+                           f"underscore key '{key}'", problems)
+                bad_key = True
+        if bad_key:
+            continue
+        if not any(not key.startswith("_") for key in spec):
+            fail(name, f"baseline '{result_name}' curates no ratio key",
+                 problems)
+            continue
         if not conditions_met(spec, obj):
             continue
         result = by_name.get(result_name)
@@ -158,6 +183,85 @@ def compare_one(name, obj, baseline_benches, max_regress, problems):
     return compared
 
 
+def self_test():
+    """Embedded scenario suite: every contract and gating failure mode
+    must be detected, and clean input must pass. Returns 0/1."""
+    good_run = json.dumps({
+        "bench": "bench_x", "backend": "aesni",
+        "cpu_features": "aes pclmul sha",
+        "results": [{"name": "kernel", "iterations": 10, "ns_per_op": 1.0,
+                     "ops_per_sec": 1e9, "extra": {"speedup": 5.0}}]})
+
+    def stream_problems(text):
+        problems = []
+        check_stream("t", text, problems)
+        return problems
+
+    def compare_problems(baseline, run_text=good_run):
+        problems = []
+        obj = check_stream("t", run_text, problems)
+        compared = compare_one("t", obj, baseline, 0.85, problems)
+        if compared == 0 and not problems:
+            problems.append("dead baseline")
+        return problems
+
+    cases = [
+        # (description, wants_failure, problems)
+        ("valid output passes", False, stream_problems(good_run)),
+        ("non-JSON last line", True, stream_problems("not json")),
+        ("missing bench field", True,
+         stream_problems(json.dumps({"results": [
+             {"name": "k", "iterations": 1, "ns_per_op": 1.0,
+              "ops_per_sec": 1.0}]}))),
+        ("empty results", True,
+         stream_problems(json.dumps({"bench": "x", "results": []}))),
+        ("non-numeric ns_per_op", True,
+         stream_problems(json.dumps({"bench": "x", "results": [
+             {"name": "k", "iterations": 1, "ns_per_op": "fast",
+              "ops_per_sec": 1.0}]}))),
+        ("unoptimized flag rejected", True,
+         stream_problems(json.dumps({"bench": "x", "unoptimized": True,
+                                     "results": [
+             {"name": "k", "iterations": 1, "ns_per_op": 1.0,
+              "ops_per_sec": 1.0}]}))),
+        ("met baseline passes", False,
+         compare_problems({"bench_x": {"kernel": {"speedup": 4.0}}})),
+        ("regression caught", True,
+         compare_problems({"bench_x": {"kernel": {"speedup": 10.0}}})),
+        ("missing result caught", True,
+         compare_problems({"bench_x": {"renamed": {"speedup": 1.0}}})),
+        ("unmet condition skips (dead baseline)", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_backend": "portable", "speedup": 50.0}}})),
+        ("met condition still gates", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_backend": "aesni", "_requires_cpu": "pclmul",
+             "speedup": 50.0}}})),
+        ("unknown underscore key is a hard error", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_require_backend": "portable", "speedup": 1.0}}})),
+        ("entry with no ratio key is a hard error", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_observed": "once upon a time"}}})),
+        ("non-numeric baseline value caught", True,
+         compare_problems({"bench_x": {"kernel": {"speedup": "big"}}})),
+    ]
+    failures = 0
+    for description, wants_failure, problems in cases:
+        ok = bool(problems) == wants_failure
+        if not ok:
+            failures += 1
+            print(f"self-test FAIL: {description}: expected "
+                  f"{'problems' if wants_failure else 'no problems'}, got "
+                  f"{problems}", file=sys.stderr)
+    if failures:
+        print(f"check_bench_json: self-test FAILED ({failures}/{len(cases)})",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench_json: self-test OK ({len(cases)} scenarios)")
+    return 0
+
+
 def parse_args(argv):
     baseline_path = None
     max_regress = 0.85
@@ -178,6 +282,8 @@ def parse_args(argv):
 
 
 def main(argv):
+    if "--self-test" in argv:
+        return self_test()
     try:
         baseline_path, max_regress, paths = parse_args(argv)
     except (IndexError, ValueError):

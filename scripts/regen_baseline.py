@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Regenerate (or schema-check) bench/baseline.json from a bench run.
+
+The trend baseline used to be curated by hand, which drifts: metrics get
+renamed, new ratio metrics never get gated, and the safety margins are
+folklore. This script makes the baseline self-regenerating:
+
+  regen (default)
+      Runs every bench_* binary in --build-dir in FULL (non-smoke) mode,
+      collects every dimensionless ratio metric (extra keys named
+      "speedup" or "speedup_vs_*" — the only numbers comparable across
+      runner hardware), applies the safety margin automatically, and
+      rewrites the baseline. Margins shrink the observed ratio toward
+      1.0 (baseline = 1 + (observed - 1) * margin) so near-1 ratios do
+      not collapse below a meaningful floor and large ratios keep a
+      generous noise budget; CI applies --max-regress on top. Runs
+      flagged "unoptimized" are rejected — a blessed run must come from
+      a Release build. Hardware-conditioned metrics (see
+      HARDWARE_CONDITIONS) get their _requires_backend/_requires_cpu
+      stamps; when the regen run itself does not satisfy a metric's
+      conditions, its previous baseline entry is kept (with a warning)
+      rather than blessing a software number as a hardware floor.
+
+  --check
+      Runs the suite in --smoke mode (values are noise, the key
+      structure is real) and fails when the committed baseline no longer
+      matches what the benches emit: a baseline (bench, result, key)
+      that no bench produces, a produced ratio metric missing from the
+      baseline, or an unknown underscore key. This is the CI guard
+      against silent baseline rot.
+
+Usage:
+    regen_baseline.py [--build-dir build] [--margin 0.25]
+                      [--baseline bench/baseline.json] [--check]
+"""
+import glob
+import json
+import os
+import subprocess
+import sys
+
+# Shared with the gating script so the regen/check/gate pipeline cannot
+# disagree on skip semantics or the legal underscore-key set (both
+# scripts live in scripts/, which is sys.path[0] when either is run).
+from check_bench_json import KNOWN_UNDERSCORE_KEYS, conditions_met
+
+# Which ratio metrics only hold on specific hardware. Mirrors the
+# in-bench gating logic (bench_table1_ipsec/bench_crypto): a run on
+# weaker hardware must skip these instead of failing them. The
+# *_vs_seed metrics are here too — their value is the active backend's
+# speedup over the seed implementation (~40x on aesni, ~4x portable),
+# so a floor blessed on one backend must never judge a run on another.
+HARDWARE_CONDITIONS = {
+    "backend_speedup_vs_portable": {
+        "_requires_backend": "aesni", "_requires_cpu": "sha"},
+    "gcm_backend_speedup_vs_portable": {
+        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
+    "esp_gcm_vs_cbc_speedup": {
+        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
+    "gcm_stitch_speedup_vs_split": {
+        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
+    "aes_cbc_speedup_vs_seed": {"_requires_backend": "aesni"},
+    "esp_crypto_speedup_vs_seed": {"_requires_backend": "aesni"},
+}
+
+# Ratio metrics excluded from the baseline on purpose: near-1 by design
+# (amortisation of already-cheap work), so a trend floor would gate pure
+# scheduling noise.
+EXCLUDED_METRICS = {"esp_burst_speedup_vs_single"}
+
+
+def is_ratio_key(key):
+    return key == "speedup" or key.startswith("speedup_vs_")
+
+
+def run_benches(build_dir, smoke):
+    """Runs every bench_* binary; returns {bench_name: parsed JSON}."""
+    binaries = sorted(glob.glob(os.path.join(build_dir, "bench_*")))
+    binaries = [b for b in binaries
+                if os.path.isfile(b) and os.access(b, os.X_OK)]
+    if not binaries:
+        raise SystemExit(
+            f"regen_baseline: no bench_* binaries in {build_dir} "
+            "(build them with: cmake --build <dir> --target bench)")
+    runs = {}
+    for binary in binaries:
+        args = [binary] + (["--smoke"] if smoke else [])
+        print(f"regen_baseline: running {' '.join(args)}", flush=True)
+        proc = subprocess.run(args, stdout=subprocess.PIPE, text=True)
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"regen_baseline: {binary} exited {proc.returncode}; a "
+                "blessed run must be green")
+        lines = [l for l in proc.stdout.splitlines() if l.strip()]
+        try:
+            obj = json.loads(lines[-1])
+        except (IndexError, json.JSONDecodeError) as err:
+            raise SystemExit(
+                f"regen_baseline: {binary} emitted no valid last-line "
+                f"JSON ({err})")
+        if obj.get("unoptimized") is True:
+            raise SystemExit(
+                f"regen_baseline: {binary} is flagged unoptimized — "
+                "rebuild with -DCMAKE_BUILD_TYPE=Release before blessing "
+                "a baseline")
+        runs[obj.get("bench", os.path.basename(binary))] = obj
+    return runs
+
+
+def ratio_metrics(obj):
+    """Yields (result_name, key, value) for every ratio metric in a run."""
+    for result in obj.get("results", []):
+        name = result.get("name")
+        for key, value in (result.get("extra") or {}).items():
+            if is_ratio_key(key) and name not in EXCLUDED_METRICS:
+                yield name, key, value
+
+
+def apply_margin(observed, margin):
+    """The baseline must sit safely BELOW the observation. Above parity,
+    shrink toward 1.0 — keep `margin` of the gain, so a 35x observation
+    floors around 1+34*margin while a 1.2x observation still floors
+    above 1.0 instead of at a meaningless 0.3. Below parity (ratios the
+    suite tracks where the comparison point legitimately wins, e.g.
+    tiny-table lookups vs a 4-entry linear scan), shrinking toward 1.0
+    would RAISE the floor above the observation, so scale down
+    multiplicatively instead."""
+    if observed >= 1.0:
+        return round(1.0 + (observed - 1.0) * margin, 2)
+    return round(observed * (1.0 - margin), 2)
+
+
+def regenerate(runs, old_baseline, margin):
+    benches = {}
+    for bench, obj in runs.items():
+        entries = {}
+        for name, key, value in ratio_metrics(obj):
+            conditions = HARDWARE_CONDITIONS.get(name, {})
+            old_entry = (old_baseline.get("benches", {})
+                         .get(bench, {}).get(name))
+            if conditions and not conditions_met(conditions, obj):
+                if old_entry is not None:
+                    print(f"regen_baseline: WARNING keeping previous "
+                          f"'{bench}.{name}' — this run does not satisfy "
+                          f"{conditions}", file=sys.stderr)
+                    entries[name] = old_entry
+                else:
+                    print(f"regen_baseline: WARNING skipping "
+                          f"'{bench}.{name}' — this run does not satisfy "
+                          f"{conditions} and no previous entry exists",
+                          file=sys.stderr)
+                continue
+            entry = {"_observed": f"{value:.3g} on the blessed run"}
+            entry.update(conditions)
+            entry[key] = apply_margin(value, margin)
+            entries[name] = entry
+        if entries:
+            benches[bench] = entries
+    return {
+        "_comment": [
+            "Trend baseline for scripts/check_bench_json.py --compare.",
+            "REGENERATED by scripts/regen_baseline.py from a blessed",
+            "full (non-smoke) Release bench run — do not edit values by",
+            "hand; rerun the script instead. Only dimensionless ratio",
+            "metrics (speedups) belong here: they are the only numbers",
+            "comparable across runner hardware. Values are the observed",
+            "ratios shrunk toward 1.0 by the safety margin (see",
+            "apply_margin); the CI --max-regress factor applies on top.",
+            "_requires_backend / _requires_cpu skip an entry when the",
+            "run's backend / cpu_features do not match, so runs on",
+            "weaker hardware are not judged against hardware ratios.",
+        ],
+        "benches": benches,
+    }
+
+
+def check(runs, baseline):
+    """Schema check: committed baseline vs what the benches emit."""
+    problems = []
+    emitted = {(bench, name, key)
+               for bench, obj in runs.items()
+               for name, key, _ in ratio_metrics(obj)}
+    curated = set()
+    for bench, entries in baseline.get("benches", {}).items():
+        if not isinstance(entries, dict):
+            problems.append(f"baseline bench '{bench}' is not an object")
+            continue
+        for name, spec in entries.items():
+            if not isinstance(spec, dict):
+                problems.append(
+                    f"baseline entry '{bench}.{name}' is not an object")
+                continue
+            numeric = 0
+            for key in spec:
+                if key.startswith("_"):
+                    if key not in KNOWN_UNDERSCORE_KEYS:
+                        problems.append(
+                            f"baseline '{bench}.{name}' has unknown "
+                            f"underscore key '{key}'")
+                    continue
+                numeric += 1
+                curated.add((bench, name, key))
+                if (bench, name, key) not in emitted:
+                    problems.append(
+                        f"baseline '{bench}.{name}.{key}' is not emitted "
+                        "by any bench (renamed or removed metric? rerun "
+                        "regen_baseline.py)")
+            if numeric == 0:
+                problems.append(
+                    f"baseline '{bench}.{name}' curates no numeric ratio "
+                    "key")
+    for bench, name, key in sorted(emitted - curated):
+        problems.append(
+            f"bench '{bench}' emits ratio metric '{name}.{key}' that the "
+            "baseline does not curate (rerun regen_baseline.py on a "
+            "blessed machine)")
+    return problems
+
+
+def parse_args(argv):
+    build_dir, margin = "build", 0.25
+    baseline_path, check_mode = os.path.join("bench", "baseline.json"), False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--build-dir":
+            i += 1
+            build_dir = argv[i]
+        elif arg == "--margin":
+            i += 1
+            margin = float(argv[i])
+        elif arg == "--baseline":
+            i += 1
+            baseline_path = argv[i]
+        elif arg == "--check":
+            check_mode = True
+        else:
+            raise ValueError(f"unknown argument {arg}")
+        i += 1
+    if not 0.0 < margin <= 1.0:
+        raise ValueError("--margin must be in (0, 1]")
+    return build_dir, margin, baseline_path, check_mode
+
+
+def main(argv):
+    try:
+        build_dir, margin, baseline_path, check_mode = parse_args(argv)
+    except (IndexError, ValueError) as err:
+        print(f"regen_baseline: {err}\n\n{__doc__.strip()}",
+              file=sys.stderr)
+        return 2
+
+    old_baseline = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as f:
+            old_baseline = json.load(f)
+
+    runs = run_benches(build_dir, smoke=check_mode)
+
+    if check_mode:
+        problems = check(runs, old_baseline)
+        for problem in problems:
+            print(f"regen_baseline: FAIL {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        curated = sum(len(v) for v in old_baseline.get("benches",
+                                                       {}).values())
+        print(f"regen_baseline: OK baseline schema matches the bench "
+              f"suite ({curated} curated entries)")
+        return 0
+
+    baseline = regenerate(runs, old_baseline, margin)
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, ensure_ascii=False)
+        f.write("\n")
+    total = sum(len(v) for v in baseline["benches"].values())
+    print(f"regen_baseline: wrote {baseline_path} ({total} ratio metrics, "
+          f"margin {margin})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,10 +4,35 @@
 #include "crypto/backend.hpp"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "util/logging.hpp"
 
 namespace nnfv::crypto {
+
+// Split two-pass gcm_crypt: the default every backend inherits unless it
+// provides a genuinely fused kernel. The pass order flips with the
+// direction so in-place buffers survive: decrypt hashes the ciphertext
+// *before* the CTR pass overwrites it, encrypt hashes the ciphertext the
+// CTR pass just produced.
+void CryptoBackend::gcm_crypt(const Aes& aes, const GhashKey& key,
+                              const std::uint8_t counter[16],
+                              const std::uint8_t* in, std::uint8_t* out,
+                              std::size_t len, std::uint8_t state[16],
+                              bool encrypt) const {
+  const auto hash_padded = [&](const std::uint8_t* data) {
+    const std::size_t full = len / 16;
+    ghash(key, state, data, full);
+    if (len % 16 != 0) {
+      std::uint8_t padded[16] = {};
+      std::memcpy(padded, data + 16 * full, len % 16);
+      ghash(key, state, padded, 1);
+    }
+  };
+  if (!encrypt) hash_padded(in);
+  aes_ctr_xor(aes, counter, in, out, len);
+  if (encrypt) hash_padded(out);
+}
 
 namespace {
 

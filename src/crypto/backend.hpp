@@ -91,6 +91,28 @@ class CryptoBackend {
                            const std::uint8_t* in, std::uint8_t* out,
                            std::size_t len) const = 0;
 
+  /// Fused GCM bulk pass — the stitched CTR+GHASH kernel. CTR-crypts
+  /// `len` bytes of `in` into `out` starting at `counter` (same SP
+  /// 800-38D inc32 semantics as aes_ctr_xor; in == out allowed) while
+  /// GHASH-accumulating the *ciphertext* side (`out` when `encrypt`,
+  /// `in` otherwise) into `state`, zero-padding the final partial block
+  /// exactly like GHASH over C in SP 800-38D. `key` must have been
+  /// filled by *this* backend's ghash_init.
+  ///
+  /// The base implementation is the split two-pass (aes_ctr_xor, then
+  /// ghash), ordered so in-place operation stays correct in both
+  /// directions; the reference backend keeps it on purpose as the
+  /// independent ground truth for the fused kernels. portable fuses the
+  /// T-table CTR with the Shoup-table GHASH in one loop; aesni
+  /// software-pipelines 8 counter blocks in flight against the 4-block
+  /// aggregated PCLMUL reduction (hash chunk i while chunk i+1's AESENC
+  /// chains run).
+  virtual void gcm_crypt(const Aes& aes, const GhashKey& key,
+                         const std::uint8_t counter[16],
+                         const std::uint8_t* in, std::uint8_t* out,
+                         std::size_t len, std::uint8_t state[16],
+                         bool encrypt) const;
+
   /// Fills key.table from key.h (and stamps key.owner = this). Called
   /// once per key — GcmContext caches the result.
   virtual void ghash_init(GhashKey& key) const = 0;

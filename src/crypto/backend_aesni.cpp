@@ -389,6 +389,169 @@ void ghash_clmul(const GhashKey& key, std::uint8_t state[16],
   _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
 }
 
+/// One aggregated 4-block GHASH step: x = ((x^c0)*H^4) ^ (c1*H^3) ^
+/// (c2*H^2) ^ (c3*H^1), reduced once. Blocks already byte-reversed.
+inline __m128i ghash4(__m128i x, __m128i c0, __m128i c1, __m128i c2,
+                      __m128i c3, __m128i h1, __m128i h2, __m128i h3,
+                      __m128i h4) {
+  __m128i hi;
+  __m128i lo;
+  __m128i hip;
+  __m128i lop;
+  clmul256(_mm_xor_si128(c0, x), h4, &hi, &lo);
+  clmul256(c1, h3, &hip, &lop);
+  hi = _mm_xor_si128(hi, hip);
+  lo = _mm_xor_si128(lo, lop);
+  clmul256(c2, h2, &hip, &lop);
+  hi = _mm_xor_si128(hi, hip);
+  lo = _mm_xor_si128(lo, lop);
+  clmul256(c3, h1, &hip, &lop);
+  hi = _mm_xor_si128(hi, hip);
+  lo = _mm_xor_si128(lo, lop);
+  return gf128_reduce(hi, lo);
+}
+
+// ---------------------------------------------------------------------------
+// Stitched GCM: the fused gcm_crypt kernel. 8 counter blocks in flight
+// against the 4-block aggregated PCLMUL reduction, software-pipelined one
+// 128-byte chunk deep — while chunk i's AESENC chains run, the GHASH of
+// chunk i-1's ciphertext issues between the rounds, so the AES units and
+// the carry-less multiplier are busy simultaneously instead of in two
+// separate passes over the data (which also pays the payload's cache
+// traffic twice).
+// ---------------------------------------------------------------------------
+
+void gcm_crypt_clmul(const Aes& aes, const GhashKey& key,
+                     const std::uint8_t counter[16], const std::uint8_t* in,
+                     std::uint8_t* out, std::size_t len,
+                     std::uint8_t state[16], bool encrypt) {
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  const __m128i h1 = _mm_load_si128(table + 0);
+  const __m128i h2 = _mm_load_si128(table + 1);
+  const __m128i h3 = _mm_load_si128(table + 2);
+  const __m128i h4 = _mm_load_si128(table + 3);
+  const __m128i kSwap = ctr_swap_mask();
+  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);
+  __m128i ctr_le = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)), kSwap);
+  __m128i x =
+      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
+
+  // The previous chunk's ciphertext, byte-reversed and held in registers
+  // (values, not pointers: in-place decryption overwrites the buffer).
+  __m128i pend[8];
+  bool have_pend = false;
+
+  std::size_t off = 0;
+  for (; off + 128 <= len; off += 128) {
+    __m128i b[8];
+    for (int j = 0; j < 8; ++j) {
+      b[j] = _mm_xor_si128(_mm_shuffle_epi8(ctr_le, kSwap), keys.rk[0]);
+      ctr_le = _mm_add_epi32(ctr_le, kOne);
+    }
+    if (have_pend) {
+      // The pipeline payoff: one AESENC round for all 8 lanes between
+      // each clmul bundle of the previous chunk's GHASH. The two
+      // instruction streams have no data dependency, so they retire in
+      // parallel; only the second 4-block aggregate waits on the first
+      // reduction.
+      int r = 1;
+      const auto aes_round = [&] {
+        if (r < keys.rounds) {
+          for (int j = 0; j < 8; ++j) {
+            b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
+          }
+          ++r;
+        }
+      };
+      __m128i hi;
+      __m128i lo;
+      __m128i hip;
+      __m128i lop;
+      clmul256(_mm_xor_si128(pend[0], x), h4, &hi, &lo);
+      aes_round();
+      clmul256(pend[1], h3, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      clmul256(pend[2], h2, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      clmul256(pend[3], h1, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      x = gf128_reduce(hi, lo);
+      aes_round();
+      clmul256(_mm_xor_si128(pend[4], x), h4, &hi, &lo);
+      aes_round();
+      clmul256(pend[5], h3, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      clmul256(pend[6], h2, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      clmul256(pend[7], h1, &hip, &lop);
+      hi = _mm_xor_si128(hi, hip);
+      lo = _mm_xor_si128(lo, lop);
+      aes_round();
+      x = gf128_reduce(hi, lo);
+      while (r < keys.rounds) aes_round();
+    } else {
+      for (int r = 1; r < keys.rounds; ++r) {
+        for (int j = 0; j < 8; ++j) {
+          b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
+        }
+      }
+    }
+    for (int j = 0; j < 8; ++j) {
+      b[j] = _mm_aesenclast_si128(b[j], keys.rk[keys.rounds]);
+      const __m128i data = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + off + 16 * j));
+      const __m128i ct = _mm_xor_si128(b[j], data);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * j), ct);
+      pend[j] = bswap128(encrypt ? ct : data);
+    }
+    have_pend = true;
+  }
+  // Drain the chunk still in the pipeline.
+  if (have_pend) {
+    x = ghash4(x, pend[0], pend[1], pend[2], pend[3], h1, h2, h3, h4);
+    x = ghash4(x, pend[4], pend[5], pend[6], pend[7], h1, h2, h3, h4);
+  }
+  // Tail: remaining full blocks, then the zero-padded partial block.
+  for (; off + 16 <= len; off += 16) {
+    const __m128i ks = encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap));
+    ctr_le = _mm_add_epi32(ctr_le, kOne);
+    const __m128i data =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    const __m128i ct = _mm_xor_si128(ks, data);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), ct);
+    x = gf128_mul(_mm_xor_si128(bswap128(encrypt ? ct : data), x), h1);
+  }
+  if (off < len) {
+    alignas(16) std::uint8_t keystream[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
+                    encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap)));
+    alignas(16) std::uint8_t ctblock[16] = {};
+    for (std::size_t i = 0; off + i < len; ++i) {
+      const std::uint8_t d = in[off + i];
+      const std::uint8_t c = static_cast<std::uint8_t>(d ^ keystream[i]);
+      out[off + i] = c;
+      ctblock[i] = encrypt ? c : d;
+    }
+    x = gf128_mul(
+        _mm_xor_si128(
+            bswap128(_mm_load_si128(reinterpret_cast<__m128i*>(ctblock))), x),
+        h1);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
+}
+
 #ifdef __SHA__
 
 // Round constants come from the table shared with the portable
@@ -594,6 +757,21 @@ class AesniBackend final : public CryptoBackend {
       ghash_clmul(key, state, blocks, nblocks);
     } else {
       ghash_4bit(key, state, blocks, nblocks);
+    }
+  }
+
+  void gcm_crypt(const Aes& aes, const GhashKey& key,
+                 const std::uint8_t counter[16], const std::uint8_t* in,
+                 std::uint8_t* out, std::size_t len, std::uint8_t state[16],
+                 bool encrypt) const override {
+    if (util::cpu_features().pclmul) {
+      gcm_crypt_clmul(aes, key, counter, in, out, len, state, encrypt);
+    } else {
+      // Without PCLMULQDQ the GHASH half is the shared 4-bit table and
+      // key.table holds its layout; fall back to the split two-pass
+      // (hardware CTR + table GHASH, in-place-safe pass ordering).
+      CryptoBackend::gcm_crypt(aes, key, counter, in, out, len, state,
+                               encrypt);
     }
   }
 #else   // !NNFV_AESNI_COMPILED: never selected (usable() is false); the

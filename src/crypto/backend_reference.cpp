@@ -305,6 +305,29 @@ class ReferenceBackend final : public CryptoBackend {
     }
   }
 
+  // Deliberately NOT fused: the oracle stays the split byte-wise
+  // two-pass (CTR walk, then bit-by-bit GHASH walk) so the stitched
+  // kernels in the other backends have an independent ground truth.
+  // Spelled out here rather than inheriting the base default so the
+  // oracle's shape cannot change under it.
+  void gcm_crypt(const Aes& aes, const GhashKey& key,
+                 const std::uint8_t counter[16], const std::uint8_t* in,
+                 std::uint8_t* out, std::size_t len, std::uint8_t state[16],
+                 bool encrypt) const override {
+    const auto hash_padded = [&](const std::uint8_t* data) {
+      const std::size_t full = len / 16;
+      ghash(key, state, data, full);
+      if (len % 16 != 0) {
+        std::uint8_t padded[16] = {};
+        std::memcpy(padded, data + 16 * full, len % 16);
+        ghash(key, state, padded, 1);
+      }
+    };
+    if (!encrypt) hash_padded(in);  // hash ciphertext before it is overwritten
+    aes_ctr_xor(aes, counter, in, out, len);
+    if (encrypt) hash_padded(out);
+  }
+
   // The oracle multiplies bit by bit from the raw subkey — no table, which
   // is the point: nothing shared with the precomputations it checks.
   void ghash_init(GhashKey& key) const override { key.owner = this; }

@@ -140,28 +140,25 @@ const GhashKey& GcmContext::hkey() const {
   return hkey_;
 }
 
-void GcmContext::ghash_tag_input(std::span<const std::uint8_t> aad,
-                                 std::span<const std::uint8_t> ciphertext,
-                                 std::uint8_t state[16]) const {
+void GcmContext::ghash_absorb_padded(std::span<const std::uint8_t> data,
+                                     std::uint8_t state[16]) const {
   const GhashKey& key = hkey();
   const CryptoBackend& backend = active_backend();
-  std::memset(state, 0, 16);
-  const auto absorb = [&](std::span<const std::uint8_t> data) {
-    const std::size_t full = data.size() / 16;
-    backend.ghash(key, state, data.data(), full);
-    if (data.size() % 16 != 0) {
-      std::uint8_t padded[16] = {};
-      std::memcpy(padded, data.data() + 16 * full, data.size() % 16);
-      backend.ghash(key, state, padded, 1);
-    }
-  };
-  absorb(aad);
-  absorb(ciphertext);
+  const std::size_t full = data.size() / 16;
+  backend.ghash(key, state, data.data(), full);
+  if (data.size() % 16 != 0) {
+    std::uint8_t padded[16] = {};
+    std::memcpy(padded, data.data() + 16 * full, data.size() % 16);
+    backend.ghash(key, state, padded, 1);
+  }
+}
+
+void GcmContext::ghash_lengths(std::size_t aad_len, std::size_t ct_len,
+                               std::uint8_t state[16]) const {
   std::uint8_t lengths[16];
-  util::store_be64(lengths, static_cast<std::uint64_t>(aad.size()) * 8);
-  util::store_be64(lengths + 8,
-                   static_cast<std::uint64_t>(ciphertext.size()) * 8);
-  backend.ghash(key, state, lengths, 1);
+  util::store_be64(lengths, static_cast<std::uint64_t>(aad_len) * 8);
+  util::store_be64(lengths + 8, static_cast<std::uint64_t>(ct_len) * 8);
+  active_backend().ghash(hkey(), state, lengths, 1);
 }
 
 util::Status GcmContext::seal(std::span<const std::uint8_t> iv,
@@ -181,11 +178,13 @@ util::Status GcmContext::seal(std::span<const std::uint8_t> iv,
   util::store_be32(counter + 12, 2);
 
   const CryptoBackend& backend = active_backend();
-  backend.aes_ctr_xor(aes_, counter, plaintext.data(), ciphertext,
-                      plaintext.size());
-
-  std::uint8_t s[16];
-  ghash_tag_input(aad, {ciphertext, plaintext.size()}, s);
+  std::uint8_t s[16] = {};
+  ghash_absorb_padded(aad, s);
+  // The fused pass: CTR encryption and the GHASH over the produced
+  // ciphertext in one walk over the payload.
+  backend.gcm_crypt(aes_, hkey(), counter, plaintext.data(), ciphertext,
+                    plaintext.size(), s, /*encrypt=*/true);
+  ghash_lengths(aad.size(), plaintext.size(), s);
   // T = E_K(J0) ^ S — one more CTR block, over the raw GHASH output.
   backend.aes_ctr_xor(aes_, j0, s, tag, 16);
   return util::Status::ok();
@@ -200,19 +199,25 @@ bool GcmContext::open(std::span<const std::uint8_t> iv,
   std::uint8_t j0[16];
   std::memcpy(j0, iv.data(), kIvSize);
   util::store_be32(j0 + 12, 1);
-
-  std::uint8_t s[16];
-  ghash_tag_input(aad, ciphertext, s);
-  std::uint8_t expected[kTagSize];
-  const CryptoBackend& backend = active_backend();
-  backend.aes_ctr_xor(aes_, j0, s, expected, 16);
-  if (!constant_time_equal({expected, kTagSize}, tag)) return false;
-
   std::uint8_t counter[16];
   std::memcpy(counter, j0, 16);
   util::store_be32(counter + 12, 2);
-  backend.aes_ctr_xor(aes_, counter, ciphertext.data(), plaintext,
-                      ciphertext.size());
+
+  const CryptoBackend& backend = active_backend();
+  std::uint8_t s[16] = {};
+  ghash_absorb_padded(aad, s);
+  // Fused decrypt: GHASH over the ciphertext and the CTR pass share one
+  // walk, so plaintext exists before the tag verdict — it is wiped, not
+  // released, when authentication fails below.
+  backend.gcm_crypt(aes_, hkey(), counter, ciphertext.data(), plaintext,
+                    ciphertext.size(), s, /*encrypt=*/false);
+  ghash_lengths(aad.size(), ciphertext.size(), s);
+  std::uint8_t expected[kTagSize];
+  backend.aes_ctr_xor(aes_, j0, s, expected, 16);
+  if (!constant_time_equal({expected, kTagSize}, tag)) {
+    if (!ciphertext.empty()) std::memset(plaintext, 0, ciphertext.size());
+    return false;
+  }
   return true;
 }
 

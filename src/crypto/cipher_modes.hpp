@@ -44,9 +44,11 @@ class GcmContext {
                     std::uint8_t* ciphertext,
                     std::uint8_t tag[kTagSize]) const;
 
-  /// Verifies the tag (constant time) and only then decrypts into
-  /// `plaintext` (same length as ciphertext; in-place allowed). Returns
-  /// false — leaving `plaintext` untouched — on authentication failure.
+  /// Decrypts and authenticates in one fused pass (same length as
+  /// ciphertext; in-place allowed). The tag is still compared in
+  /// constant time, and on authentication failure the already-produced
+  /// plaintext bytes are wiped to zero before returning false — never
+  /// released to the caller.
   [[nodiscard]] bool open(std::span<const std::uint8_t> iv,
                           std::span<const std::uint8_t> aad,
                           std::span<const std::uint8_t> ciphertext,
@@ -59,10 +61,15 @@ class GcmContext {
   /// The cached GHASH key, re-initialised if the active backend changed.
   const GhashKey& hkey() const;
 
-  /// S = GHASH_H(aad || ciphertext || len64(aad) || len64(ciphertext)).
-  void ghash_tag_input(std::span<const std::uint8_t> aad,
-                       std::span<const std::uint8_t> ciphertext,
-                       std::uint8_t state[16]) const;
+  /// GHASH-absorbs `data` into `state`, zero-padding the final partial
+  /// block (the AAD half of the tag input; the ciphertext half is
+  /// absorbed by the fused gcm_crypt pass).
+  void ghash_absorb_padded(std::span<const std::uint8_t> data,
+                           std::uint8_t state[16]) const;
+
+  /// Absorbs the closing len64(aad) || len64(ciphertext) block.
+  void ghash_lengths(std::size_t aad_len, std::size_t ct_len,
+                     std::uint8_t state[16]) const;
 
   Aes aes_;
   mutable GhashKey hkey_;

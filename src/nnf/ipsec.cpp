@@ -44,6 +44,46 @@ std::array<std::uint8_t, 16> derive_iv(const crypto::Aes& aes,
   return iv;
 }
 
+/// RFC 4304 Appendix A seq-hi recovery: given the 32-bit seq-lo off the
+/// wire and the highest authenticated sequence (replay_top), infer the
+/// high half that places the packet inside or above the replay window.
+/// The result feeds the integrity check, so a wrong inference (a seq-lo
+/// replayed from another 2^32 cycle) fails authentication rather than
+/// advancing the window — recovery itself never trusts the wire.
+std::uint64_t esn_recover_seq(const SecurityAssociation& sa,
+                              std::uint32_t seql) {
+  constexpr std::uint32_t kWindow = IpsecEndpoint::kReplayWindow;
+  const auto tl = static_cast<std::uint32_t>(sa.replay_top);
+  const auto th = static_cast<std::uint32_t>(sa.replay_top >> 32);
+  std::uint32_t seqh;
+  if (tl >= kWindow - 1) {
+    // Window lies within one seq-lo cycle: a seq-lo below the window's
+    // bottom can only be the *next* cycle.
+    seqh = seql >= tl - (kWindow - 1) ? th : th + 1;
+  } else {
+    // Window straddles a seq-lo wrap: large seq-lo values belong to the
+    // previous cycle (the subtraction wraps mod 2^32 on purpose).
+    seqh = seql >= tl - (kWindow - 1) ? th - 1 : th;
+  }
+  return (static_cast<std::uint64_t>(seqh) << 32) | seql;
+}
+
+/// Integrity-check sequence material. Without ESN this reproduces the
+/// 8-byte wire ESP header (SPI || seq-lo); with ESN it is
+/// SPI || seq-hi || seq-lo (12 bytes, RFC 4106 §5) — seq-hi never
+/// appears on the wire, which is exactly what binds the receiver's
+/// recovered value into the tag. Returns the AAD length.
+std::size_t esp_aad(const SecurityAssociation& sa, std::uint64_t seq,
+                    std::uint8_t aad[12]) {
+  util::store_be32(aad, sa.spi);
+  if (sa.esn) {
+    util::store_be64(aad + 4, seq);
+    return 12;
+  }
+  util::store_be32(aad + 4, static_cast<std::uint32_t>(seq));
+  return 8;
+}
+
 /// GCM nonce: (salt ^ SPI) || explicit IV. The two directions of a
 /// tunnel share one enc_key + salt here (single `enc_key` config), so
 /// the per-direction SPI MUST feed the nonce — otherwise the initiator's
@@ -107,6 +147,13 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
             "ipsec: esp_transform must be 'gcm' or 'cbc-hmac', got '" +
             value + "'");
       }
+    } else if (key == "esn") {
+      if (value != "on" && value != "off") {
+        return util::invalid_argument(
+            "ipsec: esn must be 'on' or 'off', got '" + value + "'");
+      }
+      tunnel.out_sa.esn = value == "on";
+      tunnel.in_sa.esn = tunnel.out_sa.esn;
     } else if (key == "auth_key") {
       NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.auth_key));
       tunnel.in_sa.auth_key = tunnel.out_sa.auth_key;
@@ -266,7 +313,12 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
     ++stats_.no_sa;
     return std::nullopt;
   }
-  return EspIngress{esp_area, esp->sequence};
+  // One recovery per packet: the 64-bit sequence inferred here is reused
+  // for the AAD/ICV input and the replay update by every caller (single
+  // and burst paths alike).
+  const std::uint64_t seq =
+      sa.esn ? esn_recover_seq(sa, esp->sequence) : esp->sequence;
+  return EspIngress{esp_area, seq};
 }
 
 std::vector<NfOutput> IpsecEndpoint::emit_inner(
@@ -344,11 +396,18 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize + kIvSize,
               ciphertext->data(), ciphertext->size());
 
-  // ICV over ESP header + IV + ciphertext (RFC 4303 \u00a72.8).
+  // ICV over ESP header + IV + ciphertext (RFC 4303 \u00a72.8); with ESN the
+  // 32-bit seq-hi is appended to the authenticated data but never
+  // transmitted (RFC 4303 \u00a72.2.1).
   const std::size_t auth_len =
       packet::kEspHeaderSize + kIvSize + ciphertext->size();
   crypto::HmacSha256 hmac = *tunnel.out_hmac_tmpl;
   hmac.update(buf.subspan(kEspOffset, auth_len));
+  if (sa.esn) {
+    std::uint8_t hi[4];
+    util::store_be32(hi, static_cast<std::uint32_t>(sa.seq >> 32));
+    hmac.update(hi);
+  }
   const auto icv = hmac.final();
   std::memcpy(buf.data() + kEspOffset + auth_len, icv.data(), kIcvSize);
 
@@ -367,10 +426,17 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
   if (!ingress) return out;
   auto esp_area = ingress->esp_area;
 
-  // Verify ICV first (constant time), then replay, then decrypt.
+  // Verify ICV first (constant time), then replay, then decrypt. Under
+  // ESN the recovered seq-hi joins the authenticated data (implicit
+  // suffix, RFC 4303 §2.2.1) — a wrong recovery fails right here.
   const std::size_t auth_len = esp_area.size() - kIcvSize;
   crypto::HmacSha256 hmac = *tunnel.in_hmac_tmpl;
   hmac.update(esp_area.subspan(0, auth_len));
+  if (sa.esn) {
+    std::uint8_t hi[4];
+    util::store_be32(hi, static_cast<std::uint32_t>(ingress->sequence >> 32));
+    hmac.update(hi);
+  }
   const auto expected = hmac.final();
   if (!crypto::constant_time_equal({expected.data(), kIcvSize},
                                    esp_area.subspan(auth_len, kIcvSize))) {
@@ -437,11 +503,14 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
 
   std::uint8_t nonce[crypto::GcmContext::kIvSize];
   gcm_nonce(sa, buf.data() + kEspOffset + packet::kEspHeaderSize, nonce);
+  // AAD: the ESP header, widened to SPI || seq-hi || seq-lo under ESN
+  // (without ESN the constructed bytes equal the wire header exactly).
+  std::uint8_t aad[12];
+  const std::size_t aad_len = esp_aad(sa, sa.seq, aad);
 
   if (!tunnel.gcm
-           ->seal(nonce, buf.subspan(kEspOffset, packet::kEspHeaderSize),
-                  buf.subspan(ct_off, pt_len), buf.data() + ct_off,
-                  buf.data() + ct_off + pt_len)
+           ->seal(nonce, {aad, aad_len}, buf.subspan(ct_off, pt_len),
+                  buf.data() + ct_off, buf.data() + ct_off + pt_len)
            .is_ok()) {
     ++stats_.malformed;
     return out;
@@ -472,12 +541,15 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
       esp_area.subspan(packet::kEspHeaderSize + kGcmIvSize, ct_len);
   auto icv = esp_area.subspan(esp_area.size() - kGcmIcvSize, kGcmIcvSize);
 
-  // Authenticate (tag over ESP header + ciphertext) and decrypt in one
-  // pass, then replay-check, then strip the trailer.
+  // Authenticate (tag over SPI || [recovered seq-hi ||] seq-lo +
+  // ciphertext) and decrypt in one pass, then replay-check, then strip
+  // the trailer. Under ESN the recovered high half is bound into the
+  // AAD here — the wire never carries it.
+  std::uint8_t aad[12];
+  const std::size_t aad_len = esp_aad(sa, ingress->sequence, aad);
   std::vector<std::uint8_t> plaintext(ct_len);
-  if (!tunnel.gcm->open({nonce, sizeof(nonce)},
-                        esp_area.subspan(0, packet::kEspHeaderSize),
-                        ciphertext, icv, plaintext.data())) {
+  if (!tunnel.gcm->open({nonce, sizeof(nonce)}, {aad, aad_len}, ciphertext,
+                        icv, plaintext.data())) {
     ++stats_.auth_failures;
     return out;
   }
@@ -514,17 +586,17 @@ std::vector<NfOutput> IpsecEndpoint::process_burst(
 }
 
 bool IpsecEndpoint::replay_check_and_update(SecurityAssociation& sa,
-                                            std::uint32_t seq) {
+                                            std::uint64_t seq) {
   if (seq == 0) return false;  // seq 0 is never valid
-  constexpr std::uint32_t kWindow = 64;
+  constexpr std::uint64_t kWindow = kReplayWindow;
   if (seq > sa.replay_top) {
-    const std::uint32_t shift = seq - sa.replay_top;
+    const std::uint64_t shift = seq - sa.replay_top;
     sa.replay_bitmap = shift >= kWindow ? 0 : sa.replay_bitmap << shift;
     sa.replay_bitmap |= 1;  // bit 0 = replay_top (the new seq)
     sa.replay_top = seq;
     return true;
   }
-  const std::uint32_t offset = sa.replay_top - seq;
+  const std::uint64_t offset = sa.replay_top - seq;
   if (offset >= kWindow) return false;  // too old
   const std::uint64_t bit = 1ULL << offset;
   if ((sa.replay_bitmap & bit) != 0) return false;  // duplicate
@@ -541,6 +613,11 @@ util::Status IpsecEndpoint::remove_context(ContextId ctx) {
 SecurityAssociation* IpsecEndpoint::inbound_sa(ContextId ctx) {
   auto it = tunnels_.find(ctx);
   return it == tunnels_.end() ? nullptr : &it->second.in_sa;
+}
+
+SecurityAssociation* IpsecEndpoint::outbound_sa(ContextId ctx) {
+  auto it = tunnels_.find(ctx);
+  return it == tunnels_.end() ? nullptr : &it->second.out_sa;
 }
 
 }  // namespace nnfv::nnf

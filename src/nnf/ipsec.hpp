@@ -15,8 +15,14 @@
 //                    chain-serial.
 //
 // Both share ESP trailer padding, sequence numbers and a 64-entry
-// anti-replay window. Port 0 carries plaintext ("red") traffic, port 1
-// the encrypted ("black") side.
+// anti-replay window. Sequence numbers are 64-bit throughout; with
+// `esn: on` (RFC 4304 extended sequence numbers) only the low 32 bits
+// travel on the wire and the receiver recovers the high half from its
+// replay window (RFC 4304 Appendix A) — the recovered seq-hi feeds the
+// integrity check (GCM AAD per RFC 4106 §5, or the implicit HMAC
+// suffix per RFC 4303 §2.2.1), so a wrong inference fails
+// authentication instead of advancing the window. Port 0 carries
+// plaintext ("red") traffic, port 1 the encrypted ("black") side.
 //
 // Each context holds an independent SA pair, which is what makes the
 // function sharable: multiple service graphs terminate their own tunnels
@@ -46,9 +52,11 @@ struct SecurityAssociation {
   std::array<std::uint8_t, 16> enc_key{};   ///< AES-128
   std::array<std::uint8_t, 4> salt{};       ///< GCM nonce salt (RFC 4106)
   std::array<std::uint8_t, 32> auth_key{};  ///< HMAC-SHA256 (cbc-hmac)
-  std::uint64_t seq = 0;                    ///< last sent (out) sequence
-  // Anti-replay (inbound only): highest seen seq + sliding bitmap.
-  std::uint32_t replay_top = 0;
+  bool esn = false;  ///< RFC 4304 64-bit extended sequence numbers
+  std::uint64_t seq = 0;  ///< last sent (out) sequence, full 64-bit
+  // Anti-replay (inbound only): highest authenticated 64-bit sequence
+  // (seq-hi || seq-lo under ESN) + sliding bitmap below it.
+  std::uint64_t replay_top = 0;
   std::uint64_t replay_bitmap = 0;
 };
 
@@ -67,6 +75,7 @@ class IpsecEndpoint : public NetworkFunction {
   static constexpr std::size_t kIcvSize = 16;  ///< HMAC-SHA256-128
   static constexpr std::size_t kGcmIvSize = 8;   ///< RFC 4106 explicit IV
   static constexpr std::size_t kGcmIcvSize = 16;  ///< full GCM tag
+  static constexpr std::uint32_t kReplayWindow = 64;  ///< anti-replay slots
 
   IpsecEndpoint() = default;
 
@@ -77,6 +86,8 @@ class IpsecEndpoint : public NetworkFunction {
   ///   local_ip, peer_ip       tunnel endpoints (outer header)
   ///   spi_out, spi_in         decimal SPIs
   ///   esp_transform           "gcm" (default) or "cbc-hmac"
+  ///   esn                     "on" or "off" (default): RFC 4304 64-bit
+  ///                           extended sequence numbers on both SAs
   ///   enc_key                 32 hex chars (AES-128), or 40 hex chars
   ///                           (AES-128 key + 4-byte GCM salt, RFC 4106
   ///                           §8.1 keymat order; salt is zero when only
@@ -101,8 +112,10 @@ class IpsecEndpoint : public NetworkFunction {
 
   [[nodiscard]] const IpsecStats& stats() const { return stats_; }
 
-  /// Test hook: corrupting state is easier through a reference.
+  /// Test hooks: corrupting/steering SA state is easier through a
+  /// reference (window edge cases, ESN rollover need exact sequences).
   SecurityAssociation* inbound_sa(ContextId ctx);
+  SecurityAssociation* outbound_sa(ContextId ctx);
 
  private:
   struct Tunnel {
@@ -154,9 +167,13 @@ class IpsecEndpoint : public NetworkFunction {
   /// Shared decap prologue: validates the black-side frame down to the
   /// ESP area (outer headers, ESP proto, destination, minimum payload,
   /// SPI match); counts malformed/no_sa and returns nullopt on failure.
+  /// `sequence` is the full 64-bit sequence: under ESN the high half is
+  /// recovered from the replay window (RFC 4304 Appendix A) exactly
+  /// once here and reused for the AAD/ICV input and the replay update —
+  /// on both the single-packet and burst paths.
   struct EspIngress {
     std::span<const std::uint8_t> esp_area;
-    std::uint32_t sequence = 0;
+    std::uint64_t sequence = 0;
   };
   std::optional<EspIngress> parse_esp_ingress(
       const Tunnel& tunnel, const SecurityAssociation& sa,
@@ -180,9 +197,10 @@ class IpsecEndpoint : public NetworkFunction {
   std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel,
                                         packet::PacketBuffer&& frame);
 
-  /// RFC-style sliding window; returns false (and drops) on replay.
+  /// RFC-style sliding window over the full 64-bit sequence; returns
+  /// false (and drops) on replay.
   static bool replay_check_and_update(SecurityAssociation& sa,
-                                      std::uint32_t seq);
+                                      std::uint64_t seq);
 
   std::map<ContextId, Tunnel> tunnels_;
   IpsecStats stats_;

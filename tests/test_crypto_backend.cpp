@@ -387,6 +387,102 @@ TEST(CryptoBackend, GhashIdentityAcrossBackends) {
   }
 }
 
+TEST(CryptoBackend, GcmCryptFusedIdentityAcrossBackends) {
+  // The fused gcm_crypt (stitched CTR+GHASH) vs the reference oracle's
+  // split two-pass, both directions and in-place, at lengths straddling
+  // the 8-block CTR chunk (128 B) and the 4-block GHASH aggregation
+  // (64 B) plus their single-block and partial-byte tails.
+  util::Rng rng(27);
+  const CryptoBackend& oracle = detail::reference_backend();
+  const auto key = rng.bytes(16);
+  auto aes = Aes::create(key);
+  ASSERT_TRUE(aes.is_ok());
+  GhashKey oracle_key;
+  const std::uint8_t zero[16] = {};
+  aes->encrypt_block(zero, oracle_key.h);  // H = AES_K(0), the GCM subkey
+  oracle.ghash_init(oracle_key);
+  for (std::size_t len :
+       {1u,   15u,  16u,  17u,  63u,  64u,  65u,   79u,   80u,  127u,
+        128u, 129u, 143u, 144u, 191u, 192u, 256u,  257u,  1408u, 1442u}) {
+    auto counter = rng.bytes(16);
+    // Force an inc32 wrap a few blocks in: the fused kernels carry
+    // their own counter increments (SIMD lane add / ++block_ctr), so
+    // the wrap must only touch the low 32 bits, never the nonce half.
+    counter[12] = counter[13] = counter[14] = 0xFF;
+    counter[15] = 0xFD;
+    const auto data = rng.bytes(len);
+    const auto start = rng.bytes(16);
+    std::vector<std::uint8_t> want_ct(len);
+    std::uint8_t want_state[16];
+    std::copy(start.begin(), start.end(), want_state);
+    oracle.gcm_crypt(*aes, oracle_key, counter.data(), data.data(),
+                     want_ct.data(), len, want_state, /*encrypt=*/true);
+    for (const CryptoBackend* backend : usable_backends()) {
+      GhashKey bkey;
+      std::copy(oracle_key.h, oracle_key.h + 16, bkey.h);
+      backend->ghash_init(bkey);
+
+      std::vector<std::uint8_t> got(len);
+      std::uint8_t state[16];
+      std::copy(start.begin(), start.end(), state);
+      backend->gcm_crypt(*aes, bkey, counter.data(), data.data(), got.data(),
+                         len, state, /*encrypt=*/true);
+      EXPECT_EQ(got, want_ct) << backend->name() << " enc len " << len;
+      EXPECT_EQ(util::hex_encode({state, 16}),
+                util::hex_encode({want_state, 16}))
+          << backend->name() << " enc state len " << len;
+
+      // Decrypt direction: feeding the ciphertext must restore the
+      // plaintext and hash the *input* to the same state.
+      std::vector<std::uint8_t> back(len);
+      std::copy(start.begin(), start.end(), state);
+      backend->gcm_crypt(*aes, bkey, counter.data(), want_ct.data(),
+                         back.data(), len, state, /*encrypt=*/false);
+      EXPECT_EQ(back, data) << backend->name() << " dec len " << len;
+      EXPECT_EQ(util::hex_encode({state, 16}),
+                util::hex_encode({want_state, 16}))
+          << backend->name() << " dec state len " << len;
+
+      // In-place, both directions.
+      std::vector<std::uint8_t> buf = data;
+      std::copy(start.begin(), start.end(), state);
+      backend->gcm_crypt(*aes, bkey, counter.data(), buf.data(), buf.data(),
+                         len, state, /*encrypt=*/true);
+      EXPECT_EQ(buf, want_ct) << backend->name() << " in-place enc " << len;
+      std::copy(start.begin(), start.end(), state);
+      backend->gcm_crypt(*aes, bkey, counter.data(), buf.data(), buf.data(),
+                         len, state, /*encrypt=*/false);
+      EXPECT_EQ(buf, data) << backend->name() << " in-place dec " << len;
+      EXPECT_EQ(util::hex_encode({state, 16}),
+                util::hex_encode({want_state, 16}))
+          << backend->name() << " in-place dec state " << len;
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmOpenWipesPlaintextOnAuthFailure) {
+  // The fused open produces plaintext before the tag verdict; on failure
+  // every byte must be wiped, never released.
+  util::Rng rng(28);
+  const auto key = rng.bytes(16);
+  const auto iv = rng.bytes(GcmContext::kIvSize);
+  const auto plain = rng.bytes(300);
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    auto gcm = GcmContext::create(key);
+    ASSERT_TRUE(gcm.is_ok());
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[GcmContext::kTagSize];
+    ASSERT_TRUE(gcm->seal(iv, {}, plain, cipher.data(), tag).is_ok());
+    tag[0] ^= 0x01;
+    std::vector<std::uint8_t> out(cipher.size(), 0xAA);
+    ASSERT_FALSE(gcm->open(iv, {}, cipher, {tag, sizeof(tag)}, out.data()))
+        << backend->name();
+    EXPECT_EQ(out, std::vector<std::uint8_t>(cipher.size(), 0))
+        << backend->name();
+  }
+}
+
 TEST(CryptoBackend, GcmSealIdenticalAcrossBackendsRandomLengths) {
   util::Rng rng(23);
   const auto key = rng.bytes(16);
