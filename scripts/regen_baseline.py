@@ -29,9 +29,20 @@ folklore. This script makes the baseline self-regenerating:
       baseline, or an unknown underscore key. This is the CI guard
       against silent baseline rot.
 
+  --check --from-json <file|dir> [...]
+      Same schema check, but against the last-line JSON of bench output
+      files already on disk (e.g. CI's bench-out/*.out artifacts)
+      instead of re-running every binary. Several files for one bench
+      (mode variants) merge their result lists, so a metric only
+      emitted under --mode=gcm still counts as emitted. regen mode
+      never accepts --from-json: a blessed baseline must come from a
+      fresh full run, not from whatever artifacts happen to be lying
+      around.
+
 Usage:
     regen_baseline.py [--build-dir build] [--margin 0.25]
                       [--baseline bench/baseline.json] [--check]
+                      [--from-json <file|dir> ...]
 """
 import glob
 import json
@@ -104,6 +115,39 @@ def run_benches(build_dir, smoke):
                 "rebuild with -DCMAKE_BUILD_TYPE=Release before blessing "
                 "a baseline")
         runs[obj.get("bench", os.path.basename(binary))] = obj
+    return runs
+
+
+def load_bench_outputs(paths):
+    """Parses the last-line JSON of existing bench output files (CI's
+    bench-out/*.out artifacts) instead of re-running binaries; returns
+    {bench_name: parsed JSON}. Mode-variant files of one bench merge
+    their result lists under the shared bench name."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(glob.glob(os.path.join(path, "*.out"))))
+        else:
+            files.append(path)
+    if not files:
+        raise SystemExit(
+            f"regen_baseline: --from-json matched no files in {paths}")
+    runs = {}
+    for fname in files:
+        with open(fname, encoding="utf-8") as f:
+            lines = [l for l in f.read().splitlines() if l.strip()]
+        try:
+            obj = json.loads(lines[-1])
+        except (IndexError, json.JSONDecodeError) as err:
+            raise SystemExit(
+                f"regen_baseline: {fname} has no valid last-line JSON "
+                f"({err})")
+        name = obj.get("bench", os.path.basename(fname))
+        if name in runs:
+            runs[name].setdefault("results", []).extend(
+                obj.get("results", []))
+        else:
+            runs[name] = obj
     return runs
 
 
@@ -220,6 +264,7 @@ def check(runs, baseline):
 def parse_args(argv):
     build_dir, margin = "build", 0.25
     baseline_path, check_mode = os.path.join("bench", "baseline.json"), False
+    from_json = []
     i = 1
     while i < len(argv):
         arg = argv[i]
@@ -234,17 +279,25 @@ def parse_args(argv):
             baseline_path = argv[i]
         elif arg == "--check":
             check_mode = True
+        elif arg == "--from-json":
+            i += 1
+            from_json.append(argv[i])
         else:
             raise ValueError(f"unknown argument {arg}")
         i += 1
     if not 0.0 < margin <= 1.0:
         raise ValueError("--margin must be in (0, 1]")
-    return build_dir, margin, baseline_path, check_mode
+    if from_json and not check_mode:
+        raise ValueError(
+            "--from-json only works with --check (a blessed regen must "
+            "come from a fresh full run)")
+    return build_dir, margin, baseline_path, check_mode, from_json
 
 
 def main(argv):
     try:
-        build_dir, margin, baseline_path, check_mode = parse_args(argv)
+        (build_dir, margin, baseline_path, check_mode,
+         from_json) = parse_args(argv)
     except (IndexError, ValueError) as err:
         print(f"regen_baseline: {err}\n\n{__doc__.strip()}",
               file=sys.stderr)
@@ -255,7 +308,10 @@ def main(argv):
         with open(baseline_path, encoding="utf-8") as f:
             old_baseline = json.load(f)
 
-    runs = run_benches(build_dir, smoke=check_mode)
+    if from_json:
+        runs = load_bench_outputs(from_json)
+    else:
+        runs = run_benches(build_dir, smoke=check_mode)
 
     if check_mode:
         problems = check(runs, old_baseline)

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compute/instance.hpp"
+#include "json/json.hpp"
 #include "nnf/marking.hpp"
 #include "nnf/network_function.hpp"
 #include "switch/lsi.hpp"
@@ -79,6 +80,14 @@ class ComputeDriver {
                               const nnf::NfConfig& config) = 0;
 
   virtual util::Status undeploy(const DeployedNf& deployed) = 0;
+
+  /// Live status counters of a deployed NF's context (the function's
+  /// describe_stats()), surfaced through the REST status path.
+  [[nodiscard]] virtual util::Result<json::Value> nf_stats(
+      const DeployedNf& /*deployed*/) const {
+    return util::unimplemented(std::string(name()) +
+                               ": stats not supported");
+  }
 };
 
 }  // namespace nnfv::compute

@@ -146,6 +146,15 @@ Status GenericVnfDriver::update(const DeployedNf& deployed,
   return it->second.instance->function().configure(deployed.context, config);
 }
 
+util::Result<json::Value> GenericVnfDriver::nf_stats(
+    const DeployedNf& deployed) const {
+  auto it = instances_.find(deployed.instance);
+  if (it == instances_.end()) {
+    return util::not_found("instance " + std::to_string(deployed.instance));
+  }
+  return it->second.instance->function().describe_stats(deployed.context);
+}
+
 Status GenericVnfDriver::undeploy(const DeployedNf& deployed) {
   auto it = instances_.find(deployed.instance);
   if (it == instances_.end()) {

@@ -45,6 +45,9 @@ class GenericVnfDriver : public ComputeDriver {
 
   util::Status undeploy(const DeployedNf& deployed) override;
 
+  [[nodiscard]] util::Result<json::Value> nf_stats(
+      const DeployedNf& deployed) const override;
+
   /// Running instances (diagnostics / Figure 1 bench).
   [[nodiscard]] std::size_t instance_count() const {
     return instances_.size();

@@ -63,6 +63,13 @@ Status ComputeManager::undeploy(const DeployedNf& deployed) {
   return Status::ok();
 }
 
+util::Result<json::Value> ComputeManager::nf_stats(
+    const DeployedNf& deployed) const {
+  auto drv = driver(deployed.backend);
+  if (!drv) return drv.status();
+  return drv.value()->nf_stats(deployed);
+}
+
 std::vector<DeployedNf> ComputeManager::deployments_of(
     const std::string& graph_id) const {
   std::vector<DeployedNf> out;

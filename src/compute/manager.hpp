@@ -29,6 +29,10 @@ class ComputeManager {
 
   util::Status undeploy(const DeployedNf& deployed);
 
+  /// Live status counters of one deployment (driver-dispatched).
+  [[nodiscard]] util::Result<json::Value> nf_stats(
+      const DeployedNf& deployed) const;
+
   /// Deployments of one graph (teardown, status reporting).
   [[nodiscard]] std::vector<DeployedNf> deployments_of(
       const std::string& graph_id) const;

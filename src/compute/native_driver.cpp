@@ -365,6 +365,18 @@ Status NativeDriver::update(const DeployedNf& deployed,
                                     dep.ctx, config);
 }
 
+util::Result<json::Value> NativeDriver::nf_stats(
+    const DeployedNf& deployed) const {
+  auto it = deployments_.find(
+      deployment_key(deployed.graph_id, deployed.nf_id));
+  if (it == deployments_.end()) {
+    return util::not_found("native deployment " + deployed.graph_id + "/" +
+                           deployed.nf_id);
+  }
+  const Deployment& dep = it->second;
+  return dep.shared->instance->function().describe_stats(dep.ctx);
+}
+
 Status NativeDriver::undeploy(const DeployedNf& deployed) {
   const std::string key =
       deployment_key(deployed.graph_id, deployed.nf_id);

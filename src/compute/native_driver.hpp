@@ -64,6 +64,9 @@ class NativeDriver final : public ComputeDriver {
 
   util::Status undeploy(const DeployedNf& deployed) override;
 
+  [[nodiscard]] util::Result<json::Value> nf_stats(
+      const DeployedNf& deployed) const override;
+
   /// Diagnostics for tests and the Figure 1 bench.
   [[nodiscard]] std::size_t running_instances(
       const std::string& functional_type) const;

@@ -68,6 +68,13 @@ Status NetworkManager::destroy_graph_lsi(const std::string& graph_id) {
   if (it == graph_lsis_.end()) {
     return util::not_found("LSI for graph '" + graph_id + "'");
   }
+  if (auto links = graph_link_ports_.find(graph_id);
+      links != graph_link_ports_.end()) {
+    for (nfswitch::PortId port : links->second) {
+      (void)base_->remove_port(port);
+    }
+    graph_link_ports_.erase(links);
+  }
   graph_lsis_.erase(it);
   NNFV_LOG(kInfo, "network") << "destroyed LSI-" << graph_id;
   return Status::ok();
@@ -114,6 +121,7 @@ Result<VirtualLink> NetworkManager::create_virtual_link(
       [base_raw, bp = base_port.value()](packet::PacketBurst&& burst) {
         base_raw->receive_burst(bp, std::move(burst));
       });
+  graph_link_ports_[graph_id].push_back(base_port.value());
   return VirtualLink{base_port.value(), graph_port.value()};
 }
 

@@ -60,6 +60,9 @@ class NetworkManager {
  private:
   std::unique_ptr<nfswitch::Lsi> base_;
   std::map<std::string, std::unique_ptr<nfswitch::Lsi>> graph_lsis_;
+  /// LSI-0 ends of each graph's virtual links, reclaimed on destroy so a
+  /// graph id can be redeployed (setup/teardown churn must not leak ports).
+  std::map<std::string, std::vector<nfswitch::PortId>> graph_link_ports_;
   std::map<std::string, nfswitch::PortId> physical_ports_;
   nfswitch::LsiId next_lsi_id_ = 1;
 };

@@ -181,6 +181,20 @@ Status LocalOrchestrator::update_nf(const std::string& graph_id,
   return util::not_found("NF '" + nf_id + "' in graph '" + graph_id + "'");
 }
 
+Result<json::Value> LocalOrchestrator::nf_stats(
+    const std::string& graph_id, const std::string& nf_id) const {
+  auto it = graphs_.find(graph_id);
+  if (it == graphs_.end()) {
+    return util::not_found("graph '" + graph_id + "'");
+  }
+  for (const compute::DeployedNf& deployed : it->second.deployments) {
+    if (deployed.nf_id == nf_id) {
+      return compute_->nf_stats(deployed);
+    }
+  }
+  return util::not_found("NF '" + nf_id + "' in graph '" + graph_id + "'");
+}
+
 bool LocalOrchestrator::has_graph(const std::string& graph_id) const {
   return graphs_.contains(graph_id);
 }

@@ -66,6 +66,11 @@ class LocalOrchestrator {
                          const std::string& nf_id,
                          const nnf::NfConfig& config);
 
+  /// Live status counters of one NF of a deployed graph (the function's
+  /// describe_stats() through the compute driver).
+  [[nodiscard]] util::Result<json::Value> nf_stats(
+      const std::string& graph_id, const std::string& nf_id) const;
+
   [[nodiscard]] bool has_graph(const std::string& graph_id) const;
   [[nodiscard]] util::Result<const GraphRecord*> graph(
       const std::string& graph_id) const;

@@ -24,12 +24,51 @@ util::Status parse_key(const std::string& hex, std::span<std::uint8_t> out) {
   return util::Status::ok();
 }
 
+/// 32 hex chars = AES-128 key; 40 = key + 4-byte GCM salt (the RFC 4106
+/// §8.1 keying-material order). cbc-hmac ignores the salt.
+util::Status parse_enc_key(const std::string& hex,
+                           std::array<std::uint8_t, 16>& key,
+                           std::array<std::uint8_t, 4>& salt) {
+  std::vector<std::uint8_t> bytes;
+  if (!util::hex_decode(hex, bytes) ||
+      (bytes.size() != 16 && bytes.size() != 20)) {
+    return util::invalid_argument(
+        "ipsec: enc_key must be 32 hex chars (AES-128) or 40 (AES-128 "
+        "+ GCM salt)");
+  }
+  std::copy_n(bytes.begin(), 16, key.begin());
+  if (bytes.size() == 20) {
+    std::copy_n(bytes.begin() + 16, 4, salt.begin());
+  } else {
+    salt.fill(0);
+  }
+  return util::Status::ok();
+}
+
+util::Status parse_spi(const std::string& key, const std::string& value,
+                       std::uint32_t& out) {
+  std::uint64_t spi = 0;
+  if (!util::parse_u64(value, spi) || spi == 0 || spi > 0xFFFFFFFFULL) {
+    return util::invalid_argument("ipsec: bad " + key + " '" + value + "'");
+  }
+  out = static_cast<std::uint32_t>(spi);
+  return util::Status::ok();
+}
+
 util::Status parse_mac(const std::string& text, packet::MacAddress& out) {
   auto mac = packet::MacAddress::parse(text);
   if (!mac.has_value()) {
     return util::invalid_argument("ipsec: bad MAC '" + text + "'");
   }
   out = *mac;
+  return util::Status::ok();
+}
+
+util::Status parse_count(const std::string& key, const std::string& value,
+                         std::uint64_t& out) {
+  if (!util::parse_u64(value, out)) {
+    return util::invalid_argument("ipsec: bad " + key + " '" + value + "'");
+  }
   return util::Status::ok();
 }
 
@@ -91,17 +130,92 @@ std::size_t esp_aad(const SecurityAssociation& sa, std::uint64_t seq,
 /// (key, nonce) pair, which for GCM leaks plaintext XORs and the GHASH
 /// subkey. This is the GCM analogue of derive_iv() mixing the SPI into
 /// the CBC IV; configure() enforces spi_out != spi_in.
-void gcm_nonce(const SecurityAssociation& sa, const std::uint8_t iv[8],
+void gcm_nonce(const SecurityAssociation& sa,
+               const std::array<std::uint8_t, 4>& salt,
+               const std::uint8_t iv[8],
                std::uint8_t nonce[crypto::GcmContext::kIvSize]) {
-  util::store_be32(nonce, util::load_be32(sa.salt.data()) ^ sa.spi);
+  util::store_be32(nonce, util::load_be32(salt.data()) ^ sa.spi);
   std::memcpy(nonce + 4, iv, 8);
+}
+
+bool soft_expired(const SaLifetime& lt, const SecurityAssociation& sa) {
+  if (lt.soft_packets != 0 && sa.packets >= lt.soft_packets) return true;
+  if (lt.soft_bytes != 0 && sa.bytes >= lt.soft_bytes) return true;
+  // Sequence headroom: soft-trigger before the sequence space runs out.
+  const std::uint64_t ceiling = sa.seq_ceiling();
+  if (lt.seq_headroom != 0 && ceiling - sa.seq <= lt.seq_headroom) {
+    return true;
+  }
+  return false;
+}
+
+bool hard_expired(const SaLifetime& lt, const SecurityAssociation& sa) {
+  if (lt.hard_packets != 0 && sa.packets >= lt.hard_packets) return true;
+  if (lt.hard_bytes != 0 && sa.bytes >= lt.hard_bytes) return true;
+  return false;
+}
+
+json::Value sa_to_json(const SecurityAssociation& sa) {
+  json::Object doc;
+  doc["spi"] = static_cast<std::uint64_t>(sa.spi);
+  doc["state"] = std::string(sa_state_name(sa.state));
+  doc["esn"] = sa.esn;
+  doc["seq"] = sa.seq;
+  doc["replay_top"] = sa.replay_top;
+  doc["packets"] = sa.packets;
+  doc["bytes"] = sa.bytes;
+  doc["auth_fail"] = sa.auth_fail;
+  doc["replay_drops"] = sa.replay_drops;
+  doc["lifetime_drops"] = sa.lifetime_drops;
+  doc["malformed"] = sa.malformed;
+  return doc;
 }
 
 }  // namespace
 
+std::string_view sa_state_name(SaState state) {
+  switch (state) {
+    case SaState::kActive:
+      return "active";
+    case SaState::kRekeying:
+      return "rekeying";
+    case SaState::kDraining:
+      return "draining";
+    case SaState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+util::Status IpsecEndpoint::Keymat::prepare() {
+  if (have_enc_key) {
+    auto aes = crypto::Aes::create(enc_key);
+    if (!aes) return aes.status();
+    cipher = aes.value();
+    auto g = crypto::GcmContext::create(enc_key);
+    if (!g) return g.status();
+    gcm = g.value();
+  }
+  hmac_tmpl.emplace(auth_key);
+  return util::Status::ok();
+}
+
+void IpsecEndpoint::sad_insert(ContextId ctx, std::uint32_t spi,
+                               SadSlot slot) {
+  sad_[sad_key(ctx, spi)] = slot;
+}
+
+void IpsecEndpoint::sad_erase(ContextId ctx, std::uint32_t spi) {
+  sad_.erase(sad_key(ctx, spi));
+}
+
 util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
   NNFV_RETURN_IF_ERROR(require_context(ctx));
   Tunnel& tunnel = tunnels_[ctx];
+  if (!tunnel.keymat) tunnel.keymat = std::make_shared<Keymat>();
+  const std::uint32_t prev_in_spi = tunnel.in_sa.spi;
+  const bool was_configured = tunnel.configured;
+  NfConfig rekey;
   for (const auto& [key, value] : config) {
     if (key == "local_ip" || key == "peer_ip") {
       auto addr = packet::Ipv4Address::parse(value);
@@ -110,33 +224,18 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
                                       "'");
       }
       (key == "local_ip" ? tunnel.local_ip : tunnel.peer_ip) = *addr;
-    } else if (key == "spi_out" || key == "spi_in") {
-      std::uint64_t spi = 0;
-      if (!util::parse_u64(value, spi) || spi == 0 || spi > 0xFFFFFFFFULL) {
-        return util::invalid_argument("ipsec: bad " + key + " '" + value +
-                                      "'");
-      }
-      (key == "spi_out" ? tunnel.out_sa.spi : tunnel.in_sa.spi) =
-          static_cast<std::uint32_t>(spi);
+    } else if (key == "spi_out") {
+      NNFV_RETURN_IF_ERROR(parse_spi(key, value, tunnel.out_sa.spi));
+    } else if (key == "spi_in") {
+      NNFV_RETURN_IF_ERROR(parse_spi(key, value, tunnel.in_sa.spi));
     } else if (key == "enc_key") {
-      // 32 hex chars = AES-128 key; 40 = key + 4-byte GCM salt (the
-      // RFC 4106 §8.1 keying-material order). cbc-hmac ignores the salt.
-      std::vector<std::uint8_t> bytes;
-      if (!util::hex_decode(value, bytes) ||
-          (bytes.size() != 16 && bytes.size() != 20)) {
-        return util::invalid_argument(
-            "ipsec: enc_key must be 32 hex chars (AES-128) or 40 (AES-128 "
-            "+ GCM salt)");
-      }
-      std::copy_n(bytes.begin(), 16, tunnel.out_sa.enc_key.begin());
-      if (bytes.size() == 20) {
-        std::copy_n(bytes.begin() + 16, 4, tunnel.out_sa.salt.begin());
-      } else {
-        tunnel.out_sa.salt.fill(0);
-      }
-      tunnel.in_sa.enc_key = tunnel.out_sa.enc_key;
-      tunnel.in_sa.salt = tunnel.out_sa.salt;
-      tunnel.have_enc_key = true;
+      NNFV_RETURN_IF_ERROR(parse_enc_key(value, tunnel.keymat->enc_key,
+                                         tunnel.keymat->salt));
+      tunnel.out_sa.enc_key = tunnel.keymat->enc_key;
+      tunnel.out_sa.salt = tunnel.keymat->salt;
+      tunnel.in_sa.enc_key = tunnel.keymat->enc_key;
+      tunnel.in_sa.salt = tunnel.keymat->salt;
+      tunnel.keymat->have_enc_key = true;
     } else if (key == "esp_transform") {
       if (value == "gcm") {
         tunnel.transform = EspTransform::kGcm;
@@ -155,8 +254,32 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
       tunnel.out_sa.esn = value == "on";
       tunnel.in_sa.esn = tunnel.out_sa.esn;
     } else if (key == "auth_key") {
-      NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.out_sa.auth_key));
-      tunnel.in_sa.auth_key = tunnel.out_sa.auth_key;
+      NNFV_RETURN_IF_ERROR(parse_key(value, tunnel.keymat->auth_key));
+      tunnel.out_sa.auth_key = tunnel.keymat->auth_key;
+      tunnel.in_sa.auth_key = tunnel.keymat->auth_key;
+    } else if (key == "life_soft_packets") {
+      NNFV_RETURN_IF_ERROR(
+          parse_count(key, value, tunnel.lifetime.soft_packets));
+    } else if (key == "life_hard_packets") {
+      NNFV_RETURN_IF_ERROR(
+          parse_count(key, value, tunnel.lifetime.hard_packets));
+    } else if (key == "life_soft_bytes") {
+      NNFV_RETURN_IF_ERROR(
+          parse_count(key, value, tunnel.lifetime.soft_bytes));
+    } else if (key == "life_hard_bytes") {
+      NNFV_RETURN_IF_ERROR(
+          parse_count(key, value, tunnel.lifetime.hard_bytes));
+    } else if (key == "seq_headroom") {
+      NNFV_RETURN_IF_ERROR(
+          parse_count(key, value, tunnel.lifetime.seq_headroom));
+    } else if (key == "drain_ns") {
+      std::uint64_t ns = 0;
+      NNFV_RETURN_IF_ERROR(parse_count(key, value, ns));
+      tunnel.drain_ns = static_cast<sim::SimTime>(ns);
+    } else if (key == "rekey_spi_out" || key == "rekey_spi_in" ||
+               key == "rekey_enc_key" || key == "rekey_auth_key" ||
+               key == "rekey_cutover") {
+      rekey[key] = value;
     } else if (key == "outer_src_mac") {
       NNFV_RETURN_IF_ERROR(parse_mac(value, tunnel.outer_src_mac));
     } else if (key == "outer_dst_mac") {
@@ -172,20 +295,11 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
   }
   // Key-schedule work that must not happen per packet: the AES schedule
   // and GCM GHASH table are expanded here once, and the HMAC ipad is
-  // absorbed once per direction; the per-packet paths only copy
-  // midstates. Both transforms' state is kept ready so esp_transform can
-  // be flipped by a later configure() without re-sending keys (config
-  // keys arrive in map order, so esp_transform may follow enc_key).
-  if (tunnel.have_enc_key) {
-    auto aes = crypto::Aes::create(tunnel.out_sa.enc_key);
-    if (!aes) return aes.status();
-    tunnel.cipher = aes.value();
-    auto gcm = crypto::GcmContext::create(tunnel.out_sa.enc_key);
-    if (!gcm) return gcm.status();
-    tunnel.gcm = gcm.value();
-  }
-  tunnel.out_hmac_tmpl.emplace(tunnel.out_sa.auth_key);
-  tunnel.in_hmac_tmpl.emplace(tunnel.in_sa.auth_key);
+  // absorbed once; the per-packet paths only copy midstates. Both
+  // transforms' state is kept ready so esp_transform can be flipped by a
+  // later configure() without re-sending keys (config keys arrive in map
+  // order, so esp_transform may follow enc_key).
+  NNFV_RETURN_IF_ERROR(tunnel.keymat->prepare());
   // Both directions share one enc_key/salt, so the SPI is the only
   // per-direction component of the GCM nonce (see gcm_nonce()): equal
   // SPIs would reuse (key, nonce) pairs across directions.
@@ -194,14 +308,165 @@ util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
         "ipsec: spi_out and spi_in must differ (the SPI keys the "
         "per-direction IV/nonce derivation)");
   }
-  tunnel.configured = tunnel.have_enc_key && tunnel.out_sa.spi != 0 &&
-                      tunnel.in_sa.spi != 0;
+  tunnel.configured = tunnel.keymat->have_enc_key &&
+                      tunnel.out_sa.spi != 0 && tunnel.in_sa.spi != 0;
+  // SAD sync for the current-generation inbound SA.
+  if (was_configured && prev_in_spi != 0 &&
+      prev_in_spi != tunnel.in_sa.spi) {
+    sad_erase(ctx, prev_in_spi);
+  }
+  if (tunnel.configured) {
+    sad_insert(ctx, tunnel.in_sa.spi, SadSlot::kCurrent);
+  }
+  if (!rekey.empty()) {
+    NNFV_RETURN_IF_ERROR(stage_rekey(ctx, tunnel, rekey));
+  }
   return util::Status::ok();
+}
+
+util::Status IpsecEndpoint::stage_rekey(ContextId ctx, Tunnel& tunnel,
+                                        const NfConfig& rekey) {
+  if (!tunnel.configured) {
+    return util::failed_precondition(
+        "ipsec: rekey_* keys require a configured tunnel");
+  }
+  auto get = [&rekey](const char* key) -> const std::string* {
+    auto it = rekey.find(key);
+    return it == rekey.end() ? nullptr : &it->second;
+  };
+  const std::string* spi_out = get("rekey_spi_out");
+  const std::string* spi_in = get("rekey_spi_in");
+  const std::string* enc_key = get("rekey_enc_key");
+  if (spi_out == nullptr || spi_in == nullptr || enc_key == nullptr) {
+    return util::invalid_argument(
+        "ipsec: a rekey needs rekey_spi_out, rekey_spi_in and "
+        "rekey_enc_key together (fresh SPIs + fresh keymat)");
+  }
+  StagedRekey staged;
+  staged.keymat = std::make_shared<Keymat>();
+  NNFV_RETURN_IF_ERROR(parse_spi("rekey_spi_out", *spi_out,
+                                 staged.out_sa.spi));
+  NNFV_RETURN_IF_ERROR(parse_spi("rekey_spi_in", *spi_in,
+                                 staged.in_sa.spi));
+  NNFV_RETURN_IF_ERROR(parse_enc_key(*enc_key, staged.keymat->enc_key,
+                                     staged.keymat->salt));
+  staged.keymat->have_enc_key = true;
+  if (const std::string* auth_key = get("rekey_auth_key")) {
+    NNFV_RETURN_IF_ERROR(parse_key(*auth_key, staged.keymat->auth_key));
+  } else {
+    staged.keymat->auth_key = tunnel.keymat->auth_key;
+  }
+  if (const std::string* cutover_mode = get("rekey_cutover")) {
+    if (*cutover_mode == "now") {
+      staged.immediate = true;
+    } else if (*cutover_mode != "soft") {
+      return util::invalid_argument(
+          "ipsec: rekey_cutover must be 'soft' or 'now', got '" +
+          *cutover_mode + "'");
+    }
+  }
+  if (staged.out_sa.spi == staged.in_sa.spi) {
+    return util::invalid_argument(
+        "ipsec: rekey_spi_out and rekey_spi_in must differ");
+  }
+  // The staged inbound SPI joins the SAD immediately, so it must not
+  // collide with an inbound SPI this context already answers to — except
+  // the previously staged one, which a restage replaces.
+  const bool replaces_staged =
+      tunnel.staged && tunnel.staged->in_sa.spi == staged.in_sa.spi;
+  if (!replaces_staged &&
+      sad_.count(sad_key(ctx, staged.in_sa.spi)) != 0) {
+    return util::invalid_argument(
+        "ipsec: rekey_spi_in " + *spi_in +
+        " collides with a live inbound SA of this tunnel");
+  }
+  NNFV_RETURN_IF_ERROR(staged.keymat->prepare());
+  staged.out_sa.esn = tunnel.out_sa.esn;
+  staged.in_sa.esn = tunnel.in_sa.esn;
+  staged.out_sa.enc_key = staged.keymat->enc_key;
+  staged.out_sa.salt = staged.keymat->salt;
+  staged.out_sa.auth_key = staged.keymat->auth_key;
+  staged.in_sa.enc_key = staged.keymat->enc_key;
+  staged.in_sa.salt = staged.keymat->salt;
+  staged.in_sa.auth_key = staged.keymat->auth_key;
+  // Restaging replaces a pending (not yet cut over) rekey.
+  if (tunnel.staged) sad_erase(ctx, tunnel.staged->in_sa.spi);
+  sad_insert(ctx, staged.in_sa.spi, SadSlot::kStaged);
+  tunnel.staged = std::move(staged);
+  ++stats_.rekeys_started;
+  return util::Status::ok();
+}
+
+void IpsecEndpoint::expire_draining(ContextId ctx, Tunnel& tunnel,
+                                    sim::SimTime now) {
+  if (tunnel.draining && now >= tunnel.draining->deadline) {
+    tunnel.draining->sa.state = SaState::kDead;
+    sad_erase(ctx, tunnel.draining->sa.spi);
+    tunnel.draining.reset();
+    ++stats_.sas_retired;
+  }
+}
+
+void IpsecEndpoint::cutover(ContextId ctx, Tunnel& tunnel,
+                            sim::SimTime now) {
+  // A previous generation still draining is force-retired: at most two
+  // inbound generations (current + one draining) are live per tunnel.
+  if (tunnel.draining) {
+    sad_erase(ctx, tunnel.draining->sa.spi);
+    tunnel.draining.reset();
+    ++stats_.sas_retired;
+  }
+  DrainingSa draining;
+  draining.sa = tunnel.in_sa;
+  draining.sa.state = SaState::kDraining;
+  draining.keymat = tunnel.keymat;
+  draining.deadline = now + tunnel.drain_ns;
+  sad_insert(ctx, draining.sa.spi, SadSlot::kDraining);
+  tunnel.draining = std::move(draining);
+
+  tunnel.out_sa = tunnel.staged->out_sa;
+  tunnel.in_sa = tunnel.staged->in_sa;
+  tunnel.keymat = tunnel.staged->keymat;
+  tunnel.staged.reset();
+  sad_insert(ctx, tunnel.in_sa.spi, SadSlot::kCurrent);
+  ++stats_.rekeys_completed;
+}
+
+SecurityAssociation* IpsecEndpoint::outbound_gate(ContextId ctx,
+                                                  Tunnel& tunnel,
+                                                  sim::SimTime now) {
+  SecurityAssociation* sa = &tunnel.out_sa;
+  const bool seq_exhausted = sa->seq >= sa->seq_ceiling();
+  const bool hard = hard_expired(tunnel.lifetime, *sa) || seq_exhausted;
+  const bool soft = soft_expired(tunnel.lifetime, *sa);
+  if (tunnel.staged &&
+      (tunnel.staged->immediate || soft || hard ||
+       sa->state == SaState::kDead)) {
+    // Make-before-break: with staged keymat present, every expiry
+    // condition resolves into a cutover instead of a drop.
+    cutover(ctx, tunnel, now);
+    return &tunnel.out_sa;
+  }
+  if (sa->state == SaState::kDead || hard) {
+    // RFC 4303 §3.3.3: the sequence counter must not cycle, and a hard
+    // lifetime is a hard stop — drop with a counted reason rather than
+    // emit a packet the SA is no longer allowed to send.
+    sa->state = SaState::kDead;
+    ++sa->lifetime_drops;
+    ++stats_.lifetime_drops;
+    return nullptr;
+  }
+  if (soft && sa->state == SaState::kActive) {
+    // Soft expiry without staged keymat: keep sending, flag the SA so
+    // the controller (REST stats) sees the rekey request.
+    sa->state = SaState::kRekeying;
+  }
+  return sa;
 }
 
 std::vector<NfOutput> IpsecEndpoint::process(ContextId ctx,
                                              NfPortIndex in_port,
-                                             sim::SimTime /*now*/,
+                                             sim::SimTime now,
                                              packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
   if (!has_context(ctx) || in_port >= 2) {
@@ -213,22 +478,35 @@ std::vector<NfOutput> IpsecEndpoint::process(ContextId ctx,
     ++stats_.no_sa;
     return out;
   }
-  if (in_port == 0) return encapsulate(it->second, std::move(frame));
-  return decapsulate(it->second, std::move(frame));
+  expire_draining(ctx, it->second, now);
+  if (in_port == 0) {
+    return encapsulate(ctx, it->second, now, std::move(frame));
+  }
+  return decapsulate(ctx, it->second, std::move(frame));
 }
 
 std::vector<NfOutput> IpsecEndpoint::encapsulate(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+    ContextId ctx, Tunnel& tunnel, sim::SimTime now,
+    packet::PacketBuffer&& frame) {
+  SecurityAssociation* sa = outbound_gate(ctx, tunnel, now);
+  if (sa == nullptr) return {};
   return tunnel.transform == EspTransform::kGcm
-             ? encapsulate_gcm(tunnel, std::move(frame))
-             : encapsulate_cbc(tunnel, std::move(frame));
+             ? encapsulate_gcm(tunnel, *sa, std::move(frame))
+             : encapsulate_cbc(tunnel, *sa, std::move(frame));
 }
 
 std::vector<NfOutput> IpsecEndpoint::decapsulate(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+    ContextId ctx, Tunnel& tunnel, packet::PacketBuffer&& frame) {
+  const std::size_t min_esp_payload =
+      tunnel.transform == EspTransform::kGcm
+          ? packet::kEspHeaderSize + kGcmIvSize + 2 + kGcmIcvSize
+          : packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize +
+                kIcvSize;
+  auto ingress = parse_esp_ingress(ctx, tunnel, frame, min_esp_payload);
+  if (!ingress) return {};
   return tunnel.transform == EspTransform::kGcm
-             ? decapsulate_gcm(tunnel, std::move(frame))
-             : decapsulate_cbc(tunnel, std::move(frame));
+             ? decapsulate_gcm(tunnel, *ingress)
+             : decapsulate_cbc(tunnel, *ingress);
 }
 
 std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
@@ -280,8 +558,8 @@ packet::PacketBuffer IpsecEndpoint::build_esp_frame(
 }
 
 std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
-    const Tunnel& tunnel, const SecurityAssociation& sa,
-    const packet::PacketBuffer& frame, std::size_t min_esp_payload) {
+    ContextId ctx, Tunnel& tunnel, const packet::PacketBuffer& frame,
+    std::size_t min_esp_payload) {
   auto eth = packet::parse_ethernet(frame.data());
   if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
     ++stats_.malformed;
@@ -298,6 +576,8 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
     ++stats_.no_sa;
     return std::nullopt;
   }
+  // parse_ipv4 guarantees total_length >= header_size, so this span is
+  // in-bounds even for truncated garbage.
   auto esp_area = l3.subspan(ip->header_size(),
                              ip->total_length - ip->header_size());
   if (esp_area.size() < min_esp_payload) {
@@ -309,28 +589,60 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
     ++stats_.malformed;
     return std::nullopt;
   }
-  if (esp->spi != sa.spi) {
+  // O(1) SAD resolution: (ctx, SPI) -> generation. Current, staged and
+  // draining inbound SAs all answer here, which is what lets in-flight
+  // packets of the superseded generation drain during a rekey.
+  auto sad_it = sad_.find(sad_key(ctx, esp->spi));
+  if (sad_it == sad_.end()) {
     ++stats_.no_sa;
+    return std::nullopt;
+  }
+  SecurityAssociation* sa = nullptr;
+  Keymat* keymat = nullptr;
+  switch (sad_it->second) {
+    case SadSlot::kCurrent:
+      sa = &tunnel.in_sa;
+      keymat = tunnel.keymat.get();
+      break;
+    case SadSlot::kStaged:
+      sa = &tunnel.staged->in_sa;
+      keymat = tunnel.staged->keymat.get();
+      break;
+    case SadSlot::kDraining:
+      sa = &tunnel.draining->sa;
+      keymat = tunnel.draining->keymat.get();
+      break;
+  }
+  if (sa->state == SaState::kDead ||
+      hard_expired(tunnel.lifetime, *sa)) {
+    sa->state = SaState::kDead;
+    ++sa->lifetime_drops;
+    ++stats_.lifetime_drops;
     return std::nullopt;
   }
   // One recovery per packet: the 64-bit sequence inferred here is reused
   // for the AAD/ICV input and the replay update by every caller (single
   // and burst paths alike).
   const std::uint64_t seq =
-      sa.esn ? esn_recover_seq(sa, esp->sequence) : esp->sequence;
-  return EspIngress{esp_area, seq};
+      sa->esn ? esn_recover_seq(*sa, esp->sequence) : esp->sequence;
+  return EspIngress{esp_area, seq, sa, keymat};
 }
 
 std::vector<NfOutput> IpsecEndpoint::emit_inner(
-    const Tunnel& tunnel, std::vector<std::uint8_t>&& plaintext) {
+    const Tunnel& tunnel, SecurityAssociation& sa,
+    std::vector<std::uint8_t>&& plaintext) {
   std::vector<NfOutput> out;
   if (plaintext.size() < 2) {
+    ++sa.malformed;
     ++stats_.malformed;
     return out;
   }
   const std::uint8_t next_header = plaintext.back();
   const std::uint8_t pad_len = plaintext[plaintext.size() - 2];
+  // pad_len is bounded by what the payload can hold (RFC 4303 §2.4); a
+  // larger value is forgery debris that must not underflow the resize.
   if (next_header != 4 || plaintext.size() < 2u + pad_len) {
+    ++sa.malformed;
     ++stats_.malformed;
     return out;
   }
@@ -338,6 +650,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
   for (std::size_t i = 0; i < pad_len; ++i) {
     const std::size_t idx = plaintext.size() - 2 - pad_len + i;
     if (plaintext[idx] != i + 1) {
+      ++sa.malformed;
       ++stats_.malformed;
       return out;
     }
@@ -354,22 +667,23 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
                                    .vlan = std::nullopt};
   packet::write_ethernet(inner_eth, ethspan);
 
+  ++sa.packets;
+  sa.bytes += inner.size();
   ++stats_.decapsulated;
   out.push_back(NfOutput{0, std::move(inner)});
   return out;
 }
 
 std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+    Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
-  SecurityAssociation& sa = tunnel.out_sa;
   sa.seq += 1;
 
   // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
-  // pad bytes are 1,2,3,... (RFC 4303 \u00a72.4).
+  // pad bytes are 1,2,3,... (RFC 4303 §2.4).
   const std::size_t block = crypto::Aes::kBlockSize;
   const std::size_t pad = (block - (inner->size() + 2) % block) % block;
   std::vector<std::uint8_t> plaintext(inner->begin(), inner->end());
@@ -379,8 +693,9 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   plaintext.push_back(static_cast<std::uint8_t>(pad));
   plaintext.push_back(4);  // next header: IPv4 (tunnel mode)
 
-  const auto iv = derive_iv(*tunnel.cipher, sa.spi, sa.seq);
-  auto ciphertext = crypto::aes_cbc_encrypt_raw(*tunnel.cipher, iv, plaintext);
+  Keymat& keymat = *tunnel.keymat;
+  const auto iv = derive_iv(*keymat.cipher, sa.spi, sa.seq);
+  auto ciphertext = crypto::aes_cbc_encrypt_raw(*keymat.cipher, iv, plaintext);
   if (!ciphertext) {
     ++stats_.malformed;
     return out;
@@ -396,12 +711,12 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize + kIvSize,
               ciphertext->data(), ciphertext->size());
 
-  // ICV over ESP header + IV + ciphertext (RFC 4303 \u00a72.8); with ESN the
+  // ICV over ESP header + IV + ciphertext (RFC 4303 §2.8); with ESN the
   // 32-bit seq-hi is appended to the authenticated data but never
-  // transmitted (RFC 4303 \u00a72.2.1).
+  // transmitted (RFC 4303 §2.2.1).
   const std::size_t auth_len =
       packet::kEspHeaderSize + kIvSize + ciphertext->size();
-  crypto::HmacSha256 hmac = *tunnel.out_hmac_tmpl;
+  crypto::HmacSha256 hmac = *keymat.hmac_tmpl;
   hmac.update(buf.subspan(kEspOffset, auth_len));
   if (sa.esn) {
     std::uint8_t hi[4];
@@ -411,39 +726,40 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   const auto icv = hmac.final();
   std::memcpy(buf.data() + kEspOffset + auth_len, icv.data(), kIcvSize);
 
+  ++sa.packets;
+  sa.bytes += inner->size();
   ++stats_.encapsulated;
   out.push_back(NfOutput{1, std::move(outp)});
   return out;
 }
 
-std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
+                                                     EspIngress ingress) {
   std::vector<NfOutput> out;
-  SecurityAssociation& sa = tunnel.in_sa;
-  auto ingress = parse_esp_ingress(
-      tunnel, sa, frame,
-      packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize + kIcvSize);
-  if (!ingress) return out;
-  auto esp_area = ingress->esp_area;
+  SecurityAssociation& sa = *ingress.sa;
+  Keymat& keymat = *ingress.keymat;
+  auto esp_area = ingress.esp_area;
 
   // Verify ICV first (constant time), then replay, then decrypt. Under
   // ESN the recovered seq-hi joins the authenticated data (implicit
   // suffix, RFC 4303 §2.2.1) — a wrong recovery fails right here.
   const std::size_t auth_len = esp_area.size() - kIcvSize;
-  crypto::HmacSha256 hmac = *tunnel.in_hmac_tmpl;
+  crypto::HmacSha256 hmac = *keymat.hmac_tmpl;
   hmac.update(esp_area.subspan(0, auth_len));
   if (sa.esn) {
     std::uint8_t hi[4];
-    util::store_be32(hi, static_cast<std::uint32_t>(ingress->sequence >> 32));
+    util::store_be32(hi, static_cast<std::uint32_t>(ingress.sequence >> 32));
     hmac.update(hi);
   }
   const auto expected = hmac.final();
   if (!crypto::constant_time_equal({expected.data(), kIcvSize},
                                    esp_area.subspan(auth_len, kIcvSize))) {
+    ++sa.auth_fail;
     ++stats_.auth_failures;
     return out;
   }
-  if (!replay_check_and_update(sa, ingress->sequence)) {
+  if (!replay_check_and_update(sa, ingress.sequence)) {
+    ++sa.replay_drops;
     ++stats_.replay_drops;
     return out;
   }
@@ -453,12 +769,13 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
       packet::kEspHeaderSize + kIvSize,
       auth_len - packet::kEspHeaderSize - kIvSize);
   auto plaintext =
-      crypto::aes_cbc_decrypt_raw(*tunnel.cipher, iv, ciphertext);
+      crypto::aes_cbc_decrypt_raw(*keymat.cipher, iv, ciphertext);
   if (!plaintext) {
+    ++sa.malformed;
     ++stats_.malformed;
     return out;
   }
-  return emit_inner(tunnel, std::move(*plaintext));
+  return emit_inner(tunnel, sa, std::move(*plaintext));
 }
 
 // RFC 4106-shaped AES-GCM ESP: Eth | outer IPv4 | ESP | IV(8) |
@@ -469,15 +786,14 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
 // keymat would not interoperate). The AAD is the 8-byte ESP header
 // (SPI, seq).
 // Encryption and authentication happen in one in-place seal() over the
-// output buffer \u2014 no separate HMAC pass, no plaintext staging copy, and
+// output buffer — no separate HMAC pass, no plaintext staging copy, and
 // both CTR and GHASH pipeline across blocks on the hardware backend.
 std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+    Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
-  SecurityAssociation& sa = tunnel.out_sa;
   sa.seq += 1;
 
   // ESP trailer: GCM is a stream mode, so padding only has to satisfy the
@@ -501,14 +817,16 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   trailer[pad] = static_cast<std::uint8_t>(pad);
   trailer[pad + 1] = 4;  // next header: IPv4 (tunnel mode)
 
+  Keymat& keymat = *tunnel.keymat;
   std::uint8_t nonce[crypto::GcmContext::kIvSize];
-  gcm_nonce(sa, buf.data() + kEspOffset + packet::kEspHeaderSize, nonce);
+  gcm_nonce(sa, keymat.salt, buf.data() + kEspOffset + packet::kEspHeaderSize,
+            nonce);
   // AAD: the ESP header, widened to SPI || seq-hi || seq-lo under ESN
   // (without ESN the constructed bytes equal the wire header exactly).
   std::uint8_t aad[12];
   const std::size_t aad_len = esp_aad(sa, sa.seq, aad);
 
-  if (!tunnel.gcm
+  if (!keymat.gcm
            ->seal(nonce, {aad, aad_len}, buf.subspan(ct_off, pt_len),
                   buf.data() + ct_off, buf.data() + ct_off + pt_len)
            .is_ok()) {
@@ -516,24 +834,22 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
     return out;
   }
 
+  ++sa.packets;
+  sa.bytes += inner->size();
   ++stats_.encapsulated;
   out.push_back(NfOutput{1, std::move(outp)});
   return out;
 }
 
-std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
-    Tunnel& tunnel, packet::PacketBuffer&& frame) {
+std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(Tunnel& tunnel,
+                                                     EspIngress ingress) {
   std::vector<NfOutput> out;
-  SecurityAssociation& sa = tunnel.in_sa;
-  // Minimum: ESP header + IV + 2-byte trailer (pad_len, next_header) + ICV.
-  auto ingress = parse_esp_ingress(
-      tunnel, sa, frame,
-      packet::kEspHeaderSize + kGcmIvSize + 2 + kGcmIcvSize);
-  if (!ingress) return out;
-  auto esp_area = ingress->esp_area;
+  SecurityAssociation& sa = *ingress.sa;
+  Keymat& keymat = *ingress.keymat;
+  auto esp_area = ingress.esp_area;
 
   std::uint8_t nonce[crypto::GcmContext::kIvSize];
-  gcm_nonce(sa, esp_area.data() + packet::kEspHeaderSize, nonce);
+  gcm_nonce(sa, keymat.salt, esp_area.data() + packet::kEspHeaderSize, nonce);
 
   const std::size_t ct_len = esp_area.size() - packet::kEspHeaderSize -
                              kGcmIvSize - kGcmIcvSize;
@@ -546,22 +862,24 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
   // the trailer. Under ESN the recovered high half is bound into the
   // AAD here — the wire never carries it.
   std::uint8_t aad[12];
-  const std::size_t aad_len = esp_aad(sa, ingress->sequence, aad);
+  const std::size_t aad_len = esp_aad(sa, ingress.sequence, aad);
   std::vector<std::uint8_t> plaintext(ct_len);
-  if (!tunnel.gcm->open({nonce, sizeof(nonce)}, {aad, aad_len}, ciphertext,
+  if (!keymat.gcm->open({nonce, sizeof(nonce)}, {aad, aad_len}, ciphertext,
                         icv, plaintext.data())) {
+    ++sa.auth_fail;
     ++stats_.auth_failures;
     return out;
   }
-  if (!replay_check_and_update(sa, ingress->sequence)) {
+  if (!replay_check_and_update(sa, ingress.sequence)) {
+    ++sa.replay_drops;
     ++stats_.replay_drops;
     return out;
   }
-  return emit_inner(tunnel, std::move(plaintext));
+  return emit_inner(tunnel, sa, std::move(plaintext));
 }
 
 std::vector<NfOutput> IpsecEndpoint::process_burst(
-    ContextId ctx, NfPortIndex in_port, sim::SimTime /*now*/,
+    ContextId ctx, NfPortIndex in_port, sim::SimTime now,
     packet::PacketBurst&& burst) {
   std::vector<NfOutput> out;
   if (burst.empty()) return out;
@@ -575,10 +893,15 @@ std::vector<NfOutput> IpsecEndpoint::process_burst(
     return out;
   }
   Tunnel& tunnel = it->second;
+  // Burst-amortised lifecycle sweep: the drain deadline cannot re-arm
+  // mid-burst (cutover inside the burst sets a deadline >= now), so one
+  // check up front covers every frame.
+  expire_draining(ctx, tunnel, now);
   out.reserve(burst.size());
   for (packet::PacketBuffer& frame : burst) {
-    auto one = in_port == 0 ? encapsulate(tunnel, std::move(frame))
-                            : decapsulate(tunnel, std::move(frame));
+    auto one = in_port == 0
+                   ? encapsulate(ctx, tunnel, now, std::move(frame))
+                   : decapsulate(ctx, tunnel, std::move(frame));
     for (NfOutput& output : one) out.push_back(std::move(output));
   }
   burst.clear();
@@ -606,8 +929,59 @@ bool IpsecEndpoint::replay_check_and_update(SecurityAssociation& sa,
 
 util::Status IpsecEndpoint::remove_context(ContextId ctx) {
   NNFV_RETURN_IF_ERROR(NetworkFunction::remove_context(ctx));
-  tunnels_.erase(ctx);
+  auto it = tunnels_.find(ctx);
+  if (it != tunnels_.end()) {
+    Tunnel& tunnel = it->second;
+    if (tunnel.configured) sad_erase(ctx, tunnel.in_sa.spi);
+    if (tunnel.staged) sad_erase(ctx, tunnel.staged->in_sa.spi);
+    if (tunnel.draining) sad_erase(ctx, tunnel.draining->sa.spi);
+    tunnels_.erase(it);
+  }
   return util::Status::ok();
+}
+
+json::Value IpsecEndpoint::describe_stats(ContextId ctx) const {
+  json::Object doc;
+  json::Object endpoint;
+  endpoint["encapsulated"] = stats_.encapsulated;
+  endpoint["decapsulated"] = stats_.decapsulated;
+  endpoint["auth_failures"] = stats_.auth_failures;
+  endpoint["replay_drops"] = stats_.replay_drops;
+  endpoint["malformed"] = stats_.malformed;
+  endpoint["no_sa"] = stats_.no_sa;
+  endpoint["lifetime_drops"] = stats_.lifetime_drops;
+  endpoint["rekeys_started"] = stats_.rekeys_started;
+  endpoint["rekeys_completed"] = stats_.rekeys_completed;
+  endpoint["sas_retired"] = stats_.sas_retired;
+  doc["endpoint"] = std::move(endpoint);
+  doc["sad_size"] = static_cast<std::uint64_t>(sad_.size());
+  auto it = tunnels_.find(ctx);
+  if (it != tunnels_.end() && it->second.configured) {
+    const Tunnel& tunnel = it->second;
+    json::Object t;
+    t["transform"] =
+        std::string(tunnel.transform == EspTransform::kGcm ? "gcm"
+                                                           : "cbc-hmac");
+    t["out_sa"] = sa_to_json(tunnel.out_sa);
+    t["in_sa"] = sa_to_json(tunnel.in_sa);
+    t["rekey_pending"] = tunnel.out_sa.state == SaState::kRekeying &&
+                         !tunnel.staged.has_value();
+    if (tunnel.staged) {
+      json::Object staged;
+      staged["out_sa"] = sa_to_json(tunnel.staged->out_sa);
+      staged["in_sa"] = sa_to_json(tunnel.staged->in_sa);
+      t["staged"] = std::move(staged);
+    }
+    if (tunnel.draining) {
+      json::Object draining;
+      draining["sa"] = sa_to_json(tunnel.draining->sa);
+      draining["deadline_ns"] =
+          static_cast<std::uint64_t>(tunnel.draining->deadline);
+      t["draining"] = std::move(draining);
+    }
+    doc["tunnel"] = std::move(t);
+  }
+  return doc;
 }
 
 SecurityAssociation* IpsecEndpoint::inbound_sa(ContextId ctx) {
@@ -618,6 +992,27 @@ SecurityAssociation* IpsecEndpoint::inbound_sa(ContextId ctx) {
 SecurityAssociation* IpsecEndpoint::outbound_sa(ContextId ctx) {
   auto it = tunnels_.find(ctx);
   return it == tunnels_.end() ? nullptr : &it->second.out_sa;
+}
+
+SecurityAssociation* IpsecEndpoint::staged_outbound_sa(ContextId ctx) {
+  auto it = tunnels_.find(ctx);
+  return it == tunnels_.end() || !it->second.staged
+             ? nullptr
+             : &it->second.staged->out_sa;
+}
+
+SecurityAssociation* IpsecEndpoint::staged_inbound_sa(ContextId ctx) {
+  auto it = tunnels_.find(ctx);
+  return it == tunnels_.end() || !it->second.staged
+             ? nullptr
+             : &it->second.staged->in_sa;
+}
+
+SecurityAssociation* IpsecEndpoint::draining_sa(ContextId ctx) {
+  auto it = tunnels_.find(ctx);
+  return it == tunnels_.end() || !it->second.draining
+             ? nullptr
+             : &it->second.draining->sa;
 }
 
 }  // namespace nnfv::nnf

@@ -24,19 +24,39 @@
 // authentication instead of advancing the window. Port 0 carries
 // plaintext ("red") traffic, port 1 the encrypted ("black") side.
 //
+// SA lifecycle (RFC 4303 §3.3.3 + the usual IKE discipline, driven here
+// by configuration updates instead of a key-exchange daemon):
+//
+//   ACTIVE ──soft──▶ REKEYING ──cutover──▶ DRAINING ──deadline──▶ DEAD
+//
+// Every SA generation carries soft/hard lifetimes (packets, bytes) and a
+// sequence-headroom soft trigger; the non-ESN sequence space hard-stops
+// at 2^32-1 — the counter never cycles, the packet that would reuse a
+// sequence number is dropped and counted (`lifetime_drops`). Rekeying is
+// make-before-break: staging new keymat (config keys `rekey_*`) installs
+// the next-generation inbound SA immediately — the SAD holds old and new
+// keyed by SPI, so in-flight packets of either generation drain without
+// loss — while the outbound side keeps the old SA until its soft
+// threshold trips and then cuts over atomically. The superseded inbound
+// SA keeps accepting (DRAINING) until its drain deadline passes, then is
+// retired (DEAD) and its SPI removed from the SAD.
+//
 // Each context holds an independent SA pair, which is what makes the
 // function sharable: multiple service graphs terminate their own tunnels
-// in one running instance, isolated per internal path.
+// in one running instance, isolated per internal path. The SAD is keyed
+// by (context, SPI) in flat hash maps, so inbound resolution stays O(1)
+// at thousands of tunnels.
 #pragma once
 
 #include <array>
-#include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "crypto/aes.hpp"
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
+#include "json/json.hpp"
 #include "nnf/network_function.hpp"
 #include "packet/headers.hpp"
 
@@ -46,6 +66,28 @@ namespace nnfv::nnf {
 /// AES-CBC + HMAC-SHA256).
 enum class EspTransform { kGcm, kCbcHmac };
 
+/// SA lifecycle state. kRekeying and kDraining still carry traffic —
+/// kRekeying marks an outbound SA past its soft lifetime (new keymat
+/// wanted), kDraining an inbound SA superseded by a rekey cutover that
+/// keeps accepting late in-flight packets until its drain deadline.
+enum class SaState { kActive, kRekeying, kDraining, kDead };
+
+std::string_view sa_state_name(SaState state);
+
+/// Soft/hard lifetime thresholds shared by a tunnel's SAs. 0 disables a
+/// threshold. Soft expiry flags the SA for rekey (and cuts over to staged
+/// keymat when present); hard expiry drops traffic with a counted reason.
+struct SaLifetime {
+  std::uint64_t soft_packets = 0;
+  std::uint64_t hard_packets = 0;
+  std::uint64_t soft_bytes = 0;
+  std::uint64_t hard_bytes = 0;
+  /// Soft-trigger this many sequence numbers before the sequence space
+  /// ends (2^32-1 without ESN). Always-on: sequence exhaustion is the one
+  /// lifetime RFC 4303 does not let an SA opt out of.
+  std::uint64_t seq_headroom = 4096;
+};
+
 /// One unidirectional security association.
 struct SecurityAssociation {
   std::uint32_t spi = 0;
@@ -53,11 +95,26 @@ struct SecurityAssociation {
   std::array<std::uint8_t, 4> salt{};       ///< GCM nonce salt (RFC 4106)
   std::array<std::uint8_t, 32> auth_key{};  ///< HMAC-SHA256 (cbc-hmac)
   bool esn = false;  ///< RFC 4304 64-bit extended sequence numbers
+  SaState state = SaState::kActive;
   std::uint64_t seq = 0;  ///< last sent (out) sequence, full 64-bit
   // Anti-replay (inbound only): highest authenticated 64-bit sequence
   // (seq-hi || seq-lo under ESN) + sliding bitmap below it.
   std::uint64_t replay_top = 0;
   std::uint64_t replay_bitmap = 0;
+  // Lifetime usage + per-SA failure accounting.
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t auth_fail = 0;
+  std::uint64_t replay_drops = 0;
+  std::uint64_t lifetime_drops = 0;
+  std::uint64_t malformed = 0;
+
+  /// Highest sequence number this SA may ever send (RFC 4303 §3.3.3:
+  /// the counter must not cycle). 2^32-1 without ESN; the full 64-bit
+  /// space under ESN.
+  [[nodiscard]] std::uint64_t seq_ceiling() const {
+    return esn ? ~0ULL : 0xFFFFFFFFULL;
+  }
 };
 
 struct IpsecStats {
@@ -67,6 +124,11 @@ struct IpsecStats {
   std::uint64_t replay_drops = 0;
   std::uint64_t malformed = 0;
   std::uint64_t no_sa = 0;
+  /// Packets dropped by a hard lifetime / sequence-exhaustion stop.
+  std::uint64_t lifetime_drops = 0;
+  std::uint64_t rekeys_started = 0;    ///< staged keymat installed
+  std::uint64_t rekeys_completed = 0;  ///< outbound cutover performed
+  std::uint64_t sas_retired = 0;       ///< draining inbound SAs expired
 };
 
 class IpsecEndpoint : public NetworkFunction {
@@ -93,6 +155,18 @@ class IpsecEndpoint : public NetworkFunction {
   ///                           §8.1 keymat order; salt is zero when only
   ///                           32 chars are given)
   ///   auth_key                64 hex chars (HMAC-SHA256; cbc-hmac only)
+  ///   life_soft_packets, life_hard_packets, life_soft_bytes,
+  ///   life_hard_bytes         decimal lifetime thresholds (0 = off)
+  ///   seq_headroom            sequence soft-trigger distance (default
+  ///                           4096)
+  ///   drain_ns                how long a superseded inbound SA keeps
+  ///                           accepting after cutover (default 1s)
+  ///   rekey_spi_out, rekey_spi_in, rekey_enc_key, [rekey_auth_key],
+  ///   [rekey_cutover]         stage next-generation keymat
+  ///                           (make-before-break). The new inbound SA
+  ///                           accepts immediately; outbound cuts over at
+  ///                           the soft threshold, or on the next packet
+  ///                           with rekey_cutover=now (default: soft).
   ///   outer_src_mac, outer_dst_mac, inner_src_mac, inner_dst_mac (optional)
   util::Status configure(ContextId ctx, const NfConfig& config) override;
 
@@ -100,10 +174,10 @@ class IpsecEndpoint : public NetworkFunction {
                                 sim::SimTime now,
                                 packet::PacketBuffer&& frame) override;
 
-  /// Burst override: the context -> tunnel resolution (map lookup +
-  /// configured/SA checks) happens once for the whole burst instead of
-  /// per packet; the cached key schedules and HMAC midstate then serve
-  /// every frame.
+  /// Burst override: the context -> tunnel resolution (hash lookup +
+  /// configured checks), the drain-deadline sweep and the staged-cutover
+  /// check happen once for the whole burst instead of per packet; the
+  /// cached key schedules and HMAC midstate then serve every frame.
   std::vector<NfOutput> process_burst(ContextId ctx, NfPortIndex in_port,
                                       sim::SimTime now,
                                       packet::PacketBurst&& burst) override;
@@ -112,42 +186,104 @@ class IpsecEndpoint : public NetworkFunction {
 
   [[nodiscard]] const IpsecStats& stats() const { return stats_; }
 
+  /// Live status for the REST path (GET .../VNFs/{nf}/stats): endpoint
+  /// counters, SAD size, and the context's SA generations with state,
+  /// lifetime usage and per-SA failure counters.
+  [[nodiscard]] json::Value describe_stats(ContextId ctx) const override;
+
   /// Test hooks: corrupting/steering SA state is easier through a
   /// reference (window edge cases, ESN rollover need exact sequences).
   SecurityAssociation* inbound_sa(ContextId ctx);
   SecurityAssociation* outbound_sa(ContextId ctx);
+  SecurityAssociation* staged_outbound_sa(ContextId ctx);
+  SecurityAssociation* staged_inbound_sa(ContextId ctx);
+  SecurityAssociation* draining_sa(ContextId ctx);
+  /// Number of live inbound (context, SPI) entries across all tunnels.
+  [[nodiscard]] std::size_t sad_size() const { return sad_.size(); }
 
  private:
+  /// Per-generation key material: raw keys plus the precomputed AES
+  /// schedule, GCM GHASH table and HMAC ipad midstate that must not be
+  /// derived per packet. Both directions of a generation share one
+  /// enc_key/auth_key (single-key config), so one bundle serves the SA
+  /// pair; a rekey creates a fresh bundle and the draining inbound SA
+  /// keeps a reference to the superseded one.
+  struct Keymat {
+    std::array<std::uint8_t, 16> enc_key{};
+    std::array<std::uint8_t, 4> salt{};
+    std::array<std::uint8_t, 32> auth_key{};
+    bool have_enc_key = false;
+    std::optional<crypto::Aes> cipher;
+    std::optional<crypto::GcmContext> gcm;
+    std::optional<crypto::HmacSha256> hmac_tmpl;  ///< ipad absorbed
+
+    /// (Re)expands schedules from the raw keys.
+    util::Status prepare();
+  };
+
+  /// Staged next-generation SA pair (make-before-break): inbound is live
+  /// in the SAD from the moment of staging; outbound waits for cutover.
+  struct StagedRekey {
+    SecurityAssociation out_sa;
+    SecurityAssociation in_sa;
+    std::shared_ptr<Keymat> keymat;
+    bool immediate = false;  ///< rekey_cutover=now
+  };
+
+  /// Superseded inbound SA draining in-flight packets after cutover.
+  struct DrainingSa {
+    SecurityAssociation sa;
+    std::shared_ptr<Keymat> keymat;
+    sim::SimTime deadline = 0;
+  };
+
   struct Tunnel {
     packet::Ipv4Address local_ip;
     packet::Ipv4Address peer_ip;
     SecurityAssociation out_sa;
     SecurityAssociation in_sa;
+    std::shared_ptr<Keymat> keymat;
+    SaLifetime lifetime;
+    sim::SimTime drain_ns = sim::kSecond;
+    std::optional<StagedRekey> staged;
+    std::optional<DrainingSa> draining;
     EspTransform transform = EspTransform::kGcm;
-    std::optional<crypto::Aes> cipher;  ///< key-expanded AES (cbc-hmac)
-    /// GCM context: AES key schedule + GHASH table precomputed once at
-    /// configure; every packet of a burst reuses it — the GCM analogue of
-    /// the HMAC ipad midstate below.
-    std::optional<crypto::GcmContext> gcm;
-    /// HMAC with the ipad block already absorbed, one per direction; per
-    /// packet the ICV computation copies the midstate instead of
-    /// re-deriving the key pads + compressing ipad. Kept per SA so the
-    /// templates stay correct if the two directions ever get distinct
-    /// auth keys.
-    std::optional<crypto::HmacSha256> out_hmac_tmpl;
-    std::optional<crypto::HmacSha256> in_hmac_tmpl;
     packet::MacAddress outer_src_mac = packet::MacAddress::from_id(0xE0);
     packet::MacAddress outer_dst_mac = packet::MacAddress::from_id(0xE1);
     packet::MacAddress inner_src_mac = packet::MacAddress::from_id(0xE2);
     packet::MacAddress inner_dst_mac = packet::MacAddress::from_id(0xE3);
-    bool have_enc_key = false;
     bool configured = false;
   };
 
+  /// Which generation a SAD entry resolves to within its tunnel.
+  enum class SadSlot : std::uint8_t { kCurrent, kStaged, kDraining };
+
+  // --- SAD maintenance (inbound (ctx, SPI) -> generation) -------------
+  static std::uint64_t sad_key(ContextId ctx, std::uint32_t spi) {
+    return (static_cast<std::uint64_t>(ctx) << 32) | spi;
+  }
+  void sad_insert(ContextId ctx, std::uint32_t spi, SadSlot slot);
+  void sad_erase(ContextId ctx, std::uint32_t spi);
+
+  // --- lifecycle ------------------------------------------------------
+  /// Retires the draining SA once its deadline passed; called once per
+  /// process()/process_burst() entry.
+  void expire_draining(ContextId ctx, Tunnel& tunnel, sim::SimTime now);
+  /// Atomically switches outbound to the staged generation and moves the
+  /// superseded inbound SA into draining.
+  void cutover(ContextId ctx, Tunnel& tunnel, sim::SimTime now);
+  /// Pre-encap gate: performs a due cutover, enforces hard stops
+  /// (sequence exhaustion, hard lifetimes) and flags soft expiry.
+  /// Returns nullptr (packet must be dropped, already counted) or the
+  /// outbound SA to use.
+  SecurityAssociation* outbound_gate(ContextId ctx, Tunnel& tunnel,
+                                     sim::SimTime now);
+
   // encapsulate/decapsulate dispatch on the tunnel's transform.
-  std::vector<NfOutput> encapsulate(Tunnel& tunnel,
+  std::vector<NfOutput> encapsulate(ContextId ctx, Tunnel& tunnel,
+                                    sim::SimTime now,
                                     packet::PacketBuffer&& frame);
-  std::vector<NfOutput> decapsulate(Tunnel& tunnel,
+  std::vector<NfOutput> decapsulate(ContextId ctx, Tunnel& tunnel,
                                     packet::PacketBuffer&& frame);
 
   /// Shared encap prologue: validates the red-side frame as
@@ -165,44 +301,58 @@ class IpsecEndpoint : public NetworkFunction {
                                               std::size_t esp_payload);
 
   /// Shared decap prologue: validates the black-side frame down to the
-  /// ESP area (outer headers, ESP proto, destination, minimum payload,
-  /// SPI match); counts malformed/no_sa and returns nullopt on failure.
-  /// `sequence` is the full 64-bit sequence: under ESN the high half is
-  /// recovered from the replay window (RFC 4304 Appendix A) exactly
-  /// once here and reused for the AAD/ICV input and the replay update —
-  /// on both the single-packet and burst paths.
+  /// ESP area (outer headers, ESP proto, destination, minimum payload)
+  /// and resolves the inbound SA by SPI through the SAD — current,
+  /// staged and draining generations all match, which is what makes the
+  /// rekey switchover lossless. Counts malformed/no_sa/lifetime and
+  /// returns nullopt on failure. `sequence` is the full 64-bit sequence:
+  /// under ESN the high half is recovered from the replay window
+  /// (RFC 4304 Appendix A) exactly once here and reused for the AAD/ICV
+  /// input and the replay update — on both the single-packet and burst
+  /// paths. Every size check happens before any state mutation.
   struct EspIngress {
     std::span<const std::uint8_t> esp_area;
     std::uint64_t sequence = 0;
+    SecurityAssociation* sa = nullptr;
+    Keymat* keymat = nullptr;
   };
   std::optional<EspIngress> parse_esp_ingress(
-      const Tunnel& tunnel, const SecurityAssociation& sa,
-      const packet::PacketBuffer& frame, std::size_t min_esp_payload);
+      ContextId ctx, Tunnel& tunnel, const packet::PacketBuffer& frame,
+      std::size_t min_esp_payload);
 
   /// Shared decap epilogue: validates + strips the ESP trailer (pad
-  /// bytes 1..pad_len, next_header IPv4) and rebuilds the red-side
-  /// Ethernet frame; counts `malformed` and returns an empty vector on
+  /// bytes 1..pad_len, next_header IPv4, pad_len bounded by the
+  /// payload) and rebuilds the red-side Ethernet frame; counts
+  /// `malformed` (endpoint + per-SA) and returns an empty vector on
   /// failure.
   std::vector<NfOutput> emit_inner(const Tunnel& tunnel,
+                                   SecurityAssociation& sa,
                                    std::vector<std::uint8_t>&& plaintext);
 
   static constexpr std::size_t kEspOffset =
       packet::kEthernetHeaderSize + packet::kIpv4MinHeaderSize;
   std::vector<NfOutput> encapsulate_cbc(Tunnel& tunnel,
+                                        SecurityAssociation& sa,
                                         packet::PacketBuffer&& frame);
-  std::vector<NfOutput> decapsulate_cbc(Tunnel& tunnel,
-                                        packet::PacketBuffer&& frame);
+  std::vector<NfOutput> decapsulate_cbc(Tunnel& tunnel, EspIngress ingress);
   std::vector<NfOutput> encapsulate_gcm(Tunnel& tunnel,
+                                        SecurityAssociation& sa,
                                         packet::PacketBuffer&& frame);
-  std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel,
-                                        packet::PacketBuffer&& frame);
+  std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel, EspIngress ingress);
+
+  /// Applies the staged-rekey config keys collected by configure().
+  util::Status stage_rekey(ContextId ctx, Tunnel& tunnel,
+                           const NfConfig& rekey);
 
   /// RFC-style sliding window over the full 64-bit sequence; returns
   /// false (and drops) on replay.
   static bool replay_check_and_update(SecurityAssociation& sa,
                                       std::uint64_t seq);
 
-  std::map<ContextId, Tunnel> tunnels_;
+  std::unordered_map<ContextId, Tunnel> tunnels_;
+  /// Inbound SAD: (context, SPI) -> generation. O(1) lookup regardless
+  /// of tunnel count; entries exist only for configured inbound SAs.
+  std::unordered_map<std::uint64_t, SadSlot> sad_;
   IpsecStats stats_;
 };
 

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "json/json.hpp"
 #include "packet/buffer.hpp"
 #include "sim/time.hpp"
 #include "util/status.hpp"
@@ -72,6 +73,14 @@ class NetworkFunction {
                                               NfPortIndex in_port,
                                               sim::SimTime now,
                                               packet::PacketBurst&& burst);
+
+  /// Live per-context status counters as JSON, surfaced through the REST
+  /// status path (GET /NF-FG/{id}/VNFs/{nf}/stats). The default reports
+  /// nothing; functions with operational state (IPsec SA lifecycle, NAT
+  /// pools) override.
+  [[nodiscard]] virtual json::Value describe_stats(ContextId /*ctx*/) const {
+    return json::Object{};
+  }
 
  protected:
   /// Helper for subclasses with simple context sets.

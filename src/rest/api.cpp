@@ -151,6 +151,18 @@ void RestApi::install_routes() {
         return HttpResponse::json_response(200, "{\"updated\":true}");
       });
 
+  router_.add("GET", "/NF-FG/{id}/VNFs/{nf}/stats",
+              [node](const HttpRequest&, const PathParams& params) {
+                auto stats = node->orchestrator().nf_stats(params.at("id"),
+                                                           params.at("nf"));
+                if (!stats) {
+                  return HttpResponse::error(http_status_of(stats.status()),
+                                             stats.status().message());
+                }
+                return HttpResponse::json_response(200,
+                                                   stats.value().dump());
+              });
+
   router_.add("GET", "/node",
               [node](const HttpRequest&, const PathParams&) {
                 return HttpResponse::json_response(

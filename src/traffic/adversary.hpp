@@ -1,0 +1,98 @@
+// EspAdversary: fault injection against the ESP ("black") side of an
+// IPsec tunnel endpoint.
+//
+// The generators here manufacture the traffic a tunnel endpoint meets in
+// the wild but a well-behaved peer never sends: replayed ciphertext,
+// frames with flipped payload or ICV bits (auth-failure storms),
+// truncations at every parsing boundary, and outright garbage that is
+// ESP only by IP protocol number. All of them start from — or imitate —
+// a genuine captured frame, so they pass the outer Ethernet/IPv4 checks
+// and exercise the endpoint's ESP layer itself, where the hardening
+// lives.
+//
+// Every generator is deterministic (seeded Rng) and counts what it
+// emitted, so scenario tests can assert the exact drop accounting:
+// frames produced here must show up in IpsecStats as auth_failures /
+// replay_drops / malformed — never as decapsulated output, and never as
+// a crash or sanitizer report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/buffer.hpp"
+#include "packet/headers.hpp"
+#include "util/rng.hpp"
+
+namespace nnfv::traffic {
+
+/// Per-kind production counters (how many frames each generator built).
+struct AdversaryCounters {
+  std::uint64_t replayed = 0;
+  std::uint64_t ciphertext_corrupted = 0;
+  std::uint64_t icv_corrupted = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t garbage = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return replayed + ciphertext_corrupted + icv_corrupted + truncated +
+           garbage;
+  }
+};
+
+class EspAdversary {
+ public:
+  explicit EspAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  /// Replay flood: `copies` verbatim duplicates of a captured ESP frame.
+  /// Delivered after the original, every copy must die in the replay
+  /// window (replay_drops); delivered before it, exactly one wins.
+  packet::PacketBurst replay_flood(const packet::PacketBuffer& frame,
+                                   std::size_t copies);
+
+  /// Flips one random bit inside the ESP payload (past SPI/sequence,
+  /// before the ICV). The tag no longer matches: auth_failures.
+  packet::PacketBuffer corrupt_ciphertext(const packet::PacketBuffer& frame,
+                                          std::size_t icv_size);
+
+  /// Flips one random bit inside the trailing ICV itself: auth_failures.
+  packet::PacketBuffer corrupt_icv(const packet::PacketBuffer& frame,
+                                   std::size_t icv_size);
+
+  /// Cuts the frame to `esp_bytes` of ESP area and rewrites the outer
+  /// IPv4 total_length (checksum refreshed) so the truncation is
+  /// internally consistent — the parser must reject it on ESP grounds
+  /// (malformed), not by an outer-header accident.
+  packet::PacketBuffer truncate_esp(const packet::PacketBuffer& frame,
+                                    std::size_t esp_bytes);
+
+  /// Truncations at every ESP parsing boundary of a real frame: empty
+  /// area, half an ESP header, header only, mid-IV, one byte short of
+  /// the full frame. Every output must be a counted `malformed` drop.
+  packet::PacketBurst truncation_sweep(const packet::PacketBuffer& frame,
+                                       std::size_t iv_size);
+
+  /// A well-formed Eth + IPv4(proto 50) frame around `esp_bytes` of
+  /// random bytes — the SPI (when >= 4 bytes survive) is random too, so
+  /// it almost surely misses the SAD (no_sa) or, at matching sizes,
+  /// fails authentication. Never output, never a crash.
+  packet::PacketBuffer garbage_esp(const packet::PacketBuffer& prototype,
+                                   std::size_t esp_bytes);
+
+  [[nodiscard]] const AdversaryCounters& counters() const {
+    return counters_;
+  }
+
+ private:
+  /// Offset of the ESP area within `frame` (outer Eth + IPv4 headers);
+  /// the frame must be a valid ESP-in-IPv4 capture.
+  static std::size_t esp_offset(const packet::PacketBuffer& frame);
+
+  /// Rewrites the outer IPv4 total_length + checksum after a resize.
+  static void fix_outer_length(packet::PacketBuffer& frame);
+
+  util::Rng rng_;
+  AdversaryCounters counters_;
+};
+
+}  // namespace nnfv::traffic

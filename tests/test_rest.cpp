@@ -242,6 +242,116 @@ TEST_F(ApiFixture, UpdateNfConfig) {
             404);
 }
 
+constexpr const char* kIpsecGraphJson = R"({
+  "forwarding-graph": {
+    "id": "gsec",
+    "VNFs": [{"id": "vpn", "functional_type": "ipsec", "ports": 2}],
+    "end-points": [
+      {"id": "lan", "interface": "eth0"},
+      {"id": "wan", "interface": "eth1"}
+    ],
+    "flow-rules": [
+      {"id": "r1", "match": {"port_in": "endpoint:lan"},
+       "action": {"output": "vnf:vpn:0"}},
+      {"id": "r2", "match": {"port_in": "vnf:vpn:1"},
+       "action": {"output": "endpoint:wan"}},
+      {"id": "r3", "match": {"port_in": "endpoint:wan"},
+       "action": {"output": "vnf:vpn:1"}},
+      {"id": "r4", "match": {"port_in": "vnf:vpn:0"},
+       "action": {"output": "endpoint:lan"}}
+    ]
+  }
+})";
+
+constexpr const char* kIpsecConfigJson = R"({
+  "local_ip": "198.51.100.1", "peer_ip": "198.51.100.2",
+  "spi_out": "1001", "spi_in": "2002",
+  "enc_key": "000102030405060708090a0b0c0d0e0f",
+  "auth_key":
+      "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"
+})";
+
+TEST_F(ApiFixture, NfStatsRouteSurfacesSaLifecycle) {
+  ASSERT_EQ(
+      api_.handle(make_request("PUT", "/NF-FG/gsec", kIpsecGraphJson))
+          .status,
+      201);
+  ASSERT_EQ(api_.handle(make_request("PUT", "/NF-FG/gsec/VNFs/vpn/config",
+                                     kIpsecConfigJson))
+                .status,
+            200);
+
+  HttpResponse stats =
+      api_.handle(make_request("GET", "/NF-FG/gsec/VNFs/vpn/stats"));
+  ASSERT_EQ(stats.status, 200);
+  auto doc = json::parse(stats.body);
+  ASSERT_TRUE(doc.is_ok());
+  ASSERT_TRUE(doc->get("endpoint")->is_object());
+  EXPECT_EQ(doc->get("endpoint")->as_object().find("rekeys_started")
+                ->as_number(),
+            0.0);
+  ASSERT_TRUE(doc->get("tunnel")->is_object());
+  const json::Object& tunnel = doc->get("tunnel")->as_object();
+  EXPECT_EQ(tunnel.find("out_sa")->as_object().find("spi")->as_number(),
+            1001.0);
+  EXPECT_EQ(tunnel.find("out_sa")->as_object().find("state")->as_string(),
+            "active");
+
+  // Staging a rekey through the config route shows up in the stats.
+  ASSERT_EQ(api_.handle(make_request(
+                            "PUT", "/NF-FG/gsec/VNFs/vpn/config",
+                            R"({"rekey_spi_out": "1003",
+                                "rekey_spi_in": "2004",
+                                "rekey_enc_key":
+                                    "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"})"))
+                .status,
+            200);
+  stats = api_.handle(make_request("GET", "/NF-FG/gsec/VNFs/vpn/stats"));
+  ASSERT_EQ(stats.status, 200);
+  doc = json::parse(stats.body);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get("endpoint")->as_object().find("rekeys_started")
+                ->as_number(),
+            1.0);
+  EXPECT_TRUE(doc->get("tunnel")->as_object().contains("staged"));
+
+  // Unknown NF / graph -> 404.
+  EXPECT_EQ(api_.handle(make_request("GET", "/NF-FG/gsec/VNFs/zz/stats"))
+                .status,
+            404);
+  EXPECT_EQ(
+      api_.handle(make_request("GET", "/NF-FG/nope/VNFs/vpn/stats")).status,
+      404);
+}
+
+TEST_F(ApiFixture, TunnelChurnThroughOrchestratorStaysClean) {
+  // Setup/teardown churn: repeated deploy -> configure -> stats ->
+  // remove cycles must not leak SAD entries or reject later rounds.
+  for (int round = 0; round < 25; ++round) {
+    HttpResponse deployed =
+        api_.handle(make_request("PUT", "/NF-FG/gsec", kIpsecGraphJson));
+    ASSERT_EQ(deployed.status, 201) << "round " << round << ": "
+                                    << deployed.body;
+    ASSERT_EQ(
+        api_.handle(make_request("PUT", "/NF-FG/gsec/VNFs/vpn/config",
+                                 kIpsecConfigJson))
+            .status,
+        200)
+        << "round " << round;
+    HttpResponse stats =
+        api_.handle(make_request("GET", "/NF-FG/gsec/VNFs/vpn/stats"));
+    ASSERT_EQ(stats.status, 200) << "round " << round;
+    auto doc = json::parse(stats.body);
+    ASSERT_TRUE(doc.is_ok()) << "round " << round;
+    // A clean world each round: one inbound SA in the SAD, never an
+    // accumulation from previous rounds.
+    EXPECT_EQ(doc->get("sad_size")->as_number(), 1.0) << "round " << round;
+    ASSERT_EQ(api_.handle(make_request("DELETE", "/NF-FG/gsec")).status,
+              204)
+        << "round " << round;
+  }
+}
+
 TEST_F(ApiFixture, NodeDescription) {
   HttpResponse response = api_.handle(make_request("GET", "/node"));
   EXPECT_EQ(response.status, 200);
