@@ -102,6 +102,12 @@ class JsonReport {
     string_fields_.emplace_back(key, value);
   }
 
+  /// Adds a top-level numeric field, e.g. set_num_field("cpus", 4) —
+  /// hardware facts that baseline _requires_* conditions match against.
+  void set_num_field(const std::string& key, double value) {
+    num_fields_.emplace_back(key, value);
+  }
+
   BenchResult& add(const std::string& name, std::uint64_t iterations,
                    double ns_per_op) {
     BenchResult result;
@@ -126,6 +132,9 @@ class JsonReport {
     std::fprintf(out, "{\"bench\":\"%s\"", bench_name_.c_str());
     for (const auto& [key, value] : string_fields_) {
       std::fprintf(out, ",\"%s\":\"%s\"", key.c_str(), value.c_str());
+    }
+    for (const auto& [key, value] : num_fields_) {
+      std::fprintf(out, ",\"%s\":%.6g", key.c_str(), value);
     }
     for (const std::string& flag : flags_) {
       std::fprintf(out, ",\"%s\":true", flag.c_str());
@@ -155,6 +164,7 @@ class JsonReport {
  private:
   std::string bench_name_;
   std::vector<std::pair<std::string, std::string>> string_fields_;
+  std::vector<std::pair<std::string, double>> num_fields_;
   std::vector<std::string> flags_;
   // deque: references returned by add()/add_metric() stay valid across
   // later add() calls (a vector would invalidate them on reallocation).

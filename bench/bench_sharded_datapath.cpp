@@ -1,0 +1,211 @@
+// Experiment: multi-core sharded datapath scaling.
+//
+// The DatapathExecutor RSS-hashes ingress frames to run-to-completion
+// workers, each running classify (LSI-0) -> ESP encapsulation on its own
+// core. This bench measures aggregate packets/sec for 1, 2 and 4 workers
+// over two traffic mixes:
+//
+//   uniform  — 32 equal flows (UdpSource flow_count rotation), the case
+//              RSS is built for; the acceptance metric is the 4-worker
+//              speedup over 1 worker (target >= 3x on >= 4 cores).
+//   elephant — ~70% of frames belong to one flow. RSS pins the elephant
+//              to a single worker, so aggregate speedup is bounded by the
+//              elephant's share (~1/0.7 = 1.4x); measured here so the
+//              limitation is a number, not folklore.
+//
+// Speedups are dimensionless and trend-gated via bench/baseline.json;
+// the 4-worker entries carry "_requires_cores": 4, so runs on smaller
+// machines validate output shape but skip the scaling floor. Per-worker
+// spread on the uniform mix is asserted directly (every worker must see
+// traffic) — that checks the RSS contract, which holds on any core count.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "exec/datapath_executor.hpp"
+#include "nnf/ipsec.hpp"
+#include "switch/flow_action.hpp"
+#include "switch/lsi.hpp"
+#include "traffic/source.hpp"
+
+namespace {
+
+using namespace nnfv;  // NOLINT(google-build-using-namespace): bench
+
+constexpr const char* kEncKey = "000102030405060708090a0b0c0d0e0f";
+constexpr const char* kAuthKey =
+    "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f";
+
+/// Collects exactly `count` frames from a UdpSource into `pool`.
+void collect_frames(packet::PacketBurst& pool, std::size_t count,
+                    std::uint16_t src_port_base, std::size_t flow_count) {
+  sim::Simulator simulator;
+  traffic::UdpSourceConfig config;
+  config.packets_per_second = 1e6;  // 1 us apart: sim time is free
+  config.payload_bytes = 256;
+  config.src_port = src_port_base;
+  config.flow_count = flow_count;
+  config.stop = static_cast<sim::SimTime>(count) * sim::kMicrosecond;
+  traffic::UdpSource source(simulator, config,
+                            [&](packet::PacketBuffer&& frame) {
+                              pool.push_back(std::move(frame));
+                            });
+  source.begin();
+  simulator.run();
+}
+
+/// uniform: 32 equal flows. elephant: ~70% one flow, rest over 8 mice.
+packet::PacketBurst make_pool(const std::string& mix, std::size_t frames) {
+  packet::PacketBurst pool;
+  pool.reserve(frames);
+  if (mix == "uniform") {
+    collect_frames(pool, frames, 40000, 32);
+    return pool;
+  }
+  packet::PacketBurst elephant, mice;
+  collect_frames(elephant, frames * 7 / 10, 50000, 1);
+  collect_frames(mice, frames - elephant.size(), 51000, 8);
+  // Deterministic interleave: 7 elephant frames, then 3 mice.
+  std::size_t e = 0, m = 0;
+  while (e < elephant.size() || m < mice.size()) {
+    for (int i = 0; i < 7 && e < elephant.size(); ++i) {
+      pool.push_back(std::move(elephant[e++]));
+    }
+    for (int i = 0; i < 3 && m < mice.size(); ++i) {
+      pool.push_back(std::move(mice[m++]));
+    }
+  }
+  return pool;
+}
+
+struct RunResult {
+  double pps = 0.0;
+  double ns_per_frame = 0.0;
+  std::uint64_t frames = 0;
+  std::vector<std::uint64_t> per_worker;
+};
+
+/// One scaling point: `workers` cores running classify -> ESP encap to
+/// completion over copies of `pool` for ~`budget_ms` of wall time.
+RunResult run_point(const packet::PacketBurst& pool, std::size_t workers,
+                    double budget_ms) {
+  nnf::IpsecEndpoint tunnel;
+  const nnf::NfConfig config = {
+      {"local_ip", "198.51.100.1"}, {"peer_ip", "198.51.100.2"},
+      {"spi_out", "1001"},          {"spi_in", "2002"},
+      {"enc_key", kEncKey},         {"auth_key", kAuthKey}};
+  if (!tunnel.configure(nnf::kDefaultContext, config).is_ok()) return {};
+
+  nfswitch::Lsi lsi(0, "LSI-0");
+  const nfswitch::PortId in = lsi.add_port("eth0").value();
+  const nfswitch::PortId out = lsi.add_port("eth1").value();
+  nfswitch::FlowMatch any;
+  lsi.flow_table().add(1, any, {nfswitch::FlowAction::output(out)});
+  std::atomic<std::uint64_t> encrypted{0};
+  (void)lsi.set_port_burst_peer(out, [&](packet::PacketBurst&& burst) {
+    auto outs = tunnel.process_burst(nnf::kDefaultContext, 0, 0,
+                                     std::move(burst));
+    bench::do_not_optimize(outs.size());
+    encrypted.fetch_add(outs.size(), std::memory_order_relaxed);
+  });
+
+  exec::DatapathExecutorConfig dp;
+  dp.workers = workers;
+  exec::DatapathExecutor executor(
+      dp, [&](exec::WorkerContext&, std::uint32_t tag,
+              packet::PacketBurst&& burst) {
+        lsi.receive_burst(static_cast<nfswitch::PortId>(tag),
+                          std::move(burst));
+      });
+
+  using Clock = std::chrono::steady_clock;
+  RunResult result;
+  double elapsed_ms = 0.0;
+  while (elapsed_ms < budget_ms) {
+    packet::PacketBurst round(pool);  // copy outside the timed section
+    const auto start = Clock::now();
+    executor.submit_burst(in, std::move(round));
+    executor.drain();
+    elapsed_ms +=
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    result.frames += pool.size();
+  }
+  executor.stop();
+
+  result.pps =
+      elapsed_ms > 0.0 ? static_cast<double>(result.frames) * 1e3 / elapsed_ms
+                       : 0.0;
+  result.ns_per_frame = result.frames > 0
+                            ? elapsed_ms * 1e6 /
+                                  static_cast<double>(result.frames)
+                            : 0.0;
+  for (std::size_t w = 0; w < executor.worker_count(); ++w) {
+    result.per_worker.push_back(executor.worker_stats(w).processed);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_cli(argc, argv);
+  bench::JsonReport report("bench_sharded_datapath");
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  report.set_num_field("cpus", cpus);
+
+  const std::size_t pool_frames = bench::smoke_mode() ? 256 : 8192;
+  const double budget_ms = bench::smoke_mode() ? 1.0 : 500.0;
+
+  std::printf("=== sharded datapath scaling (classify -> ESP encap, "
+              "%u hardware threads) ===\n\n", cpus);
+  std::printf("%-16s %8s %14s %14s %10s\n", "mix", "workers", "pps",
+              "ns/frame", "speedup");
+
+  bool spread_ok = true;
+  double uniform_speedup_4w = 0.0;
+  for (const char* mix : {"uniform", "elephant"}) {
+    const packet::PacketBurst pool = make_pool(mix, pool_frames);
+    double pps_1w = 0.0;
+    for (std::size_t workers : {1u, 2u, 4u}) {
+      const RunResult r = run_point(pool, workers, budget_ms);
+      if (workers == 1) pps_1w = r.pps;
+      const double speedup = pps_1w > 0.0 ? r.pps / pps_1w : 0.0;
+      char name[64];
+      std::snprintf(name, sizeof(name), "%s_w%zu", mix, workers);
+      std::printf("%-16s %8zu %14.0f %14.1f %9.2fx\n", mix, workers, r.pps,
+                  r.ns_per_frame, speedup);
+      auto& result = report.add(name, r.frames, r.ns_per_frame);
+      result.extra.emplace_back("pps", r.pps);
+      result.extra.emplace_back("speedup_vs_1w", speedup);
+
+      if (std::string(mix) == "uniform" && workers == 4) {
+        uniform_speedup_4w = speedup;
+        // RSS contract: 32 uniform flows must land on every worker. This
+        // holds regardless of the machine's core count.
+        std::uint64_t min_share = ~0ULL;
+        for (std::uint64_t p : r.per_worker) min_share = std::min(min_share, p);
+        if (min_share == 0) spread_ok = false;
+        result.extra.emplace_back(
+            "worker_min_share",
+            r.frames > 0 ? static_cast<double>(min_share) *
+                               static_cast<double>(r.per_worker.size()) /
+                               static_cast<double>(r.frames)
+                         : 0.0);
+      }
+    }
+  }
+
+  std::printf("\nacceptance: uniform 4-worker speedup %.2fx "
+              "(target >= 3x on >= 4 cores), per-worker spread %s\n\n",
+              uniform_speedup_4w, spread_ok ? "ok" : "VIOLATED");
+  report.emit();
+  if (!bench::gates_enabled()) return 0;  // smoke / unoptimised build
+  if (!spread_ok) return 1;               // RSS spread: gate on any machine
+  if (cpus >= 4 && uniform_speedup_4w < 3.0) return 1;
+  return 0;
+}

@@ -30,18 +30,23 @@ Trend gating (--compare BASELINE --max-regress F): BASELINE is a curated
 JSON file of the shape
 
     {"benches": {"<bench>": {"<result name>": {"<extra key>": <value>,
-        "_requires_backend": "aesni", "_requires_cpu": "pclmul"}, ...}}}
+        "_requires_backend": "aesni", "_requires_cpu": "pclmul",
+        "_requires_cores": 4}, ...}}}
 
 For every baseline entry whose bench appears among the inputs (and whose
-_requires_* conditions match the run's "backend" / "cpu_features"
-fields), the current run's extra[<key>] must be >= <value> * F. Baseline
+_requires_* conditions match the run's "backend" / "cpu_features" /
+"cpus" fields), the current run's extra[<key>] must be >= <value> * F.
+_requires_cores guards parallel-scaling floors: a 4-worker speedup only
+exists on >= 4 hardware threads, so runs on smaller machines skip the
+entry instead of failing it (the bench emits its "cpus" count). Baseline
 values are dimensionless ratios (speedups) by design — they are the only
 numbers comparable across runner hardware; raw ns/op never belongs in
 the baseline. A baseline entry whose result or key is missing from the
 run fails (a renamed metric must be renamed in the baseline too), and a
 compare run that ends up checking nothing at all fails (catches a dead
 baseline). Underscore keys in a baseline entry must come from the known
-set (_observed, _requires_backend, _requires_cpu) — a typo'd condition
+set (_observed, _requires_backend, _requires_cpu, _requires_cores) — a
+typo'd condition
 key silently changing what an entry gates is a hard error — and every
 entry must curate at least one numeric ratio key, so an entry cannot
 decay into a comment that always passes.
@@ -52,7 +57,8 @@ contract violation and gating failure mode is rejected) and exits.
 import json
 import sys
 
-KNOWN_UNDERSCORE_KEYS = {"_observed", "_requires_backend", "_requires_cpu"}
+KNOWN_UNDERSCORE_KEYS = {"_observed", "_requires_backend", "_requires_cpu",
+                         "_requires_cores"}
 
 
 def fail(name, msg, problems):
@@ -114,14 +120,21 @@ def check_stream(name, text, problems):
 
 
 def conditions_met(spec, obj):
-    """_requires_backend / _requires_cpu guard hardware-specific baselines
-    so a run on weaker hardware skips them instead of failing."""
+    """_requires_backend / _requires_cpu / _requires_cores guard
+    hardware-specific baselines so a run on weaker hardware skips them
+    instead of failing."""
     backend = spec.get("_requires_backend")
     if backend is not None and obj.get("backend") != backend:
         return False
     cpu = spec.get("_requires_cpu")
     if cpu is not None and cpu not in obj.get("cpu_features", ""):
         return False
+    cores = spec.get("_requires_cores")
+    if cores is not None:
+        cpus = obj.get("cpus")
+        if not isinstance(cpus, (int, float)) or isinstance(cpus, bool) \
+                or cpus < cores:
+            return False
     return True
 
 
@@ -188,7 +201,7 @@ def self_test():
     must be detected, and clean input must pass. Returns 0/1."""
     good_run = json.dumps({
         "bench": "bench_x", "backend": "aesni",
-        "cpu_features": "aes pclmul sha",
+        "cpu_features": "aes pclmul sha", "cpus": 8,
         "results": [{"name": "kernel", "iterations": 10, "ns_per_op": 1.0,
                      "ops_per_sec": 1e9, "extra": {"speedup": 5.0}}]})
 
@@ -237,6 +250,18 @@ def self_test():
          compare_problems({"bench_x": {"kernel": {
              "_requires_backend": "aesni", "_requires_cpu": "pclmul",
              "speedup": 50.0}}})),
+        ("unmet cores condition skips (dead baseline)", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_cores": 64, "speedup": 50.0}}})),
+        ("met cores condition still gates", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_cores": 4, "speedup": 50.0}}})),
+        ("cores condition on a run without cpus skips", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_cores": 4, "speedup": 1.0}}},
+             json.dumps({"bench": "bench_x", "results": [
+                 {"name": "kernel", "iterations": 1, "ns_per_op": 1.0,
+                  "ops_per_sec": 1.0, "extra": {"speedup": 5.0}}]}))),
         ("unknown underscore key is a hard error", True,
          compare_problems({"bench_x": {"kernel": {
              "_require_backend": "portable", "speedup": 1.0}}})),

@@ -62,16 +62,45 @@ UniversalNode::UniversalNode(UniversalNodeConfig config)
 
   orchestrator_ = std::make_unique<LocalOrchestrator>(
       &compute_, &network_, &resolver_, &scheduler_, &resources_);
+
+  if (config.datapath_workers > 0) {
+    exec::DatapathExecutorConfig dp;
+    dp.workers = config.datapath_workers;
+    // The pipeline tag is the LSI-0 ingress PortId; each worker runs the
+    // full classify -> NNF -> egress chain to completion on its core.
+    executor_ = std::make_unique<exec::DatapathExecutor>(
+        dp, [this](exec::WorkerContext&, std::uint32_t tag,
+                   packet::PacketBurst&& burst) {
+          network_.base_lsi().receive_burst(
+              static_cast<nfswitch::PortId>(tag), std::move(burst));
+        });
+  }
 }
 
 util::Status UniversalNode::inject(const std::string& port,
                                    packet::PacketBuffer&& frame) {
+  if (executor_ != nullptr) {
+    packet::PacketBurst burst;
+    burst.push_back(std::move(frame));
+    return inject_burst(port, std::move(burst));
+  }
   return network_.inject(port, std::move(frame));
 }
 
 util::Status UniversalNode::inject_burst(const std::string& port,
                                          packet::PacketBurst&& burst) {
+  if (executor_ != nullptr) {
+    auto id = network_.physical_port(port);
+    if (!id.is_ok()) return id.status();
+    executor_->submit_burst(static_cast<std::uint32_t>(id.value()),
+                            std::move(burst));
+    return util::Status::ok();
+  }
   return network_.inject_burst(port, std::move(burst));
+}
+
+void UniversalNode::drain_datapath() {
+  if (executor_ != nullptr) executor_->drain();
 }
 
 util::Status UniversalNode::set_egress(const std::string& port,

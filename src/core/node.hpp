@@ -14,6 +14,7 @@
 
 #include "compute/manager.hpp"
 #include "core/network_manager.hpp"
+#include "exec/datapath_executor.hpp"
 #include "core/orchestrator.hpp"
 #include "core/repository.hpp"
 #include "core/resolver.hpp"
@@ -41,6 +42,13 @@ struct UniversalNodeConfig {
   bool generic_config_translation = false;
   /// Placement policy the scheduler uses (see core/scheduler.hpp).
   PlacementPolicyKind placement_policy = PlacementPolicyKind::kDefault;
+  /// Datapath worker threads for node ingress (docs/datapath.md §6).
+  /// 0 (default) keeps the historic inline path: inject() runs the LSI-0
+  /// pipeline on the calling thread. N > 0 starts N run-to-completion
+  /// workers; inject()/inject_burst() RSS-hash frames to them, and
+  /// egress peers / sim-bound NF stations may then be invoked from
+  /// worker threads (sim-bound work bounces via Simulator::post()).
+  std::size_t datapath_workers = 0;
 };
 
 class UniversalNode {
@@ -71,6 +79,14 @@ class UniversalNode {
   /// Node description JSON (REST: GET /node).
   [[nodiscard]] json::Value describe() const;
 
+  /// The sharded-ingress executor, or nullptr when datapath_workers == 0.
+  exec::DatapathExecutor* datapath() { return executor_.get(); }
+
+  /// Blocks until all worker-submitted ingress frames have left the
+  /// datapath (no-op on the inline path). Sim-bound continuations the
+  /// workers posted still need a simulator().run*() afterwards.
+  void drain_datapath();
+
  private:
   sim::Simulator simulator_;
   netns::NamespaceRegistry netns_;
@@ -83,6 +99,8 @@ class UniversalNode {
   VnfResolver resolver_;
   VnfScheduler scheduler_;
   std::unique_ptr<LocalOrchestrator> orchestrator_;
+  /// Last member: workers must stop before the components they touch.
+  std::unique_ptr<exec::DatapathExecutor> executor_;
 };
 
 }  // namespace nnfv::core

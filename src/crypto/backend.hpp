@@ -24,7 +24,9 @@
 // the same binaries on any runner.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 #include <vector>
 
@@ -42,10 +44,30 @@ class CryptoBackend;
 /// filled the table: a GcmContext re-inits when the active backend
 /// changes (tests flip backends with ScopedBackendOverride), so the blob
 /// layout is always the consumer's own.
+///
+/// `owner` is atomic because datapath workers sharing one SA may race to
+/// fill the table on first use: ghash_init() implementations write the
+/// table first and release-store `owner` last, and GcmContext::hkey()
+/// acquire-loads it, so a thread that observes the matching owner also
+/// observes a fully written table. Switching backends while workers are
+/// in flight is not supported — that is a control-plane (quiesced)
+/// operation, like every other reconfiguration (docs/datapath.md §6).
 struct GhashKey {
   alignas(16) std::uint8_t h[16]{};
   alignas(16) std::uint8_t table[256]{};
-  const CryptoBackend* owner = nullptr;
+  std::atomic<const CryptoBackend*> owner{nullptr};
+
+  GhashKey() = default;
+  // Contexts holding a GhashKey are copied/moved at setup time only,
+  // before any worker shares them; carry the cached table across.
+  GhashKey(const GhashKey& other) { *this = other; }
+  GhashKey& operator=(const GhashKey& other) {
+    std::memcpy(h, other.h, sizeof h);
+    std::memcpy(table, other.table, sizeof table);
+    owner.store(other.owner.load(std::memory_order_acquire),
+                std::memory_order_release);
+    return *this;
+  }
 };
 
 class CryptoBackend {

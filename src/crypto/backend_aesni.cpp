@@ -748,7 +748,7 @@ class AesniBackend final : public CryptoBackend {
     } else {
       ghash_init_4bit(key);
     }
-    key.owner = this;
+    key.owner.store(this, std::memory_order_release);
   }
 
   void ghash(const GhashKey& key, std::uint8_t state[16],
@@ -807,7 +807,7 @@ class AesniBackend final : public CryptoBackend {
   }
   void ghash_init(GhashKey& key) const override {
     ghash_init_4bit(key);
-    key.owner = this;
+    key.owner.store(this, std::memory_order_release);
   }
   void ghash(const GhashKey& key, std::uint8_t state[16],
              const std::uint8_t* blocks, std::size_t nblocks) const override {

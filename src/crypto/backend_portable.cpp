@@ -195,7 +195,7 @@ class PortableBackend final : public CryptoBackend {
 
   void ghash_init(GhashKey& key) const override {
     ghash_init_4bit(key);
-    key.owner = this;
+    key.owner.store(this, std::memory_order_release);
   }
 
   void ghash(const GhashKey& key, std::uint8_t state[16],

@@ -330,7 +330,9 @@ class ReferenceBackend final : public CryptoBackend {
 
   // The oracle multiplies bit by bit from the raw subkey — no table, which
   // is the point: nothing shared with the precomputations it checks.
-  void ghash_init(GhashKey& key) const override { key.owner = this; }
+  void ghash_init(GhashKey& key) const override {
+    key.owner.store(this, std::memory_order_release);
+  }
 
   void ghash(const GhashKey& key, std::uint8_t state[16],
              const std::uint8_t* blocks, std::size_t nblocks) const override {

@@ -1,6 +1,7 @@
 #include "crypto/cipher_modes.hpp"
 
 #include <cstring>
+#include <mutex>
 
 #include "crypto/backend.hpp"
 #include "crypto/hmac.hpp"
@@ -136,7 +137,18 @@ util::Result<GcmContext> GcmContext::create(
 }
 
 const GhashKey& GcmContext::hkey() const {
-  if (hkey_.owner != &active_backend()) active_backend().ghash_init(hkey_);
+  // Datapath workers sealing on a shared SA race to the first use;
+  // double-checked locking keeps the table write single-threaded while
+  // the hot path stays one acquire load. ghash_init() release-stores
+  // `owner` after writing the table, so passing the acquire check means
+  // the table is fully visible.
+  const CryptoBackend* backend = &active_backend();
+  if (hkey_.owner.load(std::memory_order_acquire) != backend) {
+    const std::lock_guard<std::mutex> lock(hkey_init_mutex_);
+    if (hkey_.owner.load(std::memory_order_relaxed) != backend) {
+      backend->ghash_init(hkey_);
+    }
+  }
   return hkey_;
 }
 

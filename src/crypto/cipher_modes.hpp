@@ -11,6 +11,7 @@
 #include "crypto/aes.hpp"
 #include "crypto/backend.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace nnfv::crypto {
 
@@ -58,7 +59,8 @@ class GcmContext {
  private:
   explicit GcmContext(Aes aes);
 
-  /// The cached GHASH key, re-initialised if the active backend changed.
+  /// The cached GHASH key, re-initialised (thread-safely — workers may
+  /// share one context) if the active backend changed.
   const GhashKey& hkey() const;
 
   /// GHASH-absorbs `data` into `state`, zero-padding the final partial
@@ -73,6 +75,9 @@ class GcmContext {
 
   Aes aes_;
   mutable GhashKey hkey_;
+  /// Serialises the lazy backend-table fill in hkey(); held only on the
+  /// miss path (first use per backend), never per packet.
+  mutable util::Mutex hkey_init_mutex_;
 };
 
 /// CBC-encrypts `plaintext` with PKCS#7 padding. `iv` must be 16 bytes.

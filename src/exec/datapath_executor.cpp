@@ -1,0 +1,266 @@
+#include "exec/datapath_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "exec/rss.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nnfv::exec {
+
+namespace {
+
+/// Bounded retries for a full handoff ring before dropping. Blocking is
+/// not an option: two workers handing off to each other would deadlock.
+constexpr int kHandoffRetries = 256;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+std::size_t WorkerContext::worker_count() const {
+  return executor_.worker_count();
+}
+
+bool WorkerContext::handoff(std::size_t to_worker, std::uint32_t tag,
+                            packet::PacketBuffer&& frame) {
+  return executor_.push_handoff(index_, to_worker, tag, std::move(frame));
+}
+
+DatapathExecutor::DatapathExecutor(DatapathExecutorConfig config,
+                                   Pipeline pipeline)
+    : config_(config), pipeline_(std::move(pipeline)) {
+  config_.workers = std::clamp<std::size_t>(config_.workers, 1, kMaxWorkers);
+  config_.drain_batch = std::max<std::size_t>(config_.drain_batch, 1);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->ingress =
+        std::make_unique<SpscRing<WorkItem>>(config_.ring_capacity);
+    worker->handoff.resize(config_.workers);
+    for (std::size_t from = 0; from < config_.workers; ++from) {
+      worker->handoff[from] =
+          std::make_unique<SpscRing<WorkItem>>(config_.handoff_capacity);
+    }
+    workers_.push_back(std::move(worker));
+  }
+  running_.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { run_worker(i); });
+  }
+}
+
+DatapathExecutor::~DatapathExecutor() { stop(); }
+
+std::size_t DatapathExecutor::submit_burst(std::uint32_t tag,
+                                           packet::PacketBurst&& burst) {
+  std::size_t enqueued = 0;
+  const std::size_t n = worker_count();
+  for (packet::PacketBuffer& frame : burst) {
+    const std::size_t shard = shard_for(rss_hash_frame(frame.data()), n);
+    Worker& worker = *workers_[shard];
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    WorkItem item{tag, std::move(frame)};
+    bool pushed = true;
+    while (!worker.ingress->push(std::move(item))) {
+      if (!config_.block_on_full ||
+          !running_.load(std::memory_order_acquire)) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        ingress_drops_.fetch_add(1, std::memory_order_relaxed);
+        pushed = false;
+        break;
+      }
+      ring_doorbell(shard);
+      cpu_relax();
+    }
+    if (pushed) {
+      ring_doorbell(shard);
+      ++enqueued;
+    }
+  }
+  burst.clear();
+  return enqueued;
+}
+
+bool DatapathExecutor::submit_to(std::size_t worker, std::uint32_t tag,
+                                 packet::PacketBuffer&& frame) {
+  if (worker >= worker_count()) return false;
+  Worker& target = *workers_[worker];
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  WorkItem item{tag, std::move(frame)};
+  while (!target.ingress->push(std::move(item))) {
+    if (!config_.block_on_full || !running_.load(std::memory_order_acquire)) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      ingress_drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ring_doorbell(worker);
+    cpu_relax();
+  }
+  ring_doorbell(worker);
+  return true;
+}
+
+bool DatapathExecutor::push_handoff(std::size_t from, std::size_t to,
+                                    std::uint32_t tag,
+                                    packet::PacketBuffer&& frame) {
+  if (to >= worker_count()) return false;
+  Worker& target = *workers_[to];
+  SpscRing<WorkItem>& ring = *target.handoff[from];
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  WorkItem item{tag, std::move(frame)};
+  for (int attempt = 0; attempt < kHandoffRetries; ++attempt) {
+    if (ring.push(std::move(item))) {
+      workers_[from]->stats.handoff_out += 1;
+      ring_doorbell(to);
+      return true;
+    }
+    ring_doorbell(to);
+    cpu_relax();
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  workers_[from]->stats.handoff_drops += 1;
+  return false;
+}
+
+void DatapathExecutor::ring_doorbell(std::size_t worker) {
+  Worker& target = *workers_[worker];
+  if (target.sleeping.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(target.doorbell_mutex);
+    target.doorbell.notify_one();
+  }
+}
+
+std::size_t DatapathExecutor::drain_ring(WorkerContext& ctx,
+                                         SpscRing<WorkItem>& ring) {
+  std::vector<WorkItem> items;
+  items.reserve(config_.drain_batch);
+  if (ring.pop_batch(items, config_.drain_batch) == 0) return 0;
+  const std::size_t processed = items.size();
+  // Deliver contiguous same-tag runs as one burst; the common case is a
+  // whole batch sharing one ingress tag.
+  std::size_t begin = 0;
+  while (begin < items.size()) {
+    std::size_t end = begin + 1;
+    while (end < items.size() && items[end].tag == items[begin].tag) ++end;
+    packet::PacketBurst group;
+    group.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      group.push_back(std::move(items[i].frame));
+    }
+    pipeline_(ctx, items[begin].tag, std::move(group));
+    begin = end;
+  }
+  inflight_.fetch_sub(processed, std::memory_order_release);
+  return processed;
+}
+
+void DatapathExecutor::run_worker(std::size_t index) {
+  Worker& self = *workers_[index];
+#ifdef __linux__
+  if (config_.pin_threads) {
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(index % cores), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  ScopedWorkerSlot slot_guard(index + 1);
+  WorkerContext ctx(*this, index);
+
+  auto drain_all = [&]() -> std::size_t {
+    std::size_t processed = drain_ring(ctx, *self.ingress);
+    for (std::size_t from = 0; from < worker_count(); ++from) {
+      const std::size_t n = drain_ring(ctx, *self.handoff[from]);
+      self.stats.handoff_in += n;
+      processed += n;
+    }
+    return processed;
+  };
+
+  int idle_spins = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    const std::size_t processed = drain_all();
+    if (processed > 0) {
+      self.stats.processed += processed;
+      idle_spins = 0;
+      continue;
+    }
+    // Idle backoff: spin, then yield, then sleep on the doorbell.
+    ++idle_spins;
+    if (idle_spins < 64) {
+      cpu_relax();
+    } else if (idle_spins < 128) {
+      std::this_thread::yield();
+    } else {
+      std::unique_lock<std::mutex> lock(self.doorbell_mutex);
+      self.sleeping.store(true, std::memory_order_seq_cst);
+      // Re-check after publishing sleeping: a producer that pushed just
+      // before the store will see sleeping==true and knock; one that
+      // pushed earlier is caught by this check.
+      bool empty = self.ingress->empty_approx();
+      for (std::size_t from = 0; empty && from < worker_count(); ++from) {
+        empty = self.handoff[from]->empty_approx();
+      }
+      if (empty && running_.load(std::memory_order_acquire)) {
+        self.doorbell.wait_for(lock, std::chrono::microseconds(500));
+      }
+      self.sleeping.store(false, std::memory_order_seq_cst);
+    }
+  }
+  // Final drain so stop() never strands frames in rings.
+  std::size_t processed;
+  do {
+    processed = drain_all();
+    self.stats.processed += processed;
+  } while (processed > 0);
+}
+
+void DatapathExecutor::drain() {
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    for (std::size_t i = 0; i < worker_count(); ++i) ring_doorbell(i);
+    std::this_thread::yield();
+  }
+}
+
+void DatapathExecutor::stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    for (auto& worker : workers_) {
+      std::lock_guard<std::mutex> lock(worker->doorbell_mutex);
+      worker->doorbell.notify_one();
+    }
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+WorkerStats DatapathExecutor::worker_stats(std::size_t worker) const {
+  if (worker >= worker_count()) return {};
+  const LiveStats& live = workers_[worker]->stats;
+  WorkerStats stats;
+  stats.processed = live.processed;
+  stats.handoff_out = live.handoff_out;
+  stats.handoff_in = live.handoff_in;
+  stats.handoff_drops = live.handoff_drops;
+  return stats;
+}
+
+std::uint64_t DatapathExecutor::total_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->stats.processed;
+  return total;
+}
+
+}  // namespace nnfv::exec

@@ -1,0 +1,173 @@
+// DatapathExecutor: N run-to-completion worker threads with RSS flow
+// sharding (ROADMAP item 1).
+//
+// Ingress: one control thread (the bench main thread, the simulator
+// thread, ...) calls submit_burst(); each frame's flow tuple is RSS-
+// hashed to a worker and pushed onto that worker's SPSC ingress ring —
+// single producer (the control thread), single consumer (the worker).
+// Workers drain their rings in batches and run the user pipeline —
+// classify → NNF → crypto — to completion on their own core, identified
+// by a thread-local worker slot (see worker_slot.hpp) that per-worker
+// state (microflow caches, stats shards, NAT port slices) indexes.
+//
+// Cross-shard handoff: when the pipeline must move a frame to another
+// worker (e.g. a virtual link whose peer NF is pinned elsewhere), it
+// calls WorkerContext::handoff(); each ordered (from, to) worker pair
+// owns a dedicated SPSC ring, so handoff is lock-free too. Handoff
+// pushes retry briefly when the ring is full, then drop-and-count —
+// blocking could deadlock two workers handing off to each other.
+//
+// Idle workers back off spin → yield → doorbell sleep, so a drained
+// executor costs (almost) no CPU. drain() blocks the control thread
+// until every submitted frame has fully left the pipeline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/spsc_ring.hpp"
+#include "exec/worker_slot.hpp"
+#include "packet/buffer.hpp"
+#include "util/atomics.hpp"
+
+namespace nnfv::exec {
+
+struct DatapathExecutorConfig {
+  /// Worker threads. Clamped to [1, kMaxWorkers].
+  std::size_t workers = 1;
+  /// Per-worker ingress ring capacity (frames).
+  std::size_t ring_capacity = 4096;
+  /// Per (from, to) worker-pair handoff ring capacity (frames).
+  std::size_t handoff_capacity = 1024;
+  /// Max frames a worker pulls from one ring per drain.
+  std::size_t drain_batch = 64;
+  /// submit_burst behavior on a full ingress ring: spin until space
+  /// (backpressure, default) or drop-and-count.
+  bool block_on_full = true;
+  /// Pin worker i to CPU i % hardware_concurrency (Linux only).
+  bool pin_threads = false;
+};
+
+/// Per-worker counters, aggregated by the executor's accessors.
+struct WorkerStats {
+  std::uint64_t processed = 0;     ///< frames run through the pipeline
+  std::uint64_t handoff_out = 0;   ///< frames pushed to another shard
+  std::uint64_t handoff_in = 0;    ///< frames received from another shard
+  std::uint64_t handoff_drops = 0; ///< handoff pushes that found a full ring
+};
+
+class DatapathExecutor;
+
+/// Handed to the pipeline; identifies the worker and provides handoff.
+class WorkerContext {
+ public:
+  /// 0-based worker index.
+  std::size_t index() const { return index_; }
+  /// Worker-slot id (index + 1; slot 0 is the control thread).
+  std::size_t slot() const { return index_ + 1; }
+  std::size_t worker_count() const;
+  /// Moves a frame to another worker's shard; it re-enters the pipeline
+  /// there with `tag`. Returns false (and counts a drop) if the handoff
+  /// ring stayed full after bounded retries.
+  bool handoff(std::size_t to_worker, std::uint32_t tag,
+               packet::PacketBuffer&& frame);
+
+ private:
+  friend class DatapathExecutor;
+  WorkerContext(DatapathExecutor& executor, std::size_t index)
+      : executor_(executor), index_(index) {}
+  DatapathExecutor& executor_;
+  std::size_t index_;
+};
+
+class DatapathExecutor {
+ public:
+  /// The per-burst pipeline body. `tag` is caller-defined routing info
+  /// (ingress port id, handoff stage, ...) carried with every frame.
+  using Pipeline = std::function<void(WorkerContext&, std::uint32_t tag,
+                                      packet::PacketBurst&&)>;
+
+  DatapathExecutor(DatapathExecutorConfig config, Pipeline pipeline);
+  ~DatapathExecutor();
+
+  DatapathExecutor(const DatapathExecutor&) = delete;
+  DatapathExecutor& operator=(const DatapathExecutor&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// RSS-hashes each frame to a worker and enqueues it. Single-producer:
+  /// call from one control thread only. Returns frames enqueued (the
+  /// rest were dropped; only possible with block_on_full=false).
+  std::size_t submit_burst(std::uint32_t tag, packet::PacketBurst&& burst);
+
+  /// Enqueues to an explicit worker, bypassing the hash (tests).
+  bool submit_to(std::size_t worker, std::uint32_t tag,
+                 packet::PacketBuffer&& frame);
+
+  /// Blocks until every submitted frame has left the pipeline (all rings
+  /// empty, all workers idle). Call from the control thread.
+  void drain();
+
+  /// Stops and joins all workers after draining in-flight work.
+  void stop();
+
+  WorkerStats worker_stats(std::size_t worker) const;
+  std::uint64_t total_processed() const;
+  /// Frames submit_burst dropped on full ingress rings.
+  std::uint64_t ingress_drops() const {
+    return ingress_drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class WorkerContext;
+
+  struct WorkItem {
+    std::uint32_t tag = 0;
+    packet::PacketBuffer frame;
+  };
+
+  /// Internal per-worker counters: relaxed atomics because the control
+  /// thread reads them (worker_stats / total_processed) while workers
+  /// are still counting.
+  struct LiveStats {
+    util::RelaxedCounter processed;
+    util::RelaxedCounter handoff_out;
+    util::RelaxedCounter handoff_in;
+    util::RelaxedCounter handoff_drops;
+  };
+
+  struct alignas(kCacheLine) Worker {
+    std::unique_ptr<SpscRing<WorkItem>> ingress;
+    /// handoff[from] = ring written by worker `from`, read by this one.
+    std::vector<std::unique_ptr<SpscRing<WorkItem>>> handoff;
+    std::thread thread;
+    LiveStats stats;
+    std::mutex doorbell_mutex;
+    std::condition_variable doorbell;
+    std::atomic<bool> sleeping{false};
+  };
+
+  void run_worker(std::size_t index);
+  /// Drains up to drain_batch items from `ring`, runs the pipeline on
+  /// them grouped by tag, and credits `stats_processed`. Returns the
+  /// number of frames processed.
+  std::size_t drain_ring(WorkerContext& ctx, SpscRing<WorkItem>& ring);
+  void ring_doorbell(std::size_t worker);
+  bool push_handoff(std::size_t from, std::size_t to, std::uint32_t tag,
+                    packet::PacketBuffer&& frame);
+
+  DatapathExecutorConfig config_;
+  Pipeline pipeline_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> ingress_drops_{0};
+};
+
+}  // namespace nnfv::exec

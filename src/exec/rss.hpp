@@ -1,0 +1,67 @@
+// RSS-style flow hashing: maps a frame to a worker shard.
+//
+// Contract (documented in docs/datapath.md §6): all frames of one
+// transport flow — and, for ESP, all frames of one outer IP pair — hash
+// to the same worker, so per-flow state (microflow cache entries, NAT
+// sessions, SA replay windows) has a single writer. IPv4 frames hash
+// {src_ip, dst_ip, protocol, l4 ports}; ESP carries no ports, so the SPI
+// would be the natural discriminator, but hashing only addresses +
+// protocol keeps both directions' outer tuples of a tunnel pinned
+// together, which is what single-writer replay windows need. Non-IP
+// frames fall back to an L2 hash of src/dst MAC + ethertype.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "packet/flow_key.hpp"
+
+namespace nnfv::exec {
+
+/// 64-bit avalanche mix (splitmix64 finalizer).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// RSS hash of a decoded flow. Symmetric inputs are NOT folded: the two
+/// directions of a flow may land on different workers, which is fine —
+/// each direction's state (NAT by_original vs by_external rows, inbound
+/// vs outbound SA) is keyed per direction.
+inline std::uint64_t rss_hash(const packet::FlowFields& fields) {
+  if (fields.ipv4.has_value()) {
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(fields.ipv4->src.value) << 32) |
+        fields.ipv4->dst.value;
+    std::uint64_t ports = fields.ipv4->protocol;
+    if (fields.l4_src.has_value()) {
+      ports = (ports << 16) | *fields.l4_src;
+    }
+    if (fields.l4_dst.has_value()) {
+      ports = (ports << 16) | *fields.l4_dst;
+    }
+    return mix64(key ^ mix64(ports));
+  }
+  std::uint64_t l2 = fields.eth.ether_type;
+  for (std::uint8_t b : fields.eth.src.bytes) l2 = (l2 << 8) | b;
+  std::uint64_t l2b = 0;
+  for (std::uint8_t b : fields.eth.dst.bytes) l2b = (l2b << 8) | b;
+  return mix64(l2 ^ mix64(l2b));
+}
+
+/// Hash of a raw frame; undecodable frames all map to shard 0's hash.
+inline std::uint64_t rss_hash_frame(std::span<const std::uint8_t> frame) {
+  auto fields = packet::extract_flow_fields(frame);
+  if (!fields.is_ok()) return 0;
+  return rss_hash(fields.value());
+}
+
+/// Maps a hash to one of `workers` shards (1-based worker slots are the
+/// caller's concern; this returns [0, workers)).
+inline std::size_t shard_for(std::uint64_t hash, std::size_t workers) {
+  return workers == 0 ? 0 : static_cast<std::size_t>(hash % workers);
+}
+
+}  // namespace nnfv::exec

@@ -1,0 +1,45 @@
+// Worker-slot identity for the sharded datapath.
+//
+// Per-worker state (microflow caches, stats shards, NAT port slices) is
+// indexed by a small integer "slot". Slot 0 is the control/inline slot:
+// any thread that never registered — the main thread, the simulator
+// thread, tests calling process() directly — reads and writes slot 0,
+// which keeps the single-threaded configuration bit-identical to the
+// pre-sharding behavior. DatapathExecutor workers register slots
+// 1..workers() for the lifetime of their run loop.
+#pragma once
+
+#include <cstddef>
+
+namespace nnfv::exec {
+
+/// Upper bound on worker threads (+1 control slot). Sized so per-slot
+/// state arrays stay small; the executor rejects larger configs.
+inline constexpr std::size_t kMaxWorkers = 16;
+
+/// Total number of slots: slot 0 (control) + kMaxWorkers worker slots.
+inline constexpr std::size_t kMaxSlots = kMaxWorkers + 1;
+
+namespace detail {
+inline thread_local std::size_t current_slot = 0;
+}  // namespace detail
+
+/// Slot of the calling thread: 0 unless inside a worker's run loop.
+inline std::size_t current_worker_slot() { return detail::current_slot; }
+
+/// RAII slot registration, used by DatapathExecutor's worker loops.
+class ScopedWorkerSlot {
+ public:
+  explicit ScopedWorkerSlot(std::size_t slot) {
+    previous_ = detail::current_slot;
+    detail::current_slot = slot;
+  }
+  ~ScopedWorkerSlot() { detail::current_slot = previous_; }
+  ScopedWorkerSlot(const ScopedWorkerSlot&) = delete;
+  ScopedWorkerSlot& operator=(const ScopedWorkerSlot&) = delete;
+
+ private:
+  std::size_t previous_ = 0;
+};
+
+}  // namespace nnfv::exec

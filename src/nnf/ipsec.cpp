@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
@@ -160,14 +161,14 @@ json::Value sa_to_json(const SecurityAssociation& sa) {
   doc["spi"] = static_cast<std::uint64_t>(sa.spi);
   doc["state"] = std::string(sa_state_name(sa.state));
   doc["esn"] = sa.esn;
-  doc["seq"] = sa.seq;
-  doc["replay_top"] = sa.replay_top;
-  doc["packets"] = sa.packets;
-  doc["bytes"] = sa.bytes;
-  doc["auth_fail"] = sa.auth_fail;
-  doc["replay_drops"] = sa.replay_drops;
-  doc["lifetime_drops"] = sa.lifetime_drops;
-  doc["malformed"] = sa.malformed;
+  doc["seq"] = sa.seq.load();
+  doc["replay_top"] = sa.replay_top.load();
+  doc["packets"] = sa.packets.load();
+  doc["bytes"] = sa.bytes.load();
+  doc["auth_fail"] = sa.auth_fail.load();
+  doc["replay_drops"] = sa.replay_drops.load();
+  doc["lifetime_drops"] = sa.lifetime_drops.load();
+  doc["malformed"] = sa.malformed.load();
   return doc;
 }
 
@@ -194,7 +195,7 @@ util::Status IpsecEndpoint::Keymat::prepare() {
     cipher = aes.value();
     auto g = crypto::GcmContext::create(enc_key);
     if (!g) return g.status();
-    gcm = g.value();
+    gcm = std::move(g).value();
   }
   hmac_tmpl.emplace(auth_key);
   return util::Status::ok();
@@ -210,6 +211,8 @@ void IpsecEndpoint::sad_erase(ContextId ctx, std::uint32_t spi) {
 }
 
 util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
+  // Lifecycle mutation: exclusive vs. in-flight worker bursts.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   NNFV_RETURN_IF_ERROR(require_context(ctx));
   Tunnel& tunnel = tunnels_[ctx];
   if (!tunnel.keymat) tunnel.keymat = std::make_shared<Keymat>();
@@ -393,7 +396,7 @@ util::Status IpsecEndpoint::stage_rekey(ContextId ctx, Tunnel& tunnel,
   if (tunnel.staged) sad_erase(ctx, tunnel.staged->in_sa.spi);
   sad_insert(ctx, staged.in_sa.spi, SadSlot::kStaged);
   tunnel.staged = std::move(staged);
-  ++stats_.rekeys_started;
+  ++stats_shard().rekeys_started;
   return util::Status::ok();
 }
 
@@ -403,7 +406,7 @@ void IpsecEndpoint::expire_draining(ContextId ctx, Tunnel& tunnel,
     tunnel.draining->sa.state = SaState::kDead;
     sad_erase(ctx, tunnel.draining->sa.spi);
     tunnel.draining.reset();
-    ++stats_.sas_retired;
+    ++stats_shard().sas_retired;
   }
 }
 
@@ -414,7 +417,7 @@ void IpsecEndpoint::cutover(ContextId ctx, Tunnel& tunnel,
   if (tunnel.draining) {
     sad_erase(ctx, tunnel.draining->sa.spi);
     tunnel.draining.reset();
-    ++stats_.sas_retired;
+    ++stats_shard().sas_retired;
   }
   DrainingSa draining;
   draining.sa = tunnel.in_sa;
@@ -429,7 +432,7 @@ void IpsecEndpoint::cutover(ContextId ctx, Tunnel& tunnel,
   tunnel.keymat = tunnel.staged->keymat;
   tunnel.staged.reset();
   sad_insert(ctx, tunnel.in_sa.spi, SadSlot::kCurrent);
-  ++stats_.rekeys_completed;
+  ++stats_shard().rekeys_completed;
 }
 
 SecurityAssociation* IpsecEndpoint::outbound_gate(ContextId ctx,
@@ -453,7 +456,7 @@ SecurityAssociation* IpsecEndpoint::outbound_gate(ContextId ctx,
     // emit a packet the SA is no longer allowed to send.
     sa->state = SaState::kDead;
     ++sa->lifetime_drops;
-    ++stats_.lifetime_drops;
+    ++stats_shard().lifetime_drops;
     return nullptr;
   }
   if (soft && sa->state == SaState::kActive) {
@@ -464,18 +467,66 @@ SecurityAssociation* IpsecEndpoint::outbound_gate(ContextId ctx,
   return sa;
 }
 
+bool IpsecEndpoint::fast_path_ok(const Tunnel& tunnel, NfPortIndex in_port,
+                                 std::size_t frames) {
+  if (tunnel.staged || tunnel.draining) return false;
+  const SaLifetime& lt = tunnel.lifetime;
+  if (lt.soft_packets != 0 || lt.hard_packets != 0 || lt.soft_bytes != 0 ||
+      lt.hard_bytes != 0) {
+    return false;
+  }
+  if (in_port == 0) {
+    const SecurityAssociation& sa = tunnel.out_sa;
+    if (sa.state != SaState::kActive) return false;
+    // Neither sequence exhaustion nor the soft headroom trigger may
+    // become reachable within this burst (conservative by one frame).
+    const std::uint64_t remaining = sa.seq_ceiling() - sa.seq;
+    if (remaining < frames) return false;
+    if (lt.seq_headroom != 0 && remaining - frames <= lt.seq_headroom) {
+      return false;
+    }
+  } else {
+    if (tunnel.in_sa.state != SaState::kActive) return false;
+  }
+  return true;
+}
+
 std::vector<NfOutput> IpsecEndpoint::process(ContextId ctx,
                                              NfPortIndex in_port,
                                              sim::SimTime now,
                                              packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
-  if (!has_context(ctx) || in_port >= 2) {
-    ++stats_.malformed;
-    return out;
+  {
+    // Steady-state fast path under the shared lock: counters are
+    // atomic, the replay window is single-writer (RSS pins a SPI's
+    // ingress to one worker), and fast_path_ok guarantees no lifecycle
+    // transition can trigger for this packet.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (!has_context(ctx) || in_port >= 2) {
+      ++stats_shard().malformed;
+      return out;
+    }
+    auto it = tunnels_.find(ctx);
+    if (it == tunnels_.end() || !it->second.configured) {
+      ++stats_shard().no_sa;
+      return out;
+    }
+    Tunnel& tunnel = it->second;
+    if (fast_path_ok(tunnel, in_port, 1)) {
+      if (in_port == 0) {
+        return tunnel.transform == EspTransform::kGcm
+                   ? encapsulate_gcm(tunnel, tunnel.out_sa, std::move(frame))
+                   : encapsulate_cbc(tunnel, tunnel.out_sa, std::move(frame));
+      }
+      return decapsulate(ctx, tunnel, std::move(frame));
+    }
   }
+  // Lifecycle path (staged/draining generations, lifetimes, hard
+  // stops): exclusive lock, exact single-threaded semantics.
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = tunnels_.find(ctx);
   if (it == tunnels_.end() || !it->second.configured) {
-    ++stats_.no_sa;
+    ++stats_shard().no_sa;
     return out;
   }
   expire_draining(ctx, it->second, now);
@@ -513,7 +564,7 @@ std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
     const packet::PacketBuffer& frame) {
   auto eth = packet::parse_ethernet(frame.data());
   if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   // Inner packet = everything after the Ethernet header, trimmed to the IP
@@ -521,14 +572,14 @@ std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
   auto l3 = frame.data().subspan(eth->wire_size());
   auto inner_ip = packet::parse_ipv4(l3);
   if (!inner_ip || inner_ip->total_length > l3.size()) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   return std::span<const std::uint8_t>{l3.data(), inner_ip->total_length};
 }
 
 packet::PacketBuffer IpsecEndpoint::build_esp_frame(
-    const Tunnel& tunnel, const SecurityAssociation& sa,
+    const Tunnel& tunnel, const SecurityAssociation& sa, std::uint64_t seq,
     std::size_t esp_payload) {
   packet::PacketBuffer outp;
   outp.push_back(kEspOffset + esp_payload);
@@ -548,11 +599,11 @@ packet::PacketBuffer IpsecEndpoint::build_esp_frame(
   outer_ip.dst = tunnel.peer_ip;
   outer_ip.total_length =
       static_cast<std::uint16_t>(packet::kIpv4MinHeaderSize + esp_payload);
-  outer_ip.identification = static_cast<std::uint16_t>(sa.seq);
+  outer_ip.identification = static_cast<std::uint16_t>(seq);
   packet::write_ipv4(outer_ip, buf.subspan(packet::kEthernetHeaderSize,
                                            packet::kIpv4MinHeaderSize));
 
-  packet::EspHeader esp{sa.spi, static_cast<std::uint32_t>(sa.seq)};
+  packet::EspHeader esp{sa.spi, static_cast<std::uint32_t>(seq)};
   packet::write_esp(esp, buf.subspan(kEspOffset, packet::kEspHeaderSize));
   return outp;
 }
@@ -562,18 +613,18 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
     std::size_t min_esp_payload) {
   auto eth = packet::parse_ethernet(frame.data());
   if (!eth || eth->ether_type != packet::kEtherTypeIpv4) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   auto l3 = frame.data().subspan(eth->wire_size());
   auto ip = packet::parse_ipv4(l3);
   if (!ip || ip->protocol != packet::kIpProtoEsp ||
       ip->total_length > l3.size()) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   if (!(ip->dst == tunnel.local_ip)) {
-    ++stats_.no_sa;
+    ++stats_shard().no_sa;
     return std::nullopt;
   }
   // parse_ipv4 guarantees total_length >= header_size, so this span is
@@ -581,12 +632,12 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
   auto esp_area = l3.subspan(ip->header_size(),
                              ip->total_length - ip->header_size());
   if (esp_area.size() < min_esp_payload) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   auto esp = packet::parse_esp(esp_area);
   if (!esp) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return std::nullopt;
   }
   // O(1) SAD resolution: (ctx, SPI) -> generation. Current, staged and
@@ -594,7 +645,7 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
   // packets of the superseded generation drain during a rekey.
   auto sad_it = sad_.find(sad_key(ctx, esp->spi));
   if (sad_it == sad_.end()) {
-    ++stats_.no_sa;
+    ++stats_shard().no_sa;
     return std::nullopt;
   }
   SecurityAssociation* sa = nullptr;
@@ -617,7 +668,7 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
       hard_expired(tunnel.lifetime, *sa)) {
     sa->state = SaState::kDead;
     ++sa->lifetime_drops;
-    ++stats_.lifetime_drops;
+    ++stats_shard().lifetime_drops;
     return std::nullopt;
   }
   // One recovery per packet: the 64-bit sequence inferred here is reused
@@ -634,7 +685,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
   std::vector<NfOutput> out;
   if (plaintext.size() < 2) {
     ++sa.malformed;
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return out;
   }
   const std::uint8_t next_header = plaintext.back();
@@ -643,7 +694,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
   // larger value is forgery debris that must not underflow the resize.
   if (next_header != 4 || plaintext.size() < 2u + pad_len) {
     ++sa.malformed;
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return out;
   }
   // Validate the monotonic pad bytes (cheap corruption check).
@@ -651,7 +702,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
     const std::size_t idx = plaintext.size() - 2 - pad_len + i;
     if (plaintext[idx] != i + 1) {
       ++sa.malformed;
-      ++stats_.malformed;
+      ++stats_shard().malformed;
       return out;
     }
   }
@@ -669,7 +720,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
 
   ++sa.packets;
   sa.bytes += inner.size();
-  ++stats_.decapsulated;
+  ++stats_shard().decapsulated;
   out.push_back(NfOutput{0, std::move(inner)});
   return out;
 }
@@ -680,7 +731,9 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
-  sa.seq += 1;
+  // Claim this packet's sequence number atomically: workers sharing the
+  // SA each get a unique value.
+  const std::uint64_t seq = ++sa.seq;
 
   // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
   // pad bytes are 1,2,3,... (RFC 4303 §2.4).
@@ -694,17 +747,17 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   plaintext.push_back(4);  // next header: IPv4 (tunnel mode)
 
   Keymat& keymat = *tunnel.keymat;
-  const auto iv = derive_iv(*keymat.cipher, sa.spi, sa.seq);
+  const auto iv = derive_iv(*keymat.cipher, sa.spi, seq);
   auto ciphertext = crypto::aes_cbc_encrypt_raw(*keymat.cipher, iv, plaintext);
   if (!ciphertext) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return out;
   }
 
   // Assemble: Eth | outer IPv4 | ESP | IV | ciphertext | ICV.
   const std::size_t esp_payload =
       packet::kEspHeaderSize + kIvSize + ciphertext->size() + kIcvSize;
-  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, esp_payload);
+  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, seq, esp_payload);
   auto buf = outp.data();
   std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize, iv.data(),
               kIvSize);
@@ -720,7 +773,7 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   hmac.update(buf.subspan(kEspOffset, auth_len));
   if (sa.esn) {
     std::uint8_t hi[4];
-    util::store_be32(hi, static_cast<std::uint32_t>(sa.seq >> 32));
+    util::store_be32(hi, static_cast<std::uint32_t>(seq >> 32));
     hmac.update(hi);
   }
   const auto icv = hmac.final();
@@ -728,7 +781,7 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
 
   ++sa.packets;
   sa.bytes += inner->size();
-  ++stats_.encapsulated;
+  ++stats_shard().encapsulated;
   out.push_back(NfOutput{1, std::move(outp)});
   return out;
 }
@@ -755,12 +808,12 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
   if (!crypto::constant_time_equal({expected.data(), kIcvSize},
                                    esp_area.subspan(auth_len, kIcvSize))) {
     ++sa.auth_fail;
-    ++stats_.auth_failures;
+    ++stats_shard().auth_failures;
     return out;
   }
   if (!replay_check_and_update(sa, ingress.sequence)) {
     ++sa.replay_drops;
-    ++stats_.replay_drops;
+    ++stats_shard().replay_drops;
     return out;
   }
 
@@ -772,7 +825,7 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
       crypto::aes_cbc_decrypt_raw(*keymat.cipher, iv, ciphertext);
   if (!plaintext) {
     ++sa.malformed;
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return out;
   }
   return emit_inner(tunnel, sa, std::move(*plaintext));
@@ -794,7 +847,9 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
-  sa.seq += 1;
+  // Claim this packet's sequence number atomically: workers sharing the
+  // SA each get a unique value.
+  const std::uint64_t seq = ++sa.seq;
 
   // ESP trailer: GCM is a stream mode, so padding only has to satisfy the
   // RFC 4303 4-byte alignment of (payload | pad_len | next_header).
@@ -802,9 +857,9 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   const std::size_t pt_len = inner->size() + pad + 2;
   const std::size_t esp_payload =
       packet::kEspHeaderSize + kGcmIvSize + pt_len + kGcmIcvSize;
-  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, esp_payload);
+  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, seq, esp_payload);
   auto buf = outp.data();
-  util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, sa.seq);
+  util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, seq);
 
   // Assemble plaintext (inner packet + trailer) directly where the
   // ciphertext goes and seal in place.
@@ -824,19 +879,19 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   // AAD: the ESP header, widened to SPI || seq-hi || seq-lo under ESN
   // (without ESN the constructed bytes equal the wire header exactly).
   std::uint8_t aad[12];
-  const std::size_t aad_len = esp_aad(sa, sa.seq, aad);
+  const std::size_t aad_len = esp_aad(sa, seq, aad);
 
   if (!keymat.gcm
            ->seal(nonce, {aad, aad_len}, buf.subspan(ct_off, pt_len),
                   buf.data() + ct_off, buf.data() + ct_off + pt_len)
            .is_ok()) {
-    ++stats_.malformed;
+    ++stats_shard().malformed;
     return out;
   }
 
   ++sa.packets;
   sa.bytes += inner->size();
-  ++stats_.encapsulated;
+  ++stats_shard().encapsulated;
   out.push_back(NfOutput{1, std::move(outp)});
   return out;
 }
@@ -867,12 +922,12 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(Tunnel& tunnel,
   if (!keymat.gcm->open({nonce, sizeof(nonce)}, {aad, aad_len}, ciphertext,
                         icv, plaintext.data())) {
     ++sa.auth_fail;
-    ++stats_.auth_failures;
+    ++stats_shard().auth_failures;
     return out;
   }
   if (!replay_check_and_update(sa, ingress.sequence)) {
     ++sa.replay_drops;
-    ++stats_.replay_drops;
+    ++stats_shard().replay_drops;
     return out;
   }
   return emit_inner(tunnel, sa, std::move(plaintext));
@@ -883,13 +938,42 @@ std::vector<NfOutput> IpsecEndpoint::process_burst(
     packet::PacketBurst&& burst) {
   std::vector<NfOutput> out;
   if (burst.empty()) return out;
-  if (!has_context(ctx) || in_port >= 2) {
-    stats_.malformed += burst.size();
-    return out;
+  {
+    // Steady-state fast path for the whole burst under the shared lock;
+    // fast_path_ok is sized by the burst so no frame inside it can trip
+    // a lifecycle transition.
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (!has_context(ctx) || in_port >= 2) {
+      stats_shard().malformed += burst.size();
+      return out;
+    }
+    auto it = tunnels_.find(ctx);
+    if (it == tunnels_.end() || !it->second.configured) {
+      stats_shard().no_sa += burst.size();
+      return out;
+    }
+    Tunnel& tunnel = it->second;
+    if (fast_path_ok(tunnel, in_port, burst.size())) {
+      out.reserve(burst.size());
+      for (packet::PacketBuffer& frame : burst) {
+        auto one =
+            in_port == 0
+                ? (tunnel.transform == EspTransform::kGcm
+                       ? encapsulate_gcm(tunnel, tunnel.out_sa,
+                                         std::move(frame))
+                       : encapsulate_cbc(tunnel, tunnel.out_sa,
+                                         std::move(frame)))
+                : decapsulate(ctx, tunnel, std::move(frame));
+        for (NfOutput& output : one) out.push_back(std::move(output));
+      }
+      burst.clear();
+      return out;
+    }
   }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = tunnels_.find(ctx);
   if (it == tunnels_.end() || !it->second.configured) {
-    stats_.no_sa += burst.size();
+    stats_shard().no_sa += burst.size();
     return out;
   }
   Tunnel& tunnel = it->second;
@@ -928,6 +1012,7 @@ bool IpsecEndpoint::replay_check_and_update(SecurityAssociation& sa,
 }
 
 util::Status IpsecEndpoint::remove_context(ContextId ctx) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   NNFV_RETURN_IF_ERROR(NetworkFunction::remove_context(ctx));
   auto it = tunnels_.find(ctx);
   if (it != tunnels_.end()) {
@@ -940,19 +1025,41 @@ util::Status IpsecEndpoint::remove_context(ContextId ctx) {
   return util::Status::ok();
 }
 
+IpsecStats IpsecEndpoint::stats() const {
+  // Aggregates the per-worker shards; counters are relaxed, so the sum
+  // is a point-in-time snapshot, exact once the datapath is quiesced.
+  IpsecStats totals;
+  for (const StatsShard& shard : stats_shards_) {
+    const IpsecStats& s = shard.stats;
+    totals.encapsulated += s.encapsulated;
+    totals.decapsulated += s.decapsulated;
+    totals.auth_failures += s.auth_failures;
+    totals.replay_drops += s.replay_drops;
+    totals.malformed += s.malformed;
+    totals.no_sa += s.no_sa;
+    totals.lifetime_drops += s.lifetime_drops;
+    totals.rekeys_started += s.rekeys_started;
+    totals.rekeys_completed += s.rekeys_completed;
+    totals.sas_retired += s.sas_retired;
+  }
+  return totals;
+}
+
 json::Value IpsecEndpoint::describe_stats(ContextId ctx) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const IpsecStats totals = stats();
   json::Object doc;
   json::Object endpoint;
-  endpoint["encapsulated"] = stats_.encapsulated;
-  endpoint["decapsulated"] = stats_.decapsulated;
-  endpoint["auth_failures"] = stats_.auth_failures;
-  endpoint["replay_drops"] = stats_.replay_drops;
-  endpoint["malformed"] = stats_.malformed;
-  endpoint["no_sa"] = stats_.no_sa;
-  endpoint["lifetime_drops"] = stats_.lifetime_drops;
-  endpoint["rekeys_started"] = stats_.rekeys_started;
-  endpoint["rekeys_completed"] = stats_.rekeys_completed;
-  endpoint["sas_retired"] = stats_.sas_retired;
+  endpoint["encapsulated"] = totals.encapsulated.load();
+  endpoint["decapsulated"] = totals.decapsulated.load();
+  endpoint["auth_failures"] = totals.auth_failures.load();
+  endpoint["replay_drops"] = totals.replay_drops.load();
+  endpoint["malformed"] = totals.malformed.load();
+  endpoint["no_sa"] = totals.no_sa.load();
+  endpoint["lifetime_drops"] = totals.lifetime_drops.load();
+  endpoint["rekeys_started"] = totals.rekeys_started.load();
+  endpoint["rekeys_completed"] = totals.rekeys_completed.load();
+  endpoint["sas_retired"] = totals.sas_retired.load();
   doc["endpoint"] = std::move(endpoint);
   doc["sad_size"] = static_cast<std::uint64_t>(sad_.size());
   auto it = tunnels_.find(ctx);

@@ -51,14 +51,18 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "crypto/aes.hpp"
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
+#include "exec/worker_slot.hpp"
 #include "json/json.hpp"
 #include "nnf/network_function.hpp"
 #include "packet/headers.hpp"
+#include "util/atomics.hpp"
+#include "util/sync.hpp"
 
 namespace nnfv::nnf {
 
@@ -89,25 +93,32 @@ struct SaLifetime {
 };
 
 /// One unidirectional security association.
+///
+/// Concurrency (docs/datapath.md §6): mutable fields are relaxed
+/// atomics so datapath workers on different shards may share an SA.
+/// The outbound sequence is claimed with an atomic increment (every
+/// packet gets a unique seq regardless of which worker sends it); the
+/// replay window is single-writer by construction — RSS pins all ESP
+/// ingress of one outer IP pair, hence one SPI, to one worker.
 struct SecurityAssociation {
   std::uint32_t spi = 0;
   std::array<std::uint8_t, 16> enc_key{};   ///< AES-128
   std::array<std::uint8_t, 4> salt{};       ///< GCM nonce salt (RFC 4106)
   std::array<std::uint8_t, 32> auth_key{};  ///< HMAC-SHA256 (cbc-hmac)
   bool esn = false;  ///< RFC 4304 64-bit extended sequence numbers
-  SaState state = SaState::kActive;
-  std::uint64_t seq = 0;  ///< last sent (out) sequence, full 64-bit
+  util::Relaxed<SaState> state = SaState::kActive;
+  util::RelaxedCounter seq;  ///< last sent (out) sequence, full 64-bit
   // Anti-replay (inbound only): highest authenticated 64-bit sequence
   // (seq-hi || seq-lo under ESN) + sliding bitmap below it.
-  std::uint64_t replay_top = 0;
-  std::uint64_t replay_bitmap = 0;
+  util::RelaxedCounter replay_top;
+  util::RelaxedCounter replay_bitmap;
   // Lifetime usage + per-SA failure accounting.
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t auth_fail = 0;
-  std::uint64_t replay_drops = 0;
-  std::uint64_t lifetime_drops = 0;
-  std::uint64_t malformed = 0;
+  util::RelaxedCounter packets;
+  util::RelaxedCounter bytes;
+  util::RelaxedCounter auth_fail;
+  util::RelaxedCounter replay_drops;
+  util::RelaxedCounter lifetime_drops;
+  util::RelaxedCounter malformed;
 
   /// Highest sequence number this SA may ever send (RFC 4303 §3.3.3:
   /// the counter must not cycle). 2^32-1 without ESN; the full 64-bit
@@ -118,17 +129,17 @@ struct SecurityAssociation {
 };
 
 struct IpsecStats {
-  std::uint64_t encapsulated = 0;
-  std::uint64_t decapsulated = 0;
-  std::uint64_t auth_failures = 0;
-  std::uint64_t replay_drops = 0;
-  std::uint64_t malformed = 0;
-  std::uint64_t no_sa = 0;
+  util::RelaxedCounter encapsulated;
+  util::RelaxedCounter decapsulated;
+  util::RelaxedCounter auth_failures;
+  util::RelaxedCounter replay_drops;
+  util::RelaxedCounter malformed;
+  util::RelaxedCounter no_sa;
   /// Packets dropped by a hard lifetime / sequence-exhaustion stop.
-  std::uint64_t lifetime_drops = 0;
-  std::uint64_t rekeys_started = 0;    ///< staged keymat installed
-  std::uint64_t rekeys_completed = 0;  ///< outbound cutover performed
-  std::uint64_t sas_retired = 0;       ///< draining inbound SAs expired
+  util::RelaxedCounter lifetime_drops;
+  util::RelaxedCounter rekeys_started;    ///< staged keymat installed
+  util::RelaxedCounter rekeys_completed;  ///< outbound cutover performed
+  util::RelaxedCounter sas_retired;       ///< draining inbound SAs expired
 };
 
 class IpsecEndpoint : public NetworkFunction {
@@ -184,7 +195,10 @@ class IpsecEndpoint : public NetworkFunction {
 
   util::Status remove_context(ContextId ctx) override;
 
-  [[nodiscard]] const IpsecStats& stats() const { return stats_; }
+  /// Endpoint counters, aggregated across the per-worker stat shards
+  /// (each datapath worker bumps only its own shard; see
+  /// docs/datapath.md §6).
+  [[nodiscard]] IpsecStats stats() const;
 
   /// Live status for the REST path (GET .../VNFs/{nf}/stats): endpoint
   /// counters, SAD size, and the context's SA generations with state,
@@ -295,9 +309,12 @@ class IpsecEndpoint : public NetworkFunction {
   /// Shared encap epilogue start: allocates the output frame and writes
   /// Eth | outer IPv4 | ESP header for `esp_payload` bytes of ESP
   /// payload (the transform then fills IV/ciphertext/ICV behind the
-  /// fixed kEspOffset).
+  /// fixed kEspOffset). `seq` is the sequence number this packet
+  /// claimed with its atomic increment — sa.seq may already be ahead
+  /// when several workers share the SA.
   static packet::PacketBuffer build_esp_frame(const Tunnel& tunnel,
                                               const SecurityAssociation& sa,
+                                              std::uint64_t seq,
                                               std::size_t esp_payload);
 
   /// Shared decap prologue: validates the black-side frame down to the
@@ -349,11 +366,39 @@ class IpsecEndpoint : public NetworkFunction {
   static bool replay_check_and_update(SecurityAssociation& sa,
                                       std::uint64_t seq);
 
+  /// True when `tunnel` is in plain steady state for `frames` more
+  /// packets on `in_port`: no staged/draining generation, no byte/packet
+  /// lifetimes configured, the relevant SA ACTIVE and (outbound) far
+  /// enough from its sequence ceiling that neither the soft headroom
+  /// trigger nor exhaustion can trip inside the burst. Under these
+  /// conditions the datapath runs under a shared lock — counters are
+  /// atomic, replay windows are single-writer by RSS — and anything
+  /// else retries under the exclusive lock with the exact
+  /// single-threaded lifecycle semantics.
+  [[nodiscard]] static bool fast_path_ok(const Tunnel& tunnel,
+                                         NfPortIndex in_port,
+                                         std::size_t frames);
+
   std::unordered_map<ContextId, Tunnel> tunnels_;
   /// Inbound SAD: (context, SPI) -> generation. O(1) lookup regardless
   /// of tunnel count; entries exist only for configured inbound SAs.
   std::unordered_map<std::uint64_t, SadSlot> sad_;
-  IpsecStats stats_;
+
+  /// Structural lock: process paths hold it shared in steady state,
+  /// exclusive for lifecycle transitions (cutover, drain expiry, hard
+  /// stops); configure()/remove_context() are exclusive. Protects
+  /// tunnels_/sad_ topology and SA generation swaps.
+  mutable util::SharedMutex mutex_;
+
+  /// Endpoint counters sharded per worker slot so the hot path never
+  /// shares a stats cache line across workers; stats() aggregates.
+  struct alignas(64) StatsShard {
+    IpsecStats stats;
+  };
+  std::array<StatsShard, exec::kMaxSlots> stats_shards_;
+  IpsecStats& stats_shard() {
+    return stats_shards_[exec::current_worker_slot()].stats;
+  }
 };
 
 }  // namespace nnfv::nnf

@@ -21,6 +21,7 @@
 #include "json/json.hpp"
 #include "packet/buffer.hpp"
 #include "sim/time.hpp"
+#include "util/atomics.hpp"
 #include "util/status.hpp"
 
 namespace nnfv::nnf {
@@ -90,11 +91,12 @@ class NetworkFunction {
 };
 
 /// Per-function packet counters, kept by implementations that need them.
+/// Relaxed atomics: datapath workers bump them concurrently (docs §6).
 struct NfCounters {
-  std::uint64_t in_packets = 0;
-  std::uint64_t out_packets = 0;
-  std::uint64_t dropped = 0;
-  std::uint64_t errors = 0;
+  util::RelaxedCounter in_packets;
+  util::RelaxedCounter out_packets;
+  util::RelaxedCounter dropped;
+  util::RelaxedCounter errors;
 };
 
 }  // namespace nnfv::nnf

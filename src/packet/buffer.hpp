@@ -2,6 +2,7 @@
 // tunnel mode, VLAN push) can prepend headers without copying the payload.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -43,8 +44,14 @@ class PacketBuffer {
   /// Truncates to `n` bytes. n must be <= size().
   void trim(std::size_t n);
 
-  std::uint8_t& operator[](std::size_t i) { return storage_[offset_ + i]; }
+  /// Bounds are checked in debug builds only; the hot path stays a bare
+  /// add in release builds.
+  std::uint8_t& operator[](std::size_t i) {
+    assert(i < length_ && "PacketBuffer index out of range");
+    return storage_[offset_ + i];
+  }
   const std::uint8_t& operator[](std::size_t i) const {
+    assert(i < length_ && "PacketBuffer index out of range");
     return storage_[offset_ + i];
   }
 

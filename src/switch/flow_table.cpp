@@ -5,17 +5,24 @@
 namespace nnfv::nfswitch {
 
 void FlowTable::touch() {
-  classifier_dirty_ = true;
-  ++generation_;  // invalidates every microflow-cache slot at once
+  // invalidates every microflow-cache slot (of every worker) at once
+  generation_.fetch_add(1, std::memory_order_release);
+  classifier_dirty_.store(true, std::memory_order_release);
 }
 
 void FlowTable::ensure_classifier() const {
-  if (!classifier_dirty_) return;
+  // Mutations only happen with the datapath quiesced, so `dirty` is
+  // stable while workers race here: the first one through the mutex
+  // rebuilds, everyone else blocks until the release-store below and
+  // then sees the fresh classifier.
+  if (!classifier_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(classifier_mutex_);
+  if (!classifier_dirty_.load(std::memory_order_relaxed)) return;
   std::vector<FlowEntry*> sorted;
   sorted.reserve(entries_.size());
   for (const auto& e : entries_) sorted.push_back(e.get());
   classifier_.rebuild(sorted);
-  classifier_dirty_ = false;
+  classifier_dirty_.store(false, std::memory_order_release);
 }
 
 FlowEntry* FlowTable::classify(const FlowKeyView& key) const {
@@ -95,17 +102,22 @@ FlowEntry* FlowTable::lookup(const FlowContext& ctx,
 FlowEntry* FlowTable::lookup_key(const FlowKeyView& key,
                                  std::size_t packet_bytes) {
   ++cache_lookups_;
-  if (cache_ == nullptr) {
-    cache_ = std::make_unique<std::array<CacheSlot, kCacheSlots>>();
+  // Each worker slot owns its cache outright (allocated on first use by
+  // the owning thread), so slot probes and fills are unsynchronized.
+  auto& cache = caches_[exec::current_worker_slot()];
+  if (cache == nullptr) {
+    cache = std::make_unique<std::array<CacheSlot, kCacheSlots>>();
   }
-  CacheSlot& slot = (*cache_)[key.hash() & (kCacheSlots - 1)];
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  CacheSlot& slot = (*cache)[key.hash() & (kCacheSlots - 1)];
   FlowEntry* entry = nullptr;
-  if (slot.generation == generation_ && slot.key == key) {
+  if (slot.generation == generation && slot.key == key) {
     ++cache_hits_;
     entry = slot.entry;
   } else {
     entry = classify(key);
-    slot.generation = generation_;
+    slot.generation = generation;
     slot.key = key;
     slot.entry = entry;
   }

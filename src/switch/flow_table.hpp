@@ -11,16 +11,20 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "exec/worker_slot.hpp"
 #include "switch/flow_action.hpp"
 #include "switch/flow_classifier.hpp"
 #include "switch/flow_match.hpp"
+#include "util/atomics.hpp"
 #include "util/status.hpp"
 
 namespace nnfv::nfswitch {
@@ -28,9 +32,11 @@ namespace nnfv::nfswitch {
 using FlowEntryId = std::uint64_t;
 using Cookie = std::uint64_t;
 
+/// Relaxed-atomic counters: several datapath workers bump the same
+/// entry's stats concurrently (see docs/datapath.md §6).
 struct FlowEntryStats {
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  util::RelaxedCounter packets;
+  util::RelaxedCounter bytes;
 };
 
 /// THE table ordering — priority desc, then earliest-added (lowest id).
@@ -119,16 +125,28 @@ class FlowTable {
   std::unordered_map<FlowEntryId, FlowEntry*> by_id_;
   std::unordered_map<Cookie, std::vector<FlowEntry*>> by_cookie_;
 
+  // Threading contract (docs/datapath.md §6): mutations (add/remove)
+  // happen with the datapath quiesced; lookups run concurrently from
+  // worker threads. The lazy classifier rebuild is the one post-mutation
+  // step workers themselves trigger, so it is double-check-locked; the
+  // generation bump stays the wholesale invalidation broadcast for every
+  // worker's microflow cache.
   mutable TupleSpaceClassifier classifier_;
-  mutable bool classifier_dirty_ = false;
-  /// Bumped on every mutation; invalidates all cache slots at once.
-  std::uint64_t generation_ = 1;
-  mutable std::unique_ptr<std::array<CacheSlot, kCacheSlots>> cache_;
+  mutable std::atomic<bool> classifier_dirty_{false};
+  mutable std::mutex classifier_mutex_;
+  /// Bumped on every mutation; invalidates every cache slot of every
+  /// worker at once.
+  std::atomic<std::uint64_t> generation_{1};
+  /// One direct-mapped microflow cache per worker slot (slot 0 = the
+  /// control/inline thread), allocated lazily by its owning thread only.
+  mutable std::array<std::unique_ptr<std::array<CacheSlot, kCacheSlots>>,
+                     exec::kMaxSlots>
+      caches_;
 
   FlowEntryId next_id_ = 1;
-  mutable std::uint64_t misses_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_lookups_ = 0;
+  mutable util::RelaxedCounter misses_;
+  util::RelaxedCounter cache_hits_;
+  util::RelaxedCounter cache_lookups_;
 };
 
 }  // namespace nnfv::nfswitch

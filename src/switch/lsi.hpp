@@ -35,12 +35,14 @@ class FlowController {
                             const packet::PacketBuffer& frame) = 0;
 };
 
+/// Relaxed-atomic counters: datapath workers on different shards bump
+/// the same port's stats concurrently (docs/datapath.md §6).
 struct PortStats {
-  std::uint64_t rx_packets = 0;
-  std::uint64_t rx_bytes = 0;
-  std::uint64_t tx_packets = 0;
-  std::uint64_t tx_bytes = 0;
-  std::uint64_t tx_no_peer = 0;  ///< transmits with no peer attached
+  util::RelaxedCounter rx_packets;
+  util::RelaxedCounter rx_bytes;
+  util::RelaxedCounter tx_packets;
+  util::RelaxedCounter tx_bytes;
+  util::RelaxedCounter tx_no_peer;  ///< transmits with no peer attached
 };
 
 class Lsi {
@@ -104,11 +106,14 @@ class Lsi {
 
   LsiId id_;
   std::string name_;
+  // Port add/remove follows the same quiesce contract as flow-table
+  // mutations; during traffic, ports_ is read-only and workers only
+  // touch the atomic counters inside each Port.
   std::map<PortId, Port> ports_;
   PortId next_port_ = 1;
   FlowTable table_;
   FlowController* controller_ = nullptr;
-  std::uint64_t processed_ = 0;
+  util::RelaxedCounter processed_;
 };
 
 }  // namespace nnfv::nfswitch

@@ -1,17 +1,35 @@
 #include "traffic/source.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/byteorder.hpp"
 
 namespace nnfv::traffic {
 
+namespace {
+
+/// Uniquifies the configured seed per constructed source. Every source
+/// used to default to seed 42, so a fleet built from one config emitted
+/// identical payloads and identical Poisson gap sequences — correlated
+/// "independent" streams. The first source keeps the configured seed
+/// exactly (single-source runs reproduce historic traces); later ones
+/// get a golden-ratio stride, deterministic in construction order.
+std::uint64_t uniquify_seed(std::uint64_t seed) {
+  static std::atomic<std::uint64_t> instance{0};
+  const std::uint64_t n = instance.fetch_add(1, std::memory_order_relaxed);
+  return seed + n * 0x9E3779B97F4A7C15ULL;
+}
+
+}  // namespace
+
 UdpSource::UdpSource(sim::Simulator& simulator, UdpSourceConfig config,
                      Transmit tx)
     : simulator_(simulator),
       config_(config),
       tx_(std::move(tx)),
-      rng_(config.seed),
+      effective_seed_(uniquify_seed(config.seed)),
+      rng_(effective_seed_),
       payload_(rng_.bytes(config.payload_bytes)) {
   if (payload_.size() < 8) payload_.resize(8);
 }
@@ -40,6 +58,12 @@ packet::PacketBuffer UdpSource::build_frame() {
   spec.ip_src = config_.ip_src;
   spec.ip_dst = config_.ip_dst;
   spec.src_port = config_.src_port;
+  if (config_.flow_count > 1) {
+    // Rotate the source port round-robin across the flow set; each
+    // distinct 5-tuple lands on its own RSS shard.
+    spec.src_port = static_cast<std::uint16_t>(
+        config_.src_port + sent_ % config_.flow_count);
+  }
   spec.dst_port = config_.dst_port;
   spec.payload = payload_;
   return packet::build_udp_frame(spec);

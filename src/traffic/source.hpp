@@ -34,6 +34,12 @@ struct UdpSourceConfig {
   sim::SimTime start = 0;
   sim::SimTime stop = 10 * sim::kSecond;
   std::uint64_t seed = 42;
+  /// Number of distinct flows this source cycles through. Successive
+  /// frames rotate the UDP source port over [src_port, src_port +
+  /// flow_count), so an RSS-sharded datapath spreads the stream across
+  /// workers instead of pinning every frame (same fixed 5-tuple) to one.
+  /// 1 keeps the historic single-flow behaviour.
+  std::size_t flow_count = 1;
 };
 
 class UdpSource {
@@ -52,6 +58,12 @@ class UdpSource {
 
   [[nodiscard]] std::uint64_t sent_packets() const { return sent_; }
   [[nodiscard]] std::uint64_t sent_bytes() const { return sent_bytes_; }
+  /// The seed actually driving this source's RNG: config.seed uniquified
+  /// per instance, so several sources built from one default config no
+  /// longer share identical payloads and Poisson gap sequences.
+  [[nodiscard]] std::uint64_t effective_seed() const {
+    return effective_seed_;
+  }
 
  private:
   void send_one();
@@ -62,6 +74,7 @@ class UdpSource {
   UdpSourceConfig config_;
   Transmit tx_;
   TransmitBurst burst_tx_;
+  std::uint64_t effective_seed_;
   util::Rng rng_;
   std::vector<std::uint8_t> payload_;
   std::uint64_t sent_ = 0;

@@ -1,0 +1,91 @@
+// Relaxed atomic wrappers for hot-path statistics and sequence state.
+//
+// The sharded datapath mutates counters from several worker threads at
+// once. These wrappers make that race-free without changing the call
+// sites: RelaxedCounter behaves like a plain uint64_t (assignment,
+// comparison, +=, ++) but every access is a relaxed atomic op, and —
+// unlike std::atomic — it is copyable, so structs holding one (SAs,
+// flow-entry stats) keep their value semantics. Relaxed ordering is the
+// contract: counters are statistics, not synchronization; anything that
+// needs ordering takes a lock or uses acquire/release explicitly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace nnfv::util {
+
+/// A copyable uint64 whose every access is a relaxed atomic operation.
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() noexcept = default;
+  constexpr RelaxedCounter(std::uint64_t v) noexcept : value_(v) {}
+  RelaxedCounter(const RelaxedCounter& other) noexcept
+      : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    store(v);
+    return *this;
+  }
+
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Atomic post-increment; returns the previous value.
+  std::uint64_t fetch_add(std::uint64_t v) noexcept {
+    return value_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  operator std::uint64_t() const noexcept { return load(); }
+  RelaxedCounter& operator+=(std::uint64_t v) noexcept {
+    fetch_add(v);
+    return *this;
+  }
+  RelaxedCounter& operator-=(std::uint64_t v) noexcept {
+    value_.fetch_sub(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator|=(std::uint64_t v) noexcept {
+    value_.fetch_or(v, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t operator++() noexcept { return fetch_add(1) + 1; }
+  std::uint64_t operator++(int) noexcept { return fetch_add(1); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A copyable trivially-copyable value (enum, bool, small int) with
+/// relaxed atomic load/store. Used for state flags read on the hot path
+/// but only mutated under the owner's exclusive lock.
+template <typename T>
+class Relaxed {
+ public:
+  constexpr Relaxed() noexcept = default;
+  constexpr Relaxed(T v) noexcept : value_(v) {}
+  Relaxed(const Relaxed& other) noexcept : value_(other.load()) {}
+  Relaxed& operator=(const Relaxed& other) noexcept {
+    store(other.load());
+    return *this;
+  }
+  Relaxed& operator=(T v) noexcept {
+    store(v);
+    return *this;
+  }
+
+  T load() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void store(T v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  operator T() const noexcept { return load(); }
+
+ private:
+  std::atomic<T> value_{};
+};
+
+}  // namespace nnfv::util

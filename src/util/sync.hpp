@@ -1,0 +1,34 @@
+// Synchronization helpers for the sharded datapath.
+//
+// Classes that grow a lock for worker-thread safety (IpsecEndpoint, Nat,
+// FlowTable) were value types before: tests and factories construct them
+// by value and move them around. std::shared_mutex / std::mutex would
+// delete those moves, so these wrappers make the lock itself "movable"
+// with no-op move semantics — the destination keeps its own freshly
+// constructed lock. Moving an object whose lock is currently held is
+// undefined, exactly as it always was; moves only happen at setup time,
+// before any worker thread exists.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace nnfv::util {
+
+/// std::shared_mutex with no-op move construction/assignment.
+class SharedMutex : public std::shared_mutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(SharedMutex&&) noexcept : std::shared_mutex() {}
+  SharedMutex& operator=(SharedMutex&&) noexcept { return *this; }
+};
+
+/// std::mutex with no-op move construction/assignment.
+class Mutex : public std::mutex {
+ public:
+  Mutex() = default;
+  Mutex(Mutex&&) noexcept : std::mutex() {}
+  Mutex& operator=(Mutex&&) noexcept { return *this; }
+};
+
+}  // namespace nnfv::util

@@ -1,0 +1,133 @@
+// PacketBuffer regression tests: operator[] bounds checking and the
+// push_front grow path (headroom exhaustion), which previously had no
+// coverage at all.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "packet/buffer.hpp"
+
+namespace nnfv::packet {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t start = 0) {
+  std::vector<std::uint8_t> out(n);
+  std::iota(out.begin(), out.end(), start);
+  return out;
+}
+
+TEST(PacketBuffer, IndexReadsAndWritesLiveBytes) {
+  auto bytes = pattern(16);
+  PacketBuffer buf(bytes);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(buf[i], bytes[i]);
+  }
+  buf[3] = 0xAB;
+  EXPECT_EQ(buf.data()[3], 0xAB);
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(NDEBUG)
+TEST(PacketBufferDeathTest, IndexPastSizeAssertsInDebug) {
+  auto bytes = pattern(8);
+  PacketBuffer buf(bytes);
+  // Indexes in [size, size + headroom-ish) used to silently alias the
+  // undefined region after the payload; now they die in debug builds.
+  EXPECT_DEATH({ (void)buf[8]; }, "out of range");
+  const PacketBuffer& cref = buf;
+  EXPECT_DEATH({ (void)cref[123]; }, "out of range");
+}
+
+TEST(PacketBufferDeathTest, IndexOnEmptyBufferAsserts) {
+  PacketBuffer buf;
+  EXPECT_DEATH({ (void)buf[0]; }, "out of range");
+}
+#endif
+
+TEST(PacketBuffer, PushFrontWithinHeadroomDoesNotReallocate) {
+  auto bytes = pattern(32);
+  PacketBuffer buf(bytes);  // default 128B headroom
+  const std::uint8_t* before = buf.data().data();
+  auto span = buf.push_front(14);
+  EXPECT_EQ(span.size(), 14u);
+  EXPECT_EQ(buf.size(), 46u);
+  EXPECT_EQ(buf.headroom(), PacketBuffer::kDefaultHeadroom - 14);
+  // The old bytes stayed put; the new span sits immediately before them.
+  EXPECT_EQ(buf.data().data() + 14, before);
+  EXPECT_EQ(std::memcmp(buf.data().data() + 14, bytes.data(), bytes.size()),
+            0);
+}
+
+TEST(PacketBuffer, PushFrontGrowPathPreservesPayload) {
+  auto bytes = pattern(64, 100);
+  PacketBuffer buf(bytes, /*headroom=*/4);
+  ASSERT_EQ(buf.headroom(), 4u);
+
+  // Needs 20 > 4 bytes of headroom: triggers the grow-and-copy path.
+  auto span = buf.push_front(20);
+  ASSERT_EQ(span.size(), 20u);
+  std::memset(span.data(), 0xEE, span.size());
+
+  EXPECT_EQ(buf.size(), 84u);
+  // The grow path tops headroom back up to the default.
+  EXPECT_EQ(buf.headroom(), PacketBuffer::kDefaultHeadroom);
+  // Original payload intact after the prepended region.
+  EXPECT_EQ(std::memcmp(buf.data().data() + 20, bytes.data(), bytes.size()),
+            0);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(buf[i], 0xEE);
+}
+
+TEST(PacketBuffer, PushFrontGrowOnZeroHeadroomBuffer) {
+  auto bytes = pattern(10);
+  PacketBuffer buf(bytes, /*headroom=*/0);
+  buf.push_front(1)[0] = 0x42;
+  EXPECT_EQ(buf.size(), 11u);
+  EXPECT_EQ(buf[0], 0x42);
+  EXPECT_EQ(std::memcmp(buf.data().data() + 1, bytes.data(), bytes.size()),
+            0);
+}
+
+TEST(PacketBuffer, PushFrontPullFrontRoundTrip) {
+  auto bytes = pattern(48, 7);
+  PacketBuffer buf(bytes, /*headroom=*/8);
+  // Grow path prepend, then strip the prepended header again.
+  auto hdr = buf.push_front(32);
+  std::memset(hdr.data(), 0x55, hdr.size());
+  buf.pull_front(32);
+  ASSERT_EQ(buf.size(), bytes.size());
+  EXPECT_EQ(std::memcmp(buf.data().data(), bytes.data(), bytes.size()), 0);
+  // Headroom is whatever the grow path left: room to prepend again
+  // without another reallocation.
+  EXPECT_GE(buf.headroom(), 32u);
+}
+
+TEST(PacketBuffer, TrimAfterGrowKeepsPrefix) {
+  auto bytes = pattern(40);
+  PacketBuffer buf(bytes, /*headroom=*/2);
+  buf.push_front(10);
+  buf.trim(5);
+  EXPECT_EQ(buf.size(), 5u);
+  buf.push_back(3);
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(PacketBuffer, RepeatedGrowStaysConsistent) {
+  auto bytes = pattern(8);
+  PacketBuffer buf(bytes, /*headroom=*/0);
+  std::size_t expected = bytes.size();
+  for (int round = 0; round < 5; ++round) {
+    // 200 > kDefaultHeadroom forces a reallocation every round.
+    auto span = buf.push_front(200);
+    std::memset(span.data(), static_cast<int>(round), span.size());
+    expected += 200;
+    ASSERT_EQ(buf.size(), expected);
+  }
+  // The original payload is still the suffix.
+  EXPECT_EQ(std::memcmp(buf.data().data() + buf.size() - bytes.size(),
+                        bytes.data(), bytes.size()),
+            0);
+}
+
+}  // namespace
+}  // namespace nnfv::packet

@@ -1,6 +1,7 @@
 // Traffic module tests: source pacing, sink windows, measurement harness.
 #include <gtest/gtest.h>
 
+#include "packet/flow_key.hpp"
 #include "sim/link.hpp"
 #include "traffic/measure.hpp"
 #include "traffic/sink.hpp"
@@ -167,6 +168,56 @@ TEST(Measurement, UnconstrainedPathDeliversOfferedLoad) {
   // Everything arrives: goodput == offered payload rate.
   EXPECT_NEAR(result.goodput_bps / 1e6, 50000.0 * 500 * 8 / 1e6, 2.0);
   EXPECT_GT(result.delivery_ratio, 0.99);
+}
+
+TEST(UdpSource, FlowCountRotatesSourcePorts) {
+  sim::Simulator simulator;
+  UdpSourceConfig config;
+  config.packets_per_second = 1000.0;
+  config.stop = 8 * sim::kMillisecond;
+  config.flow_count = 4;
+  std::vector<std::uint16_t> ports;
+  UdpSource source(simulator, config, [&](packet::PacketBuffer&& frame) {
+    auto eth = packet::parse_ethernet(frame.data());
+    auto tuple = packet::extract_five_tuple(
+        frame.data().subspan(eth->wire_size()));
+    ASSERT_TRUE(tuple.is_ok());
+    ports.push_back(tuple->src_port);
+  });
+  source.begin();
+  simulator.run();
+  ASSERT_EQ(ports.size(), 8u);
+  // Round-robin over [src_port, src_port + flow_count).
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_EQ(ports[i], config.src_port + i % 4);
+  }
+}
+
+TEST(UdpSource, SingleFlowKeepsFixedTuple) {
+  sim::Simulator simulator;
+  UdpSourceConfig config;  // flow_count = 1 (default)
+  config.packets_per_second = 1000.0;
+  config.stop = 4 * sim::kMillisecond;
+  std::vector<std::uint16_t> ports;
+  UdpSource source(simulator, config, [&](packet::PacketBuffer&& frame) {
+    auto eth = packet::parse_ethernet(frame.data());
+    auto tuple = packet::extract_five_tuple(
+        frame.data().subspan(eth->wire_size()));
+    ports.push_back(tuple->src_port);
+  });
+  source.begin();
+  simulator.run();
+  for (std::uint16_t port : ports) EXPECT_EQ(port, config.src_port);
+}
+
+TEST(UdpSource, SourcesFromSameConfigGetDistinctSeeds) {
+  sim::Simulator simulator;
+  UdpSourceConfig config;  // every field default, seed = 42 for both
+  UdpSource a(simulator, config, [](packet::PacketBuffer&&) {});
+  UdpSource b(simulator, config, [](packet::PacketBuffer&&) {});
+  // Identically-configured sources used to be clones (same payload, same
+  // Poisson gap sequence); now each instance draws a unique stream.
+  EXPECT_NE(a.effective_seed(), b.effective_seed());
 }
 
 }  // namespace
