@@ -9,6 +9,7 @@
 
 #include "core/node.hpp"
 #include "nffg/nffg.hpp"
+#include "packet/mbuf.hpp"
 #include "traffic/source.hpp"
 #include "util/strings.hpp"
 
@@ -51,7 +52,19 @@ struct SaturationResult {
   double goodput_mbps = 0.0;
   std::uint64_t delivered = 0;
   std::uint64_t offered = 0;
+  /// System-allocator events (mbuf slab growths + oversize heap
+  /// segments) per delivered packet inside the measurement window. The
+  /// zero-copy acceptance gate: 0 in steady state — the warmup grows the
+  /// pools to the working set, after which every frame recycles.
+  double allocs_per_packet = 0.0;
 };
+
+/// Pool-level heap events so far: how often the mbuf pools touched the
+/// system allocator (see MbufPoolStats).
+inline std::uint64_t pool_heap_events() {
+  const packet::MbufPoolStats stats = packet::MbufPool::global_stats();
+  return stats.slab_allocs + stats.heap_allocs;
+}
 
 /// Saturates eth0 with `payload_bytes` UDP datagrams and counts frames
 /// leaving eth1 inside [warmup, warmup+duration). Goodput is reported on
@@ -66,6 +79,15 @@ inline SaturationResult measure_saturation(core::UniversalNode& node,
     const sim::SimTime now = node.simulator().now();
     if (now >= warmup && now < warmup + duration) ++delivered;
   });
+  // Snapshot the pool heap-event counters at the measurement-window
+  // edges, so allocs_per_packet ignores the warmup (where slab growth to
+  // the working set is expected) and the drain tail.
+  std::uint64_t heap_events_start = 0;
+  std::uint64_t heap_events_end = 0;
+  node.simulator().schedule_at(warmup,
+                               [&]() { heap_events_start = pool_heap_events(); });
+  node.simulator().schedule_at(warmup + duration,
+                               [&]() { heap_events_end = pool_heap_events(); });
 
   traffic::UdpSourceConfig config;
   config.payload_bytes = payload_bytes;
@@ -84,6 +106,11 @@ inline SaturationResult measure_saturation(core::UniversalNode& node,
   result.goodput_mbps = static_cast<double>(delivered) *
                         static_cast<double>(payload_bytes) * 8.0 /
                         (static_cast<double>(duration) / 1e9) / 1e6;
+  result.allocs_per_packet =
+      delivered > 0
+          ? static_cast<double>(heap_events_end - heap_events_start) /
+                static_cast<double>(delivered)
+          : 0.0;
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "bench_json.hpp"
 #include "exec/datapath_executor.hpp"
 #include "nnf/ipsec.hpp"
+#include "packet/mbuf.hpp"
 #include "switch/flow_action.hpp"
 #include "switch/lsi.hpp"
 #include "traffic/source.hpp"
@@ -86,8 +87,27 @@ struct RunResult {
   double pps = 0.0;
   double ns_per_frame = 0.0;
   std::uint64_t frames = 0;
+  /// Pool heap events per frame over the timed rounds (after a warmup
+  /// round grows the pools to the working set). Must be 0: copies,
+  /// encap, and cross-worker frees all recycle pooled segments.
+  double allocs_per_packet = 0.0;
   std::vector<std::uint64_t> per_worker;
 };
+
+/// Deep copy of a burst: PacketBuffer is move-only, so reuse rounds
+/// duplicate the frame pool explicitly (pooled segments, not heap).
+packet::PacketBurst copy_burst(const packet::PacketBurst& pool) {
+  packet::PacketBurst out;
+  out.reserve(pool.size());
+  for (const packet::PacketBuffer& frame : pool) out.push_back(frame.copy());
+  return out;
+}
+
+/// Pool-level heap events so far (slab growths + oversize segments).
+std::uint64_t pool_heap_events() {
+  const packet::MbufPoolStats stats = packet::MbufPool::global_stats();
+  return stats.slab_allocs + stats.heap_allocs;
+}
 
 /// One scaling point: `workers` cores running classify -> ESP encap to
 /// completion over copies of `pool` for ~`budget_ms` of wall time.
@@ -124,9 +144,14 @@ RunResult run_point(const packet::PacketBurst& pool, std::size_t workers,
 
   using Clock = std::chrono::steady_clock;
   RunResult result;
+  // One untimed warmup round grows the mbuf pools to this worker count's
+  // working set; the timed rounds after it must be pure recycling.
+  executor.submit_burst(in, copy_burst(pool));
+  executor.drain();
+  const std::uint64_t heap_events_start = pool_heap_events();
   double elapsed_ms = 0.0;
   while (elapsed_ms < budget_ms) {
-    packet::PacketBurst round(pool);  // copy outside the timed section
+    packet::PacketBurst round = copy_burst(pool);  // outside the timed section
     const auto start = Clock::now();
     executor.submit_burst(in, std::move(round));
     executor.drain();
@@ -135,7 +160,13 @@ RunResult run_point(const packet::PacketBurst& pool, std::size_t workers,
             .count();
     result.frames += pool.size();
   }
+  const std::uint64_t heap_events_end = pool_heap_events();
   executor.stop();
+  result.allocs_per_packet =
+      result.frames > 0
+          ? static_cast<double>(heap_events_end - heap_events_start) /
+                static_cast<double>(result.frames)
+          : 0.0;
 
   result.pps =
       elapsed_ms > 0.0 ? static_cast<double>(result.frames) * 1e3 / elapsed_ms
@@ -168,6 +199,7 @@ int main(int argc, char** argv) {
 
   bool spread_ok = true;
   double uniform_speedup_4w = 0.0;
+  double allocs_per_packet = 0.0;  // worst point; must be 0 in steady state
   for (const char* mix : {"uniform", "elephant"}) {
     const packet::PacketBurst pool = make_pool(mix, pool_frames);
     double pps_1w = 0.0;
@@ -182,6 +214,7 @@ int main(int argc, char** argv) {
       auto& result = report.add(name, r.frames, r.ns_per_frame);
       result.extra.emplace_back("pps", r.pps);
       result.extra.emplace_back("speedup_vs_1w", speedup);
+      allocs_per_packet = std::max(allocs_per_packet, r.allocs_per_packet);
 
       if (std::string(mix) == "uniform" && workers == 4) {
         uniform_speedup_4w = speedup;
@@ -201,10 +234,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nacceptance: uniform 4-worker speedup %.2fx "
-              "(target >= 3x on >= 4 cores), per-worker spread %s\n\n",
-              uniform_speedup_4w, spread_ok ? "ok" : "VIOLATED");
+              "(target >= 3x on >= 4 cores), per-worker spread %s, "
+              "pool heap events %.4f/pkt (target 0)\n\n",
+              uniform_speedup_4w, spread_ok ? "ok" : "VIOLATED",
+              allocs_per_packet);
+  // Zero-copy acceptance: steady-state frames (copy -> classify -> ESP
+  // encap -> cross-worker free) recycle pooled segments; ceiling-gated
+  // at 0 via bench/baseline.json too.
+  report.add_metric("allocs_per_packet", "allocs_per_packet",
+                    allocs_per_packet);
   report.emit();
   if (!bench::gates_enabled()) return 0;  // smoke / unoptimised build
+  if (allocs_per_packet > 0.0) return 1;
   if (!spread_ok) return 1;               // RSS spread: gate on any machine
   if (cpus >= 4 && uniform_speedup_4w < 3.0) return 1;
   return 0;

@@ -11,6 +11,7 @@
 // saturate it with 1408-byte UDP datagrams (iPerf-style) and report the
 // maximum goodput, the runtime RAM reserved for the deployment, and the
 // size of the image the flavor required.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -247,6 +248,7 @@ int main(int argc, char** argv) {
   std::printf("-----------+----------------------------+------------------"
               "-------+-------------------------\n");
 
+  double allocs_per_packet = 0.0;  // worst row; must be 0 in steady state
   for (const Row& row : kRows) {
     core::UniversalNode node;
     auto report = node.orchestrator().deploy(
@@ -284,7 +286,13 @@ int main(int argc, char** argv) {
     json_row.extra.emplace_back(
         "image_mb",
         static_cast<double>(placement.image_bytes) / (1024.0 * 1024.0));
+    allocs_per_packet = std::max(allocs_per_packet, result.allocs_per_packet);
   }
+  // Zero-copy acceptance: once warm, ESP forwarding must not touch the
+  // system allocator — encap/decap are offset adjustments inside one
+  // pooled mbuf segment. Ceiling-gated at 0 via bench/baseline.json too.
+  json_report.add_metric("allocs_per_packet", "allocs_per_packet",
+                         allocs_per_packet);
 
   // Correctness before timing: the stitched seal must match the oracle
   // (cheap, so it runs in every mode including smoke).
@@ -313,6 +321,8 @@ int main(int argc, char** argv) {
               " (~100x)\n");
   std::printf("  * ESP crypto >= 2x the seed implementation (got %.1fx)\n",
               crypto_speedup);
+  std::printf("  * zero pool heap events per packet in steady state "
+              "(got %.4f/pkt)\n", allocs_per_packet);
   if (hw_gated) {
     std::printf("  * accelerated backend >= 2x the T-table portable baseline"
                 " (got %.1fx)\n", hw_speedup);
@@ -340,6 +350,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   json_report.emit();
   if (!nnfv::bench::gates_enabled()) return 0;  // smoke / unoptimised build
+  if (allocs_per_packet > 0.0) return 1;
   if (crypto_speedup < 2.0) return 1;
   if (hw_gated && hw_speedup < 2.0) return 1;
   if (gcm_gated && gcm_speedups.vs_cbc < 3.0) return 1;

@@ -41,7 +41,11 @@ exists on >= 4 hardware threads, so runs on smaller machines skip the
 entry instead of failing it (the bench emits its "cpus" count). Baseline
 values are dimensionless ratios (speedups) by design — they are the only
 numbers comparable across runner hardware; raw ns/op never belongs in
-the baseline. A baseline entry whose result or key is missing from the
+the baseline. Keys in CEILING_KEYS invert the comparison: the run's
+value must be <= the baseline value, exactly (no --max-regress slack) —
+used for allocs_per_packet, where the steady-state datapath must not
+touch the system allocator at all and any nonzero count is a leak of
+work onto the hot path, not noise. A baseline entry whose result or key is missing from the
 run fails (a renamed metric must be renamed in the baseline too), and a
 compare run that ends up checking nothing at all fails (catches a dead
 baseline). Underscore keys in a baseline entry must come from the known
@@ -59,6 +63,12 @@ import sys
 
 KNOWN_UNDERSCORE_KEYS = {"_observed", "_requires_backend", "_requires_cpu",
                          "_requires_cores"}
+
+# Baseline keys gated as hard ceilings (run value <= baseline value, no
+# --max-regress slack) instead of regression floors. These count events
+# that must not happen at all in steady state, so "within 85% of zero"
+# is meaningless — zero is the contract.
+CEILING_KEYS = {"allocs_per_packet"}
 
 
 def fail(name, msg, problems):
@@ -188,6 +198,13 @@ def compare_one(name, obj, baseline_benches, max_regress, problems):
                            "to compare", problems)
                 continue
             compared += 1
+            if key in CEILING_KEYS:
+                # Hard ceiling: events that must not happen in steady
+                # state. No max_regress slack — zero means zero.
+                if got > want:
+                    fail(name, f"REGRESSION '{result_name}.{key}': "
+                               f"{got:.3g} > ceiling {want:.3g}", problems)
+                continue
             floor = want * max_regress
             if got < floor:
                 fail(name, f"REGRESSION '{result_name}.{key}': {got:.3g} < "
@@ -204,6 +221,18 @@ def self_test():
         "cpu_features": "aes pclmul sha", "cpus": 8,
         "results": [{"name": "kernel", "iterations": 10, "ns_per_op": 1.0,
                      "ops_per_sec": 1e9, "extra": {"speedup": 5.0}}]})
+    allocs_run = json.dumps({
+        "bench": "bench_x",
+        "results": [{"name": "allocs_per_packet", "iterations": 1,
+                     "ns_per_op": 1.0, "ops_per_sec": 1.0,
+                     "extra": {"allocs_per_packet": 0.0}}]})
+    leaky_run = json.dumps({
+        "bench": "bench_x",
+        "results": [{"name": "allocs_per_packet", "iterations": 1,
+                     "ns_per_op": 1.0, "ops_per_sec": 1.0,
+                     "extra": {"allocs_per_packet": 0.031}}]})
+    zero_alloc_ceiling = {"bench_x": {"allocs_per_packet": {
+        "allocs_per_packet": 0.0}}}
 
     def stream_problems(text):
         problems = []
@@ -270,6 +299,10 @@ def self_test():
              "_observed": "once upon a time"}}})),
         ("non-numeric baseline value caught", True,
          compare_problems({"bench_x": {"kernel": {"speedup": "big"}}})),
+        ("zero-allocation ceiling met passes", False,
+         compare_problems(zero_alloc_ceiling, allocs_run)),
+        ("nonzero allocs_per_packet rejected by the ceiling", True,
+         compare_problems(zero_alloc_ceiling, leaky_run)),
     ]
     failures = 0
     for description, wants_failure, problems in cases:

@@ -9,7 +9,8 @@ folklore. This script makes the baseline self-regenerating:
       Runs every bench_* binary in --build-dir in FULL (non-smoke) mode,
       collects every dimensionless ratio metric (extra keys named
       "speedup" or "speedup_vs_*" — the only numbers comparable across
-      runner hardware), applies the safety margin automatically, and
+      runner hardware — plus the ceiling-gated allocs_per_packet counts,
+      pinned at 0), applies the safety margin automatically, and
       rewrites the baseline. Margins shrink the observed ratio toward
       1.0 (baseline = 1 + (observed - 1) * margin) so near-1 ratios do
       not collapse below a meaningful floor and large ratios keep a
@@ -53,7 +54,8 @@ import sys
 # Shared with the gating script so the regen/check/gate pipeline cannot
 # disagree on skip semantics or the legal underscore-key set (both
 # scripts live in scripts/, which is sys.path[0] when either is run).
-from check_bench_json import KNOWN_UNDERSCORE_KEYS, conditions_met
+from check_bench_json import (CEILING_KEYS, KNOWN_UNDERSCORE_KEYS,
+                              conditions_met)
 
 # Which ratio metrics only hold on specific hardware. Mirrors the
 # in-bench gating logic (bench_table1_ipsec/bench_crypto): a run on
@@ -100,7 +102,11 @@ EXCLUDED_METRICS = {"esp_burst_speedup_vs_single", "uniform_w1",
 
 
 def is_ratio_key(key):
-    return key == "speedup" or key.startswith("speedup_vs_")
+    """Baseline-worthy keys: dimensionless speedups (floor-gated) and the
+    ceiling-gated per-packet event counts (also hardware-independent —
+    allocation behaviour does not depend on the runner)."""
+    return (key == "speedup" or key.startswith("speedup_vs_")
+            or key in CEILING_KEYS)
 
 
 def run_benches(build_dir, smoke):
@@ -226,7 +232,13 @@ def regenerate(runs, old_baseline, margin):
                 continue
             entry = {"_observed": f"{value:.3g} on the blessed run"}
             entry.update(conditions)
-            entry[key] = apply_margin(value, margin)
+            if key in CEILING_KEYS:
+                # Ceilings are pinned at the contract value, not the
+                # observation: zero allocations is an invariant, and the
+                # regen run itself fails (in-bench gate) when nonzero.
+                entry[key] = 0.0
+            else:
+                entry[key] = apply_margin(value, margin)
             entries[name] = entry
         if entries:
             benches[bench] = entries

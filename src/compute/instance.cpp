@@ -44,19 +44,12 @@ void NfInstance::clear_egress(nnf::ContextId ctx) {
 
 void NfInstance::inject(nnf::ContextId ctx, nnf::NfPortIndex port,
                         packet::PacketBuffer&& frame) {
-  if (state_ != InstanceState::kRunning) {
-    ++dropped_not_running_;
-    return;
-  }
-  const std::size_t bytes = frame.size();
-  // std::function requires copyable callables; stash the frame in a
-  // shared_ptr to move it through the queue.
-  auto held = std::make_shared<packet::PacketBuffer>(std::move(frame));
-  station_.submit(cost_.service_time(bytes), [this, ctx, port, held]() {
-    auto outputs =
-        function_->process(ctx, port, simulator_.now(), std::move(*held));
-    dispatch_outputs(ctx, std::move(outputs), /*prefer_burst=*/false);
-  });
+  // Burst-of-1 over the one packet-ingress contract. NetworkFunction's
+  // default process_burst() delegates to per-frame process(), so NFs
+  // without a dedicated burst path behave exactly as before.
+  packet::PacketBurst single;
+  single.push_back(std::move(frame));
+  inject_burst(ctx, port, std::move(single));
 }
 
 void NfInstance::inject_burst(nnf::ContextId ctx, nnf::NfPortIndex port,

@@ -71,7 +71,7 @@ std::vector<NfOutput> Bridge::process(ContextId ctx, NfPortIndex in_port,
   // Flood to all ports except the ingress.
   for (NfPortIndex p = 0; p < ports_; ++p) {
     if (p == in_port) continue;
-    out.push_back(NfOutput{p, packet::PacketBuffer(frame.data())});
+    out.push_back(NfOutput{p, frame.clone()});
     ++counters_.out_packets;
   }
   return out;

@@ -553,11 +553,14 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate(
           ? packet::kEspHeaderSize + kGcmIvSize + 2 + kGcmIcvSize
           : packet::kEspHeaderSize + kIvSize + crypto::Aes::kBlockSize +
                 kIcvSize;
+  // Decryption happens in place over the ciphertext region, so the
+  // ingress spans must point into a privately owned segment.
+  frame.unshare();
   auto ingress = parse_esp_ingress(ctx, tunnel, frame, min_esp_payload);
   if (!ingress) return {};
   return tunnel.transform == EspTransform::kGcm
-             ? decapsulate_gcm(tunnel, *ingress)
-             : decapsulate_cbc(tunnel, *ingress);
+             ? decapsulate_gcm(tunnel, *ingress, std::move(frame))
+             : decapsulate_cbc(tunnel, *ingress, std::move(frame));
 }
 
 std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
@@ -578,13 +581,11 @@ std::optional<std::span<const std::uint8_t>> IpsecEndpoint::parse_inner_ipv4(
   return std::span<const std::uint8_t>{l3.data(), inner_ip->total_length};
 }
 
-packet::PacketBuffer IpsecEndpoint::build_esp_frame(
-    const Tunnel& tunnel, const SecurityAssociation& sa, std::uint64_t seq,
-    std::size_t esp_payload) {
-  packet::PacketBuffer outp;
-  outp.push_back(kEspOffset + esp_payload);
-  auto buf = outp.data();
-
+void IpsecEndpoint::write_outer_headers(const Tunnel& tunnel,
+                                        const SecurityAssociation& sa,
+                                        std::uint64_t seq,
+                                        std::size_t esp_payload,
+                                        std::span<std::uint8_t> buf) {
   packet::EthernetHeader outer_eth{.dst = tunnel.outer_dst_mac,
                                    .src = tunnel.outer_src_mac,
                                    .ether_type = packet::kEtherTypeIpv4,
@@ -605,7 +606,6 @@ packet::PacketBuffer IpsecEndpoint::build_esp_frame(
 
   packet::EspHeader esp{sa.spi, static_cast<std::uint32_t>(seq)};
   packet::write_esp(esp, buf.subspan(kEspOffset, packet::kEspHeaderSize));
-  return outp;
 }
 
 std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
@@ -676,13 +676,16 @@ std::optional<IpsecEndpoint::EspIngress> IpsecEndpoint::parse_esp_ingress(
   // and burst paths alike).
   const std::uint64_t seq =
       sa->esn ? esn_recover_seq(*sa, esp->sequence) : esp->sequence;
-  return EspIngress{esp_area, seq, sa, keymat};
+  const std::size_t esp_off =
+      static_cast<std::size_t>(esp_area.data() - frame.data().data());
+  return EspIngress{esp_area, esp_off, seq, sa, keymat};
 }
 
 std::vector<NfOutput> IpsecEndpoint::emit_inner(
     const Tunnel& tunnel, SecurityAssociation& sa,
-    std::vector<std::uint8_t>&& plaintext) {
+    packet::PacketBuffer&& inner) {
   std::vector<NfOutput> out;
+  const auto plaintext = inner.data();
   if (plaintext.size() < 2) {
     ++sa.malformed;
     ++stats_shard().malformed;
@@ -691,7 +694,7 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
   const std::uint8_t next_header = plaintext.back();
   const std::uint8_t pad_len = plaintext[plaintext.size() - 2];
   // pad_len is bounded by what the payload can hold (RFC 4303 §2.4); a
-  // larger value is forgery debris that must not underflow the resize.
+  // larger value is forgery debris that must not underflow the trim.
   if (next_header != 4 || plaintext.size() < 2u + pad_len) {
     ++sa.malformed;
     ++stats_shard().malformed;
@@ -706,11 +709,9 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
       return out;
     }
   }
-  plaintext.resize(plaintext.size() - 2 - pad_len);
-
-  // Rebuild an Ethernet frame around the inner IP packet.
-  packet::PacketBuffer inner(
-      std::span<const std::uint8_t>(plaintext.data(), plaintext.size()));
+  // Strip the trailer and rebuild the Ethernet header in the headroom
+  // the outer headers vacated — pure offset adjustments, no copy.
+  inner.trim(plaintext.size() - 2 - pad_len);
   auto ethspan = inner.push_front(packet::kEthernetHeaderSize);
   packet::EthernetHeader inner_eth{.dst = tunnel.inner_dst_mac,
                                    .src = tunnel.inner_src_mac,
@@ -728,17 +729,20 @@ std::vector<NfOutput> IpsecEndpoint::emit_inner(
 std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
     Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
+  // The frame is rebuilt in place; a flooded replica goes private first.
+  frame.unshare();
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
   // Claim this packet's sequence number atomically: workers sharing the
   // SA each get a unique value.
   const std::uint64_t seq = ++sa.seq;
+  const std::size_t inner_size = inner->size();
 
   // ESP trailer: pad so (inner + pad + 2) is a multiple of the block size;
   // pad bytes are 1,2,3,... (RFC 4303 §2.4).
   const std::size_t block = crypto::Aes::kBlockSize;
-  const std::size_t pad = (block - (inner->size() + 2) % block) % block;
+  const std::size_t pad = (block - (inner_size + 2) % block) % block;
   std::vector<std::uint8_t> plaintext(inner->begin(), inner->end());
   for (std::size_t i = 1; i <= pad; ++i) {
     plaintext.push_back(static_cast<std::uint8_t>(i));
@@ -754,11 +758,14 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
     return out;
   }
 
-  // Assemble: Eth | outer IPv4 | ESP | IV | ciphertext | ICV.
+  // Reassemble Eth | outer IPv4 | ESP | IV | ciphertext | ICV into the
+  // input frame's own segment (inner bytes were staged into `plaintext`
+  // above — CBC is not length-preserving in place the way GCM is).
   const std::size_t esp_payload =
       packet::kEspHeaderSize + kIvSize + ciphertext->size() + kIcvSize;
-  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, seq, esp_payload);
-  auto buf = outp.data();
+  frame.reset();
+  auto buf = frame.push_back(kEspOffset + esp_payload);
+  write_outer_headers(tunnel, sa, seq, esp_payload, buf);
   std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize, iv.data(),
               kIvSize);
   std::memcpy(buf.data() + kEspOffset + packet::kEspHeaderSize + kIvSize,
@@ -780,14 +787,14 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_cbc(
   std::memcpy(buf.data() + kEspOffset + auth_len, icv.data(), kIcvSize);
 
   ++sa.packets;
-  sa.bytes += inner->size();
+  sa.bytes += inner_size;
   ++stats_shard().encapsulated;
-  out.push_back(NfOutput{1, std::move(outp)});
+  out.push_back(NfOutput{1, std::move(frame)});
   return out;
 }
 
-std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
-                                                     EspIngress ingress) {
+std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
+    Tunnel& tunnel, EspIngress ingress, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
   SecurityAssociation& sa = *ingress.sa;
   Keymat& keymat = *ingress.keymat;
@@ -828,7 +835,13 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
     ++stats_shard().malformed;
     return out;
   }
-  return emit_inner(tunnel, sa, std::move(*plaintext));
+  // Rebuild the decrypted payload into the frame's own segment (the CBC
+  // helper stages through a vector); the vacated outer-header space
+  // becomes the headroom emit_inner prepends the Ethernet header into.
+  frame.reset();
+  auto dst = frame.push_back(plaintext->size());
+  std::memcpy(dst.data(), plaintext->data(), plaintext->size());
+  return emit_inner(tunnel, sa, std::move(frame));
 }
 
 // RFC 4106-shaped AES-GCM ESP: Eth | outer IPv4 | ESP | IV(8) |
@@ -844,33 +857,49 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(Tunnel& tunnel,
 std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
     Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
+  // Headroom prepend + trailer append + in-place seal rebuild the frame
+  // where it sits; a flooded replica must go private first.
+  frame.unshare();
   auto inner = parse_inner_ipv4(frame);
   if (!inner) return out;
 
   // Claim this packet's sequence number atomically: workers sharing the
   // SA each get a unique value.
   const std::uint64_t seq = ++sa.seq;
+  const std::size_t inner_size = inner->size();
 
-  // ESP trailer: GCM is a stream mode, so padding only has to satisfy the
-  // RFC 4303 4-byte alignment of (payload | pad_len | next_header).
-  const std::size_t pad = (4 - (inner->size() + 2) % 4) % 4;
-  const std::size_t pt_len = inner->size() + pad + 2;
-  const std::size_t esp_payload =
-      packet::kEspHeaderSize + kGcmIvSize + pt_len + kGcmIcvSize;
-  packet::PacketBuffer outp = build_esp_frame(tunnel, sa, seq, esp_payload);
-  auto buf = outp.data();
-  util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, seq);
+  // Reduce the view to the inner IP packet: drop the red-side Ethernet
+  // header and any Ethernet padding past total_length — pure offset
+  // adjustments on the pooled segment, the payload never moves.
+  const std::size_t eth_size =
+      static_cast<std::size_t>(inner->data() - frame.data().data());
+  frame.pull_front(eth_size);
+  frame.trim(inner_size);
 
-  // Assemble plaintext (inner packet + trailer) directly where the
-  // ciphertext goes and seal in place.
-  const std::size_t ct_off = kEspOffset + packet::kEspHeaderSize + kGcmIvSize;
-  std::memcpy(buf.data() + ct_off, inner->data(), inner->size());
-  std::uint8_t* trailer = buf.data() + ct_off + inner->size();
+  // ESP trailer into the tailroom: GCM is a stream mode, so padding only
+  // has to satisfy the RFC 4303 4-byte alignment of
+  // (payload | pad_len | next_header).
+  const std::size_t pad = (4 - (inner_size + 2) % 4) % 4;
+  const std::size_t pt_len = inner_size + pad + 2;
+  std::uint8_t* trailer = frame.push_back(pad + 2).data();
   for (std::size_t i = 1; i <= pad; ++i) {
     trailer[i - 1] = static_cast<std::uint8_t>(i);
   }
   trailer[pad] = static_cast<std::uint8_t>(pad);
   trailer[pad + 1] = 4;  // next header: IPv4 (tunnel mode)
+
+  // Claim the headroom for Eth | outer IPv4 | ESP | IV (the red-side
+  // Ethernet header plus default headroom always covers it) and the
+  // tailroom for the ICV, then seal the payload where it sits.
+  const std::size_t esp_payload =
+      packet::kEspHeaderSize + kGcmIvSize + pt_len + kGcmIcvSize;
+  const std::size_t ct_off =
+      kEspOffset + packet::kEspHeaderSize + kGcmIvSize;
+  frame.push_front(ct_off);
+  frame.push_back(kGcmIcvSize);
+  auto buf = frame.data();
+  write_outer_headers(tunnel, sa, seq, esp_payload, buf);
+  util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, seq);
 
   Keymat& keymat = *tunnel.keymat;
   std::uint8_t nonce[crypto::GcmContext::kIvSize];
@@ -890,14 +919,14 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   }
 
   ++sa.packets;
-  sa.bytes += inner->size();
+  sa.bytes += inner_size;
   ++stats_shard().encapsulated;
-  out.push_back(NfOutput{1, std::move(outp)});
+  out.push_back(NfOutput{1, std::move(frame)});
   return out;
 }
 
-std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(Tunnel& tunnel,
-                                                     EspIngress ingress) {
+std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
+    Tunnel& tunnel, EspIngress ingress, packet::PacketBuffer&& frame) {
   std::vector<NfOutput> out;
   SecurityAssociation& sa = *ingress.sa;
   Keymat& keymat = *ingress.keymat;
@@ -918,9 +947,14 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(Tunnel& tunnel,
   // AAD here — the wire never carries it.
   std::uint8_t aad[12];
   const std::size_t aad_len = esp_aad(sa, ingress.sequence, aad);
-  std::vector<std::uint8_t> plaintext(ct_len);
+  // Decrypt in place: the plaintext overwrites the ciphertext region of
+  // the frame's own segment (gcm_crypt allows in == out). On auth
+  // failure open() wipes the half-written plaintext and the frame is
+  // dropped, so nothing unauthenticated ever leaves this function.
+  const std::size_t pt_off =
+      ingress.esp_off + packet::kEspHeaderSize + kGcmIvSize;
   if (!keymat.gcm->open({nonce, sizeof(nonce)}, {aad, aad_len}, ciphertext,
-                        icv, plaintext.data())) {
+                        icv, frame.data().data() + pt_off)) {
     ++sa.auth_fail;
     ++stats_shard().auth_failures;
     return out;
@@ -930,7 +964,11 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(Tunnel& tunnel,
     ++stats_shard().replay_drops;
     return out;
   }
-  return emit_inner(tunnel, sa, std::move(plaintext));
+  // Decap is a pure view adjustment: the outer headers + ESP + IV
+  // become headroom, the ICV falls off the tail.
+  frame.pull_front(pt_off);
+  frame.trim(ct_len);
+  return emit_inner(tunnel, sa, std::move(frame));
 }
 
 std::vector<NfOutput> IpsecEndpoint::process_burst(

@@ -306,16 +306,17 @@ class IpsecEndpoint : public NetworkFunction {
   std::optional<std::span<const std::uint8_t>> parse_inner_ipv4(
       const packet::PacketBuffer& frame);
 
-  /// Shared encap epilogue start: allocates the output frame and writes
-  /// Eth | outer IPv4 | ESP header for `esp_payload` bytes of ESP
-  /// payload (the transform then fills IV/ciphertext/ICV behind the
-  /// fixed kEspOffset). `seq` is the sequence number this packet
-  /// claimed with its atomic increment — sa.seq may already be ahead
-  /// when several workers share the SA.
-  static packet::PacketBuffer build_esp_frame(const Tunnel& tunnel,
-                                              const SecurityAssociation& sa,
-                                              std::uint64_t seq,
-                                              std::size_t esp_payload);
+  /// Shared encap epilogue start: writes Eth | outer IPv4 | ESP header
+  /// into the first kEspOffset + kEspHeaderSize bytes of `buf` — the
+  /// header area the transforms reclaim from the input frame's headroom
+  /// via push_front (no output-frame allocation, no payload copy).
+  /// `esp_payload` sizes the outer IP total-length field. `seq` is the
+  /// sequence number this packet claimed with its atomic increment —
+  /// sa.seq may already be ahead when several workers share the SA.
+  static void write_outer_headers(const Tunnel& tunnel,
+                                  const SecurityAssociation& sa,
+                                  std::uint64_t seq, std::size_t esp_payload,
+                                  std::span<std::uint8_t> buf);
 
   /// Shared decap prologue: validates the black-side frame down to the
   /// ESP area (outer headers, ESP proto, destination, minimum payload)
@@ -329,6 +330,7 @@ class IpsecEndpoint : public NetworkFunction {
   /// paths. Every size check happens before any state mutation.
   struct EspIngress {
     std::span<const std::uint8_t> esp_area;
+    std::size_t esp_off = 0;  ///< offset of esp_area within the frame
     std::uint64_t sequence = 0;
     SecurityAssociation* sa = nullptr;
     Keymat* keymat = nullptr;
@@ -337,25 +339,30 @@ class IpsecEndpoint : public NetworkFunction {
       ContextId ctx, Tunnel& tunnel, const packet::PacketBuffer& frame,
       std::size_t min_esp_payload);
 
-  /// Shared decap epilogue: validates + strips the ESP trailer (pad
-  /// bytes 1..pad_len, next_header IPv4, pad_len bounded by the
-  /// payload) and rebuilds the red-side Ethernet frame; counts
+  /// Shared decap epilogue: `inner` views the decrypted ESP payload
+  /// (inner IP packet | pad | pad_len | next_header) inside the frame's
+  /// pooled segment. Validates + strips the trailer (pad bytes
+  /// 1..pad_len, next_header IPv4, pad_len bounded by the payload) with
+  /// trim(), then rebuilds the red-side Ethernet header in the headroom
+  /// the stripped outer headers left behind — no copy. Counts
   /// `malformed` (endpoint + per-SA) and returns an empty vector on
   /// failure.
   std::vector<NfOutput> emit_inner(const Tunnel& tunnel,
                                    SecurityAssociation& sa,
-                                   std::vector<std::uint8_t>&& plaintext);
+                                   packet::PacketBuffer&& inner);
 
   static constexpr std::size_t kEspOffset =
       packet::kEthernetHeaderSize + packet::kIpv4MinHeaderSize;
   std::vector<NfOutput> encapsulate_cbc(Tunnel& tunnel,
                                         SecurityAssociation& sa,
                                         packet::PacketBuffer&& frame);
-  std::vector<NfOutput> decapsulate_cbc(Tunnel& tunnel, EspIngress ingress);
+  std::vector<NfOutput> decapsulate_cbc(Tunnel& tunnel, EspIngress ingress,
+                                        packet::PacketBuffer&& frame);
   std::vector<NfOutput> encapsulate_gcm(Tunnel& tunnel,
                                         SecurityAssociation& sa,
                                         packet::PacketBuffer&& frame);
-  std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel, EspIngress ingress);
+  std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel, EspIngress ingress,
+                                        packet::PacketBuffer&& frame);
 
   /// Applies the staged-rekey config keys collected by configure().
   util::Status stage_rekey(ContextId ctx, Tunnel& tunnel,

@@ -83,6 +83,7 @@ util::Result<L3View> locate_ip(packet::PacketBuffer& frame) {
 /// checksums.
 void rewrite(packet::PacketBuffer& frame, const L3View& view, bool rewrite_src,
              packet::Ipv4Address new_addr, std::uint16_t new_port) {
+  frame.unshare();  // flooded replicas share bytes until first write
   packet::Ipv4Header ip = view.ip;
   if (rewrite_src) {
     ip.src = new_addr;

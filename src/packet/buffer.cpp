@@ -1,53 +1,132 @@
 #include "packet/buffer.hpp"
 
-#include <cassert>
 #include <cstring>
 
 namespace nnfv::packet {
 
-PacketBuffer::PacketBuffer(std::span<const std::uint8_t> data,
-                           std::size_t headroom)
-    : storage_(headroom + data.size()),
-      offset_(headroom),
-      length_(data.size()) {
+PacketBuffer PacketBuffer::alloc(std::size_t size, std::size_t headroom) {
+  MbufSegment* seg =
+      MbufPool::local().alloc(headroom + size + kDefaultTailroom);
+  return PacketBuffer(seg, static_cast<std::uint32_t>(headroom),
+                      static_cast<std::uint32_t>(size));
+}
+
+PacketBuffer PacketBuffer::copy_of(std::span<const std::uint8_t> data,
+                                   std::size_t headroom) {
+  PacketBuffer buf = alloc(data.size(), headroom);
   if (!data.empty()) {
-    std::memcpy(storage_.data() + offset_, data.data(), data.size());
+    std::memcpy(buf.data().data(), data.data(), data.size());
   }
+  return buf;
 }
 
-std::span<std::uint8_t> PacketBuffer::push_front(std::size_t n) {
-  if (n > offset_) {
-    // Grow headroom; rare path.
-    const std::size_t extra = n - offset_ + kDefaultHeadroom;
-    std::vector<std::uint8_t> grown(storage_.size() + extra);
-    std::memcpy(grown.data() + offset_ + extra, storage_.data() + offset_,
-                length_);
-    storage_ = std::move(grown);
-    offset_ += extra;
+PacketBurst PacketBuffer::alloc_burst(std::size_t count) {
+  PacketBurst out;
+  out.reserve(count);
+  if (count == 0) return out;
+  MbufSegment* segs[64];
+  while (count > 0) {
+    const std::size_t n = std::min<std::size_t>(count, 64);
+    MbufPool::local().alloc_burst(segs, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(PacketBuffer(segs[i], kDefaultHeadroom, 0));
+    }
+    count -= n;
   }
-  offset_ -= n;
-  length_ += n;
-  return {storage_.data() + offset_, n};
-}
-
-void PacketBuffer::pull_front(std::size_t n) {
-  assert(n <= length_);
-  offset_ += n;
-  length_ -= n;
-}
-
-std::span<std::uint8_t> PacketBuffer::push_back(std::size_t n) {
-  if (offset_ + length_ + n > storage_.size()) {
-    storage_.resize(offset_ + length_ + n);
-  }
-  std::span<std::uint8_t> out{storage_.data() + offset_ + length_, n};
-  length_ += n;
   return out;
 }
 
-void PacketBuffer::trim(std::size_t n) {
-  assert(n <= length_);
-  length_ = n;
+void PacketBuffer::free_burst(PacketBurst&& burst) {
+  MbufSegment* segs[64];
+  std::size_t n = 0;
+  for (PacketBuffer& frame : burst) {
+    MbufSegment* seg = frame.seg_;
+    if (seg == nullptr) continue;
+    frame.seg_ = nullptr;
+    frame.offset_ = frame.length_ = 0;
+    if (seg->refcount.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      continue;  // a clone still holds it
+    }
+    segs[n++] = seg;
+    if (n == 64) {
+      MbufPool::free_burst(segs, n);
+      n = 0;
+    }
+  }
+  MbufPool::free_burst(segs, n);
+  burst.clear();
+}
+
+PacketBuffer PacketBuffer::clone() const {
+  if (seg_ != nullptr) {
+    seg_->refcount.fetch_add(1, std::memory_order_relaxed);
+  }
+  return PacketBuffer(seg_, offset_, length_);
+}
+
+PacketBuffer PacketBuffer::copy() const {
+  PacketBuffer out = alloc(length_, offset_);
+  if (length_ > 0) {
+    std::memcpy(out.data().data(), seg_->data() + offset_, length_);
+  }
+  return out;
+}
+
+void PacketBuffer::release() {
+  if (seg_ == nullptr) return;
+  if (seg_->refcount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    MbufPool::free_segment(seg_);
+  }
+  seg_ = nullptr;
+}
+
+void PacketBuffer::reset(std::size_t headroom) {
+  unshare();
+  if (seg_ == nullptr) {
+    offset_ = length_ = 0;
+    return;
+  }
+  assert(headroom <= seg_->capacity);
+  offset_ = static_cast<std::uint32_t>(headroom);
+  length_ = 0;
+}
+
+void PacketBuffer::reseat(std::size_t headroom, std::size_t min_tailroom) {
+  MbufSegment* seg =
+      MbufPool::local().alloc(headroom + length_ + min_tailroom);
+  if (length_ > 0) {
+    std::memcpy(seg->data() + headroom, seg_->data() + offset_, length_);
+  }
+  release();
+  seg_ = seg;
+  offset_ = static_cast<std::uint32_t>(headroom);
+}
+
+std::span<std::uint8_t> PacketBuffer::push_front(std::size_t n) {
+  unshare();
+  if (seg_ == nullptr || offset_ < n) {
+    // Headroom exhausted; rare (builders reserve kDefaultHeadroom).
+    reseat(n + kDefaultHeadroom, seg_ == nullptr ? kDefaultTailroom
+                                                 : tailroom());
+  }
+  offset_ -= static_cast<std::uint32_t>(n);
+  length_ += static_cast<std::uint32_t>(n);
+  return {seg_->data() + offset_, n};
+}
+
+std::span<std::uint8_t> PacketBuffer::push_back(std::size_t n) {
+  unshare();
+  if (seg_ == nullptr) {
+    // Lazy pooled alloc: `PacketBuffer b; b.push_back(n)` builders.
+    *this = alloc(n, kDefaultHeadroom);
+    return {seg_->data() + offset_, n};
+  }
+  if (tailroom() < n) {
+    reseat(offset_, n + kDefaultTailroom);
+  }
+  std::span<std::uint8_t> out{seg_->data() + offset_ + length_, n};
+  length_ += static_cast<std::uint32_t>(n);
+  return out;
 }
 
 }  // namespace nnfv::packet

@@ -1,6 +1,7 @@
 #include "packet/builder.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "packet/checksum.hpp"
 #include "util/byteorder.hpp"
@@ -10,10 +11,13 @@ namespace nnfv::packet {
 namespace {
 
 /// Lays out Ethernet + IPv4 and returns the offset of the L3 header.
+/// `buf` may be empty (lazily pool-allocated) or a recycled buffer
+/// whose segment is rebuilt in place.
 std::size_t write_l2_l3(PacketBuffer& buf, const EthernetHeader& eth,
                         Ipv4Header& ip, std::size_t l4_size) {
   const std::size_t eth_size = eth.wire_size();
   const std::size_t total = eth_size + ip.header_size() + l4_size;
+  buf.reset();
   buf.push_back(total);
   write_ethernet(eth, buf.data().subspan(0, eth_size));
   ip.total_length =
@@ -24,8 +28,9 @@ std::size_t write_l2_l3(PacketBuffer& buf, const EthernetHeader& eth,
 
 }  // namespace
 
-PacketBuffer build_udp_frame(const UdpFrameSpec& spec) {
-  PacketBuffer buf;
+PacketBuffer build_udp_frame(const UdpFrameSpec& spec,
+                             PacketBuffer&& reuse) {
+  PacketBuffer buf = std::move(reuse);
   EthernetHeader eth{.dst = spec.eth_dst,
                      .src = spec.eth_src,
                      .ether_type = kEtherTypeIpv4,
@@ -121,6 +126,7 @@ PacketBuffer build_icmp_echo(const IcmpEchoSpec& spec) {
 }
 
 void set_vlan(PacketBuffer& frame, std::optional<std::uint16_t> vlan) {
+  frame.unshare();
   auto eth = parse_ethernet(frame.data());
   if (!eth) return;
   EthernetHeader hdr = eth.value();
@@ -136,6 +142,7 @@ void set_vlan(PacketBuffer& frame, std::optional<std::uint16_t> vlan) {
 }
 
 void fix_checksums(PacketBuffer& frame) {
+  frame.unshare();
   auto eth = parse_ethernet(frame.data());
   if (!eth || eth->ether_type != kEtherTypeIpv4) return;
   const std::size_t l3_off = eth->wire_size();

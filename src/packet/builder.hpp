@@ -23,8 +23,11 @@ struct UdpFrameSpec {
 };
 
 /// Builds a complete Ethernet/IPv4/UDP frame with correct lengths and
-/// checksums.
-PacketBuffer build_udp_frame(const UdpFrameSpec& spec);
+/// checksums, in place in a pooled buffer. Passing `reuse` (e.g. one
+/// buffer of a PacketBuffer::alloc_burst) rebuilds into its segment
+/// without touching the pool — the traffic sources' burst path.
+PacketBuffer build_udp_frame(const UdpFrameSpec& spec,
+                             PacketBuffer&& reuse = PacketBuffer());
 
 struct TcpFrameSpec {
   MacAddress eth_src;

@@ -1,0 +1,232 @@
+#include "packet/mbuf.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+namespace nnfv::packet {
+
+MbufPool::MbufPool(std::size_t prealloc_segments, std::size_t slab_segments)
+    : slab_segments_(slab_segments) {
+  if (prealloc_segments > 0) {
+    const std::size_t saved = slab_segments_;
+    slab_segments_ = prealloc_segments;
+    std::lock_guard<std::mutex> lock(mutex_);
+    grow_slab();
+    slab_segments_ = saved;
+    // The prealloc is pool capacity, not an overflow event.
+    stats_.slab_allocs = 0;
+  }
+}
+
+MbufPool::~MbufPool() {
+  // Only standalone (test) pools are ever destroyed — the slot registry
+  // leaks its pools on purpose. Any segment still in flight at this
+  // point is a caller bug; freeing the slabs turns it into a visible
+  // use-after-free under ASan instead of a silent leak.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (void* slab : slabs_) {
+    ::operator delete[](slab, std::align_val_t{64});
+  }
+}
+
+MbufSegment* MbufPool::heap_segment(std::size_t capacity) {
+  void* raw = ::operator new(sizeof(MbufSegment) + capacity,
+                             std::align_val_t{64});
+  auto* seg = new (raw) MbufSegment{};
+  seg->capacity = static_cast<std::uint32_t>(capacity);
+  seg->owner = nullptr;
+  return seg;
+}
+
+void MbufPool::grow_slab() {
+  // Called with mutex_ held and slab growth enabled.
+  void* raw = ::operator new[](kSegmentStride * slab_segments_,
+                               std::align_val_t{64});
+  slabs_.push_back(raw);
+  auto* base = static_cast<std::uint8_t*>(raw);
+  for (std::size_t i = 0; i < slab_segments_; ++i) {
+    auto* seg = new (base + i * kSegmentStride) MbufSegment{};
+    seg->capacity = kDataCapacity;
+    seg->owner = this;
+    seg->next = free_list_;
+    free_list_ = seg;
+  }
+  ++stats_.slab_allocs;
+}
+
+void MbufPool::drain_foreign() {
+  // Called with mutex_ held. Splice the whole foreign stack into the
+  // local free list; push order vs pop order does not matter.
+  MbufSegment* head = foreign_free_.exchange(nullptr, std::memory_order_acquire);
+  while (head != nullptr) {
+    MbufSegment* next = head->next;
+    head->next = free_list_;
+    free_list_ = head;
+    head = next;
+  }
+}
+
+std::size_t MbufPool::pop_local(std::size_t n, MbufSegment** out) {
+  // Called with mutex_ held; pops up to n segments into out and returns
+  // how many it could serve (short only when growth is disabled).
+  std::size_t got = 0;
+  while (got < n) {
+    if (free_list_ == nullptr) {
+      drain_foreign();
+      if (free_list_ == nullptr) {
+        if (slab_segments_ == 0) break;  // growth disabled → heap path
+        grow_slab();
+      }
+    }
+    MbufSegment* seg = free_list_;
+    free_list_ = seg->next;
+    seg->next = nullptr;
+    seg->refcount.store(1, std::memory_order_relaxed);
+    out[got++] = seg;
+  }
+  stats_.segment_allocs += got;
+  return got;
+}
+
+MbufSegment* MbufPool::alloc(std::size_t capacity) {
+  if (capacity > kDataCapacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.heap_allocs;
+    ++stats_.segment_allocs;
+    return heap_segment(capacity);
+  }
+  MbufSegment* seg = nullptr;
+  std::size_t got;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    got = pop_local(1, &seg);
+    if (got == 0) {
+      ++stats_.heap_allocs;
+      ++stats_.segment_allocs;
+    }
+  }
+  if (got == 1) return seg;
+  // Pool exhausted with growth disabled: heap overflow, never fails.
+  return heap_segment(kDataCapacity);
+}
+
+void MbufPool::alloc_burst(MbufSegment** out, std::size_t n) {
+  std::size_t got;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    got = pop_local(n, out);
+    if (got < n) {
+      stats_.heap_allocs += n - got;
+      stats_.segment_allocs += n - got;
+    }
+  }
+  for (std::size_t i = got; i < n; ++i) {
+    out[i] = heap_segment(kDataCapacity);
+  }
+}
+
+void MbufPool::return_local(MbufSegment* seg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seg->next = free_list_;
+  free_list_ = seg;
+  ++stats_.segment_frees;
+}
+
+void MbufPool::return_foreign(MbufSegment* seg) {
+  // Treiber push; the owner drains with exchange(nullptr), so a stale
+  // head can only cause a benign CAS retry, never ABA corruption.
+  MbufSegment* head = foreign_free_.load(std::memory_order_relaxed);
+  do {
+    seg->next = head;
+  } while (!foreign_free_.compare_exchange_weak(
+      head, seg, std::memory_order_release, std::memory_order_relaxed));
+  foreign_frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MbufPool::free_segment(MbufSegment* seg) {
+  assert(seg->refcount.load(std::memory_order_relaxed) == 0 &&
+         "segment freed while still referenced");
+  MbufPool* owner = seg->owner;
+  if (owner == nullptr) {
+    seg->~MbufSegment();
+    ::operator delete(seg, std::align_val_t{64});
+    return;
+  }
+  if (&MbufPool::local() == owner) {
+    owner->return_local(seg);
+  } else {
+    owner->return_foreign(seg);
+  }
+}
+
+void MbufPool::free_burst(MbufSegment** segs, std::size_t n) {
+  if (n == 0) return;
+  // Chain the caller-local segments first, then splice the whole chain
+  // into the owner's free list under one lock acquisition. Heap and
+  // cross-worker segments take their individual paths.
+  MbufPool& here = MbufPool::local();
+  MbufSegment* chain = nullptr;
+  std::size_t chained = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    MbufSegment* seg = segs[i];
+    assert(seg->refcount.load(std::memory_order_relaxed) == 0 &&
+           "segment freed while still referenced");
+    MbufPool* owner = seg->owner;
+    if (owner == &here) {
+      seg->next = chain;
+      chain = seg;
+      ++chained;
+    } else if (owner != nullptr) {
+      owner->return_foreign(seg);
+    } else {
+      seg->~MbufSegment();
+      ::operator delete(seg, std::align_val_t{64});
+    }
+  }
+  if (chain != nullptr) {
+    std::lock_guard<std::mutex> lock(here.mutex_);
+    MbufSegment* tail = chain;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = here.free_list_;
+    here.free_list_ = chain;
+    here.stats_.segment_frees += chained;
+  }
+}
+
+MbufPoolStats MbufPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MbufPoolStats out = stats_;
+  out.cross_worker_frees = foreign_frees_.load(std::memory_order_relaxed);
+  // Foreign returns bump the owner's free count here rather than under
+  // the owner's mutex (the freeing thread must not take it).
+  out.segment_frees += out.cross_worker_frees;
+  return out;
+}
+
+MbufPool& MbufPool::for_slot(std::size_t slot) {
+  assert(slot < exec::kMaxSlots);
+  // Leaked on purpose: PacketBuffers held by static-lifetime objects may
+  // release segments during static destruction, after any non-leaked
+  // pool would already be gone.
+  static MbufPool* const pools = [] {
+    auto* p = new MbufPool[exec::kMaxSlots];
+    return p;
+  }();
+  return pools[slot];
+}
+
+MbufPoolStats MbufPool::global_stats() {
+  MbufPoolStats total;
+  for (std::size_t slot = 0; slot < exec::kMaxSlots; ++slot) {
+    const MbufPoolStats s = for_slot(slot).stats();
+    total.segment_allocs += s.segment_allocs;
+    total.segment_frees += s.segment_frees;
+    total.slab_allocs += s.slab_allocs;
+    total.heap_allocs += s.heap_allocs;
+    total.cross_worker_frees += s.cross_worker_frees;
+  }
+  return total;
+}
+
+}  // namespace nnfv::packet

@@ -29,6 +29,9 @@ std::string FlowAction::to_string() const {
 ActionOutcome apply_actions(const std::vector<FlowAction>& actions,
                             packet::PacketBuffer& frame) {
   ActionOutcome outcome;
+  // Replicated frames arrive as refcounted clones; header rewrites below
+  // must not bleed into sibling replicas.
+  frame.unshare();
   for (const FlowAction& action : actions) {
     switch (action.type) {
       case FlowAction::Type::kOutput:

@@ -22,7 +22,7 @@ void LearningController::on_packet_in(Lsi& lsi, PortId in_port,
     lsi.flow_table().add(priority_, match,
                          {FlowAction::output(destination->second)}, cookie_);
     ++rules_installed_;
-    lsi.transmit(destination->second, packet::PacketBuffer(frame.data()));
+    lsi.transmit(destination->second, frame.copy());
     return;
   }
 
@@ -30,7 +30,7 @@ void LearningController::on_packet_in(Lsi& lsi, PortId in_port,
   ++floods_;
   for (PortId port : lsi.ports()) {
     if (port == in_port) continue;
-    lsi.transmit(port, packet::PacketBuffer(frame.data()));
+    lsi.transmit(port, frame.clone());
   }
 }
 

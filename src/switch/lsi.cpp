@@ -67,36 +67,11 @@ const PortStats* Lsi::port_stats(PortId port) const {
 }
 
 void Lsi::receive(PortId port, packet::PacketBuffer&& frame) {
-  auto it = ports_.find(port);
-  if (it == ports_.end()) return;  // frame on a deleted port: drop
-  it->second.stats.rx_packets += 1;
-  it->second.stats.rx_bytes += frame.size();
-  ++processed_;
-
-  auto fields = packet::extract_flow_fields(frame.data());
-  if (!fields) {
-    NNFV_LOG(kDebug, "lsi") << name_ << ": unparseable frame dropped";
-    return;
-  }
-  FlowContext ctx{port, fields.value()};
-  FlowEntry* entry = table_.lookup(ctx, frame.size());
-  if (entry == nullptr) {
-    if (controller_ != nullptr) {
-      controller_->on_packet_in(*this, port, frame);
-    }
-    return;
-  }
-  ActionOutcome outcome = apply_actions(entry->actions, frame);
-  if (outcome.to_controller && controller_ != nullptr) {
-    controller_->on_packet_in(*this, port, frame);
-  }
-  if (outcome.dropped || outcome.outputs.empty()) return;
-  // Replicate for all but the last output.
-  for (std::size_t i = 0; i + 1 < outcome.outputs.size(); ++i) {
-    packet::PacketBuffer copy(frame.data());
-    transmit(outcome.outputs[i], std::move(copy));
-  }
-  transmit(outcome.outputs.back(), std::move(frame));
+  // Burst-of-1 over the one packet-ingress contract: classification,
+  // replication and egress grouping live in receive_burst only.
+  packet::PacketBurst single;
+  single.push_back(std::move(frame));
+  receive_burst(port, std::move(single));
 }
 
 void Lsi::receive_burst(PortId port, packet::PacketBurst&& burst) {
@@ -132,7 +107,7 @@ void Lsi::receive_burst(PortId port, packet::PacketBurst&& burst) {
     }
     if (outcome.dropped || outcome.outputs.empty()) continue;
     for (std::size_t i = 0; i + 1 < outcome.outputs.size(); ++i) {
-      out.add(outcome.outputs[i], packet::PacketBuffer(frame.data()));
+      out.add(outcome.outputs[i], frame.clone());
     }
     out.add(outcome.outputs.back(), std::move(frame));
   }

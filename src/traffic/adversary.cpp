@@ -27,7 +27,7 @@ packet::PacketBurst EspAdversary::replay_flood(
   packet::PacketBurst burst;
   burst.reserve(copies);
   for (std::size_t i = 0; i < copies; ++i) {
-    burst.emplace_back(frame.data());
+    burst.push_back(frame.copy());
   }
   counters_.replayed += copies;
   return burst;
@@ -35,7 +35,7 @@ packet::PacketBurst EspAdversary::replay_flood(
 
 packet::PacketBuffer EspAdversary::corrupt_ciphertext(
     const packet::PacketBuffer& frame, std::size_t icv_size) {
-  packet::PacketBuffer out(frame.data());
+  packet::PacketBuffer out = frame.copy();
   const std::size_t lo = esp_offset(frame) + packet::kEspHeaderSize;
   const std::size_t hi = out.size() - icv_size;  // exclusive
   assert(hi > lo);
@@ -47,7 +47,7 @@ packet::PacketBuffer EspAdversary::corrupt_ciphertext(
 
 packet::PacketBuffer EspAdversary::corrupt_icv(
     const packet::PacketBuffer& frame, std::size_t icv_size) {
-  packet::PacketBuffer out(frame.data());
+  packet::PacketBuffer out = frame.copy();
   assert(out.size() > icv_size);
   const std::size_t pos =
       rng_.uniform(out.size() - icv_size, out.size() - 1);
@@ -58,7 +58,7 @@ packet::PacketBuffer EspAdversary::corrupt_icv(
 
 packet::PacketBuffer EspAdversary::truncate_esp(
     const packet::PacketBuffer& frame, std::size_t esp_bytes) {
-  packet::PacketBuffer out(frame.data());
+  packet::PacketBuffer out = frame.copy();
   const std::size_t offset = esp_offset(frame);
   assert(offset + esp_bytes <= out.size());
   out.trim(offset + esp_bytes);
@@ -88,7 +88,7 @@ packet::PacketBurst EspAdversary::truncation_sweep(
 packet::PacketBuffer EspAdversary::garbage_esp(
     const packet::PacketBuffer& prototype, std::size_t esp_bytes) {
   const std::size_t offset = esp_offset(prototype);
-  packet::PacketBuffer out(
+  packet::PacketBuffer out = packet::PacketBuffer::copy_of(
       prototype.data().subspan(0, std::min(offset, prototype.size())));
   auto area = out.push_back(esp_bytes);
   const auto junk = rng_.bytes(esp_bytes);

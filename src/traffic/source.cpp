@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <utility>
 
 #include "util/byteorder.hpp"
 
@@ -47,7 +48,7 @@ sim::SimTime UdpSource::next_gap() {
   return std::max<sim::SimTime>(1, static_cast<sim::SimTime>(gap));
 }
 
-packet::PacketBuffer UdpSource::build_frame() {
+packet::PacketBuffer UdpSource::build_frame(packet::PacketBuffer&& reuse) {
   // Stamp a sequence number into the payload (iperf-style).
   util::store_be64(payload_.data(), sent_);
 
@@ -66,7 +67,7 @@ packet::PacketBuffer UdpSource::build_frame() {
   }
   spec.dst_port = config_.dst_port;
   spec.payload = payload_;
-  return packet::build_udp_frame(spec);
+  return packet::build_udp_frame(spec, std::move(reuse));
 }
 
 void UdpSource::send_one() {
@@ -92,12 +93,12 @@ void UdpSource::send_one() {
       tx_(std::move(frame));
     }
   } else {
-    packet::PacketBurst burst;
-    burst.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      burst.push_back(build_frame());
+    // One pool transaction for the whole burst, then in-place builds.
+    packet::PacketBurst burst = packet::PacketBuffer::alloc_burst(n);
+    for (packet::PacketBuffer& frame : burst) {
+      frame = build_frame(std::move(frame));
       ++sent_;
-      sent_bytes_ += burst.back().size();
+      sent_bytes_ += frame.size();
     }
     burst_tx_(std::move(burst));
   }

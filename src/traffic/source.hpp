@@ -67,7 +67,10 @@ class UdpSource {
 
  private:
   void send_one();
-  [[nodiscard]] packet::PacketBuffer build_frame();
+  /// Builds the next frame, rebuilding into `reuse`'s pooled segment
+  /// when one is supplied (the burst path pre-allocates per burst).
+  [[nodiscard]] packet::PacketBuffer build_frame(
+      packet::PacketBuffer&& reuse = packet::PacketBuffer());
   [[nodiscard]] sim::SimTime next_gap();
 
   sim::Simulator& simulator_;

@@ -209,7 +209,7 @@ TEST(IpsecLifecycle, ReplayWindowIsFreshAcrossSpiSwitchover) {
     auto enc = initiator.process(kDefaultContext, 0, 0,
                                  plaintext_frame(80, 40 + i));
     ASSERT_EQ(enc.size(), 1u);
-    old_dup = packet::PacketBuffer(enc[0].frame.data());
+    old_dup = packet::PacketBuffer::copy_of(enc[0].frame.data());
     ASSERT_EQ(
         responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame))
             .size(),
@@ -227,7 +227,7 @@ TEST(IpsecLifecycle, ReplayWindowIsFreshAcrossSpiSwitchover) {
       initiator.process(kDefaultContext, 0, 0, plaintext_frame(80, 50));
   ASSERT_EQ(enc.size(), 1u);
   EXPECT_EQ(wire_spi(enc[0].frame), 1003u);
-  packet::PacketBuffer new_dup(enc[0].frame.data());
+  packet::PacketBuffer new_dup = packet::PacketBuffer::copy_of(enc[0].frame.data());
   ASSERT_EQ(
       responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame))
           .size(),
@@ -268,7 +268,7 @@ TEST(IpsecLifecycle, DrainDeadlineRetiresSupersededInboundSa) {
   auto enc =
       responder.process(kDefaultContext, 0, 0, plaintext_frame(64, 2));
   ASSERT_EQ(enc.size(), 1u);
-  packet::PacketBuffer late(enc[0].frame.data());
+  packet::PacketBuffer late = packet::PacketBuffer::copy_of(enc[0].frame.data());
   EXPECT_EQ(initiator.process(kDefaultContext, 1, 500,
                               std::move(enc[0].frame))
                 .size(),
@@ -595,7 +595,7 @@ TEST(IpsecLifecycle, AdversarialCorpusEveryDropAccounted) {
       auto enc = initiator.process(kDefaultContext, 0, 0,
                                    plaintext_frame(150, 70 + i));
       ASSERT_EQ(enc.size(), 1u);
-      captured = packet::PacketBuffer(enc[0].frame.data());
+      captured = packet::PacketBuffer::copy_of(enc[0].frame.data());
       ASSERT_EQ(
           responder.process(kDefaultContext, 1, 0, std::move(enc[0].frame))
               .size(),

@@ -147,7 +147,7 @@ TEST(Firewall, NonIpTrafficPasses) {
   arp[12] = 0x08;
   arp[13] = 0x06;
   auto outs = firewall.process(kDefaultContext, 0, 0,
-                               packet::PacketBuffer(arp));
+                               packet::PacketBuffer::copy_of(arp));
   EXPECT_EQ(outs.size(), 1u);
 }
 

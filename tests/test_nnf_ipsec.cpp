@@ -167,7 +167,7 @@ TEST(Ipsec, ReplayedPacketDropped) {
   auto enc =
       initiator.process(kDefaultContext, 0, 0, plaintext_frame(128, 4));
   ASSERT_EQ(enc.size(), 1u);
-  packet::PacketBuffer copy(enc[0].frame.data());
+  packet::PacketBuffer copy = packet::PacketBuffer::copy_of(enc[0].frame.data());
   ASSERT_EQ(responder
                 .process(kDefaultContext, 1, 0, std::move(enc[0].frame))
                 .size(),
@@ -300,7 +300,7 @@ TEST(Ipsec, EspOverheadIsBounded) {
     auto plain = plaintext_frame(size, size);
     const std::size_t inner_ip_len = plain.size() - 14;
 
-    packet::PacketBuffer copy(plain.data());
+    packet::PacketBuffer copy = packet::PacketBuffer::copy_of(plain.data());
     auto outs = gcm.process(kDefaultContext, 0, 0, std::move(plain));
     ASSERT_EQ(outs.size(), 1u);
     const std::size_t gcm_overhead = outs[0].frame.size() - 14 - inner_ip_len;
@@ -384,7 +384,7 @@ TEST(Ipsec, GcmSaltFromExtendedKeyChangesWireAndRoundTrips) {
   IpsecEndpoint zero_salt = make_endpoint(initiator_config());
 
   auto frame = plaintext_frame(300, 5);
-  packet::PacketBuffer copy(frame.data());
+  packet::PacketBuffer copy = packet::PacketBuffer::copy_of(frame.data());
   auto salted = initiator.process(kDefaultContext, 0, 0, std::move(frame));
   auto unsalted = zero_salt.process(kDefaultContext, 0, 0, std::move(copy));
   ASSERT_EQ(salted.size(), 1u);
@@ -443,7 +443,7 @@ TEST(Ipsec, GcmDirectionsNeverShareANonce) {
   IpsecEndpoint initiator = make_endpoint(initiator_config());
   IpsecEndpoint responder = make_endpoint(responder_config());
   auto frame = plaintext_frame(300, 7);
-  packet::PacketBuffer copy(frame.data());
+  packet::PacketBuffer copy = packet::PacketBuffer::copy_of(frame.data());
   auto a = initiator.process(kDefaultContext, 0, 0, std::move(frame));
   auto b = responder.process(kDefaultContext, 0, 0, std::move(copy));
   ASSERT_EQ(a.size(), 1u);

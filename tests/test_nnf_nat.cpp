@@ -212,7 +212,7 @@ TEST(Nat, NonIpPassesThrough) {
   arp[12] = 0x08;
   arp[13] = 0x06;
   auto outs =
-      nat.process(kDefaultContext, 0, 0, packet::PacketBuffer(arp));
+      nat.process(kDefaultContext, 0, 0, packet::PacketBuffer::copy_of(arp));
   ASSERT_EQ(outs.size(), 1u);
   EXPECT_EQ(outs[0].port, 1u);
 }

@@ -18,7 +18,7 @@ namespace {
 
 TEST(PacketBuffer, ConstructFromBytes) {
   const std::vector<std::uint8_t> data = {1, 2, 3, 4};
-  PacketBuffer buf(data);
+  PacketBuffer buf = PacketBuffer::copy_of(data);
   EXPECT_EQ(buf.size(), 4u);
   EXPECT_EQ(buf[0], 1);
   EXPECT_EQ(buf[3], 4);
@@ -27,7 +27,7 @@ TEST(PacketBuffer, ConstructFromBytes) {
 
 TEST(PacketBuffer, PushFrontUsesHeadroom) {
   const std::vector<std::uint8_t> data = {9, 9};
-  PacketBuffer buf(data);
+  PacketBuffer buf = PacketBuffer::copy_of(data);
   auto hdr = buf.push_front(4);
   EXPECT_EQ(hdr.size(), 4u);
   hdr[0] = 1;
@@ -40,7 +40,8 @@ TEST(PacketBuffer, PushFrontUsesHeadroom) {
 
 TEST(PacketBuffer, PushFrontBeyondHeadroomReallocates) {
   const std::vector<std::uint8_t> data = {7};
-  PacketBuffer buf(data, /*headroom=*/2);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(data, /*headroom=*/2);
   buf.push_front(10);  // exceeds the 2-byte headroom
   EXPECT_EQ(buf.size(), 11u);
   EXPECT_EQ(buf[10], 7);  // payload intact
@@ -48,7 +49,7 @@ TEST(PacketBuffer, PushFrontBeyondHeadroomReallocates) {
 
 TEST(PacketBuffer, PullFrontDecapsulates) {
   const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
-  PacketBuffer buf(data);
+  PacketBuffer buf = PacketBuffer::copy_of(data);
   buf.pull_front(2);
   EXPECT_EQ(buf.size(), 3u);
   EXPECT_EQ(buf[0], 3);

@@ -20,7 +20,7 @@ std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t start = 0) {
 
 TEST(PacketBuffer, IndexReadsAndWritesLiveBytes) {
   auto bytes = pattern(16);
-  PacketBuffer buf(bytes);
+  PacketBuffer buf = PacketBuffer::copy_of(bytes);
   for (std::size_t i = 0; i < bytes.size(); ++i) {
     EXPECT_EQ(buf[i], bytes[i]);
   }
@@ -31,7 +31,7 @@ TEST(PacketBuffer, IndexReadsAndWritesLiveBytes) {
 #if defined(GTEST_HAS_DEATH_TEST) && !defined(NDEBUG)
 TEST(PacketBufferDeathTest, IndexPastSizeAssertsInDebug) {
   auto bytes = pattern(8);
-  PacketBuffer buf(bytes);
+  PacketBuffer buf = PacketBuffer::copy_of(bytes);
   // Indexes in [size, size + headroom-ish) used to silently alias the
   // undefined region after the payload; now they die in debug builds.
   EXPECT_DEATH({ (void)buf[8]; }, "out of range");
@@ -47,7 +47,7 @@ TEST(PacketBufferDeathTest, IndexOnEmptyBufferAsserts) {
 
 TEST(PacketBuffer, PushFrontWithinHeadroomDoesNotReallocate) {
   auto bytes = pattern(32);
-  PacketBuffer buf(bytes);  // default 128B headroom
+  PacketBuffer buf = PacketBuffer::copy_of(bytes);  // default 128B headroom
   const std::uint8_t* before = buf.data().data();
   auto span = buf.push_front(14);
   EXPECT_EQ(span.size(), 14u);
@@ -61,7 +61,8 @@ TEST(PacketBuffer, PushFrontWithinHeadroomDoesNotReallocate) {
 
 TEST(PacketBuffer, PushFrontGrowPathPreservesPayload) {
   auto bytes = pattern(64, 100);
-  PacketBuffer buf(bytes, /*headroom=*/4);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(bytes, /*headroom=*/4);
   ASSERT_EQ(buf.headroom(), 4u);
 
   // Needs 20 > 4 bytes of headroom: triggers the grow-and-copy path.
@@ -80,7 +81,8 @@ TEST(PacketBuffer, PushFrontGrowPathPreservesPayload) {
 
 TEST(PacketBuffer, PushFrontGrowOnZeroHeadroomBuffer) {
   auto bytes = pattern(10);
-  PacketBuffer buf(bytes, /*headroom=*/0);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(bytes, /*headroom=*/0);
   buf.push_front(1)[0] = 0x42;
   EXPECT_EQ(buf.size(), 11u);
   EXPECT_EQ(buf[0], 0x42);
@@ -90,7 +92,8 @@ TEST(PacketBuffer, PushFrontGrowOnZeroHeadroomBuffer) {
 
 TEST(PacketBuffer, PushFrontPullFrontRoundTrip) {
   auto bytes = pattern(48, 7);
-  PacketBuffer buf(bytes, /*headroom=*/8);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(bytes, /*headroom=*/8);
   // Grow path prepend, then strip the prepended header again.
   auto hdr = buf.push_front(32);
   std::memset(hdr.data(), 0x55, hdr.size());
@@ -104,7 +107,8 @@ TEST(PacketBuffer, PushFrontPullFrontRoundTrip) {
 
 TEST(PacketBuffer, TrimAfterGrowKeepsPrefix) {
   auto bytes = pattern(40);
-  PacketBuffer buf(bytes, /*headroom=*/2);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(bytes, /*headroom=*/2);
   buf.push_front(10);
   buf.trim(5);
   EXPECT_EQ(buf.size(), 5u);
@@ -114,7 +118,8 @@ TEST(PacketBuffer, TrimAfterGrowKeepsPrefix) {
 
 TEST(PacketBuffer, RepeatedGrowStaysConsistent) {
   auto bytes = pattern(8);
-  PacketBuffer buf(bytes, /*headroom=*/0);
+  PacketBuffer buf =
+      PacketBuffer::copy_of(bytes, /*headroom=*/0);
   std::size_t expected = bytes.size();
   for (int round = 0; round < 5; ++round) {
     // 200 > kDefaultHeadroom forces a reallocation every round.

@@ -28,7 +28,8 @@ class BufferModelSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(BufferModelSweep, RandomOpsMatchVectorModel) {
   util::Rng rng(GetParam());
   auto initial = rng.bytes(rng.uniform(0, 64));
-  packet::PacketBuffer buffer(initial, /*headroom=*/8);
+  packet::PacketBuffer buffer =
+      packet::PacketBuffer::copy_of(initial, /*headroom=*/8);
   std::vector<std::uint8_t> model = initial;
 
   for (int op = 0; op < 200; ++op) {
@@ -212,7 +213,7 @@ TEST_P(IpsecFuzz, CorruptedPacketsNeverDecrypt) {
     ASSERT_EQ(enc.size(), 1u);
 
     // Corrupt 1..4 random bytes anywhere past the outer IP header.
-    packet::PacketBuffer corrupted(enc[0].frame.data());
+    packet::PacketBuffer corrupted = packet::PacketBuffer::copy_of(enc[0].frame.data());
     const int flips = static_cast<int>(rng.uniform(1, 4));
     for (int f = 0; f < flips; ++f) {
       const std::size_t pos = rng.uniform(34, corrupted.size() - 1);
@@ -358,7 +359,7 @@ TEST_P(ReplayOrderSweep, AnyPermutationDeliveredExactlyOnce) {
     spec.src_port = static_cast<std::uint16_t>(1000 + i);
     auto enc = initiator.process(0, 0, 0, packet::build_udp_frame(spec));
     wire.push_back(std::move(enc[0].frame));
-    wire.emplace_back(wire.back().data());  // duplicate
+    wire.push_back(wire.back().copy());  // duplicate
   }
   // Fisher-Yates with our RNG.
   for (std::size_t i = wire.size() - 1; i > 0; --i) {

@@ -470,7 +470,7 @@ TEST(FlowClassifier, ZeroPrefixStillRequiresIpv4) {
   auto ip_frame = make_udp("1.2.3.4", "5.6.7.8", 1, 2);
   EXPECT_NE(table.lookup(context_of(0, ip_frame), 1), nullptr);
 
-  packet::PacketBuffer arp(std::vector<std::uint8_t>(64, 0));
+  packet::PacketBuffer arp = packet::PacketBuffer::copy_of(std::vector<std::uint8_t>(64, 0));
   auto eth = packet::parse_ethernet(arp.data());
   ASSERT_TRUE(eth.is_ok());  // zeroed frame parses as untagged ethertype 0
   EXPECT_EQ(table.lookup(context_of(0, arp), 1), nullptr);
