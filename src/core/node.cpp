@@ -5,6 +5,7 @@
 #include "compute/native_driver.hpp"
 #include "compute/vm_driver.hpp"
 #include "nnf/translator.hpp"
+#include "packet/mbuf.hpp"
 
 namespace nnfv::core {
 
@@ -66,6 +67,10 @@ UniversalNode::UniversalNode(UniversalNodeConfig config)
   if (config.datapath_workers > 0) {
     exec::DatapathExecutorConfig dp;
     dp.workers = config.datapath_workers;
+    dp.shed_enabled = config.datapath_shed_enabled;
+    dp.shed_high_watermark = config.datapath_shed_high;
+    dp.shed_low_watermark = config.datapath_shed_low;
+    dp.shed_hard_watermark = config.datapath_shed_hard;
     // The pipeline tag is the LSI-0 ingress PortId; each worker runs the
     // full classify -> NNF -> egress chain to completion on its core.
     executor_ = std::make_unique<exec::DatapathExecutor>(
@@ -74,6 +79,11 @@ UniversalNode::UniversalNode(UniversalNodeConfig config)
           network_.base_lsi().receive_burst(
               static_cast<nfswitch::PortId>(tag), std::move(burst));
         });
+    if (config.datapath_watchdog) {
+      exec::WatchdogConfig wd;
+      wd.stall_timeout_ms = config.datapath_stall_timeout_ms;
+      watchdog_ = std::make_unique<exec::Watchdog>(*executor_, wd);
+    }
   }
 }
 
@@ -140,6 +150,33 @@ json::Value UniversalNode::describe() const {
   obj["images"] = std::move(images);
   obj["lsi_count"] = static_cast<double>(network_.lsi_count());
   return doc;
+}
+
+json::Value UniversalNode::health() const {
+  json::Object health;
+  health["status"] = "ok";
+  if (executor_ != nullptr) {
+    health["datapath"] = executor_->describe_stats();
+  } else {
+    json::Object inline_path;
+    inline_path["workers"] = 0;
+    health["datapath"] = std::move(inline_path);
+  }
+  if (watchdog_ != nullptr) {
+    json::Object wd;
+    wd["stalls_detected"] = watchdog_->stalls_detected();
+    wd["restarts_performed"] = watchdog_->restarts_performed();
+    health["watchdog"] = std::move(wd);
+  }
+  const packet::MbufPoolStats pool = packet::MbufPool::global_stats();
+  json::Object mbuf;
+  mbuf["segment_allocs"] = pool.segment_allocs;
+  mbuf["segment_frees"] = pool.segment_frees;
+  mbuf["slab_allocs"] = pool.slab_allocs;
+  mbuf["heap_allocs"] = pool.heap_allocs;
+  mbuf["cross_worker_frees"] = pool.cross_worker_frees;
+  health["mbuf_pool"] = std::move(mbuf);
+  return json::Value(std::move(health));
 }
 
 }  // namespace nnfv::core

@@ -15,6 +15,7 @@
 #include "compute/manager.hpp"
 #include "core/network_manager.hpp"
 #include "exec/datapath_executor.hpp"
+#include "exec/watchdog.hpp"
 #include "core/orchestrator.hpp"
 #include "core/repository.hpp"
 #include "core/resolver.hpp"
@@ -49,6 +50,19 @@ struct UniversalNodeConfig {
   /// egress peers / sim-bound NF stations may then be invoked from
   /// worker threads (sim-bound work bounces via Simulator::post()).
   std::size_t datapath_workers = 0;
+  /// Priority-aware load shedding at the datapath ingress (docs/
+  /// datapath.md §7). Only meaningful with datapath_workers > 0.
+  bool datapath_shed_enabled = false;
+  /// Shedding watermarks (frames; 0 = executor defaults, see
+  /// exec::DatapathExecutorConfig).
+  std::size_t datapath_shed_high = 0;
+  std::size_t datapath_shed_low = 0;
+  std::size_t datapath_shed_hard = 0;
+  /// Start the worker watchdog (docs/datapath.md §7). Only meaningful
+  /// with datapath_workers > 0.
+  bool datapath_watchdog = false;
+  /// Watchdog stall threshold (see exec::WatchdogConfig).
+  std::uint64_t datapath_stall_timeout_ms = 200;
 };
 
 class UniversalNode {
@@ -79,8 +93,17 @@ class UniversalNode {
   /// Node description JSON (REST: GET /node).
   [[nodiscard]] json::Value describe() const;
 
+  /// Node health JSON (REST: GET /health): per-worker datapath state —
+  /// heartbeat, occupancy, drops, sheds, stalls, restarts — plus mbuf
+  /// pool accounting and watchdog counters. Works on the inline path
+  /// too (status + pool stats, no workers).
+  [[nodiscard]] json::Value health() const;
+
   /// The sharded-ingress executor, or nullptr when datapath_workers == 0.
   exec::DatapathExecutor* datapath() { return executor_.get(); }
+
+  /// The worker watchdog, or nullptr unless datapath_watchdog was set.
+  exec::Watchdog* watchdog() { return watchdog_.get(); }
 
   /// Blocks until all worker-submitted ingress frames have left the
   /// datapath (no-op on the inline path). Sim-bound continuations the
@@ -99,8 +122,12 @@ class UniversalNode {
   VnfResolver resolver_;
   VnfScheduler scheduler_;
   std::unique_ptr<LocalOrchestrator> orchestrator_;
-  /// Last member: workers must stop before the components they touch.
+  /// Near-last member: workers must stop before the components they
+  /// touch.
   std::unique_ptr<exec::DatapathExecutor> executor_;
+  /// After executor_: the watchdog must stop before the executor its
+  /// restart_worker() calls touch (destroyed first).
+  std::unique_ptr<exec::Watchdog> watchdog_;
 };
 
 }  // namespace nnfv::core

@@ -109,6 +109,18 @@ class SpscRing {
     return (tail - head) & mask_;
   }
 
+  /// Occupancy as seen by the producer thread: its own tail is exact,
+  /// and the consumer can only advance head, so on the producer thread
+  /// the result is an overestimate bounded by capacity() — the property
+  /// watermark shedding needs (a stale read errs toward shedding, never
+  /// toward admitting past the mark). From any other thread this is just
+  /// another approximation.
+  std::size_t producer_size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return (tail - head) & mask_;
+  }
+
   bool empty_approx() const { return size_approx() == 0; }
 
  private:

@@ -6,6 +6,7 @@
 
 #include "crypto/cipher_modes.hpp"
 #include "crypto/hmac.hpp"
+#include "exec/priority.hpp"
 #include "packet/checksum.hpp"
 #include "util/byteorder.hpp"
 #include "util/strings.hpp"
@@ -210,6 +211,22 @@ void IpsecEndpoint::sad_erase(ContextId ctx, std::uint32_t spi) {
   sad_.erase(sad_key(ctx, spi));
 }
 
+void IpsecEndpoint::register_control_spis(
+    Tunnel& tunnel, std::initializer_list<std::uint32_t> spis) {
+  unregister_control_spis(tunnel);
+  for (std::uint32_t spi : spis) {
+    exec::ControlSpiRegistry::instance().add(spi);
+    tunnel.control_spis.push_back(spi);
+  }
+}
+
+void IpsecEndpoint::unregister_control_spis(Tunnel& tunnel) {
+  for (std::uint32_t spi : tunnel.control_spis) {
+    exec::ControlSpiRegistry::instance().remove(spi);
+  }
+  tunnel.control_spis.clear();
+}
+
 util::Status IpsecEndpoint::configure(ContextId ctx, const NfConfig& config) {
   // Lifecycle mutation: exclusive vs. in-flight worker bursts.
   std::unique_lock<std::shared_mutex> lock(mutex_);
@@ -395,6 +412,11 @@ util::Status IpsecEndpoint::stage_rekey(ContextId ctx, Tunnel& tunnel,
   // Restaging replaces a pending (not yet cut over) rekey.
   if (tunnel.staged) sad_erase(ctx, tunnel.staged->in_sa.spi);
   sad_insert(ctx, staged.in_sa.spi, SadSlot::kStaged);
+  // The new generation's ESP traffic is control priority until the
+  // superseded SA retires: overload shedding must not starve a rekey
+  // into a dead tunnel. (Replaces any previous registration — a restage
+  // or back-to-back rekey moves the protection to the newest SPIs.)
+  register_control_spis(tunnel, {staged.out_sa.spi, staged.in_sa.spi});
   tunnel.staged = std::move(staged);
   ++stats_shard().rekeys_started;
   return util::Status::ok();
@@ -406,6 +428,10 @@ void IpsecEndpoint::expire_draining(ContextId ctx, Tunnel& tunnel,
     tunnel.draining->sa.state = SaState::kDead;
     sad_erase(ctx, tunnel.draining->sa.spi);
     tunnel.draining.reset();
+    // Rekey fully complete (old generation gone): the new SPIs carry
+    // ordinary traffic now, so they lose control priority — unless a
+    // newer rekey already re-registered its own SPIs.
+    if (!tunnel.staged) unregister_control_spis(tunnel);
     ++stats_shard().sas_retired;
   }
 }
@@ -1058,6 +1084,7 @@ util::Status IpsecEndpoint::remove_context(ContextId ctx) {
     if (tunnel.configured) sad_erase(ctx, tunnel.in_sa.spi);
     if (tunnel.staged) sad_erase(ctx, tunnel.staged->in_sa.spi);
     if (tunnel.draining) sad_erase(ctx, tunnel.draining->sa.spi);
+    unregister_control_spis(tunnel);
     tunnels_.erase(it);
   }
   return util::Status::ok();

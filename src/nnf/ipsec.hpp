@@ -49,10 +49,12 @@
 #pragma once
 
 #include <array>
+#include <initializer_list>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/aes.hpp"
 #include "crypto/cipher_modes.hpp"
@@ -267,6 +269,12 @@ class IpsecEndpoint : public NetworkFunction {
     packet::MacAddress inner_src_mac = packet::MacAddress::from_id(0xE2);
     packet::MacAddress inner_dst_mac = packet::MacAddress::from_id(0xE3);
     bool configured = false;
+    /// SPIs this tunnel holds in the overload-shedding control-priority
+    /// registry (exec/priority.hpp) while a rekey is in flight: staged
+    /// at stage_rekey, released when the superseded SA retires (or the
+    /// context goes away). ESP frames on these SPIs survive load
+    /// shedding, so a congested node can still finish a rekey.
+    std::vector<std::uint32_t> control_spis;
   };
 
   /// Which generation a SAD entry resolves to within its tunnel.
@@ -278,6 +286,13 @@ class IpsecEndpoint : public NetworkFunction {
   }
   void sad_insert(ContextId ctx, std::uint32_t spi, SadSlot slot);
   void sad_erase(ContextId ctx, std::uint32_t spi);
+
+  // --- control-priority SPI registration (overload shedding) ----------
+  /// Replaces the tunnel's registered control SPIs with `spis`.
+  static void register_control_spis(Tunnel& tunnel,
+                                    std::initializer_list<std::uint32_t> spis);
+  /// Drops every control SPI the tunnel still holds registered.
+  static void unregister_control_spis(Tunnel& tunnel);
 
   // --- lifecycle ------------------------------------------------------
   /// Retires the draining SA once its deadline passed; called once per

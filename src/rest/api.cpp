@@ -168,6 +168,12 @@ void RestApi::install_routes() {
                 return HttpResponse::json_response(
                     200, node->describe().dump());
               });
+
+  router_.add("GET", "/health",
+              [node](const HttpRequest&, const PathParams&) {
+                return HttpResponse::json_response(
+                    200, node->health().dump());
+              });
 }
 
 }  // namespace nnfv::rest

@@ -7,6 +7,7 @@
 //   GET    /NF-FG                      list deployed graph ids
 //   PUT    /NF-FG/{id}/VNFs/{nf}/config   update one NF's configuration
 //   GET    /node                       node description & resources
+//   GET    /health                     datapath health & overload state
 #pragma once
 
 #include "core/node.hpp"

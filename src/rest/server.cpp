@@ -90,7 +90,17 @@ void HttpServer::serve_connection(int fd) {
     }
     if (state == RequestParser::State::kComplete) break;
   }
-  const HttpResponse response = handler_(parser.request());
+  // A throwing handler must cost the client a 500, never the accept
+  // thread: this loop is the node's only management plane.
+  HttpResponse response;
+  try {
+    response = handler_(parser.request());
+  } catch (const std::exception& e) {
+    response = HttpResponse::error(
+        500, std::string("internal error: ") + e.what());
+  } catch (...) {
+    response = HttpResponse::error(500, "internal error");
+  }
   requests_.fetch_add(1);
   const std::string reply = response.serialize();
   std::size_t off = 0;

@@ -1,5 +1,6 @@
 #include "switch/lsi.hpp"
 
+#include "exec/priority.hpp"
 #include "util/logging.hpp"
 
 namespace nnfv::nfswitch {
@@ -91,6 +92,14 @@ void Lsi::receive_burst(PortId port, packet::PacketBurst&& burst) {
     if (!fields) {
       NNFV_LOG(kDebug, "lsi") << name_ << ": unparseable frame dropped";
       continue;
+    }
+    // Priority split from the fields already decoded for classification;
+    // only a rekey-ESP frame costs an extra peek (the SPI).
+    if (exec::classify_priority(fields.value(), frame.data()) ==
+        exec::FramePriority::kControl) {
+      it->second.stats.rx_control += 1;
+    } else {
+      it->second.stats.rx_bulk += 1;
     }
     FlowContext ctx{port, fields.value()};
     FlowEntry* entry =

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
+#include <stdexcept>
 
 #include "core/node.hpp"
 #include "nffg/nffg_json.hpp"
@@ -361,6 +363,50 @@ TEST_F(ApiFixture, NodeDescription) {
   EXPECT_TRUE(doc->get("native_functions")->is_array());
 }
 
+TEST_F(ApiFixture, HealthRouteOnInlineNode) {
+  // No datapath workers configured: /health still answers, with an
+  // explicit workers:0 datapath object and the mbuf-pool counters.
+  HttpResponse response = api_.handle(make_request("GET", "/health"));
+  ASSERT_EQ(response.status, 200);
+  auto doc = json::parse(response.body);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get_string("status"), "ok");
+  ASSERT_TRUE(doc->get("datapath")->is_object());
+  EXPECT_EQ(doc->get("datapath")->as_object().find("workers")->as_number(),
+            0.0);
+  ASSERT_TRUE(doc->get("mbuf_pool")->is_object());
+  EXPECT_TRUE(doc->get("mbuf_pool")->as_object().contains("segment_allocs"));
+  EXPECT_FALSE(doc->as_object().contains("watchdog"));
+  // Wrong method on the health route is routing noise, not a crash.
+  EXPECT_EQ(api_.handle(make_request("POST", "/health")).status, 405);
+}
+
+TEST(Health, RouteSurfacesDatapathAndWatchdogState) {
+  core::UniversalNodeConfig config;
+  config.datapath_workers = 2;
+  config.datapath_watchdog = true;
+  core::UniversalNode node(config);
+  RestApi api(&node);
+  HttpResponse response;
+  {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = "/health";
+    response = api.handle(request);
+  }
+  ASSERT_EQ(response.status, 200);
+  auto doc = json::parse(response.body);
+  ASSERT_TRUE(doc.is_ok());
+  const json::Object& datapath = doc->get("datapath")->as_object();
+  EXPECT_EQ(datapath.find("workers")->as_number(), 2.0);
+  ASSERT_TRUE(datapath.find("per_worker")->is_array());
+  EXPECT_EQ(datapath.find("per_worker")->as_array().size(), 2u);
+  EXPECT_EQ(datapath.find("worker_restarts")->as_number(), 0.0);
+  const json::Object& watchdog = doc->get("watchdog")->as_object();
+  EXPECT_EQ(watchdog.find("stalls_detected")->as_number(), 0.0);
+  EXPECT_EQ(watchdog.find("restarts_performed")->as_number(), 0.0);
+}
+
 TEST(HttpStatusMapping, CoversAllCodes) {
   EXPECT_EQ(http_status_of(util::Status::ok()), 200);
   EXPECT_EQ(http_status_of(util::invalid_argument("x")), 400);
@@ -431,6 +477,71 @@ TEST(HttpServer, MalformedRequestGets400) {
   const std::string reply =
       http_exchange(server.port(), "NONSENSE\r\n\r\n");
   EXPECT_NE(reply.find("400"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, SurvivesAbusiveClients) {
+  core::UniversalNode node;
+  RestApi api(&node);
+  HttpServer server(
+      [&api](const HttpRequest& request) { return api.handle(request); });
+  ASSERT_TRUE(server.start(0).is_ok());
+
+  // Oversized headers trip the parser's 64 KiB cap -> 400, connection
+  // closed, accept loop alive.
+  std::string oversized = "GET /health HTTP/1.1\r\nX-Filler: ";
+  oversized.append(80 * 1024, 'a');
+  const std::string huge_reply = http_exchange(server.port(), oversized);
+  EXPECT_NE(huge_reply.find("400"), std::string::npos);
+
+  // A client that sends half a request and hangs up gets no reply and
+  // must not wedge the server.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char truncated[] = "GET /health HTTP/1.1\r\nHo";
+    ASSERT_GT(::send(fd, truncated, sizeof(truncated) - 1, 0), 0);
+    ::close(fd);
+  }
+
+  // Malformed bytes on the health path specifically.
+  const std::string garbled =
+      http_exchange(server.port(), "GET /health\r\n\r\n");  // no version
+  EXPECT_NE(garbled.find("400"), std::string::npos);
+
+  // After all of the abuse, a well-formed health request still works.
+  const std::string reply = http_exchange(
+      server.port(), "GET /health HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
+
+TEST(HttpServer, ThrowingHandlerYields500NotThreadDeath) {
+  std::atomic<int> calls{0};
+  HttpServer server([&calls](const HttpRequest&) -> HttpResponse {
+    if (calls.fetch_add(1) == 0) {
+      throw std::runtime_error("handler exploded");
+    }
+    return HttpResponse::json_response(200, "{}");
+  });
+  ASSERT_TRUE(server.start(0).is_ok());
+  const std::string first = http_exchange(
+      server.port(), "GET /x HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(first.find("500"), std::string::npos);
+  EXPECT_NE(first.find("handler exploded"), std::string::npos);
+  // The accept thread survived the exception and serves the next client.
+  const std::string second = http_exchange(
+      server.port(), "GET /x HTTP/1.1\r\nHost: l\r\n\r\n");
+  EXPECT_NE(second.find("200"), std::string::npos);
+  EXPECT_TRUE(server.running());
   server.stop();
 }
 

@@ -110,6 +110,69 @@ TEST(SpscRing, CrossThreadTransfersEverythingInOrder) {
   EXPECT_TRUE(ring.empty_approx());
 }
 
+TEST(SpscRing, ProducerSizeTracksOccupancyAtBoundaries) {
+  exec::SpscRing<int> ring(8);
+  EXPECT_EQ(ring.producer_size(), 0u);
+  // Fill to capacity: producer_size tracks exactly on the producer
+  // thread with no concurrent consumer.
+  for (std::size_t i = 0; i < ring.capacity(); ++i) {
+    EXPECT_EQ(ring.producer_size(), i);
+    ASSERT_TRUE(ring.push(static_cast<int>(i)));
+  }
+  EXPECT_EQ(ring.producer_size(), ring.capacity());
+  EXPECT_FALSE(ring.push(-1));  // full: occupancy must not move
+  EXPECT_EQ(ring.producer_size(), ring.capacity());
+  int out = 0;
+  while (ring.pop(out)) {
+  }
+  EXPECT_EQ(ring.producer_size(), 0u);
+}
+
+TEST(SpscRing, ProducerSizeSurvivesIndexWraparound) {
+  exec::SpscRing<int> ring(4);
+  // Run the head/tail indices far past the ring size so the masked
+  // subtraction in producer_size() is exercised across wraps.
+  int out = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ASSERT_TRUE(ring.push(int{cycle}));
+    ASSERT_TRUE(ring.push(int{cycle}));
+    EXPECT_EQ(ring.producer_size(), 2u);
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(ring.producer_size(), 1u);
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(ring.producer_size(), 0u);
+  }
+}
+
+TEST(SpscRing, ProducerSizeIsBoundedUnderConcurrentDrain) {
+  // The shedding watermarks compare producer_size() against capacity,
+  // so the one invariant that matters under concurrency: the estimate
+  // never exceeds capacity (stale head only makes it an overestimate,
+  // which errs toward shedding, never past the ring).
+  exec::SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 50000;
+  std::atomic<bool> done{false};
+  std::thread consumer([&]() {
+    std::uint64_t expected = 0;
+    while (expected < kCount) {
+      std::uint64_t v = 0;
+      if (ring.pop(v)) {
+        ASSERT_EQ(v, expected);
+        ++expected;
+      }
+    }
+    done.store(true);
+  });
+  for (std::uint64_t i = 0; i < kCount;) {
+    const std::size_t occupancy = ring.producer_size();
+    ASSERT_LE(occupancy, ring.capacity());
+    if (ring.push(std::uint64_t{i})) ++i;
+  }
+  consumer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(ring.producer_size(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // RSS hash
 // ---------------------------------------------------------------------------
