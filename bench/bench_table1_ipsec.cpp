@@ -12,8 +12,10 @@
 // maximum goodput, the runtime RAM reserved for the deployment, and the
 // size of the image the flavor required.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -153,6 +155,183 @@ bool fused_seal_matches_reference_oracle() {
   return true;
 }
 
+/// Differential guard for the multi-buffer kernel: seal_mb over 1..8
+/// ragged lanes must be bit-identical to the reference oracle's per-lane
+/// seal, and open_mb must round-trip every lane. Lane lengths straddle
+/// the 128 B CTR chunk and the 8-block GHASH aggregation so the batched
+/// scheduler's drain paths are all exercised before any timing runs.
+bool mb_seal_matches_reference_oracle() {
+  constexpr std::size_t kMaxLanes = crypto::CryptoBackend::kMaxMbLanes;
+  constexpr std::size_t kLaneLens[kMaxLanes] = {1,   64,  65,  127,
+                                                128, 129, 576, 1408};
+  util::Rng rng(15);
+  const auto key = rng.bytes(16);
+  std::vector<std::vector<std::size_t>> cases;
+  for (std::size_t nlanes = 1; nlanes <= kMaxLanes; ++nlanes) {
+    std::vector<std::size_t> lens(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      lens[l] = kLaneLens[(l * 3 + nlanes) % kMaxLanes];
+    }
+    cases.push_back(std::move(lens));
+  }
+  // Full equal-length batches: the shape the burst gather produces and
+  // the curve above times. Below 128 B they hit the register-resident
+  // uniform kernel (including its partial-tail epilogue at 96/127);
+  // 128/256 B run the cross-lane chunk pipeline with zero remainder.
+  for (const std::size_t len : {32U, 64U, 96U, 127U, 128U, 256U}) {
+    cases.emplace_back(kMaxLanes, static_cast<std::size_t>(len));
+  }
+  for (const auto& lens : cases) {
+    const std::size_t nlanes = lens.size();
+    std::vector<std::vector<std::uint8_t>> nonce(nlanes), aad(nlanes),
+        plain(nlanes), want_ct(nlanes), got_ct(nlanes), got_plain(nlanes);
+    std::vector<std::array<std::uint8_t, crypto::GcmContext::kTagSize>>
+        want_tag(nlanes), got_tag(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      const std::size_t len = lens[l];
+      nonce[l] = rng.bytes(12);
+      aad[l] = rng.bytes(8);
+      plain[l] = rng.bytes(len);
+      want_ct[l].resize(len);
+      got_ct[l].resize(len);
+      got_plain[l].resize(len);
+    }
+    {
+      crypto::ScopedBackendOverride oracle(
+          crypto::detail::reference_backend());
+      auto gcm = crypto::GcmContext::create(key);
+      if (!gcm.is_ok()) return false;
+      for (std::size_t l = 0; l < nlanes; ++l) {
+        if (!gcm->seal(nonce[l], aad[l], plain[l], want_ct[l].data(),
+                       want_tag[l].data())
+                 .is_ok()) {
+          return false;
+        }
+      }
+    }
+    auto gcm = crypto::GcmContext::create(key);
+    if (!gcm.is_ok()) return false;
+    std::vector<crypto::GcmMbOp> ops(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      ops[l] = {nonce[l], aad[l], plain[l], got_ct[l].data(),
+                got_tag[l].data()};
+    }
+    if (!gcm->seal_mb(ops.data(), nlanes).is_ok()) return false;
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      if (got_ct[l] != want_ct[l] ||
+          std::memcmp(got_tag[l].data(), want_tag[l].data(),
+                      want_tag[l].size()) != 0) {
+        std::fprintf(stderr,
+                     "multi-buffer GCM seal diverges from the reference "
+                     "oracle (lanes=%zu lane=%zu len=%zu)!\n",
+                     nlanes, l, plain[l].size());
+        return false;
+      }
+      ops[l] = {nonce[l], aad[l], got_ct[l], got_plain[l].data(),
+                got_tag[l].data()};
+    }
+    std::vector<std::uint8_t> ok(nlanes, 0);
+    if (!gcm->open_mb(ops.data(), nlanes,
+                      reinterpret_cast<bool*>(ok.data())) ||
+        !std::all_of(ok.begin(), ok.end(), [](std::uint8_t o) { return o; })) {
+      std::fprintf(stderr, "multi-buffer GCM open rejects its own seal "
+                           "(lanes=%zu)!\n", nlanes);
+      return false;
+    }
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      if (got_plain[l] != plain[l]) {
+        std::fprintf(stderr, "multi-buffer GCM open round-trip mismatch "
+                             "(lanes=%zu lane=%zu)!\n", nlanes, l);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+constexpr std::size_t kMbCurveSizes[] = {64, 128, 256, 576, 1408};
+
+struct MbSpeedups {
+  /// seal_mb over 8 same-size lanes vs 8 per-packet seal() calls, one
+  /// ratio per kMbCurveSizes entry.
+  double vs_single[std::size(kMbCurveSizes)] = {};
+};
+
+/// The multi-buffer payoff curve: small packets amortise the per-call
+/// GHASH/CTR ramp-in across lanes (where Table 1's 64 B IMIX tail
+/// lives), large packets converge toward the single-buffer kernel's
+/// steady-state throughput.
+MbSpeedups mb_crypto_speedups(nnfv::bench::JsonReport& report) {
+  constexpr std::size_t kLanes = crypto::CryptoBackend::kMaxMbLanes;
+  util::Rng rng(16);
+  const auto key = rng.bytes(16);
+  auto gcm = crypto::GcmContext::create(key);
+  MbSpeedups speedups;
+  std::printf("\nMulti-buffer GCM seal (%zu lanes) vs per-packet seal:\n",
+              kLanes);
+  for (std::size_t si = 0; si < std::size(kMbCurveSizes); ++si) {
+    const std::size_t size = kMbCurveSizes[si];
+    std::vector<std::vector<std::uint8_t>> nonce(kLanes), aad(kLanes),
+        plain(kLanes), cipher(kLanes);
+    std::vector<crypto::GcmMbOp> ops(kLanes);
+    std::uint8_t tags[kLanes][crypto::GcmContext::kTagSize];
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      nonce[l] = rng.bytes(12);
+      aad[l] = rng.bytes(8);
+      plain[l] = rng.bytes(size);
+      cipher[l].resize(size);
+      ops[l] = {nonce[l], aad[l], plain[l], cipher[l].data(), tags[l]};
+    }
+    // The two sides of the ratio are measured back-to-back inside each
+    // trial and the ratio is taken per trial; the median trial wins. A
+    // noise burst that lands on one whole trial shifts both sides
+    // together and cancels in the ratio — independent windows per side
+    // cannot guarantee that on shared hardware, and this ratio carries
+    // a hard gate below.
+    struct Trial {
+      double ns_single;
+      double ns_mb;
+      std::uint64_t iters_mb;
+    };
+    const int ntrials = bench::smoke_mode() ? 1 : 3;
+    Trial trials[3];
+    for (int t = 0; t < ntrials; ++t) {
+      auto [ns_s, it_s] = bench::measure_ns([&]() {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          (void)gcm->seal(nonce[l], aad[l], plain[l], cipher[l].data(),
+                          tags[l]);
+        }
+        bench::do_not_optimize(tags);
+      });
+      (void)it_s;
+      auto [ns_m, it_m] = bench::measure_ns([&]() {
+        (void)gcm->seal_mb(ops.data(), kLanes);
+        bench::do_not_optimize(tags);
+      });
+      trials[t] = {ns_s, ns_m, it_m};
+    }
+    std::sort(trials, trials + ntrials,
+              [](const Trial& a, const Trial& b) {
+                return a.ns_single / a.ns_mb < b.ns_single / b.ns_mb;
+              });
+    const double ns_single = trials[ntrials / 2].ns_single;
+    const double ns_mb = trials[ntrials / 2].ns_mb;
+    const std::uint64_t iters_mb = trials[ntrials / 2].iters_mb;
+    speedups.vs_single[si] = ns_mb > 0.0 ? ns_single / ns_mb : 0.0;
+    std::printf("  %4zu B x %zu: mb %.0f ns vs single %.0f ns -> %.2fx\n",
+                size, kLanes, ns_mb, ns_single, speedups.vs_single[si]);
+    auto& row = report.add(
+        "esp_gcm_mb_seal8_" + std::to_string(size), iters_mb, ns_mb);
+    row.extra.emplace_back("single_ns_per_batch", ns_single);
+    row.extra.emplace_back(
+        "mbit_per_sec",
+        static_cast<double>(size) * kLanes * 8.0 / ns_mb * 1e3);
+    report.add_metric("mb_speedup_vs_single_" + std::to_string(size),
+                      "speedup", speedups.vs_single[si]);
+  }
+  return speedups;
+}
+
 /// The two ESP encrypt transforms head to head on the active backend —
 /// AES-GCM seal (one pass: CTR + GHASH) vs AES-CBC + HMAC-SHA256 (serial
 /// chain + separate MAC pass) over the same 1408-byte datagram — plus the
@@ -222,16 +401,21 @@ GcmSpeedups gcm_crypto_speedups(nnfv::bench::JsonReport& report) {
 
 int main(int argc, char** argv) {
   nnfv::bench::parse_cli(argc, argv);
-  // --mode selects the ESP transform the Table-1 graphs deploy (the
-  // crypto kernel comparisons below always measure both transforms).
+  // --mode selects how the Table-1 graphs deploy and are driven (the
+  // crypto kernel comparisons below always measure every transform):
+  // gcm / cbc pick the ESP transform with frame-at-a-time ingress; mb
+  // deploys the gcm transform and feeds 8-frame RX bursts, so the
+  // endpoint gathers same-SA frames into multi-buffer GCM lanes.
   const std::string mode =
       nnfv::bench::mode().empty() ? "gcm" : nnfv::bench::mode();
-  if (mode != "gcm" && mode != "cbc") {
-    std::fprintf(stderr, "unknown --mode=%s (want gcm or cbc)\n",
+  if (mode != "gcm" && mode != "cbc" && mode != "mb") {
+    std::fprintf(stderr, "unknown --mode=%s (want gcm, cbc or mb)\n",
                  mode.c_str());
     return 2;
   }
   const std::string esp_transform = mode == "cbc" ? "cbc-hmac" : "gcm";
+  const std::size_t burst_width =
+      mode == "mb" ? crypto::CryptoBackend::kMaxMbLanes : 1;
   nnfv::bench::JsonReport json_report("bench_table1_ipsec");
   json_report.set_field("backend",
                         std::string(crypto::active_backend().name()));
@@ -241,7 +425,8 @@ int main(int argc, char** argv) {
       "=== Table 1: Results with IPSec client VNFs "
       "(paper vs this reproduction) ===\n");
   std::printf("workload: saturating UDP, 1408 B datagrams, ESP tunnel mode "
-              "(%s), 1-core CPE model\n\n", esp_transform.c_str());
+              "(%s), %s ingress, 1-core CPE model\n\n", esp_transform.c_str(),
+              burst_width > 1 ? "8-frame burst" : "frame-at-a-time");
   std::printf("%-10s | %13s %13s | %11s %11s | %11s %11s\n", "Platform",
               "Thr (paper)", "Thr (ours)", "RAM (paper)", "RAM (ours)",
               "Img (paper)", "Img (ours)");
@@ -265,10 +450,11 @@ int main(int argc, char** argv) {
     auto result = bench::smoke_mode()
                       ? bench::measure_saturation(node, 1408, 20000.0,
                                                   10 * sim::kMillisecond,
-                                                  50 * sim::kMillisecond)
+                                                  50 * sim::kMillisecond,
+                                                  burst_width)
                       : bench::measure_saturation(node, 1408, 150000.0,
                                                   100 * sim::kMillisecond,
-                                                  sim::kSecond);
+                                                  sim::kSecond, burst_width);
     std::printf("%-10s | %8.0f Mbps %8.1f Mbps | %8.1f MB %8.1f MB | "
                 "%8.0f MB %8.1f MB\n",
                 row.platform, row.paper_mbps, result.goodput_mbps,
@@ -294,13 +480,17 @@ int main(int argc, char** argv) {
   json_report.add_metric("allocs_per_packet", "allocs_per_packet",
                          allocs_per_packet);
 
-  // Correctness before timing: the stitched seal must match the oracle
-  // (cheap, so it runs in every mode including smoke).
+  // Correctness before timing: the stitched seal and the multi-buffer
+  // batch scheduler must both match the oracle (cheap, so they run in
+  // every mode including smoke) — on divergence the bench refuses to
+  // emit numbers at all.
   if (!fused_seal_matches_reference_oracle()) return 1;
+  if (!mb_seal_matches_reference_oracle()) return 1;
 
   const double crypto_speedup = host_crypto_speedup(json_report);
   const double hw_speedup = backend_speedup_vs_portable(json_report);
   const GcmSpeedups gcm_speedups = gcm_crypto_speedups(json_report);
+  const MbSpeedups mb_speedups = mb_crypto_speedups(json_report);
   // The >=2x gate only applies with FULL hardware crypto: the ESP kernel
   // is AES + HMAC-SHA256, and on CPUs with AES-NI but no SHA-NI the aesni
   // backend deliberately keeps portable SHA-256 — accelerating half the
@@ -338,14 +528,20 @@ int main(int argc, char** argv) {
                 "backend (got %.1fx)\n", gcm_speedups.vs_cbc);
     std::printf("  * accelerated GCM >= 2x the portable GCM baseline "
                 "(got %.1fx)\n", gcm_speedups.vs_portable);
-    std::printf("  * stitched GCM seal >= 1.15x the split-pass kernel "
+    std::printf("  * stitched GCM seal >= 1.3x the split-pass kernel "
                 "(got %.2fx)\n", gcm_speedups.vs_split);
+    std::printf("  * 8-lane multi-buffer seal >= 1.5x per-packet seal at "
+                "64 B, monotone floors above (got %.2fx / %.2fx / %.2fx at "
+                "64/128/256 B)\n",
+                mb_speedups.vs_single[0], mb_speedups.vs_single[1],
+                mb_speedups.vs_single[2]);
   } else {
-    std::printf("  * GCM-vs-cbc %.1fx, GCM backend speedup %.1fx and "
-                "stitch-vs-split %.2fx reported but not gated (no "
-                "AES-NI+PCLMUL)\n",
+    std::printf("  * GCM-vs-cbc %.1fx, GCM backend speedup %.1fx, "
+                "stitch-vs-split %.2fx and mb-vs-single %.2fx/%.2fx/%.2fx "
+                "reported but not gated (no AES-NI+PCLMUL)\n",
                 gcm_speedups.vs_cbc, gcm_speedups.vs_portable,
-                gcm_speedups.vs_split);
+                gcm_speedups.vs_split, mb_speedups.vs_single[0],
+                mb_speedups.vs_single[1], mb_speedups.vs_single[2]);
   }
   std::printf("\n");
   json_report.emit();
@@ -355,6 +551,22 @@ int main(int argc, char** argv) {
   if (hw_gated && hw_speedup < 2.0) return 1;
   if (gcm_gated && gcm_speedups.vs_cbc < 3.0) return 1;
   if (gcm_gated && gcm_speedups.vs_portable < 2.0) return 1;
-  if (gcm_gated && gcm_speedups.vs_split < 1.15) return 1;
+  if (gcm_gated && gcm_speedups.vs_split < 1.3) return 1;
+  // The multi-buffer payoff gates. At 64 B the whole packet is per-call
+  // overhead (AES/GHASH ramp, AAD + lengths round trips, J0, tag), so
+  // batching 8 lanes must win outright: >= 1.5x. Above that the floor
+  // steps down with packet size because the amortisable share shrinks —
+  // by 256 B the stitched single-buffer kernel is already
+  // throughput-bound (16 blocks in flight, aggregated GHASH), the
+  // per-packet overhead is ~30% of packet cost, and even a zero-cost
+  // batch tops out near 1.4x; measured steady state on VAES hardware is
+  // ~1.2x at 256 B and ~1.25-1.4x at 128 B. The floors below assert the
+  // batch path never loses money at any curve point, and the full
+  // measured ratios are trend-gated against the blessed baseline. The
+  // 576/1408 B points carry no absolute floor — large packets
+  // legitimately converge toward the single-buffer steady state.
+  if (gcm_gated && mb_speedups.vs_single[0] < 1.5) return 1;   // 64 B
+  if (gcm_gated && mb_speedups.vs_single[1] < 1.15) return 1;  // 128 B
+  if (gcm_gated && mb_speedups.vs_single[2] < 1.0) return 1;   // 256 B
   return 0;
 }

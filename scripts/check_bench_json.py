@@ -36,6 +36,10 @@ JSON file of the shape
 For every baseline entry whose bench appears among the inputs (and whose
 _requires_* conditions match the run's "backend" / "cpu_features" /
 "cpus" fields), the current run's extra[<key>] must be >= <value> * F.
+_requires_backend accepts either one backend name or a list of
+acceptable names (a floor that holds on any PCLMUL-class backend lists
+["aesni", "vaes"]; which one the run auto-selects depends on the CPU
+generation).
 _requires_cores guards parallel-scaling floors: a 4-worker speedup only
 exists on >= 4 hardware threads, so runs on smaller machines skip the
 entry instead of failing it (the bench emits its "cpus" count). Baseline
@@ -134,8 +138,14 @@ def conditions_met(spec, obj):
     hardware-specific baselines so a run on weaker hardware skips them
     instead of failing."""
     backend = spec.get("_requires_backend")
-    if backend is not None and obj.get("backend") != backend:
-        return False
+    if backend is not None:
+        # A string names one backend; a list names the acceptable set
+        # (e.g. ["aesni", "vaes"] for a floor that holds on any
+        # PCLMUL-class backend — the auto-selected backend differs by
+        # CPU generation, and the floor is the same on both).
+        allowed = backend if isinstance(backend, list) else [backend]
+        if obj.get("backend") not in allowed:
+            return False
     cpu = spec.get("_requires_cpu")
     if cpu is not None and cpu not in obj.get("cpu_features", ""):
         return False
@@ -278,6 +288,14 @@ def self_test():
         ("met condition still gates", True,
          compare_problems({"bench_x": {"kernel": {
              "_requires_backend": "aesni", "_requires_cpu": "pclmul",
+             "speedup": 50.0}}})),
+        ("backend list containing the run's backend still gates", True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_backend": ["aesni", "vaes"], "speedup": 50.0}}})),
+        ("backend list without the run's backend skips (dead baseline)",
+         True,
+         compare_problems({"bench_x": {"kernel": {
+             "_requires_backend": ["vaes", "portable"],
              "speedup": 50.0}}})),
         ("unmet cores condition skips (dead baseline)", True,
          compare_problems({"bench_x": {"kernel": {

@@ -63,17 +63,35 @@ from check_bench_json import (CEILING_KEYS, KNOWN_UNDERSCORE_KEYS,
 # *_vs_seed metrics are here too — their value is the active backend's
 # speedup over the seed implementation (~40x on aesni, ~4x portable),
 # so a floor blessed on one backend must never judge a run on another.
+# Backend lists name the acceptable set: which PCLMUL-class backend the
+# run auto-selects (aesni vs vaes) depends on the CPU generation, and
+# the floor holds on either.
 HARDWARE_CONDITIONS = {
     "backend_speedup_vs_portable": {
-        "_requires_backend": "aesni", "_requires_cpu": "sha"},
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "sha"},
     "gcm_backend_speedup_vs_portable": {
-        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
     "esp_gcm_vs_cbc_speedup": {
-        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
     "gcm_stitch_speedup_vs_split": {
-        "_requires_backend": "aesni", "_requires_cpu": "pclmul"},
-    "aes_cbc_speedup_vs_seed": {"_requires_backend": "aesni"},
-    "esp_crypto_speedup_vs_seed": {"_requires_backend": "aesni"},
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
+    "aes_cbc_speedup_vs_seed": {"_requires_backend": ["aesni", "vaes"]},
+    "esp_crypto_speedup_vs_seed": {"_requires_backend": ["aesni", "vaes"]},
+    # The multi-buffer seal curve (8 lanes vs 8 per-packet seals, per
+    # packet size). The ratios come from batched VAES/CLMUL kernels, so
+    # only PCLMUL-class backends observe them; the 576/1408 B points are
+    # trend-gated too — a scheduling regression that makes batching lose
+    # money on large packets (mb << 1.0) must not land silently.
+    "mb_speedup_vs_single_64": {
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
+    "mb_speedup_vs_single_128": {
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
+    "mb_speedup_vs_single_256": {
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
+    "mb_speedup_vs_single_576": {
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
+    "mb_speedup_vs_single_1408": {
+        "_requires_backend": ["aesni", "vaes"], "_requires_cpu": "pclmul"},
     # Parallel scaling only exists on enough hardware threads; runs on
     # smaller machines validate output shape and skip the floor.
     "uniform_w4": {"_requires_cores": 4},
@@ -91,6 +109,12 @@ HARDWARE_CONDITIONS = {
 SEED_FLOORS = {
     "uniform_w4": {"speedup_vs_1w": 3.0},
     "overload_2x": {"speedup_vs_saturation": 0.85},
+    # Multi-buffer acceptance floors (the in-bench gates): a baseline
+    # blessed on non-PCLMUL hardware still demands these from the first
+    # qualifying runner.
+    "mb_speedup_vs_single_64": {"speedup": 1.5},
+    "mb_speedup_vs_single_128": {"speedup": 1.15},
+    "mb_speedup_vs_single_256": {"speedup": 1.0},
 }
 
 # Ratio metrics excluded from the baseline on purpose: near-1 by design

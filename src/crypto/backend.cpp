@@ -34,15 +34,42 @@ void CryptoBackend::gcm_crypt(const Aes& aes, const GhashKey& key,
   if (encrypt) hash_padded(out);
 }
 
+// Default multi-buffer pass: the single-buffer kernel per lane. No
+// interleaving, but bit-identical to the batched hardware kernels — so
+// portable/reference stay the oracles the differential tests diff the
+// aesni/vaes lane schedulers against. The direction check lives here (and
+// not only in the hardware kernels) so every backend rejects a mixed
+// batch identically.
+bool CryptoBackend::gcm_crypt_mb(const Aes& aes, const GhashKey& key,
+                                 GcmMbLane* lanes,
+                                 std::size_t nlanes) const {
+  if (nlanes == 0 || nlanes > kMaxMbLanes) return false;
+  for (std::size_t i = 1; i < nlanes; ++i) {
+    if (lanes[i].encrypt != lanes[0].encrypt) return false;
+  }
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    if (lanes[i].pre_block != nullptr) {
+      ghash(key, lanes[i].state, lanes[i].pre_block, 1);
+    }
+    gcm_crypt(aes, key, lanes[i].counter, lanes[i].in, lanes[i].out,
+              lanes[i].len, lanes[i].state, lanes[i].encrypt);
+    if (lanes[i].post_block != nullptr) {
+      ghash(key, lanes[i].state, lanes[i].post_block, 1);
+    }
+  }
+  return true;
+}
+
 namespace {
 
 struct Registry {
-  const CryptoBackend* entries[3];
+  const CryptoBackend* entries[4];
 };
 
 const Registry& registry() {
   static const Registry r{{&detail::portable_backend(),
                            &detail::aesni_backend(),
+                           &detail::vaes_backend(),
                            &detail::reference_backend()}};
   return r;
 }
@@ -60,6 +87,11 @@ const CryptoBackend* select_backend() {
     NNFV_LOG(kWarn, "crypto")
         << "NNFV_CRYPTO_BACKEND='" << want
         << "' unknown or unusable on this CPU; falling back to auto";
+  }
+  const CryptoBackend& vaes = detail::vaes_backend();
+  if (vaes.usable()) {
+    NNFV_LOG(kInfo, "crypto") << "backend 'vaes' (CPUID)";
+    return &vaes;
   }
   const CryptoBackend& aesni = detail::aesni_backend();
   if (aesni.usable()) {

@@ -13,15 +13,18 @@
 //                fast path). Runs everywhere; the auto fallback.
 //   "aesni"      AES-NI block ops (+ SHA-NI compression when the CPU has
 //                it). Selected automatically when CPUID allows.
+//   "vaes"       VAES + VPCLMULQDQ wide GCM kernels (2 blocks per YMM
+//                register); everything non-GCM delegates to aesni.
+//                Preferred over aesni when CPUID allows.
 //   "reference"  Byte-wise FIPS-197 textbook AES + rolled SHA-256. Slow,
 //                obviously-correct oracle for differential tests; never
 //                auto-selected.
 //
-// Override: NNFV_CRYPTO_BACKEND=portable|aesni|reference|auto. An unknown
-// or unusable request (e.g. aesni on a CPU without it) logs a warning and
-// falls back to AUTO selection rather than crashing — which still means
-// portable on a CPU without AES-NI, so a forced-portable CI job can run
-// the same binaries on any runner.
+// Override: NNFV_CRYPTO_BACKEND=portable|aesni|vaes|reference|auto. An
+// unknown or unusable request (e.g. vaes on a CPU without it) logs a
+// warning and falls back to AUTO selection rather than crashing — which
+// still means portable on a CPU without AES-NI, so a forced-portable CI
+// job can run the same binaries on any runner.
 #pragma once
 
 #include <atomic>
@@ -39,8 +42,10 @@ class CryptoBackend;
 /// `h` is the raw subkey H = AES_K(0^128), filled by the caller;
 /// `table` is backend-owned precomputation derived from it by
 /// ghash_init() — the portable backend stores a 16-entry Shoup 4-bit
-/// multiplication table (exactly 256 bytes), the PCLMUL path the powers
-/// H^1..H^4 for aggregated reduction. `owner` records which backend
+/// multiplication table (exactly 256 bytes), the PCLMUL/VAES paths the
+/// powers H^1..H^8 (128 bytes, widened from H^1..H^4 for the 8-block
+/// aggregated reduction; 32-byte aligned so the VAES kernels can load
+/// power pairs as whole YMM registers). `owner` records which backend
 /// filled the table: a GcmContext re-inits when the active backend
 /// changes (tests flip backends with ScopedBackendOverride), so the blob
 /// layout is always the consumer's own.
@@ -54,7 +59,7 @@ class CryptoBackend;
 /// operation, like every other reconfiguration (docs/datapath.md §6).
 struct GhashKey {
   alignas(16) std::uint8_t h[16]{};
-  alignas(16) std::uint8_t table[256]{};
+  alignas(32) std::uint8_t table[256]{};
   std::atomic<const CryptoBackend*> owner{nullptr};
 
   GhashKey() = default;
@@ -70,8 +75,38 @@ struct GhashKey {
   }
 };
 
+/// One lane of a multi-buffer GCM pass (gcm_crypt_mb): an independent
+/// (counter, payload, GHASH state) stream. All lanes of one call share
+/// the AES key and GhashKey — the ESP use case is same-SA packets
+/// gathered from a burst — but lengths may be ragged and buffers may
+/// alias in == out per lane (in-place, like gcm_crypt).
+struct GcmMbLane {
+  const std::uint8_t* counter = nullptr;  ///< first 16-byte counter block
+  const std::uint8_t* in = nullptr;
+  std::uint8_t* out = nullptr;
+  std::size_t len = 0;
+  std::uint8_t* state = nullptr;  ///< 16-byte GHASH accumulator, updated
+  bool encrypt = true;            ///< must be uniform across the call
+  /// Optional single GHASH blocks folded around the payload, inside the
+  /// same kernel pass: `pre_block` (one zero-padded 16-byte block — the
+  /// <= 16-byte AAD of RFC 4106 ESP) is absorbed into `state` before the
+  /// first ciphertext block, `post_block` (the SP 800-38D lengths block)
+  /// after the zero-padded tail. Folding them here instead of via two
+  /// extra per-lane ghash() round trips is what keeps the per-packet
+  /// overhead of an 8-lane batch below one packet's worth. nullptr skips
+  /// either fold (callers with multi-block AAD absorb it into `state`
+  /// beforehand).
+  const std::uint8_t* pre_block = nullptr;
+  const std::uint8_t* post_block = nullptr;
+};
+
 class CryptoBackend {
  public:
+  /// Lane-count ceiling for one gcm_crypt_mb call: 8 keeps one AES block
+  /// per lane in flight, exactly the depth the stitched single-buffer
+  /// kernel pipelines, without spilling lane state off the register file.
+  static constexpr std::size_t kMaxMbLanes = 8;
+
   virtual ~CryptoBackend() = default;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -135,6 +170,28 @@ class CryptoBackend {
                          std::size_t len, std::uint8_t state[16],
                          bool encrypt) const;
 
+  /// Multi-buffer fused GCM: up to kMaxMbLanes independent lanes pushed
+  /// through one interleaved CTR+GHASH pass, so short payloads (the
+  /// 64–256 B IMIX majority) amortise the per-packet AES pipeline
+  /// ramp-up across the batch instead of paying it alone. Ragged lane
+  /// lengths are allowed; each lane's `state` accumulates GHASH over its
+  /// own ciphertext exactly as gcm_crypt would.
+  ///
+  /// All lanes must agree on the direction: mixed-direction batches are
+  /// rejected (returns false, no lane touched) — an encrypting lane
+  /// hashes bytes it writes, a decrypting lane hashes bytes it is about
+  /// to overwrite, and the interleaved kernel must know which before it
+  /// schedules anything. nlanes == 0 and nlanes > kMaxMbLanes are
+  /// rejected the same way.
+  ///
+  /// The base implementation loops the single-buffer gcm_crypt per lane,
+  /// so portable/reference stay bit-identical oracles for the batched
+  /// hardware kernels.
+  [[nodiscard]] virtual bool gcm_crypt_mb(const Aes& aes,
+                                          const GhashKey& key,
+                                          GcmMbLane* lanes,
+                                          std::size_t nlanes) const;
+
   /// Fills key.table from key.h (and stamps key.owner = this). Called
   /// once per key — GcmContext caches the result.
   virtual void ghash_init(GhashKey& key) const = 0;
@@ -150,11 +207,11 @@ class CryptoBackend {
 
 /// The process-wide backend every crypto entry point dispatches through.
 /// Selected on first use: NNFV_CRYPTO_BACKEND if set and usable, else
-/// "aesni" when the CPU supports it, else "portable".
+/// "vaes" when the CPU supports it, else "aesni", else "portable".
 const CryptoBackend& active_backend();
 
-/// Registry lookup ("portable", "aesni", "reference"); nullptr when the
-/// name is unknown. The result may be !usable() on this CPU.
+/// Registry lookup ("portable", "aesni", "vaes", "reference"); nullptr
+/// when the name is unknown. The result may be !usable() on this CPU.
 const CryptoBackend* backend_by_name(std::string_view name);
 
 /// Every registered backend that is usable on this CPU.
@@ -180,6 +237,7 @@ namespace detail {
 // SHA-NI) and so tests can name them without string lookup.
 const CryptoBackend& portable_backend();
 const CryptoBackend& aesni_backend();
+const CryptoBackend& vaes_backend();
 const CryptoBackend& reference_backend();
 // Portable SHA-256 compression, shared by Sha256 and the backends.
 void sha256_compress_portable(std::uint32_t state[8],

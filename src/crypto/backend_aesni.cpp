@@ -14,8 +14,10 @@
 // (enc_schedule_bytes()/dec_schedule_bytes(), filled once at key
 // expansion), so RoundKeys here is pure aligned loads. CBC decryption runs
 // 4 blocks in flight (independent chains), CBC encryption is inherently
-// serial; the GCM path (CTR keystream + PCLMUL GHASH) pipelines both
-// directions — which is why it is the default ESP transform.
+// serial; the GCM path (CTR keystream + PCLMUL GHASH with a single
+// 8-block aggregated reduction over H^1..H^8, single-buffer and
+// multi-buffer — see gcm_clmul_kernels.inc) pipelines both directions —
+// which is why it is the default ESP transform.
 #include "crypto/aes.hpp"
 #include "crypto/backend.hpp"
 #include "util/byteorder.hpp"
@@ -35,40 +37,11 @@ namespace {
 
 #ifdef NNFV_AESNI_COMPILED
 
-constexpr std::size_t kMaxRounds = 14;  // AES-256
-
-/// Round keys in AESENC/AESDEC register format, read straight from the
-/// schedule cache Aes fills at key expansion (16-byte aligned,
-/// byte-serialised big-endian words == the register layout) — pure
-/// aligned loads, no per-bulk-call serialisation.
-struct RoundKeys {
-  __m128i rk[kMaxRounds + 1];
-  int rounds;
-
-  RoundKeys(std::span<const std::uint8_t> schedule_bytes, int nrounds)
-      : rounds(nrounds) {
-    for (int r = 0; r <= nrounds; ++r) {
-      rk[r] = _mm_load_si128(
-          reinterpret_cast<const __m128i*>(schedule_bytes.data() + 16 * r));
-    }
-  }
-};
-
-inline __m128i encrypt_one(const RoundKeys& keys, __m128i block) {
-  block = _mm_xor_si128(block, keys.rk[0]);
-  for (int r = 1; r < keys.rounds; ++r) {
-    block = _mm_aesenc_si128(block, keys.rk[r]);
-  }
-  return _mm_aesenclast_si128(block, keys.rk[keys.rounds]);
-}
-
-inline __m128i decrypt_one(const RoundKeys& keys, __m128i block) {
-  block = _mm_xor_si128(block, keys.rk[0]);
-  for (int r = 1; r < keys.rounds; ++r) {
-    block = _mm_aesdec_si128(block, keys.rk[r]);
-  }
-  return _mm_aesdeclast_si128(block, keys.rk[keys.rounds]);
-}
+// The GCM kernel suite (RoundKeys plumbing, 8-block CTR, H^1..H^8
+// aggregated GHASH, the stitched and multi-buffer gcm_crypt kernels) is
+// shared source with backend_vaes.cpp — each TU compiles its own copy at
+// its own ISA level.
+#include "crypto/gcm_clmul_kernels.inc"
 
 void aes_encrypt_blocks_ni(const Aes& aes, const std::uint8_t* in,
                            std::uint8_t* out, std::size_t nblocks) {
@@ -214,342 +187,6 @@ void cbc_decrypt_ni(const Aes& aes, const std::uint8_t* iv,
                      _mm_xor_si128(decrypt_one(keys, cipher), chain));
     chain = cipher;
   }
-}
-
-// ---------------------------------------------------------------------------
-// GCM kernels: CTR keystream with 8 counter blocks in flight, and PCLMUL
-// GHASH with a 4-block aggregated reduction over precomputed H^1..H^4.
-// ---------------------------------------------------------------------------
-
-// Byte-reverses only the low 4 bytes (the inc32 counter lane), so the
-// counter can live little-endian between blocks and increment with one
-// paddd.
-inline __m128i ctr_swap_mask() {
-  return _mm_set_epi8(12, 13, 14, 15, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
-}
-
-void aes_ctr_xor_ni(const Aes& aes, const std::uint8_t counter[16],
-                    const std::uint8_t* in, std::uint8_t* out,
-                    std::size_t len) {
-  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
-  const __m128i kSwap = ctr_swap_mask();
-  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);  // +1 in the counter lane
-  __m128i ctr_le = _mm_shuffle_epi8(
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)), kSwap);
-  std::size_t off = 0;
-  // 8 independent counter blocks in flight: AESENC throughput-bound, not
-  // latency-bound, unlike the chain-serial CBC encrypt this replaces.
-  for (; off + 128 <= len; off += 128) {
-    __m128i b[8];
-    for (int j = 0; j < 8; ++j) {
-      b[j] = _mm_xor_si128(_mm_shuffle_epi8(ctr_le, kSwap), keys.rk[0]);
-      ctr_le = _mm_add_epi32(ctr_le, kOne);
-    }
-    for (int r = 1; r < keys.rounds; ++r) {
-      for (int j = 0; j < 8; ++j) b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
-    }
-    for (int j = 0; j < 8; ++j) {
-      b[j] = _mm_aesenclast_si128(b[j], keys.rk[keys.rounds]);
-      const __m128i data = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(in + off + 16 * j));
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * j),
-                       _mm_xor_si128(b[j], data));
-    }
-  }
-  for (; off + 16 <= len; off += 16) {
-    const __m128i ks = encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap));
-    ctr_le = _mm_add_epi32(ctr_le, kOne);
-    const __m128i data =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off),
-                     _mm_xor_si128(ks, data));
-  }
-  if (off < len) {
-    alignas(16) std::uint8_t keystream[16];
-    _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
-                    encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap)));
-    for (std::size_t i = 0; off + i < len; ++i) {
-      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ keystream[i]);
-    }
-  }
-}
-
-// GHASH operands are held byte-reversed (as 128-bit big-endian integers);
-// together with the post-multiply shift-left-one in gf128_reduce this
-// realises the GCM reflected-bit convention on PCLMULQDQ.
-inline __m128i bswap128(__m128i x) {
-  return _mm_shuffle_epi8(
-      x, _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15));
-}
-
-/// 256-bit carry-less product [hi:lo] = a (x) b, no reduction — so
-/// aggregated multiplies can XOR-accumulate products before one shared
-/// reduction (shift and reduce are GF(2)-linear).
-inline void clmul256(__m128i a, __m128i b, __m128i* hi, __m128i* lo) {
-  const __m128i t0 = _mm_clmulepi64_si128(a, b, 0x00);
-  const __m128i t1 = _mm_clmulepi64_si128(a, b, 0x10);
-  const __m128i t2 = _mm_clmulepi64_si128(a, b, 0x01);
-  const __m128i t3 = _mm_clmulepi64_si128(a, b, 0x11);
-  const __m128i mid = _mm_xor_si128(t1, t2);
-  *lo = _mm_xor_si128(t0, _mm_slli_si128(mid, 8));
-  *hi = _mm_xor_si128(t3, _mm_srli_si128(mid, 8));
-}
-
-/// Shifts the 256-bit product left one bit (the reflected-multiply
-/// fix-up) and reduces modulo x^128 + x^7 + x^2 + x + 1 in two phases.
-inline __m128i gf128_reduce(__m128i hi, __m128i lo) {
-  __m128i carry_lo = _mm_srli_epi32(lo, 31);
-  __m128i carry_hi = _mm_srli_epi32(hi, 31);
-  lo = _mm_slli_epi32(lo, 1);
-  hi = _mm_slli_epi32(hi, 1);
-  const __m128i cross = _mm_srli_si128(carry_lo, 12);
-  carry_hi = _mm_slli_si128(carry_hi, 4);
-  carry_lo = _mm_slli_si128(carry_lo, 4);
-  lo = _mm_or_si128(lo, carry_lo);
-  hi = _mm_or_si128(hi, _mm_or_si128(carry_hi, cross));
-
-  __m128i fold = _mm_xor_si128(
-      _mm_xor_si128(_mm_slli_epi32(lo, 31), _mm_slli_epi32(lo, 30)),
-      _mm_slli_epi32(lo, 25));
-  const __m128i fold_hi = _mm_srli_si128(fold, 4);
-  fold = _mm_slli_si128(fold, 12);
-  lo = _mm_xor_si128(lo, fold);
-  const __m128i shifted = _mm_xor_si128(
-      _mm_xor_si128(_mm_srli_epi32(lo, 1), _mm_srli_epi32(lo, 2)),
-      _mm_xor_si128(_mm_srli_epi32(lo, 7), fold_hi));
-  lo = _mm_xor_si128(lo, shifted);
-  return _mm_xor_si128(hi, lo);
-}
-
-inline __m128i gf128_mul(__m128i a, __m128i b) {
-  __m128i hi;
-  __m128i lo;
-  clmul256(a, b, &hi, &lo);
-  return gf128_reduce(hi, lo);
-}
-
-/// key.table holds H^1..H^4 (byte-reversed __m128i), the powers the
-/// aggregated 4-block ghash needs.
-void ghash_init_clmul(GhashKey& key) {
-  const __m128i h1 =
-      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(key.h)));
-  const __m128i h2 = gf128_mul(h1, h1);
-  const __m128i h3 = gf128_mul(h2, h1);
-  const __m128i h4 = gf128_mul(h3, h1);
-  __m128i* table = reinterpret_cast<__m128i*>(key.table);
-  _mm_store_si128(table + 0, h1);
-  _mm_store_si128(table + 1, h2);
-  _mm_store_si128(table + 2, h3);
-  _mm_store_si128(table + 3, h4);
-}
-
-void ghash_clmul(const GhashKey& key, std::uint8_t state[16],
-                 const std::uint8_t* blocks, std::size_t nblocks) {
-  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
-  const __m128i h1 = _mm_load_si128(table + 0);
-  const __m128i h2 = _mm_load_si128(table + 1);
-  const __m128i h3 = _mm_load_si128(table + 2);
-  const __m128i h4 = _mm_load_si128(table + 3);
-  __m128i x = bswap128(
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
-  // Aggregated reduction: X1*H^4 ^ X2*H^3 ^ X3*H^2 ^ X4*H^1 — the four
-  // clmul trees are independent, and the serial dependency through the
-  // state is one reduction per 4 blocks instead of per block.
-  for (; nblocks >= 4; nblocks -= 4, blocks += 64) {
-    const __m128i b0 = _mm_xor_si128(
-        bswap128(_mm_loadu_si128(
-            reinterpret_cast<const __m128i*>(blocks))), x);
-    const __m128i b1 = bswap128(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)));
-    const __m128i b2 = bswap128(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)));
-    const __m128i b3 = bswap128(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)));
-    __m128i hi;
-    __m128i lo;
-    __m128i hi_part;
-    __m128i lo_part;
-    clmul256(b0, h4, &hi, &lo);
-    clmul256(b1, h3, &hi_part, &lo_part);
-    hi = _mm_xor_si128(hi, hi_part);
-    lo = _mm_xor_si128(lo, lo_part);
-    clmul256(b2, h2, &hi_part, &lo_part);
-    hi = _mm_xor_si128(hi, hi_part);
-    lo = _mm_xor_si128(lo, lo_part);
-    clmul256(b3, h1, &hi_part, &lo_part);
-    hi = _mm_xor_si128(hi, hi_part);
-    lo = _mm_xor_si128(lo, lo_part);
-    x = gf128_reduce(hi, lo);
-  }
-  for (; nblocks > 0; --nblocks, blocks += 16) {
-    const __m128i block = bswap128(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)));
-    x = gf128_mul(_mm_xor_si128(block, x), h1);
-  }
-  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
-}
-
-/// One aggregated 4-block GHASH step: x = ((x^c0)*H^4) ^ (c1*H^3) ^
-/// (c2*H^2) ^ (c3*H^1), reduced once. Blocks already byte-reversed.
-inline __m128i ghash4(__m128i x, __m128i c0, __m128i c1, __m128i c2,
-                      __m128i c3, __m128i h1, __m128i h2, __m128i h3,
-                      __m128i h4) {
-  __m128i hi;
-  __m128i lo;
-  __m128i hip;
-  __m128i lop;
-  clmul256(_mm_xor_si128(c0, x), h4, &hi, &lo);
-  clmul256(c1, h3, &hip, &lop);
-  hi = _mm_xor_si128(hi, hip);
-  lo = _mm_xor_si128(lo, lop);
-  clmul256(c2, h2, &hip, &lop);
-  hi = _mm_xor_si128(hi, hip);
-  lo = _mm_xor_si128(lo, lop);
-  clmul256(c3, h1, &hip, &lop);
-  hi = _mm_xor_si128(hi, hip);
-  lo = _mm_xor_si128(lo, lop);
-  return gf128_reduce(hi, lo);
-}
-
-// ---------------------------------------------------------------------------
-// Stitched GCM: the fused gcm_crypt kernel. 8 counter blocks in flight
-// against the 4-block aggregated PCLMUL reduction, software-pipelined one
-// 128-byte chunk deep — while chunk i's AESENC chains run, the GHASH of
-// chunk i-1's ciphertext issues between the rounds, so the AES units and
-// the carry-less multiplier are busy simultaneously instead of in two
-// separate passes over the data (which also pays the payload's cache
-// traffic twice).
-// ---------------------------------------------------------------------------
-
-void gcm_crypt_clmul(const Aes& aes, const GhashKey& key,
-                     const std::uint8_t counter[16], const std::uint8_t* in,
-                     std::uint8_t* out, std::size_t len,
-                     std::uint8_t state[16], bool encrypt) {
-  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
-  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
-  const __m128i h1 = _mm_load_si128(table + 0);
-  const __m128i h2 = _mm_load_si128(table + 1);
-  const __m128i h3 = _mm_load_si128(table + 2);
-  const __m128i h4 = _mm_load_si128(table + 3);
-  const __m128i kSwap = ctr_swap_mask();
-  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);
-  __m128i ctr_le = _mm_shuffle_epi8(
-      _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)), kSwap);
-  __m128i x =
-      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
-
-  // The previous chunk's ciphertext, byte-reversed and held in registers
-  // (values, not pointers: in-place decryption overwrites the buffer).
-  __m128i pend[8];
-  bool have_pend = false;
-
-  std::size_t off = 0;
-  for (; off + 128 <= len; off += 128) {
-    __m128i b[8];
-    for (int j = 0; j < 8; ++j) {
-      b[j] = _mm_xor_si128(_mm_shuffle_epi8(ctr_le, kSwap), keys.rk[0]);
-      ctr_le = _mm_add_epi32(ctr_le, kOne);
-    }
-    if (have_pend) {
-      // The pipeline payoff: one AESENC round for all 8 lanes between
-      // each clmul bundle of the previous chunk's GHASH. The two
-      // instruction streams have no data dependency, so they retire in
-      // parallel; only the second 4-block aggregate waits on the first
-      // reduction.
-      int r = 1;
-      const auto aes_round = [&] {
-        if (r < keys.rounds) {
-          for (int j = 0; j < 8; ++j) {
-            b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
-          }
-          ++r;
-        }
-      };
-      __m128i hi;
-      __m128i lo;
-      __m128i hip;
-      __m128i lop;
-      clmul256(_mm_xor_si128(pend[0], x), h4, &hi, &lo);
-      aes_round();
-      clmul256(pend[1], h3, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      clmul256(pend[2], h2, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      clmul256(pend[3], h1, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      x = gf128_reduce(hi, lo);
-      aes_round();
-      clmul256(_mm_xor_si128(pend[4], x), h4, &hi, &lo);
-      aes_round();
-      clmul256(pend[5], h3, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      clmul256(pend[6], h2, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      clmul256(pend[7], h1, &hip, &lop);
-      hi = _mm_xor_si128(hi, hip);
-      lo = _mm_xor_si128(lo, lop);
-      aes_round();
-      x = gf128_reduce(hi, lo);
-      while (r < keys.rounds) aes_round();
-    } else {
-      for (int r = 1; r < keys.rounds; ++r) {
-        for (int j = 0; j < 8; ++j) {
-          b[j] = _mm_aesenc_si128(b[j], keys.rk[r]);
-        }
-      }
-    }
-    for (int j = 0; j < 8; ++j) {
-      b[j] = _mm_aesenclast_si128(b[j], keys.rk[keys.rounds]);
-      const __m128i data = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(in + off + 16 * j));
-      const __m128i ct = _mm_xor_si128(b[j], data);
-      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off + 16 * j), ct);
-      pend[j] = bswap128(encrypt ? ct : data);
-    }
-    have_pend = true;
-  }
-  // Drain the chunk still in the pipeline.
-  if (have_pend) {
-    x = ghash4(x, pend[0], pend[1], pend[2], pend[3], h1, h2, h3, h4);
-    x = ghash4(x, pend[4], pend[5], pend[6], pend[7], h1, h2, h3, h4);
-  }
-  // Tail: remaining full blocks, then the zero-padded partial block.
-  for (; off + 16 <= len; off += 16) {
-    const __m128i ks = encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap));
-    ctr_le = _mm_add_epi32(ctr_le, kOne);
-    const __m128i data =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
-    const __m128i ct = _mm_xor_si128(ks, data);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), ct);
-    x = gf128_mul(_mm_xor_si128(bswap128(encrypt ? ct : data), x), h1);
-  }
-  if (off < len) {
-    alignas(16) std::uint8_t keystream[16];
-    _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
-                    encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap)));
-    alignas(16) std::uint8_t ctblock[16] = {};
-    for (std::size_t i = 0; off + i < len; ++i) {
-      const std::uint8_t d = in[off + i];
-      const std::uint8_t c = static_cast<std::uint8_t>(d ^ keystream[i]);
-      out[off + i] = c;
-      ctblock[i] = encrypt ? c : d;
-    }
-    x = gf128_mul(
-        _mm_xor_si128(
-            bswap128(_mm_load_si128(reinterpret_cast<__m128i*>(ctblock))), x),
-        h1);
-  }
-  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
 }
 
 #ifdef __SHA__
@@ -773,6 +410,22 @@ class AesniBackend final : public CryptoBackend {
       CryptoBackend::gcm_crypt(aes, key, counter, in, out, len, state,
                                encrypt);
     }
+  }
+
+  [[nodiscard]] bool gcm_crypt_mb(const Aes& aes, const GhashKey& key,
+                                  GcmMbLane* lanes,
+                                  std::size_t nlanes) const override {
+    if (!util::cpu_features().pclmul) {
+      // key.table holds the 4-bit layout; the base per-lane loop lands
+      // in this backend's split-pass gcm_crypt fallback above.
+      return CryptoBackend::gcm_crypt_mb(aes, key, lanes, nlanes);
+    }
+    if (nlanes == 0 || nlanes > kMaxMbLanes) return false;
+    for (std::size_t i = 1; i < nlanes; ++i) {
+      if (lanes[i].encrypt != lanes[0].encrypt) return false;
+    }
+    gcm_crypt_mb_clmul(aes, key, lanes, nlanes);
+    return true;
   }
 #else   // !NNFV_AESNI_COMPILED: never selected (usable() is false); the
         // bodies satisfy the interface on non-x86 builds.

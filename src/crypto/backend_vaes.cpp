@@ -1,0 +1,885 @@
+// VAES + VPCLMULQDQ CryptoBackend: the GCM bulk kernels widened to YMM
+// registers — two AES blocks per _mm256_aesenc_epi128, two carry-less
+// block multiplies per _mm256_clmulepi64_epi128. The stitched gcm_crypt
+// runs the same 8-blocks-in-flight / single 8-block aggregated GHASH
+// reduction pipeline as the aesni backend, but in half the instructions:
+// 4 YMM counter lanes instead of 8 XMM, 4 clmul bundles instead of 8.
+//
+// Everything that is not a GCM bulk kernel (ECB/CBC, SHA-256, the scalar
+// CTR) delegates to the aesni backend — usable() requires AES-NI+PCLMUL
+// anyway, and those kernels have no 256-bit upside. The multi-buffer
+// lane scheduler gets its own YMM variant (gcm_crypt_mb_vaes): lanes are
+// paired two-per-YMM so a full 8-lane batch runs four VAES chains per
+// pass instead of eight XMM ones — cross-packet interleaving at half the
+// uop cost of the shared 128-bit round-robin.
+//
+// Like backend_aesni.cpp this TU is compiled with its ISA extensions
+// unconditionally on x86 (see CMakeLists) and only *selected* when
+// util::cpu_features() reports VAES+VPCLMULQDQ; on other targets or old
+// compilers it is a delegating stub with usable() == false.
+#include "crypto/aes.hpp"
+#include "crypto/backend.hpp"
+#include "util/cpuid.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__VAES__) &&     \
+    defined(__VPCLMULQDQ__) && defined(__AVX2__) && defined(__AES__) &&    \
+    defined(__SSSE3__) && defined(__SSE4_1__) && defined(__PCLMUL__)
+#define NNFV_VAES_COMPILED 1
+#include <immintrin.h>
+#endif
+
+namespace nnfv::crypto {
+
+namespace detail {
+
+namespace {
+
+#ifdef NNFV_VAES_COMPILED
+
+// 128-bit kernel suite shared with backend_aesni.cpp (RoundKeys,
+// gf128_reduce, ghash_agg, the multi-buffer scheduler, ...). Compiling it
+// here, in a VEX-encoded TU, gives this backend its scalar tails and the
+// multi-buffer kernel without duplicating source.
+#include "crypto/gcm_clmul_kernels.inc"
+
+/// Round keys broadcast to both YMM halves for _mm256_aesenc_epi128.
+struct RoundKeys256 {
+  __m256i rk[kMaxRounds + 1];
+  int rounds;
+
+  explicit RoundKeys256(const RoundKeys& keys) : rounds(keys.rounds) {
+    for (int r = 0; r <= keys.rounds; ++r) {
+      rk[r] = _mm256_broadcastsi128_si256(keys.rk[r]);
+    }
+  }
+};
+
+/// Per-128-bit-lane byte reversal (VPSHUFB indexes within each lane).
+inline __m256i bswap256(__m256i x) {
+  return _mm256_shuffle_epi8(
+      x,
+      _mm256_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                      0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15));
+}
+
+/// Two independent 256-bit carry-less products at once, one per YMM
+/// half: [hi:lo] of half k = a_k (x) b_k. VPCLMULQDQ multiplies within
+/// each 128-bit lane, and the lane-local byte shifts recombine the
+/// schoolbook halves exactly like the XMM clmul256 — so XOR-accumulating
+/// YMM products and folding the two halves together at the end feeds the
+/// same single gf128_reduce.
+inline void clmul256x2(__m256i a, __m256i b, __m256i* hi, __m256i* lo) {
+  const __m256i t0 = _mm256_clmulepi64_epi128(a, b, 0x00);
+  const __m256i t1 = _mm256_clmulepi64_epi128(a, b, 0x10);
+  const __m256i t2 = _mm256_clmulepi64_epi128(a, b, 0x01);
+  const __m256i t3 = _mm256_clmulepi64_epi128(a, b, 0x11);
+  const __m256i mid = _mm256_xor_si256(t1, t2);
+  *lo = _mm256_xor_si256(t0, _mm256_slli_si256(mid, 8));
+  *hi = _mm256_xor_si256(t3, _mm256_srli_si256(mid, 8));
+}
+
+/// H-power pairs for the YMM 8-block fold, in block order: hp[j] pairs
+/// blocks (2j, 2j+1) with (H^(8-2j), H^(7-2j)) — low half multiplies the
+/// earlier block. table[i] holds H^(i+1) (the shared ghash_init_clmul
+/// layout).
+struct HPowerPairs {
+  __m256i hp[4];
+
+  explicit HPowerPairs(const __m128i* table) {
+    hp[0] = _mm256_loadu2_m128i(table + 6, table + 7);  // [H^7 : H^8]
+    hp[1] = _mm256_loadu2_m128i(table + 4, table + 5);  // [H^5 : H^6]
+    hp[2] = _mm256_loadu2_m128i(table + 2, table + 3);  // [H^3 : H^4]
+    hp[3] = _mm256_loadu2_m128i(table + 0, table + 1);  // [H^1 : H^2]
+  }
+};
+
+/// gf128_reduce for two independent products at once, one per YMM half:
+/// every building block (32-bit shifts, the byte-granular VPSLLDQ /
+/// VPSRLDQ) operates within each 128-bit lane, so this is the identical
+/// shift-left-one + two-phase polynomial fold applied to both halves.
+/// Used by the uniform multi-buffer path, where the two halves are two
+/// packets' GHASH accumulators rather than one packet's block pair.
+inline __m256i gf256x2_reduce(__m256i hi, __m256i lo) {
+  __m256i carry_lo = _mm256_srli_epi32(lo, 31);
+  __m256i carry_hi = _mm256_srli_epi32(hi, 31);
+  lo = _mm256_slli_epi32(lo, 1);
+  hi = _mm256_slli_epi32(hi, 1);
+  const __m256i cross = _mm256_srli_si256(carry_lo, 12);
+  carry_hi = _mm256_slli_si256(carry_hi, 4);
+  carry_lo = _mm256_slli_si256(carry_lo, 4);
+  lo = _mm256_or_si256(lo, carry_lo);
+  hi = _mm256_or_si256(hi, _mm256_or_si256(carry_hi, cross));
+
+  __m256i fold = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_slli_epi32(lo, 31), _mm256_slli_epi32(lo, 30)),
+      _mm256_slli_epi32(lo, 25));
+  const __m256i fold_hi = _mm256_srli_si256(fold, 4);
+  fold = _mm256_slli_si256(fold, 12);
+  lo = _mm256_xor_si256(lo, fold);
+  const __m256i shifted = _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_srli_epi32(lo, 1), _mm256_srli_epi32(lo, 2)),
+      _mm256_xor_si256(_mm256_srli_epi32(lo, 7), fold_hi));
+  lo = _mm256_xor_si256(lo, shifted);
+  return _mm256_xor_si256(hi, lo);
+}
+
+/// One aggregated 8-block GHASH fold over 4 YMM ciphertext pairs
+/// (byte-reversed, block order: p[j] = [c_{2j+1} : c_{2j}]): 16 YMM
+/// clmuls, one horizontal XOR of the halves, one reduction.
+inline __m128i ghash8_vaes(__m128i x, const __m256i p[4],
+                           const HPowerPairs& hpp) {
+  const __m256i x0 = _mm256_set_m128i(_mm_setzero_si128(), x);
+  __m256i hi;
+  __m256i lo;
+  __m256i hip;
+  __m256i lop;
+  clmul256x2(_mm256_xor_si256(p[0], x0), hpp.hp[0], &hi, &lo);
+  for (int j = 1; j < 4; ++j) {
+    clmul256x2(p[j], hpp.hp[j], &hip, &lop);
+    hi = _mm256_xor_si256(hi, hip);
+    lo = _mm256_xor_si256(lo, lop);
+  }
+  const __m128i hi128 = _mm_xor_si128(_mm256_castsi256_si128(hi),
+                                      _mm256_extracti128_si256(hi, 1));
+  const __m128i lo128 = _mm_xor_si128(_mm256_castsi256_si128(lo),
+                                      _mm256_extracti128_si256(lo, 1));
+  return gf128_reduce(hi128, lo128);
+}
+
+void ghash_vaes(const GhashKey& key, std::uint8_t state[16],
+                const std::uint8_t* blocks, std::size_t nblocks) {
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  __m128i x = bswap128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
+  // Single-block fast path: the per-packet AAD and lengths absorptions
+  // are one block each, and on those the H-power table walk below is
+  // pure overhead — one multiply by H^1 is the whole fold.
+  if (nblocks == 1) {
+    const __m128i b = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks)));
+    x = gf128_mul(_mm_xor_si128(x, b), _mm_load_si128(table + 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
+    return;
+  }
+  if (nblocks >= 8) {
+    const HPowerPairs hpp(table);
+    for (; nblocks >= 8; nblocks -= 8, blocks += 128) {
+      __m256i p[4];
+      for (int j = 0; j < 4; ++j) {
+        p[j] = bswap256(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(blocks + 32 * j)));
+      }
+      x = ghash8_vaes(x, p, hpp);
+    }
+  }
+  if (nblocks > 0) {
+    __m128i h[8];
+    for (int i = 0; i < 8; ++i) h[i] = _mm_load_si128(table + i);
+    __m128i b[8];
+    for (std::size_t j = 0; j < nblocks; ++j) {
+      b[j] = bswap128(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(blocks + 16 * j)));
+    }
+    x = ghash_agg(x, b, nblocks, h);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
+}
+
+// Stitched GCM on YMM: 8 counter blocks in flight as 4 lane pairs, the
+// previous 128-byte chunk's GHASH (4 clmul bundles + one reduction)
+// interleaved between the VAES rounds. Same pipeline shape and identical
+// bits as gcm_crypt_clmul — only the register width changes.
+__attribute__((noinline)) void gcm_crypt_vaes(
+    const Aes& aes, const GhashKey& key, const std::uint8_t counter[16],
+    const std::uint8_t* in, std::uint8_t* out, std::size_t len,
+    std::uint8_t state[16], bool encrypt) {
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  const __m128i kSwap = ctr_swap_mask();
+  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);
+  __m128i ctr_le = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(counter)), kSwap);
+  __m128i x =
+      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(state)));
+
+  std::size_t off = 0;
+  if (len >= 128) {
+    const RoundKeys256 keys2(keys);
+    const HPowerPairs hpp(table);
+    const __m256i kSwap2 = _mm256_broadcastsi128_si256(kSwap);
+    const __m256i kTwo2 = _mm256_set_epi32(2, 0, 0, 0, 2, 0, 0, 0);
+    // Counter pair [ctr+1 : ctr], little-endian lanes; +2 per pair step.
+    __m256i ctr01 =
+        _mm256_set_m128i(_mm_add_epi32(ctr_le, kOne), ctr_le);
+    __m256i pend[4];
+    bool have_pend = false;
+    for (; off + 128 <= len; off += 128) {
+      __m256i b[4];
+      for (int j = 0; j < 4; ++j) {
+        b[j] = _mm256_xor_si256(_mm256_shuffle_epi8(ctr01, kSwap2),
+                                keys2.rk[0]);
+        ctr01 = _mm256_add_epi32(ctr01, kTwo2);
+      }
+      if (have_pend) {
+        int r = 1;
+        const auto aes_round = [&] {
+          if (r < keys2.rounds) {
+            for (int j = 0; j < 4; ++j) {
+              b[j] = _mm256_aesenc_epi128(b[j], keys2.rk[r]);
+            }
+            ++r;
+          }
+        };
+        const __m256i x0 = _mm256_set_m128i(_mm_setzero_si128(), x);
+        __m256i hi;
+        __m256i lo;
+        __m256i hip;
+        __m256i lop;
+        clmul256x2(_mm256_xor_si256(pend[0], x0), hpp.hp[0], &hi, &lo);
+        aes_round();
+        for (int j = 1; j < 4; ++j) {
+          clmul256x2(pend[j], hpp.hp[j], &hip, &lop);
+          hi = _mm256_xor_si256(hi, hip);
+          lo = _mm256_xor_si256(lo, lop);
+          aes_round();
+        }
+        const __m128i hi128 = _mm_xor_si128(
+            _mm256_castsi256_si128(hi), _mm256_extracti128_si256(hi, 1));
+        const __m128i lo128 = _mm_xor_si128(
+            _mm256_castsi256_si128(lo), _mm256_extracti128_si256(lo, 1));
+        aes_round();
+        x = gf128_reduce(hi128, lo128);
+        while (r < keys2.rounds) aes_round();
+      } else {
+        for (int r = 1; r < keys2.rounds; ++r) {
+          for (int j = 0; j < 4; ++j) {
+            b[j] = _mm256_aesenc_epi128(b[j], keys2.rk[r]);
+          }
+        }
+      }
+      for (int j = 0; j < 4; ++j) {
+        b[j] = _mm256_aesenclast_epi128(b[j], keys2.rk[keys2.rounds]);
+        const __m256i data = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(in + off + 32 * j));
+        const __m256i ct = _mm256_xor_si256(b[j], data);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + off + 32 * j),
+                            ct);
+        pend[j] = bswap256(encrypt ? ct : data);
+      }
+      have_pend = true;
+    }
+    if (have_pend) {
+      x = ghash8_vaes(x, pend, hpp);
+    }
+    ctr_le = _mm256_castsi256_si128(ctr01);
+  }
+  // Tail: remaining full blocks, then the zero-padded partial block —
+  // scalar XMM, identical to the aesni tail.
+  const __m128i h1 = _mm_load_si128(table + 0);
+  for (; off + 16 <= len; off += 16) {
+    const __m128i ks = encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap));
+    ctr_le = _mm_add_epi32(ctr_le, kOne);
+    const __m128i data =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + off));
+    const __m128i ct = _mm_xor_si128(ks, data);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + off), ct);
+    x = gf128_mul(_mm_xor_si128(bswap128(encrypt ? ct : data), x), h1);
+  }
+  if (off < len) {
+    alignas(16) std::uint8_t keystream[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
+                    encrypt_one(keys, _mm_shuffle_epi8(ctr_le, kSwap)));
+    alignas(16) std::uint8_t ctblock[16] = {};
+    for (std::size_t i = 0; off + i < len; ++i) {
+      const std::uint8_t d = in[off + i];
+      const std::uint8_t c = static_cast<std::uint8_t>(d ^ keystream[i]);
+      out[off + i] = c;
+      ctblock[i] = encrypt ? c : d;
+    }
+    x = gf128_mul(
+        _mm_xor_si128(
+            bswap128(_mm_load_si128(reinterpret_cast<__m128i*>(ctblock))), x),
+        h1);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), bswap128(x));
+}
+
+// Uniform full batch: 8 lanes of identical length — the shape the ESP
+// burst gather and the bench curve produce — with every lane's counter,
+// GHASH accumulator and AES block pair held in YMM registers for the
+// whole payload. Per two-block step each lane pair runs two VAES chains
+// and one Horner fold X = ((X ^ c1)·H^2) ^ (c2·H^1) with a single
+// per-pair reduction (gf256x2_reduce handles both packets of the pair at
+// once). Nothing round-trips through a lane-context array between
+// blocks, which is what the ragged scheduler below pays per pass — and
+// the per-call AES/GHASH setup ramp is paid once for the batch instead
+// of once per packet.
+__attribute__((noinline)) void gcm_crypt_mb_vaes_uniform8(
+    const Aes& aes, const GhashKey& key, GcmMbLane* lanes, bool encrypt) {
+  constexpr int kPairs = 4;  // kMaxMbLanes / 2
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
+  const RoundKeys256 keys2(keys);
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  const __m128i h1 = _mm_load_si128(table + 0);
+  const __m256i h1b = _mm256_broadcastsi128_si256(h1);
+  const __m256i h2b = _mm256_broadcastsi128_si256(_mm_load_si128(table + 1));
+  const __m128i kSwap = ctr_swap_mask();
+  const __m256i kSwap2 = _mm256_broadcastsi128_si256(kSwap);
+  const __m256i kOne2 = _mm256_set_epi32(1, 0, 0, 0, 1, 0, 0, 0);
+  const std::size_t len = lanes[0].len;
+
+  const std::uint8_t* in[2 * kPairs];
+  std::uint8_t* out[2 * kPairs];
+  __m128i xs[2 * kPairs];
+  for (int i = 0; i < 2 * kPairs; ++i) {
+    in[i] = lanes[i].in;
+    out[i] = lanes[i].out;
+    xs[i] = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes[i].state)));
+    if (lanes[i].pre_block != nullptr) {
+      xs[i] = gf128_mul(
+          _mm_xor_si128(xs[i], bswap128(_mm_loadu_si128(
+                                   reinterpret_cast<const __m128i*>(
+                                       lanes[i].pre_block)))),
+          h1);
+    }
+  }
+  __m256i c[kPairs];
+  __m256i X[kPairs];
+  for (int p = 0; p < kPairs; ++p) {
+    c[p] = _mm256_shuffle_epi8(
+        _mm256_loadu2_m128i(
+            reinterpret_cast<const __m128i*>(lanes[2 * p + 1].counter),
+            reinterpret_cast<const __m128i*>(lanes[2 * p].counter)),
+        kSwap2);
+    X[p] = _mm256_set_m128i(xs[2 * p + 1], xs[2 * p]);
+  }
+
+  // One CTR pass over all 8 lanes: 4 VAES chains, one block per lane.
+  const auto ctr_pass = [&](std::size_t off, __m256i gh[kPairs]) {
+    __m256i b[kPairs];
+    for (int p = 0; p < kPairs; ++p) {
+      b[p] = _mm256_xor_si256(_mm256_shuffle_epi8(c[p], kSwap2),
+                              keys2.rk[0]);
+      c[p] = _mm256_add_epi32(c[p], kOne2);
+    }
+    for (int r = 1; r < keys2.rounds; ++r) {
+      for (int p = 0; p < kPairs; ++p) {
+        b[p] = _mm256_aesenc_epi128(b[p], keys2.rk[r]);
+      }
+    }
+    for (int p = 0; p < kPairs; ++p) {
+      b[p] = _mm256_aesenclast_epi128(b[p], keys2.rk[keys2.rounds]);
+      const __m256i data = _mm256_loadu2_m128i(
+          reinterpret_cast<const __m128i*>(in[2 * p + 1] + off),
+          reinterpret_cast<const __m128i*>(in[2 * p] + off));
+      const __m256i ct = _mm256_xor_si256(b[p], data);
+      _mm256_storeu2_m128i(reinterpret_cast<__m128i*>(out[2 * p + 1] + off),
+                           reinterpret_cast<__m128i*>(out[2 * p] + off), ct);
+      gh[p] = bswap256(encrypt ? ct : data);
+    }
+  };
+
+  std::size_t off = 0;
+  for (; off + 32 <= len; off += 32) {
+    __m256i g1[kPairs];
+    __m256i g2[kPairs];
+    ctr_pass(off, g1);
+    ctr_pass(off + 16, g2);
+    for (int p = 0; p < kPairs; ++p) {
+      __m256i hi;
+      __m256i lo;
+      __m256i hip;
+      __m256i lop;
+      clmul256x2(_mm256_xor_si256(X[p], g1[p]), h2b, &hi, &lo);
+      clmul256x2(g2[p], h1b, &hip, &lop);
+      X[p] = gf256x2_reduce(_mm256_xor_si256(hi, hip),
+                            _mm256_xor_si256(lo, lop));
+    }
+  }
+  if (off + 16 <= len) {
+    __m256i g1[kPairs];
+    ctr_pass(off, g1);
+    for (int p = 0; p < kPairs; ++p) {
+      __m256i hi;
+      __m256i lo;
+      clmul256x2(_mm256_xor_si256(X[p], g1[p]), h1b, &hi, &lo);
+      X[p] = gf256x2_reduce(hi, lo);
+    }
+    off += 16;
+  }
+
+  // Scalar epilogue per lane: the zero-padded partial block, the lengths
+  // block, and the state writeback. The eight lanes' folds are
+  // independent, so the serial gf128_mul chains overlap.
+  __m128i cs[2 * kPairs];
+  for (int p = 0; p < kPairs; ++p) {
+    xs[2 * p] = _mm256_castsi256_si128(X[p]);
+    xs[2 * p + 1] = _mm256_extracti128_si256(X[p], 1);
+    cs[2 * p] = _mm256_castsi256_si128(c[p]);
+    cs[2 * p + 1] = _mm256_extracti128_si256(c[p], 1);
+  }
+  const std::size_t rem = len - off;
+  for (int i = 0; i < 2 * kPairs; ++i) {
+    __m128i x = xs[i];
+    if (rem > 0) {
+      alignas(16) std::uint8_t keystream[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
+                      encrypt_one(keys, _mm_shuffle_epi8(cs[i], kSwap)));
+      alignas(16) std::uint8_t ctblock[16] = {};
+      for (std::size_t j = 0; j < rem; ++j) {
+        const std::uint8_t d = in[i][off + j];
+        const std::uint8_t ct = static_cast<std::uint8_t>(d ^ keystream[j]);
+        out[i][off + j] = ct;
+        ctblock[j] = encrypt ? ct : d;
+      }
+      x = gf128_mul(
+          _mm_xor_si128(bswap128(_mm_load_si128(
+                            reinterpret_cast<__m128i*>(ctblock))),
+                        x),
+          h1);
+    }
+    if (lanes[i].post_block != nullptr) {
+      x = gf128_mul(
+          _mm_xor_si128(x, bswap128(_mm_loadu_si128(
+                               reinterpret_cast<const __m128i*>(
+                                   lanes[i].post_block)))),
+          h1);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes[i].state), bswap128(x));
+  }
+}
+
+// Multi-buffer GCM on YMM, two stages. Stage one is a cross-lane
+// stitched chunk pipeline: every lane's full 128 B chunks flow through
+// the same four-chain VAES + aggregated H^1..H^8 interleave as the
+// single-buffer kernel, except the GHASH fold retires the *previous*
+// chunk no matter which lane produced it. The pipeline therefore never
+// drains at a lane boundary — chunk k of lane i hashes while the next
+// chunk (possibly lane i+1's first) encrypts — and the AES/GHASH setup
+// ramp is paid once per batch instead of once per packet. Stage two
+// takes the sub-128 B remainders: live lanes paired two-per-YMM
+// register, one block per lane per pass, four _mm256_aesenc_epi128
+// chains — half the uops of a shared XMM round-robin — with each lane
+// owning its accumulator and H^1..H^8 pend buffer. Once a single live
+// lane remains, its tail runs through the stitched single-buffer
+// kernel.
+void gcm_crypt_mb_vaes(const Aes& aes, const GhashKey& key,
+                       GcmMbLane* lanes, std::size_t nlanes) {
+  const bool encrypt = lanes[0].encrypt;
+  // The register-resident uniform kernel above serves the full-batch
+  // equal-length case below one chunk (every lane from one saturated
+  // same-size small-packet burst); chunk-sized lanes and ragged batches
+  // take the pipeline + scheduler path.
+  if (nlanes == CryptoBackend::kMaxMbLanes && lanes[0].len >= 32 &&
+      lanes[0].len < 128) {
+    bool uniform = true;
+    for (std::size_t i = 1; i < nlanes; ++i) {
+      if (lanes[i].len != lanes[0].len) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      gcm_crypt_mb_vaes_uniform8(aes, key, lanes, encrypt);
+      return;
+    }
+  }
+
+  const RoundKeys keys(aes.enc_schedule_bytes(), aes.rounds());
+  const RoundKeys256 keys2(keys);
+  const __m128i* table = reinterpret_cast<const __m128i*>(key.table);
+  const HPowerPairs hpp(table);
+  __m128i h[8];
+  for (int i = 0; i < 8; ++i) h[i] = _mm_load_si128(table + i);
+  const __m128i kSwap = ctr_swap_mask();
+  const __m256i kSwap2 = _mm256_broadcastsi128_si256(kSwap);
+  const __m128i kOne = _mm_set_epi32(1, 0, 0, 0);
+  const __m256i kTwo2 = _mm256_set_epi32(2, 0, 0, 0, 2, 0, 0, 0);
+
+  // Per-lane cursors in byte-reversed register form. Lanes headed for
+  // the chunk pipeline absorb their AAD block up front (one mul each;
+  // the eight chains are independent, so they overlap). Chunk-less
+  // lanes instead seed it into their pend buffer below, where it
+  // aggregates for free.
+  __m128i xacc[CryptoBackend::kMaxMbLanes];
+  __m128i ctr_le[CryptoBackend::kMaxMbLanes];
+  std::size_t chunked[CryptoBackend::kMaxMbLanes];
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    ctr_le[i] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes[i].counter)),
+        kSwap);
+    xacc[i] = bswap128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes[i].state)));
+    chunked[i] = lanes[i].len & ~static_cast<std::size_t>(127);
+    if (chunked[i] != 0 && lanes[i].pre_block != nullptr) {
+      xacc[i] = gf128_mul(
+          _mm_xor_si128(xacc[i],
+                        bswap128(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i*>(
+                                lanes[i].pre_block)))),
+          h[0]);
+    }
+  }
+
+  // Stage one: the chunk pipeline. `pend` always holds the previous
+  // chunk's eight GHASH blocks and `xcur` the accumulator of the lane
+  // (`prev`) that produced it; the fold interleaves with the current
+  // chunk's AES rounds exactly as in the single-buffer kernel.
+  int prev = -1;
+  __m128i xcur = _mm_setzero_si128();
+  __m256i pend[4];
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    if (chunked[i] == 0) continue;
+    const std::uint8_t* in = lanes[i].in;
+    std::uint8_t* out = lanes[i].out;
+    __m256i ctr01 =
+        _mm256_set_m128i(_mm_add_epi32(ctr_le[i], kOne), ctr_le[i]);
+    for (std::size_t off = 0; off < chunked[i]; off += 128) {
+      __m256i b[4];
+      for (int j = 0; j < 4; ++j) {
+        b[j] = _mm256_xor_si256(_mm256_shuffle_epi8(ctr01, kSwap2),
+                                keys2.rk[0]);
+        ctr01 = _mm256_add_epi32(ctr01, kTwo2);
+      }
+      if (prev >= 0) {
+        int r = 1;
+        const auto aes_round = [&] {
+          if (r < keys2.rounds) {
+            for (int j = 0; j < 4; ++j) {
+              b[j] = _mm256_aesenc_epi128(b[j], keys2.rk[r]);
+            }
+            ++r;
+          }
+        };
+        const __m256i x0 = _mm256_set_m128i(_mm_setzero_si128(), xcur);
+        __m256i hi;
+        __m256i lo;
+        __m256i hip;
+        __m256i lop;
+        clmul256x2(_mm256_xor_si256(pend[0], x0), hpp.hp[0], &hi, &lo);
+        aes_round();
+        for (int j = 1; j < 4; ++j) {
+          clmul256x2(pend[j], hpp.hp[j], &hip, &lop);
+          hi = _mm256_xor_si256(hi, hip);
+          lo = _mm256_xor_si256(lo, lop);
+          aes_round();
+        }
+        const __m128i hi128 = _mm_xor_si128(
+            _mm256_castsi256_si128(hi), _mm256_extracti128_si256(hi, 1));
+        const __m128i lo128 = _mm_xor_si128(
+            _mm256_castsi256_si128(lo), _mm256_extracti128_si256(lo, 1));
+        aes_round();
+        xcur = gf128_reduce(hi128, lo128);
+        while (r < keys2.rounds) aes_round();
+      } else {
+        for (int r = 1; r < keys2.rounds; ++r) {
+          for (int j = 0; j < 4; ++j) {
+            b[j] = _mm256_aesenc_epi128(b[j], keys2.rk[r]);
+          }
+        }
+      }
+      for (int j = 0; j < 4; ++j) {
+        b[j] = _mm256_aesenclast_epi128(b[j], keys2.rk[keys2.rounds]);
+        const __m256i data = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(in + off + 32 * j));
+        const __m256i ct = _mm256_xor_si256(b[j], data);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + off + 32 * j),
+                            ct);
+        pend[j] = bswap256(encrypt ? ct : data);
+      }
+      // The fold above retired lane `prev`'s last chunk; `pend` now
+      // belongs to lane i, so swap in its accumulator.
+      if (prev != static_cast<int>(i)) {
+        if (prev >= 0) xacc[prev] = xcur;
+        xcur = xacc[i];
+        prev = static_cast<int>(i);
+      }
+    }
+    ctr_le[i] = _mm256_castsi256_si128(ctr01);
+  }
+  if (prev >= 0) xacc[prev] = ghash8_vaes(xcur, pend, hpp);
+
+  struct LaneCtx {
+    __m128i ctr_le;
+    __m128i x;
+    __m128i pend[8];
+    std::size_t npend;
+    const std::uint8_t* in;
+    std::uint8_t* out;
+    std::size_t remaining;
+  };
+  LaneCtx lc[CryptoBackend::kMaxMbLanes];
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    lc[i].ctr_le = ctr_le[i];
+    lc[i].x = xacc[i];
+    lc[i].npend = 0;
+    // For a lane the pipeline never touched, the AAD block is the first
+    // block of its GHASH stream: seeding it as pend[0] folds it into
+    // the first aggregated reduction for free.
+    if (chunked[i] == 0 && lanes[i].pre_block != nullptr) {
+      lc[i].pend[lc[i].npend++] = bswap128(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lanes[i].pre_block)));
+    }
+    lc[i].in = lanes[i].in + chunked[i];
+    lc[i].out = lanes[i].out + chunked[i];
+    lc[i].remaining = lanes[i].len - chunked[i];
+  }
+  // Fold a lane's full pend buffer: pack the 8 byte-reversed blocks into
+  // block-ordered YMM pairs and run the aggregated H^1..H^8 reduction.
+  const auto flush8 = [&](LaneCtx& L) {
+    __m256i p[4];
+    for (int j = 0; j < 4; ++j) {
+      p[j] = _mm256_set_m128i(L.pend[2 * j + 1], L.pend[2 * j]);
+    }
+    L.x = ghash8_vaes(L.x, p, hpp);
+    L.npend = 0;
+  };
+
+  for (;;) {
+    // One scheduling decision per segment: the live-lane set only
+    // changes when some lane runs out of full blocks, so run
+    // min(remaining / 16) passes against a fixed pairing instead of
+    // rescanning per block.
+    int act[CryptoBackend::kMaxMbLanes];
+    int nact = 0;
+    std::size_t passes = 0;
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      if (lc[i].remaining >= 16) {
+        const std::size_t full = lc[i].remaining / 16;
+        passes = nact == 0 ? full : (full < passes ? full : passes);
+        act[nact++] = static_cast<int>(i);
+      }
+    }
+    if (nact == 0) break;
+    if (nact == 1) {
+      // Last live lane: hand its whole remainder (partial tail included)
+      // to the stitched single-buffer kernel — serial XMM round-robin
+      // over one lane would waste the YMM pipeline.
+      LaneCtx& L = lc[act[0]];
+      if (L.npend > 0) {
+        L.x = ghash_agg(L.x, L.pend, L.npend, h);
+        L.npend = 0;
+      }
+      alignas(16) std::uint8_t counter[16];
+      alignas(16) std::uint8_t state[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(counter),
+                      _mm_shuffle_epi8(L.ctr_le, kSwap));
+      _mm_store_si128(reinterpret_cast<__m128i*>(state), bswap128(L.x));
+      gcm_crypt_vaes(aes, key, counter, L.in, L.out, L.remaining, state,
+                     encrypt);
+      L.x = bswap128(_mm_load_si128(reinterpret_cast<__m128i*>(state)));
+      L.remaining = 0;
+      break;
+    }
+    const int npair = nact / 2;
+    const bool odd = (nact & 1) != 0;
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      __m256i b2[CryptoBackend::kMaxMbLanes / 2];
+      __m128i b1 = _mm_setzero_si128();
+      for (int p = 0; p < npair; ++p) {
+        LaneCtx& A = lc[act[2 * p]];
+        LaneCtx& B = lc[act[2 * p + 1]];
+        b2[p] = _mm256_xor_si256(
+            _mm256_shuffle_epi8(_mm256_set_m128i(B.ctr_le, A.ctr_le),
+                                kSwap2),
+            keys2.rk[0]);
+        A.ctr_le = _mm_add_epi32(A.ctr_le, kOne);
+        B.ctr_le = _mm_add_epi32(B.ctr_le, kOne);
+      }
+      if (odd) {
+        LaneCtx& A = lc[act[nact - 1]];
+        b1 = _mm_xor_si128(_mm_shuffle_epi8(A.ctr_le, kSwap), keys.rk[0]);
+        A.ctr_le = _mm_add_epi32(A.ctr_le, kOne);
+      }
+      for (int r = 1; r < keys2.rounds; ++r) {
+        for (int p = 0; p < npair; ++p) {
+          b2[p] = _mm256_aesenc_epi128(b2[p], keys2.rk[r]);
+        }
+        if (odd) b1 = _mm_aesenc_si128(b1, keys.rk[r]);
+      }
+      for (int p = 0; p < npair; ++p) {
+        LaneCtx& A = lc[act[2 * p]];
+        LaneCtx& B = lc[act[2 * p + 1]];
+        const __m256i ks =
+            _mm256_aesenclast_epi128(b2[p], keys2.rk[keys2.rounds]);
+        const __m256i data = _mm256_loadu2_m128i(
+            reinterpret_cast<const __m128i*>(B.in),
+            reinterpret_cast<const __m128i*>(A.in));
+        const __m256i ct = _mm256_xor_si256(ks, data);
+        _mm256_storeu2_m128i(reinterpret_cast<__m128i*>(B.out),
+                             reinterpret_cast<__m128i*>(A.out), ct);
+        const __m256i gh = bswap256(encrypt ? ct : data);
+        A.pend[A.npend++] = _mm256_castsi256_si128(gh);
+        B.pend[B.npend++] = _mm256_extracti128_si256(gh, 1);
+        if (A.npend == 8) flush8(A);
+        if (B.npend == 8) flush8(B);
+        A.in += 16;
+        A.out += 16;
+        A.remaining -= 16;
+        B.in += 16;
+        B.out += 16;
+        B.remaining -= 16;
+      }
+      if (odd) {
+        LaneCtx& A = lc[act[nact - 1]];
+        b1 = _mm_aesenclast_si128(b1, keys.rk[keys.rounds]);
+        const __m128i data =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(A.in));
+        const __m128i ct = _mm_xor_si128(b1, data);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(A.out), ct);
+        A.pend[A.npend++] = bswap128(encrypt ? ct : data);
+        if (A.npend == 8) flush8(A);
+        A.in += 16;
+        A.out += 16;
+        A.remaining -= 16;
+      }
+    }
+  }
+
+  // Per-lane drain: the zero-padded partial tail joins the pending
+  // blocks, then the lengths block; either may fill the 8-block pend
+  // buffer, in which case it folds and the rest starts a fresh
+  // aggregation. Finally the state is stored back.
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    LaneCtx& L = lc[i];
+    if (L.remaining > 0) {
+      alignas(16) std::uint8_t keystream[16];
+      _mm_store_si128(reinterpret_cast<__m128i*>(keystream),
+                      encrypt_one(keys, _mm_shuffle_epi8(L.ctr_le, kSwap)));
+      alignas(16) std::uint8_t ctblock[16] = {};
+      for (std::size_t j = 0; j < L.remaining; ++j) {
+        const std::uint8_t d = L.in[j];
+        const std::uint8_t c = static_cast<std::uint8_t>(d ^ keystream[j]);
+        L.out[j] = c;
+        ctblock[j] = encrypt ? c : d;
+      }
+      L.pend[L.npend++] =
+          bswap128(_mm_load_si128(reinterpret_cast<__m128i*>(ctblock)));
+    }
+    if (lanes[i].post_block != nullptr) {
+      if (L.npend == 8) {
+        L.x = ghash_agg(L.x, L.pend, 8, h);
+        L.npend = 0;
+      }
+      L.pend[L.npend++] = bswap128(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(lanes[i].post_block)));
+    }
+    if (L.npend > 0) {
+      L.x = ghash_agg(L.x, L.pend, L.npend, h);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes[i].state),
+                     bswap128(L.x));
+  }
+}
+
+#endif  // NNFV_VAES_COMPILED
+
+class VaesBackend final : public CryptoBackend {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "vaes"; }
+
+  [[nodiscard]] bool usable() const override {
+#ifdef NNFV_VAES_COMPILED
+    const util::CpuFeatures& f = util::cpu_features();
+    return f.vaes && f.vpclmul && f.avx2 && f.aesni && f.pclmul &&
+           f.ssse3 && f.sse41;
+#else
+    return false;
+#endif
+  }
+
+  // Non-GCM primitives have no 256-bit upside; delegate to the aesni
+  // backend (usable() guarantees its CPU requirements).
+  void aes_encrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    aesni_backend().aes_encrypt_blocks(aes, in, out, nblocks);
+  }
+
+  void aes_decrypt_blocks(const Aes& aes, const std::uint8_t* in,
+                          std::uint8_t* out,
+                          std::size_t nblocks) const override {
+    aesni_backend().aes_decrypt_blocks(aes, in, out, nblocks);
+  }
+
+  void cbc_encrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    aesni_backend().cbc_encrypt(aes, iv, in, out, len);
+  }
+
+  void cbc_decrypt(const Aes& aes, const std::uint8_t* iv,
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    aesni_backend().cbc_decrypt(aes, iv, in, out, len);
+  }
+
+  void sha256_compress(std::uint32_t state[8], const std::uint8_t* blocks,
+                       std::size_t nblocks) const override {
+    aesni_backend().sha256_compress(state, blocks, nblocks);
+  }
+
+  void aes_ctr_xor(const Aes& aes, const std::uint8_t counter[16],
+                   const std::uint8_t* in, std::uint8_t* out,
+                   std::size_t len) const override {
+    aesni_backend().aes_ctr_xor(aes, counter, in, out, len);
+  }
+
+#ifdef NNFV_VAES_COMPILED
+  void ghash_init(GhashKey& key) const override {
+    // Same H^1..H^8 blob as the aesni backend (shared ghash_init_clmul),
+    // but stamped with this backend's identity: layout compatibility is
+    // an implementation detail, the owner protocol is the contract.
+    ghash_init_clmul(key);
+    key.owner.store(this, std::memory_order_release);
+  }
+
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks,
+             std::size_t nblocks) const override {
+    ghash_vaes(key, state, blocks, nblocks);
+  }
+
+  void gcm_crypt(const Aes& aes, const GhashKey& key,
+                 const std::uint8_t counter[16], const std::uint8_t* in,
+                 std::uint8_t* out, std::size_t len, std::uint8_t state[16],
+                 bool encrypt) const override {
+    gcm_crypt_vaes(aes, key, counter, in, out, len, state, encrypt);
+  }
+
+  [[nodiscard]] bool gcm_crypt_mb(const Aes& aes, const GhashKey& key,
+                                  GcmMbLane* lanes,
+                                  std::size_t nlanes) const override {
+    if (nlanes == 0 || nlanes > kMaxMbLanes) return false;
+    for (std::size_t i = 1; i < nlanes; ++i) {
+      if (lanes[i].encrypt != lanes[0].encrypt) return false;
+    }
+    gcm_crypt_mb_vaes(aes, key, lanes, nlanes);
+    return true;
+  }
+#else   // !NNFV_VAES_COMPILED: never selected (usable() is false); the
+        // bodies satisfy the interface by delegating to aesni (itself a
+        // portable-delegating stub on non-x86).
+  void ghash_init(GhashKey& key) const override {
+    aesni_backend().ghash_init(key);
+  }
+
+  void ghash(const GhashKey& key, std::uint8_t state[16],
+             const std::uint8_t* blocks,
+             std::size_t nblocks) const override {
+    aesni_backend().ghash(key, state, blocks, nblocks);
+  }
+#endif  // NNFV_VAES_COMPILED
+};
+
+}  // namespace
+
+const CryptoBackend& vaes_backend() {
+  static const VaesBackend backend;
+  return backend;
+}
+
+}  // namespace detail
+
+}  // namespace nnfv::crypto

@@ -1,5 +1,6 @@
 #include "crypto/cipher_modes.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
 
@@ -231,6 +232,142 @@ bool GcmContext::open(std::span<const std::uint8_t> iv,
     return false;
   }
   return true;
+}
+
+util::Status GcmContext::seal_mb(const GcmMbOp* ops, std::size_t nops) const {
+  for (std::size_t i = 0; i < nops; ++i) {
+    if (ops[i].iv.size() != kIvSize) {
+      return invalid_argument("GCM IV must be 12 bytes");
+    }
+  }
+  const CryptoBackend& backend = active_backend();
+  const GhashKey& key = hkey();
+  constexpr std::size_t kGroup = CryptoBackend::kMaxMbLanes;
+  for (std::size_t base = 0; base < nops; base += kGroup) {
+    const std::size_t n = std::min(kGroup, nops - base);
+    std::uint8_t j0[kGroup][16];
+    std::uint8_t counter[kGroup][16];
+    std::uint8_t s[kGroup][16];
+    std::uint8_t aadblk[kGroup][16];
+    std::uint8_t lenblk[kGroup][16];
+    GcmMbLane lanes[kGroup];
+    for (std::size_t i = 0; i < n; ++i) {
+      const GcmMbOp& op = ops[base + i];
+      std::memcpy(j0[i], op.iv.data(), kIvSize);
+      util::store_be32(j0[i] + 12, 1);
+      std::memcpy(counter[i], j0[i], 16);
+      util::store_be32(counter[i] + 12, 2);
+      std::memset(s[i], 0, 16);
+      lanes[i] = GcmMbLane{counter[i], op.input.data(), op.output,
+                           op.input.size(), s[i], /*encrypt=*/true};
+      // The AAD (<= 16 bytes for RFC 4106 ESP: SPI + sequence number)
+      // and the lengths block ride into the batched kernel as the
+      // lane's pre/post GHASH blocks — folded inside its aggregated
+      // reductions instead of costing two ghash() round trips per lane.
+      if (op.aad.size() <= 16) {
+        if (!op.aad.empty()) {
+          std::memset(aadblk[i], 0, 16);
+          std::memcpy(aadblk[i], op.aad.data(), op.aad.size());
+          lanes[i].pre_block = aadblk[i];
+        }
+      } else {
+        ghash_absorb_padded(op.aad, s[i]);
+      }
+      util::store_be64(lenblk[i], static_cast<std::uint64_t>(op.aad.size()) * 8);
+      util::store_be64(lenblk[i] + 8,
+                       static_cast<std::uint64_t>(op.input.size()) * 8);
+      lanes[i].post_block = lenblk[i];
+    }
+    // All lanes encrypt, n is in range: the batched kernel cannot refuse.
+    if (!backend.gcm_crypt_mb(aes_, key, lanes, n)) {
+      return util::internal_error("gcm_crypt_mb rejected a uniform batch");
+    }
+    // One AES call masks every lane's tag: T_i = E_K(J0_i) ^ S_i.
+    std::uint8_t ekj0[kGroup][16];
+    backend.aes_encrypt_blocks(aes_, j0[0], ekj0[0], n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const GcmMbOp& op = ops[base + i];
+      for (std::size_t b = 0; b < kTagSize; ++b) {
+        op.tag[b] = static_cast<std::uint8_t>(ekj0[i][b] ^ s[i][b]);
+      }
+    }
+  }
+  return util::Status::ok();
+}
+
+bool GcmContext::open_mb(const GcmMbOp* ops, std::size_t nops,
+                         bool* ok) const {
+  const CryptoBackend& backend = active_backend();
+  const GhashKey& key = hkey();
+  constexpr std::size_t kGroup = CryptoBackend::kMaxMbLanes;
+  bool all_ok = true;
+  for (std::size_t base = 0; base < nops; base += kGroup) {
+    const std::size_t n = std::min(kGroup, nops - base);
+    std::uint8_t j0[kGroup][16];
+    std::uint8_t counter[kGroup][16];
+    std::uint8_t s[kGroup][16];
+    std::uint8_t aadblk[kGroup][16];
+    std::uint8_t lenblk[kGroup][16];
+    GcmMbLane lanes[kGroup];
+    std::size_t nlanes = 0;
+    std::size_t lane_op[kGroup];
+    for (std::size_t i = 0; i < n; ++i) {
+      const GcmMbOp& op = ops[base + i];
+      if (op.iv.size() != kIvSize) {
+        ok[base + i] = false;
+        all_ok = false;
+        continue;
+      }
+      const std::size_t l = nlanes++;
+      lane_op[l] = base + i;
+      std::memcpy(j0[l], op.iv.data(), kIvSize);
+      util::store_be32(j0[l] + 12, 1);
+      std::memcpy(counter[l], j0[l], 16);
+      util::store_be32(counter[l] + 12, 2);
+      std::memset(s[l], 0, 16);
+      lanes[l] = GcmMbLane{counter[l], op.input.data(), op.output,
+                           op.input.size(), s[l], /*encrypt=*/false};
+      // Same pre/post folding as seal_mb: short AAD and the lengths
+      // block travel inside the batched kernel pass.
+      if (op.aad.size() <= 16) {
+        if (!op.aad.empty()) {
+          std::memset(aadblk[l], 0, 16);
+          std::memcpy(aadblk[l], op.aad.data(), op.aad.size());
+          lanes[l].pre_block = aadblk[l];
+        }
+      } else {
+        ghash_absorb_padded(op.aad, s[l]);
+      }
+      util::store_be64(lenblk[l], static_cast<std::uint64_t>(op.aad.size()) * 8);
+      util::store_be64(lenblk[l] + 8,
+                       static_cast<std::uint64_t>(op.input.size()) * 8);
+      lanes[l].post_block = lenblk[l];
+    }
+    if (nlanes > 0) {
+      if (!backend.gcm_crypt_mb(aes_, key, lanes, nlanes)) {
+        return false;
+      }
+      std::uint8_t ekj0[kGroup][16];
+      backend.aes_encrypt_blocks(aes_, j0[0], ekj0[0], nlanes);
+      for (std::size_t l = 0; l < nlanes; ++l) {
+        const GcmMbOp& op = ops[lane_op[l]];
+        std::uint8_t expected[kTagSize];
+        for (std::size_t b = 0; b < kTagSize; ++b) {
+          expected[b] = static_cast<std::uint8_t>(ekj0[l][b] ^ s[l][b]);
+        }
+        const bool good = constant_time_equal({expected, kTagSize},
+                                              {op.tag, kTagSize});
+        ok[lane_op[l]] = good;
+        if (!good) {
+          if (!op.input.empty()) {
+            std::memset(op.output, 0, op.input.size());
+          }
+          all_ok = false;
+        }
+      }
+    }
+  }
+  return all_ok;
 }
 
 }  // namespace nnfv::crypto

@@ -15,6 +15,19 @@
 
 namespace nnfv::crypto {
 
+/// One lane of a GcmContext::seal_mb()/open_mb() batch: an independent
+/// (iv, aad, payload) triple under the context's key. `input` is the
+/// plaintext for seal_mb and the ciphertext for open_mb; `output` is the
+/// same length (in-place allowed). `tag` is written (seal) or verified
+/// (open), kTagSize bytes.
+struct GcmMbOp {
+  std::span<const std::uint8_t> iv;
+  std::span<const std::uint8_t> aad;
+  std::span<const std::uint8_t> input;
+  std::uint8_t* output = nullptr;
+  std::uint8_t* tag = nullptr;
+};
+
 /// AES-GCM authenticated encryption (SP 800-38D) with a 96-bit IV and a
 /// full 128-bit tag — the shape RFC 4106 uses for ESP.
 ///
@@ -55,6 +68,22 @@ class GcmContext {
                           std::span<const std::uint8_t> ciphertext,
                           std::span<const std::uint8_t> tag,
                           std::uint8_t* plaintext) const;
+
+  /// Multi-buffer seal: `nops` independent lanes pushed through the
+  /// backend's batched gcm_crypt_mb kernel in groups of up to
+  /// CryptoBackend::kMaxMbLanes, with the per-lane E_K(J0) tag masks
+  /// batched into one AES call per group. Bit-identical to calling
+  /// seal() once per lane — the batching is pure scheduling. Fails (and
+  /// touches nothing) if any lane's IV is not kIvSize bytes.
+  util::Status seal_mb(const GcmMbOp* ops, std::size_t nops) const;
+
+  /// Multi-buffer open. `ok[i]` receives the per-lane verdict: false on
+  /// a malformed lane (bad IV size) or tag mismatch, in which case that
+  /// lane's output is wiped to zero, exactly like open(). Lanes fail
+  /// independently — one forged packet does not poison its batch.
+  /// Returns true iff every lane authenticated.
+  [[nodiscard]] bool open_mb(const GcmMbOp* ops, std::size_t nops,
+                             bool* ok) const;
 
  private:
   explicit GcmContext(Aes aes);

@@ -880,14 +880,15 @@ std::vector<NfOutput> IpsecEndpoint::decapsulate_cbc(
 // Encryption and authentication happen in one in-place seal() over the
 // output buffer — no separate HMAC pass, no plaintext staging copy, and
 // both CTR and GHASH pipeline across blocks on the hardware backend.
-std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
-    Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
-  std::vector<NfOutput> out;
+bool IpsecEndpoint::encapsulate_gcm_prepare(Tunnel& tunnel,
+                                            SecurityAssociation& sa,
+                                            packet::PacketBuffer&& frame,
+                                            GcmEncapPrep& prep) {
   // Headroom prepend + trailer append + in-place seal rebuild the frame
   // where it sits; a flooded replica must go private first.
   frame.unshare();
   auto inner = parse_inner_ipv4(frame);
-  if (!inner) return out;
+  if (!inner) return false;
 
   // Claim this packet's sequence number atomically: workers sharing the
   // SA each get a unique value.
@@ -916,7 +917,8 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
 
   // Claim the headroom for Eth | outer IPv4 | ESP | IV (the red-side
   // Ethernet header plus default headroom always covers it) and the
-  // tailroom for the ICV, then seal the payload where it sits.
+  // tailroom for the ICV; the payload now sits where the seal reads and
+  // writes it.
   const std::size_t esp_payload =
       packet::kEspHeaderSize + kGcmIvSize + pt_len + kGcmIcvSize;
   const std::size_t ct_off =
@@ -928,27 +930,184 @@ std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
   util::store_be64(buf.data() + kEspOffset + packet::kEspHeaderSize, seq);
 
   Keymat& keymat = *tunnel.keymat;
-  std::uint8_t nonce[crypto::GcmContext::kIvSize];
   gcm_nonce(sa, keymat.salt, buf.data() + kEspOffset + packet::kEspHeaderSize,
-            nonce);
+            prep.nonce);
   // AAD: the ESP header, widened to SPI || seq-hi || seq-lo under ESN
   // (without ESN the constructed bytes equal the wire header exactly).
-  std::uint8_t aad[12];
-  const std::size_t aad_len = esp_aad(sa, seq, aad);
+  prep.aad_len = esp_aad(sa, seq, prep.aad);
+  prep.ct_off = ct_off;
+  prep.pt_len = pt_len;
+  prep.inner_size = inner_size;
+  prep.frame = std::move(frame);
+  return true;
+}
 
-  if (!keymat.gcm
-           ->seal(nonce, {aad, aad_len}, buf.subspan(ct_off, pt_len),
-                  buf.data() + ct_off, buf.data() + ct_off + pt_len)
+NfOutput IpsecEndpoint::encapsulate_gcm_finish(SecurityAssociation& sa,
+                                               GcmEncapPrep&& prep) {
+  ++sa.packets;
+  sa.bytes += prep.inner_size;
+  ++stats_shard().encapsulated;
+  return NfOutput{1, std::move(prep.frame)};
+}
+
+std::vector<NfOutput> IpsecEndpoint::encapsulate_gcm(
+    Tunnel& tunnel, SecurityAssociation& sa, packet::PacketBuffer&& frame) {
+  std::vector<NfOutput> out;
+  GcmEncapPrep prep;
+  if (!encapsulate_gcm_prepare(tunnel, sa, std::move(frame), prep)) {
+    return out;
+  }
+  auto buf = prep.frame.data();
+  // Encryption and authentication in one in-place seal() over the
+  // output buffer — no separate HMAC pass, no plaintext staging copy,
+  // and both CTR and GHASH pipeline across blocks on the hardware
+  // backend.
+  if (!tunnel.keymat->gcm
+           ->seal({prep.nonce, sizeof(prep.nonce)}, {prep.aad, prep.aad_len},
+                  buf.subspan(prep.ct_off, prep.pt_len),
+                  buf.data() + prep.ct_off,
+                  buf.data() + prep.ct_off + prep.pt_len)
            .is_ok()) {
     ++stats_shard().malformed;
     return out;
   }
-
-  ++sa.packets;
-  sa.bytes += inner_size;
-  ++stats_shard().encapsulated;
-  out.push_back(NfOutput{1, std::move(frame)});
+  out.push_back(encapsulate_gcm_finish(sa, std::move(prep)));
   return out;
+}
+
+void IpsecEndpoint::encapsulate_gcm_burst(Tunnel& tunnel,
+                                          SecurityAssociation& sa,
+                                          packet::PacketBurst& burst,
+                                          std::vector<NfOutput>& out) {
+  // Same-SA frames become independent seal_mb lanes: each packet keeps
+  // its own nonce/AAD/sequence (claimed in frame order, so the wire is
+  // bit-identical to the serial loop), while the batched kernel
+  // interleaves their AES streams — short packets no longer serialise
+  // on AESENC latency.
+  constexpr std::size_t kLanes = crypto::CryptoBackend::kMaxMbLanes;
+  Keymat& keymat = *tunnel.keymat;
+  std::size_t idx = 0;
+  while (idx < burst.size()) {
+    GcmEncapPrep preps[kLanes];
+    crypto::GcmMbOp ops[kLanes];
+    std::size_t n = 0;
+    while (idx < burst.size() && n < kLanes) {
+      GcmEncapPrep& prep = preps[n];
+      if (!encapsulate_gcm_prepare(tunnel, sa, std::move(burst[idx++]),
+                                   prep)) {
+        continue;  // dropped; parse failures leave no lane behind
+      }
+      auto buf = prep.frame.data();
+      ops[n] = crypto::GcmMbOp{{prep.nonce, sizeof(prep.nonce)},
+                               {prep.aad, prep.aad_len},
+                               {buf.data() + prep.ct_off, prep.pt_len},
+                               buf.data() + prep.ct_off,
+                               buf.data() + prep.ct_off + prep.pt_len};
+      ++n;
+    }
+    if (n == 0) continue;
+    if (!keymat.gcm->seal_mb(ops, n).is_ok()) {
+      stats_shard().malformed += n;
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(encapsulate_gcm_finish(sa, std::move(preps[i])));
+    }
+  }
+}
+
+void IpsecEndpoint::decapsulate_gcm_burst(ContextId ctx, Tunnel& tunnel,
+                                          packet::PacketBurst& burst,
+                                          std::vector<NfOutput>& out) {
+  constexpr std::size_t kLanes = crypto::CryptoBackend::kMaxMbLanes;
+  const std::size_t min_esp_payload =
+      packet::kEspHeaderSize + kGcmIvSize + 2 + kGcmIcvSize;
+
+  struct DecapPrep {
+    packet::PacketBuffer frame;
+    SecurityAssociation* sa = nullptr;
+    Keymat* keymat = nullptr;
+    std::uint64_t sequence = 0;
+    std::size_t pt_off = 0;
+    std::size_t ct_len = 0;
+    std::uint8_t nonce[crypto::GcmContext::kIvSize] = {};
+    std::uint8_t aad[12] = {};
+    std::size_t aad_len = 0;
+  };
+
+  std::size_t idx = 0;
+  while (idx < burst.size()) {
+    DecapPrep preps[kLanes];
+    crypto::GcmMbOp ops[kLanes];
+    std::size_t n = 0;
+    while (idx < burst.size() && n < kLanes) {
+      packet::PacketBuffer frame = std::move(burst[idx]);
+      // Decryption happens in place over the ciphertext region, so the
+      // ingress spans must point into a privately owned segment.
+      frame.unshare();
+      auto ingress = parse_esp_ingress(ctx, tunnel, frame, min_esp_payload);
+      if (!ingress) {
+        ++idx;
+        continue;  // dropped and counted by the parser
+      }
+      // A batch shares one GcmContext: frames resolving to different
+      // keymat (a control SPI mid-burst) close the current group and
+      // start the next one.
+      if (n > 0 && ingress->keymat != preps[0].keymat) {
+        burst[idx] = std::move(frame);
+        break;
+      }
+      ++idx;
+      DecapPrep& prep = preps[n];
+      prep.sa = ingress->sa;
+      prep.keymat = ingress->keymat;
+      prep.sequence = ingress->sequence;
+      auto esp_area = ingress->esp_area;
+      gcm_nonce(*prep.sa, prep.keymat->salt,
+                esp_area.data() + packet::kEspHeaderSize, prep.nonce);
+      prep.aad_len = esp_aad(*prep.sa, prep.sequence, prep.aad);
+      prep.ct_len = esp_area.size() - packet::kEspHeaderSize - kGcmIvSize -
+                    kGcmIcvSize;
+      prep.pt_off = ingress->esp_off + packet::kEspHeaderSize + kGcmIvSize;
+      auto ciphertext =
+          esp_area.subspan(packet::kEspHeaderSize + kGcmIvSize, prep.ct_len);
+      auto icv = esp_area.subspan(esp_area.size() - kGcmIcvSize, kGcmIcvSize);
+      prep.frame = std::move(frame);
+      ops[n] = crypto::GcmMbOp{
+          {prep.nonce, sizeof(prep.nonce)},
+          {prep.aad, prep.aad_len},
+          ciphertext,
+          prep.frame.data().data() + prep.pt_off,
+          const_cast<std::uint8_t*>(icv.data())};
+      ++n;
+    }
+    if (n == 0) continue;
+    // Authenticate + decrypt every lane in one batched pass; forged
+    // lanes come back wiped and flagged. The ordered epilogue below then
+    // applies verdicts, replay checks and trailer stripping in frame
+    // order — the only state mutations, so semantics match the serial
+    // path packet for packet.
+    bool ok[kLanes];
+    (void)preps[0].keymat->gcm->open_mb(ops, n, ok);
+    for (std::size_t i = 0; i < n; ++i) {
+      DecapPrep& prep = preps[i];
+      SecurityAssociation& sa = *prep.sa;
+      if (!ok[i]) {
+        ++sa.auth_fail;
+        ++stats_shard().auth_failures;
+        continue;
+      }
+      if (!replay_check_and_update(sa, prep.sequence)) {
+        ++sa.replay_drops;
+        ++stats_shard().replay_drops;
+        continue;
+      }
+      prep.frame.pull_front(prep.pt_off);
+      prep.frame.trim(prep.ct_len);
+      auto one = emit_inner(tunnel, sa, std::move(prep.frame));
+      for (NfOutput& output : one) out.push_back(std::move(output));
+    }
+  }
 }
 
 std::vector<NfOutput> IpsecEndpoint::decapsulate_gcm(
@@ -1019,16 +1178,24 @@ std::vector<NfOutput> IpsecEndpoint::process_burst(
     Tunnel& tunnel = it->second;
     if (fast_path_ok(tunnel, in_port, burst.size())) {
       out.reserve(burst.size());
-      for (packet::PacketBuffer& frame : burst) {
-        auto one =
-            in_port == 0
-                ? (tunnel.transform == EspTransform::kGcm
-                       ? encapsulate_gcm(tunnel, tunnel.out_sa,
-                                         std::move(frame))
-                       : encapsulate_cbc(tunnel, tunnel.out_sa,
-                                         std::move(frame)))
-                : decapsulate(ctx, tunnel, std::move(frame));
-        for (NfOutput& output : one) out.push_back(std::move(output));
+      // GCM bursts take the multi-buffer lanes: up to kMaxMbLanes
+      // same-SA frames sealed/opened per batched backend call. Batched
+      // ESN decap is skipped — seq-hi recovery reads the replay window,
+      // and a burst crossing a 2^32 boundary must see each prior
+      // packet's window update (the serial loop's semantics).
+      if (tunnel.transform == EspTransform::kGcm && in_port == 0) {
+        encapsulate_gcm_burst(tunnel, tunnel.out_sa, burst, out);
+      } else if (tunnel.transform == EspTransform::kGcm &&
+                 !tunnel.in_sa.esn) {
+        decapsulate_gcm_burst(ctx, tunnel, burst, out);
+      } else {
+        for (packet::PacketBuffer& frame : burst) {
+          auto one = in_port == 0
+                         ? encapsulate_cbc(tunnel, tunnel.out_sa,
+                                           std::move(frame))
+                         : decapsulate(ctx, tunnel, std::move(frame));
+          for (NfOutput& output : one) out.push_back(std::move(output));
+        }
       }
       burst.clear();
       return out;

@@ -379,6 +379,48 @@ class IpsecEndpoint : public NetworkFunction {
   std::vector<NfOutput> decapsulate_gcm(Tunnel& tunnel, EspIngress ingress,
                                         packet::PacketBuffer&& frame);
 
+  /// A GCM encapsulation carried up to (but excluding) the seal: the
+  /// frame rebuilt in place (outer headers, ESP header/IV, trailer, ICV
+  /// room) with the nonce and AAD derived. The pooled segment does not
+  /// move with the PacketBuffer handle, so spans into prep.frame stay
+  /// valid while a burst's preps queue up as seal_mb lanes.
+  struct GcmEncapPrep {
+    packet::PacketBuffer frame;
+    std::size_t ct_off = 0;
+    std::size_t pt_len = 0;
+    std::size_t inner_size = 0;
+    std::uint8_t nonce[crypto::GcmContext::kIvSize] = {};
+    std::uint8_t aad[12] = {};
+    std::size_t aad_len = 0;
+  };
+
+  /// First half of encapsulate_gcm (sequence claim, header/trailer
+  /// rebuild, nonce/AAD derivation). Returns false — frame dropped and
+  /// counted — when the inner packet does not parse.
+  bool encapsulate_gcm_prepare(Tunnel& tunnel, SecurityAssociation& sa,
+                               packet::PacketBuffer&& frame,
+                               GcmEncapPrep& prep);
+  /// Second half: per-packet counters + output emission after the seal.
+  NfOutput encapsulate_gcm_finish(SecurityAssociation& sa,
+                                  GcmEncapPrep&& prep);
+
+  /// Fast-path burst encapsulation: same-SA frames gathered into groups
+  /// of up to crypto::CryptoBackend::kMaxMbLanes independent lanes and
+  /// sealed through GcmContext::seal_mb — bit-identical to the serial
+  /// loop (sequence numbers are claimed in frame order), but the AES and
+  /// GHASH work of short packets interleaves across the burst.
+  void encapsulate_gcm_burst(Tunnel& tunnel, SecurityAssociation& sa,
+                             packet::PacketBurst& burst,
+                             std::vector<NfOutput>& out);
+  /// Fast-path burst decapsulation: consecutive frames resolving to the
+  /// same keymat authenticate + decrypt as open_mb lanes; verdicts,
+  /// replay checks and inner emission then run in frame order, so drop
+  /// semantics match the serial path exactly (auth is pure crypto and
+  /// replay state only advances in the ordered epilogue).
+  void decapsulate_gcm_burst(ContextId ctx, Tunnel& tunnel,
+                             packet::PacketBurst& burst,
+                             std::vector<NfOutput>& out);
+
   /// Applies the staged-rekey config keys collected by configure().
   util::Status stage_rekey(ContextId ctx, Tunnel& tunnel,
                            const NfConfig& rekey);

@@ -22,6 +22,8 @@ CpuFeatures probe() {
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
     f.avx2 = (ebx & (1u << 5)) != 0;
     f.sha_ni = (ebx & (1u << 29)) != 0;
+    f.vaes = (ecx & (1u << 9)) != 0;
+    f.vpclmul = (ecx & (1u << 10)) != 0;
   }
 #endif
   return f;
@@ -48,6 +50,8 @@ std::string cpu_feature_string() {
   append(f.pclmul, "pclmul");
   append(f.avx2, "avx2");
   append(f.sha_ni, "sha");
+  append(f.vaes, "vaes");
+  append(f.vpclmul, "vpclmulqdq");
   return out;
 }
 

@@ -15,13 +15,16 @@ struct CpuFeatures {
   bool pclmul = false;   ///< PCLMULQDQ (leaf 1 ECX bit 1)
   bool avx2 = false;     ///< leaf 7 EBX bit 5
   bool sha_ni = false;   ///< SHA256RNDS2 et al. (leaf 7 EBX bit 29)
+  bool vaes = false;     ///< vector AESENC on YMM/ZMM (leaf 7 ECX bit 9)
+  bool vpclmul = false;  ///< vector PCLMULQDQ (leaf 7 ECX bit 10)
 };
 
 /// Probed once per process (thread-safe static init).
 const CpuFeatures& cpu_features();
 
-/// "ssse3 sse4.1 aes pclmul avx2 sha" subset string, for logs and bench
-/// JSON provenance.
+/// "ssse3 sse4.1 aes pclmul avx2 sha vaes vpclmulqdq" subset string, for
+/// logs and bench JSON provenance (matched by substring in the bench
+/// baseline's _requires_cpu conditions).
 std::string cpu_feature_string();
 
 }  // namespace nnfv::util

@@ -30,10 +30,10 @@ std::vector<std::uint8_t> from_hex(const std::string& hex) {
 }
 
 TEST(CryptoBackend, RegistryNamesAndLookup) {
-  ASSERT_NE(backend_by_name("portable"), nullptr);
-  ASSERT_NE(backend_by_name("aesni"), nullptr);
-  ASSERT_NE(backend_by_name("reference"), nullptr);
-  EXPECT_EQ(backend_by_name("portable")->name(), "portable");
+  for (const char* name : {"portable", "aesni", "vaes", "reference"}) {
+    ASSERT_NE(backend_by_name(name), nullptr) << name;
+    EXPECT_EQ(backend_by_name(name)->name(), name);
+  }
   EXPECT_EQ(backend_by_name("no-such-backend"), nullptr);
 }
 
@@ -51,6 +51,17 @@ TEST(CryptoBackend, AesniUsableMatchesCpuid) {
             f.aesni && f.ssse3 && f.sse41);
 #else
   EXPECT_FALSE(backend_by_name("aesni")->usable());
+#endif
+}
+
+TEST(CryptoBackend, VaesUsableMatchesCpuid) {
+  const util::CpuFeatures& f = util::cpu_features();
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_EQ(backend_by_name("vaes")->usable(),
+            f.vaes && f.vpclmul && f.avx2 && f.aesni && f.pclmul &&
+                f.ssse3 && f.sse41);
+#else
+  EXPECT_FALSE(backend_by_name("vaes")->usable());
 #endif
 }
 
@@ -226,7 +237,8 @@ TEST_P(PerBackend, GcmSp80038dVectors) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, PerBackend,
-                         ::testing::Values("portable", "aesni", "reference"));
+                         ::testing::Values("portable", "aesni", "vaes",
+                                           "reference"));
 
 // ---------------------------------------------------------------------------
 // Bit-identity cross-check: every usable backend vs the reference oracle.
@@ -539,6 +551,24 @@ TEST(CryptoBackend, GcmContextSurvivesBackendSwitch) {
       EXPECT_EQ(got, want) << backend->name();
     }
   }
+
+  // The escalation ladder explicitly: portable -> aesni -> vaes mid-stream
+  // on ONE context, each step re-deriving the GHASH table into a layout
+  // the previous owner never wrote (Shoup 4-bit table vs H^1..H^8 power
+  // pairs). The audit point is that hkey()'s owner check really fires on
+  // every hop — a stale table surviving one hop would corrupt every tag.
+  for (const char* name : {"portable", "aesni", "vaes", "portable"}) {
+    const CryptoBackend* backend = backend_by_name(name);
+    ASSERT_NE(backend, nullptr);
+    if (!backend->usable()) continue;
+    ScopedBackendOverride override_scope(*backend);
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[GcmContext::kTagSize];
+    ASSERT_TRUE(gcm->seal(iv, {}, plain, cipher.data(), tag).is_ok());
+    EXPECT_EQ(util::hex_encode(cipher) + util::hex_encode({tag, sizeof(tag)}),
+              want)
+        << "after switching to " << name;
+  }
 }
 
 TEST(CryptoBackend, GcmTamperedInputFailsOpen) {
@@ -652,6 +682,285 @@ TEST(CryptoBackend, EspWireFormatIdenticalAcrossBackends) {
       want = wire;
     } else {
       EXPECT_EQ(wire, want) << backend->name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-buffer GCM: the batched kernels vs the reference oracle.
+// ---------------------------------------------------------------------------
+
+// One gcm_crypt_mb batch on every usable backend vs the reference oracle
+// (whose base implementation loops the single-buffer gcm_crypt), expecting
+// bit-identical outputs AND GHASH states per lane. Both directions are a
+// true differential over the same random inputs: "decrypt" of arbitrary
+// bytes is legal (CTR keystream + GHASH over the input side), so no
+// seal-first setup is needed. pre_block/post_block presence is varied per
+// lane so the kernel's in-pass folds are exercised against the oracle's
+// explicit ghash() round trips.
+void expect_mb_matches_oracle(const std::vector<std::size_t>& lens,
+                              bool encrypt, bool in_place,
+                              std::uint32_t seed) {
+  util::Rng rng(seed);
+  const auto key = rng.bytes(16);
+  auto aes = Aes::create(key);
+  ASSERT_TRUE(aes.is_ok());
+  const std::uint8_t zero[16] = {};
+  const std::size_t nlanes = lens.size();
+  ASSERT_LE(nlanes, CryptoBackend::kMaxMbLanes);
+
+  std::vector<std::vector<std::uint8_t>> data(nlanes), counters(nlanes),
+      starts(nlanes), pres(nlanes), posts(nlanes);
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    counters[i] = rng.bytes(16);
+    if (i % 2 == 0) {
+      // Force an inc32 wrap a few blocks in on alternating lanes: the
+      // interleaved kernels carry per-lane counters in SIMD registers,
+      // so a wrap must only touch that lane's low 32 bits.
+      counters[i][12] = counters[i][13] = counters[i][14] = 0xFF;
+      counters[i][15] = 0xFD;
+    }
+    data[i] = rng.bytes(lens[i]);
+    starts[i] = rng.bytes(16);
+    pres[i] = rng.bytes(16);
+    posts[i] = rng.bytes(16);
+  }
+
+  const auto run = [&](const CryptoBackend& backend, const GhashKey& bkey,
+                       std::vector<std::vector<std::uint8_t>>& outs,
+                       std::vector<std::vector<std::uint8_t>>& states) {
+    GcmMbLane lanes[CryptoBackend::kMaxMbLanes];
+    outs.resize(nlanes);
+    states.resize(nlanes);
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      outs[i] = in_place ? data[i] : std::vector<std::uint8_t>(lens[i]);
+      states[i] = starts[i];
+      lanes[i].counter = counters[i].data();
+      lanes[i].in = in_place ? outs[i].data() : data[i].data();
+      lanes[i].out = outs[i].data();
+      lanes[i].len = lens[i];
+      lanes[i].state = states[i].data();
+      lanes[i].encrypt = encrypt;
+      lanes[i].pre_block = (i % 3 != 2) ? pres[i].data() : nullptr;
+      lanes[i].post_block = (i % 2 == 0) ? posts[i].data() : nullptr;
+    }
+    return backend.gcm_crypt_mb(*aes, bkey, lanes, nlanes);
+  };
+
+  const CryptoBackend& oracle = detail::reference_backend();
+  GhashKey okey;
+  aes->encrypt_block(zero, okey.h);
+  oracle.ghash_init(okey);
+  std::vector<std::vector<std::uint8_t>> want_out, want_state;
+  ASSERT_TRUE(run(oracle, okey, want_out, want_state));
+
+  for (const CryptoBackend* backend : usable_backends()) {
+    GhashKey bkey;
+    aes->encrypt_block(zero, bkey.h);
+    backend->ghash_init(bkey);
+    std::vector<std::vector<std::uint8_t>> got_out, got_state;
+    ASSERT_TRUE(run(*backend, bkey, got_out, got_state)) << backend->name();
+    for (std::size_t i = 0; i < nlanes; ++i) {
+      EXPECT_EQ(util::hex_encode(got_out[i]), util::hex_encode(want_out[i]))
+          << backend->name() << " lane " << i << " len " << lens[i]
+          << (encrypt ? " enc" : " dec") << (in_place ? " in-place" : "");
+      EXPECT_EQ(util::hex_encode(got_state[i]),
+                util::hex_encode(want_state[i]))
+          << backend->name() << " lane " << i << " state, len " << lens[i]
+          << (encrypt ? " enc" : " dec") << (in_place ? " in-place" : "");
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmCryptMbMatchesReferenceOracle) {
+  // Ragged batches at every lane count: lengths straddle the 128-byte
+  // chunk pipeline, the 8-block GHASH aggregation (128 B of ciphertext),
+  // partial final blocks and single-byte lanes.
+  constexpr std::size_t kLens[] = {1,   31,  63,  64,  96,  127, 128,
+                                   129, 255, 256, 257, 576, 1408};
+  constexpr std::size_t kNumLens = sizeof(kLens) / sizeof(kLens[0]);
+  std::vector<std::vector<std::size_t>> cases;
+  for (std::size_t nlanes = 1; nlanes <= CryptoBackend::kMaxMbLanes;
+       ++nlanes) {
+    std::vector<std::size_t> lens(nlanes);
+    for (std::size_t l = 0; l < nlanes; ++l) {
+      lens[l] = kLens[(l * 5 + nlanes) % kNumLens];
+    }
+    cases.push_back(std::move(lens));
+  }
+  // Uniform full batches: 8 equal lanes with 32 <= len < 128 take the
+  // register-resident uniform8 kernel on VAES; 128/256 take the chunk
+  // pipeline with zero remainder. Both specialisations must face the
+  // oracle directly, not only via the ragged mix above.
+  for (const std::size_t len : {32u, 64u, 96u, 120u, 127u, 128u, 256u}) {
+    cases.emplace_back(CryptoBackend::kMaxMbLanes, len);
+  }
+  std::uint32_t seed = 4000;
+  for (const auto& lens : cases) {
+    for (const bool encrypt : {true, false}) {
+      for (const bool in_place : {false, true}) {
+        expect_mb_matches_oracle(lens, encrypt, in_place, seed++);
+      }
+    }
+  }
+}
+
+TEST(CryptoBackend, GcmCryptMbRejectsBadBatches) {
+  // Mixed directions, zero lanes and too many lanes are rejected with no
+  // lane touched, on every backend (the contract in backend.hpp).
+  util::Rng rng(31);
+  const auto key = rng.bytes(16);
+  auto aes = Aes::create(key);
+  ASSERT_TRUE(aes.is_ok());
+  const std::uint8_t zero[16] = {};
+  for (const CryptoBackend* backend : usable_backends()) {
+    GhashKey bkey;
+    aes->encrypt_block(zero, bkey.h);
+    backend->ghash_init(bkey);
+
+    constexpr std::size_t kTooMany = CryptoBackend::kMaxMbLanes + 1;
+    std::vector<std::vector<std::uint8_t>> bufs(kTooMany),
+        states(kTooMany), counters(kTooMany);
+    GcmMbLane lanes[kTooMany];
+    for (std::size_t i = 0; i < kTooMany; ++i) {
+      bufs[i] = rng.bytes(100);
+      states[i] = rng.bytes(16);
+      counters[i] = rng.bytes(16);
+      lanes[i].counter = counters[i].data();
+      lanes[i].in = bufs[i].data();
+      lanes[i].out = bufs[i].data();
+      lanes[i].len = bufs[i].size();
+      lanes[i].state = states[i].data();
+      lanes[i].encrypt = true;
+    }
+    const auto bufs_before = bufs;
+    const auto states_before = states;
+
+    lanes[1].encrypt = false;  // mixed direction
+    EXPECT_FALSE(backend->gcm_crypt_mb(*aes, bkey, lanes, 2))
+        << backend->name() << " mixed direction must be rejected";
+    lanes[1].encrypt = true;
+    EXPECT_FALSE(backend->gcm_crypt_mb(*aes, bkey, lanes, 0))
+        << backend->name() << " nlanes == 0 must be rejected";
+    EXPECT_FALSE(backend->gcm_crypt_mb(*aes, bkey, lanes, kTooMany))
+        << backend->name() << " nlanes > kMaxMbLanes must be rejected";
+    EXPECT_EQ(bufs, bufs_before)
+        << backend->name() << " rejected batch must not touch buffers";
+    EXPECT_EQ(states, states_before)
+        << backend->name() << " rejected batch must not touch GHASH states";
+  }
+}
+
+TEST(CryptoBackend, GcmMbSealOpenPerLaneTamper) {
+  // seal_mb must be bit-identical to per-lane seal(), and open_mb must
+  // fail lanes INDEPENDENTLY: one forged packet in a batch wipes only its
+  // own output, every honest sibling still authenticates.
+  util::Rng rng(33);
+  const auto key = rng.bytes(16);
+  constexpr std::size_t kLanes = CryptoBackend::kMaxMbLanes;
+  const std::size_t lens[kLanes] = {1, 64, 65, 127, 128, 129, 576, 1408};
+  for (const CryptoBackend* backend : usable_backends()) {
+    ScopedBackendOverride override_scope(*backend);
+    auto gcm = GcmContext::create(key);
+    ASSERT_TRUE(gcm.is_ok());
+
+    std::vector<std::vector<std::uint8_t>> ivs(kLanes), aads(kLanes),
+        plains(kLanes), ciphers(kLanes), tags(kLanes);
+    GcmMbOp ops[kLanes];
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      ivs[i] = rng.bytes(GcmContext::kIvSize);
+      aads[i] = rng.bytes((i * 5) % 24);  // 0..20 bytes, some empty
+      plains[i] = rng.bytes(lens[i]);
+      ciphers[i].resize(lens[i]);
+      tags[i].resize(GcmContext::kTagSize);
+      ops[i].iv = ivs[i];
+      ops[i].aad = aads[i];
+      ops[i].input = plains[i];
+      ops[i].output = ciphers[i].data();
+      ops[i].tag = tags[i].data();
+    }
+    ASSERT_TRUE(gcm->seal_mb(ops, kLanes).is_ok()) << backend->name();
+
+    // Bit-identity vs the single-lane path.
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      std::vector<std::uint8_t> want_ct(lens[i]);
+      std::uint8_t want_tag[GcmContext::kTagSize];
+      ASSERT_TRUE(gcm->seal(ivs[i], aads[i], plains[i], want_ct.data(),
+                            want_tag)
+                      .is_ok());
+      EXPECT_EQ(ciphers[i], want_ct)
+          << backend->name() << " lane " << i << " ct vs single-lane seal";
+      EXPECT_EQ(util::hex_encode(tags[i]),
+                util::hex_encode({want_tag, sizeof(want_tag)}))
+          << backend->name() << " lane " << i << " tag vs single-lane seal";
+    }
+
+    // Honest round trip first.
+    std::vector<std::vector<std::uint8_t>> outs(kLanes);
+    bool ok[kLanes];
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      outs[i].assign(lens[i], 0xAA);
+      ops[i].input = ciphers[i];
+      ops[i].output = outs[i].data();
+    }
+    EXPECT_TRUE(gcm->open_mb(ops, kLanes, ok)) << backend->name();
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      EXPECT_TRUE(ok[i]) << backend->name() << " lane " << i;
+      EXPECT_EQ(outs[i], plains[i]) << backend->name() << " lane " << i;
+    }
+
+    // Tamper one lane at a time (ciphertext for one victim, tag for
+    // another, AAD for a third): only the victim fails and is wiped.
+    enum class Tamper { kCt, kTag, kAad };
+    const struct {
+      std::size_t lane;
+      Tamper what;
+    } tampers[] = {{0, Tamper::kTag}, {3, Tamper::kCt}, {7, Tamper::kAad}};
+    for (const auto& t : tampers) {
+      auto bad_ciphers = ciphers;
+      auto bad_tags = tags;
+      auto bad_aads = aads;
+      switch (t.what) {
+        case Tamper::kCt:
+          bad_ciphers[t.lane][lens[t.lane] / 2] ^= 0x01;
+          break;
+        case Tamper::kTag:
+          bad_tags[t.lane][9] ^= 0x80;
+          break;
+        case Tamper::kAad:
+          if (bad_aads[t.lane].empty()) {
+            bad_aads[t.lane].push_back(0x55);
+          } else {
+            bad_aads[t.lane][0] ^= 0x01;
+          }
+          break;
+      }
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        outs[i].assign(lens[i], 0xAA);
+        ops[i].aad = bad_aads[i];
+        ops[i].input = bad_ciphers[i];
+        ops[i].output = outs[i].data();
+        ops[i].tag = bad_tags[i].data();
+      }
+      EXPECT_FALSE(gcm->open_mb(ops, kLanes, ok))
+          << backend->name() << " tampered lane " << t.lane;
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        if (i == t.lane) {
+          EXPECT_FALSE(ok[i])
+              << backend->name() << " tampered lane " << i << " must fail";
+          EXPECT_EQ(outs[i], std::vector<std::uint8_t>(lens[i], 0))
+              << backend->name() << " tampered lane " << i << " must be wiped";
+        } else {
+          EXPECT_TRUE(ok[i])
+              << backend->name() << " honest lane " << i << " must survive";
+          EXPECT_EQ(outs[i], plains[i]) << backend->name() << " lane " << i;
+        }
+      }
+      // Restore shared op state for the next tamper round.
+      for (std::size_t i = 0; i < kLanes; ++i) {
+        ops[i].aad = aads[i];
+        ops[i].tag = tags[i].data();
+      }
     }
   }
 }

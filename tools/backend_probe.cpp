@@ -1,0 +1,128 @@
+// CI helper: answers "can THIS machine run crypto backend <name>, and
+// when forced via NNFV_CRYPTO_BACKEND, did the process actually select
+// it?" with distinct exit codes, so the cpu-dispatch workflow matrix can
+// tell an honest skip (runner CPU lacks the ISA) from a dispatch bug
+// (env asked for a backend, selection silently fell back to another).
+//
+// Usage:
+//   backend_probe <name>           exit 0  <name> is registered + usable here
+//                                  exit 3  registered but NOT usable on this
+//                                          CPU; prints "skipped: CPU lacks
+//                                          <features>" on stdout
+//                                  exit 2  unknown backend name
+//   backend_probe --active <name>  exit 0  active_backend().name() == <name>
+//                                  exit 4  something else was selected
+//                                          (prints expected vs actual)
+//   backend_probe --list           prints one "<name> usable|unusable" line
+//                                  per registered backend; always exit 0
+//
+// Exit codes are deliberately distinct non-1 values: a plain crash (1,
+// 127, signal) can never be confused with a deliberate verdict.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "crypto/backend.hpp"
+#include "util/cpuid.hpp"
+
+namespace {
+
+using nnfv::crypto::CryptoBackend;
+
+constexpr const char* kKnown[] = {"portable", "aesni", "vaes", "reference"};
+
+// The CPUID bits each backend's usable() checks (mirrors
+// backend_aesni.cpp / backend_vaes.cpp; portable/reference need nothing).
+// Kept here, not queried from the backend, because the whole point of the
+// message is to say WHY usable() said no on a machine where it did.
+std::string missing_features(std::string_view name) {
+  const nnfv::util::CpuFeatures& f = nnfv::util::cpu_features();
+  std::string missing;
+  auto need = [&missing](bool have, const char* feature) {
+    if (have) return;
+    if (!missing.empty()) missing += ' ';
+    missing += feature;
+  };
+  if (name == "aesni" || name == "vaes") {
+    need(f.aesni, "aes");
+    need(f.ssse3, "ssse3");
+    need(f.sse41, "sse4.1");
+  }
+  if (name == "vaes") {
+    need(f.pclmul, "pclmul");
+    need(f.avx2, "avx2");
+    need(f.vaes, "vaes");
+    need(f.vpclmul, "vpclmulqdq");
+  }
+#if !defined(__x86_64__) && !defined(__i386__)
+  if (missing.empty() && (name == "aesni" || name == "vaes")) {
+    missing = "x86 ISA (non-x86 build)";
+  }
+#endif
+  if (missing.empty()) missing = "(unknown feature set)";
+  return missing;
+}
+
+int probe(std::string_view name) {
+  const CryptoBackend* backend = nnfv::crypto::backend_by_name(name);
+  if (backend == nullptr) {
+    std::fprintf(stderr, "backend_probe: unknown backend '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    return 2;
+  }
+  if (!backend->usable()) {
+    std::printf("skipped: CPU lacks %s (backend '%.*s' unusable; cpu: %s)\n",
+                missing_features(name).c_str(),
+                static_cast<int>(name.size()), name.data(),
+                nnfv::util::cpu_feature_string().c_str());
+    return 3;
+  }
+  std::printf("usable: backend '%.*s' runs on this CPU (cpu: %s)\n",
+              static_cast<int>(name.size()), name.data(),
+              nnfv::util::cpu_feature_string().c_str());
+  return 0;
+}
+
+int check_active(std::string_view expected) {
+  const std::string_view actual = nnfv::crypto::active_backend().name();
+  if (actual != expected) {
+    std::printf("MISMATCH: expected active backend '%.*s', selected '%.*s'"
+                " (NNFV_CRYPTO_BACKEND=%s)\n",
+                static_cast<int>(expected.size()), expected.data(),
+                static_cast<int>(actual.size()), actual.data(),
+                std::getenv("NNFV_CRYPTO_BACKEND")
+                    ? std::getenv("NNFV_CRYPTO_BACKEND")
+                    : "(unset)");
+    return 4;
+  }
+  std::printf("active: '%.*s'\n", static_cast<int>(actual.size()),
+              actual.data());
+  return 0;
+}
+
+int list() {
+  std::printf("cpu: %s\n", nnfv::util::cpu_feature_string().c_str());
+  for (const char* name : kKnown) {
+    const CryptoBackend* backend = nnfv::crypto::backend_by_name(name);
+    std::printf("%-10s %s\n", name,
+                backend == nullptr       ? "UNREGISTERED"
+                : backend->usable()      ? "usable"
+                                         : "unusable");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--list") == 0) return list();
+  if (argc == 3 && std::strcmp(argv[1], "--active") == 0) {
+    return check_active(argv[2]);
+  }
+  if (argc == 2 && argv[1][0] != '-') return probe(argv[1]);
+  std::fprintf(stderr,
+               "usage: backend_probe <name> | --active <name> | --list\n");
+  return 2;
+}
